@@ -1,0 +1,98 @@
+// Ablation — per-worker block allocator vs a single-lock allocator.
+//
+// DESIGN.md calls out LabFS's per-worker allocator (with stealing) as
+// a contention-avoidance design choice; this measures what it buys
+// over the obvious global-mutex alternative under multithreaded
+// alloc/free churn.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "common/rng.h"
+#include "labmods/block_allocator.h"
+
+namespace labstor::labmods {
+namespace {
+
+// The strawman: one mutex around one free-range map.
+class GlobalLockAllocator {
+ public:
+  GlobalLockAllocator(uint64_t first, uint64_t total)
+      : inner_({BlockExtent{first, total}}, 1) {}
+
+  Result<std::vector<BlockExtent>> Alloc(uint64_t count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_.Alloc(0, count);
+  }
+  void Free(BlockExtent extent) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_.Free(0, extent);
+  }
+
+ private:
+  std::mutex mu_;
+  PerWorkerAllocator inner_;
+};
+
+constexpr uint64_t kBlocks = 1 << 20;
+
+void BM_PerWorkerAllocator(benchmark::State& state) {
+  static PerWorkerAllocator* alloc = nullptr;
+  if (state.thread_index() == 0) {
+    alloc = new PerWorkerAllocator(0, kBlocks,
+                                   static_cast<uint32_t>(state.threads()));
+  }
+  Rng rng(static_cast<uint64_t>(state.thread_index()) + 1);
+  const auto worker = static_cast<uint32_t>(state.thread_index());
+  std::vector<BlockExtent> held;
+  for (auto _ : state) {
+    if (held.size() < 64 || rng.Bernoulli(0.55)) {
+      auto extents = alloc->Alloc(worker, rng.Range(1, 8));
+      if (extents.ok()) {
+        for (const BlockExtent& e : *extents) held.push_back(e);
+      }
+    } else {
+      alloc->Free(worker, held.back());
+      held.pop_back();
+    }
+  }
+  for (const BlockExtent& e : held) alloc->Free(worker, e);
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations() * state.threads());
+    delete alloc;
+    alloc = nullptr;
+  }
+}
+BENCHMARK(BM_PerWorkerAllocator)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_GlobalLockAllocator(benchmark::State& state) {
+  static GlobalLockAllocator* alloc = nullptr;
+  if (state.thread_index() == 0) {
+    alloc = new GlobalLockAllocator(0, kBlocks);
+  }
+  Rng rng(static_cast<uint64_t>(state.thread_index()) + 1);
+  std::vector<BlockExtent> held;
+  for (auto _ : state) {
+    if (held.size() < 64 || rng.Bernoulli(0.55)) {
+      auto extents = alloc->Alloc(rng.Range(1, 8));
+      if (extents.ok()) {
+        for (const BlockExtent& e : *extents) held.push_back(e);
+      }
+    } else {
+      alloc->Free(held.back());
+      held.pop_back();
+    }
+  }
+  for (const BlockExtent& e : held) alloc->Free(e);
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations() * state.threads());
+    delete alloc;
+    alloc = nullptr;
+  }
+}
+BENCHMARK(BM_GlobalLockAllocator)->Threads(1)->Threads(2)->Threads(4);
+
+}  // namespace
+}  // namespace labstor::labmods
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Ablation — LRU vs adaptive (frequency-aware) cache eviction, the
+// paper's "ML-driven cache eviction" suggestion made concrete. Hit
+// rates under a Zipf-skewed working set with periodic sequential scans
+// (the access pattern that defeats plain LRU).
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/debug_harness.h"
+#include "labmods/adaptive_cache.h"
+#include "labmods/lru_cache.h"
+#include "simdev/registry.h"
+
+namespace labstor::bench {
+namespace {
+
+struct HitRates {
+  double zipf_only = 0;
+  double zipf_with_scans = 0;
+};
+
+HitRates Measure(const std::string& mod_name) {
+  const auto run = [&](bool scans) {
+    simdev::DeviceRegistry devices;
+    core::ModContext ctx;
+    ctx.devices = &devices;
+    auto params = yaml::Parse("capacity_pages: 256\n");
+    if (!params.ok()) std::abort();
+    auto harness = core::DebugHarness::Create(mod_name, *params, ctx);
+    if (!harness.ok()) std::abort();
+
+    Rng rng(4242);
+    std::vector<uint8_t> buf(4096);
+    const auto read_page = [&](uint64_t page) {
+      ipc::Request req;
+      req.op = ipc::OpCode::kBlkRead;
+      req.offset = page * 4096;
+      req.length = buf.size();
+      req.data = buf.data();
+      (void)(*harness)->Feed(req);
+    };
+    constexpr uint64_t kHotSet = 2048;  // 8x the cache
+    for (int i = 0; i < 60000; ++i) {
+      read_page(rng.Zipf(kHotSet, 0.9));
+      if (scans && i % 600 == 599) {
+        // A 512-page sequential scan sweeps through (backup/analytics).
+        for (uint64_t p = 0; p < 512; ++p) read_page(100000 + p);
+      }
+    }
+    uint64_t hits = 0, misses = 0;
+    if (auto* lru = dynamic_cast<labmods::LruCacheMod*>(&(*harness)->mod())) {
+      hits = lru->hits();
+      misses = lru->misses();
+    } else if (auto* ad =
+                   dynamic_cast<labmods::AdaptiveCacheMod*>(&(*harness)->mod())) {
+      hits = ad->hits();
+      misses = ad->misses();
+    }
+    return static_cast<double>(hits) / static_cast<double>(hits + misses);
+  };
+  HitRates rates;
+  rates.zipf_only = run(false);
+  rates.zipf_with_scans = run(true);
+  return rates;
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main() {
+  using namespace labstor::bench;
+  std::printf("\n==== Ablation — cache eviction policy (hit rate) ====\n");
+  std::printf("%-16s  %-12s  %-16s\n", "policy", "zipf", "zipf + scans");
+  for (const char* mod : {"lru_cache", "adaptive_cache"}) {
+    const HitRates rates = Measure(mod);
+    std::printf("%-16s  %-12.3f  %-16.3f\n", mod, rates.zipf_only,
+                rates.zipf_with_scans);
+  }
+  std::printf(
+      "\nExpectation: comparable on a pure Zipf stream; the adaptive policy\n"
+      "holds its hit rate when sequential scans pollute the cache, while\n"
+      "LRU evicts its hot set (the paper's motivation for pluggable,\n"
+      "'learned' eviction LabMods).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation — the from-scratch LZSS compressor behind the Compression
+// LabMod: throughput and ratio across corpus shapes (the cost model's
+// 'zlib-class' assumption is sanity-checked against these numbers).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "labmods/lz77.h"
+
+namespace labstor::labmods {
+namespace {
+
+std::vector<uint8_t> MakeCorpus(int kind, size_t size) {
+  std::vector<uint8_t> data(size);
+  Rng rng(99);
+  switch (kind) {
+    case 0:  // zeros (best case)
+      break;
+    case 1:  // periodic scientific-ish records
+      for (size_t i = 0; i < size; ++i) data[i] = static_cast<uint8_t>(i % 64);
+      break;
+    case 2:  // text-like: skewed byte distribution
+      for (size_t i = 0; i < size; ++i) {
+        data[i] = static_cast<uint8_t>('a' + rng.Zipf(26, 0.9));
+      }
+      break;
+    case 3:  // incompressible
+      for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+      break;
+    default:
+      break;
+  }
+  return data;
+}
+
+const char* CorpusName(int kind) {
+  switch (kind) {
+    case 0: return "zeros";
+    case 1: return "periodic";
+    case 2: return "text";
+    case 3: return "random";
+  }
+  return "?";
+}
+
+void BM_Lz77Compress(benchmark::State& state) {
+  const auto corpus = MakeCorpus(static_cast<int>(state.range(0)), 1 << 20);
+  size_t compressed_size = 0;
+  for (auto _ : state) {
+    const auto out = Lz77Compress(corpus);
+    compressed_size = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+  state.counters["ratio"] =
+      static_cast<double>(compressed_size) / static_cast<double>(corpus.size());
+  state.SetLabel(CorpusName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Lz77Compress)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Lz77Decompress(benchmark::State& state) {
+  const auto corpus = MakeCorpus(static_cast<int>(state.range(0)), 1 << 20);
+  const auto compressed = Lz77Compress(corpus);
+  for (auto _ : state) {
+    auto out = Lz77Decompress(compressed, corpus.size());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+  state.SetLabel(CorpusName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Lz77Decompress)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace labstor::labmods
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// E10 — Fig. 9(c): Filebench cloud workloads on NVMe.
+//
+// varmail / webserver / webproxy / fileserver (default-config op
+// mixes) run with 8 threads over EXT4/XFS/F2FS and the three LabFS
+// stacks (All / Min / D), Runtime with 8 workers.
+//
+// Paper shape: LabFS wins big on the metadata/fsync-heavy mixes (up to
+// ~2.5x on varmail-like), modestly on read-heavy ones, and roughly
+// ties on fileserver, whose 1MB transfers are media-bound.
+#include "bench/common.h"
+#include "common/logging.h"
+#include "workload/filebench.h"
+
+namespace labstor::bench {
+namespace {
+
+constexpr uint32_t kThreads = 8;
+constexpr uint64_t kIterations = 120;
+
+double KernelOps(workload::FilebenchKind kind, kernelsim::KfsKind fs) {
+  sim::Environment env;
+  simdev::SimDevice device(&env, simdev::DeviceParams::NvmeP3700(4ull << 30));
+  KernelFsTarget target(env, device, fs);
+  PrepopulateFs(env, target, kThreads, 16 * 1024);
+  return workload::RunFilebench(env, target, kind, kThreads, kIterations)
+      .OpsPerSec();
+}
+
+double LabOps(workload::FilebenchKind kind, const std::string& flavor) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  if (!devices.Create(simdev::DeviceParams::NvmeP3700(4ull << 30)).ok()) {
+    std::abort();
+  }
+  core::SimRuntime rt(env, devices, /*workers=*/8);
+  std::string yaml;
+  if (flavor == "labfs_all") {
+    yaml = LabAllFsStack("fs::/fb", "f9c");
+  } else if (flavor == "labfs_min") {
+    yaml = LabMinFsStack("fs::/fb", "f9c");
+  } else {
+    yaml = LabDFsStack("fs::/fb", "f9c");
+  }
+  auto stack = rt.MountYaml(yaml);
+  if (!stack.ok()) {
+    std::fprintf(stderr, "%s\n", stack.status().ToString().c_str());
+    std::abort();
+  }
+  core::RoundRobinOrchestrator rr;
+  std::vector<core::QueueLoad> loads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    rt.RegisterQueue(t, 10 * sim::kUs);
+    loads.push_back(core::QueueLoad{t, 10 * sim::kUs, 1});
+  }
+  rt.ApplyAssignment(rr.Rebalance(loads, 8));
+  StackFsTarget target(rt, **stack, "fs::/fb");
+  PrepopulateFs(env, target, kThreads, 16 * 1024);
+  return workload::RunFilebench(env, target, kind, kThreads, kIterations)
+      .OpsPerSec();
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main() {
+  labstor::Logger::Get().set_level(labstor::LogLevel::kWarn);
+  using namespace labstor::bench;
+  using labstor::kernelsim::KfsKind;
+  using labstor::workload::FilebenchKind;
+  PrintHeader("Fig 9(c) — Filebench throughput (iterations/sec), NVMe");
+  Table table({"workload", "ext4", "xfs", "f2fs", "labfs_all", "labfs_min",
+               "labfs_d", "best-lab vs best-kfs"});
+  for (const FilebenchKind kind :
+       {FilebenchKind::kVarmail, FilebenchKind::kWebserver,
+        FilebenchKind::kWebproxy, FilebenchKind::kFileserver}) {
+    const double ext4 = KernelOps(kind, KfsKind::kExt4);
+    const double xfs = KernelOps(kind, KfsKind::kXfs);
+    const double f2fs = KernelOps(kind, KfsKind::kF2fs);
+    const double all = LabOps(kind, "labfs_all");
+    const double min = LabOps(kind, "labfs_min");
+    const double d = LabOps(kind, "labfs_d");
+    const double best_k = std::max({ext4, xfs, f2fs});
+    const double best_l = std::max({all, min, d});
+    table.AddRow({std::string(FilebenchKindName(kind)), Fmt("%.0f", ext4),
+                  Fmt("%.0f", xfs), Fmt("%.0f", f2fs), Fmt("%.0f", all),
+                  Fmt("%.0f", min), Fmt("%.0f", d),
+                  Fmt("%.2fx", best_l / best_k)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: LabFS stacks lead markedly on metadata-heavy mixes\n"
+      "(varmail/webproxy, up to ~2.5x) by cutting context switches and path\n"
+      "length; fileserver is the exception — 1MB transfers are media-bound,\n"
+      "so the stacks roughly tie.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E9 — Fig. 9(b): LABIOS distributed object store workers.
+//
+// A LABIOS worker persists 8KB "labels". Backends: kernel filesystems
+// (each label = open-seek-write-close on ext4/xfs/f2fs) vs LabKVS
+// stacks (single put), with and without permissions, sync and async.
+// Devices: NVMe and emulated PMEM, single worker thread (as the
+// paper).
+//
+// Paper shape: filesystem backends trail LabKVS by >=12% (4 syscalls
+// vs 1 op); relaxing access control adds up to ~16% more.
+#include "bench/common.h"
+#include "common/logging.h"
+#include "workload/labios.h"
+
+namespace labstor::bench {
+namespace {
+
+constexpr uint64_t kLabels = 3000;
+constexpr uint64_t kLabelSize = 8 * 1024;
+
+double KernelLabelsPerSec(const simdev::DeviceParams& params,
+                          kernelsim::KfsKind kind) {
+  sim::Environment env;
+  simdev::SimDevice device(&env, params);
+  KernelLabelTarget target(env, device, kind);
+  return workload::RunLabiosWorker(env, target, 1, kLabels, kLabelSize)
+      .LabelsPerSec();
+}
+
+double LabKvsLabelsPerSec(const simdev::DeviceParams& params,
+                          bool with_permissions, bool sync) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  simdev::DeviceParams p = params;
+  p.name = "dev9b";
+  if (!devices.Create(p).ok()) std::abort();
+  core::SimRuntime rt(env, devices, /*workers=*/1);  // paper: 1 runtime thread
+  auto stack = rt.MountYaml(LabKvsStack("kvs::/labios", "l9b",
+                                        with_permissions, sync, "dev9b"));
+  if (!stack.ok()) {
+    std::fprintf(stderr, "%s\n", stack.status().ToString().c_str());
+    std::abort();
+  }
+  rt.RegisterQueue(0, 5 * sim::kUs);
+  StackLabelTarget target(rt, **stack, "kvs::/labios");
+  return workload::RunLabiosWorker(env, target, 1, kLabels, kLabelSize)
+      .LabelsPerSec();
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main() {
+  labstor::Logger::Get().set_level(labstor::LogLevel::kWarn);
+  using namespace labstor::bench;
+  using labstor::kernelsim::KfsKind;
+  PrintHeader("Fig 9(b) — LABIOS worker throughput (8KB labels/sec)");
+  Table table({"backend", "nvme", "pmem"});
+  const auto nvme = labstor::simdev::DeviceParams::NvmeP3700(2ull << 30);
+  const auto pmem = labstor::simdev::DeviceParams::PmemEmulated(2ull << 30);
+  const auto row = [&](const std::string& name, double n, double p) {
+    table.AddRow({name, Fmt("%.0f", n), Fmt("%.0f", p)});
+  };
+  row("ext4 (open-seek-write-close)", KernelLabelsPerSec(nvme, KfsKind::kExt4),
+      KernelLabelsPerSec(pmem, KfsKind::kExt4));
+  row("xfs", KernelLabelsPerSec(nvme, KfsKind::kXfs),
+      KernelLabelsPerSec(pmem, KfsKind::kXfs));
+  row("f2fs", KernelLabelsPerSec(nvme, KfsKind::kF2fs),
+      KernelLabelsPerSec(pmem, KfsKind::kF2fs));
+  row("labkvs+perms (centralized)",
+      LabKvsLabelsPerSec(nvme, true, false), LabKvsLabelsPerSec(pmem, true, false));
+  row("labkvs (centralized)",
+      LabKvsLabelsPerSec(nvme, false, false), LabKvsLabelsPerSec(pmem, false, false));
+  row("labkvs (minimal/sync)",
+      LabKvsLabelsPerSec(nvme, false, true), LabKvsLabelsPerSec(pmem, false, true));
+  table.Print();
+  std::printf(
+      "\nPaper shape: filesystem backends are >=12%% slower than LabKVS (the\n"
+      "POSIX translation costs 4 syscalls per label vs a single put);\n"
+      "relaxing access control / decentralizing buys up to ~16%% more.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E6 — Fig. 7: metadata throughput (FxMark create-intensive).
+//
+// Client threads (1..24) create files as fast as each filesystem
+// admits. Baselines: EXT4 / XFS / F2FS models (journal/AG locking).
+// LabStor: LabFS-All (async + permissions), LabFS-Min (async), and
+// LabFS-D (sync, decentralized), Runtime with 16 workers.
+//
+// Paper shape: LabFS configs outperform the kernel filesystems by up
+// to ~3x single-threaded and keep scaling (sharded hashmap, per-worker
+// allocator), while the kernel FSes flatten on their locks. Dropping
+// permissions buys a few percent; going sync (no IPC) buys ~20% more.
+#include "bench/common.h"
+#include "common/logging.h"
+#include "workload/fxmark.h"
+
+namespace labstor::bench {
+namespace {
+
+constexpr uint64_t kFilesPerThread = 600;
+
+double KernelOpsPerSec(kernelsim::KfsKind kind, uint32_t threads) {
+  sim::Environment env;
+  simdev::SimDevice device(&env, simdev::DeviceParams::NvmeP3700(1ull << 30));
+  KernelFsTarget target(env, device, kind);
+  return workload::RunFxmarkCreate(env, target, threads, kFilesPerThread)
+      .OpsPerSec();
+}
+
+double LabOpsPerSec(const std::string& flavor, uint32_t threads) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  if (!devices.Create(simdev::DeviceParams::NvmeP3700(2ull << 30)).ok()) {
+    std::abort();
+  }
+  core::SimRuntime rt(env, devices, /*workers=*/16);
+  std::string yaml;
+  if (flavor == "labfs_all") {
+    yaml = LabAllFsStack("fs::/meta", "m7");
+  } else if (flavor == "labfs_min") {
+    yaml = LabMinFsStack("fs::/meta", "m7");
+  } else {
+    yaml = LabDFsStack("fs::/meta", "m7");
+  }
+  auto stack = rt.MountYaml(yaml);
+  if (!stack.ok()) {
+    std::fprintf(stderr, "%s\n", stack.status().ToString().c_str());
+    std::abort();
+  }
+  core::RoundRobinOrchestrator rr;
+  std::vector<core::QueueLoad> loads;
+  for (uint32_t t = 0; t < threads; ++t) {
+    rt.RegisterQueue(t, 8 * sim::kUs);
+    loads.push_back(core::QueueLoad{t, 8 * sim::kUs, 1});
+  }
+  rt.ApplyAssignment(rr.Rebalance(loads, 16));
+  StackFsTarget target(rt, **stack, "fs::/meta");
+  return workload::RunFxmarkCreate(env, target, threads, kFilesPerThread)
+      .OpsPerSec();
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main() {
+  labstor::Logger::Get().set_level(labstor::LogLevel::kWarn);
+  using namespace labstor::bench;
+  PrintHeader("Fig 7 — metadata throughput (file creates/sec), NVMe");
+  Table table({"threads", "ext4", "xfs", "f2fs", "labfs_all", "labfs_min",
+               "labfs_d"});
+  for (const uint32_t threads : {1u, 2u, 4u, 8u, 16u, 24u}) {
+    std::vector<std::string> row{std::to_string(threads)};
+    row.push_back(Fmt("%.0f", KernelOpsPerSec(labstor::kernelsim::KfsKind::kExt4,
+                                              threads)));
+    row.push_back(
+        Fmt("%.0f", KernelOpsPerSec(labstor::kernelsim::KfsKind::kXfs, threads)));
+    row.push_back(Fmt(
+        "%.0f", KernelOpsPerSec(labstor::kernelsim::KfsKind::kF2fs, threads)));
+    row.push_back(Fmt("%.0f", LabOpsPerSec("labfs_all", threads)));
+    row.push_back(Fmt("%.0f", LabOpsPerSec("labfs_min", threads)));
+    row.push_back(Fmt("%.0f", LabOpsPerSec("labfs_d", threads)));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: all LabFS configs above the kernel FSes (up to ~3x at\n"
+      "one thread) and scaling with threads; ext4/f2fs flatten on a single\n"
+      "lock, xfs scales to its 4 allocation groups then flattens; -perms\n"
+      "adds a few %%; sync execution (no IPC) adds ~20%% more.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E3 — Fig. 5(a): Work Orchestrator dynamic CPU allocation.
+//
+// Each client thread random-writes its quota in 4KB requests through a
+// NoOp + KernelDriver LabStack on NVMe; client count sweeps 1..16.
+// Worker configurations: 1 worker, 8 workers, dynamic policy.
+// Reported: IOPS and average busy cores.
+//
+// Paper shape: one worker saturates around 4 clients (IOPS drop vs the
+// 8-worker config); 8 workers reach max IOPS but burn ~25% more CPU
+// than dynamic, which matches their IOPS with ~4 cores at high client
+// counts.
+#include "bench/common.h"
+#include "common/logging.h"
+#include "workload/fio.h"
+
+namespace labstor::bench {
+namespace {
+
+// Scaled from the paper's 1GB per client for event-count reasons; the
+// saturation point depends on rates, not totals.
+constexpr uint64_t kBytesPerClient = 48ull << 20;
+
+struct Sample {
+  double iops = 0;
+  double busy_cores = 0;
+};
+
+Sample RunOnce(uint32_t clients, const std::string& config) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  if (!devices.Create(simdev::DeviceParams::NvmeP3700(1ull << 30)).ok()) {
+    std::abort();
+  }
+  constexpr size_t kMaxWorkers = 8;
+  core::SimRuntime rt(env, devices, kMaxWorkers);
+  auto stack = rt.MountYaml(
+      "mount: blk::/cpu\n"
+      "dag:\n"
+      "  - mod: noop_sched\n"
+      "    uuid: sched_cpu\n"
+      "    outputs: [drv_cpu]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_cpu\n");
+  if (!stack.ok()) std::abort();
+  // EstProcessingTime per request: dispatch + NoOp + driver + CQE
+  // handling (~7µs, what the mods report for this stack).
+  for (uint32_t c = 0; c < clients; ++c) rt.RegisterQueue(c, 7 * sim::kUs);
+
+  std::unique_ptr<core::WorkOrchestrator> policy;
+  if (config == "1 worker") {
+    policy = std::make_unique<core::FixedOrchestrator>(1);
+  } else if (config == "8 workers") {
+    policy = std::make_unique<core::FixedOrchestrator>(8);
+  } else {
+    core::DynamicOrchestrator::Options opts;
+    opts.epoch_budget_ns = 10 * sim::kMs;  // = the rebalance period
+    policy = std::make_unique<core::DynamicOrchestrator>(opts);
+  }
+  rt.StartRebalancer(policy.get(), 10 * sim::kMs);
+
+  StackBlockTarget target(rt, **stack);
+  workload::FioJob job;
+  job.op = simdev::IoOp::kWrite;
+  job.random = true;
+  job.request_size = 4096;
+  job.threads = clients;
+  job.iodepth = 4;
+  job.bytes_per_thread = kBytesPerClient;
+  job.span_per_thread = 1ull << 26;
+  const workload::FioStats stats = workload::RunFio(env, target, job);
+
+  Sample sample;
+  sample.iops = stats.Iops();
+  sample.busy_cores = rt.AvgBusyCores(stats.makespan);
+  return sample;
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main() {
+  labstor::Logger::Get().set_level(labstor::LogLevel::kWarn);
+  using namespace labstor::bench;
+  PrintHeader("Fig 5(a) — dynamic CPU allocation (4KB random writes, NVMe)");
+  Table table({"clients", "config", "IOPS", "avg busy cores"});
+  for (const uint32_t clients : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    for (const std::string config : {"1 worker", "8 workers", "dynamic"}) {
+      const Sample s = RunOnce(clients, config);
+      table.AddRow({std::to_string(clients), config, Fmt("%.0f", s.iops),
+                    Fmt("%.2f", s.busy_cores)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: 1 worker saturates beyond ~2-4 clients (IOPS gap vs 8\n"
+      "workers); 8 workers hit max IOPS at higher CPU cost; dynamic matches\n"
+      "max IOPS while using roughly half the cores.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// E4 — Fig. 5(b): Work Orchestrator request partitioning.
+//
+// Two LabStacks share the Runtime: a latency-sensitive stack (LabFS +
+// NoOp + KernelDriver; 8 app threads creating files) and a compressor
+// stack (compress + NoOp + KernelDriver; 8 app threads writing 32MB
+// requests). Worker count sweeps 1..8 under round-robin vs dynamic
+// orchestration. Reported: average L-app latency and C-app bandwidth.
+//
+// Paper shape: RR gives the best bandwidth but destroys L latency
+// (creates wait behind ~20ms compressions); dynamic isolates L queues
+// onto dedicated workers (µs latency) at a bandwidth cost that shrinks
+// from ~30% to ~6% as workers grow.
+#include "bench/common.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+
+namespace labstor::bench {
+namespace {
+
+constexpr uint32_t kAppThreads = 8;
+constexpr uint64_t kCreatesPerThread = 400;   // paper: 5000 (scaled)
+constexpr uint64_t kCReqSize = 32ull << 20;   // 32MB, as the paper
+constexpr uint64_t kCReqsPerThread = 12;      // paper: 4000 (scaled)
+
+struct Sample {
+  double l_avg_us = 0;
+  double l_p99_us = 0;
+  double c_bandwidth_mbps = 0;
+};
+
+sim::Task<void> LClient(sim::Environment& env, core::SimRuntime& rt,
+                        core::Stack& stack, uint32_t qid, Histogram* lat) {
+  for (uint64_t i = 0; i < kCreatesPerThread; ++i) {
+    ipc::Request req;
+    req.op = ipc::OpCode::kCreate;
+    req.flags = ipc::kOpenCreate;
+    req.client_pid = qid;
+    req.SetPath("fs::/l/t" + std::to_string(qid) + "_" + std::to_string(i));
+    const sim::Time t0 = env.now();
+    (void)co_await rt.Execute(qid, stack, req);
+    lat->Record(env.now() - t0);
+  }
+}
+
+sim::Task<void> CClient(sim::Environment& env, core::SimRuntime& rt,
+                        core::Stack& stack, uint32_t qid, uint64_t* done_at) {
+  for (uint64_t i = 0; i < kCReqsPerThread; ++i) {
+    ipc::Request req;
+    req.op = ipc::OpCode::kBlkWrite;
+    req.client_pid = qid;
+    req.offset = (static_cast<uint64_t>(qid) * kCReqsPerThread + i) * kCReqSize;
+    req.length = kCReqSize;
+    (void)co_await rt.Execute(qid, stack, req);
+  }
+  *done_at = env.now();
+}
+
+Sample RunOnce(size_t workers, bool dynamic) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  if (!devices.Create(simdev::DeviceParams::NvmeP3700(1ull << 30)).ok()) {
+    std::abort();
+  }
+  core::SimRuntime rt(env, devices, workers);
+  auto l_stack = rt.MountYaml(LabMinFsStack("fs::/l", "l5b"));
+  auto c_stack = rt.MountYaml(
+      "mount: blk::/c\n"
+      "dag:\n"
+      "  - mod: compress\n"
+      "    uuid: zip_5b\n"
+      "    outputs: [sched_c5b]\n"
+      "  - mod: noop_sched\n"
+      "    uuid: sched_c5b\n"
+      "    outputs: [drv_c5b]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_c5b\n");
+  if (!l_stack.ok() || !c_stack.ok()) std::abort();
+
+  // L queues: ~µs processing. C queues: ~20ms compressions.
+  for (uint32_t t = 0; t < kAppThreads; ++t) {
+    rt.RegisterQueue(t, 8 * sim::kUs);                 // L
+    rt.RegisterQueue(100 + t, 20 * sim::kMs);          // C
+  }
+  std::unique_ptr<core::WorkOrchestrator> policy;
+  if (dynamic) {
+    core::DynamicOrchestrator::Options opts;
+    opts.epoch_budget_ns = 10 * sim::kMs;  // = the rebalance period
+    policy = std::make_unique<core::DynamicOrchestrator>(opts);
+  } else {
+    policy = std::make_unique<core::RoundRobinOrchestrator>();
+  }
+  rt.StartRebalancer(policy.get(), 10 * sim::kMs);
+
+  Histogram l_latency;
+  std::vector<uint64_t> c_done(kAppThreads, 0);
+  for (uint32_t t = 0; t < kAppThreads; ++t) {
+    env.Spawn(LClient(env, rt, **l_stack, t, &l_latency));
+    env.Spawn(CClient(env, rt, **c_stack, 100 + t, &c_done[t]));
+  }
+  env.Run();
+
+  Sample sample;
+  sample.l_avg_us = l_latency.Mean() / 1000.0;
+  sample.l_p99_us = static_cast<double>(l_latency.Percentile(99)) / 1000.0;
+  uint64_t c_end = 0;
+  for (const uint64_t t : c_done) c_end = std::max(c_end, t);
+  const double c_bytes =
+      static_cast<double>(kAppThreads) * kCReqsPerThread * kCReqSize;
+  sample.c_bandwidth_mbps = c_bytes / (static_cast<double>(c_end) / 1e9) / 1e6;
+  return sample;
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main() {
+  labstor::Logger::Get().set_level(labstor::LogLevel::kWarn);
+  using namespace labstor::bench;
+  PrintHeader(
+      "Fig 5(b) — request partitioning: L-app latency vs C-app bandwidth");
+  Table table({"workers", "policy", "L avg (us)", "L p99 (us)", "C BW (MB/s)"});
+  for (const size_t workers : {1u, 2u, 4u, 8u}) {
+    for (const bool dynamic : {false, true}) {
+      const Sample s = RunOnce(workers, dynamic);
+      table.AddRow({std::to_string(workers), dynamic ? "dynamic" : "RR",
+                    Fmt("%.1f", s.l_avg_us), Fmt("%.1f", s.l_p99_us),
+                    Fmt("%.0f", s.c_bandwidth_mbps)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: RR has the best bandwidth but ms-scale L latency\n"
+      "(head-of-line blocking behind ~20ms compressions); dynamic keeps L\n"
+      "latency in µs, with a bandwidth penalty that shrinks as workers\n"
+      "increase (~30%% at few workers, ~6%% at 8).\n");
+  return 0;
+}

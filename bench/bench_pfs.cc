@@ -1,0 +1,73 @@
+// E8 — Fig. 9(a): a parallel filesystem over customized LabStacks.
+//
+// The mini-PFS (OrangeFS-like: one NVMe metadata server, striped data
+// servers) runs VPIC (write phase) and BD-CATS (read phase) while the
+// storage nodes' local I/O stacks vary: ext4 (kernel path) vs
+// LabFS-All vs LabFS-Min. Data-server media sweeps HDD/SSD/NVMe.
+//
+// Paper shape: 6-12% end-to-end improvement from the faster metadata
+// path, growing as the data tier gets faster; on HDD the gain is
+// swallowed by seeks.
+#include "bench/common.h"
+#include "common/logging.h"
+#include "pfs/mini_pfs.h"
+#include "workload/vpic.h"
+
+namespace labstor::bench {
+namespace {
+
+labstor::workload::VpicResult RunOnce(const simdev::DeviceParams& data_device,
+                                      pfs::LocalStackKind local) {
+  sim::Environment env;
+  pfs::PfsConfig config;
+  config.num_data_servers = 4;
+  config.data_device = data_device;
+  config.local_stack = local;
+  pfs::MiniPfs fs(env, config);
+  // Scaled from the paper's 640 procs x 16 steps x ~16MB (165GB): the
+  // metadata-to-data ratio per byte is identical.
+  workload::VpicConfig vpic;
+  vpic.processes = 64;
+  vpic.timesteps = 4;
+  vpic.bytes_per_step = 4ull << 20;
+  return workload::RunVpicThenBdcats(env, fs, vpic);
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main() {
+  labstor::Logger::Get().set_level(labstor::LogLevel::kWarn);
+  using namespace labstor::bench;
+  using labstor::pfs::LocalStackKind;
+  PrintHeader("Fig 9(a) — PFS (VPIC write + BD-CATS read) over LabStacks");
+  Table table({"data tier", "local stack", "VPIC (s)", "BD-CATS (s)",
+               "speedup vs ext4"});
+  const std::vector<std::pair<std::string, labstor::simdev::DeviceParams>> tiers = {
+      {"hdd", labstor::simdev::DeviceParams::SasHdd(8ull << 30)},
+      {"sata_ssd", labstor::simdev::DeviceParams::SataSsd(8ull << 30)},
+      {"nvme", labstor::simdev::DeviceParams::NvmeP3700(8ull << 30)},
+  };
+  for (const auto& [tier, params] : tiers) {
+    double ext4_total = 0;
+    for (const LocalStackKind local :
+         {LocalStackKind::kExt4, LocalStackKind::kLabFsAll,
+          LocalStackKind::kLabFsMin}) {
+      const auto result = RunOnce(params, local);
+      const double write_s = static_cast<double>(result.write_makespan) / 1e9;
+      const double read_s = static_cast<double>(result.read_makespan) / 1e9;
+      const double total = write_s + read_s;
+      if (local == LocalStackKind::kExt4) ext4_total = total;
+      table.AddRow({tier, std::string(LocalStackKindName(local)),
+                    Fmt("%.2f", write_s), Fmt("%.2f", read_s),
+                    Fmt("%.3fx", ext4_total / total)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: LabFS local stacks buy 6-12%% end-to-end; the benefit\n"
+      "grows with faster data tiers (HDD ~flat, NVMe largest) because the\n"
+      "metadata server's software path stops hiding behind media time.\n"
+      "(VPIC scaled from 640 procs/165GB to 64 procs/1GB.)\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// E7 — Fig. 8 + Table II: I/O scheduler policies, in-kernel vs LabStor.
+//
+// Two FIO apps on one NVMe: T-app (8 threads, 64KB random writes,
+// iodepth 32) and L-app (8 threads, 4KB random writes, iodepth 1).
+// Schedulers: NoOp (origin-core queue mapping) and blk-switch
+// (load-aware, size-classed), each as the in-kernel implementation and
+// as a LabStor LabMod. L-app average and p99 latency are reported for
+// isolated and colocated runs.
+//
+// Paper shape: isolated, NoOp == blk-switch (~110µs; Lab ~5% lower).
+// Colocated, Linux-NoOp explodes (~945µs — head-of-line blocking
+// behind 64KB bursts); blk-switch restores latency; Lab-blk beats
+// Linux-blk by ~20% by skipping the kernel path.
+#include "bench/common.h"
+#include "common/logging.h"
+#include "workload/fio.h"
+
+namespace labstor::bench {
+namespace {
+
+constexpr uint32_t kQueues = 8;
+constexpr sim::Time kRunFor = 80 * sim::kMs;
+
+struct Sample {
+  double l_avg_us = 0;
+  double l_p99_us = 0;
+  double t_bw_mbps = 0;
+};
+
+enum class Impl { kLinux, kLab };
+
+Sample RunOnce(Impl impl, SchedPolicy policy, bool colocated) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  simdev::DeviceParams params = simdev::DeviceParams::NvmeP3700(4ull << 30);
+  params.num_hw_queues = kQueues;
+  // NVMe arbitrates round-robin across hardware queues; one service
+  // slot per queue approximates that fairness (the stock preset's
+  // 4 FIFO slots would let the T-app's backlog head-of-line block L
+  // requests *inside* the device, hiding the scheduler effect the
+  // figure isolates).
+  params.device_parallelism = kQueues;
+  auto created = devices.Create(params);
+  if (!created.ok()) std::abort();
+  simdev::SimDevice& device = **created;
+
+  std::unique_ptr<core::SimRuntime> rt;
+  std::unique_ptr<workload::BlockTarget> target;
+  core::Stack* stack = nullptr;
+  if (impl == Impl::kLinux) {
+    target = std::make_unique<KernelSchedTarget>(env, device, policy, kQueues);
+  } else {
+    rt = std::make_unique<core::SimRuntime>(env, devices, /*workers=*/8);
+    const char* sched_yaml =
+        policy == SchedPolicy::kNoOp
+            ? "mount: blk::/sched\n"
+              "dag:\n"
+              "  - mod: noop_sched\n"
+              "    uuid: sched_f8\n"
+              "    params:\n"
+              "      num_queues: 8\n"
+              "    outputs: [drv_f8]\n"
+              "  - mod: kernel_driver\n"
+              "    uuid: drv_f8\n"
+            : "mount: blk::/sched\n"
+              "dag:\n"
+              "  - mod: blk_switch_sched\n"
+              "    uuid: sched_f8\n"
+              "    params:\n"
+              "      num_queues: 8\n"
+              "      device: nvme0\n"
+              "    outputs: [drv_f8]\n"
+              "  - mod: kernel_driver\n"
+              "    uuid: drv_f8\n";
+    auto mounted = rt->MountYaml(sched_yaml);
+    if (!mounted.ok()) {
+      std::fprintf(stderr, "%s\n", mounted.status().ToString().c_str());
+      std::abort();
+    }
+    stack = *mounted;
+    core::RoundRobinOrchestrator rr;
+    std::vector<core::QueueLoad> loads;
+    for (uint32_t t = 0; t < 16; ++t) {
+      rt->RegisterQueue(t, 5 * sim::kUs);
+      loads.push_back(core::QueueLoad{t, 5 * sim::kUs, 1});
+    }
+    rt->ApplyAssignment(rr.Rebalance(loads, 8));
+    target = std::make_unique<StackBlockTarget>(*rt, *stack);
+  }
+
+  // L-app: threads 0..7. T-app: threads 8..15 (NoOp maps by thread id,
+  // so L thread i and T thread i+8 collide on queue i%8 — the paper's
+  // multi-tenant interference).
+  workload::FioJob l_job;
+  l_job.op = simdev::IoOp::kWrite;
+  l_job.request_size = 4096;
+  l_job.threads = 8;
+  l_job.iodepth = 1;
+  l_job.duration = kRunFor;
+  l_job.span_per_thread = 1 << 28;
+  workload::FioStats l_stats;
+
+  workload::FioJob t_job = l_job;
+  t_job.request_size = 64 * 1024;
+  t_job.iodepth = 32;
+  workload::FioStats t_stats;
+
+  // The generators see one target; thread ids separate the apps. Wrap
+  // to offset T-app thread ids.
+  class OffsetTarget final : public workload::BlockTarget {
+   public:
+    OffsetTarget(workload::BlockTarget& inner, uint32_t offset)
+        : inner_(inner), offset_(offset) {}
+    sim::Task<void> Io(simdev::IoOp op, uint32_t thread, uint64_t off,
+                       uint64_t len) override {
+      return inner_.Io(op, thread + offset_, off, len);
+    }
+
+   private:
+    workload::BlockTarget& inner_;
+    uint32_t offset_;
+  } t_target(*target, 8);
+
+  workload::SpawnFio(env, *target, l_job, &l_stats);
+  if (colocated) workload::SpawnFio(env, t_target, t_job, &t_stats);
+  const sim::Time begin = env.now();
+  const sim::Time end = env.Run();
+  l_stats.makespan = end - begin;
+  t_stats.makespan = end - begin;
+
+  Sample sample;
+  sample.l_avg_us = l_stats.latency.Mean() / 1000.0;
+  sample.l_p99_us = static_cast<double>(l_stats.latency.Percentile(99)) / 1000.0;
+  sample.t_bw_mbps = t_stats.BandwidthMBps();
+  return sample;
+}
+
+std::string Name(Impl impl, SchedPolicy policy) {
+  std::string name = impl == Impl::kLinux ? "Linux-" : "Lab-";
+  name += policy == SchedPolicy::kNoOp ? "NoOp" : "Blk";
+  return name;
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main() {
+  labstor::Logger::Get().set_level(labstor::LogLevel::kWarn);
+  using namespace labstor::bench;
+  PrintHeader("Fig 8 / Table II — I/O schedulers: L-app latency");
+  Table table({"sched", "isolated avg (us)", "isolated p99 (us)",
+               "colocated avg (us)", "colocated p99 (us)", "T BW (MB/s)"});
+  for (const Impl impl : {Impl::kLinux, Impl::kLab}) {
+    for (const SchedPolicy policy : {SchedPolicy::kNoOp, SchedPolicy::kBlkSwitch}) {
+      const Sample isolated = RunOnce(impl, policy, /*colocated=*/false);
+      const Sample colocated = RunOnce(impl, policy, /*colocated=*/true);
+      table.AddRow({Name(impl, policy), Fmt("%.1f", isolated.l_avg_us),
+                    Fmt("%.1f", isolated.l_p99_us),
+                    Fmt("%.1f", colocated.l_avg_us),
+                    Fmt("%.1f", colocated.l_p99_us),
+                    Fmt("%.0f", colocated.t_bw_mbps)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: isolated, all schedulers sit near ~110µs (Lab a touch\n"
+      "lower). Colocated, Linux-NoOp suffers head-of-line blocking (~9x\n"
+      "latency); blk-switch recovers it; the Lab variants undercut their\n"
+      "Linux counterparts by skipping kernel crossings (~20%% on blk).\n");
+  return 0;
+}

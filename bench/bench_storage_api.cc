@@ -1,0 +1,103 @@
+// E5 — Fig. 6: storage API performance.
+//
+// Single-threaded FIO-style writes at 4KB and 128KB through every
+// route the paper compares — POSIX sync, POSIX AIO, libaio, io_uring,
+// and LabStor's KernelDriver / SPDK / DAX LabMod paths — across HDD,
+// SATA SSD, NVMe, and emulated PMEM. IOPS are normalized per
+// (device, size) cell to the best performer, as in the figure.
+//
+// Paper shape (4KB NVMe): KernelDriver ≥15% over the best kernel API;
+// SPDK another ~12% over KernelDriver; POSIX AIO worst (60-70%
+// overhead); on HDD everything ties; at 128KB the spread shrinks to a
+// few percent.
+#include "bench/common.h"
+#include "common/logging.h"
+#include "workload/fio.h"
+
+namespace labstor::bench {
+namespace {
+
+using kernelsim::ApiKind;
+
+double RunIops(const simdev::DeviceParams& params, ApiKind api,
+               uint64_t request_size) {
+  sim::Environment env;
+  simdev::SimDevice device(&env, params);
+  ApiBlockTarget target(env, device, api);
+  workload::FioJob job;
+  job.op = simdev::IoOp::kWrite;
+  job.random = true;
+  job.request_size = request_size;
+  job.threads = 1;
+  job.iodepth = 1;
+  job.bytes_per_thread = 400 * request_size;
+  job.span_per_thread = params.capacity_bytes / 2;
+  return workload::RunFio(env, target, job).Iops();
+}
+
+bool ApiApplies(ApiKind api, simdev::DeviceKind device) {
+  if (api == ApiKind::kLabSpdk) return device == simdev::DeviceKind::kNvme;
+  if (api == ApiKind::kLabDax) return device == simdev::DeviceKind::kPmem;
+  if (api == ApiKind::kLabKernelDriver) {
+    return device != simdev::DeviceKind::kPmem;  // PMEM uses DAX
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main() {
+  labstor::Logger::Get().set_level(labstor::LogLevel::kWarn);
+  using namespace labstor::bench;
+  using labstor::kernelsim::ApiKind;
+  using labstor::kernelsim::ApiKindName;
+
+  const std::vector<labstor::simdev::DeviceParams> devices = {
+      labstor::simdev::DeviceParams::SasHdd(1ull << 30),
+      labstor::simdev::DeviceParams::SataSsd(1ull << 30),
+      labstor::simdev::DeviceParams::NvmeP3700(1ull << 30),
+      labstor::simdev::DeviceParams::PmemEmulated(1ull << 30),
+  };
+  const std::vector<ApiKind> apis = {
+      ApiKind::kPosix,   ApiKind::kPosixAio,        ApiKind::kLibAio,
+      ApiKind::kIoUring, ApiKind::kLabKernelDriver, ApiKind::kLabSpdk,
+      ApiKind::kLabDax,
+  };
+
+  for (const uint64_t size : {4096ull, 128ull * 1024}) {
+    PrintHeader("Fig 6 — storage API performance, " +
+                std::string(size == 4096 ? "4KB" : "128KB") +
+                " writes (IOPS, normalized per device)");
+    Table table({"api", "hdd", "sata_ssd", "nvme", "pmem"});
+    // Collect raw IOPS, then normalize per device column.
+    std::vector<std::vector<double>> iops(apis.size(),
+                                          std::vector<double>(devices.size(), 0));
+    std::vector<double> best(devices.size(), 0);
+    for (size_t a = 0; a < apis.size(); ++a) {
+      for (size_t d = 0; d < devices.size(); ++d) {
+        if (!ApiApplies(apis[a], devices[d].kind)) continue;
+        iops[a][d] = RunIops(devices[d], apis[a], size);
+        best[d] = std::max(best[d], iops[a][d]);
+      }
+    }
+    for (size_t a = 0; a < apis.size(); ++a) {
+      std::vector<std::string> row{std::string(ApiKindName(apis[a]))};
+      for (size_t d = 0; d < devices.size(); ++d) {
+        if (iops[a][d] == 0) {
+          row.push_back("-");
+        } else {
+          row.push_back(Fmt("%.3f", iops[a][d] / best[d]));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nPaper shape: on NVMe 4KB, lab_kernel_driver beats the best kernel\n"
+      "API by >=15%% and lab_spdk adds ~12%% more; posix_aio trails by\n"
+      "60-70%%; HDD columns are flat (seek-bound); the 128KB table's spread\n"
+      "collapses to single digits.\n");
+  return 0;
+}

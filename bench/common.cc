@@ -1,0 +1,277 @@
+#include "bench/common.h"
+
+namespace labstor::bench {
+
+std::string LabAllFsStack(const std::string& mount, const std::string& tag,
+                          const std::string& device) {
+  return "mount: " + mount +
+         "\n"
+         "rules:\n"
+         "  exec_mode: async\n"
+         "dag:\n"
+         "  - mod: permissions\n"
+         "    uuid: perm_" + tag +
+         "\n"
+         "    outputs: [fs_" + tag +
+         "]\n"
+         "  - mod: labfs\n"
+         "    uuid: fs_" + tag +
+         "\n"
+         "    params:\n"
+         "      device: " + device +
+         "\n"
+         "      log_records_per_worker: 131072\n"
+         "    outputs: [lru_" + tag +
+         "]\n"
+         "  - mod: lru_cache\n"
+         "    uuid: lru_" + tag +
+         "\n"
+         "    outputs: [sched_" + tag +
+         "]\n"
+         "  - mod: noop_sched\n"
+         "    uuid: sched_" + tag +
+         "\n"
+         "    outputs: [drv_" + tag +
+         "]\n"
+         "  - mod: kernel_driver\n"
+         "    uuid: drv_" + tag +
+         "\n"
+         "    params:\n"
+         "      device: " + device + "\n";
+}
+
+std::string LabMinFsStack(const std::string& mount, const std::string& tag,
+                          const std::string& device) {
+  // Lab-Min = Lab-All minus the permissions gate (paper: "removes
+  // permissions"); caching and scheduling stay.
+  return "mount: " + mount +
+         "\n"
+         "rules:\n"
+         "  exec_mode: async\n"
+         "dag:\n"
+         "  - mod: labfs\n"
+         "    uuid: fs_" + tag +
+         "\n"
+         "    params:\n"
+         "      device: " + device +
+         "\n"
+         "      log_records_per_worker: 131072\n"
+         "    outputs: [lru_" + tag +
+         "]\n"
+         "  - mod: lru_cache\n"
+         "    uuid: lru_" + tag +
+         "\n"
+         "    outputs: [sched_" + tag +
+         "]\n"
+         "  - mod: noop_sched\n"
+         "    uuid: sched_" + tag +
+         "\n"
+         "    outputs: [drv_" + tag +
+         "]\n"
+         "  - mod: kernel_driver\n"
+         "    uuid: drv_" + tag +
+         "\n"
+         "    params:\n"
+         "      device: " + device + "\n";
+}
+
+std::string LabDFsStack(const std::string& mount, const std::string& tag,
+                        const std::string& device) {
+  // Lab-D = Lab-Min executing synchronously in the client.
+  return "mount: " + mount +
+         "\n"
+         "rules:\n"
+         "  exec_mode: sync\n"
+         "dag:\n"
+         "  - mod: labfs\n"
+         "    uuid: fs_" + tag +
+         "\n"
+         "    params:\n"
+         "      device: " + device +
+         "\n"
+         "      log_records_per_worker: 131072\n"
+         "    outputs: [lru_" + tag +
+         "]\n"
+         "  - mod: lru_cache\n"
+         "    uuid: lru_" + tag +
+         "\n"
+         "    outputs: [sched_" + tag +
+         "]\n"
+         "  - mod: noop_sched\n"
+         "    uuid: sched_" + tag +
+         "\n"
+         "    outputs: [drv_" + tag +
+         "]\n"
+         "  - mod: kernel_driver\n"
+         "    uuid: drv_" + tag +
+         "\n"
+         "    params:\n"
+         "      device: " + device + "\n";
+}
+
+std::string LabKvsStack(const std::string& mount, const std::string& tag,
+                        bool with_permissions, bool sync,
+                        const std::string& device) {
+  std::string yaml = "mount: " + mount +
+                     "\n"
+                     "rules:\n"
+                     "  exec_mode: " +
+                     (sync ? "sync" : "async") +
+                     "\n"
+                     "dag:\n";
+  if (with_permissions) {
+    yaml +=
+        "  - mod: permissions\n"
+        "    uuid: perm_" + tag +
+        "\n"
+        "    outputs: [kvs_" + tag + "]\n";
+  }
+  yaml += "  - mod: labkvs\n"
+          "    uuid: kvs_" + tag +
+          "\n"
+          "    params:\n"
+          "      device: " + device +
+          "\n"
+          "      log_records_per_worker: 131072\n"
+          "    outputs: [sched_" + tag +
+          "]\n"
+          "  - mod: noop_sched\n"
+          "    uuid: sched_" + tag +
+          "\n"
+          "    outputs: [drv_" + tag +
+          "]\n"
+          "  - mod: kernel_driver\n"
+          "    uuid: drv_" + tag +
+          "\n"
+          "    params:\n"
+          "      device: " + device + "\n";
+  return yaml;
+}
+
+sim::Task<void> KernelSchedTarget::Io(simdev::IoOp op, uint32_t thread,
+                                      uint64_t offset, uint64_t length) {
+  const sim::SoftwareCosts& c = sim::DefaultCosts();
+  // Kernel data path: syscall + block spine (the scheduler runs inside
+  // the block layer).
+  co_await env_.Delay(c.syscall + c.vfs_lookup + kernelsim::KernelBlockSpine(c) +
+                      2 * c.context_switch);
+  const uint32_t channel =
+      policy_ == SchedPolicy::kNoOp
+          ? kernelsim::NoOpPickQueue(thread, num_queues_)
+          : kernelsim::BlkSwitchPickQueue(device_, length, num_queues_);
+  if (op == simdev::IoOp::kWrite) {
+    co_await device_.WriteTimed(channel, offset, length);
+  } else {
+    co_await device_.ReadTimed(channel, offset, length);
+  }
+}
+
+sim::Task<void> StackBlockTarget::Io(simdev::IoOp op, uint32_t thread,
+                                     uint64_t offset, uint64_t length) {
+  ipc::Request req;
+  req.op = op == simdev::IoOp::kWrite ? ipc::OpCode::kBlkWrite
+                                      : ipc::OpCode::kBlkRead;
+  req.client_pid = thread;
+  req.offset = offset;
+  req.length = length;
+  (void)co_await rt_.Execute(/*qid=*/thread, stack_, req);
+}
+
+std::string StackFsTarget::CurrentPath(uint32_t thread) {
+  return mount_ + "/t" + std::to_string(thread) + "_f" +
+         std::to_string(threads_[thread % threads_.size()].create_seq);
+}
+
+sim::Task<void> StackFsTarget::Submit(uint32_t thread, ipc::OpCode op,
+                                      uint64_t offset, uint64_t length,
+                                      uint16_t flags) {
+  ipc::Request req;
+  req.op = op;
+  req.flags = flags;
+  req.client_pid = thread;
+  req.offset = offset;
+  req.length = length;
+  req.SetPath(CurrentPath(thread));
+  (void)co_await rt_.Execute(thread, stack_, req);
+}
+
+sim::Task<void> StackFsTarget::Create(uint32_t thread) {
+  // New rotating file per create (FxMark-style unique names).
+  ++threads_[thread % threads_.size()].create_seq;
+  return Submit(thread, ipc::OpCode::kCreate, 0, 0,
+                ipc::kOpenCreate | ipc::kOpenTrunc);
+}
+
+sim::Task<void> StackFsTarget::Open(uint32_t thread) {
+  return Submit(thread, ipc::OpCode::kOpen, 0, 0, 0);
+}
+
+sim::Task<void> StackFsTarget::Close(uint32_t thread) {
+  return Submit(thread, ipc::OpCode::kClose, 0, 0, 0);
+}
+
+sim::Task<void> StackFsTarget::Write(uint32_t thread, uint64_t offset,
+                                     uint64_t length) {
+  return Submit(thread, ipc::OpCode::kWrite, offset, length);
+}
+
+sim::Task<void> StackFsTarget::Read(uint32_t thread, uint64_t offset,
+                                    uint64_t length) {
+  return Submit(thread, ipc::OpCode::kRead, offset, length);
+}
+
+sim::Task<void> StackFsTarget::Fsync(uint32_t thread) {
+  return Submit(thread, ipc::OpCode::kFsync, 0, 0);
+}
+
+sim::Task<void> StackFsTarget::Unlink(uint32_t thread) {
+  return Submit(thread, ipc::OpCode::kUnlink, 0, 0);
+}
+
+namespace {
+sim::Task<void> PrepopulateOne(workload::FsTarget& fs, uint32_t thread,
+                               uint64_t bytes) {
+  co_await fs.Create(thread);
+  co_await fs.Write(thread, 0, bytes);
+  co_await fs.Close(thread);
+}
+}  // namespace
+
+void PrepopulateFs(sim::Environment& env, workload::FsTarget& fs,
+                   uint32_t threads, uint64_t bytes) {
+  for (uint32_t t = 0; t < threads; ++t) {
+    env.Spawn(PrepopulateOne(fs, t, bytes));
+  }
+  env.Run();
+}
+
+sim::Task<void> KernelLabelTarget::LoadLabel(uint32_t thread, uint64_t index,
+                                             uint64_t length) {
+  co_await fs_.Open();
+  co_await fs_.Read(thread % 31, index * length, length);
+  co_await fs_.Close();
+}
+
+sim::Task<void> StackLabelTarget::StoreLabel(uint32_t thread, uint64_t index,
+                                             uint64_t length) {
+  ipc::Request req;
+  req.op = ipc::OpCode::kPut;
+  req.client_pid = thread;
+  req.length = length;
+  req.SetPath(mount_ + "/label_" + std::to_string(thread) + "_" +
+              std::to_string(index));
+  (void)co_await rt_.Execute(thread, stack_, req);
+}
+
+sim::Task<void> StackLabelTarget::LoadLabel(uint32_t thread, uint64_t index,
+                                            uint64_t length) {
+  ipc::Request req;
+  req.op = ipc::OpCode::kGet;
+  req.client_pid = thread;
+  req.length = length;
+  req.SetPath(mount_ + "/label_" + std::to_string(thread) + "_" +
+              std::to_string(index));
+  (void)co_await rt_.Execute(thread, stack_, req);
+}
+
+}  // namespace labstor::bench

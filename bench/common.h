@@ -1,0 +1,241 @@
+// Shared bench infrastructure: table printing, standard LabStack
+// definitions, and adapters that plug each benchmark subject (kernel
+// API, kernel FS, LabStor stack) into the workload generators.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sim_runtime.h"
+#include "kernelsim/access_api.h"
+#include "kernelsim/kernel_fs.h"
+#include "workload/target.h"
+
+namespace labstor::bench {
+
+// ---------------------------------------------------------------
+// Output helpers: every bench prints the rows/series of its figure.
+// ---------------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+// ---------------------------------------------------------------
+// Standard LabStack YAML (the paper's Lab-All / Lab-Min / Lab-D).
+// ---------------------------------------------------------------
+
+// Full-featured async FS stack: permissions, LabFS, LRU, NoOp,
+// KernelDriver.
+std::string LabAllFsStack(const std::string& mount, const std::string& tag,
+                          const std::string& device = "nvme0");
+// Lab-Min: drops permissions.
+std::string LabMinFsStack(const std::string& mount, const std::string& tag,
+                          const std::string& device = "nvme0");
+// Lab-D: Lab-Min executing synchronously (decentralized).
+std::string LabDFsStack(const std::string& mount, const std::string& tag,
+                        const std::string& device = "nvme0");
+// KVS stacks for Fig. 9(b).
+std::string LabKvsStack(const std::string& mount, const std::string& tag,
+                        bool with_permissions, bool sync,
+                        const std::string& device = "nvme0");
+
+// ---------------------------------------------------------------
+// BlockTarget adapters.
+// ---------------------------------------------------------------
+
+// Kernel / LabStor storage-API route (Fig. 6).
+class ApiBlockTarget final : public workload::BlockTarget {
+ public:
+  ApiBlockTarget(sim::Environment& env, simdev::SimDevice& device,
+                 kernelsim::ApiKind kind)
+      : api_(env, device, kind), num_queues_(device.num_channels()) {}
+
+  sim::Task<void> Io(simdev::IoOp op, uint32_t thread, uint64_t offset,
+                     uint64_t length) override {
+    return api_.DoIo(op, thread % num_queues_, offset, length);
+  }
+
+ private:
+  kernelsim::AccessApi api_;
+  uint32_t num_queues_;
+};
+
+// Kernel block path + explicit scheduler policy (Fig. 8 baselines).
+enum class SchedPolicy { kNoOp, kBlkSwitch };
+
+class KernelSchedTarget final : public workload::BlockTarget {
+ public:
+  KernelSchedTarget(sim::Environment& env, simdev::SimDevice& device,
+                    SchedPolicy policy, uint32_t num_queues)
+      : env_(env), device_(device), policy_(policy), num_queues_(num_queues) {}
+
+  sim::Task<void> Io(simdev::IoOp op, uint32_t thread, uint64_t offset,
+                     uint64_t length) override;
+
+ private:
+  sim::Environment& env_;
+  simdev::SimDevice& device_;
+  SchedPolicy policy_;
+  uint32_t num_queues_;
+};
+
+// A LabStack as a block device (Fig. 5a, Fig. 8 Lab variants).
+class StackBlockTarget final : public workload::BlockTarget {
+ public:
+  StackBlockTarget(core::SimRuntime& rt, core::Stack& stack)
+      : rt_(rt), stack_(stack) {}
+
+  sim::Task<void> Io(simdev::IoOp op, uint32_t thread, uint64_t offset,
+                     uint64_t length) override;
+
+ private:
+  core::SimRuntime& rt_;
+  core::Stack& stack_;
+};
+
+// ---------------------------------------------------------------
+// FsTarget adapters (Fig. 7 / Fig. 9c).
+// ---------------------------------------------------------------
+
+class KernelFsTarget final : public workload::FsTarget {
+ public:
+  KernelFsTarget(sim::Environment& env, simdev::SimDevice& device,
+                 kernelsim::KfsKind kind)
+      : fs_(env, device, kind) {}
+
+  sim::Task<void> Create(uint32_t) override { return fs_.Create(); }
+  sim::Task<void> Open(uint32_t) override { return fs_.Open(); }
+  sim::Task<void> Close(uint32_t) override { return fs_.Close(); }
+  sim::Task<void> Write(uint32_t thread, uint64_t offset,
+                        uint64_t length) override {
+    return fs_.Write(thread % 31, offset, length);
+  }
+  sim::Task<void> Read(uint32_t thread, uint64_t offset,
+                       uint64_t length) override {
+    return fs_.Read(thread % 31, offset, length);
+  }
+  sim::Task<void> Fsync(uint32_t thread) override {
+    return fs_.Fsync(thread % 31);
+  }
+  sim::Task<void> Unlink(uint32_t) override { return fs_.Unlink(); }
+
+ private:
+  kernelsim::KernelFs fs_;
+};
+
+// A LabStor FS stack driven through GenericFS-style requests. Each
+// generator thread works on its own rotating file under `mount`.
+class StackFsTarget final : public workload::FsTarget {
+ public:
+  StackFsTarget(core::SimRuntime& rt, core::Stack& stack, std::string mount)
+      : rt_(rt), stack_(stack), mount_(std::move(mount)) {}
+
+  sim::Task<void> Create(uint32_t thread) override;
+  sim::Task<void> Open(uint32_t thread) override;
+  sim::Task<void> Close(uint32_t thread) override;
+  sim::Task<void> Write(uint32_t thread, uint64_t offset,
+                        uint64_t length) override;
+  sim::Task<void> Read(uint32_t thread, uint64_t offset,
+                       uint64_t length) override;
+  sim::Task<void> Fsync(uint32_t thread) override;
+  sim::Task<void> Unlink(uint32_t thread) override;
+
+ private:
+  struct ThreadState {
+    uint64_t create_seq = 0;  // rotating file name per thread
+  };
+  std::string CurrentPath(uint32_t thread);
+  sim::Task<void> Submit(uint32_t thread, ipc::OpCode op, uint64_t offset,
+                         uint64_t length, uint16_t flags = 0);
+
+  core::SimRuntime& rt_;
+  core::Stack& stack_;
+  std::string mount_;
+  std::vector<ThreadState> threads_{256};
+};
+
+// Pre-create one `bytes`-sized file per generator thread (Filebench
+// filesets exist before measurement). Drives env.Run().
+void PrepopulateFs(sim::Environment& env, workload::FsTarget& fs,
+                   uint32_t threads, uint64_t bytes);
+
+// ---------------------------------------------------------------
+// LabelTarget adapters (Fig. 9b).
+// ---------------------------------------------------------------
+
+class KernelLabelTarget final : public workload::LabelTarget {
+ public:
+  KernelLabelTarget(sim::Environment& env, simdev::SimDevice& device,
+                    kernelsim::KfsKind kind)
+      : fs_(env, device, kind) {}
+
+  sim::Task<void> StoreLabel(uint32_t thread, uint64_t index,
+                             uint64_t length) override {
+    // A label becomes a UNIX file: open-seek-write-close.
+    return fs_.OpenSeekWriteClose(thread % 31, index * length, length);
+  }
+  sim::Task<void> LoadLabel(uint32_t thread, uint64_t index,
+                            uint64_t length) override;
+
+ private:
+  kernelsim::KernelFs fs_;
+};
+
+class StackLabelTarget final : public workload::LabelTarget {
+ public:
+  StackLabelTarget(core::SimRuntime& rt, core::Stack& stack, std::string mount)
+      : rt_(rt), stack_(stack), mount_(std::move(mount)) {}
+
+  sim::Task<void> StoreLabel(uint32_t thread, uint64_t index,
+                             uint64_t length) override;
+  sim::Task<void> LoadLabel(uint32_t thread, uint64_t index,
+                            uint64_t length) override;
+
+ private:
+  core::SimRuntime& rt_;
+  core::Stack& stack_;
+  std::string mount_;
+};
+
+}  // namespace labstor::bench

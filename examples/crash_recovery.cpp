@@ -1,0 +1,88 @@
+// Crash recovery (paper §III-C3): the Runtime dies mid-run; the
+// application's Wait rides out the outage; an administrator restarts
+// the Runtime; the client library triggers StateRepair — LabFS rebuilds
+// its inodes from the on-device metadata log — and work continues.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "labmods/genericfs.h"
+#include "labmods/labfs.h"
+#include "simdev/registry.h"
+
+using namespace labstor;
+using namespace std::chrono_literals;
+
+int main() {
+  simdev::DeviceRegistry devices(nullptr);
+  if (!devices.Create(simdev::DeviceParams::NvmeP3700(128 << 20)).ok()) return 1;
+
+  core::Runtime::Options options;
+  options.max_workers = 2;
+  core::Runtime runtime(std::move(options), devices);
+  auto spec = core::StackSpec::Parse(
+      "mount: fs::/data\n"
+      "dag:\n"
+      "  - mod: labfs\n"
+      "    uuid: cr_fs\n"
+      "    params:\n"
+      "      log_records_per_worker: 4096\n"
+      "    outputs: [cr_drv]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: cr_drv\n");
+  if (!spec.ok()) return 1;
+  if (!runtime.MountStack(*spec, ipc::Credentials{1, 0, 0}).ok()) return 1;
+  if (!runtime.Start().ok()) return 1;
+
+  core::Client client(runtime, ipc::Credentials{100, 1000, 1000});
+  if (!client.Connect().ok()) return 1;
+  labmods::GenericFs fs(client);
+
+  // Application writes a batch of checkpoint files.
+  std::vector<uint8_t> checkpoint(16384, 0xC4);
+  for (int i = 0; i < 8; ++i) {
+    auto fd = fs.Create("fs::/data/ckpt_" + std::to_string(i));
+    if (!fd.ok() || !fs.Write(*fd, checkpoint, 0).ok()) return 1;
+    (void)fs.Close(*fd);
+  }
+  std::printf("wrote 8 checkpoint files\n");
+
+  // Disaster strikes: the Runtime process dies.
+  runtime.CrashForTesting();
+  std::printf("runtime crashed (epoch %llu, offline=%d)\n",
+              static_cast<unsigned long long>(runtime.ipc().epoch()),
+              !runtime.ipc().online());
+
+  // The app keeps going: this read blocks in Wait while offline.
+  std::thread admin([&] {
+    std::this_thread::sleep_for(100ms);
+    std::printf("administrator restarts the runtime...\n");
+    if (!runtime.Restart().ok()) std::abort();
+  });
+  std::vector<uint8_t> back(16384);
+  auto fd = fs.Open("fs::/data/ckpt_3", 0);
+  Status read_status = fd.status();
+  if (fd.ok()) {
+    auto n = fs.Read(*fd, back, 0);
+    read_status = n.status();
+  }
+  admin.join();
+  std::printf("read across the crash: %s, content %s\n",
+              read_status.ToString().c_str(),
+              back == checkpoint ? "intact" : "DAMAGED");
+
+  // StateRepair ran (client-triggered, once per epoch): LabFS rebuilt
+  // its in-memory inodes from the on-device log.
+  auto mod = runtime.registry().Find("cr_fs");
+  auto* labfs = dynamic_cast<labmods::LabFsMod*>(*mod);
+  std::printf("post-repair: %zu files, %llu log records replayable\n",
+              labfs->file_count(),
+              static_cast<unsigned long long>(labfs->log_records()));
+
+  (void)runtime.Stop();
+  std::printf("crash recovery OK\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Live upgrade (paper §III-C2): the Module Manager swaps a LabMod to a
+// newer version — quiescing queues with UPDATE_PENDING/ACKED, calling
+// StateUpdate to migrate state — while an application keeps messaging
+// it. No restart, no lost state.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "labmods/dummy.h"
+#include "simdev/registry.h"
+
+using namespace labstor;
+using namespace std::chrono_literals;
+
+int main() {
+  simdev::DeviceRegistry devices(nullptr);
+  if (!devices.Create(simdev::DeviceParams::NvmeP3700(64 << 20)).ok()) return 1;
+
+  core::Runtime::Options options;
+  options.max_workers = 1;
+  options.admin_poll = 2ms;
+  core::Runtime runtime(std::move(options), devices);
+
+  auto spec = core::StackSpec::Parse(
+      "mount: ctl::/svc\n"
+      "dag:\n"
+      "  - mod: dummy\n"
+      "    uuid: svc\n"
+      "    version: 1\n");
+  if (!spec.ok()) return 1;
+  auto stack = runtime.MountStack(*spec, ipc::Credentials{1, 0, 0});
+  if (!stack.ok()) return 1;
+  if (!runtime.Start().ok()) return 1;
+
+  core::Client client(runtime, ipc::Credentials{100, 1000, 1000});
+  if (!client.Connect().ok()) return 1;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> errors{0};
+  std::thread app([&] {
+    auto req = client.NewRequest();
+    if (!req.ok()) return;
+    while (!stop.load()) {
+      (*req)->Reuse();
+      (*req)->op = ipc::OpCode::kDummy;
+      if (client.Execute(**req, **stack).ok() && (*req)->ToStatus().ok()) {
+        ++sent;
+      } else {
+        ++errors;
+      }
+    }
+  });
+
+  while (sent.load() < 2000) std::this_thread::yield();
+  auto mod_v1 = runtime.registry().Find("svc");
+  std::printf("before upgrade: version %u, %llu messages so far\n",
+              (*mod_v1)->version(), static_cast<unsigned long long>(sent.load()));
+
+  // modify.mods: centralized upgrade to v2 while traffic flows.
+  runtime.SubmitUpgrade(
+      core::UpgradeRequest{"dummy", 2, core::UpgradeKind::kCentralized, 1 << 20});
+  while (runtime.module_manager().upgrades_applied() == 0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  const uint64_t at_upgrade = sent.load();
+  while (sent.load() < at_upgrade + 2000) std::this_thread::yield();
+  stop.store(true);
+  app.join();
+
+  auto mod_v2 = runtime.registry().Find("svc");
+  auto* dummy = dynamic_cast<labmods::DummyMod*>(*mod_v2);
+  std::printf("after upgrade: version %u\n", (*mod_v2)->version());
+  std::printf("messages sent %llu / counted by mod %llu / errors %llu\n",
+              static_cast<unsigned long long>(sent.load()),
+              static_cast<unsigned long long>(dummy->messages()),
+              static_cast<unsigned long long>(errors.load()));
+  std::printf("state survived: %s; zero request errors: %s\n",
+              dummy->messages() == sent.load() ? "yes" : "NO",
+              errors.load() == 0 ? "yes" : "NO");
+  (void)runtime.Stop();
+  std::printf("live upgrade OK\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Multiple views over the same device (paper §III-B): interface
+// convergence (a POSIX stack and a KVS stack share one NVMe) and
+// tunable access control (two stacks expose islands of data to
+// different users via distinct permission LabMod instances).
+#include <cstdio>
+#include <vector>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "labmods/genericfs.h"
+#include "labmods/generickvs.h"
+#include "simdev/registry.h"
+
+using namespace labstor;
+
+int main() {
+  simdev::DeviceRegistry devices(nullptr);
+  if (!devices.Create(simdev::DeviceParams::NvmeP3700(256 << 20)).ok()) return 1;
+
+  core::Runtime::Options options;
+  options.max_workers = 2;
+  core::Runtime runtime(std::move(options), devices);
+  if (!runtime.Start().ok()) return 1;
+
+  // One POSIX view and one KVS view over the same device; the FS view
+  // is ACL-gated so only uid 1000 sees /private.
+  const char* fs_yaml = R"(
+mount: fs::/shared
+dag:
+  - mod: permissions
+    uuid: mt_perm
+    params:
+      default: deny
+      allow:
+        - prefix: fs::/shared/public
+          uids: [1000, 1001]
+        - prefix: fs::/shared/private
+          uids: [1000]
+    outputs: [mt_fs]
+  - mod: labfs
+    uuid: mt_fs
+    params:
+      log_records_per_worker: 4096
+      region_size_mb: 128          # lower half of the shared NVMe
+    outputs: [mt_drv]
+  - mod: kernel_driver
+    uuid: mt_drv
+)";
+  const char* kvs_yaml = R"(
+mount: kvs::/shared
+dag:
+  - mod: labkvs
+    uuid: mt_kvs
+    params:
+      log_records_per_worker: 4096
+      region_offset_mb: 128        # upper half of the shared NVMe
+    outputs: [mt_drv2]
+  - mod: kernel_driver
+    uuid: mt_drv2
+)";
+  for (const char* yaml : {fs_yaml, kvs_yaml}) {
+    auto spec = core::StackSpec::Parse(yaml);
+    if (!spec.ok() ||
+        !runtime.MountStack(*spec, ipc::Credentials{1, 0, 0}).ok()) {
+      std::fprintf(stderr, "mount failed\n");
+      return 1;
+    }
+  }
+  std::printf("two stacks mounted over one NVMe: %zu namespaces\n",
+              runtime.ns().size());
+
+  // Alice (uid 1000) and Bob (uid 1001).
+  core::Client alice(runtime, ipc::Credentials{100, 1000, 1000});
+  core::Client bob(runtime, ipc::Credentials{200, 1001, 1001});
+  if (!alice.Connect().ok() || !bob.Connect().ok()) return 1;
+  labmods::GenericFs alice_fs(alice);
+  labmods::GenericFs bob_fs(bob);
+  labmods::GenericKvs bob_kvs(bob);
+
+  // Tunable access control in action.
+  std::vector<uint8_t> secret{'s', 'e', 'c', 'r', 'e', 't'};
+  auto afd = alice_fs.Create("fs::/shared/private/alice.txt");
+  std::printf("alice creates /private file: %s\n",
+              afd.ok() ? "OK" : afd.status().ToString().c_str());
+  if (afd.ok()) (void)alice_fs.Write(*afd, secret, 0);
+
+  auto bfd = bob_fs.Create("fs::/shared/private/bob.txt");
+  std::printf("bob creates /private file: %s (expected PERMISSION_DENIED)\n",
+              bfd.ok() ? "unexpectedly OK" : bfd.status().ToString().c_str());
+  auto bpub = bob_fs.Create("fs::/shared/public/bob.txt");
+  std::printf("bob creates /public file: %s\n",
+              bpub.ok() ? "OK" : bpub.status().ToString().c_str());
+
+  // Interface convergence: Bob stores the same content as key-value
+  // pairs through the second stack — no translation middleware.
+  std::vector<uint8_t> value(4096, 0x42);
+  const Status put = bob_kvs.Put("kvs::/shared/session_42", value);
+  std::printf("bob KVS put: %s\n", put.ToString().c_str());
+  std::vector<uint8_t> out(4096);
+  auto got = bob_kvs.Get("kvs::/shared/session_42", out);
+  std::printf("bob KVS get: %llu bytes, %s\n",
+              static_cast<unsigned long long>(got.value_or(0)),
+              out == value ? "content matches" : "MISMATCH");
+
+  (void)runtime.Stop();
+  std::printf("multi-tenant OK\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Bump-pointer arena with chunked growth. Backs the simulated shared
+// memory segments: allocations never move, so "cross-process" pointers
+// into a segment stay valid for the segment's lifetime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace labstor {
+
+class Arena {
+ public:
+  explicit Arena(size_t chunk_bytes = 1 << 20) : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    // Alignment must be applied to the actual address, not the offset:
+    // chunk bases are only max_align_t-aligned.
+    if (!chunks_.empty()) AlignOffset(align);
+    if (chunks_.empty() || offset_ + bytes > current_size_) {
+      const size_t want = bytes + align;
+      const size_t size = want > chunk_bytes_ ? want : chunk_bytes_;
+      chunks_.push_back(std::make_unique<uint8_t[]>(size));
+      current_size_ = size;
+      offset_ = 0;
+      AlignOffset(align);
+    }
+    void* p = chunks_.back().get() + offset_;
+    offset_ += bytes;
+    allocated_ += bytes;
+    return p;
+  }
+
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    return new (Allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  // Bytes handed out (not capacity). Reset() releases everything at
+  // once; objects with destructors must not be placed in the arena
+  // unless the owner runs those destructors itself.
+  size_t allocated_bytes() const { return allocated_; }
+
+  void Reset() {
+    chunks_.clear();
+    offset_ = 0;
+    current_size_ = 0;
+    allocated_ = 0;
+  }
+
+ private:
+  void AlignOffset(size_t align) {
+    const auto base = reinterpret_cast<uintptr_t>(chunks_.back().get());
+    const uintptr_t aligned =
+        (base + offset_ + align - 1) & ~static_cast<uintptr_t>(align - 1);
+    offset_ = static_cast<size_t>(aligned - base);
+  }
+
+  const size_t chunk_bytes_;
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  size_t offset_ = 0;
+  size_t current_size_ = 0;
+  size_t allocated_ = 0;
+};
+
+}  // namespace labstor

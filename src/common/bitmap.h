@@ -1,0 +1,78 @@
+// Dynamic bitmap used by block allocators. Optimized for the patterns
+// allocators need: find-first-zero scans, range set/clear, popcount.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace labstor {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t bits) { Resize(bits); }
+
+  void Resize(size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  size_t size() const { return bits_; }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  void SetRange(size_t begin, size_t count) {
+    for (size_t i = begin; i < begin + count; ++i) Set(i);
+  }
+  void ClearRange(size_t begin, size_t count) {
+    for (size_t i = begin; i < begin + count; ++i) Clear(i);
+  }
+
+  // Index of the first zero bit at or after `from`, or npos.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t FindFirstZero(size_t from = 0) const {
+    if (from >= bits_) return npos;
+    size_t word_idx = from >> 6;
+    // Mask off bits below `from` in the first word.
+    uint64_t w = ~words_[word_idx] & (~0ULL << (from & 63));
+    while (true) {
+      if (w != 0) {
+        const size_t bit = word_idx * 64 +
+                           static_cast<size_t>(__builtin_ctzll(w));
+        return bit < bits_ ? bit : npos;
+      }
+      if (++word_idx >= words_.size()) return npos;
+      w = ~words_[word_idx];
+    }
+  }
+
+  // First run of `count` consecutive zero bits at or after `from`.
+  size_t FindZeroRun(size_t count, size_t from = 0) const {
+    size_t start = FindFirstZero(from);
+    while (start != npos && start + count <= bits_) {
+      size_t run = 1;
+      while (run < count && !Test(start + run)) ++run;
+      if (run == count) return start;
+      start = FindFirstZero(start + run);
+    }
+    return npos;
+  }
+
+  size_t CountSet() const {
+    size_t n = 0;
+    for (const uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+  size_t CountZero() const { return bits_ - CountSet(); }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace labstor

@@ -1,0 +1,91 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace labstor {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value < kExactBuckets) return static_cast<size_t>(value);
+  // Value lies in octave [2^msb, 2^(msb+1)); the 4 bits below the
+  // leading bit select one of 16 linear sub-buckets.
+  const int msb = 63 - __builtin_clzll(value);
+  const int shift = msb - 4;
+  const auto sub = static_cast<size_t>(value >> shift) & 0xF;
+  const auto octave = static_cast<size_t>(msb - 5);
+  return kExactBuckets + octave * kSubBucketsPerOctave + sub;
+}
+
+uint64_t Histogram::BucketMidpoint(size_t index) {
+  if (index < kExactBuckets) return index;
+  const size_t rest = index - kExactBuckets;
+  const size_t octave = rest / kSubBucketsPerOctave;
+  const uint64_t sub = rest % kSubBucketsPerOctave;
+  const int msb = static_cast<int>(octave) + 5;
+  const int shift = msb - 4;
+  const uint64_t lower = (16 + sub) << shift;
+  const uint64_t width = 1ULL << shift;
+  return lower + width / 2;
+}
+
+void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(uint64_t value, uint64_t n) {
+  if (n == 0) return;
+  buckets_[BucketFor(value)] += n;
+  count_ += n;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double target_rank = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target_rank) {
+      // Clamp the bucket estimate to the recorded extremes so small
+      // samples do not report midpoints outside [min, max].
+      return std::clamp(BucketMidpoint(i), Min(), Max());
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f min=%llu p50=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Min()),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace labstor

@@ -1,0 +1,49 @@
+// Log-bucketed latency histogram (HdrHistogram-style) for the bench
+// harness: records nanosecond values, reports mean/percentiles. Fixed
+// memory, O(1) record, mergeable across workers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace labstor {
+
+class Histogram {
+ public:
+  // Covers the full uint64_t range with ~3% relative bucket error:
+  // exact buckets below 32, then 16 linear sub-buckets per octave.
+  Histogram();
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t count);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double Mean() const;
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t Max() const { return max_; }
+  // p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  std::string Summary() const;  // "n=... mean=... p50=... p99=..."
+
+ private:
+  static constexpr size_t kExactBuckets = 32;          // values 0..31, exact
+  static constexpr size_t kSubBucketsPerOctave = 16;   // octaves for msb 5..63
+  static constexpr size_t kBuckets =
+      kExactBuckets + 59 * kSubBucketsPerOctave;
+
+  static size_t BucketFor(uint64_t value);
+  static uint64_t BucketMidpoint(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace labstor

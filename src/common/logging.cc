@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace labstor {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+std::mutex g_log_mutex;
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel msg_level, const char* file, int line,
+                   const std::string& msg) {
+  if (static_cast<int>(msg_level) < static_cast<int>(level())) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(msg_level), Basename(file),
+               line, msg.c_str());
+}
+
+}  // namespace labstor

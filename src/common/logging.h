@@ -1,0 +1,54 @@
+// Minimal leveled logger. Thread-safe; writes to stderr. Benchmarks set
+// the level to kWarn so hot paths stay quiet.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace labstor {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+
+  void Write(LogLevel level, const char* file, int line, const std::string& msg);
+
+ private:
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
+};
+
+namespace internal {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Get().Write(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define LABSTOR_LOG(lvl)                                              \
+  if (static_cast<int>(::labstor::Logger::Get().level()) <=           \
+      static_cast<int>(::labstor::LogLevel::lvl))                     \
+  ::labstor::internal::LogMessage(::labstor::LogLevel::lvl, __FILE__, \
+                                  __LINE__)                           \
+      .stream()
+
+#define LOG_DEBUG LABSTOR_LOG(kDebug)
+#define LOG_INFO LABSTOR_LOG(kInfo)
+#define LOG_WARN LABSTOR_LOG(kWarn)
+#define LOG_ERROR LABSTOR_LOG(kError)
+
+}  // namespace labstor

@@ -1,0 +1,145 @@
+// Bounded lock-free rings used as the transport inside Queue Pairs.
+//
+// SpscRing: single-producer/single-consumer, the fast path for
+// "ordered" queues which the paper requires to be drained by exactly
+// one worker.
+//
+// MpmcRing: bounded multi-producer/multi-consumer ring (Vyukov-style
+// sequence counters), used for "unordered" queues that any worker may
+// drain and for the client-side submission of independent requests.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace labstor {
+
+// Fixed 64 rather than std::hardware_destructive_interference_size:
+// the latter is ABI-unstable across compiler versions/tuning flags.
+inline constexpr size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity_pow2) : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
+    assert(capacity_pow2 >= 2 && (capacity_pow2 & mask_) == 0 &&
+           "capacity must be a power of two");
+  }
+
+  bool TryPush(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_cache_;
+    if (head - tail > mask_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return std::nullopt;
+    }
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  size_t SizeApprox() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  const size_t mask_;
+  std::vector<T> slots_;
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+  size_t tail_cache_ = 0;  // producer-local view of tail
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+  size_t head_cache_ = 0;  // consumer-local view of head
+};
+
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(size_t capacity_pow2) : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
+    assert(capacity_pow2 >= 2 && (capacity_pow2 & mask_) == 0 &&
+           "capacity must be a power of two");
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  bool TryPush(T value) {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    while (true) {
+      Slot& slot = slots_[pos & mask_];
+      const size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const intptr_t diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::optional<T> TryPop() {
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    while (true) {
+      Slot& slot = slots_[pos & mask_];
+      const size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          T value = std::move(slot.value);
+          slot.sequence.store(pos + mask_ + 1, std::memory_order_release);
+          return value;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : 0;
+  }
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<size_t> sequence{0};
+    T value{};
+  };
+
+  const size_t mask_;
+  std::vector<Slot> slots_;
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace labstor

@@ -1,0 +1,96 @@
+#include "common/string_util.h"
+
+#include <cstdio>
+
+namespace labstor {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && (s[begin] == ' ' || s[begin] == '\t' ||
+                              s[begin] == '\r' || s[begin] == '\n')) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t' ||
+                         s[end - 1] == '\r' || s[end - 1] == '\n')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitString(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= s.size()) {
+    const size_t pos = s.find(sep, begin);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(begin));
+      break;
+    }
+    parts.emplace_back(s.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+  return parts;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string NormalizePath(std::string_view path) {
+  std::vector<std::string> stack;
+  for (const std::string& part : SplitString(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    stack.push_back(part);
+  }
+  std::string out = "/";
+  for (size_t i = 0; i < stack.size(); ++i) {
+    out += stack[i];
+    if (i + 1 < stack.size()) out += '/';
+  }
+  return out;
+}
+
+std::string ParentPath(std::string_view path) {
+  const std::string norm = NormalizePath(path);
+  if (norm == "/") return "/";
+  const size_t pos = norm.rfind('/');
+  return pos == 0 ? "/" : norm.substr(0, pos);
+}
+
+std::string PathBasename(std::string_view path) {
+  const std::string norm = NormalizePath(path);
+  if (norm == "/") return "/";
+  return norm.substr(norm.rfind('/') + 1);
+}
+
+std::vector<std::string> PathComponents(std::string_view path) {
+  std::vector<std::string> out;
+  for (const std::string& part : SplitString(NormalizePath(path), '/')) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+std::string FormatBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace labstor

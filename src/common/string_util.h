@@ -1,0 +1,27 @@
+// Small string helpers shared by the YAML parser and path handling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace labstor {
+
+std::string_view TrimWhitespace(std::string_view s);
+std::vector<std::string> SplitString(std::string_view s, char sep);
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Filesystem-style path helpers used by GenericFS / the LabStack
+// namespace. Paths are normalized to "/a/b/c" with no trailing slash
+// (the root stays "/").
+std::string NormalizePath(std::string_view path);
+std::string ParentPath(std::string_view path);
+std::string PathBasename(std::string_view path);
+// Split "/a/b/c" into {"a", "b", "c"}.
+std::vector<std::string> PathComponents(std::string_view path);
+
+// Human-friendly byte formatting for bench output ("4.0 KiB", "1.2 GiB").
+std::string FormatBytes(double bytes);
+
+}  // namespace labstor

@@ -1,0 +1,72 @@
+#include "common/uuid.h"
+
+#include <cstdio>
+
+namespace labstor {
+
+namespace {
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string Uuid::ToString() const {
+  char buf[37];
+  std::snprintf(buf, sizeof(buf), "%08x-%04x-%04x-%04x-%012llx",
+                static_cast<unsigned>(hi >> 32),
+                static_cast<unsigned>((hi >> 16) & 0xFFFF),
+                static_cast<unsigned>(hi & 0xFFFF),
+                static_cast<unsigned>(lo >> 48),
+                static_cast<unsigned long long>(lo & 0xFFFFFFFFFFFFULL));
+  return buf;
+}
+
+Result<Uuid> Uuid::Parse(std::string_view text) {
+  if (text.size() != 36) {
+    return Status::InvalidArgument("UUID must be 36 characters");
+  }
+  Uuid id;
+  uint64_t* word = &id.hi;
+  int nibbles = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (text[i] != '-') {
+        return Status::InvalidArgument("UUID missing separator");
+      }
+      continue;
+    }
+    const int v = HexValue(text[i]);
+    if (v < 0) return Status::InvalidArgument("UUID has non-hex digit");
+    *word = (*word << 4) | static_cast<uint64_t>(v);
+    if (++nibbles == 16) word = &id.lo;
+  }
+  return id;
+}
+
+Uuid Uuid::FromRandom(uint64_t a, uint64_t b) {
+  Uuid id;
+  id.hi = (a & ~0xF000ULL) | 0x4000ULL;              // version 4
+  id.lo = (b & ~(0x3ULL << 62)) | (0x2ULL << 62);    // RFC 4122 variant
+  return id;
+}
+
+Uuid Uuid::FromName(std::string_view name) {
+  // Two independent FNV-1a passes (different offset bases) give 128
+  // well-mixed bits; version bits marked 5 to distinguish from random.
+  uint64_t h1 = 0xCBF29CE484222325ULL;
+  uint64_t h2 = 0x84222325CBF29CE4ULL;
+  for (const char c : name) {
+    h1 = (h1 ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+    h2 = (h2 ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+    h2 = (h2 << 13) | (h2 >> 51);
+  }
+  Uuid id;
+  id.hi = (h1 & ~0xF000ULL) | 0x5000ULL;
+  id.lo = (h2 & ~(0x3ULL << 62)) | (0x2ULL << 62);
+  return id;
+}
+
+}  // namespace labstor

@@ -1,0 +1,41 @@
+// LabMod instance identifiers. The paper uses "human-readable UUIDs" —
+// unique instance names chosen by stack authors — plus machine ids for
+// registry bookkeeping. Uuid is the 128-bit machine id; instance names
+// are plain strings layered on top by the Module Registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace labstor {
+
+struct Uuid {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Uuid&) const = default;
+  bool IsNil() const { return hi == 0 && lo == 0; }
+
+  // Canonical 8-4-4-4-12 lowercase hex form.
+  std::string ToString() const;
+  static Result<Uuid> Parse(std::string_view text);
+
+  // Random (version 4) UUID from the given RNG words.
+  static Uuid FromRandom(uint64_t a, uint64_t b);
+
+  // Deterministic UUID derived from a name (FNV-1a based; version 5
+  // style). Stable across runs so stacks referencing mods by name
+  // resolve identically.
+  static Uuid FromName(std::string_view name);
+};
+
+struct UuidHash {
+  size_t operator()(const Uuid& id) const {
+    return std::hash<uint64_t>()(id.hi) ^ (std::hash<uint64_t>()(id.lo) * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+}  // namespace labstor

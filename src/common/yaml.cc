@@ -1,0 +1,448 @@
+#include "common/yaml.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace labstor::yaml {
+
+namespace {
+
+struct Line {
+  int indent = 0;
+  std::string content;  // trimmed, comment-free
+  int number = 0;       // 1-based source line
+};
+
+Status ParseError(int line, const std::string& what) {
+  return Status::InvalidArgument("yaml line " + std::to_string(line) + ": " +
+                                 what);
+}
+
+// Strips a '#' comment unless it is inside quotes.
+std::string StripComment(std::string_view s) {
+  char quote = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+    } else if (c == '\'' || c == '"') {
+      quote = c;
+    } else if (c == '#' && (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return std::string(s.substr(0, i));
+    }
+  }
+  return std::string(s);
+}
+
+// Position of the key/value separator ':' outside quotes and flow
+// brackets; npos if the line is not a mapping entry.
+size_t FindMappingColon(std::string_view s) {
+  char quote = 0;
+  int depth = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+      continue;
+    }
+    switch (c) {
+      case '\'':
+      case '"':
+        quote = c;
+        break;
+      case '[':
+      case '{':
+        ++depth;
+        break;
+      case ']':
+      case '}':
+        --depth;
+        break;
+      case ':':
+        if (depth == 0 &&
+            (i + 1 == s.size() || s[i + 1] == ' ' || s[i + 1] == '\t')) {
+          return i;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return std::string_view::npos;
+}
+
+std::string Unquote(std::string_view s) {
+  if (s.size() >= 2 && ((s.front() == '\'' && s.back() == '\'') ||
+                        (s.front() == '"' && s.back() == '"'))) {
+    std::string out;
+    const char q = s.front();
+    for (size_t i = 1; i + 1 < s.size(); ++i) {
+      if (q == '"' && s[i] == '\\' && i + 2 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: out += s[i]; break;
+        }
+      } else {
+        out += s[i];
+      }
+    }
+    return out;
+  }
+  return std::string(s);
+}
+
+bool IsNullScalar(std::string_view s) {
+  return s.empty() || s == "~" || s == "null" || s == "Null" || s == "NULL";
+}
+
+Result<NodePtr> ParseFlowOrScalar(std::string_view text, int line_no);
+
+// Flow sequence "[a, b, [c]]". `text` includes the brackets.
+Result<NodePtr> ParseFlowSequence(std::string_view text, int line_no) {
+  NodePtr seq = Node::MakeSequence();
+  std::string_view inner = text.substr(1, text.size() - 2);
+  // Split on commas at depth 0 outside quotes.
+  size_t start = 0;
+  char quote = 0;
+  int depth = 0;
+  auto flush = [&](size_t end) -> Status {
+    const std::string_view piece = TrimWhitespace(inner.substr(start, end - start));
+    if (piece.empty()) return Status::Ok();
+    auto child = ParseFlowOrScalar(piece, line_no);
+    if (!child.ok()) return child.status();
+    seq->Append(*child);
+    return Status::Ok();
+  };
+  for (size_t i = 0; i < inner.size(); ++i) {
+    const char c = inner[i];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+    } else if (c == '\'' || c == '"') {
+      quote = c;
+    } else if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      LABSTOR_RETURN_IF_ERROR(flush(i));
+      start = i + 1;
+    }
+  }
+  LABSTOR_RETURN_IF_ERROR(flush(inner.size()));
+  return seq;
+}
+
+Result<NodePtr> ParseFlowOrScalar(std::string_view text, int line_no) {
+  const std::string_view t = TrimWhitespace(text);
+  if (t.size() >= 2 && t.front() == '[' && t.back() == ']') {
+    return ParseFlowSequence(t, line_no);
+  }
+  if (!t.empty() && (t.front() == '{' || t.front() == '&' || t.front() == '*')) {
+    return ParseError(line_no, "flow mappings / anchors are not supported");
+  }
+  if (IsNullScalar(t)) return Node::MakeNull();
+  return Node::MakeScalar(Unquote(t));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) {
+    int number = 0;
+    size_t begin = 0;
+    while (begin <= text.size()) {
+      const size_t end = text.find('\n', begin);
+      std::string_view raw = end == std::string_view::npos
+                                 ? text.substr(begin)
+                                 : text.substr(begin, end - begin);
+      ++number;
+      std::string stripped = StripComment(raw);
+      const std::string_view trimmed = TrimWhitespace(stripped);
+      if (!trimmed.empty() && trimmed != "---") {
+        int indent = 0;
+        while (indent < static_cast<int>(stripped.size()) &&
+               stripped[static_cast<size_t>(indent)] == ' ') {
+          ++indent;
+        }
+        lines_.push_back(Line{indent, std::string(trimmed), number});
+      }
+      if (end == std::string_view::npos) break;
+      begin = end + 1;
+    }
+  }
+
+  Result<NodePtr> ParseDocument() {
+    if (lines_.empty()) return Node::MakeNull();
+    auto root = ParseBlock(lines_[0].indent);
+    if (!root.ok()) return root;
+    if (pos_ < lines_.size()) {
+      return ParseError(lines_[pos_].number, "unexpected trailing content");
+    }
+    return root;
+  }
+
+ private:
+  // Parses the block whose items sit at exactly `indent`.
+  Result<NodePtr> ParseBlock(int indent) {
+    const Line& first = lines_[pos_];
+    if (first.content[0] == '-' &&
+        (first.content.size() == 1 || first.content[1] == ' ')) {
+      return ParseSequence(indent);
+    }
+    if (FindMappingColon(first.content) != std::string::npos) {
+      return ParseMapping(indent);
+    }
+    // Single scalar document/value.
+    ++pos_;
+    return ParseFlowOrScalar(first.content, first.number);
+  }
+
+  Result<NodePtr> ParseSequence(int indent) {
+    NodePtr seq = Node::MakeSequence();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           lines_[pos_].content[0] == '-' &&
+           (lines_[pos_].content.size() == 1 || lines_[pos_].content[1] == ' ')) {
+      const Line line = lines_[pos_];
+      const std::string_view rest =
+          TrimWhitespace(std::string_view(line.content).substr(1));
+      if (rest.empty()) {
+        // "-" alone: the value is the nested block below.
+        ++pos_;
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+          auto child = ParseBlock(lines_[pos_].indent);
+          if (!child.ok()) return child;
+          seq->Append(*child);
+        } else {
+          seq->Append(Node::MakeNull());
+        }
+        continue;
+      }
+      if (FindMappingColon(rest) != std::string_view::npos) {
+        // "- key: value" starts an inline mapping whose further keys
+        // are indented to the position after the dash.
+        const int item_indent = indent + 2;
+        // Rewrite the current line as the first mapping entry and
+        // reparse it at item_indent.
+        lines_[pos_] = Line{item_indent, std::string(rest), line.number};
+        auto child = ParseMapping(item_indent);
+        if (!child.ok()) return child;
+        seq->Append(*child);
+        continue;
+      }
+      ++pos_;
+      auto child = ParseFlowOrScalar(rest, line.number);
+      if (!child.ok()) return child;
+      seq->Append(*child);
+    }
+    return seq;
+  }
+
+  Result<NodePtr> ParseMapping(int indent) {
+    NodePtr map = Node::MakeMapping();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent) {
+      const Line line = lines_[pos_];
+      if (line.content[0] == '-') break;  // sequence at same indent: parent's
+      const size_t colon = FindMappingColon(line.content);
+      if (colon == std::string::npos) {
+        return ParseError(line.number, "expected 'key: value'");
+      }
+      const std::string key =
+          Unquote(TrimWhitespace(std::string_view(line.content).substr(0, colon)));
+      if (key.empty()) return ParseError(line.number, "empty mapping key");
+      if (map->Has(key)) {
+        return ParseError(line.number, "duplicate key '" + key + "'");
+      }
+      const std::string_view value_text =
+          TrimWhitespace(std::string_view(line.content).substr(colon + 1));
+      ++pos_;
+      if (!value_text.empty()) {
+        auto value = ParseFlowOrScalar(value_text, line.number);
+        if (!value.ok()) return value;
+        map->Put(key, *value);
+        continue;
+      }
+      // Value is a nested block (possibly a sequence at the same
+      // indent, which YAML permits for "key:\n- a\n- b").
+      if (pos_ < lines_.size() &&
+          (lines_[pos_].indent > indent ||
+           (lines_[pos_].indent == indent && lines_[pos_].content[0] == '-' &&
+            (lines_[pos_].content.size() == 1 || lines_[pos_].content[1] == ' ')))) {
+        auto value = ParseBlock(lines_[pos_].indent);
+        if (!value.ok()) return value;
+        map->Put(key, *value);
+      } else {
+        map->Put(key, Node::MakeNull());
+      }
+    }
+    return map;
+  }
+
+  std::vector<Line> lines_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::string> Node::AsString() const {
+  if (type_ != NodeType::kScalar) {
+    return Status::InvalidArgument("node is not a scalar");
+  }
+  return scalar_;
+}
+
+Result<int64_t> Node::AsInt() const {
+  if (type_ != NodeType::kScalar) {
+    return Status::InvalidArgument("node is not a scalar");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(scalar_.c_str(), &end, 0);
+  if (errno != 0 || end == scalar_.c_str() || *end != '\0') {
+    return Status::InvalidArgument("'" + scalar_ + "' is not an integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<uint64_t> Node::AsUint() const {
+  auto v = AsInt();
+  if (!v.ok()) {
+    // Retry as unsigned for values above INT64_MAX.
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(scalar_.c_str(), &end, 0);
+    if (type_ != NodeType::kScalar || errno != 0 || end == scalar_.c_str() ||
+        *end != '\0') {
+      return Status::InvalidArgument("'" + scalar_ + "' is not an unsigned integer");
+    }
+    return static_cast<uint64_t>(u);
+  }
+  if (*v < 0) {
+    return Status::InvalidArgument("'" + scalar_ + "' is negative");
+  }
+  return static_cast<uint64_t>(*v);
+}
+
+Result<double> Node::AsDouble() const {
+  if (type_ != NodeType::kScalar) {
+    return Status::InvalidArgument("node is not a scalar");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(scalar_.c_str(), &end);
+  if (errno != 0 || end == scalar_.c_str() || *end != '\0') {
+    return Status::InvalidArgument("'" + scalar_ + "' is not a number");
+  }
+  return v;
+}
+
+Result<bool> Node::AsBool() const {
+  if (type_ != NodeType::kScalar) {
+    return Status::InvalidArgument("node is not a scalar");
+  }
+  if (scalar_ == "true" || scalar_ == "True" || scalar_ == "yes" ||
+      scalar_ == "on" || scalar_ == "1") {
+    return true;
+  }
+  if (scalar_ == "false" || scalar_ == "False" || scalar_ == "no" ||
+      scalar_ == "off" || scalar_ == "0") {
+    return false;
+  }
+  return Status::InvalidArgument("'" + scalar_ + "' is not a boolean");
+}
+
+bool Node::Has(const std::string& key) const { return Get(key) != nullptr; }
+
+NodePtr Node::Get(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  return nullptr;
+}
+
+void Node::Put(std::string key, NodePtr value) {
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string Node::GetString(const std::string& key, std::string fallback) const {
+  const NodePtr n = Get(key);
+  if (n == nullptr || !n->IsScalar()) return fallback;
+  return n->scalar();
+}
+
+int64_t Node::GetInt(const std::string& key, int64_t fallback) const {
+  const NodePtr n = Get(key);
+  if (n == nullptr) return fallback;
+  auto v = n->AsInt();
+  return v.ok() ? *v : fallback;
+}
+
+uint64_t Node::GetUint(const std::string& key, uint64_t fallback) const {
+  const NodePtr n = Get(key);
+  if (n == nullptr) return fallback;
+  auto v = n->AsUint();
+  return v.ok() ? *v : fallback;
+}
+
+double Node::GetDouble(const std::string& key, double fallback) const {
+  const NodePtr n = Get(key);
+  if (n == nullptr) return fallback;
+  auto v = n->AsDouble();
+  return v.ok() ? *v : fallback;
+}
+
+bool Node::GetBool(const std::string& key, bool fallback) const {
+  const NodePtr n = Get(key);
+  if (n == nullptr) return fallback;
+  auto v = n->AsBool();
+  return v.ok() ? *v : fallback;
+}
+
+std::string Node::Dump(int indent) const {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::ostringstream out;
+  switch (type_) {
+    case NodeType::kNull:
+      out << pad << "~\n";
+      break;
+    case NodeType::kScalar:
+      out << pad << scalar_ << "\n";
+      break;
+    case NodeType::kSequence:
+      for (const NodePtr& item : items_) {
+        out << pad << "-\n" << item->Dump(indent + 2);
+      }
+      break;
+    case NodeType::kMapping:
+      for (const auto& [k, v] : entries_) {
+        if (v->IsScalar()) {
+          out << pad << k << ": " << v->scalar() << "\n";
+        } else if (v->IsNull()) {
+          out << pad << k << ": ~\n";
+        } else {
+          out << pad << k << ":\n" << v->Dump(indent + 2);
+        }
+      }
+      break;
+  }
+  return out.str();
+}
+
+Result<NodePtr> Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+Result<NodePtr> ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+}  // namespace labstor::yaml

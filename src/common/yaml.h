@@ -1,0 +1,105 @@
+// YAML-subset parser for LabStack specifications and the Runtime
+// configuration file. The paper distributes both as YAML; this repo has
+// no external dependencies, so we implement the subset those files
+// need:
+//
+//   - block mappings and block sequences nested by indentation
+//   - "- " list items, including inline "key: value" after the dash
+//   - flow sequences: [a, b, c]
+//   - scalars: strings (bare / 'single' / "double"), integers, floats,
+//     booleans (true/false/yes/no/on/off), null (~ / null / empty)
+//   - '#' comments and blank lines
+//
+// Anchors, aliases, multi-document streams, and block scalars are out
+// of scope and rejected with a parse error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace labstor::yaml {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+enum class NodeType { kNull, kScalar, kSequence, kMapping };
+
+class Node {
+ public:
+  Node() : type_(NodeType::kNull) {}
+  explicit Node(std::string scalar)
+      : type_(NodeType::kScalar), scalar_(std::move(scalar)) {}
+
+  static NodePtr MakeNull() { return std::make_shared<Node>(); }
+  static NodePtr MakeScalar(std::string s) {
+    return std::make_shared<Node>(std::move(s));
+  }
+  static NodePtr MakeSequence() {
+    auto n = std::make_shared<Node>();
+    n->type_ = NodeType::kSequence;
+    return n;
+  }
+  static NodePtr MakeMapping() {
+    auto n = std::make_shared<Node>();
+    n->type_ = NodeType::kMapping;
+    return n;
+  }
+
+  NodeType type() const { return type_; }
+  bool IsNull() const { return type_ == NodeType::kNull; }
+  bool IsScalar() const { return type_ == NodeType::kScalar; }
+  bool IsSequence() const { return type_ == NodeType::kSequence; }
+  bool IsMapping() const { return type_ == NodeType::kMapping; }
+
+  // --- scalar accessors ---
+  const std::string& scalar() const { return scalar_; }
+  Result<std::string> AsString() const;
+  Result<int64_t> AsInt() const;
+  Result<uint64_t> AsUint() const;
+  Result<double> AsDouble() const;
+  Result<bool> AsBool() const;
+
+  // --- sequence accessors ---
+  const std::vector<NodePtr>& items() const { return items_; }
+  size_t size() const {
+    return type_ == NodeType::kSequence ? items_.size() : entries_.size();
+  }
+  void Append(NodePtr child) { items_.push_back(std::move(child)); }
+
+  // --- mapping accessors ---
+  // Insertion order is preserved (LabStack DAG vertices are ordered).
+  const std::vector<std::pair<std::string, NodePtr>>& entries() const {
+    return entries_;
+  }
+  bool Has(const std::string& key) const;
+  // nullptr when absent.
+  NodePtr Get(const std::string& key) const;
+  void Put(std::string key, NodePtr value);
+
+  // Convenience typed lookups with defaults, for config plumbing.
+  std::string GetString(const std::string& key, std::string fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  std::string Dump(int indent = 0) const;  // re-serialize (for tests)
+
+ private:
+  NodeType type_;
+  std::string scalar_;
+  std::vector<NodePtr> items_;
+  std::vector<std::pair<std::string, NodePtr>> entries_;
+};
+
+// Parses a document into its root node. Errors carry 1-based line
+// numbers in the message.
+Result<NodePtr> Parse(std::string_view text);
+Result<NodePtr> ParseFile(const std::string& path);
+
+}  // namespace labstor::yaml

@@ -1,0 +1,72 @@
+#include "core/client.h"
+
+#include <thread>
+
+namespace labstor::core {
+
+Status Client::Connect() {
+  auto channel = runtime_.ipc().Connect(creds_);
+  if (!channel.ok()) return channel.status();
+  channel_ = *channel;
+  connect_epoch_ = runtime_.ipc().epoch();
+  return Status::Ok();
+}
+
+Status Client::Reconnect() {
+  if (connected()) {
+    LABSTOR_RETURN_IF_ERROR(runtime_.ipc().Disconnect(creds_));
+    channel_ = ipc::ClientChannel{};
+  }
+  return Connect();
+}
+
+Result<ipc::Request*> Client::NewRequest(uint64_t payload_bytes) {
+  if (!connected()) return Status::FailedPrecondition("client not connected");
+  ipc::Request* req = channel_.NewRequest(payload_bytes);
+  if (req == nullptr) {
+    return Status::ResourceExhausted("client shared segment exhausted");
+  }
+  return req;
+}
+
+Status Client::Execute(ipc::Request& req, Stack& stack) {
+  req.stack_id = stack.id;
+  if (stack.exec_mode() == ExecMode::kSync) {
+    // Decentralized: no IPC, no Runtime involvement.
+    return runtime_.Execute(req);
+  }
+  LABSTOR_RETURN_IF_ERROR(SubmitWithBackpressure(req));
+  return WaitWithRecovery(req);
+}
+
+Status Client::SubmitWithBackpressure(ipc::Request& req) {
+  if (!connected()) return Status::FailedPrecondition("client not connected");
+  // Submission fails when the ring is full or the queue is quiesced
+  // for an upgrade; both clear on their own.
+  for (int spin = 0; spin < 50'000'000; ++spin) {
+    if (channel_.qp->Submit(&req)) {
+      channel_.qp->total_submitted.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    if (!runtime_.ipc().online()) {
+      return Status::Unavailable("runtime offline during submission");
+    }
+    std::this_thread::yield();
+  }
+  return Status::Timeout("submission queue stayed full");
+}
+
+Status Client::WaitWithRecovery(ipc::Request& req) {
+  const Status st = runtime_.ipc().Wait(&req);
+  const uint64_t epoch = runtime_.ipc().epoch();
+  if (epoch != connect_epoch_ && runtime_.ipc().online()) {
+    // The Runtime died and was restarted while we were waiting: walk
+    // the namespace and run StateRepair before continuing (paper
+    // §III-C3). Idempotent per epoch.
+    LABSTOR_RETURN_IF_ERROR(runtime_.EnsureRepaired(epoch));
+    connect_epoch_ = epoch;
+  }
+  return st;
+}
+
+}  // namespace labstor::core

@@ -1,0 +1,58 @@
+// LabStor client library (paper §III-D "Application-Side").
+//
+// Wraps the IPC handshake, request submission, completion waiting, and
+// crash recovery. Interface LabMods (GenericFS / GenericKVS) build on
+// this to offer POSIX-like and KVS calls to applications.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/runtime.h"
+#include "core/stack_exec.h"
+#include "ipc/ipc_manager.h"
+
+namespace labstor::core {
+
+class Client {
+ public:
+  Client(Runtime& runtime, ipc::Credentials creds)
+      : runtime_(runtime), creds_(creds) {}
+
+  // Handshake over the (simulated) UNIX domain socket.
+  Status Connect();
+  bool connected() const { return channel_.qp != nullptr; }
+  const ipc::Credentials& creds() const { return creds_; }
+
+  // Fork/execve support: drop the channel and establish a fresh one
+  // (new shared-memory queues), as the paper's IPC Manager does when
+  // intercepting clone/execve.
+  Status Reconnect();
+
+  // Allocates a request (+payload) in this client's shared segment.
+  Result<ipc::Request*> NewRequest(uint64_t payload_bytes = 0);
+
+  // Resolve a path against the LabStack Namespace.
+  Result<Stack*> ResolvePath(const std::string& path) {
+    return runtime_.ns().Resolve(path);
+  }
+
+  // Executes `req` against `stack` honoring its exec mode:
+  //   * sync:  DAG runs inline in this thread (decentralized design);
+  //   * async: submit to the primary queue, poll for completion, and
+  //     run the crash-recovery protocol if the Runtime dies.
+  Status Execute(ipc::Request& req, Stack& stack);
+
+  Runtime& runtime() { return runtime_; }
+
+ private:
+  Status SubmitWithBackpressure(ipc::Request& req);
+  Status WaitWithRecovery(ipc::Request& req);
+
+  Runtime& runtime_;
+  ipc::Credentials creds_;
+  ipc::ClientChannel channel_;
+  uint64_t connect_epoch_ = 0;
+};
+
+}  // namespace labstor::core

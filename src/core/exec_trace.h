@@ -1,0 +1,72 @@
+// ExecTrace: the time ledger attached to each request execution.
+//
+// LabMods run their functional work synchronously (data actually moves
+// through the SparseStore-backed devices) and *record* their software
+// cost and any device operations here. In real mode the trace is
+// informational (Fig. 4a-style anatomy); in simulated mode the DES
+// worker replays the ledger as virtual-time delays and contended
+// device-channel occupancy — the mechanism that lets one mod
+// implementation serve both correctness tests and figure benches.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/environment.h"
+#include "simdev/sim_device.h"
+
+namespace labstor::core {
+
+class ExecTrace {
+ public:
+  struct SwEntry {
+    std::string_view component;  // "labfs", "lru_cache", "ipc", ...
+    sim::Time cost = 0;
+  };
+  struct DevOp {
+    simdev::SimDevice* device = nullptr;
+    simdev::IoOp op = simdev::IoOp::kRead;
+    uint32_t channel = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    // Async ops (log appends, group-committed journal writes) occupy
+    // the device but do not delay request completion.
+    bool async = false;
+  };
+
+  void Charge(std::string_view component, sim::Time cost) {
+    sw_.push_back(SwEntry{component, cost});
+  }
+  void Device(simdev::SimDevice* device, simdev::IoOp op, uint32_t channel,
+              uint64_t offset, uint64_t length, bool async = false) {
+    dev_ops_.push_back(DevOp{device, op, channel, offset, length, async});
+  }
+
+  const std::vector<SwEntry>& software() const { return sw_; }
+  const std::vector<DevOp>& device_ops() const { return dev_ops_; }
+
+  sim::Time TotalSoftware() const {
+    sim::Time total = 0;
+    for (const SwEntry& e : sw_) total += e.cost;
+    return total;
+  }
+  sim::Time SoftwareFor(std::string_view component) const {
+    sim::Time total = 0;
+    for (const SwEntry& e : sw_) {
+      if (e.component == component) total += e.cost;
+    }
+    return total;
+  }
+
+  void Clear() {
+    sw_.clear();
+    dev_ops_.clear();
+  }
+
+ private:
+  std::vector<SwEntry> sw_;
+  std::vector<DevOp> dev_ops_;
+};
+
+}  // namespace labstor::core

@@ -1,0 +1,153 @@
+#include "core/module_registry.h"
+
+namespace labstor::core {
+
+ModFactory& ModFactory::Global() {
+  static ModFactory factory;
+  return factory;
+}
+
+Status ModFactory::Register(const std::string& name, uint32_t version,
+                            ModMaker maker) {
+  if (version == 0) return Status::InvalidArgument("version must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& versions = makers_[name];
+  if (versions.contains(version)) {
+    return Status::AlreadyExists(name + " v" + std::to_string(version) +
+                                 " already registered");
+  }
+  versions.emplace(version, std::move(maker));
+  return Status::Ok();
+}
+
+bool ModFactory::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return makers_.contains(name);
+}
+
+Result<uint32_t> ModFactory::LatestVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = makers_.find(name);
+  if (it == makers_.end() || it->second.empty()) {
+    return Status::NotFound("no LabMod named '" + name + "'");
+  }
+  return it->second.rbegin()->first;
+}
+
+Result<std::unique_ptr<LabMod>> ModFactory::Create(const std::string& name,
+                                                   uint32_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = makers_.find(name);
+  if (it == makers_.end() || it->second.empty()) {
+    return Status::NotFound("no LabMod named '" + name + "'");
+  }
+  const ModMaker* maker = nullptr;
+  if (version == 0) {
+    maker = &it->second.rbegin()->second;
+  } else {
+    const auto vit = it->second.find(version);
+    if (vit == it->second.end()) {
+      return Status::NotFound(name + " has no version " +
+                              std::to_string(version));
+    }
+    maker = &vit->second;
+  }
+  return (*maker)();
+}
+
+std::vector<std::string> ModFactory::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(makers_.size());
+  for (const auto& [name, _] : makers_) names.push_back(name);
+  return names;
+}
+
+Result<LabMod*> ModuleRegistry::Instantiate(const std::string& mod_name,
+                                            const std::string& instance_uuid,
+                                            const yaml::NodePtr& params,
+                                            ModContext& ctx,
+                                            uint32_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = instances_.find(instance_uuid); it != instances_.end()) {
+    if (it->second.mod->mod_name() != mod_name) {
+      return Status::AlreadyExists("instance '" + instance_uuid +
+                                   "' already bound to mod '" +
+                                   it->second.mod->mod_name() + "'");
+    }
+    return it->second.mod.get();
+  }
+  auto created = factory_->Create(mod_name, version);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<LabMod> mod = std::move(created).value();
+  mod->Bind(instance_uuid);
+  LABSTOR_RETURN_IF_ERROR(mod->Init(params, ctx));
+  LabMod* raw = mod.get();
+  instances_.emplace(instance_uuid, Entry{std::move(mod)});
+  return raw;
+}
+
+Result<LabMod*> ModuleRegistry::Find(const std::string& instance_uuid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = instances_.find(instance_uuid);
+  if (it == instances_.end()) {
+    return Status::NotFound("no instance '" + instance_uuid + "'");
+  }
+  return it->second.mod.get();
+}
+
+bool ModuleRegistry::Has(const std::string& instance_uuid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instances_.contains(instance_uuid);
+}
+
+Status ModuleRegistry::Upgrade(const std::string& instance_uuid,
+                               uint32_t new_version, ModContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = instances_.find(instance_uuid);
+  if (it == instances_.end()) {
+    return Status::NotFound("no instance '" + instance_uuid + "'");
+  }
+  LabMod& old = *it->second.mod;
+  auto created = factory_->Create(old.mod_name(), new_version);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<LabMod> fresh = std::move(created).value();
+  if (fresh->version() < old.version()) {
+    return Status::FailedPrecondition(
+        "downgrade to v" + std::to_string(fresh->version()) +
+        " from running v" + std::to_string(old.version()) + " refused");
+  }
+  fresh->Bind(instance_uuid);
+  LABSTOR_RETURN_IF_ERROR(fresh->Init(nullptr, ctx));
+  LABSTOR_RETURN_IF_ERROR(fresh->StateUpdate(old));
+  it->second.mod = std::move(fresh);
+  return Status::Ok();
+}
+
+std::vector<std::string> ModuleRegistry::InstancesOf(
+    const std::string& mod_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [uuid, entry] : instances_) {
+    if (entry.mod->mod_name() == mod_name) out.push_back(uuid);
+  }
+  return out;
+}
+
+std::vector<std::string> ModuleRegistry::AllInstances() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(instances_.size());
+  for (const auto& [uuid, _] : instances_) out.push_back(uuid);
+  return out;
+}
+
+Status ModuleRegistry::RepairAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [uuid, entry] : instances_) {
+    LABSTOR_RETURN_IF_ERROR(entry.mod->StateRepair());
+  }
+  return Status::Ok();
+}
+
+}  // namespace labstor::core

@@ -1,0 +1,106 @@
+// Module factory and Module Registry.
+//
+// ModFactory is the in-process stand-in for LabMod repos + dlopen: a
+// plugin registry keyed by (mod name, version). Mods self-register via
+// LABSTOR_REGISTER_LABMOD from their translation units; live upgrades
+// register a higher version and ask the Module Manager to swap.
+//
+// ModuleRegistry holds *instances* keyed by the human-readable
+// instance UUID (paper: "a key-value store where keys are LabMod UUIDs
+// and values are the LabMod instances"). Mounting a stack instantiates
+// a vertex only if its UUID is not yet present, so stacks can share
+// instances (e.g. two stacks over one allocator).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/labmod.h"
+
+namespace labstor::core {
+
+using ModMaker = std::function<std::unique_ptr<LabMod>()>;
+
+class ModFactory {
+ public:
+  // The process-wide factory (what "installed LabMod repos" resolve
+  // against). Tests may build private factories.
+  static ModFactory& Global();
+
+  Status Register(const std::string& name, uint32_t version, ModMaker maker);
+  bool Has(const std::string& name) const;
+  // Highest registered version for `name`.
+  Result<uint32_t> LatestVersion(const std::string& name) const;
+  // version == 0 means "latest".
+  Result<std::unique_ptr<LabMod>> Create(const std::string& name,
+                                         uint32_t version = 0) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::map<uint32_t, ModMaker>> makers_;
+};
+
+namespace internal {
+struct ModRegistrar {
+  ModRegistrar(const char* name, uint32_t version, ModMaker maker) {
+    (void)ModFactory::Global().Register(name, version, std::move(maker));
+  }
+};
+}  // namespace internal
+
+// Place in a .cc file:
+//   LABSTOR_REGISTER_LABMOD("labfs", 1, LabFs);
+#define LABSTOR_REGISTER_LABMOD(name, version, Type)                   \
+  static const ::labstor::core::internal::ModRegistrar                 \
+      labstor_mod_registrar_##Type##_##version(                        \
+          name, version, [] { return std::make_unique<Type>(); })
+
+class ModuleRegistry {
+ public:
+  explicit ModuleRegistry(const ModFactory* factory = &ModFactory::Global())
+      : factory_(factory) {}
+
+  // Instantiates `mod_name` (version 0 = latest) under `instance_uuid`
+  // unless that UUID already exists, in which case the existing
+  // instance is returned (after a mod-name consistency check).
+  Result<LabMod*> Instantiate(const std::string& mod_name,
+                              const std::string& instance_uuid,
+                              const yaml::NodePtr& params, ModContext& ctx,
+                              uint32_t version = 0);
+
+  Result<LabMod*> Find(const std::string& instance_uuid) const;
+  bool Has(const std::string& instance_uuid) const;
+
+  // Live upgrade step: create version `new_version` (0 = latest) of
+  // the same mod name, run StateUpdate(old), swap the instance.
+  // Re-loading the same version is allowed (code reload); only strict
+  // downgrades are rejected.
+  // Existing LabMod* pointers become invalid; callers must re-resolve
+  // (stacks re-resolve by UUID after upgrades).
+  Status Upgrade(const std::string& instance_uuid, uint32_t new_version,
+                 ModContext& ctx);
+
+  std::vector<std::string> InstancesOf(const std::string& mod_name) const;
+  std::vector<std::string> AllInstances() const;
+
+  // Crash recovery: invoke StateRepair on every instance.
+  Status RepairAll();
+
+ private:
+  struct Entry {
+    std::unique_ptr<LabMod> mod;
+  };
+
+  const ModFactory* factory_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> instances_;
+};
+
+}  // namespace labstor::core

@@ -1,0 +1,153 @@
+#include "core/orchestrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+
+namespace labstor::core {
+
+namespace {
+
+// Weight of a queue for balancing: expected time to drain its backlog
+// (at least one request's worth, so idle queues still cost something
+// to poll).
+uint64_t QueueWeight(const QueueLoad& q) {
+  const uint64_t backlog = std::max<uint64_t>(q.backlog, 1);
+  return q.est_processing_ns * backlog;
+}
+
+}  // namespace
+
+PackResult PackLpt(const std::vector<QueueLoad>& queues, size_t k) {
+  PackResult result;
+  if (k == 0) return result;
+  result.bins.resize(k);
+  std::vector<uint64_t> load(k, 0);
+  // Longest processing time first.
+  std::vector<const QueueLoad*> sorted;
+  sorted.reserve(queues.size());
+  for (const QueueLoad& q : queues) sorted.push_back(&q);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const QueueLoad* a, const QueueLoad* b) {
+                     return QueueWeight(*a) > QueueWeight(*b);
+                   });
+  for (const QueueLoad* q : sorted) {
+    const size_t bin = static_cast<size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    result.bins[bin].push_back(q->qid);
+    load[bin] += QueueWeight(*q);
+  }
+  result.makespan = *std::max_element(load.begin(), load.end());
+  return result;
+}
+
+Assignment RoundRobinOrchestrator::Rebalance(
+    const std::vector<QueueLoad>& queues, size_t max_workers) {
+  Assignment assignment;
+  if (max_workers == 0 || queues.empty()) return assignment;
+  assignment.worker_queues.resize(max_workers);
+  assignment.latency_dedicated.assign(max_workers, false);
+  for (size_t i = 0; i < queues.size(); ++i) {
+    assignment.worker_queues[i % max_workers].push_back(queues[i].qid);
+  }
+  return assignment;
+}
+
+Assignment FixedOrchestrator::Rebalance(const std::vector<QueueLoad>& queues,
+                                        size_t max_workers) {
+  RoundRobinOrchestrator rr;
+  return rr.Rebalance(queues, std::min(workers_, max_workers));
+}
+
+Assignment DynamicOrchestrator::Rebalance(const std::vector<QueueLoad>& queues,
+                                          size_t max_workers) {
+  Assignment assignment;
+  if (max_workers == 0 || queues.empty()) return assignment;
+
+  // 1. Classification.
+  std::vector<QueueLoad> lqs;
+  std::vector<QueueLoad> cqs;
+  for (const QueueLoad& q : queues) {
+    if (q.est_processing_ns <= options_.lq_threshold_ns) {
+      lqs.push_back(q);
+    } else {
+      cqs.push_back(q);
+    }
+  }
+
+  // 2./3. Choose the fewest workers per class whose makespan stays
+  // within (1 + loss_threshold) of the best achievable (all workers).
+  const auto pick = [&](const std::vector<QueueLoad>& group,
+                        size_t budget) -> PackResult {
+    if (group.empty() || budget == 0) return PackResult{};
+    const PackResult best = PackLpt(group, budget);
+    // Capacity floor: enough workers that sustained arrivals fit in
+    // the epoch at the target utilization (fewer workers would build
+    // unbounded backlog no matter how the queues are packed).
+    uint64_t total_work = 0;
+    for (const QueueLoad& q : group) {
+      total_work += q.est_processing_ns * std::max<uint64_t>(q.backlog, 1);
+    }
+    const double capacity_per_worker =
+        static_cast<double>(options_.epoch_budget_ns) *
+        options_.target_utilization;
+    const size_t k_floor = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(static_cast<double>(total_work) /
+                                         capacity_per_worker)));
+    // Acceptable makespan: within the loss threshold of the best
+    // achievable, or small enough to drain inside one epoch anyway.
+    const double acceptable = std::max(
+        static_cast<double>(best.makespan) * (1.0 + options_.loss_threshold),
+        capacity_per_worker);
+    for (size_t k = std::min(k_floor, budget); k < budget; ++k) {
+      PackResult candidate = PackLpt(group, k);
+      if (static_cast<double>(candidate.makespan) <= acceptable) {
+        return candidate;
+      }
+    }
+    return best;
+  };
+
+  // With one worker and both classes present no separation is
+  // possible: everything shares the worker.
+  if (max_workers == 1 && !lqs.empty() && !cqs.empty()) {
+    assignment.worker_queues.emplace_back();
+    assignment.latency_dedicated.push_back(false);
+    for (const QueueLoad& q : queues) {
+      assignment.worker_queues[0].push_back(q.qid);
+    }
+    return assignment;
+  }
+  // LQs get priority on the worker budget (they are why the policy
+  // exists) but must leave at least one worker for the CQs; the CQs
+  // take exactly what remains, so the total never exceeds the budget.
+  const size_t lq_budget = cqs.empty() ? max_workers : max_workers - 1;
+  PackResult lq_pack = pick(lqs, lq_budget);
+  size_t lq_used = 0;
+  for (const auto& bin : lq_pack.bins) lq_used += bin.empty() ? 0 : 1;
+  const size_t cq_budget = cqs.empty() ? 0 : max_workers - lq_used;
+  PackResult cq_pack = pick(cqs, cq_budget);
+
+  for (std::vector<uint32_t>& bin : lq_pack.bins) {
+    if (bin.empty()) continue;
+    assignment.worker_queues.push_back(std::move(bin));
+    assignment.latency_dedicated.push_back(true);
+  }
+  for (std::vector<uint32_t>& bin : cq_pack.bins) {
+    if (bin.empty()) continue;
+    assignment.worker_queues.push_back(std::move(bin));
+    assignment.latency_dedicated.push_back(false);
+  }
+  // Degenerate case: all bins empty (no queues had weight) — fall back
+  // to one worker holding everything.
+  if (assignment.worker_queues.empty()) {
+    assignment.worker_queues.emplace_back();
+    assignment.latency_dedicated.push_back(false);
+    for (const QueueLoad& q : queues) {
+      assignment.worker_queues[0].push_back(q.qid);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace labstor::core

@@ -1,0 +1,270 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace labstor::core {
+
+Runtime::Runtime(Options options, simdev::DeviceRegistry& devices)
+    : options_(std::move(options)),
+      devices_(devices),
+      ipc_(options_.ipc),
+      namespace_(options_.ns),
+      module_manager_(registry_, namespace_, ipc_) {
+  if (options_.orchestrator == nullptr) {
+    options_.orchestrator = std::make_unique<DynamicOrchestrator>();
+  }
+  mod_context_.devices = &devices_;
+  mod_context_.num_workers = static_cast<uint32_t>(options_.max_workers);
+}
+
+Runtime::~Runtime() {
+  if (running()) (void)Stop();
+}
+
+Status Runtime::Start() {
+  if (running()) return Status::FailedPrecondition("runtime already running");
+  ipc_.MarkOnline();
+  StartThreads();
+  return Status::Ok();
+}
+
+Status Runtime::Stop() {
+  if (!running()) return Status::FailedPrecondition("runtime not running");
+  StopThreads();
+  ipc_.MarkOffline();
+  return Status::Ok();
+}
+
+void Runtime::CrashForTesting() {
+  // Offline first so clients observe the crash, then kill threads.
+  ipc_.MarkOffline();
+  StopThreads();
+}
+
+Status Runtime::Restart() {
+  if (running()) return Status::FailedPrecondition("runtime already running");
+  ipc_.MarkOnline();  // new epoch
+  StartThreads();
+  return Status::Ok();
+}
+
+void Runtime::StartThreads() {
+  stop_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(assign_mu_);
+    assignments_.assign(options_.max_workers, {});
+  }
+  Rebalance();
+  workers_.reserve(options_.max_workers);
+  for (size_t i = 0; i < options_.max_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  admin_ = std::thread([this] { AdminLoop(); });
+  running_.store(true, std::memory_order_release);
+}
+
+void Runtime::StopThreads() {
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  if (admin_.joinable()) admin_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+Result<Stack*> Runtime::MountStack(const StackSpec& spec,
+                                   const ipc::Credentials& actor) {
+  auto mounted = namespace_.Mount(spec, registry_, mod_context_, actor);
+  if (mounted.ok()) Rebalance();
+  return mounted;
+}
+
+Status Runtime::ModifyStack(const StackSpec& updated,
+                            const ipc::Credentials& actor) {
+  return namespace_.Modify(updated, registry_, mod_context_, actor);
+}
+
+Status Runtime::UnmountStack(const std::string& mount,
+                             const ipc::Credentials& actor) {
+  return namespace_.Unmount(mount, actor);
+}
+
+Status Runtime::Execute(ipc::Request& req) {
+  auto stack = namespace_.FindById(req.stack_id);
+  if (!stack.ok()) {
+    req.Complete(stack.status().code());
+    return stack.status();
+  }
+  ExecTrace trace;
+  StackExec exec(**stack, mod_context_, trace);
+  const Status st = exec.Dispatch(req);
+  req.Complete(st.ok() ? StatusCode::kOk : st.code(), req.result_u64);
+  requests_processed_.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+Status Runtime::EnsureRepaired(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(repair_mu_);
+  if (repaired_epoch_ >= epoch) return Status::Ok();
+  LABSTOR_RETURN_IF_ERROR(registry_.RepairAll());
+  repaired_epoch_ = epoch;
+  return Status::Ok();
+}
+
+Status Runtime::SaveFdState(ipc::ProcessId pid, std::string blob) {
+  std::lock_guard<std::mutex> lock(fd_depot_mu_);
+  fd_depot_[pid] = std::move(blob);
+  return Status::Ok();
+}
+
+Result<std::string> Runtime::TakeFdState(ipc::ProcessId pid) {
+  std::lock_guard<std::mutex> lock(fd_depot_mu_);
+  const auto it = fd_depot_.find(pid);
+  if (it == fd_depot_.end()) {
+    return Status::NotFound("no parked fd state for pid " +
+                            std::to_string(pid));
+  }
+  std::string blob = std::move(it->second);
+  fd_depot_.erase(it);
+  return blob;
+}
+
+size_t Runtime::active_workers() const {
+  std::lock_guard<std::mutex> lock(assign_mu_);
+  size_t active = 0;
+  for (const auto& queues : assignments_) {
+    if (!queues.empty()) ++active;
+  }
+  return active;
+}
+
+std::vector<ipc::QueuePair*> Runtime::SnapshotQueues(size_t worker_id) const {
+  std::lock_guard<std::mutex> lock(assign_mu_);
+  if (worker_id >= assignments_.size()) return {};
+  return assignments_[worker_id];
+}
+
+void Runtime::WorkerLoop(size_t worker_id) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::vector<ipc::QueuePair*> queues = SnapshotQueues(worker_id);
+    bool did_work = false;
+    for (ipc::QueuePair* qp : queues) {
+      if (qp->update_pending()) {
+        qp->AckUpdate();
+        continue;  // paused for upgrade
+      }
+      auto polled = qp->PollSubmission();
+      if (!polled.has_value()) continue;
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      ipc::Request* req = *polled;
+      req->worker = static_cast<uint32_t>(worker_id);
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)Execute(*req);
+      // Feed the measured processing time back to the orchestrator as
+      // an EWMA (the paper: workers "periodically monitor LabMods to
+      // get performance metrics, useful to work orchestration").
+      const auto ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      const uint64_t prev =
+          qp->est_processing_ns.load(std::memory_order_relaxed);
+      qp->est_processing_ns.store(prev == 0 ? ns : (prev * 7 + ns) / 8,
+                                  std::memory_order_relaxed);
+      qp->total_completed.fetch_add(1, std::memory_order_relaxed);
+      (void)qp->Complete(req);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      did_work = true;
+    }
+    if (!did_work) {
+      // Paper: idle workers back off instead of busy-waiting a whole
+      // orchestrator epoch.
+      std::this_thread::sleep_for(options_.worker_idle_sleep);
+    }
+  }
+}
+
+void Runtime::AdminLoop() {
+  auto last_rebalance = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const Status st =
+        module_manager_.ProcessUpgrades(mod_context_, [this] { WaitQuiesce(); });
+    if (!st.ok()) {
+      LOG_WARN << "upgrade processing: " << st.ToString();
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_rebalance >= 10 * options_.admin_poll) {
+      Rebalance();
+      last_rebalance = now;
+    }
+    std::this_thread::sleep_for(options_.admin_poll);
+  }
+}
+
+void Runtime::Rebalance() {
+  std::vector<QueueLoad> loads;
+  for (ipc::QueuePair* qp : ipc_.PrimaryQueues()) {
+    QueueLoad load;
+    load.qid = qp->id();
+    load.est_processing_ns = qp->est_processing_ns.load(std::memory_order_relaxed);
+    if (load.est_processing_ns == 0) load.est_processing_ns = 3 * sim::kUs;
+    load.backlog = qp->PendingSubmissions();
+    loads.push_back(load);
+  }
+  const Assignment assignment =
+      options_.orchestrator->Rebalance(loads, options_.max_workers);
+  std::lock_guard<std::mutex> lock(assign_mu_);
+  assignments_.assign(options_.max_workers, {});
+  for (size_t w = 0; w < assignment.worker_queues.size() &&
+                     w < assignments_.size();
+       ++w) {
+    for (const uint32_t qid : assignment.worker_queues[w]) {
+      if (ipc::QueuePair* qp = ipc_.FindQueue(qid); qp != nullptr) {
+        assignments_[w].push_back(qp);
+      }
+    }
+  }
+}
+
+void Runtime::WaitQuiesce() {
+  // 1. Every assigned, marked primary queue must be acknowledged by
+  //    its worker; queues no worker drains are acknowledged here.
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<ipc::QueuePair*> assigned;
+    {
+      std::lock_guard<std::mutex> lock(assign_mu_);
+      for (const auto& queues : assignments_) {
+        assigned.insert(assigned.end(), queues.begin(), queues.end());
+      }
+    }
+    bool all_acked = true;
+    for (ipc::QueuePair* qp : ipc_.PrimaryQueues()) {
+      if (!qp->update_pending()) continue;
+      const bool is_assigned =
+          std::find(assigned.begin(), assigned.end(), qp) != assigned.end();
+      if (!is_assigned) qp->AckUpdate();
+      if (!qp->update_acked()) all_acked = false;
+    }
+    if (all_acked) break;
+    std::this_thread::yield();
+  }
+  // 2. In-flight requests and intermediate queues must drain.
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (in_flight_.load(std::memory_order_acquire) == 0) {
+      bool drained = true;
+      for (ipc::QueuePair* qp : ipc_.IntermediateQueues()) {
+        if (qp->PendingSubmissions() != 0) {
+          drained = false;
+          break;
+        }
+      }
+      if (drained) break;
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace labstor::core

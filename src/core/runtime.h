@@ -1,0 +1,133 @@
+// The LabStor Runtime (paper §III-C): warehouse and execution engine
+// for LabStacks.
+//
+// Real-mode composition:
+//   * worker threads poll request queues assigned by the Work
+//     Orchestrator and execute stack DAGs;
+//   * an admin thread periodically processes module upgrades
+//     (quiescing via UPDATE_PENDING/ACKED) and rebalances queues;
+//   * clients connect through the IPC Manager and either submit into
+//     shared-memory queues (async stacks) or execute DAGs inline
+//     (sync stacks).
+//
+// The Runtime can be crash-tested: CrashForTesting() drops it offline
+// with state intact; Restart() brings a fresh epoch online, after
+// which client libraries trigger StateRepair on every LabMod.
+#pragma once
+
+#include <atomic>
+#include <unordered_map>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/module_manager.h"
+#include "core/module_registry.h"
+#include "core/orchestrator.h"
+#include "core/stack.h"
+#include "core/stack_exec.h"
+#include "ipc/ipc_manager.h"
+#include "simdev/registry.h"
+
+namespace labstor::core {
+
+class Runtime {
+ public:
+  struct Options {
+    size_t max_workers = 4;
+    std::unique_ptr<WorkOrchestrator> orchestrator;  // default: dynamic
+    std::chrono::milliseconds admin_poll{5};
+    std::chrono::microseconds worker_idle_sleep{100};
+    ipc::IpcManager::Options ipc;
+    StackNamespace::Options ns;
+  };
+
+  Runtime(Options options, simdev::DeviceRegistry& devices);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  Status Start();
+  Status Stop();
+
+  // Abrupt failure injection: runtime goes offline, worker/admin
+  // threads die, but registry/namespace state survives (it lives in
+  // "shared memory").
+  void CrashForTesting();
+  // Administrator restart: new epoch, threads resume draining the
+  // same queues.
+  Status Restart();
+
+  // --- control plane (the mount.stack / modify.stack / modify.mods
+  // utilities call these) ---
+  Result<Stack*> MountStack(const StackSpec& spec,
+                            const ipc::Credentials& actor);
+  Status ModifyStack(const StackSpec& updated, const ipc::Credentials& actor);
+  Status UnmountStack(const std::string& mount, const ipc::Credentials& actor);
+  void SubmitUpgrade(UpgradeRequest request) {
+    module_manager_.SubmitUpgrade(std::move(request));
+  }
+
+  // Executes one request against its stack (worker path; also used by
+  // sync-mode clients inline).
+  Status Execute(ipc::Request& req);
+
+  // Crash recovery: run StateRepair across all mods once per epoch.
+  Status EnsureRepaired(uint64_t epoch);
+
+  // execve support (paper §III-F): the client library parks its open
+  // fd state in the Runtime before the address space is replaced and
+  // reclaims it afterwards.
+  Status SaveFdState(ipc::ProcessId pid, std::string blob);
+  Result<std::string> TakeFdState(ipc::ProcessId pid);
+
+  // --- accessors ---
+  ipc::IpcManager& ipc() { return ipc_; }
+  ModuleRegistry& registry() { return registry_; }
+  StackNamespace& ns() { return namespace_; }
+  ModuleManager& module_manager() { return module_manager_; }
+  simdev::DeviceRegistry& devices() { return devices_; }
+  ModContext& mod_context() { return mod_context_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  size_t active_workers() const;
+  uint64_t requests_processed() const {
+    return requests_processed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop(size_t worker_id);
+  void AdminLoop();
+  void Rebalance();
+  void WaitQuiesce();
+  std::vector<ipc::QueuePair*> SnapshotQueues(size_t worker_id) const;
+  void StartThreads();
+  void StopThreads();
+
+  Options options_;
+  simdev::DeviceRegistry& devices_;
+  ipc::IpcManager ipc_;
+  ModuleRegistry registry_;
+  StackNamespace namespace_;
+  ModuleManager module_manager_;
+  ModContext mod_context_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<uint64_t> requests_processed_{0};
+  uint64_t repaired_epoch_ = 0;
+  std::mutex repair_mu_;
+  std::mutex fd_depot_mu_;
+  std::unordered_map<ipc::ProcessId, std::string> fd_depot_;
+
+  std::vector<std::thread> workers_;
+  std::thread admin_;
+
+  mutable std::mutex assign_mu_;
+  std::vector<std::vector<ipc::QueuePair*>> assignments_;
+};
+
+}  // namespace labstor::core

@@ -1,0 +1,127 @@
+#include "core/runtime_config.h"
+
+namespace labstor::core {
+
+namespace {
+
+Result<std::unique_ptr<WorkOrchestrator>> BuildOrchestrator(
+    const yaml::NodePtr& node) {
+  if (node == nullptr) {
+    return std::unique_ptr<WorkOrchestrator>(new DynamicOrchestrator());
+  }
+  const std::string policy = node->GetString("policy", "dynamic");
+  if (policy == "round_robin") {
+    return std::unique_ptr<WorkOrchestrator>(new RoundRobinOrchestrator());
+  }
+  if (policy == "fixed") {
+    const uint64_t workers = node->GetUint("fixed_workers", 1);
+    if (workers == 0) {
+      return Status::InvalidArgument("fixed_workers must be >= 1");
+    }
+    return std::unique_ptr<WorkOrchestrator>(
+        new FixedOrchestrator(static_cast<size_t>(workers)));
+  }
+  if (policy == "dynamic") {
+    DynamicOrchestrator::Options options;
+    options.lq_threshold_ns =
+        node->GetUint("lq_threshold_us", 100) * sim::kUs;
+    options.loss_threshold = node->GetDouble("loss_threshold", 0.10);
+    options.epoch_budget_ns = node->GetUint("epoch_budget_us", 1000) * sim::kUs;
+    return std::unique_ptr<WorkOrchestrator>(new DynamicOrchestrator(options));
+  }
+  return Status::InvalidArgument("unknown orchestrator policy '" + policy +
+                                 "'");
+}
+
+Result<simdev::DeviceParams> BuildDevice(const yaml::NodePtr& node) {
+  if (node == nullptr || !node->IsMapping()) {
+    return Status::InvalidArgument("device entry must be a mapping");
+  }
+  const std::string preset = node->GetString("preset", "");
+  const uint64_t capacity = node->GetUint("capacity_mb", 64) << 20;
+  simdev::DeviceParams params;
+  if (preset == "nvme") {
+    params = simdev::DeviceParams::NvmeP3700(capacity);
+  } else if (preset == "sata_ssd") {
+    params = simdev::DeviceParams::SataSsd(capacity);
+  } else if (preset == "hdd") {
+    params = simdev::DeviceParams::SasHdd(capacity);
+  } else if (preset == "pmem") {
+    params = simdev::DeviceParams::PmemEmulated(capacity);
+  } else {
+    return Status::InvalidArgument("unknown device preset '" + preset + "'");
+  }
+  params.name = node->GetString("name", params.name);
+  return params;
+}
+
+}  // namespace
+
+Result<RuntimeConfig> RuntimeConfig::FromYaml(const yaml::NodePtr& root) {
+  if (root == nullptr || !root->IsMapping()) {
+    return Status::InvalidArgument("runtime config must be a mapping");
+  }
+  RuntimeConfig config;
+  config.options.max_workers =
+      static_cast<size_t>(root->GetUint("workers", 4));
+  if (config.options.max_workers == 0) {
+    return Status::InvalidArgument("workers must be >= 1");
+  }
+  config.options.admin_poll =
+      std::chrono::milliseconds(root->GetUint("admin_poll_ms", 5));
+  LABSTOR_ASSIGN_OR_RETURN(orchestrator,
+                           BuildOrchestrator(root->Get("orchestrator")));
+  config.options.orchestrator = std::move(orchestrator);
+
+  if (const yaml::NodePtr ipc = root->Get("ipc"); ipc != nullptr) {
+    config.options.ipc.segment_bytes =
+        static_cast<size_t>(ipc->GetUint("segment_mb", 16)) << 20;
+    const uint64_t depth = ipc->GetUint("queue_depth", 1024);
+    if ((depth & (depth - 1)) != 0 || depth < 2) {
+      return Status::InvalidArgument("queue_depth must be a power of two");
+    }
+    config.options.ipc.queue_depth = static_cast<size_t>(depth);
+  }
+  if (const yaml::NodePtr ns = root->Get("namespace"); ns != nullptr) {
+    config.options.ns.max_stack_length =
+        static_cast<size_t>(ns->GetUint("max_stack_length", 16));
+  }
+  if (const yaml::NodePtr repos = root->Get("repos");
+      repos != nullptr && repos->IsSequence()) {
+    for (const yaml::NodePtr& repo : repos->items()) {
+      if (repo->IsScalar()) config.repos.push_back(repo->scalar());
+    }
+  }
+  config.max_repos_per_user =
+      static_cast<size_t>(root->GetUint("max_repos_per_user", 4));
+  if (config.repos.size() > config.max_repos_per_user) {
+    return Status::InvalidArgument("more repos than max_repos_per_user");
+  }
+  if (const yaml::NodePtr devices = root->Get("devices");
+      devices != nullptr && devices->IsSequence()) {
+    for (const yaml::NodePtr& entry : devices->items()) {
+      LABSTOR_ASSIGN_OR_RETURN(device, BuildDevice(entry));
+      config.devices.push_back(std::move(device));
+    }
+  }
+  return config;
+}
+
+Result<RuntimeConfig> RuntimeConfig::Parse(std::string_view text) {
+  LABSTOR_ASSIGN_OR_RETURN(root, yaml::Parse(text));
+  return FromYaml(root);
+}
+
+Result<RuntimeConfig> RuntimeConfig::ParseFile(const std::string& path) {
+  LABSTOR_ASSIGN_OR_RETURN(root, yaml::ParseFile(path));
+  return FromYaml(root);
+}
+
+Status RuntimeConfig::ApplyDevices(simdev::DeviceRegistry& registry) const {
+  for (const simdev::DeviceParams& params : devices) {
+    LABSTOR_RETURN_IF_ERROR(registry.Create(params).status());
+  }
+  return Status::Ok();
+}
+
+}  // namespace labstor::core

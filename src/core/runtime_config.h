@@ -1,0 +1,55 @@
+// Runtime configuration file (paper §III-D: "Trusted users can modify
+// the Runtime configuration YAML, which contains information such as
+// LabMod locations and work orchestration policies").
+//
+// Example:
+//   workers: 8
+//   admin_poll_ms: 5
+//   orchestrator:
+//     policy: dynamic            # round_robin | fixed | dynamic
+//     fixed_workers: 4           # fixed only
+//     lq_threshold_us: 100       # dynamic only
+//     loss_threshold: 0.1
+//   ipc:
+//     segment_mb: 16
+//     queue_depth: 1024
+//   namespace:
+//     max_stack_length: 16
+//   repos:                       # searched for installed LabMods
+//     - /opt/labstor/mods
+//   max_repos_per_user: 4
+//   devices:
+//     - preset: nvme             # nvme | sata_ssd | hdd | pmem
+//       name: nvme0
+//       capacity_mb: 256
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/yaml.h"
+#include "core/runtime.h"
+#include "simdev/registry.h"
+
+namespace labstor::core {
+
+struct RuntimeConfig {
+  Runtime::Options options;
+  // Declarative device list, applied to a DeviceRegistry at startup.
+  std::vector<simdev::DeviceParams> devices;
+  // LabMod repo directories (informational in this in-process build:
+  // mods register via static initializers, but the list is validated
+  // and surfaced to tooling).
+  std::vector<std::string> repos;
+  size_t max_repos_per_user = 4;
+
+  static Result<RuntimeConfig> FromYaml(const yaml::NodePtr& root);
+  static Result<RuntimeConfig> Parse(std::string_view text);
+  static Result<RuntimeConfig> ParseFile(const std::string& path);
+
+  // Registers every declared device.
+  Status ApplyDevices(simdev::DeviceRegistry& registry) const;
+};
+
+}  // namespace labstor::core

@@ -1,0 +1,94 @@
+// SimRuntime: the Runtime's execution semantics under the DES.
+//
+// Benches cannot use wall-clock worker threads to reproduce the
+// paper's 24-core results on this host, so SimRuntime re-creates the
+// async execution path in virtual time while running the *same*
+// library code everywhere it matters:
+//   * stacks are mounted through the real StackNamespace/ModuleRegistry;
+//   * requests run through the real StackExec/mod Process functions
+//     (functional effects are immediate);
+//   * the recorded ExecTrace is then replayed as virtual time: IPC
+//     hops, worker occupancy (FIFO per simulated worker, as assigned
+//     by a real WorkOrchestrator policy), and contended device ops.
+//
+// Worker model: a request occupies its worker for its *software* time
+// only; device ops are forwarded asynchronously (paper §III-E's
+// "asynchronous message passing and polling" pattern). Computational
+// mods (compression) therefore block their worker — exactly the
+// head-of-line effect Fig. 5(b) measures.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/module_registry.h"
+#include "core/orchestrator.h"
+#include "core/stack.h"
+#include "core/stack_exec.h"
+#include "sim/cost_model.h"
+#include "sim/environment.h"
+#include "simdev/registry.h"
+
+namespace labstor::core {
+
+class SimRuntime {
+ public:
+  SimRuntime(sim::Environment& env, simdev::DeviceRegistry& devices,
+             size_t num_workers,
+             const sim::SoftwareCosts& costs = sim::DefaultCosts());
+
+  Result<Stack*> Mount(const StackSpec& spec);
+  Result<Stack*> MountYaml(const std::string& yaml);
+
+  // Declare a client queue. `est_processing` feeds the orchestrator's
+  // LQ/CQ classification (the paper reads it from EstProcessingTime).
+  void RegisterQueue(uint32_t qid, sim::Time est_processing);
+
+  // Execute one request from queue `qid` through `stack`, honoring its
+  // exec mode. Returns when the completion would reach the client.
+  sim::Task<Status> Execute(uint32_t qid, Stack& stack, ipc::Request& req);
+
+  // --- orchestration ---
+  void ApplyAssignment(const Assignment& assignment);
+  // Spawn a periodic rebalance process using `policy` (caller keeps it
+  // alive). Runs until the environment drains.
+  void StartRebalancer(WorkOrchestrator* policy, sim::Time period);
+
+  // --- stats ---
+  // Average number of busy cores over [0, elapsed].
+  double AvgBusyCores(sim::Time elapsed) const;
+  size_t ActiveWorkers() const;
+  uint64_t requests_done() const { return requests_done_; }
+
+  ModuleRegistry& registry() { return registry_; }
+  StackNamespace& ns() { return namespace_; }
+  ModContext& ctx() { return ctx_; }
+  const sim::SoftwareCosts& costs() const { return costs_; }
+
+ private:
+  struct QueueState {
+    sim::Time est_processing = 3 * sim::kUs;
+    uint64_t backlog = 0;           // submitted, not yet picked up
+    uint64_t arrivals_in_epoch = 0; // since the last rebalance
+    size_t worker = 0;
+  };
+
+  sim::Task<void> RebalanceLoop(WorkOrchestrator* policy, sim::Time period);
+  std::vector<QueueLoad> SnapshotLoads() const;
+
+  sim::Environment& env_;
+  const sim::SoftwareCosts& costs_;
+  ModuleRegistry registry_;
+  StackNamespace namespace_;
+  ModContext ctx_;
+
+  std::vector<std::unique_ptr<sim::Resource>> workers_;
+  std::vector<sim::Time> busy_ns_;
+  std::vector<uint64_t> worker_requests_;
+  std::vector<bool> worker_active_;
+  std::unordered_map<uint32_t, QueueState> queues_;
+  uint64_t requests_done_ = 0;
+};
+
+}  // namespace labstor::core

@@ -1,0 +1,68 @@
+// StackExec: drives one request through a LabStack's DAG.
+//
+// Mods receive the exec object and call Forward(req) to hand the
+// (possibly rewritten) request to their output vertices. Execution is
+// a synchronous call chain — the functional behaviour of both exec
+// modes; the *timing* difference between sync and async modes (IPC
+// hop vs inline) is charged by the runtime/bench layer around this.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/exec_trace.h"
+#include "core/labmod.h"
+#include "core/stack.h"
+#include "ipc/request.h"
+
+namespace labstor::core {
+
+class StackExec {
+ public:
+  StackExec(Stack& stack, ModContext& ctx, ExecTrace& trace)
+      : stack_(stack), ctx_(ctx), trace_(trace) {}
+
+  // Run the request from the stack root.
+  Status Dispatch(ipc::Request& req) { return RunVertex(stack_.root, req); }
+
+  // Run the outputs of the vertex currently executing. Errors
+  // short-circuit: the first failing output wins.
+  Status Forward(ipc::Request& req) {
+    if (call_stack_.empty()) {
+      return Status::Internal("Forward called outside vertex execution");
+    }
+    const Stack::Vertex& vertex = stack_.vertices[call_stack_.back()];
+    for (const size_t out : vertex.outputs) {
+      LABSTOR_RETURN_IF_ERROR(RunVertex(out, req));
+    }
+    return Status::Ok();
+  }
+
+  // Does the current vertex have anywhere to forward to?
+  bool HasDownstream() const {
+    return !call_stack_.empty() &&
+           !stack_.vertices[call_stack_.back()].outputs.empty();
+  }
+
+  Stack& stack() { return stack_; }
+  ModContext& ctx() { return ctx_; }
+  ExecTrace& trace() { return trace_; }
+
+  // The vertex currently executing (valid during Process).
+  size_t current_vertex() const { return call_stack_.back(); }
+
+ private:
+  Status RunVertex(size_t idx, ipc::Request& req) {
+    call_stack_.push_back(idx);
+    const Status st = stack_.vertices[idx].mod->Process(req, *this);
+    call_stack_.pop_back();
+    return st;
+  }
+
+  Stack& stack_;
+  ModContext& ctx_;
+  ExecTrace& trace_;
+  std::vector<size_t> call_stack_;
+};
+
+}  // namespace labstor::core

@@ -1,0 +1,26 @@
+// Process credentials, as passed over the (simulated) UNIX domain
+// socket when a client connects to the Runtime. The single-address-
+// space simulation still enforces the paper's access rules: shared
+// memory segments and LabStacks check these credentials on every
+// privileged operation.
+#pragma once
+
+#include <cstdint>
+
+namespace labstor::ipc {
+
+using ProcessId = uint32_t;
+using UserId = uint32_t;
+
+struct Credentials {
+  ProcessId pid = 0;
+  UserId uid = 0;
+  UserId gid = 0;
+
+  bool operator==(const Credentials&) const = default;
+  bool IsRoot() const { return uid == 0; }
+};
+
+inline constexpr Credentials kRuntimeCreds{1, 0, 0};
+
+}  // namespace labstor::ipc

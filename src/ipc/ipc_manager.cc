@@ -1,0 +1,85 @@
+#include "ipc/ipc_manager.h"
+
+#include <thread>
+
+namespace labstor::ipc {
+
+Result<ClientChannel> IpcManager::Connect(const Credentials& creds) {
+  if (!online()) {
+    return Status::Unavailable("runtime is offline");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = channels_.find(creds.pid); it != channels_.end()) {
+    return it->second;
+  }
+  auto segment = shmem_.CreateSegment(kRuntimeCreds, options_.segment_bytes);
+  if (!segment.ok()) return segment.status();
+  LABSTOR_RETURN_IF_ERROR(
+      shmem_.Grant((*segment)->id(), kRuntimeCreds, creds.pid));
+
+  auto qp = std::make_unique<QueuePair>(next_qid_++, QueueKind::kPrimary,
+                                        options_.ordered_queues,
+                                        options_.queue_depth, creds);
+  QueuePair* raw = qp.get();
+  queues_.push_back(std::move(qp));
+  primary_.push_back(raw);
+
+  ClientChannel channel{creds, *segment, raw};
+  channels_.emplace(creds.pid, channel);
+  return channel;
+}
+
+Status IpcManager::Disconnect(const Credentials& creds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = channels_.find(creds.pid);
+  if (it == channels_.end()) return Status::NotFound("client not connected");
+  // The queue pair stays allocated (outstanding pointers may exist)
+  // but is removed from the primary set so workers stop polling it.
+  QueuePair* qp = it->second.qp;
+  std::erase(primary_, qp);
+  channels_.erase(it);
+  return Status::Ok();
+}
+
+QueuePair* IpcManager::CreateIntermediateQueue(bool ordered) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto qp = std::make_unique<QueuePair>(next_qid_++, QueueKind::kIntermediate,
+                                        ordered, options_.queue_depth,
+                                        kRuntimeCreds);
+  QueuePair* raw = qp.get();
+  queues_.push_back(std::move(qp));
+  intermediate_.push_back(raw);
+  return raw;
+}
+
+QueuePair* IpcManager::FindQueue(uint32_t qid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& qp : queues_) {
+    if (qp->id() == qid) return qp.get();
+  }
+  return nullptr;
+}
+
+Status IpcManager::Wait(Request* req,
+                        std::chrono::milliseconds offline_grace) const {
+  const auto offline_deadline_unset =
+      std::chrono::steady_clock::time_point::max();
+  auto offline_deadline = offline_deadline_unset;
+  while (!req->IsDone()) {
+    if (!online()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (offline_deadline == offline_deadline_unset) {
+        offline_deadline = now + offline_grace;
+      } else if (now >= offline_deadline) {
+        return Status::Unavailable(
+            "runtime offline and not restarted within grace period");
+      }
+    } else {
+      offline_deadline = offline_deadline_unset;
+    }
+    std::this_thread::yield();
+  }
+  return req->ToStatus();
+}
+
+}  // namespace labstor::ipc

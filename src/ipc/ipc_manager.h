@@ -1,0 +1,101 @@
+// IPC Manager: connection handshake, queue-pair allocation, and
+// runtime-liveness signaling (the hook crash recovery builds on).
+//
+// Clients "connect over a UNIX domain socket" (a direct call here,
+// carrying Credentials), receive a shared-memory segment plus a
+// primary queue pair, and submit requests by writing them into the
+// segment and pushing pointers onto the ring.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "ipc/credentials.h"
+#include "ipc/queue_pair.h"
+#include "ipc/shmem.h"
+
+namespace labstor::ipc {
+
+struct ClientChannel {
+  Credentials creds;
+  ShMemSegment* segment = nullptr;  // request/payload allocation
+  QueuePair* qp = nullptr;          // primary queue pair
+
+  // Allocates a request plus payload buffer inside the segment.
+  Request* NewRequest(uint64_t payload_bytes = 0) {
+    Request* req = segment->New<Request>();
+    if (req == nullptr) return nullptr;
+    req->client_pid = creds.pid;
+    if (payload_bytes > 0) {
+      req->data = static_cast<uint8_t*>(
+          segment->Allocate(payload_bytes, alignof(std::max_align_t)));
+      if (req->data == nullptr) return nullptr;
+    }
+    return req;
+  }
+};
+
+class IpcManager {
+ public:
+  struct Options {
+    size_t segment_bytes = 16 << 20;
+    size_t queue_depth = 1024;  // power of two
+    bool ordered_queues = true;
+  };
+
+  IpcManager() : IpcManager(Options()) {}
+  explicit IpcManager(Options options) : options_(options) {}
+
+  // Handshake: verifies the runtime is online, creates (or reuses) the
+  // per-client segment + primary queue, grants segment access.
+  Result<ClientChannel> Connect(const Credentials& creds);
+  // Drops the client's queue assignment (fork/execve re-connect path).
+  Status Disconnect(const Credentials& creds);
+
+  // Intermediate queues live runtime-side.
+  QueuePair* CreateIntermediateQueue(bool ordered);
+
+  const std::vector<QueuePair*>& PrimaryQueues() const { return primary_; }
+  const std::vector<QueuePair*>& IntermediateQueues() const {
+    return intermediate_;
+  }
+  QueuePair* FindQueue(uint32_t qid) const;
+
+  ShMemManager& shmem() { return shmem_; }
+
+  // --- runtime liveness (crash recovery) ---
+  bool online() const { return online_.load(std::memory_order_acquire); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void MarkOnline() {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    online_.store(true, std::memory_order_release);
+  }
+  void MarkOffline() { online_.store(false, std::memory_order_release); }
+
+  // Client-side completion wait: polls the request; if the runtime
+  // goes offline, waits (up to `offline_grace`) for an administrator
+  // restart, then reports kUnavailable so the client library can run
+  // StateRepair. Real-time, for real-mode use only.
+  Status Wait(Request* req,
+              std::chrono::milliseconds offline_grace =
+                  std::chrono::milliseconds(2000)) const;
+
+ private:
+  Options options_;
+  ShMemManager shmem_;
+  mutable std::mutex mu_;
+  uint32_t next_qid_ = 1;
+  std::vector<std::unique_ptr<QueuePair>> queues_;
+  std::vector<QueuePair*> primary_;
+  std::vector<QueuePair*> intermediate_;
+  std::unordered_map<ProcessId, ClientChannel> channels_;
+  std::atomic<bool> online_{true};
+  std::atomic<uint64_t> epoch_{1};
+};
+
+}  // namespace labstor::ipc

@@ -1,0 +1,88 @@
+// Queue Pairs: the IPC Manager's communication primitive.
+//
+// Properties from the paper (III-C1):
+//   * primary queues carry client-initiated requests and live in
+//     shared memory; intermediate queues carry requests spawned by
+//     other requests and live in (Runtime-) private memory;
+//   * ordered queues must be drained by a single worker in sequence;
+//     unordered queues may be drained by many workers;
+//   * primary queues carry the UPDATE_PENDING / UPDATE_ACKED flags the
+//     centralized live-upgrade protocol uses to quiesce traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/ring_buffer.h"
+#include "ipc/credentials.h"
+#include "ipc/request.h"
+
+namespace labstor::ipc {
+
+enum class QueueKind : uint8_t { kPrimary, kIntermediate };
+
+class QueuePair {
+ public:
+  QueuePair(uint32_t id, QueueKind kind, bool ordered, size_t depth_pow2,
+            Credentials owner)
+      : id_(id),
+        kind_(kind),
+        ordered_(ordered),
+        owner_(owner),
+        sq_(depth_pow2),
+        cq_(depth_pow2) {}
+
+  uint32_t id() const { return id_; }
+  QueueKind kind() const { return kind_; }
+  bool ordered() const { return ordered_; }
+  const Credentials& owner() const { return owner_; }
+
+  // --- submission side ---
+  bool Submit(Request* req) {
+    if (update_pending()) return false;  // quiesced for upgrade
+    return sq_.TryPush(req);
+  }
+  std::optional<Request*> PollSubmission() { return sq_.TryPop(); }
+  size_t PendingSubmissions() const { return sq_.SizeApprox(); }
+
+  // --- completion side ---
+  bool Complete(Request* req) { return cq_.TryPush(req); }
+  std::optional<Request*> PollCompletion() { return cq_.TryPop(); }
+
+  // --- live upgrade protocol flags ---
+  void MarkUpdatePending() {
+    update_state_.store(1, std::memory_order_release);
+  }
+  void AckUpdate() {
+    uint32_t expected = 1;
+    update_state_.compare_exchange_strong(expected, 2,
+                                          std::memory_order_acq_rel);
+  }
+  void ClearUpdate() { update_state_.store(0, std::memory_order_release); }
+  bool update_pending() const {
+    return update_state_.load(std::memory_order_acquire) != 0;
+  }
+  bool update_acked() const {
+    return update_state_.load(std::memory_order_acquire) == 2;
+  }
+
+  // Bookkeeping the Work Orchestrator reads during rebalance.
+  std::atomic<uint64_t> total_submitted{0};
+  std::atomic<uint64_t> total_completed{0};
+  // Max EstProcessingTime (ns) among mods reachable from this queue;
+  // maintained by the runtime when stacks are (re)assigned.
+  std::atomic<uint64_t> est_processing_ns{0};
+
+ private:
+  uint32_t id_;
+  QueueKind kind_;
+  bool ordered_;
+  Credentials owner_;
+  MpmcRing<Request*> sq_;
+  MpmcRing<Request*> cq_;
+  std::atomic<uint32_t> update_state_{0};  // 0=normal 1=pending 2=acked
+};
+
+}  // namespace labstor::ipc

@@ -1,0 +1,35 @@
+#include "kernelsim/access_api.h"
+
+#include <limits>
+
+namespace labstor::kernelsim {
+
+uint32_t BlkSwitchPickQueue(const simdev::SimDevice& device, uint64_t length,
+                            uint32_t num_queues,
+                            uint64_t lat_size_threshold) {
+  const bool throughput_bound = length > lat_size_threshold;
+  const uint32_t begin = throughput_bound ? num_queues / 2 : 0;
+  const uint32_t end = throughput_bound ? num_queues : num_queues / 2;
+  uint32_t best = begin;
+  size_t best_depth = std::numeric_limits<size_t>::max();
+  for (uint32_t ch = begin; ch < end; ++ch) {
+    const size_t depth = device.ChannelQueueDepth(ch);
+    if (depth < best_depth) {
+      best_depth = depth;
+      best = ch;
+    }
+  }
+  return best;
+}
+
+sim::Task<void> AccessApi::DoIo(simdev::IoOp op, uint32_t channel,
+                                uint64_t offset, uint64_t length) {
+  co_await env_.Delay(SoftwareOverhead());
+  if (op == simdev::IoOp::kRead) {
+    co_await device_.ReadTimed(channel, offset, length);
+  } else {
+    co_await device_.WriteTimed(channel, offset, length);
+  }
+}
+
+}  // namespace labstor::kernelsim

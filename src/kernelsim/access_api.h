@@ -1,0 +1,34 @@
+// DES actor issuing I/O through a chosen route (Fig. 6's subjects):
+// charges the route's software overhead, then occupies the device.
+#pragma once
+
+#include "kernelsim/paths.h"
+#include "sim/environment.h"
+#include "sim/task.h"
+#include "simdev/sim_device.h"
+
+namespace labstor::kernelsim {
+
+class AccessApi {
+ public:
+  AccessApi(sim::Environment& env, simdev::SimDevice& device, ApiKind kind,
+            const sim::SoftwareCosts& costs = sim::DefaultCosts())
+      : env_(env), device_(device), kind_(kind), costs_(costs) {}
+
+  ApiKind kind() const { return kind_; }
+
+  // One synchronous I/O: software overhead + device service (queued on
+  // `channel`). Completion time is the caller's virtual now().
+  sim::Task<void> DoIo(simdev::IoOp op, uint32_t channel, uint64_t offset,
+                       uint64_t length);
+
+  sim::Time SoftwareOverhead() const { return ApiOverhead(kind_, costs_); }
+
+ private:
+  sim::Environment& env_;
+  simdev::SimDevice& device_;
+  ApiKind kind_;
+  const sim::SoftwareCosts& costs_;
+};
+
+}  // namespace labstor::kernelsim

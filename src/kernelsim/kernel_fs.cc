@@ -1,0 +1,121 @@
+#include "kernelsim/kernel_fs.h"
+
+namespace labstor::kernelsim {
+
+std::string_view KfsKindName(KfsKind kind) {
+  switch (kind) {
+    case KfsKind::kExt4: return "ext4";
+    case KfsKind::kXfs: return "xfs";
+    case KfsKind::kF2fs: return "f2fs";
+  }
+  return "?";
+}
+
+KfsParams KfsParams::For(KfsKind kind) {
+  KfsParams p;
+  switch (kind) {
+    case KfsKind::kExt4:
+      // jbd2 transaction + inode table + dentry under one big lock.
+      p.create_locked = 12 * sim::kUs;
+      p.create_unlocked = 10 * sim::kUs;
+      p.lock_tokens = 1;
+      p.journal_bytes = 4096;
+      p.data_op_fixed = 800;  // extent tree
+      break;
+    case KfsKind::kXfs:
+      // Per-AG locking buys some metadata parallelism.
+      p.create_locked = 12 * sim::kUs;
+      p.create_unlocked = 12 * sim::kUs;
+      p.lock_tokens = 4;
+      p.journal_bytes = 4096;
+      p.data_op_fixed = 1000;  // btree extents
+      break;
+    case KfsKind::kF2fs:
+      // Log-structured: cheaper creates, one current-segment lock.
+      p.create_locked = 8 * sim::kUs;
+      p.create_unlocked = 9 * sim::kUs;
+      p.lock_tokens = 1;
+      p.journal_bytes = 512;  // node update
+      p.data_op_fixed = 600;
+      break;
+  }
+  return p;
+}
+
+KernelFs::KernelFs(sim::Environment& env, simdev::SimDevice& device,
+                   KfsKind kind, const sim::SoftwareCosts& costs)
+    : env_(env),
+      device_(device),
+      kind_(kind),
+      costs_(costs),
+      params_(KfsParams::For(kind)),
+      meta_lock_(env, KfsParams::For(kind).lock_tokens) {}
+
+sim::Task<void> KernelFs::Create() {
+  co_await env_.Delay(SyscallEntry() + params_.create_unlocked);
+  co_await meta_lock_.Acquire();
+  co_await env_.Delay(params_.create_locked);
+  // Journal append: group-committed asynchronously (jbd2-style). Many
+  // transactions share one commit block, so flush one batched write
+  // per kJournalBatch metadata ops; it occupies the device but does
+  // not gate the create's return.
+  constexpr uint64_t kJournalBatch = 32;
+  if (++journal_cursor_ % kJournalBatch == 0) {
+    const uint64_t off = (journal_cursor_ / kJournalBatch % 4096) * 32768;
+    env_.Spawn(device_.WriteTimed(0, off, params_.journal_bytes * 8));
+  }
+  meta_lock_.Release();
+  ++ops_;
+}
+
+sim::Task<void> KernelFs::Unlink() {
+  // Same shape as create (dentry removal + journal).
+  co_await Create();
+}
+
+sim::Task<void> KernelFs::Open() {
+  co_await env_.Delay(SyscallEntry());
+  co_await meta_lock_.Acquire();
+  co_await env_.Delay(params_.create_locked / 4);  // dentry walk
+  meta_lock_.Release();
+  ++ops_;
+}
+
+sim::Task<void> KernelFs::Close() {
+  co_await env_.Delay(costs_.syscall);
+  ++ops_;
+}
+
+sim::Task<void> KernelFs::Fsync(uint32_t channel) {
+  co_await env_.Delay(SyscallEntry());
+  co_await device_.WriteTimed(channel, 0, params_.journal_bytes);
+  ++ops_;
+}
+
+sim::Task<void> KernelFs::Write(uint32_t channel, uint64_t offset,
+                                uint64_t length) {
+  co_await env_.Delay(SyscallEntry() + params_.data_op_fixed +
+                      costs_.CopyCost(length) + KernelBlockSpine(costs_) +
+                      2 * costs_.context_switch);
+  co_await device_.WriteTimed(channel, offset, length);
+  ++ops_;
+}
+
+sim::Task<void> KernelFs::Read(uint32_t channel, uint64_t offset,
+                               uint64_t length) {
+  co_await env_.Delay(SyscallEntry() + params_.data_op_fixed +
+                      costs_.CopyCost(length) + KernelBlockSpine(costs_) +
+                      2 * costs_.context_switch);
+  co_await device_.ReadTimed(channel, offset, length);
+  ++ops_;
+}
+
+sim::Task<void> KernelFs::OpenSeekWriteClose(uint32_t channel, uint64_t offset,
+                                             uint64_t length) {
+  co_await Open();
+  co_await env_.Delay(costs_.syscall);  // lseek
+  co_await Write(channel, offset, length);
+  co_await Close();
+}
+
+}  // namespace labstor::kernelsim

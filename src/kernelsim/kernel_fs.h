@@ -1,0 +1,78 @@
+// Kernel filesystem models: EXT4, XFS, F2FS over the simulated block
+// layer — the baselines of Fig. 7 (metadata scaling), Fig. 9(b)
+// (LABIOS backends), and Fig. 9(c) (Filebench).
+//
+// The scaling behaviour the paper measures comes from the locking
+// discipline, so the models implement real serialization points as DES
+// resources:
+//   * ext4 — one journal (jbd2) and one directory/inode-table lock;
+//   * xfs  — per-allocation-group locks (default 4 AGs) + log lock;
+//   * f2fs — log-structured (cheap creates) but one "curseg" lock.
+// Every metadata op pays syscall + VFS entry, holds its FS's lock for
+// a model-specific time, and journals to the device. Data ops pay the
+// kernel block spine plus a page-cache copy, then occupy the device.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernelsim/paths.h"
+#include "sim/environment.h"
+#include "sim/task.h"
+#include "simdev/sim_device.h"
+
+namespace labstor::kernelsim {
+
+enum class KfsKind : uint8_t { kExt4, kXfs, kF2fs };
+
+std::string_view KfsKindName(KfsKind kind);
+
+struct KfsParams {
+  sim::Time create_locked = 0;    // work done under the global lock
+  sim::Time create_unlocked = 0;  // parallelizable part of create
+  uint64_t lock_tokens = 1;       // parallelism of the serialization point
+  sim::Time journal_bytes = 0;    // journal write per metadata op
+  sim::Time data_op_fixed = 0;    // extra per data op (extent tree etc.)
+
+  static KfsParams For(KfsKind kind);
+};
+
+class KernelFs {
+ public:
+  KernelFs(sim::Environment& env, simdev::SimDevice& device, KfsKind kind,
+           const sim::SoftwareCosts& costs = sim::DefaultCosts());
+
+  KfsKind kind() const { return kind_; }
+
+  // --- metadata ops (timing actors) ---
+  sim::Task<void> Create();
+  sim::Task<void> Unlink();
+  sim::Task<void> Open();   // lookup only: no journal, still locks dentry
+  sim::Task<void> Close();  // syscall only
+  sim::Task<void> Fsync(uint32_t channel);
+
+  // --- data ops ---
+  sim::Task<void> Write(uint32_t channel, uint64_t offset, uint64_t length);
+  sim::Task<void> Read(uint32_t channel, uint64_t offset, uint64_t length);
+
+  // The LABIOS worker sequence: open-seek-write-close as one label
+  // store (4 syscalls; Fig. 9b's point).
+  sim::Task<void> OpenSeekWriteClose(uint32_t channel, uint64_t offset,
+                                     uint64_t length);
+
+  uint64_t ops_completed() const { return ops_; }
+
+ private:
+  sim::Time SyscallEntry() const { return costs_.syscall + costs_.vfs_lookup; }
+
+  sim::Environment& env_;
+  simdev::SimDevice& device_;
+  KfsKind kind_;
+  const sim::SoftwareCosts& costs_;
+  KfsParams params_;
+  sim::Resource meta_lock_;
+  uint64_t journal_cursor_ = 0;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace labstor::kernelsim

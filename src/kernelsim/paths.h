@@ -1,0 +1,101 @@
+// Composable software-path cost formulas for every I/O route the
+// paper's Fig. 6 compares. Pure functions over the cost table so the
+// calibration is unit-testable; the DES actors below charge these as
+// virtual-time delays.
+//
+// Kernel routes share the block-layer spine (request allocation, tag
+// management, DMA mapping, IRQ-driven completion); they differ in how
+// the application reaches it:
+//   * POSIX sync  — syscall + VFS + blocking context switches
+//   * POSIX AIO   — POSIX + user-level queue + worker-thread hops
+//   * libaio      — submit + reap syscalls, no blocking
+//   * io_uring    — one (batched) syscall, no blocking
+// LabStor routes replace kernel crossings with shared-memory queues:
+//   * KernelDriver — shm round trip + hctx submit (async stacks)
+//   * SPDK         — user-mapped SQ doorbell, client-side (sync)
+//   * DAX          — address translation + CPU load/store (sync)
+#pragma once
+
+#include <string_view>
+
+#include "sim/cost_model.h"
+#include "simdev/sim_device.h"
+
+namespace labstor::kernelsim {
+
+enum class ApiKind : uint8_t {
+  kPosix,
+  kPosixAio,
+  kLibAio,
+  kIoUring,
+  kLabKernelDriver,
+  kLabSpdk,
+  kLabDax,
+};
+
+std::string_view ApiKindName(ApiKind kind);
+
+// The kernel block-layer spine every kernel API pays per I/O.
+inline sim::Time KernelBlockSpine(const sim::SoftwareCosts& c) {
+  return c.block_layer + c.bio_alloc + c.dma_map + c.driver_submit +
+         c.irq_completion;
+}
+
+// Per-I/O software overhead (device time excluded) for each route.
+inline sim::Time ApiOverhead(ApiKind kind, const sim::SoftwareCosts& c) {
+  switch (kind) {
+    case ApiKind::kPosix:
+      // read()/write() with O_DIRECT: enter, dispatch, sleep, wake.
+      return c.syscall + c.vfs_lookup + KernelBlockSpine(c) +
+             2 * c.context_switch;
+    case ApiKind::kPosixAio:
+      // POSIX path plus the glibc AIO thread pool: enqueue, hand off
+      // to the worker thread, completion notification hop.
+      return c.syscall + c.vfs_lookup + KernelBlockSpine(c) +
+             2 * c.context_switch + c.aio_queue_mgmt + 3 * c.context_switch;
+    case ApiKind::kLibAio:
+      // io_submit + io_getevents; no blocking context switch.
+      return 2 * c.syscall + c.vfs_lookup + KernelBlockSpine(c);
+    case ApiKind::kIoUring:
+      // One SQE/CQE round; syscall amortizes across the batch.
+      return c.syscall + KernelBlockSpine(c);
+    case ApiKind::kLabKernelDriver:
+      // Shared-memory submission to a Runtime worker that submits
+      // straight to the hardware dispatch queue and polls completion.
+      return c.shm_submit + c.worker_poll + c.request_alloc +
+             c.driver_submit + c.shm_complete;
+    case ApiKind::kLabSpdk:
+      // Client-side userspace driver: doorbell write + poll.
+      return c.spdk_submit + c.request_alloc;
+    case ApiKind::kLabDax:
+      return c.dax_store_setup;
+  }
+  return 0;
+}
+
+inline std::string_view ApiKindName(ApiKind kind) {
+  switch (kind) {
+    case ApiKind::kPosix: return "posix";
+    case ApiKind::kPosixAio: return "posix_aio";
+    case ApiKind::kLibAio: return "libaio";
+    case ApiKind::kIoUring: return "io_uring";
+    case ApiKind::kLabKernelDriver: return "lab_kernel_driver";
+    case ApiKind::kLabSpdk: return "lab_spdk";
+    case ApiKind::kLabDax: return "lab_dax";
+  }
+  return "?";
+}
+
+// Scheduler queue-pick policies shared between the kernel baselines
+// and the bench drivers (the LabMods implement the same logic within
+// stacks).
+inline uint32_t NoOpPickQueue(uint32_t origin_core, uint32_t num_queues) {
+  return origin_core % num_queues;
+}
+
+// blk-switch: size-classed, least-loaded within the class.
+uint32_t BlkSwitchPickQueue(const simdev::SimDevice& device, uint64_t length,
+                            uint32_t num_queues,
+                            uint64_t lat_size_threshold = 16 * 1024);
+
+}  // namespace labstor::kernelsim

@@ -1,0 +1,79 @@
+// Scalable per-worker block allocator (paper §III-E):
+//
+//   "LabFS uses a scalable per-worker block allocator, which evenly
+//    divides device blocks among the pool of workers. Workers can
+//    steal from one another if more space is needed. If the number of
+//    workers decreases, free blocks of the decommissioned workers are
+//    assigned to running workers. If new workers are added, they will
+//    steal a (configurable) number of blocks from the other workers."
+//
+// Pools hold coalescing free-range maps, so sequential workloads cost
+// O(1) memory regardless of file size. Each pool has its own lock:
+// same-worker allocations never contend, matching the paper's
+// contention-minimization claim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace labstor::labmods {
+
+struct BlockExtent {
+  uint64_t start = 0;  // block index
+  uint64_t count = 0;
+};
+
+class PerWorkerAllocator {
+ public:
+  // Blocks [first_block, first_block + total_blocks) divided evenly
+  // among `num_workers` pools.
+  PerWorkerAllocator(uint64_t first_block, uint64_t total_blocks,
+                     uint32_t num_workers);
+
+  // Rebuild from an explicit free set (crash recovery: the survivors
+  // are whatever the replayed inode maps do not claim). Ranges are
+  // distributed round-robin across pools.
+  PerWorkerAllocator(const std::vector<BlockExtent>& free_ranges,
+                     uint32_t num_workers);
+
+  // Allocate up to `count` blocks for `worker`, preferring contiguous
+  // runs from its own pool, stealing from the richest pool when dry.
+  // Returns fewer/multiple extents as fragmentation dictates; fails
+  // only when the device is truly full.
+  Result<std::vector<BlockExtent>> Alloc(uint32_t worker, uint64_t count);
+
+  // Return blocks to `worker`'s pool (coalescing).
+  void Free(uint32_t worker, BlockExtent extent);
+
+  // Worker-pool reconfiguration. Shrinking hands the leaving pools'
+  // free ranges to survivors; growing makes new pools steal
+  // `steal_blocks` from the richest existing pools.
+  Status Resize(uint32_t new_num_workers, uint64_t steal_blocks = 1024);
+
+  uint64_t FreeBlocks() const;
+  uint64_t FreeBlocksOf(uint32_t worker) const;
+  uint64_t steals() const { return steals_; }
+  uint32_t num_workers() const;
+
+ private:
+  struct Pool {
+    mutable std::mutex mu;
+    std::map<uint64_t, uint64_t> free_ranges;  // start -> count
+    uint64_t free_blocks = 0;
+  };
+
+  // Takes up to `count` blocks from `pool` (caller holds pool.mu).
+  std::vector<BlockExtent> TakeLocked(Pool& pool, uint64_t count);
+  void GiveLocked(Pool& pool, BlockExtent extent);
+
+  mutable std::mutex pools_mu_;  // guards the pools_ vector shape
+  std::vector<std::unique_ptr<Pool>> pools_;
+  uint64_t steals_ = 0;
+};
+
+}  // namespace labstor::labmods

@@ -1,0 +1,105 @@
+#include "labmods/compress.h"
+
+#include <cstring>
+
+#include "core/module_registry.h"
+
+namespace labstor::labmods {
+
+Status CompressMod::Process(ipc::Request& req, core::StackExec& exec) {
+  const sim::SoftwareCosts& costs = *exec.ctx().costs;
+  switch (req.op) {
+    case ipc::OpCode::kBlkWrite: {
+      exec.trace().Charge("compress", costs.CompressCost(req.length));
+      if (req.data == nullptr) {
+        // Timing-only request: model a 2:1 ratio and forward the
+        // compressed size so downstream device occupancy matches.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          bytes_in_ += req.length;
+          bytes_out_ += req.length / 2;
+          extents_[req.offset] = Extent{req.length / 2, req.length};
+        }
+        const uint64_t orig_length = req.length;
+        req.length = orig_length / 2;
+        const Status st = exec.Forward(req);
+        req.length = orig_length;
+        req.result_u64 = orig_length;
+        return st;
+      }
+      std::vector<uint8_t> compressed = Lz77Compress(req.Payload());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        bytes_in_ += req.length;
+        bytes_out_ += compressed.size();
+        extents_[req.offset] = Extent{compressed.size(), req.length};
+      }
+      // Swap the payload for the compressed bytes while the request
+      // travels downstream, then restore the caller's view.
+      uint8_t* const orig_data = req.data;
+      const uint64_t orig_length = req.length;
+      req.data = compressed.data();
+      req.length = compressed.size();
+      const Status st = exec.Forward(req);
+      req.data = orig_data;
+      req.length = orig_length;
+      req.result_u64 = orig_length;
+      return st;
+    }
+    case ipc::OpCode::kBlkRead: {
+      Extent extent;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = extents_.find(req.offset);
+        if (it == extents_.end()) {
+          // Never compressed: plain passthrough.
+          return exec.Forward(req);
+        }
+        extent = it->second;
+      }
+      if (extent.original_length != req.length) {
+        return Status::InvalidArgument(
+            "compressed extent must be read at its original size");
+      }
+      exec.trace().Charge("compress", costs.CompressCost(extent.stored_length));
+      if (req.data == nullptr) {
+        req.length = extent.stored_length;
+        const Status st = exec.Forward(req);
+        req.length = extent.original_length;
+        return st;
+      }
+      std::vector<uint8_t> stored(extent.stored_length);
+      uint8_t* const orig_data = req.data;
+      const uint64_t orig_length = req.length;
+      req.data = stored.data();
+      req.length = stored.size();
+      const Status st = exec.Forward(req);
+      req.data = orig_data;
+      req.length = orig_length;
+      LABSTOR_RETURN_IF_ERROR(st);
+      LABSTOR_ASSIGN_OR_RETURN(
+          plain, Lz77Decompress(stored, extent.original_length));
+      std::memcpy(req.data, plain.data(), plain.size());
+      req.result_u64 = plain.size();
+      return Status::Ok();
+    }
+    default:
+      return exec.Forward(req);
+  }
+}
+
+Status CompressMod::StateUpdate(core::LabMod& old) {
+  auto* prev = dynamic_cast<CompressMod*>(&old);
+  if (prev == nullptr) {
+    return Status::InvalidArgument("StateUpdate from incompatible mod");
+  }
+  std::scoped_lock lock(mu_, prev->mu_);
+  extents_ = prev->extents_;
+  bytes_in_ = prev->bytes_in_;
+  bytes_out_ = prev->bytes_out_;
+  return Status::Ok();
+}
+
+LABSTOR_REGISTER_LABMOD("compress", 1, CompressMod);
+
+}  // namespace labstor::labmods

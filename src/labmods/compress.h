@@ -1,0 +1,50 @@
+// Compression LabMod (the paper's "Active Storage" example): block
+// writes are compressed before they continue downstream; block reads
+// are decompressed after the device returns them. The mapping
+// offset -> (stored length, original length) is mod state, migrated on
+// upgrade and revalidated on crash repair.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "core/labmod.h"
+#include "core/stack_exec.h"
+#include "labmods/lz77.h"
+
+namespace labstor::labmods {
+
+class CompressMod final : public core::LabMod {
+ public:
+  CompressMod() : core::LabMod("compress", core::ModType::kTransform, 1) {}
+
+  Status Process(ipc::Request& req, core::StackExec& exec) override;
+  Status StateUpdate(core::LabMod& old) override;
+  // Compression is the canonical computational (CQ) workload: ~20ms
+  // for the 32MB requests of Fig. 5(b).
+  sim::Time EstProcessingTime() const override { return 20 * sim::kMs; }
+  sim::Time EstTotalTime(const ipc::Request& req) const override {
+    return sim::DefaultCosts().CompressCost(req.length);
+  }
+
+  uint64_t bytes_in() const { return bytes_in_; }
+  uint64_t bytes_out() const { return bytes_out_; }
+  double ratio() const {
+    return bytes_in_ == 0 ? 1.0
+                          : static_cast<double>(bytes_out_) /
+                                static_cast<double>(bytes_in_);
+  }
+
+ private:
+  struct Extent {
+    uint64_t stored_length = 0;
+    uint64_t original_length = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Extent> extents_;  // by device offset
+  uint64_t bytes_in_ = 0;
+  uint64_t bytes_out_ = 0;
+};
+
+}  // namespace labstor::labmods

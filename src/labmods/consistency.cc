@@ -1,0 +1,131 @@
+#include "labmods/consistency.h"
+
+#include <cstring>
+
+#include "core/module_registry.h"
+
+namespace labstor::labmods {
+
+Status ConsistencyMod::Init(const yaml::NodePtr& params,
+                            core::ModContext& ctx) {
+  (void)ctx;
+  if (params == nullptr) return Status::Ok();
+  const std::string policy = params->GetString("policy", "write_through");
+  if (policy == "write_through") {
+    policy_ = ConsistencyPolicy::kWriteThrough;
+  } else if (policy == "write_back") {
+    policy_ = ConsistencyPolicy::kWriteBack;
+  } else if (policy == "relaxed") {
+    policy_ = ConsistencyPolicy::kRelaxed;
+  } else {
+    return Status::InvalidArgument("unknown consistency policy '" + policy +
+                                   "'");
+  }
+  watermark_extents_ = params->GetUint("watermark_extents", 64);
+  return Status::Ok();
+}
+
+Status ConsistencyMod::FlushLocked(ipc::Request& proto,
+                                   core::StackExec& exec) {
+  // Replay buffered writes downstream using the caller's request as a
+  // template, then restore it.
+  const ipc::OpCode orig_op = proto.op;
+  uint8_t* const orig_data = proto.data;
+  const uint64_t orig_offset = proto.offset;
+  const uint64_t orig_length = proto.length;
+  Status st;
+  for (auto& [offset, dirty] : dirty_) {
+    proto.op = ipc::OpCode::kBlkWrite;
+    proto.offset = offset;
+    proto.data = dirty.data.data();
+    proto.length = dirty.data.size();
+    st = exec.Forward(proto);
+    if (!st.ok()) break;
+  }
+  proto.op = orig_op;
+  proto.data = orig_data;
+  proto.offset = orig_offset;
+  proto.length = orig_length;
+  if (st.ok()) dirty_.clear();
+  return st;
+}
+
+Status ConsistencyMod::Process(ipc::Request& req, core::StackExec& exec) {
+  exec.trace().Charge("consistency", exec.ctx().costs->request_alloc);
+  switch (req.op) {
+    case ipc::OpCode::kBlkWrite: {
+      if (policy_ == ConsistencyPolicy::kWriteThrough) {
+        return exec.Forward(req);
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      Dirty dirty;
+      if (req.data != nullptr) {
+        dirty.data.assign(req.data, req.data + req.length);
+      } else {
+        dirty.data.resize(req.length);
+      }
+      dirty_[req.offset] = std::move(dirty);
+      req.result_u64 = req.length;
+      if (dirty_.size() >= watermark_extents_) {
+        return FlushLocked(req, exec);
+      }
+      return Status::Ok();  // absorbed
+    }
+    case ipc::OpCode::kBlkRead: {
+      // Serve from the dirty buffer when it covers the read exactly;
+      // otherwise flush overlapping extents first for correctness.
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = dirty_.find(req.offset);
+      if (it != dirty_.end() && it->second.data.size() >= req.length) {
+        if (req.data != nullptr) {
+          std::memcpy(req.data, it->second.data.data(), req.length);
+        }
+        req.result_u64 = req.length;
+        return Status::Ok();
+      }
+      if (!dirty_.empty()) {
+        LABSTOR_RETURN_IF_ERROR(FlushLocked(req, exec));
+      }
+      return exec.Forward(req);
+    }
+    case ipc::OpCode::kBlkFlush: {
+      if (policy_ == ConsistencyPolicy::kRelaxed) {
+        return Status::Ok();  // fsync is free (and meaningless)
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!dirty_.empty()) {
+        LABSTOR_RETURN_IF_ERROR(FlushLocked(req, exec));
+      }
+      return exec.Forward(req);
+    }
+    default:
+      return exec.Forward(req);
+  }
+}
+
+Status ConsistencyMod::StateUpdate(core::LabMod& old) {
+  auto* prev = dynamic_cast<ConsistencyMod*>(&old);
+  if (prev == nullptr) {
+    return Status::InvalidArgument("StateUpdate from incompatible mod");
+  }
+  std::scoped_lock lock(mu_, prev->mu_);
+  policy_ = prev->policy_;
+  watermark_extents_ = prev->watermark_extents_;
+  dirty_ = std::move(prev->dirty_);
+  return Status::Ok();
+}
+
+Status ConsistencyMod::StateRepair() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_.clear();  // unflushed writes are lost on crash, by contract
+  return Status::Ok();
+}
+
+size_t ConsistencyMod::dirty_extents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_.size();
+}
+
+LABSTOR_REGISTER_LABMOD("consistency", 1, ConsistencyMod);
+
+}  // namespace labstor::labmods

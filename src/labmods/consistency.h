@@ -1,0 +1,51 @@
+// Tunable consistency LabMod ("configurable consistency" from §III-B).
+//
+// Three durability policies for block writes:
+//   * write_through — every write goes straight downstream (strong);
+//   * write_back    — writes buffer in memory and flush on fsync or
+//                     when the dirty set exceeds a watermark;
+//   * relaxed       — like write_back, but fsync is a no-op (the
+//                     "relaxed access control/consistency" end of the
+//                     paper's tunability spectrum).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/labmod.h"
+#include "core/stack_exec.h"
+
+namespace labstor::labmods {
+
+enum class ConsistencyPolicy : uint8_t { kWriteThrough, kWriteBack, kRelaxed };
+
+class ConsistencyMod final : public core::LabMod {
+ public:
+  ConsistencyMod()
+      : core::LabMod("consistency", core::ModType::kConsistency, 1) {}
+
+  Status Init(const yaml::NodePtr& params, core::ModContext& ctx) override;
+  Status Process(ipc::Request& req, core::StackExec& exec) override;
+  Status StateUpdate(core::LabMod& old) override;
+  // Unflushed state is lost on crash by design; repair just clears it.
+  Status StateRepair() override;
+  sim::Time EstProcessingTime() const override { return 600; }
+
+  ConsistencyPolicy policy() const { return policy_; }
+  size_t dirty_extents() const;
+
+ private:
+  Status FlushLocked(ipc::Request& proto, core::StackExec& exec);
+
+  struct Dirty {
+    std::vector<uint8_t> data;
+  };
+
+  ConsistencyPolicy policy_ = ConsistencyPolicy::kWriteThrough;
+  size_t watermark_extents_ = 64;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Dirty> dirty_;  // offset -> buffered write
+};
+
+}  // namespace labstor::labmods

@@ -1,0 +1,57 @@
+#include "labmods/drivers.h"
+
+namespace labstor::labmods {
+
+Status DriverModBase::Init(const yaml::NodePtr& params,
+                           core::ModContext& ctx) {
+  if (ctx.devices == nullptr) {
+    return Status::FailedPrecondition("no device registry in context");
+  }
+  const std::string device_name =
+      params != nullptr ? params->GetString("device", "nvme0") : "nvme0";
+  LABSTOR_ASSIGN_OR_RETURN(device, ctx.devices->Find(device_name));
+  device_ = device;
+  return Status::Ok();
+}
+
+Status DriverModBase::Process(ipc::Request& req, core::StackExec& exec) {
+  const sim::SoftwareCosts& costs = *exec.ctx().costs;
+  switch (req.op) {
+    case ipc::OpCode::kBlkWrite: {
+      exec.trace().Charge(trace_tag(), SubmitCost(costs, req));
+      exec.trace().Device(device_, simdev::IoOp::kWrite, req.channel,
+                          req.offset, req.length);
+      if (req.data != nullptr) {
+        LABSTOR_RETURN_IF_ERROR(
+            device_->WriteNow(req.offset, req.Payload()));
+      }
+      req.result_u64 = req.length;
+      return Status::Ok();
+    }
+    case ipc::OpCode::kBlkRead: {
+      exec.trace().Charge(trace_tag(), SubmitCost(costs, req));
+      exec.trace().Device(device_, simdev::IoOp::kRead, req.channel,
+                          req.offset, req.length);
+      if (req.data != nullptr) {
+        LABSTOR_RETURN_IF_ERROR(device_->ReadNow(req.offset, req.Payload()));
+      }
+      req.result_u64 = req.length;
+      return Status::Ok();
+    }
+    case ipc::OpCode::kBlkFlush:
+      // Simulated devices persist writes immediately; a flush costs
+      // one doorbell.
+      exec.trace().Charge(trace_tag(), SubmitCost(costs, req));
+      return Status::Ok();
+    default:
+      return Status::InvalidArgument(
+          std::string("driver cannot handle op ") +
+          std::string(ipc::OpCodeName(req.op)));
+  }
+}
+
+LABSTOR_REGISTER_LABMOD("kernel_driver", 1, KernelDriverMod);
+LABSTOR_REGISTER_LABMOD("spdk", 1, SpdkDriverMod);
+LABSTOR_REGISTER_LABMOD("dax", 1, DaxDriverMod);
+
+}  // namespace labstor::labmods

@@ -1,0 +1,86 @@
+// Driver LabMods (paper §III-A "Driver LabMods" / §III-F):
+//
+//   * KernelDriverMod — the Kernel Driver LabMod: submits I/O straight
+//     to a storage driver's multi-queue hardware dispatch queue
+//     (submit_io_to_hctx), bypassing the kernel block layer, paying a
+//     small request-structure allocation.
+//   * SpdkDriverMod — SPDK-style userspace NVMe driver: BAR-mapped
+//     submission queues, no kernel structures at all.
+//   * DaxDriverMod — DAX-style byte-addressable PMEM access via CPU
+//     load/store.
+//
+// All three are terminal vertices: they consume kBlk* requests, charge
+// their (small) software cost, record the device op on the trace, and
+// move the actual bytes through the simulated device.
+#pragma once
+
+#include <string>
+
+#include "core/labmod.h"
+#include "core/stack_exec.h"
+
+namespace labstor::labmods {
+
+class DriverModBase : public core::LabMod {
+ public:
+  DriverModBase(std::string name, uint32_t version)
+      : core::LabMod(std::move(name), core::ModType::kDriver, version) {}
+
+  Status Init(const yaml::NodePtr& params, core::ModContext& ctx) override;
+  Status Process(ipc::Request& req, core::StackExec& exec) override;
+
+  simdev::SimDevice* device() const { return device_; }
+
+ protected:
+  // Software cost charged per submission, by driver flavor.
+  virtual sim::Time SubmitCost(const sim::SoftwareCosts& costs,
+                               const ipc::Request& req) const = 0;
+  virtual std::string_view trace_tag() const = 0;
+
+ private:
+  simdev::SimDevice* device_ = nullptr;
+};
+
+class KernelDriverMod final : public DriverModBase {
+ public:
+  KernelDriverMod() : DriverModBase("kernel_driver", 1) {}
+  sim::Time EstProcessingTime() const override { return 500; }
+
+ protected:
+  sim::Time SubmitCost(const sim::SoftwareCosts& costs,
+                       const ipc::Request& req) const override {
+    (void)req;
+    return costs.request_alloc + costs.driver_submit;
+  }
+  std::string_view trace_tag() const override { return "kernel_driver"; }
+};
+
+class SpdkDriverMod final : public DriverModBase {
+ public:
+  SpdkDriverMod() : DriverModBase("spdk", 1) {}
+  sim::Time EstProcessingTime() const override { return 300; }
+
+ protected:
+  sim::Time SubmitCost(const sim::SoftwareCosts& costs,
+                       const ipc::Request& req) const override {
+    (void)req;
+    return costs.spdk_submit;
+  }
+  std::string_view trace_tag() const override { return "spdk"; }
+};
+
+class DaxDriverMod final : public DriverModBase {
+ public:
+  DaxDriverMod() : DriverModBase("dax", 1) {}
+  sim::Time EstProcessingTime() const override { return 200; }
+
+ protected:
+  sim::Time SubmitCost(const sim::SoftwareCosts& costs,
+                       const ipc::Request& req) const override {
+    (void)req;
+    return costs.dax_store_setup;
+  }
+  std::string_view trace_tag() const override { return "dax"; }
+};
+
+}  // namespace labstor::labmods

@@ -1,0 +1,11 @@
+#include "labmods/dummy.h"
+
+#include "core/module_registry.h"
+
+namespace labstor::labmods {
+
+LABSTOR_REGISTER_LABMOD("dummy", 1, DummyMod);
+LABSTOR_REGISTER_LABMOD("dummy", 2, DummyModV2);
+LABSTOR_REGISTER_LABMOD("dummy", 3, DummyModV3);
+
+}  // namespace labstor::labmods

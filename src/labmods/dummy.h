@@ -1,0 +1,52 @@
+// Dummy LabMod: the message sink used by the live-upgrade evaluation
+// (Table I). Counts messages; v2 exists so upgrades have somewhere to
+// go and proves StateUpdate carries the counter across versions.
+#pragma once
+
+#include <atomic>
+
+#include "core/labmod.h"
+#include "core/stack_exec.h"
+
+namespace labstor::labmods {
+
+class DummyMod : public core::LabMod {
+ public:
+  explicit DummyMod(uint32_t version = 1)
+      : core::LabMod("dummy", core::ModType::kDummy, version) {}
+
+  Status Process(ipc::Request& req, core::StackExec& exec) override {
+    (void)exec;
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    req.result_u64 = messages_.load(std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  Status StateUpdate(core::LabMod& old) override {
+    auto* prev = dynamic_cast<DummyMod*>(&old);
+    if (prev == nullptr) {
+      return Status::InvalidArgument("StateUpdate from incompatible mod");
+    }
+    messages_.store(prev->messages_.load());
+    return Status::Ok();
+  }
+
+  sim::Time EstProcessingTime() const override { return 100; }
+
+  uint64_t messages() const { return messages_.load(); }
+
+ private:
+  std::atomic<uint64_t> messages_{0};
+};
+
+class DummyModV2 final : public DummyMod {
+ public:
+  DummyModV2() : DummyMod(2) {}
+};
+
+class DummyModV3 final : public DummyMod {
+ public:
+  DummyModV3() : DummyMod(3) {}
+};
+
+}  // namespace labstor::labmods

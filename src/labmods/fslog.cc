@@ -1,0 +1,63 @@
+#include "labmods/fslog.h"
+
+#include <algorithm>
+
+namespace labstor::labmods {
+
+MetadataLog::MetadataLog(simdev::SimDevice* device, uint64_t region_offset,
+                         uint32_t workers, uint64_t per_worker_records)
+    : device_(device),
+      region_offset_(region_offset),
+      workers_(workers),
+      per_worker_(per_worker_records),
+      cursors_(workers, 0) {
+  worker_mu_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    worker_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+Result<uint64_t> MetadataLog::Append(uint32_t worker, LogRecord record) {
+  const uint32_t w = worker % workers_;
+  std::lock_guard<std::mutex> lock(*worker_mu_[w]);
+  if (cursors_[w] >= per_worker_) {
+    return Status::ResourceExhausted("worker " + std::to_string(w) +
+                                     " log region full");
+  }
+  record.magic = LogRecord::kMagic;
+  record.seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t offset = region_offset_ +
+                          (static_cast<uint64_t>(w) * per_worker_ +
+                           cursors_[w]) * kSlot;
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&record);
+  LABSTOR_RETURN_IF_ERROR(
+      device_->WriteNow(offset, std::span(bytes, sizeof(LogRecord))));
+  ++cursors_[w];
+  return record.seq;
+}
+
+Status MetadataLog::Replay(
+    const std::function<Status(const LogRecord&)>& fn) const {
+  std::vector<LogRecord> records;
+  for (uint32_t w = 0; w < workers_; ++w) {
+    std::lock_guard<std::mutex> lock(*worker_mu_[w]);
+    for (uint64_t slot = 0; slot < per_worker_; ++slot) {
+      LogRecord record;
+      auto* bytes = reinterpret_cast<uint8_t*>(&record);
+      const uint64_t offset =
+          region_offset_ + (static_cast<uint64_t>(w) * per_worker_ + slot) * kSlot;
+      LABSTOR_RETURN_IF_ERROR(
+          device_->ReadNow(offset, std::span(bytes, sizeof(LogRecord))));
+      if (record.magic != LogRecord::kMagic) break;  // end of this region
+      records.push_back(record);
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const LogRecord& a, const LogRecord& b) { return a.seq < b.seq; });
+  for (const LogRecord& record : records) {
+    LABSTOR_RETURN_IF_ERROR(fn(record));
+  }
+  return Status::Ok();
+}
+
+}  // namespace labstor::labmods

@@ -1,0 +1,94 @@
+// Per-worker metadata log shared by LabFS and LabKVS.
+//
+// Paper §III-E: "As opposed to storing inodes and bitmaps on-disk as
+// traditional FSes do, LabFS only stores the log and reconstructs
+// inodes in-memory by traversing the log."
+//
+// Each worker owns a contiguous log region on the device and appends
+// fixed-size records; Replay() scans all regions, merges records by
+// sequence number, and hands them to the filesystem to rebuild its
+// in-memory state — which is exactly what StateRepair does after a
+// Runtime crash.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "simdev/sim_device.h"
+
+namespace labstor::labmods {
+
+enum class LogOp : uint16_t {
+  kInvalid = 0,
+  kCreate = 1,    // a = is_dir
+  kUnlink = 2,
+  kRename = 3,    // path = new path
+  kTruncate = 4,  // a = new size
+  kMap = 5,       // a = file block index, b = phys block, c = block count
+  kSize = 6,      // a = new size
+};
+
+struct LogRecord {
+  static constexpr uint32_t kMagic = 0x4C414253;  // "LABS"
+  static constexpr size_t kPathCapacity = 200;
+
+  uint32_t magic = kMagic;
+  LogOp op = LogOp::kInvalid;
+  uint16_t reserved = 0;
+  uint64_t seq = 0;       // global order across workers
+  uint64_t inode_id = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  char path[kPathCapacity] = {};
+
+  void SetPath(std::string_view p) {
+    const size_t n =
+        p.size() < kPathCapacity - 1 ? p.size() : kPathCapacity - 1;
+    std::memcpy(path, p.data(), n);
+    path[n] = '\0';
+  }
+  std::string_view GetPath() const { return {path}; }
+};
+static_assert(sizeof(LogRecord) <= 256, "log records are 256-byte slots");
+
+class MetadataLog {
+ public:
+  // Log occupies [region_offset, region_offset + workers * per_worker
+  // * 256) bytes on `device`.
+  MetadataLog(simdev::SimDevice* device, uint64_t region_offset,
+              uint32_t workers, uint64_t per_worker_records);
+
+  // Appends durably (written through to the device region). Returns
+  // the assigned global sequence number.
+  Result<uint64_t> Append(uint32_t worker, LogRecord record);
+
+  // Scans every worker region and invokes `fn` for each valid record
+  // in global sequence order.
+  Status Replay(const std::function<Status(const LogRecord&)>& fn) const;
+
+  // Bytes region size (for capacity planning by the FS).
+  uint64_t region_bytes() const {
+    return static_cast<uint64_t>(workers_) * per_worker_ * kSlot;
+  }
+  uint64_t records_appended() const { return next_seq_.load() - 1; }
+
+ private:
+  static constexpr uint64_t kSlot = 256;
+
+  simdev::SimDevice* device_;
+  uint64_t region_offset_;
+  uint32_t workers_;
+  uint64_t per_worker_;
+  std::atomic<uint64_t> next_seq_{1};
+  std::vector<uint64_t> cursors_;  // records appended per worker
+  std::vector<std::unique_ptr<std::mutex>> worker_mu_;
+};
+
+}  // namespace labstor::labmods

@@ -1,0 +1,210 @@
+#include "labmods/genericfs.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace labstor::labmods {
+
+Result<ipc::Request*> GenericFs::AcquireRequest(uint64_t payload_bytes) {
+  if (slot_ == nullptr || slot_capacity_ < payload_bytes) {
+    const uint64_t capacity = std::max<uint64_t>(payload_bytes, 4096);
+    LABSTOR_ASSIGN_OR_RETURN(req, client_.NewRequest(capacity));
+    slot_ = req;
+    slot_capacity_ = capacity;
+  }
+  uint8_t* const data = slot_->data;
+  slot_->Reuse();
+  slot_->data = data;
+  slot_->client_uid = client_.creds().uid;
+  return slot_;
+}
+
+Status GenericFs::RoundTrip(ipc::Request& req, core::Stack& stack) {
+  LABSTOR_RETURN_IF_ERROR(client_.Execute(req, stack));
+  return req.ToStatus();
+}
+
+Result<int> GenericFs::Open(const std::string& path, uint16_t flags) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(0));
+  req->op = ipc::OpCode::kOpen;
+  req->flags = flags;
+  req->SetPath(path);
+  LABSTOR_RETURN_IF_ERROR(RoundTrip(*req, *stack));
+  const int fd = next_fd_++;
+  fds_.emplace(fd, OpenFile{path, stack});
+  return fd;
+}
+
+Status GenericFs::Close(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return Status::NotFound("bad fd");
+  fds_.erase(it);
+  return Status::Ok();
+}
+
+Result<GenericFs::OpenFile> GenericFs::LookupFd(int fd) const {
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return Status::NotFound("bad fd");
+  return it->second;
+}
+
+Result<uint64_t> GenericFs::Write(int fd, std::span<const uint8_t> data,
+                                  uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(file, LookupFd(fd));
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(data.size()));
+  req->op = ipc::OpCode::kWrite;
+  req->SetPath(file.path);
+  req->offset = offset;
+  req->length = data.size();
+  // Into shared memory: this is the one client-side copy of the async
+  // path (the paper's zero-copy claim is between Runtime mods).
+  std::memcpy(req->data, data.data(), data.size());
+  LABSTOR_RETURN_IF_ERROR(RoundTrip(*req, *file.stack));
+  return req->result_u64;
+}
+
+Result<uint64_t> GenericFs::Read(int fd, std::span<uint8_t> out,
+                                 uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(file, LookupFd(fd));
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(out.size()));
+  req->op = ipc::OpCode::kRead;
+  req->SetPath(file.path);
+  req->offset = offset;
+  req->length = out.size();
+  LABSTOR_RETURN_IF_ERROR(RoundTrip(*req, *file.stack));
+  std::memcpy(out.data(), req->data, req->result_u64);
+  return req->result_u64;
+}
+
+Status GenericFs::Fsync(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(file, LookupFd(fd));
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(0));
+  req->op = ipc::OpCode::kFsync;
+  req->SetPath(file.path);
+  return RoundTrip(*req, *file.stack);
+}
+
+Result<uint64_t> GenericFs::StatSize(const std::string& path) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(0));
+  req->op = ipc::OpCode::kStat;
+  req->SetPath(path);
+  LABSTOR_RETURN_IF_ERROR(RoundTrip(*req, *stack));
+  return req->result_u64;
+}
+
+Result<GenericFs::FileStat> GenericFs::Stat(const std::string& path) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(0));
+  req->op = ipc::OpCode::kStat;
+  req->SetPath(path);
+  LABSTOR_RETURN_IF_ERROR(RoundTrip(*req, *stack));
+  FileStat st;
+  st.size = req->result_u64;
+  st.is_dir = (req->flags & 1) != 0;
+  return st;
+}
+
+Status GenericFs::Unlink(const std::string& path) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(0));
+  req->op = ipc::OpCode::kUnlink;
+  req->SetPath(path);
+  return RoundTrip(*req, *stack);
+}
+
+Status GenericFs::Rename(const std::string& from, const std::string& to) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(from));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(to.size()));
+  req->op = ipc::OpCode::kRename;
+  req->SetPath(from);
+  req->length = to.size();
+  std::memcpy(req->data, to.data(), to.size());
+  return RoundTrip(*req, *stack);
+}
+
+Status GenericFs::Mkdir(const std::string& path) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(0));
+  req->op = ipc::OpCode::kMkdir;
+  req->SetPath(path);
+  return RoundTrip(*req, *stack);
+}
+
+Result<uint64_t> GenericFs::ReaddirCount(const std::string& path) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(0));
+  req->op = ipc::OpCode::kReaddir;
+  req->SetPath(path);
+  LABSTOR_RETURN_IF_ERROR(RoundTrip(*req, *stack));
+  return req->result_u64;
+}
+
+Status GenericFs::SaveStateForExecve() {
+  std::string blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blob += std::to_string(next_fd_) + "\n";
+    for (const auto& [fd, file] : fds_) {
+      blob += std::to_string(fd) + "\t" + file.path + "\n";
+    }
+    fds_.clear();
+  }
+  return client_.runtime().SaveFdState(client_.creds().pid, std::move(blob));
+}
+
+Status GenericFs::RestoreStateAfterExecve() {
+  LABSTOR_ASSIGN_OR_RETURN(blob,
+                           client_.runtime().TakeFdState(client_.creds().pid));
+  // The "new address space" re-establishes its queues (paper: the IPC
+  // Manager disconnects and reconnects around execve).
+  LABSTOR_RETURN_IF_ERROR(client_.Reconnect());
+  std::lock_guard<std::mutex> lock(mu_);
+  fds_.clear();
+  bool first = true;
+  for (const std::string& line : SplitString(blob, '\n')) {
+    if (line.empty()) continue;
+    if (first) {
+      next_fd_ = std::stoi(line);
+      first = false;
+      continue;
+    }
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::Corruption("malformed fd-state blob");
+    }
+    const int fd = std::stoi(line.substr(0, tab));
+    const std::string path = line.substr(tab + 1);
+    auto stack = client_.ResolvePath(path);
+    if (!stack.ok()) return stack.status();
+    fds_.emplace(fd, OpenFile{path, *stack});
+  }
+  return Status::Ok();
+}
+
+Status GenericFs::CloneFdTableFrom(const GenericFs& parent) {
+  std::scoped_lock lock(mu_, parent.mu_);
+  fds_ = parent.fds_;
+  next_fd_ = parent.next_fd_;
+  return Status::Ok();
+}
+
+size_t GenericFs::open_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fds_.size();
+}
+
+}  // namespace labstor::labmods

@@ -1,0 +1,80 @@
+// GenericFS: the client-side interface LabMod for POSIX-style file
+// access (paper §III-A "Management LabMods").
+//
+// In a real deployment this object is LD_PRELOADed into legacy
+// applications to intercept libc calls; here applications link it
+// directly. It owns the file-descriptor table, resolves paths against
+// the LabStack Namespace (longest prefix), builds requests via its
+// connector, and routes them through the Client (sync or async per the
+// stack's rules) — the VFS-like multiplexing the paper describes.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "core/client.h"
+#include "core/stack.h"
+
+namespace labstor::labmods {
+
+class GenericFs {
+ public:
+  explicit GenericFs(core::Client& client) : client_(client) {}
+
+  // --- POSIX-flavored surface ---
+  Result<int> Open(const std::string& path, uint16_t flags);
+  Result<int> Create(const std::string& path) {
+    return Open(path, ipc::kOpenCreate | ipc::kOpenTrunc);
+  }
+  Status Close(int fd);
+  Result<uint64_t> Write(int fd, std::span<const uint8_t> data,
+                         uint64_t offset);
+  Result<uint64_t> Read(int fd, std::span<uint8_t> out, uint64_t offset);
+  Status Fsync(int fd);
+  Result<uint64_t> StatSize(const std::string& path);
+  struct FileStat {
+    uint64_t size = 0;
+    bool is_dir = false;
+  };
+  Result<FileStat> Stat(const std::string& path);
+  Status Unlink(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  Status Mkdir(const std::string& path);
+  Result<uint64_t> ReaddirCount(const std::string& path);
+
+  // fork(): the child process inherits the parent's open descriptors.
+  // Paper: the IPC Manager re-connects and asks the Runtime to copy fd
+  // state into the new process.
+  Status CloneFdTableFrom(const GenericFs& parent);
+
+  // execve(): park the fd table in the Runtime before the address
+  // space is replaced, reclaim it afterwards (paper §III-F). The blob
+  // format is an internal line protocol: "fd<TAB>path".
+  Status SaveStateForExecve();
+  Status RestoreStateAfterExecve();
+
+  size_t open_files() const;
+
+ private:
+  struct OpenFile {
+    std::string path;
+    core::Stack* stack = nullptr;
+  };
+
+  // One recycled request slot (+ payload buffer) per connector: calls
+  // are synchronous, so the slot is free again by the time we return.
+  Result<ipc::Request*> AcquireRequest(uint64_t payload_bytes);
+  Result<OpenFile> LookupFd(int fd) const;
+  Status RoundTrip(ipc::Request& req, core::Stack& stack);
+
+  core::Client& client_;
+  mutable std::mutex mu_;
+  std::unordered_map<int, OpenFile> fds_;
+  int next_fd_ = 3;
+  ipc::Request* slot_ = nullptr;
+  uint64_t slot_capacity_ = 0;
+};
+
+}  // namespace labstor::labmods

@@ -1,0 +1,69 @@
+#include "labmods/generickvs.h"
+
+#include <cstring>
+
+namespace labstor::labmods {
+
+Result<ipc::Request*> GenericKvs::AcquireRequest(uint64_t payload_bytes) {
+  if (slot_ == nullptr || slot_capacity_ < payload_bytes) {
+    const uint64_t capacity = std::max<uint64_t>(payload_bytes, 4096);
+    LABSTOR_ASSIGN_OR_RETURN(req, client_.NewRequest(capacity));
+    slot_ = req;
+    slot_capacity_ = capacity;
+  }
+  uint8_t* const data = slot_->data;
+  slot_->Reuse();
+  slot_->data = data;
+  slot_->client_uid = client_.creds().uid;
+  return slot_;
+}
+
+Status GenericKvs::Put(const std::string& key,
+                       std::span<const uint8_t> value) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(key));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(value.size()));
+  req->op = ipc::OpCode::kPut;
+  req->SetPath(key);
+  req->length = value.size();
+  std::memcpy(req->data, value.data(), value.size());
+  LABSTOR_RETURN_IF_ERROR(client_.Execute(*req, *stack));
+  return req->ToStatus();
+}
+
+Result<uint64_t> GenericKvs::Get(const std::string& key,
+                                 std::span<uint8_t> out) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(key));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(out.size()));
+  req->op = ipc::OpCode::kGet;
+  req->SetPath(key);
+  req->length = out.size();
+  LABSTOR_RETURN_IF_ERROR(client_.Execute(*req, *stack));
+  LABSTOR_RETURN_IF_ERROR(req->ToStatus());
+  std::memcpy(out.data(), req->data, req->result_u64);
+  return req->result_u64;
+}
+
+Status GenericKvs::Delete(const std::string& key) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(key));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(0));
+  req->op = ipc::OpCode::kDelete;
+  req->SetPath(key);
+  LABSTOR_RETURN_IF_ERROR(client_.Execute(*req, *stack));
+  return req->ToStatus();
+}
+
+Result<bool> GenericKvs::Exists(const std::string& key) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(key));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(0));
+  req->op = ipc::OpCode::kExists;
+  req->SetPath(key);
+  LABSTOR_RETURN_IF_ERROR(client_.Execute(*req, *stack));
+  LABSTOR_RETURN_IF_ERROR(req->ToStatus());
+  return req->result_u64 != 0;
+}
+
+}  // namespace labstor::labmods

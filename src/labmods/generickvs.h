@@ -1,0 +1,34 @@
+// GenericKVS: the client-side interface LabMod for key-value access.
+// Resolves each key's namespace path against the LabStack Namespace
+// and routes put/get/delete — one request per operation (no fd
+// lifecycle at all, the point of Fig. 9(b)).
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "core/client.h"
+
+namespace labstor::labmods {
+
+class GenericKvs {
+ public:
+  explicit GenericKvs(core::Client& client) : client_(client) {}
+
+  // Keys are namespaced paths, e.g. "kvs::/store/user42".
+  Status Put(const std::string& key, std::span<const uint8_t> value);
+  Result<uint64_t> Get(const std::string& key, std::span<uint8_t> out);
+  Status Delete(const std::string& key);
+  Result<bool> Exists(const std::string& key);
+
+ private:
+  Result<ipc::Request*> AcquireRequest(uint64_t payload_bytes);
+
+  core::Client& client_;
+  std::mutex mu_;
+  ipc::Request* slot_ = nullptr;
+  uint64_t slot_capacity_ = 0;
+};
+
+}  // namespace labstor::labmods

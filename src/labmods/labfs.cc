@@ -1,0 +1,671 @@
+#include "labmods/labfs.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "common/string_util.h"
+#include "core/module_registry.h"
+
+namespace labstor::labmods {
+
+Status LabFsMod::Init(const yaml::NodePtr& params, core::ModContext& ctx) {
+  if (ctx.devices == nullptr) {
+    return Status::FailedPrecondition("no device registry in context");
+  }
+  const std::string device_name =
+      params != nullptr ? params->GetString("device", "nvme0") : "nvme0";
+  LABSTOR_ASSIGN_OR_RETURN(device, ctx.devices->Find(device_name));
+  device_ = device;
+  workers_ = ctx.num_workers > 0 ? ctx.num_workers : 1;
+  const uint64_t log_records_per_worker =
+      params != nullptr ? params->GetUint("log_records_per_worker", 16384)
+                        : 16384;
+  // Device partitioning: several I/O systems can share one device by
+  // owning disjoint regions (the "multiple views over the same device"
+  // deployments of §III-B). Defaults to the whole device.
+  const uint64_t region_offset =
+      (params != nullptr ? params->GetUint("region_offset_mb", 0) : 0) << 20;
+  uint64_t region_size =
+      (params != nullptr ? params->GetUint("region_size_mb", 0) : 0) << 20;
+  if (region_size == 0) {
+    if (region_offset >= device_->params().capacity_bytes) {
+      return Status::InvalidArgument("region starts beyond the device");
+    }
+    region_size = device_->params().capacity_bytes - region_offset;
+  }
+  if (region_offset + region_size > device_->params().capacity_bytes) {
+    return Status::InvalidArgument("region exceeds device capacity");
+  }
+  log_ = std::make_unique<MetadataLog>(device_, region_offset, workers_,
+                                       log_records_per_worker);
+  const uint64_t log_blocks =
+      (log_->region_bytes() + kBlockSize - 1) / kBlockSize;
+  const uint64_t region_blocks = region_size / kBlockSize;
+  if (log_blocks + 16 > region_blocks) {
+    return Status::InvalidArgument("region too small for the metadata log");
+  }
+  data_first_block_ = region_offset / kBlockSize + log_blocks;
+  data_blocks_ = region_blocks - log_blocks;
+  alloc_ = std::make_unique<PerWorkerAllocator>(data_first_block_,
+                                                data_blocks_, workers_);
+  return Status::Ok();
+}
+
+size_t LabFsMod::ShardFor(std::string_view path) const {
+  return std::hash<std::string_view>()(path) % kShards;
+}
+
+LabFsMod::InodePtr LabFsMod::Lookup(const std::string& path) const {
+  const Shard& shard = shards_[ShardFor(path)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.inodes.find(path);
+  return it == shard.inodes.end() ? nullptr : it->second;
+}
+
+void LabFsMod::IndexById(const InodePtr& inode) {
+  std::lock_guard<std::mutex> lock(by_id_mu_);
+  by_id_[inode->id] = inode;
+}
+
+Result<std::pair<LabFsMod::InodePtr, bool>> LabFsMod::LookupOrCreate(
+    const std::string& path, bool is_dir, const ipc::Request& req) {
+  Shard& shard = shards_[ShardFor(path)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (const auto it = shard.inodes.find(path); it != shard.inodes.end()) {
+    return std::make_pair(it->second, false);
+  }
+  auto inode = std::make_shared<Inode>();
+  inode->id = next_inode_id_.fetch_add(1, std::memory_order_relaxed);
+  inode->path = path;
+  inode->is_dir = is_dir;
+  inode->prov.creator_uid = req.client_uid;
+  inode->prov.creator_pid = req.client_pid;
+  shard.inodes.emplace(path, inode);
+  IndexById(inode);
+  return std::make_pair(inode, true);
+}
+
+Status LabFsMod::EraseByPath(const std::string& path) {
+  Shard& shard = shards_[ShardFor(path)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.inodes.find(path);
+  if (it == shard.inodes.end()) {
+    return Status::NotFound("no file '" + path + "'");
+  }
+  {
+    std::lock_guard<std::mutex> id_lock(by_id_mu_);
+    by_id_.erase(it->second->id);
+  }
+  shard.inodes.erase(it);
+  return Status::Ok();
+}
+
+void LabFsMod::LogCharge(core::StackExec& exec, uint32_t worker) {
+  // Log appends are flushed asynchronously in segment-sized batches
+  // (log-structured group commit): one device write absorbs
+  // kLogFlushBatch records, and it never gates client completion.
+  constexpr uint64_t kLogFlushBatch = 32;
+  const uint64_t pending = log_charge_pending_[worker % kMaxWorkerSlots]
+                               .fetch_add(1, std::memory_order_relaxed) + 1;
+  if (pending % kLogFlushBatch == 0) {
+    exec.trace().Device(device_, simdev::IoOp::kWrite, worker % 31, 0,
+                        kLogFlushBatch * sizeof(LogRecord), /*async=*/true);
+  }
+}
+
+Status LabFsMod::AppendLog(LogRecord record, uint32_t worker,
+                           core::StackExec& exec) {
+  LABSTOR_ASSIGN_OR_RETURN(seq, log_->Append(worker, record));
+  (void)seq;
+  LogCharge(exec, worker);
+  return Status::Ok();
+}
+
+Status LabFsMod::Process(ipc::Request& req, core::StackExec& exec) {
+  // Namespace-changing ops pay the full create path (inode init, log
+  // record construction, hashmap insert); data ops pay the lighter
+  // per-request metadata cost of Fig. 4(a).
+  switch (req.op) {
+    case ipc::OpCode::kOpen:
+      exec.trace().Charge("labfs", (req.flags & ipc::kOpenCreate) != 0
+                                       ? exec.ctx().costs->fs_create
+                                       : exec.ctx().costs->fs_metadata);
+      break;
+    case ipc::OpCode::kCreate:
+    case ipc::OpCode::kMkdir:
+    case ipc::OpCode::kUnlink:
+    case ipc::OpCode::kRename:
+      exec.trace().Charge("labfs", exec.ctx().costs->fs_create);
+      break;
+    default:
+      exec.trace().Charge("labfs", exec.ctx().costs->fs_metadata);
+      break;
+  }
+  switch (req.op) {
+    case ipc::OpCode::kOpen:
+    case ipc::OpCode::kCreate:
+      return DoOpen(req, exec);
+    case ipc::OpCode::kWrite:
+      return DoWrite(req, exec);
+    case ipc::OpCode::kRead:
+      return DoRead(req, exec);
+    case ipc::OpCode::kStat:
+      return DoStat(req, exec);
+    case ipc::OpCode::kUnlink:
+      return DoUnlink(req, exec);
+    case ipc::OpCode::kRename:
+      return DoRename(req, exec);
+    case ipc::OpCode::kMkdir:
+      return DoMkdir(req, exec);
+    case ipc::OpCode::kReaddir:
+      return DoReaddir(req, exec);
+    case ipc::OpCode::kTruncate:
+      return DoTruncate(req, exec);
+    case ipc::OpCode::kFsync:
+      return DoFsync(req, exec);
+    case ipc::OpCode::kClose:
+      return Status::Ok();  // fd lifecycle is GenericFS's concern
+    default:
+      return Status::InvalidArgument(std::string("labfs cannot handle op ") +
+                                     std::string(ipc::OpCodeName(req.op)));
+  }
+}
+
+Status LabFsMod::DoOpen(ipc::Request& req, core::StackExec& exec) {
+  const std::string path(req.GetPath());
+  if (path.empty()) return Status::InvalidArgument("open with empty path");
+  const bool create =
+      req.op == ipc::OpCode::kCreate || (req.flags & ipc::kOpenCreate) != 0;
+  if (!create) {
+    const InodePtr inode = Lookup(path);
+    if (inode == nullptr) return Status::NotFound("no file '" + path + "'");
+    if (inode->is_dir) return Status::InvalidArgument("'" + path + "' is a directory");
+    req.result_u64 = inode->id;
+    return Status::Ok();
+  }
+  LABSTOR_ASSIGN_OR_RETURN(found, LookupOrCreate(path, /*is_dir=*/false, req));
+  auto& [inode, created] = found;
+  if (created) {
+    LogRecord record;
+    record.op = LogOp::kCreate;
+    record.inode_id = inode->id;
+    record.a = 0;
+    record.SetPath(path);
+    LABSTOR_RETURN_IF_ERROR(AppendLog(record, req.worker, exec));
+  }
+  if ((req.flags & ipc::kOpenTrunc) != 0 && !created) {
+    std::lock_guard<std::mutex> lock(inode->mu);
+    for (uint64_t phys : inode->blocks) {
+      if (phys != 0) alloc_->Free(req.worker, BlockExtent{phys, 1});
+    }
+    inode->blocks.clear();
+    inode->size = 0;
+    LogRecord record;
+    record.op = LogOp::kTruncate;
+    record.inode_id = inode->id;
+    record.a = 0;
+    LABSTOR_RETURN_IF_ERROR(AppendLog(record, req.worker, exec));
+  }
+  req.result_u64 = inode->id;
+  return Status::Ok();
+}
+
+Status LabFsMod::EnsureBlocks(Inode& inode, uint64_t offset, uint64_t length,
+                              uint32_t worker, core::StackExec& exec) {
+  const uint64_t first = offset / kBlockSize;
+  const uint64_t last = (offset + length + kBlockSize - 1) / kBlockSize;
+  if (inode.blocks.size() < last) inode.blocks.resize(last, 0);
+  uint64_t fb = first;
+  while (fb < last) {
+    if (inode.blocks[fb] != 0) {
+      ++fb;
+      continue;
+    }
+    // Count the run of missing blocks and allocate it in one shot.
+    uint64_t run = 0;
+    while (fb + run < last && inode.blocks[fb + run] == 0) ++run;
+    LABSTOR_ASSIGN_OR_RETURN(extents, alloc_->Alloc(worker, run));
+    uint64_t assigned = fb;
+    for (const BlockExtent& extent : extents) {
+      for (uint64_t i = 0; i < extent.count; ++i) {
+        inode.blocks[assigned + i] = extent.start + i;
+      }
+      LogRecord record;
+      record.op = LogOp::kMap;
+      record.inode_id = inode.id;
+      record.a = assigned;
+      record.b = extent.start;
+      record.c = extent.count;
+      LABSTOR_RETURN_IF_ERROR(AppendLog(record, worker, exec));
+      assigned += extent.count;
+    }
+    fb += run;
+  }
+  return Status::Ok();
+}
+
+Status LabFsMod::ForwardData(Inode& inode, ipc::Request& req,
+                             core::StackExec& exec, bool is_write) {
+  const uint64_t offset = req.offset;
+  const uint64_t length = req.length;
+  uint8_t* const data = req.data;
+  const ipc::OpCode orig_op = req.op;
+
+  Status st;
+  uint64_t consumed = 0;
+  while (consumed < length && st.ok()) {
+    const uint64_t abs = offset + consumed;
+    const uint64_t fb = abs / kBlockSize;
+    const uint64_t intra = abs % kBlockSize;
+    const uint64_t phys = inode.blocks[fb];
+    if (phys == 0) {
+      if (is_write) {
+        st = Status::Internal("hole in allocated write range");
+        break;
+      }
+      // Sparse hole: reads return zeros without touching the device.
+      const uint64_t run_bytes =
+          std::min(kBlockSize - intra, length - consumed);
+      if (data != nullptr) {
+        std::memset(data + consumed, 0, run_bytes);
+      }
+      consumed += run_bytes;
+      continue;
+    }
+    // Extend across physically-contiguous file blocks.
+    uint64_t run_bytes = kBlockSize - intra;
+    uint64_t next_fb = fb + 1;
+    while (consumed + run_bytes < length &&
+           next_fb < inode.blocks.size() &&
+           inode.blocks[next_fb] == inode.blocks[next_fb - 1] + 1) {
+      run_bytes += kBlockSize;
+      ++next_fb;
+    }
+    run_bytes = std::min(run_bytes, length - consumed);
+    req.op = is_write ? ipc::OpCode::kBlkWrite : ipc::OpCode::kBlkRead;
+    req.offset = phys * kBlockSize + intra;
+    req.length = run_bytes;
+    req.data = data == nullptr ? nullptr : data + consumed;
+    st = exec.Forward(req);
+    consumed += run_bytes;
+  }
+  req.op = orig_op;
+  req.offset = offset;
+  req.length = length;
+  req.data = data;
+  return st;
+}
+
+Status LabFsMod::DoWrite(ipc::Request& req, core::StackExec& exec) {
+  const std::string path(req.GetPath());
+  InodePtr inode = Lookup(path);
+  if (inode == nullptr) return Status::NotFound("no file '" + path + "'");
+  if (req.length == 0) {
+    req.result_u64 = 0;
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(inode->mu);
+  LABSTOR_RETURN_IF_ERROR(
+      EnsureBlocks(*inode, req.offset, req.length, req.worker, exec));
+  LABSTOR_RETURN_IF_ERROR(ForwardData(*inode, req, exec, /*is_write=*/true));
+  const uint64_t end = req.offset + req.length;
+  if (end > inode->size) {
+    inode->size = end;
+    LogRecord record;
+    record.op = LogOp::kSize;
+    record.inode_id = inode->id;
+    record.a = end;
+    LABSTOR_RETURN_IF_ERROR(AppendLog(record, req.worker, exec));
+  }
+  ++inode->prov.writes;
+  req.result_u64 = req.length;
+  return Status::Ok();
+}
+
+Status LabFsMod::DoRead(ipc::Request& req, core::StackExec& exec) {
+  const std::string path(req.GetPath());
+  InodePtr inode = Lookup(path);
+  if (inode == nullptr) return Status::NotFound("no file '" + path + "'");
+  std::lock_guard<std::mutex> lock(inode->mu);
+  if (req.offset >= inode->size) {
+    req.result_u64 = 0;
+    return Status::Ok();  // EOF
+  }
+  const uint64_t readable = std::min(req.length, inode->size - req.offset);
+  const uint64_t orig_length = req.length;
+  req.length = readable;
+  const Status st = ForwardData(*inode, req, exec, /*is_write=*/false);
+  req.length = orig_length;
+  LABSTOR_RETURN_IF_ERROR(st);
+  ++inode->prov.reads;
+  req.result_u64 = readable;
+  return Status::Ok();
+}
+
+Status LabFsMod::DoStat(ipc::Request& req, core::StackExec& exec) {
+  (void)exec;
+  const std::string path(req.GetPath());
+  const InodePtr inode = Lookup(path);
+  if (inode == nullptr) return Status::NotFound("no file '" + path + "'");
+  std::lock_guard<std::mutex> lock(inode->mu);
+  req.result_u64 = inode->size;
+  req.flags = inode->is_dir ? 1 : 0;
+  return Status::Ok();
+}
+
+Status LabFsMod::DoUnlink(ipc::Request& req, core::StackExec& exec) {
+  const std::string path(req.GetPath());
+  const InodePtr inode = Lookup(path);
+  if (inode == nullptr) return Status::NotFound("no file '" + path + "'");
+  {
+    std::lock_guard<std::mutex> lock(inode->mu);
+    for (const uint64_t phys : inode->blocks) {
+      if (phys != 0) alloc_->Free(req.worker, BlockExtent{phys, 1});
+    }
+    inode->blocks.clear();
+  }
+  LABSTOR_RETURN_IF_ERROR(EraseByPath(path));
+  LogRecord record;
+  record.op = LogOp::kUnlink;
+  record.inode_id = inode->id;
+  return AppendLog(record, req.worker, exec);
+}
+
+Status LabFsMod::DoRename(ipc::Request& req, core::StackExec& exec) {
+  // Convention: req.path = old path, payload = new path (NUL-free).
+  const std::string from(req.GetPath());
+  if (req.data == nullptr || req.length == 0) {
+    return Status::InvalidArgument("rename requires a destination payload");
+  }
+  const std::string to(reinterpret_cast<const char*>(req.data), req.length);
+  const size_t src_shard = ShardFor(from);
+  const size_t dst_shard = ShardFor(to);
+  InodePtr inode;
+  {
+    // Lock shards in index order to avoid deadlock.
+    Shard& first = shards_[std::min(src_shard, dst_shard)];
+    Shard& second = shards_[std::max(src_shard, dst_shard)];
+    std::unique_lock<std::mutex> lock1(first.mu);
+    std::unique_lock<std::mutex> lock2;
+    if (src_shard != dst_shard) {
+      lock2 = std::unique_lock<std::mutex>(second.mu);
+    }
+    Shard& src = shards_[src_shard];
+    Shard& dst = shards_[dst_shard];
+    const auto it = src.inodes.find(from);
+    if (it == src.inodes.end()) {
+      return Status::NotFound("no file '" + from + "'");
+    }
+    if (dst.inodes.contains(to)) {
+      return Status::AlreadyExists("'" + to + "' exists");
+    }
+    inode = it->second;
+    src.inodes.erase(it);
+    inode->path = to;
+    dst.inodes.emplace(to, inode);
+  }
+  LogRecord record;
+  record.op = LogOp::kRename;
+  record.inode_id = inode->id;
+  record.SetPath(to);
+  LABSTOR_RETURN_IF_ERROR(AppendLog(record, req.worker, exec));
+
+  // Directory rename carries its subtree: every inode under the old
+  // prefix is re-keyed (and re-logged, so replay reproduces it).
+  if (inode->is_dir) {
+    const std::string old_prefix = from + "/";
+    std::vector<InodePtr> children;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [path, child] : shard.inodes) {
+        if (StartsWith(path, old_prefix)) children.push_back(child);
+      }
+    }
+    for (const InodePtr& child : children) {
+      const std::string new_path =
+          to + "/" + child->path.substr(old_prefix.size());
+      Shard& old_shard = shards_[ShardFor(child->path)];
+      {
+        std::lock_guard<std::mutex> lock(old_shard.mu);
+        old_shard.inodes.erase(child->path);
+      }
+      child->path = new_path;
+      Shard& new_shard = shards_[ShardFor(new_path)];
+      {
+        std::lock_guard<std::mutex> lock(new_shard.mu);
+        new_shard.inodes[new_path] = child;
+      }
+      LogRecord child_record;
+      child_record.op = LogOp::kRename;
+      child_record.inode_id = child->id;
+      child_record.SetPath(new_path);
+      LABSTOR_RETURN_IF_ERROR(AppendLog(child_record, req.worker, exec));
+    }
+  }
+  return Status::Ok();
+}
+
+Status LabFsMod::DoMkdir(ipc::Request& req, core::StackExec& exec) {
+  const std::string path(req.GetPath());
+  LABSTOR_ASSIGN_OR_RETURN(found, LookupOrCreate(path, /*is_dir=*/true, req));
+  auto& [inode, created] = found;
+  if (!created) return Status::AlreadyExists("'" + path + "' exists");
+  LogRecord record;
+  record.op = LogOp::kCreate;
+  record.inode_id = inode->id;
+  record.a = 1;
+  record.SetPath(path);
+  return AppendLog(record, req.worker, exec);
+}
+
+Status LabFsMod::DoReaddir(ipc::Request& req, core::StackExec& exec) {
+  (void)exec;
+  const std::string dir(req.GetPath());
+  const std::string prefix = dir == "/" ? "/" : dir + "/";
+  uint64_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [path, inode] : shard.inodes) {
+      if (StartsWith(path, prefix) &&
+          path.find('/', prefix.size()) == std::string::npos) {
+        ++count;
+      }
+    }
+  }
+  req.result_u64 = count;
+  return Status::Ok();
+}
+
+Status LabFsMod::DoTruncate(ipc::Request& req, core::StackExec& exec) {
+  const std::string path(req.GetPath());
+  const InodePtr inode = Lookup(path);
+  if (inode == nullptr) return Status::NotFound("no file '" + path + "'");
+  const uint64_t new_size = req.offset;
+  {
+    std::lock_guard<std::mutex> lock(inode->mu);
+    const uint64_t keep_blocks = (new_size + kBlockSize - 1) / kBlockSize;
+    for (uint64_t fb = keep_blocks; fb < inode->blocks.size(); ++fb) {
+      if (inode->blocks[fb] != 0) {
+        alloc_->Free(req.worker, BlockExtent{inode->blocks[fb], 1});
+      }
+    }
+    if (inode->blocks.size() > keep_blocks) inode->blocks.resize(keep_blocks);
+    inode->size = new_size;
+  }
+  LogRecord record;
+  record.op = LogOp::kTruncate;
+  record.inode_id = inode->id;
+  record.a = new_size;
+  return AppendLog(record, req.worker, exec);
+}
+
+Status LabFsMod::DoFsync(ipc::Request& req, core::StackExec& exec) {
+  const ipc::OpCode orig = req.op;
+  req.op = ipc::OpCode::kBlkFlush;
+  const Status st = exec.HasDownstream() ? exec.Forward(req) : Status::Ok();
+  req.op = orig;
+  return st;
+}
+
+Status LabFsMod::StateUpdate(core::LabMod& old) {
+  auto* prev = dynamic_cast<LabFsMod*>(&old);
+  if (prev == nullptr) {
+    return Status::InvalidArgument("StateUpdate from incompatible mod");
+  }
+  device_ = prev->device_;
+  data_first_block_ = prev->data_first_block_;
+  data_blocks_ = prev->data_blocks_;
+  alloc_ = std::move(prev->alloc_);
+  log_ = std::move(prev->log_);
+  workers_ = prev->workers_;
+  for (size_t i = 0; i < kShards; ++i) {
+    std::scoped_lock lock(shards_[i].mu, prev->shards_[i].mu);
+    shards_[i].inodes = std::move(prev->shards_[i].inodes);
+  }
+  {
+    std::scoped_lock lock(by_id_mu_, prev->by_id_mu_);
+    by_id_ = std::move(prev->by_id_);
+  }
+  next_inode_id_.store(prev->next_inode_id_.load());
+  return Status::Ok();
+}
+
+Status LabFsMod::StateRepair() {
+  if (log_ == nullptr) return Status::Ok();  // never initialized
+  // Drop all in-memory inodes and reconstruct them from the on-device
+  // log — the paper's crash-consistency story, executed for real.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inodes.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(by_id_mu_);
+    by_id_.clear();
+  }
+  uint64_t max_id = 0;
+  std::unordered_map<uint64_t, InodePtr> by_id;
+  const Status replay = log_->Replay([&](const LogRecord& record) -> Status {
+    switch (record.op) {
+      case LogOp::kCreate: {
+        auto inode = std::make_shared<Inode>();
+        inode->id = record.inode_id;
+        inode->path = std::string(record.GetPath());
+        inode->is_dir = record.a != 0;
+        by_id[inode->id] = inode;
+        max_id = std::max(max_id, inode->id);
+        return Status::Ok();
+      }
+      case LogOp::kUnlink:
+        by_id.erase(record.inode_id);
+        return Status::Ok();
+      case LogOp::kRename: {
+        const auto it = by_id.find(record.inode_id);
+        if (it == by_id.end()) {
+          return Status::Corruption("rename of unknown inode in log");
+        }
+        it->second->path = std::string(record.GetPath());
+        return Status::Ok();
+      }
+      case LogOp::kTruncate: {
+        const auto it = by_id.find(record.inode_id);
+        if (it == by_id.end()) return Status::Ok();
+        Inode& inode = *it->second;
+        inode.size = record.a;
+        const uint64_t keep = (record.a + kBlockSize - 1) / kBlockSize;
+        if (inode.blocks.size() > keep) inode.blocks.resize(keep);
+        return Status::Ok();
+      }
+      case LogOp::kMap: {
+        const auto it = by_id.find(record.inode_id);
+        if (it == by_id.end()) return Status::Ok();
+        Inode& inode = *it->second;
+        const uint64_t last = record.a + record.c;
+        if (inode.blocks.size() < last) inode.blocks.resize(last, 0);
+        for (uint64_t i = 0; i < record.c; ++i) {
+          inode.blocks[record.a + i] = record.b + i;
+        }
+        return Status::Ok();
+      }
+      case LogOp::kSize: {
+        const auto it = by_id.find(record.inode_id);
+        if (it == by_id.end()) return Status::Ok();
+        it->second->size = record.a;
+        return Status::Ok();
+      }
+      case LogOp::kInvalid:
+        return Status::Corruption("invalid record in log");
+    }
+    return Status::Ok();
+  });
+  LABSTOR_RETURN_IF_ERROR(replay);
+  for (const auto& [id, inode] : by_id) {
+    Shard& shard = shards_[ShardFor(inode->path)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inodes[inode->path] = inode;
+  }
+  {
+    std::lock_guard<std::mutex> lock(by_id_mu_);
+    by_id_ = std::move(by_id);
+  }
+  next_inode_id_.store(max_id + 1);
+  RebuildAllocatorFromInodes();
+  return Status::Ok();
+}
+
+void LabFsMod::RebuildAllocatorFromInodes() {
+  // Free set = data region minus every block claimed by an inode.
+  std::vector<uint64_t> used;
+  {
+    std::lock_guard<std::mutex> lock(by_id_mu_);
+    for (const auto& [id, inode] : by_id_) {
+      for (const uint64_t phys : inode->blocks) {
+        if (phys != 0) used.push_back(phys);
+      }
+    }
+  }
+  std::sort(used.begin(), used.end());
+  std::vector<BlockExtent> free_ranges;
+  uint64_t cursor = data_first_block_;
+  const uint64_t end = data_first_block_ + data_blocks_;
+  for (const uint64_t block : used) {
+    if (block > cursor) {
+      free_ranges.push_back(BlockExtent{cursor, block - cursor});
+    }
+    cursor = std::max(cursor, block + 1);
+  }
+  if (cursor < end) free_ranges.push_back(BlockExtent{cursor, end - cursor});
+  alloc_ = std::make_unique<PerWorkerAllocator>(free_ranges, workers_);
+}
+
+Result<uint64_t> LabFsMod::FileSize(const std::string& path) const {
+  const InodePtr inode = Lookup(path);
+  if (inode == nullptr) return Status::NotFound("no file '" + path + "'");
+  std::lock_guard<std::mutex> lock(inode->mu);
+  return inode->size;
+}
+
+Result<Provenance> LabFsMod::GetProvenance(const std::string& path) const {
+  const InodePtr inode = Lookup(path);
+  if (inode == nullptr) return Status::NotFound("no file '" + path + "'");
+  std::lock_guard<std::mutex> lock(inode->mu);
+  return inode->prov;
+}
+
+bool LabFsMod::Exists(const std::string& path) const {
+  return Lookup(path) != nullptr;
+}
+
+size_t LabFsMod::file_count() const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    count += shard.inodes.size();
+  }
+  return count;
+}
+
+LABSTOR_REGISTER_LABMOD("labfs", 1, LabFsMod);
+LABSTOR_REGISTER_LABMOD("labfs", 2, LabFsModV2);
+
+}  // namespace labstor::labmods

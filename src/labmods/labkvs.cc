@@ -1,0 +1,329 @@
+#include "labmods/labkvs.h"
+
+#include <algorithm>
+
+#include "core/module_registry.h"
+
+namespace labstor::labmods {
+
+Status LabKvsMod::Init(const yaml::NodePtr& params, core::ModContext& ctx) {
+  if (ctx.devices == nullptr) {
+    return Status::FailedPrecondition("no device registry in context");
+  }
+  const std::string device_name =
+      params != nullptr ? params->GetString("device", "nvme0") : "nvme0";
+  LABSTOR_ASSIGN_OR_RETURN(device, ctx.devices->Find(device_name));
+  device_ = device;
+  workers_ = ctx.num_workers > 0 ? ctx.num_workers : 1;
+  const uint64_t log_records_per_worker =
+      params != nullptr ? params->GetUint("log_records_per_worker", 16384)
+                        : 16384;
+  // Device partitioning, as in LabFS: disjoint regions let several
+  // I/O systems share one device.
+  const uint64_t region_offset =
+      (params != nullptr ? params->GetUint("region_offset_mb", 0) : 0) << 20;
+  uint64_t region_size =
+      (params != nullptr ? params->GetUint("region_size_mb", 0) : 0) << 20;
+  if (region_size == 0) {
+    if (region_offset >= device_->params().capacity_bytes) {
+      return Status::InvalidArgument("region starts beyond the device");
+    }
+    region_size = device_->params().capacity_bytes - region_offset;
+  }
+  if (region_offset + region_size > device_->params().capacity_bytes) {
+    return Status::InvalidArgument("region exceeds device capacity");
+  }
+  log_ = std::make_unique<MetadataLog>(device_, region_offset, workers_,
+                                       log_records_per_worker);
+  const uint64_t log_blocks =
+      (log_->region_bytes() + kBlockSize - 1) / kBlockSize;
+  const uint64_t region_blocks = region_size / kBlockSize;
+  if (log_blocks + 16 > region_blocks) {
+    return Status::InvalidArgument("region too small for the metadata log");
+  }
+  data_first_block_ = region_offset / kBlockSize + log_blocks;
+  data_blocks_ = region_blocks - log_blocks;
+  alloc_ = std::make_unique<PerWorkerAllocator>(data_first_block_,
+                                                data_blocks_, workers_);
+  return Status::Ok();
+}
+
+Status LabKvsMod::ForwardValueIo(const Value& value, ipc::Request& req,
+                                 core::StackExec& exec, bool is_write) {
+  const ipc::OpCode orig_op = req.op;
+  const uint64_t orig_offset = req.offset;
+  const uint64_t orig_length = req.length;
+  uint8_t* const orig_data = req.data;
+
+  Status st;
+  uint64_t consumed = 0;
+  for (const BlockExtent& extent : value.extents) {
+    if (consumed >= value.size || !st.ok()) break;
+    const uint64_t extent_bytes =
+        std::min(extent.count * kBlockSize, value.size - consumed);
+    req.op = is_write ? ipc::OpCode::kBlkWrite : ipc::OpCode::kBlkRead;
+    req.offset = extent.start * kBlockSize;
+    req.length = extent_bytes;
+    req.data = orig_data == nullptr ? nullptr : orig_data + consumed;
+    st = exec.Forward(req);
+    consumed += extent_bytes;
+  }
+  req.op = orig_op;
+  req.offset = orig_offset;
+  req.length = orig_length;
+  req.data = orig_data;
+  return st;
+}
+
+void LabKvsMod::LogCharge(core::StackExec& exec, uint32_t worker) {
+  // Same segment-batched async log flush model as LabFS.
+  constexpr uint64_t kLogFlushBatch = 32;
+  const uint64_t pending = log_charge_pending_[worker % kMaxWorkerSlots]
+                               .fetch_add(1, std::memory_order_relaxed) + 1;
+  if (pending % kLogFlushBatch == 0) {
+    exec.trace().Device(device_, simdev::IoOp::kWrite, worker % 31, 0,
+                        kLogFlushBatch * sizeof(LogRecord), /*async=*/true);
+  }
+}
+
+Status LabKvsMod::DoPut(ipc::Request& req, core::StackExec& exec) {
+  const std::string key(req.GetPath());
+  if (key.empty()) return Status::InvalidArgument("put with empty key");
+  const uint64_t blocks_needed =
+      (req.length + kBlockSize - 1) / kBlockSize;
+
+  Shard& shard = shards_[ShardFor(key)];
+  Value value;
+  bool created = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.values.find(key);
+    if (it != shard.values.end()) {
+      // Overwrite: release old blocks, allocate fresh (log-structured
+      // stores never update in place).
+      for (const BlockExtent& extent : it->second.extents) {
+        alloc_->Free(req.worker, extent);
+      }
+      value.id = it->second.id;
+    } else {
+      value.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      created = true;
+    }
+    value.size = req.length;
+    if (blocks_needed > 0) {
+      LABSTOR_ASSIGN_OR_RETURN(extents, alloc_->Alloc(req.worker, blocks_needed));
+      value.extents = std::move(extents);
+    }
+    shard.values[key] = value;
+  }
+  if (created) {
+    LogRecord record;
+    record.op = LogOp::kCreate;
+    record.inode_id = value.id;
+    record.SetPath(key);
+    LABSTOR_RETURN_IF_ERROR(log_->Append(req.worker, record).status());
+    LogCharge(exec, req.worker);
+  }
+  {
+    LogRecord record;
+    record.op = LogOp::kSize;
+    record.inode_id = value.id;
+    record.a = value.size;
+    uint64_t fb = 0;
+    LABSTOR_RETURN_IF_ERROR(log_->Append(req.worker, record).status());
+    for (const BlockExtent& extent : value.extents) {
+      LogRecord map;
+      map.op = LogOp::kMap;
+      map.inode_id = value.id;
+      map.a = fb;
+      map.b = extent.start;
+      map.c = extent.count;
+      LABSTOR_RETURN_IF_ERROR(log_->Append(req.worker, map).status());
+      fb += extent.count;
+    }
+    LogCharge(exec, req.worker);
+  }
+  LABSTOR_RETURN_IF_ERROR(ForwardValueIo(value, req, exec, /*is_write=*/true));
+  req.result_u64 = req.length;
+  return Status::Ok();
+}
+
+Status LabKvsMod::DoGet(ipc::Request& req, core::StackExec& exec) {
+  const std::string key(req.GetPath());
+  Value value;
+  {
+    Shard& shard = shards_[ShardFor(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.values.find(key);
+    if (it == shard.values.end()) {
+      return Status::NotFound("no key '" + key + "'");
+    }
+    value = it->second;
+  }
+  if (req.length < value.size) {
+    return Status::InvalidArgument("get buffer smaller than value");
+  }
+  const uint64_t orig_length = req.length;
+  req.length = value.size;
+  const Status st = ForwardValueIo(value, req, exec, /*is_write=*/false);
+  req.length = orig_length;
+  LABSTOR_RETURN_IF_ERROR(st);
+  req.result_u64 = value.size;
+  return Status::Ok();
+}
+
+Status LabKvsMod::DoDelete(ipc::Request& req, core::StackExec& exec) {
+  const std::string key(req.GetPath());
+  Shard& shard = shards_[ShardFor(key)];
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.values.find(key);
+    if (it == shard.values.end()) {
+      return Status::NotFound("no key '" + key + "'");
+    }
+    for (const BlockExtent& extent : it->second.extents) {
+      alloc_->Free(req.worker, extent);
+    }
+    id = it->second.id;
+    shard.values.erase(it);
+  }
+  LogRecord record;
+  record.op = LogOp::kUnlink;
+  record.inode_id = id;
+  LABSTOR_RETURN_IF_ERROR(log_->Append(req.worker, record).status());
+  LogCharge(exec, req.worker);
+  return Status::Ok();
+}
+
+Status LabKvsMod::Process(ipc::Request& req, core::StackExec& exec) {
+  exec.trace().Charge("labkvs", exec.ctx().costs->kvs_op);
+  switch (req.op) {
+    case ipc::OpCode::kPut:
+      return DoPut(req, exec);
+    case ipc::OpCode::kGet:
+      return DoGet(req, exec);
+    case ipc::OpCode::kDelete:
+      return DoDelete(req, exec);
+    case ipc::OpCode::kExists: {
+      const std::string key(req.GetPath());
+      const Shard& shard = shards_[ShardFor(key)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      req.result_u64 = shard.values.contains(key) ? 1 : 0;
+      return Status::Ok();
+    }
+    default:
+      return Status::InvalidArgument(std::string("labkvs cannot handle op ") +
+                                     std::string(ipc::OpCodeName(req.op)));
+  }
+}
+
+Status LabKvsMod::StateUpdate(core::LabMod& old) {
+  auto* prev = dynamic_cast<LabKvsMod*>(&old);
+  if (prev == nullptr) {
+    return Status::InvalidArgument("StateUpdate from incompatible mod");
+  }
+  device_ = prev->device_;
+  data_first_block_ = prev->data_first_block_;
+  data_blocks_ = prev->data_blocks_;
+  alloc_ = std::move(prev->alloc_);
+  log_ = std::move(prev->log_);
+  workers_ = prev->workers_;
+  for (size_t i = 0; i < kShards; ++i) {
+    std::scoped_lock lock(shards_[i].mu, prev->shards_[i].mu);
+    shards_[i].values = std::move(prev->shards_[i].values);
+  }
+  next_id_.store(prev->next_id_.load());
+  return Status::Ok();
+}
+
+Status LabKvsMod::StateRepair() {
+  if (log_ == nullptr) return Status::Ok();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.values.clear();
+  }
+  struct Rebuild {
+    std::string key;
+    Value value;
+  };
+  std::unordered_map<uint64_t, Rebuild> by_id;
+  uint64_t max_id = 0;
+  LABSTOR_RETURN_IF_ERROR(log_->Replay([&](const LogRecord& record) -> Status {
+    switch (record.op) {
+      case LogOp::kCreate: {
+        Rebuild entry;
+        entry.key = std::string(record.GetPath());
+        entry.value.id = record.inode_id;
+        by_id[record.inode_id] = std::move(entry);
+        max_id = std::max(max_id, record.inode_id);
+        return Status::Ok();
+      }
+      case LogOp::kSize: {
+        const auto it = by_id.find(record.inode_id);
+        if (it != by_id.end()) {
+          it->second.value.size = record.a;
+          it->second.value.extents.clear();  // fresh mapping follows
+        }
+        return Status::Ok();
+      }
+      case LogOp::kMap: {
+        const auto it = by_id.find(record.inode_id);
+        if (it != by_id.end()) {
+          it->second.value.extents.push_back(BlockExtent{record.b, record.c});
+        }
+        return Status::Ok();
+      }
+      case LogOp::kUnlink:
+        by_id.erase(record.inode_id);
+        return Status::Ok();
+      default:
+        return Status::Ok();
+    }
+  }));
+  for (auto& [id, entry] : by_id) {
+    Shard& shard = shards_[ShardFor(entry.key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.values[entry.key] = std::move(entry.value);
+  }
+  next_id_.store(max_id + 1);
+  RebuildAllocator();
+  return Status::Ok();
+}
+
+void LabKvsMod::RebuildAllocator() {
+  std::vector<uint64_t> used;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, value] : shard.values) {
+      for (const BlockExtent& extent : value.extents) {
+        for (uint64_t i = 0; i < extent.count; ++i) {
+          used.push_back(extent.start + i);
+        }
+      }
+    }
+  }
+  std::sort(used.begin(), used.end());
+  std::vector<BlockExtent> free_ranges;
+  uint64_t cursor = data_first_block_;
+  const uint64_t end = data_first_block_ + data_blocks_;
+  for (const uint64_t block : used) {
+    if (block > cursor) free_ranges.push_back(BlockExtent{cursor, block - cursor});
+    cursor = std::max(cursor, block + 1);
+  }
+  if (cursor < end) free_ranges.push_back(BlockExtent{cursor, end - cursor});
+  alloc_ = std::make_unique<PerWorkerAllocator>(free_ranges, workers_);
+}
+
+size_t LabKvsMod::key_count() const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    count += shard.values.size();
+  }
+  return count;
+}
+
+LABSTOR_REGISTER_LABMOD("labkvs", 1, LabKvsMod);
+
+}  // namespace labstor::labmods

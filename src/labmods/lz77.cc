@@ -1,0 +1,117 @@
+#include "labmods/lz77.h"
+
+#include <array>
+#include <cstring>
+
+namespace labstor::labmods {
+
+namespace {
+constexpr size_t kWindow = 4096;       // 12-bit distances
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;       // 4-bit length field + kMinMatch
+constexpr size_t kHashSize = 1 << 13;
+
+size_t HashAt(const uint8_t* p) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) |
+                     (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - 13);
+}
+}  // namespace
+
+std::vector<uint8_t> Lz77Compress(std::span<const uint8_t> input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  // Most recent position for each 3-byte hash (single-entry chains:
+  // fast and good enough for the workloads we model).
+  std::array<size_t, kHashSize> head;
+  head.fill(SIZE_MAX);
+
+  size_t pos = 0;
+  while (pos < input.size()) {
+    const size_t flag_index = out.size();
+    out.push_back(0);
+    uint8_t flags = 0;
+    for (int item = 0; item < 8 && pos < input.size(); ++item) {
+      size_t match_len = 0;
+      size_t match_dist = 0;
+      if (pos + kMinMatch <= input.size()) {
+        const size_t h = HashAt(&input[pos]);
+        const size_t candidate = head[h];
+        if (candidate != SIZE_MAX && candidate < pos &&
+            pos - candidate < kWindow) {
+          const size_t limit =
+              std::min(kMaxMatch, input.size() - pos);
+          size_t len = 0;
+          while (len < limit && input[candidate + len] == input[pos + len]) {
+            ++len;
+          }
+          if (len >= kMinMatch) {
+            match_len = len;
+            match_dist = pos - candidate;
+          }
+        }
+        head[h] = pos;
+      }
+      if (match_len >= kMinMatch) {
+        flags |= static_cast<uint8_t>(1u << item);
+        const uint16_t token = static_cast<uint16_t>(
+            ((match_dist & 0xFFF) << 4) | ((match_len - kMinMatch) & 0xF));
+        out.push_back(static_cast<uint8_t>(token & 0xFF));
+        out.push_back(static_cast<uint8_t>(token >> 8));
+        // Insert hashes for the skipped positions to keep the window
+        // warm (cheap: one per position).
+        for (size_t i = 1; i < match_len && pos + i + kMinMatch <= input.size();
+             ++i) {
+          head[HashAt(&input[pos + i])] = pos + i;
+        }
+        pos += match_len;
+      } else {
+        out.push_back(input[pos]);
+        ++pos;
+      }
+    }
+    out[flag_index] = flags;
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> Lz77Decompress(std::span<const uint8_t> input,
+                                            size_t expected_size) {
+  std::vector<uint8_t> out;
+  out.reserve(expected_size);
+  size_t pos = 0;
+  while (pos < input.size() && out.size() < expected_size) {
+    const uint8_t flags = input[pos++];
+    for (int item = 0; item < 8 && out.size() < expected_size; ++item) {
+      if (flags & (1u << item)) {
+        if (pos + 2 > input.size()) {
+          return Status::Corruption("truncated match token");
+        }
+        const uint16_t token = static_cast<uint16_t>(
+            input[pos] | (static_cast<uint16_t>(input[pos + 1]) << 8));
+        pos += 2;
+        const size_t dist = token >> 4;
+        const size_t len = (token & 0xF) + kMinMatch;
+        if (dist == 0 || dist > out.size()) {
+          return Status::Corruption("match distance out of range");
+        }
+        const size_t start = out.size() - dist;
+        for (size_t i = 0; i < len; ++i) out.push_back(out[start + i]);
+      } else {
+        if (pos >= input.size()) {
+          return Status::Corruption("truncated literal");
+        }
+        out.push_back(input[pos++]);
+      }
+    }
+  }
+  if (out.size() != expected_size) {
+    return Status::Corruption("decompressed size mismatch: got " +
+                              std::to_string(out.size()) + " want " +
+                              std::to_string(expected_size));
+  }
+  return out;
+}
+
+}  // namespace labstor::labmods

@@ -1,0 +1,28 @@
+// LZSS-style compressor (from scratch; the repo has no zlib).
+//
+// Format: groups of up to 8 items preceded by a flag byte; bit i set
+// means item i is a (offset, length) match into a 4KB sliding window
+// encoded in 2 bytes (12-bit distance, 4-bit length-3), clear means a
+// literal byte. Matches of length 3..18 at distance 1..4095.
+//
+// This is the functional engine behind the Compression LabMod; the
+// *timing* charged in benches uses the zlib-class cost model
+// (SoftwareCosts::CompressCost), matching the paper's ZLIB choice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace labstor::labmods {
+
+std::vector<uint8_t> Lz77Compress(std::span<const uint8_t> input);
+
+// `expected_size` is the original length (stored by the caller; the
+// format itself is not self-terminating beyond the input bytes).
+Result<std::vector<uint8_t>> Lz77Decompress(std::span<const uint8_t> input,
+                                            size_t expected_size);
+
+}  // namespace labstor::labmods

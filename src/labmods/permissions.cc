@@ -1,0 +1,96 @@
+#include "labmods/permissions.h"
+
+#include "common/string_util.h"
+#include "core/module_registry.h"
+
+namespace labstor::labmods {
+
+Status PermissionsMod::Init(const yaml::NodePtr& params,
+                            core::ModContext& ctx) {
+  (void)ctx;
+  if (params == nullptr) return Status::Ok();
+  default_allow_ = params->GetString("default", "allow") != "deny";
+  const auto load_rules = [&](const char* key, std::vector<Rule>* out) -> Status {
+    const yaml::NodePtr rules = params->Get(key);
+    if (rules == nullptr) return Status::Ok();
+    if (!rules->IsSequence()) {
+      return Status::InvalidArgument(std::string(key) + " must be a list");
+    }
+    for (const yaml::NodePtr& entry : rules->items()) {
+      if (!entry->IsMapping()) {
+        return Status::InvalidArgument("ACL rule must be a mapping");
+      }
+      Rule rule;
+      rule.prefix = entry->GetString("prefix", "");
+      if (rule.prefix.empty()) {
+        return Status::InvalidArgument("ACL rule requires a prefix");
+      }
+      if (const yaml::NodePtr uids = entry->Get("uids");
+          uids != nullptr && uids->IsSequence()) {
+        for (const yaml::NodePtr& uid : uids->items()) {
+          auto value = uid->AsUint();
+          if (!value.ok()) return value.status();
+          rule.uids.insert(static_cast<ipc::UserId>(*value));
+        }
+      }
+      out->push_back(std::move(rule));
+    }
+    return Status::Ok();
+  };
+  LABSTOR_RETURN_IF_ERROR(load_rules("allow", &allow_rules_));
+  LABSTOR_RETURN_IF_ERROR(load_rules("deny", &deny_rules_));
+  return Status::Ok();
+}
+
+bool PermissionsMod::Allowed(std::string_view path, ipc::UserId uid) const {
+  if (uid == 0) return true;  // root
+  // Deny rules dominate; then allow rules; then the default.
+  for (const Rule& rule : deny_rules_) {
+    if (StartsWith(path, rule.prefix) && rule.uids.contains(uid)) return false;
+  }
+  for (const Rule& rule : allow_rules_) {
+    if (StartsWith(path, rule.prefix) && rule.uids.contains(uid)) return true;
+  }
+  return default_allow_;
+}
+
+Status PermissionsMod::Process(ipc::Request& req, core::StackExec& exec) {
+  exec.trace().Charge("permissions", exec.ctx().costs->permission_check);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++checks_;
+    if (!Allowed(req.GetPath(), req.client_uid)) {
+      return Status::PermissionDenied(
+          "uid " + std::to_string(req.client_uid) + " denied on '" +
+          std::string(req.GetPath()) + "'");
+    }
+  }
+  return exec.Forward(req);
+}
+
+Status PermissionsMod::StateUpdate(core::LabMod& old) {
+  auto* prev = dynamic_cast<PermissionsMod*>(&old);
+  if (prev == nullptr) {
+    return Status::InvalidArgument("StateUpdate from incompatible mod");
+  }
+  std::scoped_lock lock(mu_, prev->mu_);
+  default_allow_ = prev->default_allow_;
+  allow_rules_ = prev->allow_rules_;
+  deny_rules_ = prev->deny_rules_;
+  checks_ = prev->checks_;
+  return Status::Ok();
+}
+
+void PermissionsMod::AllowPrefix(const std::string& prefix, ipc::UserId uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  allow_rules_.push_back(Rule{prefix, {uid}});
+}
+
+void PermissionsMod::DenyPrefix(const std::string& prefix, ipc::UserId uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deny_rules_.push_back(Rule{prefix, {uid}});
+}
+
+LABSTOR_REGISTER_LABMOD("permissions", 1, PermissionsMod);
+
+}  // namespace labstor::labmods

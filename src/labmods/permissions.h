@@ -1,0 +1,52 @@
+// Permissions LabMod: the tunable access-control gate.
+//
+// The paper's point is that access control is a *choice*: Lab-All
+// stacks include this mod (paying ~3% per op), Lab-Min stacks drop it.
+// Policy: per-path-prefix ACLs of allowed uids, with an allow/deny
+// default. "Islands of data viewable by different actors" = several
+// stacks over the same device, each with a different ACL instance.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/labmod.h"
+#include "core/stack_exec.h"
+
+namespace labstor::labmods {
+
+class PermissionsMod final : public core::LabMod {
+ public:
+  PermissionsMod()
+      : core::LabMod("permissions", core::ModType::kPermissions, 1) {}
+
+  Status Init(const yaml::NodePtr& params, core::ModContext& ctx) override;
+  Status Process(ipc::Request& req, core::StackExec& exec) override;
+  Status StateUpdate(core::LabMod& old) override;
+  sim::Time EstProcessingTime() const override { return 900; }
+
+  // Dynamic policy edits (the "changes if the operator chooses"
+  // property): root-only in deployments; unrestricted here for tests.
+  void AllowPrefix(const std::string& prefix, ipc::UserId uid);
+  void DenyPrefix(const std::string& prefix, ipc::UserId uid);
+
+  uint64_t checks_performed() const { return checks_; }
+
+ private:
+  bool Allowed(std::string_view path, ipc::UserId uid) const;
+
+  struct Rule {
+    std::string prefix;
+    std::unordered_set<ipc::UserId> uids;
+  };
+
+  bool default_allow_ = true;
+  mutable std::mutex mu_;
+  std::vector<Rule> allow_rules_;  // longest matching prefix wins
+  std::vector<Rule> deny_rules_;
+  uint64_t checks_ = 0;
+};
+
+}  // namespace labstor::labmods

@@ -1,0 +1,67 @@
+#include "labmods/schedulers.h"
+
+#include "core/module_registry.h"
+
+namespace labstor::labmods {
+
+Status NoOpSchedMod::Init(const yaml::NodePtr& params,
+                          core::ModContext& ctx) {
+  (void)ctx;
+  if (params != nullptr) {
+    num_queues_ = static_cast<uint32_t>(params->GetUint("num_queues", 31));
+  }
+  if (num_queues_ == 0) return Status::InvalidArgument("num_queues must be > 0");
+  return Status::Ok();
+}
+
+Status NoOpSchedMod::Process(ipc::Request& req, core::StackExec& exec) {
+  exec.trace().Charge("sched", exec.ctx().costs->sched_noop);
+  // "Maps I/O requests to device queues based on the CPU core the
+  // request originated" — the client pid stands in for the core id.
+  req.channel = req.client_pid % num_queues_;
+  return exec.Forward(req);
+}
+
+Status BlkSwitchSchedMod::Init(const yaml::NodePtr& params,
+                               core::ModContext& ctx) {
+  if (params != nullptr) {
+    num_queues_ = static_cast<uint32_t>(params->GetUint("num_queues", 31));
+    lat_size_threshold_ = params->GetUint("lat_size_threshold", 16 * 1024);
+    const std::string device_name = params->GetString("device", "");
+    if (!device_name.empty()) {
+      LABSTOR_ASSIGN_OR_RETURN(device, ctx.devices->Find(device_name));
+      device_ = device;
+    }
+  }
+  if (num_queues_ < 2) {
+    return Status::InvalidArgument("blk-switch needs >= 2 queues");
+  }
+  return Status::Ok();
+}
+
+Status BlkSwitchSchedMod::Process(ipc::Request& req, core::StackExec& exec) {
+  exec.trace().Charge("sched", exec.ctx().costs->sched_blkswitch);
+  const bool throughput_bound = req.length > lat_size_threshold_;
+  // Latency requests use the lower half of the queue space; throughput
+  // requests the upper half. Within each class, pick the least-loaded
+  // queue so no single hardware queue head-of-line blocks.
+  const uint32_t begin = throughput_bound ? num_queues_ / 2 : 0;
+  const uint32_t end = throughput_bound ? num_queues_ : num_queues_ / 2;
+  uint32_t best = begin;
+  size_t best_depth = SIZE_MAX;
+  for (uint32_t ch = begin; ch < end; ++ch) {
+    const size_t depth =
+        device_ != nullptr ? device_->ChannelQueueDepth(ch) : 0;
+    if (depth < best_depth) {
+      best_depth = depth;
+      best = ch;
+    }
+  }
+  req.channel = best;
+  return exec.Forward(req);
+}
+
+LABSTOR_REGISTER_LABMOD("noop_sched", 1, NoOpSchedMod);
+LABSTOR_REGISTER_LABMOD("blk_switch_sched", 1, BlkSwitchSchedMod);
+
+}  // namespace labstor::labmods

@@ -1,0 +1,53 @@
+// I/O scheduler LabMods (paper §IV-B "Developing & Customizing I/O
+// Policies").
+//
+//   * NoOpSchedMod — maps each request to a hardware queue derived
+//     from the CPU core (here: client pid) it originated on. Cheap; no
+//     load awareness, so colocated tenants can head-of-line block.
+//   * BlkSwitchSchedMod — blk-switch-style: steers requests to the
+//     least-loaded hardware queue, separating latency-critical from
+//     throughput traffic.
+//
+// Schedulers only *choose* req.channel and forward; queueing happens
+// at the simulated device's channels.
+#pragma once
+
+#include <vector>
+
+#include "core/labmod.h"
+#include "core/stack_exec.h"
+
+namespace labstor::labmods {
+
+class NoOpSchedMod final : public core::LabMod {
+ public:
+  NoOpSchedMod() : core::LabMod("noop_sched", core::ModType::kScheduler, 1) {}
+
+  Status Init(const yaml::NodePtr& params, core::ModContext& ctx) override;
+  Status Process(ipc::Request& req, core::StackExec& exec) override;
+  sim::Time EstProcessingTime() const override { return 1500; }
+
+ private:
+  uint32_t num_queues_ = 31;
+};
+
+class BlkSwitchSchedMod final : public core::LabMod {
+ public:
+  BlkSwitchSchedMod()
+      : core::LabMod("blk_switch_sched", core::ModType::kScheduler, 1) {}
+
+  Status Init(const yaml::NodePtr& params, core::ModContext& ctx) override;
+  Status Process(ipc::Request& req, core::StackExec& exec) override;
+  sim::Time EstProcessingTime() const override { return 1800; }
+
+ private:
+  // Device consulted for per-queue depth (load signal).
+  simdev::SimDevice* device_ = nullptr;
+  uint32_t num_queues_ = 31;
+  // Requests larger than this are classified as throughput-bound and
+  // confined to the upper half of the queues, keeping the lower half
+  // shallow for latency-critical I/O (blk-switch's core idea).
+  uint64_t lat_size_threshold_ = 16 * 1024;
+};
+
+}  // namespace labstor::labmods

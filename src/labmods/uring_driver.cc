@@ -1,0 +1,9 @@
+#include "labmods/uring_driver.h"
+
+#include "core/module_registry.h"
+
+namespace labstor::labmods {
+
+LABSTOR_REGISTER_LABMOD("uring_driver", 1, UringDriverMod);
+
+}  // namespace labstor::labmods

@@ -1,0 +1,165 @@
+#include "labmods/zns_driver.h"
+
+#include "core/module_registry.h"
+
+namespace labstor::labmods {
+
+Status ZnsDriverMod::Init(const yaml::NodePtr& params,
+                          core::ModContext& ctx) {
+  if (ctx.devices == nullptr) {
+    return Status::FailedPrecondition("no device registry in context");
+  }
+  const std::string device_name =
+      params != nullptr ? params->GetString("device", "nvme0") : "nvme0";
+  LABSTOR_ASSIGN_OR_RETURN(device, ctx.devices->Find(device_name));
+  device_ = device;
+  if (params != nullptr) {
+    zone_size_ = params->GetUint("zone_size_mb", 4) << 20;
+  }
+  if (zone_size_ == 0 || device_->params().capacity_bytes < zone_size_) {
+    return Status::InvalidArgument("zone size must fit the device");
+  }
+  const uint64_t count = device_->params().capacity_bytes / zone_size_;
+  zones_.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    zones_[i].start = i * zone_size_;
+    zones_[i].size = zone_size_;
+    zones_[i].write_pointer = zones_[i].start;
+  }
+  return Status::Ok();
+}
+
+Result<size_t> ZnsDriverMod::ZoneIndexFor(uint64_t offset) const {
+  const size_t index = offset / zone_size_;
+  if (index >= zones_.size()) {
+    return Status::InvalidArgument("offset beyond the zoned namespace");
+  }
+  return index;
+}
+
+Status ZnsDriverMod::DoWrite(ipc::Request& req, core::StackExec& exec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
+  ZoneInfo& zone = zones_[index];
+  if (zone.state == ZoneState::kFull) {
+    return Status::FailedPrecondition("zone is FULL; reset before writing");
+  }
+  if (req.offset != zone.write_pointer) {
+    return Status::InvalidArgument(
+        "ZNS writes must be sequential: offset " + std::to_string(req.offset) +
+        " != write pointer " + std::to_string(zone.write_pointer));
+  }
+  if (req.offset + req.length > zone.start + zone.size) {
+    return Status::InvalidArgument("write crosses the zone boundary");
+  }
+  exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
+  exec.trace().Device(device_, simdev::IoOp::kWrite, req.channel, req.offset,
+                      req.length);
+  if (req.data != nullptr) {
+    LABSTOR_RETURN_IF_ERROR(device_->WriteNow(req.offset, req.Payload()));
+  }
+  zone.write_pointer += req.length;
+  zone.state = zone.write_pointer == zone.start + zone.size ? ZoneState::kFull
+                                                            : ZoneState::kOpen;
+  req.result_u64 = req.length;
+  return Status::Ok();
+}
+
+Status ZnsDriverMod::DoAppend(ipc::Request& req, core::StackExec& exec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
+  ZoneInfo& zone = zones_[index];
+  if (zone.state == ZoneState::kFull ||
+      zone.write_pointer + req.length > zone.start + zone.size) {
+    return Status::ResourceExhausted("zone cannot fit the append");
+  }
+  const uint64_t assigned = zone.write_pointer;
+  exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
+  exec.trace().Device(device_, simdev::IoOp::kWrite, req.channel, assigned,
+                      req.length);
+  if (req.data != nullptr) {
+    LABSTOR_RETURN_IF_ERROR(device_->WriteNow(assigned, req.Payload()));
+  }
+  zone.write_pointer += req.length;
+  zone.state = zone.write_pointer == zone.start + zone.size ? ZoneState::kFull
+                                                            : ZoneState::kOpen;
+  // The ZNS contract: the device tells the host where the data landed.
+  req.result_u64 = assigned;
+  return Status::Ok();
+}
+
+Status ZnsDriverMod::DoReset(ipc::Request& req, core::StackExec& exec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
+  ZoneInfo& zone = zones_[index];
+  exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
+  zone.write_pointer = zone.start;
+  zone.state = ZoneState::kEmpty;
+  return Status::Ok();
+}
+
+Status ZnsDriverMod::DoRead(ipc::Request& req, core::StackExec& exec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
+    const ZoneInfo& zone = zones_[index];
+    if (req.offset + req.length > zone.write_pointer) {
+      return Status::InvalidArgument("read beyond the zone's write pointer");
+    }
+  }
+  exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
+  exec.trace().Device(device_, simdev::IoOp::kRead, req.channel, req.offset,
+                      req.length);
+  if (req.data != nullptr) {
+    LABSTOR_RETURN_IF_ERROR(device_->ReadNow(req.offset, req.Payload()));
+  }
+  req.result_u64 = req.length;
+  return Status::Ok();
+}
+
+Status ZnsDriverMod::Process(ipc::Request& req, core::StackExec& exec) {
+  switch (req.op) {
+    case ipc::OpCode::kBlkWrite:
+      return DoWrite(req, exec);
+    case ipc::OpCode::kZoneAppend:
+      return DoAppend(req, exec);
+    case ipc::OpCode::kZoneReset:
+      return DoReset(req, exec);
+    case ipc::OpCode::kBlkRead:
+      return DoRead(req, exec);
+    case ipc::OpCode::kBlkFlush:
+      exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
+      return Status::Ok();
+    default:
+      return Status::InvalidArgument(
+          std::string("zns driver cannot handle op ") +
+          std::string(ipc::OpCodeName(req.op)));
+  }
+}
+
+Status ZnsDriverMod::StateUpdate(core::LabMod& old) {
+  auto* prev = dynamic_cast<ZnsDriverMod*>(&old);
+  if (prev == nullptr) {
+    return Status::InvalidArgument("StateUpdate from incompatible mod");
+  }
+  std::scoped_lock lock(mu_, prev->mu_);
+  device_ = prev->device_;
+  zone_size_ = prev->zone_size_;
+  zones_ = prev->zones_;
+  return Status::Ok();
+}
+
+size_t ZnsDriverMod::num_zones() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return zones_.size();
+}
+
+Result<ZoneInfo> ZnsDriverMod::Zone(size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= zones_.size()) return Status::InvalidArgument("no such zone");
+  return zones_[index];
+}
+
+LABSTOR_REGISTER_LABMOD("zns_driver", 1, ZnsDriverMod);
+
+}  // namespace labstor::labmods

@@ -1,0 +1,60 @@
+// ZNS driver LabMod — the paper's note that userspace driver LabMods
+// "may provide APIs other than block (e.g., zoned namespace and
+// queues)" made concrete.
+//
+// The device is carved into fixed-size zones, each with a write
+// pointer and a state machine (EMPTY → OPEN → FULL → back to EMPTY on
+// reset). Semantics enforced, as the NVMe ZNS spec requires:
+//   * kBlkWrite must land exactly at the target zone's write pointer
+//     (sequential-only) and may not cross the zone boundary;
+//   * kZoneAppend writes at the owning zone's write pointer wherever
+//     that is; the assigned device offset is returned in result_u64;
+//   * kZoneReset rewinds the zone containing req.offset;
+//   * kBlkRead may only read below the write pointer.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "core/labmod.h"
+#include "core/stack_exec.h"
+
+namespace labstor::labmods {
+
+enum class ZoneState : uint8_t { kEmpty, kOpen, kFull };
+
+struct ZoneInfo {
+  uint64_t start = 0;
+  uint64_t size = 0;
+  uint64_t write_pointer = 0;  // absolute device offset
+  ZoneState state = ZoneState::kEmpty;
+};
+
+class ZnsDriverMod final : public core::LabMod {
+ public:
+  ZnsDriverMod() : core::LabMod("zns_driver", core::ModType::kDriver, 1) {}
+
+  Status Init(const yaml::NodePtr& params, core::ModContext& ctx) override;
+  Status Process(ipc::Request& req, core::StackExec& exec) override;
+  Status StateUpdate(core::LabMod& old) override;
+  sim::Time EstProcessingTime() const override { return 400; }
+
+  // --- introspection ---
+  size_t num_zones() const;
+  Result<ZoneInfo> Zone(size_t index) const;
+  uint64_t zone_size() const { return zone_size_; }
+
+ private:
+  Status DoWrite(ipc::Request& req, core::StackExec& exec);
+  Status DoAppend(ipc::Request& req, core::StackExec& exec);
+  Status DoReset(ipc::Request& req, core::StackExec& exec);
+  Status DoRead(ipc::Request& req, core::StackExec& exec);
+  Result<size_t> ZoneIndexFor(uint64_t offset) const;
+
+  simdev::SimDevice* device_ = nullptr;
+  uint64_t zone_size_ = 4 << 20;
+  mutable std::mutex mu_;
+  std::vector<ZoneInfo> zones_;
+};
+
+}  // namespace labstor::labmods

@@ -1,0 +1,166 @@
+#include "pfs/mini_pfs.h"
+
+namespace labstor::pfs {
+
+std::string_view LocalStackKindName(LocalStackKind kind) {
+  switch (kind) {
+    case LocalStackKind::kExt4: return "ext4";
+    case LocalStackKind::kLabFsAll: return "labfs_all";
+    case LocalStackKind::kLabFsMin: return "labfs_min";
+  }
+  return "?";
+}
+
+MiniPfs::MiniPfs(sim::Environment& env, PfsConfig config,
+                 const sim::SoftwareCosts& costs)
+    : env_(env), config_(std::move(config)), costs_(costs) {
+  const auto make_node = [&](const simdev::DeviceParams& params,
+                             uint32_t cores) {
+    auto node = std::make_unique<Node>();
+    node->device = std::make_unique<simdev::SimDevice>(&env_, params);
+    node->cpu = std::make_unique<sim::Resource>(env_, cores);
+    node->nic = std::make_unique<sim::Resource>(env_, 1);
+    if (config_.local_stack == LocalStackKind::kExt4) {
+      node->kfs = std::make_unique<kernelsim::KernelFs>(
+          env_, *node->device, kernelsim::KfsKind::kExt4, costs_);
+    }
+    return node;
+  };
+  auto meta = make_node(config_.meta_device, config_.meta_server_cores);
+  meta_ = std::move(*meta);
+  for (uint32_t i = 0; i < config_.num_data_servers; ++i) {
+    simdev::DeviceParams p = config_.data_device;
+    p.name = "pfs_data" + std::to_string(i);
+    data_.push_back(make_node(p, 4));
+  }
+}
+
+sim::Time MiniPfs::LabMetaCost() const {
+  // LabStor async metadata path on the metadata server: shared-memory
+  // round trip + LabFS hashmap op (+ permissions for Lab-All).
+  sim::Time t = costs_.shm_submit + costs_.worker_poll + costs_.fs_metadata +
+                costs_.shm_complete;
+  if (config_.local_stack == LocalStackKind::kLabFsAll) {
+    t += costs_.permission_check;
+  }
+  return t;
+}
+
+sim::Time MiniPfs::LabDataSwCost(uint64_t length) const {
+  sim::Time t = costs_.shm_submit + costs_.worker_poll + costs_.fs_metadata +
+                costs_.sched_noop + costs_.request_alloc +
+                costs_.driver_submit + costs_.shm_complete;
+  if (config_.local_stack == LocalStackKind::kLabFsAll) {
+    t += costs_.permission_check;
+  }
+  (void)length;  // zero-copy via shared memory: no per-byte charge
+  return t;
+}
+
+sim::Task<void> MiniPfs::MetaOp() {
+  // An OrangeFS stripe access triggers several metadata sub-ops on the
+  // metadata server (dentry walk, dfile/stripe-map lookup, attribute
+  // update — the paper counts ~100M metadata ops for ~2.7M stripes).
+  constexpr int kSubOps = 3;
+  metadata_ops_ += kSubOps;
+  // Client <-> metadata server message.
+  co_await env_.Delay(config_.net_latency);
+  co_await meta_.cpu->Acquire();
+  if (config_.local_stack == LocalStackKind::kExt4) {
+    for (int i = 0; i < kSubOps; ++i) {
+      co_await meta_.kfs->Open();  // kernel path, journal/dentry locked
+    }
+  } else {
+    // One IPC round trip covers the batch; each sub-op is a hashmap
+    // operation in LabFS.
+    co_await env_.Delay(LabMetaCost() +
+                        (kSubOps - 1) * costs_.fs_metadata);
+    // Stripe-map mutation logs asynchronously on the metadata NVMe.
+    env_.Spawn(meta_.device->WriteTimed(1, 0, 256));
+  }
+  meta_.cpu->Release();
+  co_await env_.Delay(config_.net_latency);
+}
+
+sim::Task<void> MiniPfs::NetTransfer(Node& node, uint64_t bytes) {
+  co_await env_.Delay(config_.net_latency);
+  co_await node.nic->Acquire();
+  co_await env_.Delay(
+      static_cast<sim::Time>(config_.net_ns_per_byte *
+                             static_cast<double>(bytes)));
+  node.nic->Release();
+}
+
+sim::Task<void> MiniPfs::LocalIo(Node& node, simdev::IoOp op, uint64_t offset,
+                                 uint64_t length) {
+  if (config_.local_stack == LocalStackKind::kExt4) {
+    if (op == simdev::IoOp::kWrite) {
+      co_await node.kfs->Write(static_cast<uint32_t>(offset / 4096),
+                               offset, length);
+    } else {
+      co_await node.kfs->Read(static_cast<uint32_t>(offset / 4096), offset,
+                              length);
+    }
+    co_return;
+  }
+  co_await node.cpu->Acquire();
+  co_await env_.Delay(LabDataSwCost(length));
+  node.cpu->Release();
+  const uint32_t channel =
+      static_cast<uint32_t>(offset / config_.stripe_size);
+  if (op == simdev::IoOp::kWrite) {
+    co_await node.device->WriteTimed(channel, offset, length);
+  } else {
+    co_await node.device->ReadTimed(channel, offset, length);
+  }
+}
+
+sim::Task<void> MiniPfs::WriteFile(uint32_t client, uint64_t offset,
+                                   uint64_t length) {
+  // Each stripe: consult the metadata server, ship bytes to the owning
+  // data server, write through its local stack. A client's stripes are
+  // issued sequentially (MPI-IO style collective phases provide the
+  // cross-client parallelism).
+  uint64_t remaining = length;
+  uint64_t cursor = offset;
+  while (remaining > 0) {
+    const uint64_t in_stripe = config_.stripe_size - (cursor % config_.stripe_size);
+    const uint64_t chunk = std::min(remaining, in_stripe);
+    const uint64_t stripe_index = cursor / config_.stripe_size;
+    Node& server =
+        *data_[(client + stripe_index) % data_.size()];
+    co_await MetaOp();
+    co_await NetTransfer(server, chunk);
+    // Append-allocated placement on the data server.
+    const uint64_t local_offset =
+        (server.next_block++ % (server.device->params().capacity_bytes /
+                                config_.stripe_size)) *
+        config_.stripe_size;
+    co_await LocalIo(server, simdev::IoOp::kWrite, local_offset, chunk);
+    cursor += chunk;
+    remaining -= chunk;
+  }
+}
+
+sim::Task<void> MiniPfs::ReadFile(uint32_t client, uint64_t offset,
+                                  uint64_t length) {
+  uint64_t remaining = length;
+  uint64_t cursor = offset;
+  while (remaining > 0) {
+    const uint64_t in_stripe = config_.stripe_size - (cursor % config_.stripe_size);
+    const uint64_t chunk = std::min(remaining, in_stripe);
+    const uint64_t stripe_index = cursor / config_.stripe_size;
+    Node& server = *data_[(client + stripe_index) % data_.size()];
+    co_await MetaOp();
+    const uint64_t local_offset =
+        (stripe_index % (server.device->params().capacity_bytes /
+                         config_.stripe_size)) *
+        config_.stripe_size;
+    co_await LocalIo(server, simdev::IoOp::kRead, local_offset, chunk);
+    co_await NetTransfer(server, chunk);
+    cursor += chunk;
+    remaining -= chunk;
+  }
+}
+
+}  // namespace labstor::pfs

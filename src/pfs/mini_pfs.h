@@ -1,0 +1,82 @@
+// MiniPfs: an OrangeFS-like striped parallel filesystem over simulated
+// storage nodes (Fig. 9a's subject).
+//
+// Topology from the paper: one metadata server (NVMe-backed) managing
+// stripe locations, N data servers holding 64KB stripes. Every stripe
+// access consults the metadata server (the ~100M metadata ops the
+// paper attributes 4-6 seconds to); data moves over a per-server NIC
+// and lands through the node's *local I/O stack* — which is exactly
+// what LabStor customizes. Three local-stack flavors:
+//   * kExt4      — the kernel path (KernelFs model);
+//   * kLabFsAll  — LabStor async stack with permissions;
+//   * kLabFsMin  — LabStor async stack without permissions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernelsim/kernel_fs.h"
+#include "sim/cost_model.h"
+#include "sim/environment.h"
+#include "simdev/sim_device.h"
+#include "workload/target.h"
+
+namespace labstor::pfs {
+
+enum class LocalStackKind : uint8_t { kExt4, kLabFsAll, kLabFsMin };
+
+std::string_view LocalStackKindName(LocalStackKind kind);
+
+struct PfsConfig {
+  uint32_t num_data_servers = 4;
+  uint64_t stripe_size = 64 * 1024;
+  // Interconnect: per-message latency plus serialized per-server NIC
+  // bandwidth (~0.1 ns/B = 10 GbE-class per node).
+  sim::Time net_latency = 20 * sim::kUs;
+  double net_ns_per_byte = 0.1;
+  uint32_t meta_server_cores = 8;
+  simdev::DeviceParams meta_device = simdev::DeviceParams::NvmeP3700();
+  simdev::DeviceParams data_device = simdev::DeviceParams::SasHdd();
+  LocalStackKind local_stack = LocalStackKind::kExt4;
+};
+
+class MiniPfs final : public workload::PfsTarget {
+ public:
+  MiniPfs(sim::Environment& env, PfsConfig config,
+          const sim::SoftwareCosts& costs = sim::DefaultCosts());
+
+  sim::Task<void> WriteFile(uint32_t client, uint64_t offset,
+                            uint64_t length) override;
+  sim::Task<void> ReadFile(uint32_t client, uint64_t offset,
+                           uint64_t length) override;
+
+  uint64_t metadata_ops() const { return metadata_ops_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<simdev::SimDevice> device;
+    std::unique_ptr<sim::Resource> cpu;
+    std::unique_ptr<sim::Resource> nic;
+    std::unique_ptr<kernelsim::KernelFs> kfs;  // kExt4 local stacks
+    uint64_t next_block = 0;                   // simple append allocator
+  };
+
+  // One stripe-map lookup/insert on the metadata server.
+  sim::Task<void> MetaOp();
+  // Network hop to/from a node.
+  sim::Task<void> NetTransfer(Node& node, uint64_t bytes);
+  // Stripe I/O through the node's local stack.
+  sim::Task<void> LocalIo(Node& node, simdev::IoOp op, uint64_t offset,
+                          uint64_t length);
+  sim::Time LabMetaCost() const;
+  sim::Time LabDataSwCost(uint64_t length) const;
+
+  sim::Environment& env_;
+  PfsConfig config_;
+  const sim::SoftwareCosts& costs_;
+  Node meta_;
+  std::vector<std::unique_ptr<Node>> data_;
+  uint64_t metadata_ops_ = 0;
+};
+
+}  // namespace labstor::pfs

@@ -1,0 +1,142 @@
+// Parameter sets describing the storage devices of the paper's testbed
+// (Chameleon "storage hierarchy" node). Absolute values are class-
+// representative, taken from public spec sheets; the evaluation only
+// depends on the *ratios* between software path cost and device time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/environment.h"
+
+namespace labstor::simdev {
+
+enum class DeviceKind { kHdd, kSataSsd, kNvme, kPmem };
+
+std::string_view DeviceKindName(DeviceKind kind);
+
+struct DeviceParams {
+  std::string name;
+  DeviceKind kind = DeviceKind::kNvme;
+  uint64_t capacity_bytes = 0;
+  uint32_t block_size = 4096;
+
+  // Fixed per-op device-internal latency (controller, NAND program,
+  // media access) excluding data transfer.
+  sim::Time read_latency = 0;
+  sim::Time write_latency = 0;
+
+  // Data transfer: inverse bandwidth.
+  double read_ns_per_byte = 0.0;
+  double write_ns_per_byte = 0.0;
+
+  // Parallelism. NVMe exposes independent hardware submission queues;
+  // SATA has one dispatch port with limited internal overlap (NCQ);
+  // HDD is a single actuator; PMEM allows many concurrent lanes.
+  // Channels serialize per-queue ordering (head-of-line blocking);
+  // device_parallelism bounds concurrently-serviced ops device-wide
+  // (what caps random IOPS); the transfer phase shares one bandwidth
+  // pipe (what caps sequential MB/s).
+  uint32_t num_hw_queues = 1;
+  uint32_t per_queue_parallelism = 1;
+  uint32_t device_parallelism = 1;
+
+  // HDD mechanics: charged when an op is not sequential with the
+  // previous op on the same channel.
+  sim::Time avg_seek = 0;
+  sim::Time rotational_delay = 0;
+
+  bool byte_addressable = false;   // PMEM: CPU load/store via DAX
+  bool supports_polling = false;   // NVMe/PMEM completion polling
+
+  // --- testbed presets ---
+
+  // Intel P3700-class NVMe (2TB): ~4KB latency in the tens of µs,
+  // multi-GB/s, 31 usable hardware queue pairs.
+  static DeviceParams NvmeP3700(uint64_t capacity = 64ull << 20);
+  // Intel SSDSC2BX-class SATA SSD (1.6TB): AHCI single dispatch queue,
+  // NCQ depth gives limited internal overlap.
+  static DeviceParams SataSsd(uint64_t capacity = 64ull << 20);
+  // Seagate ST600MP0005-class 15K RPM SAS HDD (600GB).
+  static DeviceParams SasHdd(uint64_t capacity = 64ull << 20);
+  // Emulated PMEM (DRAM-backed, as the paper's bootloader trick).
+  static DeviceParams PmemEmulated(uint64_t capacity = 64ull << 20);
+};
+
+inline std::string_view DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kHdd: return "hdd";
+    case DeviceKind::kSataSsd: return "sata_ssd";
+    case DeviceKind::kNvme: return "nvme";
+    case DeviceKind::kPmem: return "pmem";
+  }
+  return "?";
+}
+
+inline DeviceParams DeviceParams::NvmeP3700(uint64_t capacity) {
+  DeviceParams p;
+  p.name = "nvme0";
+  p.kind = DeviceKind::kNvme;
+  p.capacity_bytes = capacity;
+  p.read_latency = 10 * sim::kUs;
+  p.write_latency = 12 * sim::kUs;
+  p.read_ns_per_byte = 0.385;   // ~2.6 GB/s
+  p.write_ns_per_byte = 0.909;  // ~1.1 GB/s
+  p.num_hw_queues = 31;
+  p.per_queue_parallelism = 1;
+  p.device_parallelism = 4;  // internal NAND-channel overlap
+  p.supports_polling = true;
+  return p;
+}
+
+inline DeviceParams DeviceParams::SataSsd(uint64_t capacity) {
+  DeviceParams p;
+  p.name = "ssd0";
+  p.kind = DeviceKind::kSataSsd;
+  p.capacity_bytes = capacity;
+  p.read_latency = 55 * sim::kUs;
+  p.write_latency = 60 * sim::kUs;
+  p.read_ns_per_byte = 2.0;   // ~500 MB/s
+  p.write_ns_per_byte = 2.2;  // ~450 MB/s
+  p.num_hw_queues = 1;
+  p.per_queue_parallelism = 4;  // NCQ admits several in-flight ops
+  p.device_parallelism = 2;
+  return p;
+}
+
+inline DeviceParams DeviceParams::SasHdd(uint64_t capacity) {
+  DeviceParams p;
+  p.name = "hdd0";
+  p.kind = DeviceKind::kHdd;
+  p.capacity_bytes = capacity;
+  p.read_latency = 100 * sim::kUs;   // controller + cache management
+  p.write_latency = 100 * sim::kUs;
+  p.read_ns_per_byte = 4.3;   // ~230 MB/s media rate
+  p.write_ns_per_byte = 4.3;
+  p.num_hw_queues = 1;
+  p.per_queue_parallelism = 1;  // one actuator
+  p.device_parallelism = 1;
+  p.avg_seek = 2'500 * sim::kUs;         // 15K RPM class
+  p.rotational_delay = 2'000 * sim::kUs; // half revolution at 15K RPM
+  return p;
+}
+
+inline DeviceParams DeviceParams::PmemEmulated(uint64_t capacity) {
+  DeviceParams p;
+  p.name = "pmem0";
+  p.kind = DeviceKind::kPmem;
+  p.capacity_bytes = capacity;
+  p.block_size = 64;  // cacheline granularity
+  p.read_latency = 300;
+  p.write_latency = 500;
+  p.read_ns_per_byte = 0.10;  // ~10 GB/s
+  p.write_ns_per_byte = 0.30; // ~3.3 GB/s
+  p.num_hw_queues = 8;        // concurrent load/store lanes
+  p.per_queue_parallelism = 1;
+  p.device_parallelism = 8;
+  p.byte_addressable = true;
+  p.supports_polling = true;
+  return p;
+}
+
+}  // namespace labstor::simdev

@@ -1,0 +1,30 @@
+#include "simdev/registry.h"
+
+namespace labstor::simdev {
+
+Result<SimDevice*> DeviceRegistry::Create(const DeviceParams& params) {
+  if (devices_.contains(params.name)) {
+    return Status::AlreadyExists("device '" + params.name + "' exists");
+  }
+  auto device = std::make_unique<SimDevice>(env_, params);
+  SimDevice* raw = device.get();
+  devices_.emplace(params.name, std::move(device));
+  return raw;
+}
+
+Result<SimDevice*> DeviceRegistry::Find(const std::string& name) const {
+  const auto it = devices_.find(name);
+  if (it == devices_.end()) {
+    return Status::NotFound("no device named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> DeviceRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(devices_.size());
+  for (const auto& [name, _] : devices_) names.push_back(name);
+  return names;
+}
+
+}  // namespace labstor::simdev

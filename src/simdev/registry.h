@@ -1,0 +1,28 @@
+// Device registry: name -> SimDevice. Driver LabMods resolve their
+// target device here (the simulated analogue of opening /dev/nvme0n1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "simdev/sim_device.h"
+
+namespace labstor::simdev {
+
+class DeviceRegistry {
+ public:
+  explicit DeviceRegistry(sim::Environment* env = nullptr) : env_(env) {}
+
+  // Creates and registers a device; fails on duplicate names.
+  Result<SimDevice*> Create(const DeviceParams& params);
+  Result<SimDevice*> Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  sim::Environment* env_;
+  std::unordered_map<std::string, std::unique_ptr<SimDevice>> devices_;
+};
+
+}  // namespace labstor::simdev

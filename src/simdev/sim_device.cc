@@ -1,0 +1,106 @@
+#include "simdev/sim_device.h"
+
+#include <cassert>
+
+namespace labstor::simdev {
+
+SimDevice::SimDevice(sim::Environment* env, DeviceParams params)
+    : env_(env),
+      params_(std::move(params)),
+      store_(params_.capacity_bytes),
+      timing_(params_) {
+  if (env_ != nullptr) {
+    channels_.reserve(params_.num_hw_queues);
+    for (uint32_t i = 0; i < params_.num_hw_queues; ++i) {
+      channels_.push_back(std::make_unique<sim::Resource>(
+          *env_, params_.per_queue_parallelism));
+    }
+    service_slots_ = std::make_unique<sim::Resource>(
+        *env_, std::max<uint32_t>(params_.device_parallelism, 1));
+    bandwidth_pipe_ = std::make_unique<sim::Resource>(*env_, 1);
+  }
+}
+
+Status SimDevice::ReadNow(uint64_t offset, std::span<uint8_t> out) {
+  const Status st = store_.Read(offset, out);
+  if (st.ok()) {
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_read.fetch_add(out.size(), std::memory_order_relaxed);
+  }
+  return st;
+}
+
+Status SimDevice::WriteNow(uint64_t offset, std::span<const uint8_t> data) {
+  const Status st = store_.Write(offset, data);
+  if (st.ok()) {
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  }
+  return st;
+}
+
+sim::Task<void> SimDevice::TimedOp(IoOp op, uint32_t channel, uint64_t offset,
+                                   uint64_t len) {
+  assert(env_ != nullptr && "device constructed without an environment");
+  // Channel order -> device service slot -> latency phase -> shared
+  // transfer pipe. Lock order is fixed, so no cycles.
+  sim::Resource& ch = *channels_[channel % channels_.size()];
+  co_await ch.Acquire();
+  co_await service_slots_->Acquire();
+  co_await env_->Delay(timing_.LatencyPart(op, offset, len, channel));
+  // The shared transfer pipe serves in chunks, interleaving concurrent
+  // transfers the way a real controller time-slices its internal
+  // bandwidth — a small 4KB op must not wait behind whole 64KB (or
+  // 32MB) transfers. Chunks grow for huge requests to bound event
+  // counts.
+  if (len > 0) {
+    const uint64_t chunk_size = len <= (1 << 20) ? 16 * 1024 : 256 * 1024;
+    uint64_t remaining = len;
+    while (remaining > 0) {
+      const uint64_t chunk = std::min(remaining, chunk_size);
+      const sim::Time transfer = timing_.TransferPart(op, chunk);
+      if (transfer > 0) {
+        co_await bandwidth_pipe_->Acquire();
+        co_await env_->Delay(transfer);
+        bandwidth_pipe_->Release();
+      }
+      remaining -= chunk;
+    }
+  }
+  service_slots_->Release();
+  ch.Release();
+}
+
+sim::Task<Status> SimDevice::Read(uint32_t channel, uint64_t offset,
+                                  std::span<uint8_t> out) {
+  co_await TimedOp(IoOp::kRead, channel, offset, out.size());
+  co_return ReadNow(offset, out);
+}
+
+sim::Task<Status> SimDevice::Write(uint32_t channel, uint64_t offset,
+                                   std::span<const uint8_t> data) {
+  co_await TimedOp(IoOp::kWrite, channel, offset, data.size());
+  co_return WriteNow(offset, data);
+}
+
+sim::Task<void> SimDevice::ReadTimed(uint32_t channel, uint64_t offset,
+                                     uint64_t len) {
+  co_await TimedOp(IoOp::kRead, channel, offset, len);
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(len, std::memory_order_relaxed);
+}
+
+sim::Task<void> SimDevice::WriteTimed(uint32_t channel, uint64_t offset,
+                                      uint64_t len) {
+  co_await TimedOp(IoOp::kWrite, channel, offset, len);
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(len, std::memory_order_relaxed);
+}
+
+size_t SimDevice::ChannelQueueDepth(uint32_t channel) const {
+  if (channels_.empty()) return 0;
+  const sim::Resource& ch = *channels_[channel % channels_.size()];
+  return ch.queue_length() + (ch.capacity() - ch.free());
+}
+
+}  // namespace labstor::simdev

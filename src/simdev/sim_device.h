@@ -1,0 +1,87 @@
+// SimDevice: the simulated storage device, usable from two worlds.
+//
+//   * Real mode (tests, examples): ReadNow/WriteNow move bytes through
+//     the SparseStore immediately; no virtual time involved.
+//   * Simulated mode (benches): Read/Write are DES coroutines that
+//     queue on the addressed hardware channel, charge the timing
+//     model's service time, then perform the functional I/O.
+//
+// Channels model NVMe hardware queue pairs (the entities the paper's
+// Kernel Driver LabMod exposes via submit_io_to_hctx). Each channel
+// admits `per_queue_parallelism` concurrent ops to model device-
+// internal overlap; ops beyond that queue FIFO.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/environment.h"
+#include "sim/task.h"
+#include "simdev/device_params.h"
+#include "simdev/sparse_store.h"
+#include "simdev/timing_model.h"
+
+namespace labstor::simdev {
+
+struct DeviceStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+};
+
+class SimDevice {
+ public:
+  // `env` may be null for real-mode-only devices.
+  SimDevice(sim::Environment* env, DeviceParams params);
+
+  const DeviceParams& params() const { return params_; }
+  const DeviceStats& stats() const { return stats_; }
+  uint32_t num_channels() const { return params_.num_hw_queues; }
+
+  // --- real mode (immediate) ---
+  Status ReadNow(uint64_t offset, std::span<uint8_t> out);
+  Status WriteNow(uint64_t offset, std::span<const uint8_t> data);
+
+  // --- simulated mode (virtual time) ---
+  // Functional + timed.
+  sim::Task<Status> Read(uint32_t channel, uint64_t offset,
+                         std::span<uint8_t> out);
+  sim::Task<Status> Write(uint32_t channel, uint64_t offset,
+                          std::span<const uint8_t> data);
+  // Timing-only: benches that sweep terabytes don't materialize data.
+  sim::Task<void> ReadTimed(uint32_t channel, uint64_t offset, uint64_t len);
+  sim::Task<void> WriteTimed(uint32_t channel, uint64_t offset, uint64_t len);
+
+  // Occupy the device in virtual time WITHOUT functional I/O or stats
+  // (the SimRuntime replays ExecTrace device ops whose bytes already
+  // moved via the functional path).
+  sim::Task<void> OccupyTimed(IoOp op, uint32_t channel, uint64_t offset,
+                              uint64_t len) {
+    return TimedOp(op, channel, offset, len);
+  }
+
+  // Current queue depth on a channel (for load-aware schedulers like
+  // blk-switch).
+  size_t ChannelQueueDepth(uint32_t channel) const;
+
+ private:
+  sim::Task<void> TimedOp(IoOp op, uint32_t channel, uint64_t offset,
+                          uint64_t len);
+
+  sim::Environment* env_;
+  DeviceParams params_;
+  SparseStore store_;
+  TimingModel timing_;
+  std::vector<std::unique_ptr<sim::Resource>> channels_;
+  // Device-wide service slots (caps random IOPS) and the shared
+  // transfer pipe (caps sequential bandwidth).
+  std::unique_ptr<sim::Resource> service_slots_;
+  std::unique_ptr<sim::Resource> bandwidth_pipe_;
+  DeviceStats stats_;
+};
+
+}  // namespace labstor::simdev

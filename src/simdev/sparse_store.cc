@@ -1,0 +1,64 @@
+#include "simdev/sparse_store.h"
+
+#include <cstring>
+
+namespace labstor::simdev {
+
+Status SparseStore::Write(uint64_t offset, std::span<const uint8_t> data) {
+  if (offset + data.size() > capacity_) {
+    return Status::InvalidArgument("write beyond device capacity");
+  }
+  uint64_t pos = 0;
+  while (pos < data.size()) {
+    const uint64_t abs = offset + pos;
+    const uint64_t page_index = abs / kPageSize;
+    const uint64_t page_off = abs % kPageSize;
+    const uint64_t chunk =
+        std::min<uint64_t>(kPageSize - page_off, data.size() - pos);
+    Shard& shard = ShardFor(page_index);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& page = shard.pages[page_index];
+    if (page == nullptr) {
+      page = std::make_unique<uint8_t[]>(kPageSize);
+      std::memset(page.get(), 0, kPageSize);
+    }
+    std::memcpy(page.get() + page_off, data.data() + pos, chunk);
+    pos += chunk;
+  }
+  return Status::Ok();
+}
+
+Status SparseStore::Read(uint64_t offset, std::span<uint8_t> out) const {
+  if (offset + out.size() > capacity_) {
+    return Status::InvalidArgument("read beyond device capacity");
+  }
+  uint64_t pos = 0;
+  while (pos < out.size()) {
+    const uint64_t abs = offset + pos;
+    const uint64_t page_index = abs / kPageSize;
+    const uint64_t page_off = abs % kPageSize;
+    const uint64_t chunk =
+        std::min<uint64_t>(kPageSize - page_off, out.size() - pos);
+    const Shard& shard = ShardFor(page_index);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.pages.find(page_index);
+    if (it == shard.pages.end()) {
+      std::memset(out.data() + pos, 0, chunk);
+    } else {
+      std::memcpy(out.data() + pos, it->second.get() + page_off, chunk);
+    }
+    pos += chunk;
+  }
+  return Status::Ok();
+}
+
+size_t SparseStore::resident_pages() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.pages.size();
+  }
+  return total;
+}
+
+}  // namespace labstor::simdev

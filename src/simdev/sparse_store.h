@@ -1,0 +1,47 @@
+// Sparse in-memory byte store backing the simulated devices. Pages are
+// allocated on first write; unwritten ranges read as zeros, matching a
+// freshly-trimmed SSD / zero-filled block device. Thread-safe (sharded
+// locks) so real-mode workers can hit one device concurrently.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace labstor::simdev {
+
+class SparseStore {
+ public:
+  explicit SparseStore(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  Status Write(uint64_t offset, std::span<const uint8_t> data);
+  Status Read(uint64_t offset, std::span<uint8_t> out) const;
+
+  uint64_t capacity() const { return capacity_; }
+  // Pages actually materialized (for tests / memory accounting).
+  size_t resident_pages() const;
+
+ private:
+  static constexpr uint64_t kPageSize = 4096;
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages;
+  };
+
+  Shard& ShardFor(uint64_t page_index) const {
+    return shards_[page_index % kShards];
+  }
+
+  uint64_t capacity_;
+  mutable std::array<Shard, kShards> shards_;
+};
+
+}  // namespace labstor::simdev

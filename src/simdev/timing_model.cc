@@ -1,0 +1,39 @@
+#include "simdev/timing_model.h"
+
+namespace labstor::simdev {
+
+TimingModel::TimingModel(const DeviceParams& params)
+    : params_(params), head_pos_(params.num_hw_queues, 0) {}
+
+bool TimingModel::WouldSeek(uint64_t offset, uint32_t channel) const {
+  if (params_.kind != DeviceKind::kHdd) return false;
+  return offset != head_pos_[channel % head_pos_.size()];
+}
+
+sim::Time TimingModel::LatencyPart(IoOp op, uint64_t offset, uint64_t length,
+                                   uint32_t channel) {
+  sim::Time t =
+      op == IoOp::kRead ? params_.read_latency : params_.write_latency;
+  if (params_.kind == DeviceKind::kHdd) {
+    uint64_t& head = head_pos_[channel % head_pos_.size()];
+    if (offset != head) {
+      // Non-sequential: pay seek plus average rotational delay.
+      t += params_.avg_seek + params_.rotational_delay;
+    }
+    head = offset + length;
+  }
+  return t;
+}
+
+sim::Time TimingModel::TransferPart(IoOp op, uint64_t length) const {
+  const double per_byte = op == IoOp::kRead ? params_.read_ns_per_byte
+                                            : params_.write_ns_per_byte;
+  return static_cast<sim::Time>(per_byte * static_cast<double>(length));
+}
+
+sim::Time TimingModel::ServiceTime(IoOp op, uint64_t offset, uint64_t length,
+                                   uint32_t channel) {
+  return LatencyPart(op, offset, length, channel) + TransferPart(op, length);
+}
+
+}  // namespace labstor::simdev

@@ -1,0 +1,42 @@
+// Per-device service-time model. Stateless except for HDD head
+// position tracking (per channel), so it can be unit-tested apart from
+// the DES actor that applies the times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simdev/device_params.h"
+
+namespace labstor::simdev {
+
+enum class IoOp { kRead, kWrite };
+
+class TimingModel {
+ public:
+  explicit TimingModel(const DeviceParams& params);
+
+  // Service time for one op on `channel` (queueing excluded — the
+  // caller serializes channels). Updates HDD head state. Equals
+  // LatencyPart + TransferPart.
+  sim::Time ServiceTime(IoOp op, uint64_t offset, uint64_t length,
+                        uint32_t channel);
+
+  // The access-latency phase (controller + media access + any seek);
+  // overlaps across ops up to device_parallelism. Updates HDD head
+  // state.
+  sim::Time LatencyPart(IoOp op, uint64_t offset, uint64_t length,
+                        uint32_t channel);
+  // The data-movement phase; serialized on the shared bandwidth pipe.
+  sim::Time TransferPart(IoOp op, uint64_t length) const;
+
+  // Inspection helper for tests: would this op seek?
+  bool WouldSeek(uint64_t offset, uint32_t channel) const;
+
+ private:
+  DeviceParams params_;
+  // Next sequential offset per channel (HDD head model).
+  std::vector<uint64_t> head_pos_;
+};
+
+}  // namespace labstor::simdev

@@ -1,0 +1,121 @@
+#include "workload/filebench.h"
+
+#include <algorithm>
+
+namespace labstor::workload {
+
+std::string_view FilebenchKindName(FilebenchKind kind) {
+  switch (kind) {
+    case FilebenchKind::kVarmail: return "varmail";
+    case FilebenchKind::kWebserver: return "webserver";
+    case FilebenchKind::kWebproxy: return "webproxy";
+    case FilebenchKind::kFileserver: return "fileserver";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr uint64_t kSmallIo = 16 * 1024;   // varmail/webserver mean size
+constexpr uint64_t kLargeIo = 128 * 1024;  // fileserver chunk
+constexpr uint64_t kLargeFile = 1 << 20;   // fileserver file size
+
+sim::Task<void> VarmailIteration(FsTarget& fs, uint32_t t, Rng& rng) {
+  // deletefile, createfile+append+fsync, openfile+read+append+fsync,
+  // openfile+read — the classic 16-flowop loop condensed.
+  co_await fs.Unlink(t);
+  co_await fs.Create(t);
+  co_await fs.Write(t, 0, kSmallIo);
+  co_await fs.Fsync(t);
+  co_await fs.Close(t);
+  co_await fs.Open(t);
+  co_await fs.Read(t, 0, kSmallIo);
+  co_await fs.Write(t, kSmallIo, kSmallIo);
+  co_await fs.Fsync(t);
+  co_await fs.Close(t);
+  co_await fs.Open(t);
+  co_await fs.Read(t, 0, rng.Range(4096, kSmallIo));
+  co_await fs.Close(t);
+}
+
+sim::Task<void> WebserverIteration(FsTarget& fs, uint32_t t, Rng& rng) {
+  for (int i = 0; i < 10; ++i) {
+    co_await fs.Open(t);
+    co_await fs.Read(t, 0, rng.Range(4096, kSmallIo));
+    co_await fs.Close(t);
+  }
+  // Append to the shared web log.
+  co_await fs.Write(t, 0, 8192);
+}
+
+sim::Task<void> WebproxyIteration(FsTarget& fs, uint32_t t, Rng& rng) {
+  co_await fs.Unlink(t);
+  co_await fs.Create(t);
+  co_await fs.Write(t, 0, kSmallIo);
+  co_await fs.Close(t);
+  for (int i = 0; i < 5; ++i) {
+    co_await fs.Open(t);
+    co_await fs.Read(t, 0, rng.Range(4096, kSmallIo));
+    co_await fs.Close(t);
+  }
+}
+
+sim::Task<void> FileserverIteration(FsTarget& fs, uint32_t t, Rng& rng) {
+  co_await fs.Create(t);
+  for (uint64_t off = 0; off < kLargeFile; off += kLargeIo) {
+    co_await fs.Write(t, off, kLargeIo);
+  }
+  co_await fs.Close(t);
+  co_await fs.Open(t);
+  for (uint64_t off = 0; off < kLargeFile; off += kLargeIo) {
+    co_await fs.Read(t, off, kLargeIo);
+  }
+  co_await fs.Close(t);
+  co_await fs.Unlink(t);
+  (void)rng;
+}
+
+sim::Task<void> WorkerLoop(sim::Environment& env, FsTarget& fs,
+                           FilebenchKind kind, uint32_t thread,
+                           uint64_t iterations, uint64_t seed,
+                           FilebenchResult* result) {
+  Rng rng(seed * 977 + thread);
+  for (uint64_t i = 0; i < iterations; ++i) {
+    const sim::Time t0 = env.now();
+    switch (kind) {
+      case FilebenchKind::kVarmail:
+        co_await VarmailIteration(fs, thread, rng);
+        break;
+      case FilebenchKind::kWebserver:
+        co_await WebserverIteration(fs, thread, rng);
+        break;
+      case FilebenchKind::kWebproxy:
+        co_await WebproxyIteration(fs, thread, rng);
+        break;
+      case FilebenchKind::kFileserver:
+        co_await FileserverIteration(fs, thread, rng);
+        break;
+    }
+    result->iteration_latency.Record(env.now() - t0);
+    ++result->ops;
+    result->last_completion = std::max(result->last_completion, env.now());
+  }
+}
+
+}  // namespace
+
+FilebenchResult RunFilebench(sim::Environment& env, FsTarget& target,
+                             FilebenchKind kind, uint32_t threads,
+                             uint64_t iterations_per_thread, uint64_t seed) {
+  FilebenchResult result;
+  for (uint32_t t = 0; t < threads; ++t) {
+    env.Spawn(WorkerLoop(env, target, kind, t, iterations_per_thread, seed,
+                         &result));
+  }
+  const sim::Time begin = env.now();
+  env.Run();
+  result.makespan = result.ops == 0 ? 0 : result.last_completion - begin;
+  return result;
+}
+
+}  // namespace labstor::workload

@@ -1,0 +1,48 @@
+// Filebench personality models (Fig. 9's cloud workloads), with op
+// mixes matching the default .f configurations:
+//   * varmail    — mail server: create/append/fsync/read/delete over
+//                  many small files (metadata + fsync bound);
+//   * webserver  — open/read x10 of small files + a log append
+//                  (read bound);
+//   * webproxy   — create+write then 5 re-reads (mixed);
+//   * fileserver — create/write 1MB, read 1MB, delete (large-I/O
+//                  bound — the paper's exception where LabFS ties).
+#pragma once
+
+#include <string_view>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "sim/environment.h"
+#include "workload/target.h"
+
+namespace labstor::workload {
+
+enum class FilebenchKind : uint8_t {
+  kVarmail,
+  kWebserver,
+  kWebproxy,
+  kFileserver,
+};
+
+std::string_view FilebenchKindName(FilebenchKind kind);
+
+struct FilebenchResult {
+  uint64_t ops = 0;  // completed whole iterations ("flowops" bundles)
+  sim::Time makespan = 0;  // through the last client-visible completion
+  sim::Time last_completion = 0;
+  Histogram iteration_latency;
+
+  double OpsPerSec() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(ops) /
+                               (static_cast<double>(makespan) / 1e9);
+  }
+};
+
+FilebenchResult RunFilebench(sim::Environment& env, FsTarget& target,
+                             FilebenchKind kind, uint32_t threads,
+                             uint64_t iterations_per_thread,
+                             uint64_t seed = 1);
+
+}  // namespace labstor::workload

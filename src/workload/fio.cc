@@ -1,0 +1,72 @@
+#include "workload/fio.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace labstor::workload {
+
+namespace {
+
+struct JobState {
+  FioStats* stats;
+  sim::Time start = 0;
+  sim::Time deadline = 0;  // 0 = none
+};
+
+sim::Task<void> IoLoop(sim::Environment& env, BlockTarget& target,
+                       const FioJob job, uint32_t thread, uint32_t lane,
+                       uint64_t quota_ops, std::shared_ptr<JobState> state) {
+  Rng rng(job.seed * 0x9E3779B9u + thread * 131u + lane * 31u + 7u);
+  const uint64_t base = static_cast<uint64_t>(thread) * job.span_per_thread;
+  const uint64_t slots = job.span_per_thread / job.request_size;
+  uint64_t sequential_cursor = lane * (slots / (job.iodepth == 0 ? 1 : job.iodepth));
+  for (uint64_t i = 0; quota_ops == 0 || i < quota_ops; ++i) {
+    if (state->deadline != 0 && env.now() >= state->deadline) break;
+    uint64_t slot;
+    if (job.random) {
+      slot = rng.Uniform(slots);
+    } else {
+      slot = sequential_cursor++ % slots;
+    }
+    const uint64_t offset = base + slot * job.request_size;
+    const sim::Time t0 = env.now();
+    co_await target.Io(job.op, thread, offset, job.request_size);
+    state->stats->latency.Record(env.now() - t0);
+    ++state->stats->ops;
+    state->stats->bytes += job.request_size;
+    state->stats->last_completion = std::max(state->stats->last_completion, env.now());
+  }
+}
+
+}  // namespace
+
+void SpawnFio(sim::Environment& env, BlockTarget& target, const FioJob& job,
+              FioStats* stats) {
+  auto state = std::make_shared<JobState>(JobState{stats, env.now(), 0});
+  if (job.duration != 0) state->deadline = env.now() + job.duration;
+  const uint32_t depth = job.iodepth == 0 ? 1 : job.iodepth;
+  // Quota is split across the lanes of a thread.
+  uint64_t quota_ops = 0;
+  if (job.bytes_per_thread != 0) {
+    quota_ops = job.bytes_per_thread / job.request_size / depth;
+    if (quota_ops == 0) quota_ops = 1;
+  }
+  for (uint32_t t = 0; t < job.threads; ++t) {
+    for (uint32_t lane = 0; lane < depth; ++lane) {
+      env.Spawn(IoLoop(env, target, job, t, lane, quota_ops, state));
+    }
+  }
+}
+
+FioStats RunFio(sim::Environment& env, BlockTarget& target, const FioJob& job) {
+  FioStats stats;
+  SpawnFio(env, target, job, &stats);
+  const sim::Time begin = env.now();
+  env.Run();
+  stats.makespan = stats.ops == 0 ? 0 : stats.last_completion - begin;
+  return stats;
+}
+
+}  // namespace labstor::workload

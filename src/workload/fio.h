@@ -1,0 +1,58 @@
+// FIO-style synthetic block workload generator (the paper uses FIO
+// 3.28 for the storage-API, orchestrator, and scheduler evaluations).
+// Closed-loop: `threads` clients, each keeping `iodepth` requests in
+// flight until its quota (bytes or virtual duration) is met.
+#pragma once
+
+#include "common/histogram.h"
+#include "sim/environment.h"
+#include "workload/target.h"
+
+namespace labstor::workload {
+
+struct FioJob {
+  simdev::IoOp op = simdev::IoOp::kWrite;
+  bool random = true;
+  uint64_t request_size = 4096;
+  uint32_t iodepth = 1;
+  uint32_t threads = 1;
+  // Stop condition per thread: whichever of these is set (bytes first).
+  uint64_t bytes_per_thread = 0;
+  sim::Time duration = 0;
+  // Offset space each thread works within (regions are disjoint).
+  uint64_t span_per_thread = 1ull << 30;
+  uint64_t seed = 1;
+};
+
+struct FioStats {
+  Histogram latency;  // per-request, ns
+  uint64_t ops = 0;
+  uint64_t bytes = 0;
+  sim::Time makespan = 0;
+  // Absolute virtual time of the last client-visible completion;
+  // excludes background work (async log flushes) that drains after.
+  sim::Time last_completion = 0;
+
+  double Iops() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(ops) /
+                               (static_cast<double>(makespan) / 1e9);
+  }
+  double BandwidthMBps() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(bytes) /
+                               (static_cast<double>(makespan) / 1e9) / 1e6;
+  }
+};
+
+// Runs the job to completion on `env` (drives env.Run() itself; the
+// environment must be otherwise idle).
+FioStats RunFio(sim::Environment& env, BlockTarget& target, const FioJob& job);
+
+// Spawn-only variant for benches that co-run several jobs in one
+// environment: results land in `stats` after env.Run(). The caller
+// sets stats->makespan.
+void SpawnFio(sim::Environment& env, BlockTarget& target, const FioJob& job,
+              FioStats* stats);
+
+}  // namespace labstor::workload

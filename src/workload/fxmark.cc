@@ -1,0 +1,33 @@
+#include "workload/fxmark.h"
+
+#include <algorithm>
+
+namespace labstor::workload {
+
+namespace {
+sim::Task<void> CreateLoop(sim::Environment& env, FsTarget& target,
+                           uint32_t thread, uint64_t count,
+                           FxmarkResult* result) {
+  for (uint64_t i = 0; i < count; ++i) {
+    const sim::Time t0 = env.now();
+    co_await target.Create(thread);
+    result->latency.Record(env.now() - t0);
+    ++result->ops;
+    result->last_completion = std::max(result->last_completion, env.now());
+  }
+}
+}  // namespace
+
+FxmarkResult RunFxmarkCreate(sim::Environment& env, FsTarget& target,
+                             uint32_t threads, uint64_t files_per_thread) {
+  FxmarkResult result;
+  for (uint32_t t = 0; t < threads; ++t) {
+    env.Spawn(CreateLoop(env, target, t, files_per_thread, &result));
+  }
+  const sim::Time begin = env.now();
+  env.Run();
+  result.makespan = result.ops == 0 ? 0 : result.last_completion - begin;
+  return result;
+}
+
+}  // namespace labstor::workload

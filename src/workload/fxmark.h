@@ -1,0 +1,29 @@
+// FxMark-style metadata microbenchmark (the paper's Fig. 7 workload:
+// per-thread private-directory file creation, "MWCM"-like).
+#pragma once
+
+#include "common/histogram.h"
+#include "sim/environment.h"
+#include "workload/target.h"
+
+namespace labstor::workload {
+
+struct FxmarkResult {
+  uint64_t ops = 0;
+  sim::Time makespan = 0;  // through the last client-visible completion
+  sim::Time last_completion = 0;
+  Histogram latency;
+
+  double OpsPerSec() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(ops) /
+                               (static_cast<double>(makespan) / 1e9);
+  }
+};
+
+// `threads` clients each create `files_per_thread` files as fast as
+// the target admits. Drives env.Run().
+FxmarkResult RunFxmarkCreate(sim::Environment& env, FsTarget& target,
+                             uint32_t threads, uint64_t files_per_thread);
+
+}  // namespace labstor::workload

@@ -1,0 +1,36 @@
+#include "workload/labios.h"
+
+#include <algorithm>
+
+namespace labstor::workload {
+
+namespace {
+sim::Task<void> StoreLoop(sim::Environment& env, LabelTarget& target,
+                          uint32_t thread, uint64_t count, uint64_t size,
+                          LabiosResult* result) {
+  for (uint64_t i = 0; i < count; ++i) {
+    const sim::Time t0 = env.now();
+    co_await target.StoreLabel(thread, i, size);
+    result->latency.Record(env.now() - t0);
+    ++result->labels;
+    result->bytes += size;
+    result->last_completion = std::max(result->last_completion, env.now());
+  }
+}
+}  // namespace
+
+LabiosResult RunLabiosWorker(sim::Environment& env, LabelTarget& target,
+                             uint32_t threads, uint64_t labels_per_thread,
+                             uint64_t label_size) {
+  LabiosResult result;
+  for (uint32_t t = 0; t < threads; ++t) {
+    env.Spawn(
+        StoreLoop(env, target, t, labels_per_thread, label_size, &result));
+  }
+  const sim::Time begin = env.now();
+  env.Run();
+  result.makespan = result.labels == 0 ? 0 : result.last_completion - begin;
+  return result;
+}
+
+}  // namespace labstor::workload

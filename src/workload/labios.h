@@ -1,0 +1,39 @@
+// LABIOS worker model (Fig. 9b): the distributed object store's
+// storage workers persist "labels". The backend either translates each
+// label to a UNIX file (open-seek-write-close over a kernel FS) or
+// issues a single LabKVS put — the syscall-count difference the figure
+// measures.
+#pragma once
+
+#include "common/histogram.h"
+#include "sim/environment.h"
+#include "workload/target.h"
+
+namespace labstor::workload {
+
+struct LabiosResult {
+  uint64_t labels = 0;
+  uint64_t bytes = 0;
+  sim::Time makespan = 0;  // through the last client-visible completion
+  sim::Time last_completion = 0;
+  Histogram latency;
+
+  double LabelsPerSec() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(labels) /
+                               (static_cast<double>(makespan) / 1e9);
+  }
+  double BandwidthMBps() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(bytes) /
+                               (static_cast<double>(makespan) / 1e9) / 1e6;
+  }
+};
+
+// `threads` workers each store `labels_per_thread` labels of
+// `label_size` bytes. Drives env.Run().
+LabiosResult RunLabiosWorker(sim::Environment& env, LabelTarget& target,
+                             uint32_t threads, uint64_t labels_per_thread,
+                             uint64_t label_size);
+
+}  // namespace labstor::workload

@@ -1,0 +1,57 @@
+// Interfaces the workload generators drive. Each benchmark subject
+// (kernel API, kernel FS, LabStor stack) adapts to one of these, so a
+// single generator produces comparable series for every backend.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/task.h"
+#include "simdev/timing_model.h"
+
+namespace labstor::workload {
+
+// Raw block route (FIO over a device file / driver LabMod).
+class BlockTarget {
+ public:
+  virtual ~BlockTarget() = default;
+  virtual sim::Task<void> Io(simdev::IoOp op, uint32_t thread,
+                             uint64_t offset, uint64_t length) = 0;
+};
+
+// Filesystem route (FxMark / Filebench / PFS locals). Timing-oriented:
+// paths are implicit (each generator thread works on its own files).
+class FsTarget {
+ public:
+  virtual ~FsTarget() = default;
+  virtual sim::Task<void> Create(uint32_t thread) = 0;
+  virtual sim::Task<void> Open(uint32_t thread) = 0;
+  virtual sim::Task<void> Close(uint32_t thread) = 0;
+  virtual sim::Task<void> Write(uint32_t thread, uint64_t offset,
+                                uint64_t length) = 0;
+  virtual sim::Task<void> Read(uint32_t thread, uint64_t offset,
+                               uint64_t length) = 0;
+  virtual sim::Task<void> Fsync(uint32_t thread) = 0;
+  virtual sim::Task<void> Unlink(uint32_t thread) = 0;
+};
+
+// Parallel-filesystem route (VPIC / BD-CATS drive the mini-PFS).
+class PfsTarget {
+ public:
+  virtual ~PfsTarget() = default;
+  virtual sim::Task<void> WriteFile(uint32_t client, uint64_t offset,
+                                    uint64_t length) = 0;
+  virtual sim::Task<void> ReadFile(uint32_t client, uint64_t offset,
+                                   uint64_t length) = 0;
+};
+
+// Label/object route (LABIOS worker).
+class LabelTarget {
+ public:
+  virtual ~LabelTarget() = default;
+  virtual sim::Task<void> StoreLabel(uint32_t thread, uint64_t index,
+                                     uint64_t length) = 0;
+  virtual sim::Task<void> LoadLabel(uint32_t thread, uint64_t index,
+                                    uint64_t length) = 0;
+};
+
+}  // namespace labstor::workload

@@ -1,0 +1,52 @@
+#include "workload/vpic.h"
+
+#include <algorithm>
+
+namespace labstor::workload {
+
+namespace {
+sim::Task<void> VpicWriter(sim::Environment& env, PfsTarget& pfs,
+                           uint32_t proc, const VpicConfig config,
+                           sim::Time* last_done) {
+  for (uint32_t step = 0; step < config.timesteps; ++step) {
+    const uint64_t offset = static_cast<uint64_t>(step) * config.bytes_per_step;
+    co_await pfs.WriteFile(proc, offset, config.bytes_per_step);
+  }
+  *last_done = std::max(*last_done, env.now());
+}
+
+sim::Task<void> BdcatsReader(sim::Environment& env, PfsTarget& pfs,
+                             uint32_t proc, const VpicConfig config,
+                             sim::Time* last_done) {
+  for (uint32_t step = 0; step < config.timesteps; ++step) {
+    const uint64_t offset = static_cast<uint64_t>(step) * config.bytes_per_step;
+    co_await pfs.ReadFile(proc, offset, config.bytes_per_step);
+  }
+  *last_done = std::max(*last_done, env.now());
+}
+}  // namespace
+
+VpicResult RunVpicThenBdcats(sim::Environment& env, PfsTarget& pfs,
+                             const VpicConfig& config) {
+  VpicResult result;
+  result.total_bytes = static_cast<uint64_t>(config.processes) *
+                       config.timesteps * config.bytes_per_step;
+  sim::Time begin = env.now();
+  sim::Time last_done = begin;
+  for (uint32_t p = 0; p < config.processes; ++p) {
+    env.Spawn(VpicWriter(env, pfs, p, config, &last_done));
+  }
+  env.Run();
+  result.write_makespan = last_done - begin;
+
+  begin = env.now();
+  last_done = begin;
+  for (uint32_t p = 0; p < config.processes; ++p) {
+    env.Spawn(BdcatsReader(env, pfs, p, config, &last_done));
+  }
+  env.Run();
+  result.read_makespan = last_done - begin;
+  return result;
+}
+
+}  // namespace labstor::workload

@@ -1,0 +1,44 @@
+// VPIC / BD-CATS workload models (Fig. 9a).
+//
+// VPIC: a particle-in-cell simulation where every process writes its
+// particle block each timestep (sequential appends). BD-CATS: the
+// companion clustering analysis that reads VPIC's output back.
+#pragma once
+
+#include "sim/environment.h"
+#include "workload/target.h"
+
+namespace labstor::workload {
+
+struct VpicConfig {
+  uint32_t processes = 64;
+  uint32_t timesteps = 4;
+  // Bytes each process writes per timestep (particles x 8 floats).
+  uint64_t bytes_per_step = 16ull << 20;
+};
+
+struct VpicResult {
+  sim::Time write_makespan = 0;  // VPIC
+  sim::Time read_makespan = 0;   // BD-CATS
+  uint64_t total_bytes = 0;
+
+  double WriteBandwidthMBps() const {
+    return write_makespan == 0
+               ? 0.0
+               : static_cast<double>(total_bytes) /
+                     (static_cast<double>(write_makespan) / 1e9) / 1e6;
+  }
+  double ReadBandwidthMBps() const {
+    return read_makespan == 0
+               ? 0.0
+               : static_cast<double>(total_bytes) /
+                     (static_cast<double>(read_makespan) / 1e9) / 1e6;
+  }
+};
+
+// Runs VPIC (all processes write all timesteps), then BD-CATS (all
+// processes read everything back). Drives env.Run() twice.
+VpicResult RunVpicThenBdcats(sim::Environment& env, PfsTarget& pfs,
+                             const VpicConfig& config);
+
+}  // namespace labstor::workload

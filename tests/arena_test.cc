@@ -1,0 +1,77 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace labstor {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDistinctAndWritable) {
+  Arena arena(1024);
+  char* a = static_cast<char*>(arena.Allocate(100));
+  char* b = static_cast<char*>(arena.Allocate(100));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  std::memset(a, 0xAA, 100);
+  std::memset(b, 0xBB, 100);
+  EXPECT_EQ(static_cast<unsigned char>(a[99]), 0xAAu);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0xBBu);
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  arena.Allocate(1);
+  void* p = arena.Allocate(8, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+  arena.Allocate(3);
+  void* q = arena.Allocate(8, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(q) % 16, 0u);
+}
+
+TEST(ArenaTest, GrowsBeyondChunkSize) {
+  Arena arena(128);
+  // Allocation bigger than the chunk gets its own chunk.
+  void* big = arena.Allocate(10000);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 1, 10000);
+  // Subsequent small allocations still work.
+  void* small = arena.Allocate(16);
+  ASSERT_NE(small, nullptr);
+  EXPECT_GE(arena.allocated_bytes(), 10016u);
+}
+
+TEST(ArenaTest, PointersStableAcrossGrowth) {
+  Arena arena(256);
+  char* first = static_cast<char*>(arena.Allocate(64));
+  std::memset(first, 0x5C, 64);
+  for (int i = 0; i < 100; ++i) arena.Allocate(128);
+  // The first allocation must not have moved or been corrupted.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(first[i]), 0x5Cu);
+  }
+}
+
+TEST(ArenaTest, NewConstructsInPlace) {
+  Arena arena;
+  struct Point {
+    int x, y;
+  };
+  Point* p = arena.New<Point>(Point{3, 4});
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(ArenaTest, ResetReleases) {
+  Arena arena(128);
+  arena.Allocate(1000);
+  EXPECT_GT(arena.allocated_bytes(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  // Usable after reset.
+  EXPECT_NE(arena.Allocate(10), nullptr);
+}
+
+}  // namespace
+}  // namespace labstor

@@ -1,0 +1,104 @@
+#include "common/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace labstor {
+namespace {
+
+TEST(BitmapTest, StartsAllZero) {
+  Bitmap bm(130);
+  EXPECT_EQ(bm.size(), 130u);
+  EXPECT_EQ(bm.CountSet(), 0u);
+  EXPECT_EQ(bm.CountZero(), 130u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bm.Test(i));
+}
+
+TEST(BitmapTest, SetClearTest) {
+  Bitmap bm(100);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(99);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(99));
+  EXPECT_EQ(bm.CountSet(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.CountSet(), 3u);
+}
+
+TEST(BitmapTest, FindFirstZeroSkipsSetPrefix) {
+  Bitmap bm(256);
+  bm.SetRange(0, 200);
+  EXPECT_EQ(bm.FindFirstZero(), 200u);
+  EXPECT_EQ(bm.FindFirstZero(100), 200u);
+  EXPECT_EQ(bm.FindFirstZero(201), 201u);
+}
+
+TEST(BitmapTest, FindFirstZeroFullBitmap) {
+  Bitmap bm(64);
+  bm.SetRange(0, 64);
+  EXPECT_EQ(bm.FindFirstZero(), Bitmap::npos);
+}
+
+TEST(BitmapTest, FindFirstZeroFromBeyondEnd) {
+  Bitmap bm(10);
+  EXPECT_EQ(bm.FindFirstZero(10), Bitmap::npos);
+  EXPECT_EQ(bm.FindFirstZero(100), Bitmap::npos);
+}
+
+TEST(BitmapTest, FindZeroRun) {
+  Bitmap bm(128);
+  bm.SetRange(0, 10);
+  bm.SetRange(12, 4);   // zeros at 10..11, then 16...
+  EXPECT_EQ(bm.FindZeroRun(2), 10u);
+  EXPECT_EQ(bm.FindZeroRun(3), 16u);
+  EXPECT_EQ(bm.FindZeroRun(200), Bitmap::npos);
+}
+
+TEST(BitmapTest, FindZeroRunAcrossWordBoundary) {
+  Bitmap bm(128);
+  bm.SetRange(0, 60);
+  bm.SetRange(70, 58);
+  // Zeros are 60..69: a 10-run crossing the bit-63/64 boundary.
+  EXPECT_EQ(bm.FindZeroRun(10), 60u);
+  EXPECT_EQ(bm.FindZeroRun(11), Bitmap::npos);
+}
+
+TEST(BitmapTest, RandomizedAgainstReference) {
+  Rng rng(99);
+  Bitmap bm(500);
+  std::vector<bool> ref(500, false);
+  for (int step = 0; step < 5000; ++step) {
+    const size_t i = rng.Uniform(500);
+    if (rng.Bernoulli(0.5)) {
+      bm.Set(i);
+      ref[i] = true;
+    } else {
+      bm.Clear(i);
+      ref[i] = false;
+    }
+  }
+  size_t ref_set = 0;
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(bm.Test(i), ref[i]) << i;
+    ref_set += ref[i] ? 1 : 0;
+  }
+  EXPECT_EQ(bm.CountSet(), ref_set);
+  // FindFirstZero agrees with the reference.
+  size_t expected = Bitmap::npos;
+  for (size_t i = 0; i < 500; ++i) {
+    if (!ref[i]) {
+      expected = i;
+      break;
+    }
+  }
+  EXPECT_EQ(bm.FindFirstZero(), expected);
+}
+
+}  // namespace
+}  // namespace labstor

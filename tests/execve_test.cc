@@ -1,0 +1,160 @@
+// execve fd-state handoff and the decentralized rolling upgrade.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "labmods/dummy.h"
+#include "labmods/genericfs.h"
+#include "simdev/registry.h"
+
+namespace labstor {
+namespace {
+
+using namespace std::chrono_literals;
+
+class ExecveTest : public ::testing::Test {
+ protected:
+  ExecveTest() : devices_(nullptr), runtime_(MakeOptions(), devices_) {
+    EXPECT_TRUE(devices_.Create(simdev::DeviceParams::NvmeP3700(64 << 20)).ok());
+    auto spec = core::StackSpec::Parse(
+        "mount: fs::/ex\n"
+        "rules:\n"
+        "  exec_mode: sync\n"
+        "dag:\n"
+        "  - mod: labfs\n"
+        "    uuid: ex_fs\n"
+        "    params:\n"
+        "      log_records_per_worker: 512\n"
+        "    outputs: [ex_drv]\n"
+        "  - mod: kernel_driver\n"
+        "    uuid: ex_drv\n");
+    EXPECT_TRUE(spec.ok());
+    EXPECT_TRUE(runtime_.MountStack(*spec, ipc::Credentials{1, 0, 0}).ok());
+  }
+
+  static core::Runtime::Options MakeOptions() {
+    core::Runtime::Options options;
+    options.max_workers = 2;
+    options.admin_poll = 2ms;
+    return options;
+  }
+
+  simdev::DeviceRegistry devices_;
+  core::Runtime runtime_;
+};
+
+TEST_F(ExecveTest, FdStateSurvivesExecve) {
+  core::Client client(runtime_, ipc::Credentials{100, 1000, 1000});
+  ASSERT_TRUE(client.Connect().ok());
+  labmods::GenericFs fs(client);
+  auto fd = fs.Create("fs::/ex/persisted");
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> data(512, 0xEC);
+  ASSERT_TRUE(fs.Write(*fd, data, 0).ok());
+
+  // execve: park the table, "replace the address space" (a fresh
+  // connector object), reclaim.
+  ASSERT_TRUE(fs.SaveStateForExecve().ok());
+  EXPECT_EQ(fs.open_files(), 0u);
+
+  labmods::GenericFs after_exec(client);
+  ASSERT_TRUE(after_exec.RestoreStateAfterExecve().ok());
+  EXPECT_EQ(after_exec.open_files(), 1u);
+  std::vector<uint8_t> out(512);
+  auto read = after_exec.Read(*fd, out, 0);  // the SAME fd number
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(out, data);
+  // New fds don't collide with inherited ones.
+  auto fd2 = after_exec.Create("fs::/ex/fresh");
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_NE(*fd2, *fd);
+}
+
+TEST_F(ExecveTest, RestoreWithoutSaveFails) {
+  core::Client client(runtime_, ipc::Credentials{200, 1000, 1000});
+  ASSERT_TRUE(client.Connect().ok());
+  labmods::GenericFs fs(client);
+  EXPECT_EQ(fs.RestoreStateAfterExecve().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecveTest, SavedStateIsConsumedOnce) {
+  core::Client client(runtime_, ipc::Credentials{300, 1000, 1000});
+  ASSERT_TRUE(client.Connect().ok());
+  labmods::GenericFs fs(client);
+  auto fd = fs.Create("fs::/ex/once");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs.SaveStateForExecve().ok());
+  labmods::GenericFs next(client);
+  ASSERT_TRUE(next.RestoreStateAfterExecve().ok());
+  labmods::GenericFs again(client);
+  EXPECT_EQ(again.RestoreStateAfterExecve().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecveTest, DecentralizedUpgradeRollsWithoutErrors) {
+  auto spec = core::StackSpec::Parse(
+      "mount: ctl::/roll\n"
+      "dag:\n"
+      "  - mod: dummy\n"
+      "    uuid: roll_dummy\n"
+      "    version: 1\n");
+  ASSERT_TRUE(spec.ok());
+  auto stack = runtime_.MountStack(*spec, ipc::Credentials{1, 0, 0});
+  ASSERT_TRUE(stack.ok());
+  ASSERT_TRUE(runtime_.Start().ok());
+
+  // Two clients keep traffic flowing while a decentralized upgrade
+  // rolls across their queues.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> apps;
+  for (uint32_t i = 0; i < 2; ++i) {
+    apps.emplace_back([&, i] {
+      core::Client client(runtime_, ipc::Credentials{400 + i, 1000, 1000});
+      if (!client.Connect().ok()) {
+        ++errors;
+        return;
+      }
+      auto req = client.NewRequest();
+      if (!req.ok()) {
+        ++errors;
+        return;
+      }
+      while (!stop.load()) {
+        (*req)->Reuse();
+        (*req)->op = ipc::OpCode::kDummy;
+        if (client.Execute(**req, **stack).ok() && (*req)->ToStatus().ok()) {
+          ++sent;
+        } else {
+          ++errors;
+        }
+      }
+    });
+  }
+  while (sent.load() < 200) std::this_thread::yield();
+  runtime_.SubmitUpgrade(core::UpgradeRequest{
+      "dummy", 2, core::UpgradeKind::kDecentralized, 1 << 20});
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (runtime_.module_manager().upgrades_applied() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(runtime_.module_manager().upgrades_applied(), 1u);
+  const uint64_t at_upgrade = sent.load();
+  while (sent.load() < at_upgrade + 200) std::this_thread::yield();
+  stop.store(true);
+  for (auto& t : apps) t.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  auto mod = runtime_.registry().Find("roll_dummy");
+  ASSERT_TRUE(mod.ok());
+  EXPECT_EQ((*mod)->version(), 2u);
+  EXPECT_EQ(dynamic_cast<labmods::DummyMod*>(*mod)->messages(), sent.load());
+  ASSERT_TRUE(runtime_.Stop().ok());
+}
+
+}  // namespace
+}  // namespace labstor

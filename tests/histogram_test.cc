@@ -1,0 +1,119 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace labstor {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Min(), 1000u);
+  EXPECT_EQ(h.Max(), 1000u);
+  EXPECT_EQ(h.Mean(), 1000.0);
+  // Percentiles of a single value are that value (clamped to extremes).
+  EXPECT_EQ(h.Percentile(50), 1000u);
+  EXPECT_EQ(h.Percentile(99.9), 1000u);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 32; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 31u);
+  // Values < 32 land in exact buckets.
+  EXPECT_EQ(h.Percentile(100), 31u);
+}
+
+TEST(HistogramTest, PercentileAccuracyWithinBucketError) {
+  Histogram h;
+  Rng rng(5);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = 100 + rng.Uniform(1000000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {50.0, 90.0, 99.0}) {
+    const auto exact =
+        values[static_cast<size_t>(p / 100.0 * values.size()) - 1];
+    const uint64_t approx = h.Percentile(p);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.05 * static_cast<double>(exact))
+        << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MeanMatchesArithmetic) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, RecordNWeightsCount) {
+  Histogram h;
+  h.RecordN(5, 10);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.0);
+  h.RecordN(100, 0);  // no-op
+  EXPECT_EQ(h.count(), 10u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(100);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Min(), 100u);
+  EXPECT_EQ(a.Max(), 300u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 200.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(~0ULL);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.Max(), ~0ULL);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_GE(h.Percentile(99), 1u);
+}
+
+TEST(HistogramTest, SummaryMentionsFields) {
+  Histogram h;
+  h.Record(50);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace labstor

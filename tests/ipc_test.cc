@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ipc/credentials.h"
+#include "ipc/ipc_manager.h"
+#include "ipc/queue_pair.h"
+#include "ipc/request.h"
+#include "ipc/shmem.h"
+
+namespace labstor::ipc {
+namespace {
+
+const Credentials kAlice{100, 1000, 1000};
+const Credentials kBob{200, 1001, 1001};
+const Credentials kRootProc{300, 0, 0};
+
+// ---------- ShMem ----------
+
+TEST(ShMemTest, OwnerCanMap) {
+  ShMemManager mgr;
+  auto seg = mgr.CreateSegment(kAlice, 4096);
+  ASSERT_TRUE(seg.ok());
+  auto mapped = mgr.Map((*seg)->id(), kAlice);
+  EXPECT_TRUE(mapped.ok());
+}
+
+TEST(ShMemTest, StrangerCannotMapEvenSameUser) {
+  ShMemManager mgr;
+  auto seg = mgr.CreateSegment(kAlice, 4096);
+  ASSERT_TRUE(seg.ok());
+  // Same uid, different pid: the paper's security model still denies.
+  const Credentials alice2{101, 1000, 1000};
+  auto mapped = mgr.Map((*seg)->id(), alice2);
+  EXPECT_EQ(mapped.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(ShMemTest, GrantAllowsMapping) {
+  ShMemManager mgr;
+  auto seg = mgr.CreateSegment(kAlice, 4096);
+  ASSERT_TRUE(seg.ok());
+  ASSERT_TRUE(mgr.Grant((*seg)->id(), kAlice, kBob.pid).ok());
+  EXPECT_TRUE(mgr.Map((*seg)->id(), kBob).ok());
+  ASSERT_TRUE(mgr.Revoke((*seg)->id(), kAlice, kBob.pid).ok());
+  EXPECT_FALSE(mgr.Map((*seg)->id(), kBob).ok());
+}
+
+TEST(ShMemTest, OnlyOwnerOrRootMayGrant) {
+  ShMemManager mgr;
+  auto seg = mgr.CreateSegment(kAlice, 4096);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(mgr.Grant((*seg)->id(), kBob, kBob.pid).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(mgr.Grant((*seg)->id(), kRootProc, kBob.pid).ok());
+}
+
+TEST(ShMemTest, DestroyChecksOwnership) {
+  ShMemManager mgr;
+  auto seg = mgr.CreateSegment(kAlice, 4096);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(mgr.Destroy((*seg)->id(), kBob).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(mgr.Destroy((*seg)->id(), kAlice).ok());
+  EXPECT_EQ(mgr.segment_count(), 0u);
+  EXPECT_EQ(mgr.Map((*seg)->id(), kAlice).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ShMemTest, SegmentAllocationBounded) {
+  ShMemManager mgr;
+  auto seg = mgr.CreateSegment(kAlice, 1024);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_NE((*seg)->Allocate(512), nullptr);
+  EXPECT_NE((*seg)->Allocate(400), nullptr);
+  EXPECT_EQ((*seg)->Allocate(400), nullptr);  // over budget
+}
+
+TEST(ShMemTest, ZeroSizeRejected) {
+  ShMemManager mgr;
+  EXPECT_FALSE(mgr.CreateSegment(kAlice, 0).ok());
+}
+
+// ---------- Request ----------
+
+TEST(RequestTest, PathRoundTrip) {
+  Request req;
+  req.SetPath("/fs/b/hi.txt");
+  EXPECT_EQ(req.GetPath(), "/fs/b/hi.txt");
+}
+
+TEST(RequestTest, OverlongPathTruncatedSafely) {
+  Request req;
+  const std::string longpath(500, 'x');
+  req.SetPath(longpath);
+  EXPECT_EQ(req.GetPath().size(), Request::kPathCapacity - 1);
+}
+
+TEST(RequestTest, CompletionProtocol) {
+  Request req;
+  req.op = OpCode::kWrite;
+  EXPECT_FALSE(req.IsDone());
+  req.Complete(StatusCode::kOk, 4096);
+  EXPECT_TRUE(req.IsDone());
+  EXPECT_TRUE(req.ToStatus().ok());
+  EXPECT_EQ(req.result_u64, 4096u);
+}
+
+TEST(RequestTest, FailedCompletionCarriesCode) {
+  Request req;
+  req.op = OpCode::kOpen;
+  req.Complete(StatusCode::kNotFound);
+  EXPECT_EQ(req.ToStatus().code(), StatusCode::kNotFound);
+  EXPECT_NE(req.ToStatus().message().find("open"), std::string::npos);
+}
+
+TEST(RequestTest, OpCodeNamesDistinct) {
+  EXPECT_NE(OpCodeName(OpCode::kPut), OpCodeName(OpCode::kGet));
+  EXPECT_EQ(OpCodeName(OpCode::kBlkWrite), "blk_write");
+}
+
+// ---------- QueuePair ----------
+
+TEST(QueuePairTest, SubmitPollComplete) {
+  QueuePair qp(1, QueueKind::kPrimary, true, 16, kAlice);
+  Request req;
+  EXPECT_TRUE(qp.Submit(&req));
+  auto polled = qp.PollSubmission();
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(*polled, &req);
+  EXPECT_FALSE(qp.PollSubmission().has_value());
+  EXPECT_TRUE(qp.Complete(&req));
+  auto completed = qp.PollCompletion();
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, &req);
+}
+
+TEST(QueuePairTest, UpdatePendingBlocksSubmission) {
+  QueuePair qp(1, QueueKind::kPrimary, true, 16, kAlice);
+  qp.MarkUpdatePending();
+  Request req;
+  EXPECT_FALSE(qp.Submit(&req));
+  EXPECT_TRUE(qp.update_pending());
+  EXPECT_FALSE(qp.update_acked());
+  qp.AckUpdate();
+  EXPECT_TRUE(qp.update_acked());
+  qp.ClearUpdate();
+  EXPECT_TRUE(qp.Submit(&req));
+}
+
+TEST(QueuePairTest, AckWithoutPendingIsNoop) {
+  QueuePair qp(1, QueueKind::kPrimary, true, 16, kAlice);
+  qp.AckUpdate();
+  EXPECT_FALSE(qp.update_pending());
+  EXPECT_FALSE(qp.update_acked());
+}
+
+TEST(QueuePairTest, DepthBounded) {
+  QueuePair qp(1, QueueKind::kPrimary, true, 4, kAlice);
+  Request reqs[5];
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(qp.Submit(&reqs[i]));
+  EXPECT_FALSE(qp.Submit(&reqs[4]));
+  EXPECT_EQ(qp.PendingSubmissions(), 4u);
+}
+
+// ---------- IpcManager ----------
+
+TEST(IpcManagerTest, ConnectCreatesChannel) {
+  IpcManager ipc;
+  auto channel = ipc.Connect(kAlice);
+  ASSERT_TRUE(channel.ok());
+  EXPECT_NE(channel->segment, nullptr);
+  EXPECT_NE(channel->qp, nullptr);
+  EXPECT_EQ(ipc.PrimaryQueues().size(), 1u);
+  // The client can map its segment (grant was applied).
+  EXPECT_TRUE(ipc.shmem().Map(channel->segment->id(), kAlice).ok());
+  // Another process cannot.
+  EXPECT_FALSE(ipc.shmem().Map(channel->segment->id(), kBob).ok());
+}
+
+TEST(IpcManagerTest, ReconnectReturnsSameChannel) {
+  IpcManager ipc;
+  auto a = ipc.Connect(kAlice);
+  auto b = ipc.Connect(kAlice);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->qp, b->qp);
+  EXPECT_EQ(ipc.PrimaryQueues().size(), 1u);
+}
+
+TEST(IpcManagerTest, DisconnectRemovesPrimaryQueue) {
+  IpcManager ipc;
+  auto channel = ipc.Connect(kAlice);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(ipc.Disconnect(kAlice).ok());
+  EXPECT_TRUE(ipc.PrimaryQueues().empty());
+  EXPECT_FALSE(ipc.Disconnect(kAlice).ok());
+  // Reconnect establishes a fresh queue (fork/execve path).
+  auto again = ipc.Connect(kAlice);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ipc.PrimaryQueues().size(), 1u);
+}
+
+TEST(IpcManagerTest, NewRequestAllocatesInSegment) {
+  IpcManager ipc;
+  auto channel = ipc.Connect(kAlice);
+  ASSERT_TRUE(channel.ok());
+  Request* req = channel->NewRequest(4096);
+  ASSERT_NE(req, nullptr);
+  ASSERT_NE(req->data, nullptr);
+  EXPECT_EQ(req->client_pid, kAlice.pid);
+  req->length = 4096;
+  req->Payload()[0] = 0x42;
+  EXPECT_EQ(req->Payload()[0], 0x42);
+}
+
+TEST(IpcManagerTest, IntermediateQueuesTracked) {
+  IpcManager ipc;
+  QueuePair* qp = ipc.CreateIntermediateQueue(false);
+  ASSERT_NE(qp, nullptr);
+  EXPECT_EQ(qp->kind(), QueueKind::kIntermediate);
+  EXPECT_FALSE(qp->ordered());
+  EXPECT_EQ(ipc.IntermediateQueues().size(), 1u);
+  EXPECT_EQ(ipc.FindQueue(qp->id()), qp);
+  EXPECT_EQ(ipc.FindQueue(9999), nullptr);
+}
+
+TEST(IpcManagerTest, ConnectFailsWhenOffline) {
+  IpcManager ipc;
+  ipc.MarkOffline();
+  EXPECT_EQ(ipc.Connect(kAlice).status().code(), StatusCode::kUnavailable);
+  ipc.MarkOnline();
+  EXPECT_TRUE(ipc.Connect(kAlice).ok());
+}
+
+TEST(IpcManagerTest, EpochAdvancesOnRestart) {
+  IpcManager ipc;
+  const uint64_t e0 = ipc.epoch();
+  ipc.MarkOffline();
+  ipc.MarkOnline();
+  EXPECT_EQ(ipc.epoch(), e0 + 1);
+}
+
+TEST(IpcManagerTest, WaitReturnsWhenWorkerCompletes) {
+  IpcManager ipc;
+  auto channel = ipc.Connect(kAlice);
+  ASSERT_TRUE(channel.ok());
+  Request* req = channel->NewRequest();
+  req->op = OpCode::kDummy;
+  ASSERT_TRUE(channel->qp->Submit(req));
+
+  std::thread worker([&] {
+    // Simulated worker: poll and complete.
+    while (true) {
+      auto polled = channel->qp->PollSubmission();
+      if (polled.has_value()) {
+        (*polled)->Complete(StatusCode::kOk, 7);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  const Status st = ipc.Wait(req);
+  worker.join();
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(req->result_u64, 7u);
+}
+
+TEST(IpcManagerTest, WaitDetectsOfflineRuntime) {
+  IpcManager ipc;
+  auto channel = ipc.Connect(kAlice);
+  ASSERT_TRUE(channel.ok());
+  Request* req = channel->NewRequest();
+  ipc.MarkOffline();
+  const Status st = ipc.Wait(req, std::chrono::milliseconds(50));
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+}
+
+TEST(IpcManagerTest, WaitSurvivesRestartDuringGrace) {
+  IpcManager ipc;
+  auto channel = ipc.Connect(kAlice);
+  ASSERT_TRUE(channel.ok());
+  Request* req = channel->NewRequest();
+  ipc.MarkOffline();
+  std::thread admin([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ipc.MarkOnline();
+    req->Complete(StatusCode::kOk);
+  });
+  const Status st = ipc.Wait(req, std::chrono::milliseconds(2000));
+  admin.join();
+  EXPECT_TRUE(st.ok());
+}
+
+}  // namespace
+}  // namespace labstor::ipc

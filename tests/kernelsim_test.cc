@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "kernelsim/access_api.h"
+#include "kernelsim/kernel_fs.h"
+#include "kernelsim/paths.h"
+#include "sim/environment.h"
+
+namespace labstor::kernelsim {
+namespace {
+
+using sim::Environment;
+using sim::Time;
+
+// ---------- path cost formulas ----------
+
+TEST(PathsTest, OverheadOrderingMatchesFig6) {
+  const sim::SoftwareCosts& c = sim::DefaultCosts();
+  const Time dax = ApiOverhead(ApiKind::kLabDax, c);
+  const Time spdk = ApiOverhead(ApiKind::kLabSpdk, c);
+  const Time kdrv = ApiOverhead(ApiKind::kLabKernelDriver, c);
+  const Time uring = ApiOverhead(ApiKind::kIoUring, c);
+  const Time aio = ApiOverhead(ApiKind::kLibAio, c);
+  const Time posix = ApiOverhead(ApiKind::kPosix, c);
+  const Time paio = ApiOverhead(ApiKind::kPosixAio, c);
+  EXPECT_LT(dax, spdk);
+  EXPECT_LT(spdk, kdrv);
+  EXPECT_LT(kdrv, uring);
+  EXPECT_LT(uring, aio);
+  EXPECT_LT(aio, posix);
+  EXPECT_LT(posix, paio);
+}
+
+TEST(PathsTest, KernelDriverBeatsIoUringByEnoughOnNvme4K) {
+  // Fig. 6's headline: KernelDriver >= 15% better IOPS than the best
+  // kernel API at 4KB on NVMe.
+  const sim::SoftwareCosts& c = sim::DefaultCosts();
+  const auto p = simdev::DeviceParams::NvmeP3700();
+  const double device_ns =
+      static_cast<double>(p.write_latency) + p.write_ns_per_byte * 4096;
+  const double t_kdrv =
+      device_ns + static_cast<double>(ApiOverhead(ApiKind::kLabKernelDriver, c));
+  const double t_uring =
+      device_ns + static_cast<double>(ApiOverhead(ApiKind::kIoUring, c));
+  EXPECT_GE(t_uring / t_kdrv, 1.15) << "uring=" << t_uring << " kdrv=" << t_kdrv;
+}
+
+TEST(PathsTest, SpdkBeatsKernelDriverOnNvme4K) {
+  const sim::SoftwareCosts& c = sim::DefaultCosts();
+  const auto p = simdev::DeviceParams::NvmeP3700();
+  const double device_ns =
+      static_cast<double>(p.write_latency) + p.write_ns_per_byte * 4096;
+  const double t_kdrv =
+      device_ns + static_cast<double>(ApiOverhead(ApiKind::kLabKernelDriver, c));
+  const double t_spdk =
+      device_ns + static_cast<double>(ApiOverhead(ApiKind::kLabSpdk, c));
+  EXPECT_GE(t_kdrv / t_spdk, 1.08);
+  EXPECT_LE(t_kdrv / t_spdk, 1.25);
+}
+
+TEST(PathsTest, GapShrinksAt128K) {
+  const sim::SoftwareCosts& c = sim::DefaultCosts();
+  const auto p = simdev::DeviceParams::NvmeP3700();
+  const double device_ns = static_cast<double>(p.write_latency) +
+                           p.write_ns_per_byte * 128 * 1024;
+  const double t_posix =
+      device_ns + static_cast<double>(ApiOverhead(ApiKind::kPosix, c));
+  const double t_spdk =
+      device_ns + static_cast<double>(ApiOverhead(ApiKind::kLabSpdk, c));
+  EXPECT_LE(t_posix / t_spdk, 1.12);  // ~6% in the paper; small here too
+}
+
+TEST(PathsTest, NoOpPickDeterministic) {
+  EXPECT_EQ(NoOpPickQueue(13, 8), 5u);
+  EXPECT_EQ(NoOpPickQueue(16, 8), 0u);
+}
+
+// ---------- AccessApi DES ----------
+
+sim::Task<void> OneIo(AccessApi& api, Time* done) {
+  co_await api.DoIo(simdev::IoOp::kWrite, 0, 0, 4096);
+  *done = 1;  // completion marker; caller reads env.now()
+}
+
+sim::Task<void> OneRandomIo(AccessApi& api) {
+  // Off-track offset: forces an HDD seek.
+  co_await api.DoIo(simdev::IoOp::kWrite, 0, 8 << 20, 4096);
+}
+
+TEST(AccessApiTest, TotalLatencyIsOverheadPlusDevice) {
+  Environment env;
+  simdev::SimDevice device(&env, simdev::DeviceParams::NvmeP3700());
+  AccessApi api(env, device, ApiKind::kPosix);
+  Time done = 0;
+  env.Spawn(OneIo(api, &done));
+  const Time end = env.Run();
+  const auto p = simdev::DeviceParams::NvmeP3700();
+  const Time expected = api.SoftwareOverhead() + p.write_latency +
+                        static_cast<Time>(p.write_ns_per_byte * 4096);
+  EXPECT_EQ(end, expected);
+  EXPECT_EQ(done, 1u);
+}
+
+TEST(AccessApiTest, ApisIndistinguishableOnHdd) {
+  // Fig. 6: on HDD the software path is noise next to the seek.
+  const auto run = [](ApiKind kind) {
+    Environment env;
+    simdev::SimDevice device(&env, simdev::DeviceParams::SasHdd());
+    AccessApi api(env, device, kind);
+    env.Spawn(OneRandomIo(api));
+    return env.Run();
+  };
+  const Time posix = run(ApiKind::kPosix);
+  const Time spdk = run(ApiKind::kLabSpdk);
+  EXPECT_LT(static_cast<double>(posix) / static_cast<double>(spdk), 1.01);
+}
+
+TEST(BlkSwitchPickTest, AvoidsLoadedQueues) {
+  Environment env;
+  simdev::DeviceParams p = simdev::DeviceParams::NvmeP3700();
+  p.per_queue_parallelism = 1;
+  simdev::SimDevice device(&env, p);
+  // Load channel 0 with pending work.
+  env.Spawn(device.WriteTimed(0, 0, 1 << 20));
+  env.Spawn(device.WriteTimed(0, 0, 1 << 20));
+  env.RunUntil(1);  // ops now in flight on channel 0
+  const uint32_t pick = BlkSwitchPickQueue(device, 4096, 8);
+  EXPECT_NE(pick, 0u);
+  EXPECT_LT(pick, 4u);  // latency class stays in the lower half
+  const uint32_t tpick = BlkSwitchPickQueue(device, 64 * 1024, 8);
+  EXPECT_GE(tpick, 4u);
+  env.Run();
+}
+
+// ---------- KernelFs ----------
+
+sim::Task<void> CreateMany(Environment& env, KernelFs& fs, int n,
+                           sim::Barrier& barrier) {
+  for (int i = 0; i < n; ++i) co_await fs.Create();
+  (void)env;
+  barrier.Arrive();
+}
+
+double CreateThroughput(KfsKind kind, int threads, int per_thread) {
+  Environment env;
+  simdev::SimDevice device(&env, simdev::DeviceParams::NvmeP3700());
+  KernelFs fs(env, device, kind);
+  sim::Barrier barrier(env, static_cast<uint64_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    env.Spawn(CreateMany(env, fs, per_thread, barrier));
+  }
+  const Time end = env.Run();
+  return static_cast<double>(threads * per_thread) /
+         (static_cast<double>(end) / 1e9);
+}
+
+TEST(KernelFsTest, Ext4CreatesSerializeOnJournal) {
+  const double t1 = CreateThroughput(KfsKind::kExt4, 1, 200);
+  const double t8 = CreateThroughput(KfsKind::kExt4, 8, 200);
+  // Lock-bound: 8 threads buy well under 3x.
+  EXPECT_LT(t8 / t1, 3.0);
+  EXPECT_GT(t8 / t1, 0.8);  // but not a collapse
+}
+
+TEST(KernelFsTest, XfsScalesBetterThanExt4) {
+  const double ext4_8 = CreateThroughput(KfsKind::kExt4, 8, 200);
+  const double xfs_8 = CreateThroughput(KfsKind::kXfs, 8, 200);
+  EXPECT_GT(xfs_8, ext4_8);
+}
+
+TEST(KernelFsTest, F2fsFasterSingleThreadCreate) {
+  const double f2fs_1 = CreateThroughput(KfsKind::kF2fs, 1, 200);
+  const double ext4_1 = CreateThroughput(KfsKind::kExt4, 1, 200);
+  EXPECT_GT(f2fs_1, ext4_1);
+}
+
+sim::Task<void> LabiosSeq(KernelFs& fs) {
+  co_await fs.OpenSeekWriteClose(1, 0, 8192);
+}
+
+TEST(KernelFsTest, OpenSeekWriteCloseCountsFourOps) {
+  Environment env;
+  simdev::SimDevice device(&env, simdev::DeviceParams::NvmeP3700());
+  KernelFs fs(env, device, KfsKind::kExt4);
+  env.Spawn(LabiosSeq(fs));
+  env.Run();
+  EXPECT_EQ(fs.ops_completed(), 3u);  // open, write, close (seek is free-ish)
+  EXPECT_EQ(device.stats().writes.load(), 1u);
+}
+
+sim::Task<void> WriteOne(KernelFs& fs, uint64_t len) {
+  co_await fs.Write(2, 0, len);
+}
+
+TEST(KernelFsTest, DataWriteChargesCopyAndSpine) {
+  Environment env;
+  simdev::SimDevice device(&env, simdev::DeviceParams::NvmeP3700());
+  KernelFs fs(env, device, KfsKind::kExt4);
+  env.Spawn(WriteOne(fs, 4096));
+  const Time end = env.Run();
+  const auto p = simdev::DeviceParams::NvmeP3700();
+  const Time device_time =
+      p.write_latency + static_cast<Time>(p.write_ns_per_byte * 4096);
+  EXPECT_GT(end, device_time);  // software on top
+  EXPECT_LT(end, device_time + 30 * sim::kUs);
+}
+
+}  // namespace
+}  // namespace labstor::kernelsim

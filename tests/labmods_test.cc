@@ -1,0 +1,607 @@
+// Unit tests for the substrate pieces of the bundled LabMods:
+// allocator, compressor, metadata log, and the policy/cache/gate mods
+// driven through hand-built two-vertex stacks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/module_registry.h"
+#include "core/stack.h"
+#include "core/stack_exec.h"
+#include "labmods/block_allocator.h"
+#include "labmods/compress.h"
+#include "labmods/consistency.h"
+#include "labmods/drivers.h"
+#include "labmods/fslog.h"
+#include "labmods/lru_cache.h"
+#include "labmods/lz77.h"
+#include "labmods/permissions.h"
+#include "labmods/schedulers.h"
+#include "simdev/registry.h"
+
+namespace labstor::labmods {
+namespace {
+
+// ---------- PerWorkerAllocator ----------
+
+uint64_t TotalBlocks(const std::vector<BlockExtent>& extents) {
+  uint64_t total = 0;
+  for (const BlockExtent& e : extents) total += e.count;
+  return total;
+}
+
+TEST(AllocatorTest, EvenInitialDivision) {
+  PerWorkerAllocator alloc(100, 1000, 4);
+  EXPECT_EQ(alloc.FreeBlocks(), 1000u);
+  for (uint32_t w = 0; w < 4; ++w) EXPECT_EQ(alloc.FreeBlocksOf(w), 250u);
+}
+
+TEST(AllocatorTest, ContiguousAllocationFromOwnPool) {
+  PerWorkerAllocator alloc(0, 1000, 4);
+  auto extents = alloc.Alloc(1, 10);
+  ASSERT_TRUE(extents.ok());
+  ASSERT_EQ(extents->size(), 1u);
+  EXPECT_EQ(TotalBlocks(*extents), 10u);
+  // Worker 1's pool starts at block 250.
+  EXPECT_EQ((*extents)[0].start, 250u);
+  EXPECT_EQ(alloc.FreeBlocksOf(1), 240u);
+  EXPECT_EQ(alloc.steals(), 0u);
+}
+
+TEST(AllocatorTest, StealsWhenOwnPoolDry) {
+  PerWorkerAllocator alloc(0, 100, 2);  // 50 each
+  auto big = alloc.Alloc(0, 50);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(alloc.FreeBlocksOf(0), 0u);
+  auto stolen = alloc.Alloc(0, 10);
+  ASSERT_TRUE(stolen.ok());
+  EXPECT_EQ(TotalBlocks(*stolen), 10u);
+  EXPECT_GE(alloc.steals(), 1u);
+  EXPECT_EQ(alloc.FreeBlocks(), 40u);
+}
+
+TEST(AllocatorTest, ExhaustionFailsCleanly) {
+  PerWorkerAllocator alloc(0, 20, 2);
+  EXPECT_TRUE(alloc.Alloc(0, 20).ok());
+  auto fail = alloc.Alloc(0, 1);
+  EXPECT_EQ(fail.status().code(), StatusCode::kResourceExhausted);
+  // Partial requests roll back: free count unchanged after failure.
+  EXPECT_EQ(alloc.FreeBlocks(), 0u);
+}
+
+TEST(AllocatorTest, FreeCoalesces) {
+  PerWorkerAllocator alloc(0, 100, 1);
+  auto a = alloc.Alloc(0, 100);
+  ASSERT_TRUE(a.ok());
+  // Free in shuffled pieces; a full-range alloc must succeed again
+  // (only possible if ranges coalesced back into one).
+  alloc.Free(0, BlockExtent{30, 30});
+  alloc.Free(0, BlockExtent{0, 30});
+  alloc.Free(0, BlockExtent{60, 40});
+  auto again = alloc.Alloc(0, 100);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), 1u);
+  EXPECT_EQ((*again)[0].start, 0u);
+}
+
+TEST(AllocatorTest, ResizeShrinkDonatesFreeBlocks) {
+  PerWorkerAllocator alloc(0, 400, 4);
+  ASSERT_TRUE(alloc.Resize(2).ok());
+  EXPECT_EQ(alloc.num_workers(), 2u);
+  EXPECT_EQ(alloc.FreeBlocks(), 400u);  // nothing lost
+  EXPECT_EQ(alloc.FreeBlocksOf(0) + alloc.FreeBlocksOf(1), 400u);
+}
+
+TEST(AllocatorTest, ResizeGrowStealsForNewWorkers) {
+  PerWorkerAllocator alloc(0, 400, 2);
+  ASSERT_TRUE(alloc.Resize(4, /*steal_blocks=*/50).ok());
+  EXPECT_EQ(alloc.num_workers(), 4u);
+  EXPECT_EQ(alloc.FreeBlocks(), 400u);
+  EXPECT_EQ(alloc.FreeBlocksOf(2), 50u);
+  EXPECT_EQ(alloc.FreeBlocksOf(3), 50u);
+}
+
+TEST(AllocatorTest, RebuildFromFreeRanges) {
+  PerWorkerAllocator alloc({BlockExtent{10, 5}, BlockExtent{100, 20}}, 2);
+  EXPECT_EQ(alloc.FreeBlocks(), 25u);
+  auto got = alloc.Alloc(0, 25);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(TotalBlocks(*got), 25u);
+}
+
+TEST(AllocatorTest, RandomizedNoDoubleAllocation) {
+  Rng rng(42);
+  PerWorkerAllocator alloc(0, 2000, 4);
+  std::vector<bool> owned(2000, false);
+  std::vector<BlockExtent> held;
+  for (int step = 0; step < 2000; ++step) {
+    if (held.empty() || rng.Bernoulli(0.6)) {
+      const uint32_t worker = static_cast<uint32_t>(rng.Uniform(4));
+      auto extents = alloc.Alloc(worker, rng.Range(1, 8));
+      if (!extents.ok()) continue;
+      for (const BlockExtent& e : *extents) {
+        for (uint64_t i = e.start; i < e.start + e.count; ++i) {
+          ASSERT_FALSE(owned[i]) << "block " << i << " double-allocated";
+          owned[i] = true;
+        }
+        held.push_back(e);
+      }
+    } else {
+      const size_t victim = rng.Uniform(held.size());
+      const BlockExtent e = held[victim];
+      held.erase(held.begin() + static_cast<ptrdiff_t>(victim));
+      for (uint64_t i = e.start; i < e.start + e.count; ++i) owned[i] = false;
+      alloc.Free(static_cast<uint32_t>(rng.Uniform(4)), e);
+    }
+  }
+  uint64_t held_blocks = 0;
+  for (const BlockExtent& e : held) held_blocks += e.count;
+  EXPECT_EQ(alloc.FreeBlocks(), 2000u - held_blocks);
+}
+
+// ---------- LZ77 ----------
+
+void RoundTrip(const std::vector<uint8_t>& input) {
+  const std::vector<uint8_t> compressed = Lz77Compress(input);
+  auto restored = Lz77Decompress(compressed, input.size());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(Lz77Test, EmptyInput) { RoundTrip({}); }
+
+TEST(Lz77Test, TinyInput) { RoundTrip({1, 2, 3}); }
+
+TEST(Lz77Test, RepetitiveCompressesWell) {
+  std::vector<uint8_t> input(100000);
+  for (size_t i = 0; i < input.size(); ++i) input[i] = static_cast<uint8_t>(i % 7);
+  const std::vector<uint8_t> compressed = Lz77Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+  RoundTrip(input);
+}
+
+TEST(Lz77Test, AllSameByte) {
+  std::vector<uint8_t> input(65536, 0xAA);
+  const std::vector<uint8_t> compressed = Lz77Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 6);
+  RoundTrip(input);
+}
+
+TEST(Lz77Test, RandomDataSurvives) {
+  Rng rng(7);
+  std::vector<uint8_t> input(50000);
+  for (uint8_t& b : input) b = static_cast<uint8_t>(rng.Next());
+  RoundTrip(input);  // may expand slightly but must round-trip
+}
+
+TEST(Lz77Test, TextLikeData) {
+  std::string text;
+  for (int i = 0; i < 500; ++i) {
+    text += "particle simulation writes 8 floating point values per step; ";
+  }
+  std::vector<uint8_t> input(text.begin(), text.end());
+  const std::vector<uint8_t> compressed = Lz77Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 3);
+  RoundTrip(input);
+}
+
+TEST(Lz77Test, CorruptionDetected) {
+  std::vector<uint8_t> input(1000, 0x55);
+  std::vector<uint8_t> compressed = Lz77Compress(input);
+  compressed.resize(compressed.size() / 2);  // truncate
+  EXPECT_FALSE(Lz77Decompress(compressed, input.size()).ok());
+  EXPECT_FALSE(Lz77Decompress({}, 10).ok());
+}
+
+TEST(Lz77Test, SizeMismatchDetected) {
+  std::vector<uint8_t> input(1000, 0x55);
+  const std::vector<uint8_t> compressed = Lz77Compress(input);
+  EXPECT_FALSE(Lz77Decompress(compressed, input.size() + 1).ok());
+}
+
+// ---------- MetadataLog ----------
+
+TEST(MetadataLogTest, AppendAndReplayInSequenceOrder) {
+  simdev::SimDevice device(nullptr, simdev::DeviceParams::NvmeP3700(8 << 20));
+  MetadataLog log(&device, 0, /*workers=*/4, /*per_worker_records=*/64);
+  // Interleave appends across workers.
+  for (uint64_t i = 0; i < 20; ++i) {
+    LogRecord record;
+    record.op = LogOp::kCreate;
+    record.inode_id = i;
+    record.SetPath("/f" + std::to_string(i));
+    ASSERT_TRUE(log.Append(static_cast<uint32_t>(i % 4), record).ok());
+  }
+  uint64_t expected_seq = 0;
+  uint64_t count = 0;
+  ASSERT_TRUE(log.Replay([&](const LogRecord& record) -> Status {
+                   EXPECT_GT(record.seq, expected_seq);
+                   expected_seq = record.seq;
+                   ++count;
+                   return Status::Ok();
+                 })
+                  .ok());
+  EXPECT_EQ(count, 20u);
+  EXPECT_EQ(log.records_appended(), 20u);
+}
+
+TEST(MetadataLogTest, RegionFull) {
+  simdev::SimDevice device(nullptr, simdev::DeviceParams::NvmeP3700(8 << 20));
+  MetadataLog log(&device, 0, 1, 4);
+  LogRecord record;
+  record.op = LogOp::kCreate;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(log.Append(0, record).ok());
+  EXPECT_EQ(log.Append(0, record).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(MetadataLogTest, ReplaySurvivesReconstruction) {
+  // A second MetadataLog over the same region must see the records
+  // (this is what StateRepair relies on).
+  simdev::SimDevice device(nullptr, simdev::DeviceParams::NvmeP3700(8 << 20));
+  {
+    MetadataLog log(&device, 0, 2, 64);
+    LogRecord record;
+    record.op = LogOp::kCreate;
+    record.inode_id = 42;
+    record.SetPath("/persisted");
+    ASSERT_TRUE(log.Append(1, record).ok());
+  }
+  MetadataLog fresh(&device, 0, 2, 64);
+  bool seen = false;
+  ASSERT_TRUE(fresh
+                  .Replay([&](const LogRecord& record) -> Status {
+                    seen = record.inode_id == 42 &&
+                           record.GetPath() == "/persisted";
+                    return Status::Ok();
+                  })
+                  .ok());
+  EXPECT_TRUE(seen);
+}
+
+// ---------- Mods through minimal stacks ----------
+
+class ModStackTest : public ::testing::Test {
+ protected:
+  ModStackTest() {
+    auto dev = devices_.Create(simdev::DeviceParams::NvmeP3700(64 << 20));
+    EXPECT_TRUE(dev.ok());
+    device_ = *dev;
+    ctx_.devices = &devices_;
+    ctx_.num_workers = 2;
+  }
+
+  core::Stack* MountYaml(const std::string& yaml) {
+    auto spec = core::StackSpec::Parse(yaml);
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    auto stack = ns_.Mount(*spec, registry_, ctx_, ipc::Credentials{1, 0, 0});
+    EXPECT_TRUE(stack.ok()) << stack.status().ToString();
+    return *stack;
+  }
+
+  Status Run(core::Stack* stack, ipc::Request& req, core::ExecTrace* trace) {
+    core::StackExec exec(*stack, ctx_, *trace);
+    return exec.Dispatch(req);
+  }
+
+  simdev::DeviceRegistry devices_;
+  simdev::SimDevice* device_ = nullptr;
+  core::ModuleRegistry registry_;
+  core::ModContext ctx_;
+  core::StackNamespace ns_;
+};
+
+TEST_F(ModStackTest, LruCacheWriteThroughAndReadHit) {
+  core::Stack* stack = MountYaml(
+      "mount: blk::/cache\n"
+      "dag:\n"
+      "  - mod: lru_cache\n"
+      "    uuid: lru_t1\n"
+      "    outputs: [drv_t1]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_t1\n");
+  std::vector<uint8_t> data(8192, 0x3C);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.offset = 4096;
+  req.length = data.size();
+  req.data = data.data();
+  core::ExecTrace trace;
+  ASSERT_TRUE(Run(stack, req, &trace).ok());
+  // Write-through: device saw the write.
+  EXPECT_EQ(device_->stats().writes.load(), 1u);
+
+  // Read back: served from cache, no device read.
+  std::vector<uint8_t> out(8192, 0);
+  req.op = ipc::OpCode::kBlkRead;
+  req.data = out.data();
+  core::ExecTrace trace2;
+  ASSERT_TRUE(Run(stack, req, &trace2).ok());
+  EXPECT_EQ(device_->stats().reads.load(), 0u);
+  EXPECT_EQ(out, data);
+
+  auto mod = registry_.Find("lru_t1");
+  ASSERT_TRUE(mod.ok());
+  auto* lru = dynamic_cast<LruCacheMod*>(*mod);
+  ASSERT_NE(lru, nullptr);
+  EXPECT_EQ(lru->hits(), 1u);
+  EXPECT_EQ(lru->misses(), 0u);
+}
+
+TEST_F(ModStackTest, LruCacheMissFetchesAndFills) {
+  core::Stack* stack = MountYaml(
+      "mount: blk::/cache2\n"
+      "dag:\n"
+      "  - mod: lru_cache\n"
+      "    uuid: lru_t2\n"
+      "    outputs: [drv_t2]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_t2\n");
+  // Seed the device directly, bypassing the cache.
+  std::vector<uint8_t> data(4096, 0x77);
+  ASSERT_TRUE(device_->WriteNow(0, data).ok());
+
+  std::vector<uint8_t> out(4096, 0);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkRead;
+  req.offset = 0;
+  req.length = 4096;
+  req.data = out.data();
+  core::ExecTrace trace;
+  const uint64_t reads_before = device_->stats().reads.load();
+  ASSERT_TRUE(Run(stack, req, &trace).ok());
+  EXPECT_EQ(device_->stats().reads.load(), reads_before + 1);
+  EXPECT_EQ(out, data);
+  // Second read hits.
+  core::ExecTrace trace2;
+  ASSERT_TRUE(Run(stack, req, &trace2).ok());
+  EXPECT_EQ(device_->stats().reads.load(), reads_before + 1);
+}
+
+TEST_F(ModStackTest, LruCacheEvicts) {
+  core::Stack* stack = MountYaml(
+      "mount: blk::/cache3\n"
+      "dag:\n"
+      "  - mod: lru_cache\n"
+      "    uuid: lru_t3\n"
+      "    params:\n"
+      "      capacity_pages: 4\n"
+      "    outputs: [drv_t3]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_t3\n");
+  std::vector<uint8_t> data(4096, 1);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.length = 4096;
+  req.data = data.data();
+  core::ExecTrace trace;
+  for (int i = 0; i < 10; ++i) {
+    req.offset = static_cast<uint64_t>(i) * 4096;
+    ASSERT_TRUE(Run(stack, req, &trace).ok());
+  }
+  auto mod = registry_.Find("lru_t3");
+  ASSERT_TRUE(mod.ok());
+  EXPECT_EQ(dynamic_cast<LruCacheMod*>(*mod)->resident_pages(), 4u);
+}
+
+TEST_F(ModStackTest, PermissionsGateDeniesAndCounts) {
+  core::Stack* stack = MountYaml(
+      "mount: blk::/gated\n"
+      "dag:\n"
+      "  - mod: permissions\n"
+      "    uuid: perm_t1\n"
+      "    params:\n"
+      "      default: deny\n"
+      "      allow:\n"
+      "        - prefix: blk::/gated/public\n"
+      "          uids: [1000]\n"
+      "    outputs: [drv_t4]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_t4\n");
+  std::vector<uint8_t> data(512, 9);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.length = data.size();
+  req.data = data.data();
+  req.client_uid = 1000;
+  req.SetPath("blk::/gated/public/x");
+  core::ExecTrace trace;
+  EXPECT_TRUE(Run(stack, req, &trace).ok());
+  req.SetPath("blk::/gated/secret/x");
+  core::ExecTrace trace2;
+  EXPECT_EQ(Run(stack, req, &trace2).code(), StatusCode::kPermissionDenied);
+  // Root bypasses.
+  req.client_uid = 0;
+  core::ExecTrace trace3;
+  EXPECT_TRUE(Run(stack, req, &trace3).ok());
+
+  auto mod = registry_.Find("perm_t1");
+  ASSERT_TRUE(mod.ok());
+  EXPECT_EQ(dynamic_cast<PermissionsMod*>(*mod)->checks_performed(), 3u);
+}
+
+TEST_F(ModStackTest, CompressRoundTripsThroughDevice) {
+  core::Stack* stack = MountYaml(
+      "mount: blk::/zip\n"
+      "dag:\n"
+      "  - mod: compress\n"
+      "    uuid: zip_t1\n"
+      "    outputs: [drv_t5]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_t5\n");
+  // Compressible payload.
+  std::vector<uint8_t> data(16384);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i % 11);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.offset = 0;
+  req.length = data.size();
+  req.data = data.data();
+  core::ExecTrace trace;
+  ASSERT_TRUE(Run(stack, req, &trace).ok());
+
+  auto mod = registry_.Find("zip_t1");
+  ASSERT_TRUE(mod.ok());
+  auto* zip = dynamic_cast<CompressMod*>(*mod);
+  EXPECT_LT(zip->ratio(), 0.5);  // actually compressed
+  EXPECT_EQ(device_->stats().bytes_written.load(), zip->bytes_out());
+
+  std::vector<uint8_t> out(16384, 0);
+  req.op = ipc::OpCode::kBlkRead;
+  req.data = out.data();
+  core::ExecTrace trace2;
+  ASSERT_TRUE(Run(stack, req, &trace2).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ModStackTest, ConsistencyWriteBackAbsorbsUntilFsync) {
+  core::Stack* stack = MountYaml(
+      "mount: blk::/wb\n"
+      "dag:\n"
+      "  - mod: consistency\n"
+      "    uuid: wb_t1\n"
+      "    params:\n"
+      "      policy: write_back\n"
+      "      watermark_extents: 100\n"
+      "    outputs: [drv_t6]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_t6\n");
+  std::vector<uint8_t> data(4096, 0xBE);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.offset = 0;
+  req.length = 4096;
+  req.data = data.data();
+  core::ExecTrace trace;
+  ASSERT_TRUE(Run(stack, req, &trace).ok());
+  EXPECT_EQ(device_->stats().writes.load(), 0u);  // absorbed
+
+  auto mod = registry_.Find("wb_t1");
+  ASSERT_TRUE(mod.ok());
+  auto* wb = dynamic_cast<ConsistencyMod*>(*mod);
+  EXPECT_EQ(wb->dirty_extents(), 1u);
+
+  // Read-your-writes from the dirty buffer.
+  std::vector<uint8_t> out(4096, 0);
+  req.op = ipc::OpCode::kBlkRead;
+  req.data = out.data();
+  core::ExecTrace trace2;
+  ASSERT_TRUE(Run(stack, req, &trace2).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(device_->stats().reads.load(), 0u);
+
+  // Fsync flushes to the device.
+  req.op = ipc::OpCode::kBlkFlush;
+  req.data = nullptr;
+  core::ExecTrace trace3;
+  ASSERT_TRUE(Run(stack, req, &trace3).ok());
+  EXPECT_EQ(device_->stats().writes.load(), 1u);
+  EXPECT_EQ(wb->dirty_extents(), 0u);
+}
+
+TEST_F(ModStackTest, ConsistencyRelaxedSkipsFsync) {
+  core::Stack* stack = MountYaml(
+      "mount: blk::/relaxed\n"
+      "dag:\n"
+      "  - mod: consistency\n"
+      "    uuid: rel_t1\n"
+      "    params:\n"
+      "      policy: relaxed\n"
+      "    outputs: [drv_t7]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_t7\n");
+  std::vector<uint8_t> data(4096, 1);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.length = 4096;
+  req.data = data.data();
+  core::ExecTrace trace;
+  ASSERT_TRUE(Run(stack, req, &trace).ok());
+  req.op = ipc::OpCode::kBlkFlush;
+  core::ExecTrace trace2;
+  ASSERT_TRUE(Run(stack, req, &trace2).ok());
+  EXPECT_EQ(device_->stats().writes.load(), 0u);  // fsync was a no-op
+}
+
+TEST_F(ModStackTest, NoOpSchedMapsByOriginCore) {
+  core::Stack* stack = MountYaml(
+      "mount: blk::/noop\n"
+      "dag:\n"
+      "  - mod: noop_sched\n"
+      "    uuid: noop_t1\n"
+      "    params:\n"
+      "      num_queues: 8\n"
+      "    outputs: [drv_t8]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_t8\n");
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.length = 0;
+  req.client_pid = 13;
+  core::ExecTrace trace;
+  ASSERT_TRUE(Run(stack, req, &trace).ok());
+  EXPECT_EQ(req.channel, 13u % 8u);
+  // Deterministic per pid.
+  req.client_pid = 21;
+  core::ExecTrace trace2;
+  ASSERT_TRUE(Run(stack, req, &trace2).ok());
+  EXPECT_EQ(req.channel, 21u % 8u);
+}
+
+TEST_F(ModStackTest, BlkSwitchSeparatesSizeClasses) {
+  core::Stack* stack = MountYaml(
+      "mount: blk::/blksw\n"
+      "dag:\n"
+      "  - mod: blk_switch_sched\n"
+      "    uuid: blksw_t1\n"
+      "    params:\n"
+      "      num_queues: 8\n"
+      "      device: nvme0\n"
+      "    outputs: [drv_t9]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_t9\n");
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.length = 4096;  // latency class
+  core::ExecTrace trace;
+  ASSERT_TRUE(Run(stack, req, &trace).ok());
+  EXPECT_LT(req.channel, 4u);
+  req.length = 64 * 1024;  // throughput class
+  core::ExecTrace trace2;
+  ASSERT_TRUE(Run(stack, req, &trace2).ok());
+  EXPECT_GE(req.channel, 4u);
+}
+
+TEST_F(ModStackTest, TraceRecordsComponentCosts) {
+  core::Stack* stack = MountYaml(
+      "mount: blk::/traced\n"
+      "dag:\n"
+      "  - mod: lru_cache\n"
+      "    uuid: lru_tr\n"
+      "    outputs: [sched_tr]\n"
+      "  - mod: noop_sched\n"
+      "    uuid: sched_tr\n"
+      "    outputs: [drv_tr]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_tr\n");
+  std::vector<uint8_t> data(4096, 5);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.length = 4096;
+  req.data = data.data();
+  core::ExecTrace trace;
+  ASSERT_TRUE(Run(stack, req, &trace).ok());
+  EXPECT_GT(trace.SoftwareFor("cache"), 0u);
+  EXPECT_GT(trace.SoftwareFor("sched"), 0u);
+  EXPECT_GT(trace.SoftwareFor("kernel_driver"), 0u);
+  EXPECT_EQ(trace.SoftwareFor("cache") + trace.SoftwareFor("sched") +
+                trace.SoftwareFor("kernel_driver"),
+            trace.TotalSoftware());
+  ASSERT_EQ(trace.device_ops().size(), 1u);
+  EXPECT_EQ(trace.device_ops()[0].length, 4096u);
+}
+
+}  // namespace
+}  // namespace labstor::labmods

@@ -1,0 +1,158 @@
+#include "core/module_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stack_exec.h"
+#include "labmods/dummy.h"
+
+namespace labstor::core {
+namespace {
+
+// A private factory so tests don't disturb the global registry.
+// (ModFactory owns a mutex, so it is populated in place.)
+void PopulateFactory(ModFactory& factory) {
+  EXPECT_TRUE(factory
+                  .Register("dummy", 1,
+                            [] { return std::make_unique<labmods::DummyMod>(); })
+                  .ok());
+  EXPECT_TRUE(factory
+                  .Register("dummy", 2,
+                            [] { return std::make_unique<labmods::DummyModV2>(); })
+                  .ok());
+}
+
+TEST(ModFactoryTest, RegisterAndCreateLatest) {
+  ModFactory factory;
+  PopulateFactory(factory);
+  EXPECT_TRUE(factory.Has("dummy"));
+  EXPECT_FALSE(factory.Has("nope"));
+  auto latest = factory.LatestVersion("dummy");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 2u);
+  auto mod = factory.Create("dummy");
+  ASSERT_TRUE(mod.ok());
+  EXPECT_EQ((*mod)->version(), 2u);
+}
+
+TEST(ModFactoryTest, CreateSpecificVersion) {
+  ModFactory factory;
+  PopulateFactory(factory);
+  auto v1 = factory.Create("dummy", 1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ((*v1)->version(), 1u);
+  EXPECT_FALSE(factory.Create("dummy", 9).ok());
+  EXPECT_FALSE(factory.Create("ghost").ok());
+}
+
+TEST(ModFactoryTest, DuplicateVersionRejected) {
+  ModFactory factory;
+  PopulateFactory(factory);
+  EXPECT_EQ(factory
+                .Register("dummy", 1,
+                          [] { return std::make_unique<labmods::DummyMod>(); })
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(factory.Register("x", 0, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ModFactoryTest, GlobalFactoryHasBuiltins) {
+  // Registered by the labmods object library's static initializers.
+  ModFactory& global = ModFactory::Global();
+  for (const char* name : {"labfs", "labkvs", "lru_cache", "permissions",
+                           "compress", "consistency", "noop_sched",
+                           "blk_switch_sched", "kernel_driver", "spdk", "dax",
+                           "dummy"}) {
+    EXPECT_TRUE(global.Has(name)) << name;
+  }
+}
+
+TEST(ModuleRegistryTest, InstantiateOnceAndReuse) {
+  ModFactory factory;
+  PopulateFactory(factory);
+  ModuleRegistry registry(&factory);
+  ModContext ctx;
+  auto first = registry.Instantiate("dummy", "d1", nullptr, ctx);
+  ASSERT_TRUE(first.ok());
+  auto second = registry.Instantiate("dummy", "d1", nullptr, ctx);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);  // same instance (paper: only if absent)
+  EXPECT_TRUE(registry.Has("d1"));
+  EXPECT_EQ(registry.AllInstances().size(), 1u);
+}
+
+TEST(ModuleRegistryTest, UuidBoundToModName) {
+  ModFactory factory;
+  PopulateFactory(factory);
+  ASSERT_TRUE(
+      factory.Register("other", 1, [] { return std::make_unique<labmods::DummyMod>(); })
+          .ok());
+  ModuleRegistry registry(&factory);
+  ModContext ctx;
+  ASSERT_TRUE(registry.Instantiate("dummy", "d1", nullptr, ctx).ok());
+  EXPECT_EQ(registry.Instantiate("other", "d1", nullptr, ctx).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ModuleRegistryTest, FindMissing) {
+  ModuleRegistry registry;
+  EXPECT_EQ(registry.Find("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModuleRegistryTest, UpgradeMigratesState) {
+  ModFactory factory;
+  PopulateFactory(factory);
+  ModuleRegistry registry(&factory);
+  ModContext ctx;
+  auto mod = registry.Instantiate("dummy", "d1", nullptr, ctx, /*version=*/1);
+  ASSERT_TRUE(mod.ok());
+  EXPECT_EQ((*mod)->version(), 1u);
+  // Pump some state into v1.
+  auto* dummy = dynamic_cast<labmods::DummyMod*>(*mod);
+  ASSERT_NE(dummy, nullptr);
+  ipc::Request req;
+  Stack stack;  // Process ignores exec for dummy
+  ModContext ctx2;
+  ExecTrace trace;
+  StackExec exec(stack, ctx2, trace);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(dummy->Process(req, exec).ok());
+  EXPECT_EQ(dummy->messages(), 5u);
+
+  ASSERT_TRUE(registry.Upgrade("d1", 2, ctx).ok());
+  auto upgraded = registry.Find("d1");
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_EQ((*upgraded)->version(), 2u);
+  auto* v2 = dynamic_cast<labmods::DummyMod*>(*upgraded);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->messages(), 5u);  // state carried by StateUpdate
+}
+
+TEST(ModuleRegistryTest, DowngradeRejected) {
+  ModFactory factory;
+  PopulateFactory(factory);
+  ModuleRegistry registry(&factory);
+  ModContext ctx;
+  ASSERT_TRUE(registry.Instantiate("dummy", "d1", nullptr, ctx, 1).ok());
+  ASSERT_TRUE(registry.Upgrade("d1", 2, ctx).ok());
+  // Re-loading the same version is a legal code reload (Table I
+  // upgrades the same dummy module hundreds of times).
+  EXPECT_TRUE(registry.Upgrade("d1", 2, ctx).ok());
+  // Strict downgrades are refused.
+  EXPECT_EQ(registry.Upgrade("d1", 1, ctx).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Upgrade("ghost", 2, ctx).code(), StatusCode::kNotFound);
+}
+
+TEST(ModuleRegistryTest, InstancesOfFiltersByName) {
+  ModFactory factory;
+  PopulateFactory(factory);
+  ModuleRegistry registry(&factory);
+  ModContext ctx;
+  ASSERT_TRUE(registry.Instantiate("dummy", "a", nullptr, ctx).ok());
+  ASSERT_TRUE(registry.Instantiate("dummy", "b", nullptr, ctx).ok());
+  EXPECT_EQ(registry.InstancesOf("dummy").size(), 2u);
+  EXPECT_TRUE(registry.InstancesOf("ghost").empty());
+}
+
+}  // namespace
+}  // namespace labstor::core

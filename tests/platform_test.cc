@@ -1,0 +1,230 @@
+// Platform-surface tests: runtime config parsing, the debug harness,
+// the adaptive cache's eviction behaviour, and the uring driver.
+#include <gtest/gtest.h>
+
+#include "core/debug_harness.h"
+#include "kernelsim/paths.h"
+#include "core/runtime_config.h"
+#include "labmods/adaptive_cache.h"
+#include "simdev/registry.h"
+
+namespace labstor {
+namespace {
+
+// ---------- RuntimeConfig ----------
+
+TEST(RuntimeConfigTest, FullConfigParses) {
+  auto config = core::RuntimeConfig::Parse(
+      "workers: 8\n"
+      "admin_poll_ms: 3\n"
+      "orchestrator:\n"
+      "  policy: dynamic\n"
+      "  lq_threshold_us: 50\n"
+      "  loss_threshold: 0.2\n"
+      "ipc:\n"
+      "  segment_mb: 32\n"
+      "  queue_depth: 512\n"
+      "namespace:\n"
+      "  max_stack_length: 8\n"
+      "repos:\n"
+      "  - /opt/mods\n"
+      "devices:\n"
+      "  - preset: nvme\n"
+      "    name: fast0\n"
+      "    capacity_mb: 128\n"
+      "  - preset: hdd\n"
+      "    capacity_mb: 512\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->options.max_workers, 8u);
+  EXPECT_EQ(config->options.admin_poll.count(), 3);
+  EXPECT_EQ(config->options.orchestrator->name(), "dynamic");
+  EXPECT_EQ(config->options.ipc.segment_bytes, 32u << 20);
+  EXPECT_EQ(config->options.ipc.queue_depth, 512u);
+  EXPECT_EQ(config->options.ns.max_stack_length, 8u);
+  ASSERT_EQ(config->devices.size(), 2u);
+  EXPECT_EQ(config->devices[0].name, "fast0");
+  EXPECT_EQ(config->devices[1].kind, simdev::DeviceKind::kHdd);
+}
+
+TEST(RuntimeConfigTest, DefaultsWhenSectionsAbsent) {
+  auto config = core::RuntimeConfig::Parse("workers: 2\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->options.max_workers, 2u);
+  EXPECT_EQ(config->options.orchestrator->name(), "dynamic");
+}
+
+TEST(RuntimeConfigTest, PolicyVariants) {
+  auto rr = core::RuntimeConfig::Parse(
+      "workers: 2\norchestrator:\n  policy: round_robin\n");
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(rr->options.orchestrator->name(), "round_robin");
+  auto fixed = core::RuntimeConfig::Parse(
+      "workers: 2\norchestrator:\n  policy: fixed\n  fixed_workers: 3\n");
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(fixed->options.orchestrator->name(), "fixed");
+}
+
+TEST(RuntimeConfigTest, RejectsBadValues) {
+  EXPECT_FALSE(core::RuntimeConfig::Parse("workers: 0\n").ok());
+  EXPECT_FALSE(core::RuntimeConfig::Parse(
+                   "workers: 2\nipc:\n  queue_depth: 1000\n")  // not pow2
+                   .ok());
+  EXPECT_FALSE(core::RuntimeConfig::Parse(
+                   "workers: 2\norchestrator:\n  policy: psychic\n")
+                   .ok());
+  EXPECT_FALSE(core::RuntimeConfig::Parse(
+                   "workers: 2\ndevices:\n  - preset: floppy\n")
+                   .ok());
+  EXPECT_FALSE(core::RuntimeConfig::Parse(
+                   "workers: 2\nmax_repos_per_user: 1\nrepos:\n"
+                   "  - /a\n  - /b\n")
+                   .ok());
+}
+
+TEST(RuntimeConfigTest, ApplyDevicesRegisters) {
+  auto config = core::RuntimeConfig::Parse(
+      "workers: 2\ndevices:\n  - preset: pmem\n    name: pm0\n");
+  ASSERT_TRUE(config.ok());
+  simdev::DeviceRegistry registry;
+  ASSERT_TRUE(config->ApplyDevices(registry).ok());
+  EXPECT_TRUE(registry.Find("pm0").ok());
+}
+
+// ---------- DebugHarness ----------
+
+core::ModContext HarnessContext(simdev::DeviceRegistry* devices) {
+  core::ModContext ctx;
+  ctx.devices = devices;
+  ctx.num_workers = 1;
+  return ctx;
+}
+
+TEST(DebugHarnessTest, IsolatesASchedulerMod) {
+  simdev::DeviceRegistry devices;
+  ASSERT_TRUE(devices.Create(simdev::DeviceParams::NvmeP3700(16 << 20)).ok());
+  auto params = yaml::Parse("num_queues: 4\n");
+  ASSERT_TRUE(params.ok());
+  auto harness = core::DebugHarness::Create("noop_sched", *params,
+                                            HarnessContext(&devices));
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.client_pid = 11;
+  req.length = 4096;
+  ASSERT_TRUE((*harness)->Feed(req).ok());
+  EXPECT_EQ(req.channel, 11u % 4u);
+  ASSERT_EQ((*harness)->sink().captured().size(), 1u);
+  EXPECT_EQ((*harness)->sink().captured()[0].op, ipc::OpCode::kBlkWrite);
+  EXPECT_GT((*harness)->trace().SoftwareFor("sched"), 0u);
+}
+
+TEST(DebugHarnessTest, SinkServesReads) {
+  simdev::DeviceRegistry devices;
+  auto harness = core::DebugHarness::Create("lru_cache", nullptr,
+                                            HarnessContext(&devices));
+  ASSERT_TRUE(harness.ok());
+  (*harness)->sink().set_fill_byte(0x5A);
+  std::vector<uint8_t> buf(4096, 0);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkRead;
+  req.offset = 0;
+  req.length = buf.size();
+  req.data = buf.data();
+  ASSERT_TRUE((*harness)->Feed(req).ok());
+  EXPECT_EQ(buf[0], 0x5A);
+  EXPECT_EQ(buf[4095], 0x5A);
+  // Second read: cache hit, the sink is not consulted again.
+  (*harness)->sink().Clear();
+  ASSERT_TRUE((*harness)->Feed(req).ok());
+  EXPECT_TRUE((*harness)->sink().captured().empty());
+}
+
+TEST(DebugHarnessTest, UnknownModFails) {
+  simdev::DeviceRegistry devices;
+  EXPECT_FALSE(
+      core::DebugHarness::Create("bogus", nullptr, HarnessContext(&devices))
+          .ok());
+}
+
+// ---------- AdaptiveCache ----------
+
+TEST(AdaptiveCacheTest, ProtectsHotPagesAgainstScans) {
+  simdev::DeviceRegistry devices;
+  auto params = yaml::Parse("capacity_pages: 8\n");
+  ASSERT_TRUE(params.ok());
+  auto harness = core::DebugHarness::Create("adaptive_cache", *params,
+                                            HarnessContext(&devices));
+  ASSERT_TRUE(harness.ok());
+  auto* cache = dynamic_cast<labmods::AdaptiveCacheMod*>(&(*harness)->mod());
+  ASSERT_NE(cache, nullptr);
+
+  std::vector<uint8_t> buf(4096);
+  const auto read_at = [&](uint64_t offset) {
+    ipc::Request req;
+    req.op = ipc::OpCode::kBlkRead;
+    req.offset = offset;
+    req.length = buf.size();
+    req.data = buf.data();
+    ASSERT_TRUE((*harness)->Feed(req).ok());
+  };
+  // Heat up pages 0 and 1.
+  for (int i = 0; i < 30; ++i) {
+    read_at(0);
+    read_at(4096);
+  }
+  const uint64_t hits_before = cache->hits();
+  // Scan through 20 cold pages (capacity is 8): the scan must evict
+  // scan pages, not the hot ones.
+  for (uint64_t p = 10; p < 30; ++p) read_at(p * 4096);
+  read_at(0);
+  read_at(4096);
+  EXPECT_GE(cache->hits(), hits_before + 2)
+      << "hot pages were evicted by a cold scan";
+  EXPECT_LE(cache->resident_pages(), 8u);
+}
+
+TEST(AdaptiveCacheTest, StateMigratesOnUpgrade) {
+  simdev::DeviceRegistry devices;
+  auto a = core::DebugHarness::Create("adaptive_cache", nullptr,
+                                      HarnessContext(&devices));
+  ASSERT_TRUE(a.ok());
+  std::vector<uint8_t> data(4096, 0x77);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.length = data.size();
+  req.data = data.data();
+  ASSERT_TRUE((*a)->Feed(req).ok());
+
+  labmods::AdaptiveCacheMod fresh;
+  ASSERT_TRUE(fresh.StateUpdate((*a)->mod()).ok());
+  EXPECT_EQ(fresh.resident_pages(), 1u);
+}
+
+// ---------- UringDriver ----------
+
+TEST(UringDriverTest, ChargesKernelPathButMovesData) {
+  simdev::DeviceRegistry devices;
+  auto dev = devices.Create(simdev::DeviceParams::NvmeP3700(16 << 20));
+  ASSERT_TRUE(dev.ok());
+  auto harness = core::DebugHarness::Create("uring_driver", nullptr,
+                                            HarnessContext(&devices));
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  std::vector<uint8_t> data(4096, 0xCD);
+  ipc::Request req;
+  req.op = ipc::OpCode::kBlkWrite;
+  req.offset = 8192;
+  req.length = data.size();
+  req.data = data.data();
+  ASSERT_TRUE((*harness)->Feed(req).ok());
+  // Functional write reached the device...
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE((*dev)->ReadNow(8192, out).ok());
+  EXPECT_EQ(out, data);
+  // ...and the charge is the io_uring route, dearer than the bypass.
+  const sim::SoftwareCosts& c = sim::DefaultCosts();
+  EXPECT_EQ((*harness)->trace().SoftwareFor("uring_driver"),
+            kernelsim::ApiOverhead(kernelsim::ApiKind::kIoUring, c));
+}
+
+}  // namespace
+}  // namespace labstor

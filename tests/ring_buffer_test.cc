@@ -1,0 +1,124 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace labstor {
+namespace {
+
+TEST(SpscRingTest, PushPopSingleThread) {
+  SpscRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());  // empty
+}
+
+TEST(SpscRingTest, WrapsAround) {
+  SpscRing<int> ring(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.TryPush(round));
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+}
+
+TEST(SpscRingTest, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(5)));
+  auto v = ring.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumer) {
+  SpscRing<uint64_t> ring(1024);
+  constexpr uint64_t kCount = 200000;
+  uint64_t sum = 0;
+  std::thread consumer([&] {
+    uint64_t received = 0;
+    uint64_t expected = 0;
+    while (received < kCount) {
+      auto v = ring.TryPop();
+      if (!v.has_value()) continue;
+      ASSERT_EQ(*v, expected);  // FIFO order preserved
+      ++expected;
+      sum += *v;
+      ++received;
+    }
+  });
+  for (uint64_t i = 0; i < kCount; ++i) {
+    while (!ring.TryPush(i)) {
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(MpmcRingTest, PushPopSingleThread) {
+  MpmcRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));
+  for (int i = 0; i < 8; ++i) {
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(MpmcRingTest, SizeApprox) {
+  MpmcRing<int> ring(16);
+  EXPECT_TRUE(ring.EmptyApprox());
+  for (int i = 0; i < 5; ++i) ring.TryPush(i);
+  EXPECT_EQ(ring.SizeApprox(), 5u);
+  ring.TryPop();
+  EXPECT_EQ(ring.SizeApprox(), 4u);
+}
+
+TEST(MpmcRingTest, ConcurrentProducersConsumers) {
+  MpmcRing<uint64_t> ring(256);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr uint64_t kPerProducer = 50000;
+  std::atomic<uint64_t> total_popped{0};
+  std::atomic<uint64_t> sum{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t value = static_cast<uint64_t>(p) * kPerProducer + i;
+        while (!ring.TryPush(value)) {
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (total_popped.load() < kProducers * kPerProducer) {
+        auto v = ring.TryPop();
+        if (!v.has_value()) continue;
+        sum.fetch_add(*v);
+        total_popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(total_popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace labstor

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "common/rng.h"
+#include "simdev/registry.h"
+#include "simdev/sim_device.h"
+#include "simdev/sparse_store.h"
+#include "simdev/timing_model.h"
+
+namespace labstor::simdev {
+namespace {
+
+using sim::Time;
+
+// ---------- SparseStore ----------
+
+TEST(SparseStoreTest, UnwrittenReadsAsZero) {
+  SparseStore store(1 << 20);
+  std::vector<uint8_t> buf(100, 0xFF);
+  ASSERT_TRUE(store.Read(5000, buf).ok());
+  for (const uint8_t b : buf) EXPECT_EQ(b, 0);
+  EXPECT_EQ(store.resident_pages(), 0u);
+}
+
+TEST(SparseStoreTest, WriteReadRoundTrip) {
+  SparseStore store(1 << 20);
+  std::vector<uint8_t> data(5000);
+  std::iota(data.begin(), data.end(), 0);
+  ASSERT_TRUE(store.Write(1234, data).ok());
+  std::vector<uint8_t> out(5000);
+  ASSERT_TRUE(store.Read(1234, out).ok());
+  EXPECT_EQ(data, out);
+}
+
+TEST(SparseStoreTest, CrossPageBoundary) {
+  SparseStore store(1 << 20);
+  std::vector<uint8_t> data(8192, 0xAB);
+  ASSERT_TRUE(store.Write(4000, data).ok());  // spans 3 pages
+  EXPECT_EQ(store.resident_pages(), 3u);
+  std::vector<uint8_t> out(1);
+  ASSERT_TRUE(store.Read(4000 + 8191, out).ok());
+  EXPECT_EQ(out[0], 0xABu);
+  ASSERT_TRUE(store.Read(4000 + 8192, out).ok());
+  EXPECT_EQ(out[0], 0u);  // just past the write
+}
+
+TEST(SparseStoreTest, CapacityEnforced) {
+  SparseStore store(4096);
+  std::vector<uint8_t> data(100);
+  EXPECT_TRUE(store.Write(3996, data).ok());
+  EXPECT_FALSE(store.Write(3997, data).ok());
+  std::vector<uint8_t> out(100);
+  EXPECT_FALSE(store.Read(4000, out).ok());
+}
+
+TEST(SparseStoreTest, OverwritePartialPage) {
+  SparseStore store(1 << 20);
+  std::vector<uint8_t> first(4096, 0x11);
+  ASSERT_TRUE(store.Write(0, first).ok());
+  std::vector<uint8_t> second(100, 0x22);
+  ASSERT_TRUE(store.Write(50, second).ok());
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(store.Read(0, out).ok());
+  EXPECT_EQ(out[49], 0x11u);
+  EXPECT_EQ(out[50], 0x22u);
+  EXPECT_EQ(out[149], 0x22u);
+  EXPECT_EQ(out[150], 0x11u);
+}
+
+// ---------- TimingModel ----------
+
+TEST(TimingModelTest, NvmeLatencyPlusTransfer) {
+  const DeviceParams p = DeviceParams::NvmeP3700();
+  TimingModel model(p);
+  const Time t4k = model.ServiceTime(IoOp::kWrite, 0, 4096, 0);
+  EXPECT_EQ(t4k, p.write_latency +
+                     static_cast<Time>(p.write_ns_per_byte * 4096));
+  // 128KB costs more than 4KB by the transfer-time difference.
+  const Time t128k = model.ServiceTime(IoOp::kWrite, 0, 128 * 1024, 0);
+  EXPECT_GT(t128k, t4k);
+  EXPECT_EQ(t128k - t4k,
+            static_cast<Time>(p.write_ns_per_byte * (128 * 1024 - 4096)));
+}
+
+TEST(TimingModelTest, ReadsFasterThanWritesOnNvme) {
+  TimingModel model(DeviceParams::NvmeP3700());
+  EXPECT_LT(model.ServiceTime(IoOp::kRead, 0, 4096, 0),
+            model.ServiceTime(IoOp::kWrite, 0, 4096, 0));
+}
+
+TEST(TimingModelTest, HddChargesSeekOnRandomAccess) {
+  const DeviceParams p = DeviceParams::SasHdd();
+  TimingModel model(p);
+  // First op from head position 0 at offset 1MB: seek.
+  EXPECT_TRUE(model.WouldSeek(1 << 20, 0));
+  const Time random = model.ServiceTime(IoOp::kWrite, 1 << 20, 4096, 0);
+  // Now sequential: no seek.
+  EXPECT_FALSE(model.WouldSeek((1 << 20) + 4096, 0));
+  const Time sequential =
+      model.ServiceTime(IoOp::kWrite, (1 << 20) + 4096, 4096, 0);
+  EXPECT_EQ(random - sequential, p.avg_seek + p.rotational_delay);
+  // Seek dominates: random 4KB is > 10x sequential 4KB.
+  EXPECT_GT(random, 10 * sequential);
+}
+
+TEST(TimingModelTest, NonHddNeverSeeks) {
+  TimingModel nvme(DeviceParams::NvmeP3700());
+  EXPECT_FALSE(nvme.WouldSeek(123456789, 0));
+  const Time a = nvme.ServiceTime(IoOp::kRead, 0, 4096, 0);
+  const Time b = nvme.ServiceTime(IoOp::kRead, 999999488, 4096, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TimingModelTest, DeviceSpeedOrdering) {
+  // PMEM < NVMe < SATA SSD < HDD(random) for a 4KB random write.
+  TimingModel pmem(DeviceParams::PmemEmulated());
+  TimingModel nvme(DeviceParams::NvmeP3700());
+  TimingModel ssd(DeviceParams::SataSsd());
+  TimingModel hdd(DeviceParams::SasHdd());
+  const Time t_pmem = pmem.ServiceTime(IoOp::kWrite, 8 << 20, 4096, 0);
+  const Time t_nvme = nvme.ServiceTime(IoOp::kWrite, 8 << 20, 4096, 0);
+  const Time t_ssd = ssd.ServiceTime(IoOp::kWrite, 8 << 20, 4096, 0);
+  const Time t_hdd = hdd.ServiceTime(IoOp::kWrite, 8 << 20, 4096, 0);
+  EXPECT_LT(t_pmem, t_nvme);
+  EXPECT_LT(t_nvme, t_ssd);
+  EXPECT_LT(t_ssd, t_hdd);
+}
+
+// ---------- SimDevice ----------
+
+TEST(SimDeviceTest, RealModeRoundTrip) {
+  SimDevice dev(nullptr, DeviceParams::NvmeP3700());
+  std::vector<uint8_t> data(4096, 0x5A);
+  ASSERT_TRUE(dev.WriteNow(8192, data).ok());
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(dev.ReadNow(8192, out).ok());
+  EXPECT_EQ(data, out);
+  EXPECT_EQ(dev.stats().writes.load(), 1u);
+  EXPECT_EQ(dev.stats().reads.load(), 1u);
+  EXPECT_EQ(dev.stats().bytes_written.load(), 4096u);
+}
+
+sim::Task<void> WriteOnce(sim::Environment& env, SimDevice& dev, uint32_t ch,
+                          Time* done_at) {
+  co_await dev.WriteTimed(ch, 0, 4096);
+  *done_at = env.now();
+}
+
+TEST(SimDeviceTest, TimedWriteChargesServiceTime) {
+  sim::Environment env;
+  SimDevice dev(&env, DeviceParams::NvmeP3700());
+  Time done_at = 0;
+  env.Spawn(WriteOnce(env, dev, 0, &done_at));
+  env.Run();
+  const DeviceParams p = DeviceParams::NvmeP3700();
+  EXPECT_EQ(done_at, p.write_latency +
+                         static_cast<Time>(p.write_ns_per_byte * 4096));
+  EXPECT_EQ(dev.stats().writes.load(), 1u);
+}
+
+TEST(SimDeviceTest, SameChannelQueuesBeyondParallelism) {
+  sim::Environment env;
+  DeviceParams p = DeviceParams::NvmeP3700();
+  p.per_queue_parallelism = 1;
+  SimDevice dev(&env, p);
+  Time t1 = 0, t2 = 0;
+  env.Spawn(WriteOnce(env, dev, 0, &t1));
+  env.Spawn(WriteOnce(env, dev, 0, &t2));
+  env.Run();
+  // Second op waits for the first: completion times differ by one
+  // service time.
+  EXPECT_EQ(t2, 2 * t1);
+}
+
+TEST(SimDeviceTest, DifferentChannelsOverlapLatencyShareBandwidth) {
+  sim::Environment env;
+  DeviceParams p = DeviceParams::NvmeP3700();
+  p.per_queue_parallelism = 1;
+  SimDevice dev(&env, p);
+  Time t1 = 0, t2 = 0;
+  env.Spawn(WriteOnce(env, dev, 0, &t1));
+  env.Spawn(WriteOnce(env, dev, 1, &t2));
+  env.Run();
+  // Latency phases overlap (device_parallelism = 4); only the
+  // transfer serializes on the shared pipe.
+  TimingModel model(p);
+  const Time transfer = model.TransferPart(IoOp::kWrite, 4096);
+  EXPECT_EQ(t2, t1 + transfer);
+  EXPECT_LT(t2, 2 * t1);  // far better than full serialization
+}
+
+TEST(SimDeviceTest, DeviceParallelismCapsRandomIops) {
+  sim::Environment env;
+  DeviceParams p = DeviceParams::NvmeP3700();
+  SimDevice dev(&env, p);
+  // 64 concurrent 4KB writes spread over all channels.
+  constexpr int kOps = 64;
+  std::vector<Time> done(kOps, 0);
+  for (int i = 0; i < kOps; ++i) {
+    env.Spawn(WriteOnce(env, dev, static_cast<uint32_t>(i % 31), &done[i]));
+  }
+  const Time end = env.Run();
+  const double iops = kOps / (static_cast<double>(end) / 1e9);
+  // P3700-class: random write IOPS land in the 100k-400k band, not
+  // millions (the old per-channel-only model allowed ~8M).
+  EXPECT_GT(iops, 100'000.0);
+  EXPECT_LT(iops, 500'000.0);
+}
+
+TEST(SimDeviceTest, SequentialBandwidthCappedByPipe) {
+  sim::Environment env;
+  DeviceParams p = DeviceParams::NvmeP3700();
+  SimDevice dev(&env, p);
+  constexpr int kOps = 32;
+  constexpr uint64_t kLen = 128 * 1024;
+  std::vector<Time> done(kOps, 0);
+  for (int i = 0; i < kOps; ++i) {
+    env.Spawn([](sim::Environment& e, SimDevice& d, uint32_t ch, uint64_t off,
+                 Time* out) -> sim::Task<void> {
+      co_await d.WriteTimed(ch, off, kLen);
+      *out = e.now();
+    }(env, dev, static_cast<uint32_t>(i % 31), static_cast<uint64_t>(i) * kLen,
+                 &done[i]));
+  }
+  const Time end = env.Run();
+  const double gbps = kOps * kLen / (static_cast<double>(end) / 1e9) / 1e9;
+  // ~1.1 GB/s write pipe.
+  EXPECT_GT(gbps, 0.8);
+  EXPECT_LT(gbps, 1.3);
+}
+
+sim::Task<void> FunctionalTimedIo(SimDevice& dev, Status* write_st,
+                                  Status* read_st,
+                                  std::vector<uint8_t>* read_back) {
+  std::vector<uint8_t> data(512, 0x7E);
+  *write_st = co_await dev.Write(2, 1024, data);
+  read_back->assign(512, 0);
+  *read_st = co_await dev.Read(2, 1024, *read_back);
+}
+
+TEST(SimDeviceTest, TimedFunctionalIoMovesData) {
+  sim::Environment env;
+  SimDevice dev(&env, DeviceParams::NvmeP3700());
+  Status write_st = Status::Internal("unset"), read_st = Status::Internal("unset");
+  std::vector<uint8_t> read_back;
+  env.Spawn(FunctionalTimedIo(dev, &write_st, &read_st, &read_back));
+  env.Run();
+  EXPECT_TRUE(write_st.ok());
+  EXPECT_TRUE(read_st.ok());
+  ASSERT_EQ(read_back.size(), 512u);
+  EXPECT_EQ(read_back[0], 0x7Eu);
+  EXPECT_EQ(read_back[511], 0x7Eu);
+}
+
+TEST(SimDeviceTest, ChannelQueueDepthVisible) {
+  sim::Environment env;
+  DeviceParams p = DeviceParams::NvmeP3700();
+  p.per_queue_parallelism = 1;
+  SimDevice dev(&env, p);
+  Time t1 = 0, t2 = 0, t3 = 0;
+  env.Spawn(WriteOnce(env, dev, 5, &t1));
+  env.Spawn(WriteOnce(env, dev, 5, &t2));
+  env.Spawn(WriteOnce(env, dev, 5, &t3));
+  // Before running, depth is 0; after partial run, ops are in flight.
+  env.RunUntil(1);  // starts all three; one in service, two queued
+  EXPECT_EQ(dev.ChannelQueueDepth(5), 3u);
+  env.Run();
+  EXPECT_EQ(dev.ChannelQueueDepth(5), 0u);
+}
+
+// ---------- DeviceRegistry ----------
+
+TEST(DeviceRegistryTest, CreateAndFind) {
+  DeviceRegistry registry;
+  auto dev = registry.Create(DeviceParams::NvmeP3700());
+  ASSERT_TRUE(dev.ok());
+  auto found = registry.Find("nvme0");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *dev);
+  EXPECT_FALSE(registry.Find("nvme9").ok());
+}
+
+TEST(DeviceRegistryTest, DuplicateRejected) {
+  DeviceRegistry registry;
+  ASSERT_TRUE(registry.Create(DeviceParams::NvmeP3700()).ok());
+  EXPECT_EQ(registry.Create(DeviceParams::NvmeP3700()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DeviceRegistryTest, NamesListsAll) {
+  DeviceRegistry registry;
+  ASSERT_TRUE(registry.Create(DeviceParams::NvmeP3700()).ok());
+  ASSERT_TRUE(registry.Create(DeviceParams::SasHdd()).ok());
+  const auto names = registry.Names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace labstor::simdev

@@ -1,0 +1,72 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace labstor {
+namespace {
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
+  EXPECT_EQ(TrimWhitespace("\t\nabc\r\n"), "abc");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("a b"), "a b");
+}
+
+TEST(StringUtilTest, SplitString) {
+  const auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+  EXPECT_EQ(SplitString("abc", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("fs::/b", "fs::"));
+  EXPECT_FALSE(StartsWith("fs", "fs::"));
+  EXPECT_TRUE(EndsWith("stack.yaml", ".yaml"));
+  EXPECT_FALSE(EndsWith("yaml", "stack.yaml"));
+}
+
+TEST(StringUtilTest, NormalizePath) {
+  EXPECT_EQ(NormalizePath("/a/b/c"), "/a/b/c");
+  EXPECT_EQ(NormalizePath("a/b/c"), "/a/b/c");
+  EXPECT_EQ(NormalizePath("/a//b///c/"), "/a/b/c");
+  EXPECT_EQ(NormalizePath("/a/./b"), "/a/b");
+  EXPECT_EQ(NormalizePath("/a/b/../c"), "/a/c");
+  EXPECT_EQ(NormalizePath("/.."), "/");
+  EXPECT_EQ(NormalizePath(""), "/");
+  EXPECT_EQ(NormalizePath("/"), "/");
+}
+
+TEST(StringUtilTest, ParentPath) {
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(ParentPath("/"), "/");
+}
+
+TEST(StringUtilTest, PathBasename) {
+  EXPECT_EQ(PathBasename("/a/b/c.txt"), "c.txt");
+  EXPECT_EQ(PathBasename("/a"), "a");
+  EXPECT_EQ(PathBasename("/"), "/");
+}
+
+TEST(StringUtilTest, PathComponents) {
+  const auto parts = PathComponents("/a/b/c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(PathComponents("/").empty());
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(4096), "4.0 KiB");
+  EXPECT_EQ(FormatBytes(1.5 * 1024 * 1024), "1.5 MiB");
+  EXPECT_EQ(FormatBytes(2.0 * 1024 * 1024 * 1024), "2.0 GiB");
+}
+
+}  // namespace
+}  // namespace labstor

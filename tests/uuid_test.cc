@@ -1,0 +1,67 @@
+#include "common/uuid.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace labstor {
+namespace {
+
+TEST(UuidTest, NilByDefault) {
+  Uuid id;
+  EXPECT_TRUE(id.IsNil());
+}
+
+TEST(UuidTest, RoundTripsThroughString) {
+  const Uuid id = Uuid::FromRandom(0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL);
+  const std::string text = id.ToString();
+  EXPECT_EQ(text.size(), 36u);
+  auto parsed = Uuid::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, id);
+}
+
+TEST(UuidTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(Uuid::Parse("").ok());
+  EXPECT_FALSE(Uuid::Parse("not-a-uuid").ok());
+  EXPECT_FALSE(Uuid::Parse("0123456789abcdef0123456789abcdef0123").ok());
+  // Right length, wrong separator positions.
+  EXPECT_FALSE(Uuid::Parse("012345678-9abc-def0-1234-56789abcdef0").ok());
+  // Non-hex digit.
+  EXPECT_FALSE(Uuid::Parse("zzzzzzzz-9abc-4ef0-9234-56789abcdef0").ok());
+}
+
+TEST(UuidTest, FromNameIsDeterministic) {
+  EXPECT_EQ(Uuid::FromName("labfs"), Uuid::FromName("labfs"));
+  EXPECT_FALSE(Uuid::FromName("labfs") == Uuid::FromName("labkvs"));
+}
+
+TEST(UuidTest, FromNameAvoidsObviousCollisions) {
+  std::unordered_set<Uuid, UuidHash> seen;
+  const char* names[] = {"labfs", "labkvs", "lru", "noop", "blk-switch",
+                         "permissions", "compress", "spdk", "dax",
+                         "kernel_driver", "genericfs", "generickvs",
+                         "dummy", "consistency", "shmem"};
+  for (const char* name : names) {
+    EXPECT_TRUE(seen.insert(Uuid::FromName(name)).second) << name;
+  }
+}
+
+TEST(UuidTest, VersionBitsSet) {
+  const Uuid random = Uuid::FromRandom(~0ULL, ~0ULL);
+  EXPECT_EQ((random.hi >> 12) & 0xF, 0x4u);
+  const Uuid named = Uuid::FromName("x");
+  EXPECT_EQ((named.hi >> 12) & 0xF, 0x5u);
+}
+
+TEST(UuidTest, HashSpreads) {
+  UuidHash hash;
+  std::unordered_set<size_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(hash(Uuid::FromName("mod-" + std::to_string(i))));
+  }
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+}  // namespace
+}  // namespace labstor

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "kernelsim/access_api.h"
+#include "kernelsim/kernel_fs.h"
+#include "pfs/mini_pfs.h"
+#include "workload/filebench.h"
+#include "workload/fio.h"
+#include "workload/fxmark.h"
+#include "workload/labios.h"
+#include "workload/vpic.h"
+
+namespace labstor::workload {
+namespace {
+
+using sim::Environment;
+using sim::Time;
+
+// A trivial target with fixed per-op latency, for generator-logic
+// tests independent of the device model.
+class FixedLatencyTarget final : public BlockTarget {
+ public:
+  FixedLatencyTarget(Environment& env, Time latency)
+      : env_(env), latency_(latency) {}
+  sim::Task<void> Io(simdev::IoOp, uint32_t, uint64_t offset,
+                     uint64_t) override {
+    offsets.push_back(offset);
+    co_await env_.Delay(latency_);
+  }
+  std::vector<uint64_t> offsets;
+
+ private:
+  Environment& env_;
+  Time latency_;
+};
+
+TEST(FioTest, ClosedLoopOpsAndMakespan) {
+  Environment env;
+  FixedLatencyTarget target(env, 10 * sim::kUs);
+  FioJob job;
+  job.threads = 1;
+  job.iodepth = 1;
+  job.request_size = 4096;
+  job.bytes_per_thread = 40 * 4096;
+  const FioStats stats = RunFio(env, target, job);
+  EXPECT_EQ(stats.ops, 40u);
+  EXPECT_EQ(stats.bytes, 40u * 4096);
+  EXPECT_EQ(stats.makespan, 400 * sim::kUs);  // strictly serial
+  EXPECT_NEAR(stats.Iops(), 100000.0, 1.0);
+  EXPECT_EQ(stats.latency.Max(), 10 * sim::kUs);
+}
+
+TEST(FioTest, IodepthOverlapsAgainstParallelTarget) {
+  Environment env;
+  FixedLatencyTarget target(env, 10 * sim::kUs);
+  FioJob job;
+  job.threads = 1;
+  job.iodepth = 4;
+  job.bytes_per_thread = 40 * 4096;
+  const FioStats stats = RunFio(env, target, job);
+  EXPECT_EQ(stats.ops, 40u);
+  // Four lanes of 10 ops each, fully overlapped: 100µs makespan.
+  EXPECT_EQ(stats.makespan, 100 * sim::kUs);
+}
+
+TEST(FioTest, SequentialOffsetsAdvance) {
+  Environment env;
+  FixedLatencyTarget target(env, 1);
+  FioJob job;
+  job.random = false;
+  job.request_size = 4096;
+  job.bytes_per_thread = 4 * 4096;
+  RunFio(env, target, job);
+  ASSERT_EQ(target.offsets.size(), 4u);
+  EXPECT_EQ(target.offsets[1], target.offsets[0] + 4096);
+  EXPECT_EQ(target.offsets[3], target.offsets[0] + 3 * 4096);
+}
+
+TEST(FioTest, RandomOffsetsWithinThreadSpan) {
+  Environment env;
+  FixedLatencyTarget target(env, 1);
+  FioJob job;
+  job.threads = 2;
+  job.span_per_thread = 1 << 20;
+  job.bytes_per_thread = 50 * 4096;
+  RunFio(env, target, job);
+  for (const uint64_t offset : target.offsets) {
+    EXPECT_LT(offset, 2u << 20);
+    EXPECT_EQ(offset % 4096, 0u);
+  }
+}
+
+TEST(FioTest, DurationModeStops) {
+  Environment env;
+  FixedLatencyTarget target(env, 10 * sim::kUs);
+  FioJob job;
+  job.duration = 1 * sim::kMs;
+  const FioStats stats = RunFio(env, target, job);
+  EXPECT_EQ(stats.ops, 100u);  // 1ms / 10µs
+}
+
+TEST(FioTest, DeterministicAcrossRuns) {
+  const auto run = [] {
+    Environment env;
+    FixedLatencyTarget target(env, 3);
+    FioJob job;
+    job.threads = 3;
+    job.bytes_per_thread = 20 * 4096;
+    job.seed = 42;
+    RunFio(env, target, job);
+    return target.offsets;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ---------- FxMark ----------
+
+class CountingFs final : public FsTarget {
+ public:
+  explicit CountingFs(Environment& env, Time op_latency)
+      : env_(env), latency_(op_latency) {}
+  sim::Task<void> Create(uint32_t) override { return Op(&creates); }
+  sim::Task<void> Open(uint32_t) override { return Op(&opens); }
+  sim::Task<void> Close(uint32_t) override { return Op(&closes); }
+  sim::Task<void> Write(uint32_t, uint64_t, uint64_t len) override {
+    write_bytes += len;
+    return Op(&writes);
+  }
+  sim::Task<void> Read(uint32_t, uint64_t, uint64_t len) override {
+    read_bytes += len;
+    return Op(&reads);
+  }
+  sim::Task<void> Fsync(uint32_t) override { return Op(&fsyncs); }
+  sim::Task<void> Unlink(uint32_t) override { return Op(&unlinks); }
+
+  uint64_t creates = 0, opens = 0, closes = 0, writes = 0, reads = 0,
+           fsyncs = 0, unlinks = 0;
+  uint64_t write_bytes = 0, read_bytes = 0;
+
+ private:
+  sim::Task<void> Op(uint64_t* counter) {
+    ++*counter;
+    co_await env_.Delay(latency_);
+  }
+  Environment& env_;
+  Time latency_;
+};
+
+TEST(FxmarkTest, CountsAndThroughput) {
+  Environment env;
+  CountingFs fs(env, 5 * sim::kUs);
+  const FxmarkResult result = RunFxmarkCreate(env, fs, 4, 100);
+  EXPECT_EQ(result.ops, 400u);
+  EXPECT_EQ(fs.creates, 400u);
+  // 4 parallel threads x 100 x 5µs = 500µs makespan.
+  EXPECT_EQ(result.makespan, 500 * sim::kUs);
+  EXPECT_NEAR(result.OpsPerSec(), 800000.0, 1.0);
+}
+
+// ---------- Filebench ----------
+
+TEST(FilebenchTest, VarmailMixIsMetadataHeavy) {
+  Environment env;
+  CountingFs fs(env, 1 * sim::kUs);
+  const FilebenchResult result =
+      RunFilebench(env, fs, FilebenchKind::kVarmail, 2, 10);
+  EXPECT_EQ(result.ops, 20u);
+  EXPECT_EQ(fs.creates, 20u);
+  EXPECT_EQ(fs.unlinks, 20u);
+  EXPECT_EQ(fs.fsyncs, 40u);  // two per iteration
+  EXPECT_GT(fs.opens, 0u);
+}
+
+TEST(FilebenchTest, WebserverIsReadDominated) {
+  Environment env;
+  CountingFs fs(env, 1 * sim::kUs);
+  RunFilebench(env, fs, FilebenchKind::kWebserver, 1, 10);
+  EXPECT_EQ(fs.reads, 100u);  // 10 per iteration
+  EXPECT_EQ(fs.creates, 0u);
+  EXPECT_EQ(fs.writes, 10u);  // log appends
+  EXPECT_GT(fs.reads, fs.writes);
+}
+
+TEST(FilebenchTest, FileserverMovesBigBytes) {
+  Environment env;
+  CountingFs fs(env, 1 * sim::kUs);
+  RunFilebench(env, fs, FilebenchKind::kFileserver, 1, 5);
+  EXPECT_EQ(fs.write_bytes, 5u << 20);  // 1MB per iteration
+  EXPECT_EQ(fs.read_bytes, 5u << 20);
+  // Far more data per metadata op than varmail.
+  EXPECT_GT(fs.write_bytes / (fs.creates + fs.opens + 1), 100000u);
+}
+
+TEST(FilebenchTest, KindNames) {
+  EXPECT_EQ(FilebenchKindName(FilebenchKind::kVarmail), "varmail");
+  EXPECT_EQ(FilebenchKindName(FilebenchKind::kFileserver), "fileserver");
+}
+
+// ---------- LABIOS ----------
+
+class CountingLabels final : public LabelTarget {
+ public:
+  explicit CountingLabels(Environment& env) : env_(env) {}
+  sim::Task<void> StoreLabel(uint32_t, uint64_t, uint64_t len) override {
+    bytes += len;
+    ++stores;
+    co_await env_.Delay(20 * sim::kUs);
+  }
+  sim::Task<void> LoadLabel(uint32_t, uint64_t, uint64_t) override {
+    co_return;
+  }
+  uint64_t stores = 0, bytes = 0;
+
+ private:
+  Environment& env_;
+};
+
+TEST(LabiosTest, StoresAllLabels) {
+  Environment env;
+  CountingLabels target(env);
+  const LabiosResult result = RunLabiosWorker(env, target, 2, 50, 8192);
+  EXPECT_EQ(result.labels, 100u);
+  EXPECT_EQ(result.bytes, 100u * 8192);
+  EXPECT_EQ(target.stores, 100u);
+  // Two parallel workers: 50 x 20µs = 1ms.
+  EXPECT_EQ(result.makespan, 1 * sim::kMs);
+  EXPECT_GT(result.BandwidthMBps(), 0.0);
+}
+
+// ---------- VPIC over MiniPfs ----------
+
+TEST(VpicTest, WritesAndReadsAllBytesThroughPfs) {
+  Environment env;
+  pfs::PfsConfig config;
+  config.num_data_servers = 2;
+  config.data_device = simdev::DeviceParams::NvmeP3700(256 << 20);
+  config.local_stack = pfs::LocalStackKind::kLabFsMin;
+  pfs::MiniPfs fs(env, config);
+  VpicConfig vpic;
+  vpic.processes = 4;
+  vpic.timesteps = 2;
+  vpic.bytes_per_step = 1 << 20;
+  const VpicResult result = RunVpicThenBdcats(env, fs, vpic);
+  EXPECT_EQ(result.total_bytes, 8u << 20);
+  EXPECT_GT(result.write_makespan, 0u);
+  EXPECT_GT(result.read_makespan, 0u);
+  // 8MB / 64KB stripes, three metadata sub-ops per stripe access
+  // (dentry walk + stripe map + attrs), x2 (write+read).
+  EXPECT_EQ(fs.metadata_ops(), 3 * 2 * (8u << 20) / (64 * 1024));
+}
+
+TEST(MiniPfsTest, FasterMetadataStackImprovesEndToEnd) {
+  const auto run = [](pfs::LocalStackKind kind) {
+    Environment env;
+    pfs::PfsConfig config;
+    config.num_data_servers = 2;
+    config.data_device = simdev::DeviceParams::NvmeP3700(256 << 20);
+    config.local_stack = kind;
+    pfs::MiniPfs fs(env, config);
+    VpicConfig vpic;
+    vpic.processes = 8;
+    vpic.timesteps = 1;
+    vpic.bytes_per_step = 2 << 20;
+    return RunVpicThenBdcats(env, fs, vpic).write_makespan;
+  };
+  const Time ext4 = run(pfs::LocalStackKind::kExt4);
+  const Time lab_all = run(pfs::LocalStackKind::kLabFsAll);
+  const Time lab_min = run(pfs::LocalStackKind::kLabFsMin);
+  EXPECT_LT(lab_all, ext4);
+  EXPECT_LE(lab_min, lab_all);
+  // Single-digit-to-modest percentage gain, not a rewrite of physics.
+  EXPECT_LT(static_cast<double>(ext4) / static_cast<double>(lab_min), 1.6);
+}
+
+TEST(MiniPfsTest, HddDataTierHidesMetadataGains) {
+  const auto run = [](pfs::LocalStackKind kind) {
+    Environment env;
+    pfs::PfsConfig config;
+    config.num_data_servers = 2;
+    config.data_device = simdev::DeviceParams::SasHdd(256 << 20);
+    config.local_stack = kind;
+    pfs::MiniPfs fs(env, config);
+    VpicConfig vpic;
+    vpic.processes = 4;
+    vpic.timesteps = 1;
+    vpic.bytes_per_step = 1 << 20;
+    return RunVpicThenBdcats(env, fs, vpic).write_makespan;
+  };
+  const Time ext4 = run(pfs::LocalStackKind::kExt4);
+  const Time lab = run(pfs::LocalStackKind::kLabFsMin);
+  // On HDDs seeks dominate: the gain shrinks under a few percent.
+  EXPECT_LT(static_cast<double>(ext4) / static_cast<double>(lab), 1.05);
+}
+
+}  // namespace
+}  // namespace labstor::workload

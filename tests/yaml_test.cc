@@ -1,0 +1,245 @@
+#include "common/yaml.h"
+
+#include <gtest/gtest.h>
+
+namespace labstor::yaml {
+namespace {
+
+TEST(YamlTest, EmptyDocumentIsNull) {
+  auto root = Parse("");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE((*root)->IsNull());
+}
+
+TEST(YamlTest, ScalarDocument) {
+  auto root = Parse("hello");
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE((*root)->IsScalar());
+  EXPECT_EQ((*root)->scalar(), "hello");
+}
+
+TEST(YamlTest, FlatMapping) {
+  auto root = Parse("name: labfs\nworkers: 16\nratio: 0.5\nenabled: true\n");
+  ASSERT_TRUE(root.ok());
+  const NodePtr n = *root;
+  ASSERT_TRUE(n->IsMapping());
+  EXPECT_EQ(n->GetString("name", ""), "labfs");
+  EXPECT_EQ(n->GetInt("workers", 0), 16);
+  EXPECT_DOUBLE_EQ(n->GetDouble("ratio", 0), 0.5);
+  EXPECT_TRUE(n->GetBool("enabled", false));
+  EXPECT_EQ(n->GetString("missing", "dflt"), "dflt");
+}
+
+TEST(YamlTest, NestedMapping) {
+  auto root = Parse(
+      "runtime:\n"
+      "  workers: 8\n"
+      "  policy: dynamic\n"
+      "mods:\n"
+      "  repo: /opt/mods\n");
+  ASSERT_TRUE(root.ok());
+  const NodePtr runtime = (*root)->Get("runtime");
+  ASSERT_NE(runtime, nullptr);
+  EXPECT_EQ(runtime->GetInt("workers", 0), 8);
+  EXPECT_EQ(runtime->GetString("policy", ""), "dynamic");
+  EXPECT_EQ((*root)->Get("mods")->GetString("repo", ""), "/opt/mods");
+}
+
+TEST(YamlTest, BlockSequenceOfScalars) {
+  auto root = Parse("- alpha\n- beta\n- gamma\n");
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE((*root)->IsSequence());
+  ASSERT_EQ((*root)->items().size(), 3u);
+  EXPECT_EQ((*root)->items()[1]->scalar(), "beta");
+}
+
+TEST(YamlTest, SequenceUnderKeySameIndent) {
+  auto root = Parse(
+      "mods:\n"
+      "- labfs\n"
+      "- lru\n");
+  ASSERT_TRUE(root.ok());
+  const NodePtr mods = (*root)->Get("mods");
+  ASSERT_NE(mods, nullptr);
+  ASSERT_TRUE(mods->IsSequence());
+  EXPECT_EQ(mods->items().size(), 2u);
+}
+
+TEST(YamlTest, SequenceOfMappings) {
+  auto root = Parse(
+      "dag:\n"
+      "  - name: labfs\n"
+      "    uuid: fs1\n"
+      "    outputs: [lru1]\n"
+      "  - name: lru\n"
+      "    uuid: lru1\n");
+  ASSERT_TRUE(root.ok());
+  const NodePtr dag = (*root)->Get("dag");
+  ASSERT_NE(dag, nullptr);
+  ASSERT_TRUE(dag->IsSequence());
+  ASSERT_EQ(dag->items().size(), 2u);
+  const NodePtr first = dag->items()[0];
+  ASSERT_TRUE(first->IsMapping());
+  EXPECT_EQ(first->GetString("name", ""), "labfs");
+  EXPECT_EQ(first->GetString("uuid", ""), "fs1");
+  const NodePtr outputs = first->Get("outputs");
+  ASSERT_TRUE(outputs->IsSequence());
+  ASSERT_EQ(outputs->items().size(), 1u);
+  EXPECT_EQ(outputs->items()[0]->scalar(), "lru1");
+  EXPECT_EQ(dag->items()[1]->GetString("name", ""), "lru");
+}
+
+TEST(YamlTest, FlowSequence) {
+  auto root = Parse("list: [1, 2, 3]\nempty: []\nnested: [[a, b], c]\n");
+  ASSERT_TRUE(root.ok());
+  const NodePtr list = (*root)->Get("list");
+  ASSERT_TRUE(list->IsSequence());
+  ASSERT_EQ(list->items().size(), 3u);
+  EXPECT_EQ(*list->items()[2]->AsInt(), 3);
+  EXPECT_EQ((*root)->Get("empty")->items().size(), 0u);
+  const NodePtr nested = (*root)->Get("nested");
+  ASSERT_EQ(nested->items().size(), 2u);
+  ASSERT_TRUE(nested->items()[0]->IsSequence());
+  EXPECT_EQ(nested->items()[0]->items()[1]->scalar(), "b");
+}
+
+TEST(YamlTest, CommentsAndBlanksIgnored) {
+  auto root = Parse(
+      "# header comment\n"
+      "\n"
+      "key: value  # trailing comment\n"
+      "other: 'has # inside quotes'\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->GetString("key", ""), "value");
+  EXPECT_EQ((*root)->GetString("other", ""), "has # inside quotes");
+}
+
+TEST(YamlTest, QuotedScalars) {
+  auto root = Parse(
+      "single: 'a b c'\n"
+      "double: \"x\\ny\"\n"
+      "colon_in_quotes: \"a:b\"\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->GetString("single", ""), "a b c");
+  EXPECT_EQ((*root)->GetString("double", ""), "x\ny");
+  EXPECT_EQ((*root)->GetString("colon_in_quotes", ""), "a:b");
+}
+
+TEST(YamlTest, NullValues) {
+  auto root = Parse("a: ~\nb: null\nc:\nd: 1\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE((*root)->Get("a")->IsNull());
+  EXPECT_TRUE((*root)->Get("b")->IsNull());
+  EXPECT_TRUE((*root)->Get("c")->IsNull());
+  EXPECT_EQ((*root)->GetInt("d", 0), 1);
+}
+
+TEST(YamlTest, TypedAccessorErrors) {
+  auto root = Parse("s: hello\nn: 12\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_FALSE((*root)->Get("s")->AsInt().ok());
+  EXPECT_FALSE((*root)->Get("s")->AsBool().ok());
+  EXPECT_TRUE((*root)->Get("n")->AsInt().ok());
+  EXPECT_TRUE((*root)->Get("n")->AsDouble().ok());
+}
+
+TEST(YamlTest, NegativeAndHexIntegers) {
+  auto root = Parse("neg: -5\nhex: 0x10\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*(*root)->Get("neg")->AsInt(), -5);
+  EXPECT_EQ(*(*root)->Get("hex")->AsInt(), 16);
+  EXPECT_FALSE((*root)->Get("neg")->AsUint().ok());
+}
+
+TEST(YamlTest, DuplicateKeyRejected) {
+  auto root = Parse("a: 1\na: 2\n");
+  EXPECT_FALSE(root.ok());
+}
+
+TEST(YamlTest, AnchorsRejected) {
+  EXPECT_FALSE(Parse("a: &anchor 1\n").ok());
+}
+
+TEST(YamlTest, ErrorMentionsLineNumber) {
+  // A deeper-indented mapping after a scalar value is trailing content.
+  auto root = Parse("a: 1\n  b: 2\n");
+  ASSERT_FALSE(root.ok());
+  EXPECT_NE(root.status().message().find("line 2"), std::string::npos)
+      << root.status().ToString();
+}
+
+TEST(YamlTest, FlowMappingValueRejected) {
+  EXPECT_FALSE(Parse("m: {a: 1}\n").ok());
+}
+
+TEST(YamlTest, DeepNesting) {
+  auto root = Parse(
+      "a:\n"
+      "  b:\n"
+      "    c:\n"
+      "      d: leaf\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(
+      (*root)->Get("a")->Get("b")->Get("c")->GetString("d", ""), "leaf");
+}
+
+TEST(YamlTest, MappingOrderPreserved) {
+  auto root = Parse("z: 1\na: 2\nm: 3\n");
+  ASSERT_TRUE(root.ok());
+  const auto& entries = (*root)->entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, "z");
+  EXPECT_EQ(entries[1].first, "a");
+  EXPECT_EQ(entries[2].first, "m");
+}
+
+TEST(YamlTest, RealisticLabStackSpec) {
+  auto root = Parse(
+      "mount: fs::/b\n"
+      "rules:\n"
+      "  exec_mode: async\n"
+      "  priority: high\n"
+      "  admins: [root, alice]\n"
+      "dag:\n"
+      "  - mod: labfs\n"
+      "    uuid: fs1\n"
+      "    params:\n"
+      "      log_size: 4096\n"
+      "    outputs: [lru1]\n"
+      "  - mod: lru_cache\n"
+      "    uuid: lru1\n"
+      "    outputs: [sched1]\n"
+      "  - mod: noop_sched\n"
+      "    uuid: sched1\n"
+      "    outputs: [drv1]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv1\n"
+      "    params:\n"
+      "      device: nvme0\n");
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  const NodePtr n = *root;
+  EXPECT_EQ(n->GetString("mount", ""), "fs::/b");
+  EXPECT_EQ(n->Get("rules")->GetString("exec_mode", ""), "async");
+  EXPECT_EQ(n->Get("rules")->Get("admins")->items().size(), 2u);
+  const NodePtr dag = n->Get("dag");
+  ASSERT_EQ(dag->items().size(), 4u);
+  EXPECT_EQ(dag->items()[0]->Get("params")->GetInt("log_size", 0), 4096);
+  EXPECT_EQ(dag->items()[3]->Get("params")->GetString("device", ""), "nvme0");
+}
+
+TEST(YamlTest, DumpRoundTrip) {
+  const char* doc =
+      "mount: fs::/b\n"
+      "dag:\n"
+      "  - mod: labfs\n"
+      "    outputs: [a, b]\n";
+  auto root = Parse(doc);
+  ASSERT_TRUE(root.ok());
+  auto reparsed = Parse((*root)->Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)->GetString("mount", ""), "fs::/b");
+  EXPECT_EQ((*reparsed)->Get("dag")->items().size(), 1u);
+}
+
+}  // namespace
+}  // namespace labstor::yaml

@@ -1,0 +1,148 @@
+// ZNS driver LabMod: zoned-namespace semantics (sequential-only
+// writes, zone append with assigned offsets, resets, state machine).
+#include "labmods/zns_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/debug_harness.h"
+#include "simdev/registry.h"
+
+namespace labstor::labmods {
+namespace {
+
+class ZnsTest : public ::testing::Test {
+ protected:
+  ZnsTest() {
+    auto dev = devices_.Create(simdev::DeviceParams::NvmeP3700(16 << 20));
+    EXPECT_TRUE(dev.ok());
+    device_ = *dev;
+    core::ModContext ctx;
+    ctx.devices = &devices_;
+    auto params = yaml::Parse("zone_size_mb: 1\n");
+    EXPECT_TRUE(params.ok());
+    auto harness = core::DebugHarness::Create("zns_driver", *params, ctx);
+    EXPECT_TRUE(harness.ok()) << harness.status().ToString();
+    harness_ = std::move(*harness);
+    zns_ = dynamic_cast<ZnsDriverMod*>(&harness_->mod());
+    EXPECT_NE(zns_, nullptr);
+  }
+
+  Status Op(ipc::OpCode op, uint64_t offset, std::span<uint8_t> data) {
+    ipc::Request req;
+    req.op = op;
+    req.offset = offset;
+    req.length = data.size();
+    req.data = data.empty() ? nullptr : data.data();
+    const Status st = harness_->Feed(req);
+    last_result_ = req.result_u64;
+    return st;
+  }
+
+  simdev::DeviceRegistry devices_;
+  simdev::SimDevice* device_ = nullptr;
+  std::unique_ptr<core::DebugHarness> harness_;
+  ZnsDriverMod* zns_ = nullptr;
+  uint64_t last_result_ = 0;
+};
+
+TEST_F(ZnsTest, ZonesCoverTheDevice) {
+  EXPECT_EQ(zns_->num_zones(), 16u);  // 16MB / 1MB zones
+  auto z0 = zns_->Zone(0);
+  ASSERT_TRUE(z0.ok());
+  EXPECT_EQ(z0->start, 0u);
+  EXPECT_EQ(z0->write_pointer, 0u);
+  EXPECT_EQ(z0->state, ZoneState::kEmpty);
+  EXPECT_FALSE(zns_->Zone(99).ok());
+}
+
+TEST_F(ZnsTest, SequentialWritesAdvanceThePointer) {
+  std::vector<uint8_t> data(4096, 0x11);
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 0, data).ok());
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 4096, data).ok());
+  auto zone = zns_->Zone(0);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone->write_pointer, 8192u);
+  EXPECT_EQ(zone->state, ZoneState::kOpen);
+}
+
+TEST_F(ZnsTest, NonSequentialWriteRejected) {
+  std::vector<uint8_t> data(4096, 0x22);
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 0, data).ok());
+  // Skipping ahead violates the write pointer.
+  EXPECT_EQ(Op(ipc::OpCode::kBlkWrite, 8192, data).code(),
+            StatusCode::kInvalidArgument);
+  // Rewriting the start does too.
+  EXPECT_EQ(Op(ipc::OpCode::kBlkWrite, 0, data).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ZnsTest, WriteMayNotCrossZoneBoundary) {
+  std::vector<uint8_t> big(2 << 20, 0x33);  // 2MB into a 1MB zone
+  EXPECT_EQ(Op(ipc::OpCode::kBlkWrite, 0, big).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ZnsTest, ZoneFillsToFullAndRejectsMore) {
+  std::vector<uint8_t> quarter(256 << 10, 0x44);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        Op(ipc::OpCode::kBlkWrite, static_cast<uint64_t>(i) * (256 << 10),
+           quarter)
+            .ok());
+  }
+  auto zone = zns_->Zone(0);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone->state, ZoneState::kFull);
+  EXPECT_EQ(Op(ipc::OpCode::kBlkWrite, 1 << 20, quarter).code(),
+            StatusCode::kOk);  // next zone is fine
+  // Any write aimed into the FULL zone is refused by its state.
+  EXPECT_EQ(Op(ipc::OpCode::kBlkWrite, 0, quarter).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ZnsTest, AppendReturnsAssignedOffsetAndLandsData) {
+  std::vector<uint8_t> a(4096, 0xAA);
+  std::vector<uint8_t> b(4096, 0xBB);
+  // Appends target the zone containing req.offset; the device picks
+  // the actual location.
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneAppend, 0, a).ok());
+  EXPECT_EQ(last_result_, 0u);
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneAppend, 0, b).ok());
+  EXPECT_EQ(last_result_, 4096u);
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(device_->ReadNow(4096, out).ok());
+  EXPECT_EQ(out, b);
+}
+
+TEST_F(ZnsTest, ResetRewindsAndAllowsRewrite) {
+  std::vector<uint8_t> data(4096, 0x55);
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 0, data).ok());
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneReset, 0, {}).ok());
+  auto zone = zns_->Zone(0);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone->write_pointer, 0u);
+  EXPECT_EQ(zone->state, ZoneState::kEmpty);
+  EXPECT_TRUE(Op(ipc::OpCode::kBlkWrite, 0, data).ok());
+}
+
+TEST_F(ZnsTest, ReadBeyondWritePointerRejected) {
+  std::vector<uint8_t> data(4096, 0x66);
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 0, data).ok());
+  std::vector<uint8_t> out(4096);
+  EXPECT_TRUE(Op(ipc::OpCode::kBlkRead, 0, out).ok());
+  EXPECT_EQ(Op(ipc::OpCode::kBlkRead, 4096, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ZnsTest, StateSurvivesUpgrade) {
+  std::vector<uint8_t> data(4096, 0x77);
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 0, data).ok());
+  ZnsDriverMod fresh;
+  ASSERT_TRUE(fresh.StateUpdate(*zns_).ok());
+  auto zone = fresh.Zone(0);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone->write_pointer, 4096u);
+}
+
+}  // namespace
+}  // namespace labstor::labmods
