@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ipc.dir/bench_ablation_ipc.cc.o"
+  "CMakeFiles/bench_ablation_ipc.dir/bench_ablation_ipc.cc.o.d"
+  "bench_ablation_ipc"
+  "bench_ablation_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anatomy.dir/bench_anatomy.cc.o"
+  "CMakeFiles/bench_anatomy.dir/bench_anatomy.cc.o.d"
+  "bench_anatomy"
+  "bench_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_labios.dir/bench_labios.cc.o"
+  "CMakeFiles/bench_labios.dir/bench_labios.cc.o.d"
+  "bench_labios"
+  "bench_labios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_labios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

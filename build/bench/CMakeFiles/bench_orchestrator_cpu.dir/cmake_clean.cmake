@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orchestrator_cpu.dir/bench_orchestrator_cpu.cc.o"
+  "CMakeFiles/bench_orchestrator_cpu.dir/bench_orchestrator_cpu.cc.o.d"
+  "bench_orchestrator_cpu"
+  "bench_orchestrator_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orchestrator_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orchestrator_partition.dir/bench_orchestrator_partition.cc.o"
+  "CMakeFiles/bench_orchestrator_partition.dir/bench_orchestrator_partition.cc.o.d"
+  "bench_orchestrator_partition"
+  "bench_orchestrator_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orchestrator_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pfs.dir/bench_pfs.cc.o"
+  "CMakeFiles/bench_pfs.dir/bench_pfs.cc.o.d"
+  "bench_pfs"
+  "bench_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

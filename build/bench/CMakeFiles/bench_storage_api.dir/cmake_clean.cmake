@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_api.dir/bench_storage_api.cc.o"
+  "CMakeFiles/bench_storage_api.dir/bench_storage_api.cc.o.d"
+  "bench_storage_api"
+  "bench_storage_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labstor_bench_common.dir/common.cc.o"
+  "CMakeFiles/labstor_bench_common.dir/common.cc.o.d"
+  "liblabstor_bench_common.a"
+  "liblabstor_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labstor_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

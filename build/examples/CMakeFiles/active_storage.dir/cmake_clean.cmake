@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_storage.dir/active_storage.cpp.o"
+  "CMakeFiles/active_storage.dir/active_storage.cpp.o.d"
+  "active_storage"
+  "active_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

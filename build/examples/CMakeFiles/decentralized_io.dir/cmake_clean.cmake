@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_io.dir/decentralized_io.cpp.o"
+  "CMakeFiles/decentralized_io.dir/decentralized_io.cpp.o.d"
+  "decentralized_io"
+  "decentralized_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_upgrade.cpp" "examples/CMakeFiles/live_upgrade.dir/live_upgrade.cpp.o" "gcc" "examples/CMakeFiles/live_upgrade.dir/live_upgrade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/labstor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdev/CMakeFiles/labstor_simdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/labstor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/labstor_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/labstor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labstor_common.dir/histogram.cc.o"
+  "CMakeFiles/labstor_common.dir/histogram.cc.o.d"
+  "CMakeFiles/labstor_common.dir/logging.cc.o"
+  "CMakeFiles/labstor_common.dir/logging.cc.o.d"
+  "CMakeFiles/labstor_common.dir/string_util.cc.o"
+  "CMakeFiles/labstor_common.dir/string_util.cc.o.d"
+  "CMakeFiles/labstor_common.dir/uuid.cc.o"
+  "CMakeFiles/labstor_common.dir/uuid.cc.o.d"
+  "CMakeFiles/labstor_common.dir/yaml.cc.o"
+  "CMakeFiles/labstor_common.dir/yaml.cc.o.d"
+  "liblabstor_common.a"
+  "liblabstor_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labstor_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/labstor_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/labstor_core.dir/client.cc.o.d"
+  "/root/repo/src/core/module_manager.cc" "src/core/CMakeFiles/labstor_core.dir/module_manager.cc.o" "gcc" "src/core/CMakeFiles/labstor_core.dir/module_manager.cc.o.d"
+  "/root/repo/src/core/module_registry.cc" "src/core/CMakeFiles/labstor_core.dir/module_registry.cc.o" "gcc" "src/core/CMakeFiles/labstor_core.dir/module_registry.cc.o.d"
+  "/root/repo/src/core/orchestrator.cc" "src/core/CMakeFiles/labstor_core.dir/orchestrator.cc.o" "gcc" "src/core/CMakeFiles/labstor_core.dir/orchestrator.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/labstor_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/labstor_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/runtime_config.cc" "src/core/CMakeFiles/labstor_core.dir/runtime_config.cc.o" "gcc" "src/core/CMakeFiles/labstor_core.dir/runtime_config.cc.o.d"
+  "/root/repo/src/core/sim_runtime.cc" "src/core/CMakeFiles/labstor_core.dir/sim_runtime.cc.o" "gcc" "src/core/CMakeFiles/labstor_core.dir/sim_runtime.cc.o.d"
+  "/root/repo/src/core/stack.cc" "src/core/CMakeFiles/labstor_core.dir/stack.cc.o" "gcc" "src/core/CMakeFiles/labstor_core.dir/stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/labstor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/labstor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdev/CMakeFiles/labstor_simdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/labstor_ipc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

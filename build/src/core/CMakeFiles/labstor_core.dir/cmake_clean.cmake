@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labstor_core.dir/client.cc.o"
+  "CMakeFiles/labstor_core.dir/client.cc.o.d"
+  "CMakeFiles/labstor_core.dir/module_manager.cc.o"
+  "CMakeFiles/labstor_core.dir/module_manager.cc.o.d"
+  "CMakeFiles/labstor_core.dir/module_registry.cc.o"
+  "CMakeFiles/labstor_core.dir/module_registry.cc.o.d"
+  "CMakeFiles/labstor_core.dir/orchestrator.cc.o"
+  "CMakeFiles/labstor_core.dir/orchestrator.cc.o.d"
+  "CMakeFiles/labstor_core.dir/runtime.cc.o"
+  "CMakeFiles/labstor_core.dir/runtime.cc.o.d"
+  "CMakeFiles/labstor_core.dir/runtime_config.cc.o"
+  "CMakeFiles/labstor_core.dir/runtime_config.cc.o.d"
+  "CMakeFiles/labstor_core.dir/sim_runtime.cc.o"
+  "CMakeFiles/labstor_core.dir/sim_runtime.cc.o.d"
+  "CMakeFiles/labstor_core.dir/stack.cc.o"
+  "CMakeFiles/labstor_core.dir/stack.cc.o.d"
+  "liblabstor_core.a"
+  "liblabstor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labstor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labstor_ipc.dir/ipc_manager.cc.o"
+  "CMakeFiles/labstor_ipc.dir/ipc_manager.cc.o.d"
+  "CMakeFiles/labstor_ipc.dir/shmem.cc.o"
+  "CMakeFiles/labstor_ipc.dir/shmem.cc.o.d"
+  "liblabstor_ipc.a"
+  "liblabstor_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labstor_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labstor_kernelsim.dir/access_api.cc.o"
+  "CMakeFiles/labstor_kernelsim.dir/access_api.cc.o.d"
+  "CMakeFiles/labstor_kernelsim.dir/kernel_fs.cc.o"
+  "CMakeFiles/labstor_kernelsim.dir/kernel_fs.cc.o.d"
+  "liblabstor_kernelsim.a"
+  "liblabstor_kernelsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labstor_kernelsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

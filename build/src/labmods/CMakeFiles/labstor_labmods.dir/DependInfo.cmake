@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labmods/adaptive_cache.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/adaptive_cache.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/adaptive_cache.cc.o.d"
+  "/root/repo/src/labmods/block_allocator.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/block_allocator.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/block_allocator.cc.o.d"
+  "/root/repo/src/labmods/compress.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/compress.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/compress.cc.o.d"
+  "/root/repo/src/labmods/consistency.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/consistency.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/consistency.cc.o.d"
+  "/root/repo/src/labmods/drivers.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/drivers.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/drivers.cc.o.d"
+  "/root/repo/src/labmods/dummy.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/dummy.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/dummy.cc.o.d"
+  "/root/repo/src/labmods/fslog.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/fslog.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/fslog.cc.o.d"
+  "/root/repo/src/labmods/genericfs.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/genericfs.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/genericfs.cc.o.d"
+  "/root/repo/src/labmods/generickvs.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/generickvs.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/generickvs.cc.o.d"
+  "/root/repo/src/labmods/labfs.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/labfs.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/labfs.cc.o.d"
+  "/root/repo/src/labmods/labkvs.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/labkvs.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/labkvs.cc.o.d"
+  "/root/repo/src/labmods/lru_cache.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/lru_cache.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/lru_cache.cc.o.d"
+  "/root/repo/src/labmods/lz77.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/lz77.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/lz77.cc.o.d"
+  "/root/repo/src/labmods/permissions.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/permissions.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/permissions.cc.o.d"
+  "/root/repo/src/labmods/schedulers.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/schedulers.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/schedulers.cc.o.d"
+  "/root/repo/src/labmods/uring_driver.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/uring_driver.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/uring_driver.cc.o.d"
+  "/root/repo/src/labmods/zns_driver.cc" "src/labmods/CMakeFiles/labstor_labmods.dir/zns_driver.cc.o" "gcc" "src/labmods/CMakeFiles/labstor_labmods.dir/zns_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for labstor_labmods.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labstor_pfs.dir/mini_pfs.cc.o"
+  "CMakeFiles/labstor_pfs.dir/mini_pfs.cc.o.d"
+  "liblabstor_pfs.a"
+  "liblabstor_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labstor_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labstor_sim.dir/environment.cc.o"
+  "CMakeFiles/labstor_sim.dir/environment.cc.o.d"
+  "liblabstor_sim.a"
+  "liblabstor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labstor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblabstor_sim.a"
+)

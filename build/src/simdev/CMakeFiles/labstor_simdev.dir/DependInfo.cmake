@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdev/registry.cc" "src/simdev/CMakeFiles/labstor_simdev.dir/registry.cc.o" "gcc" "src/simdev/CMakeFiles/labstor_simdev.dir/registry.cc.o.d"
+  "/root/repo/src/simdev/sim_device.cc" "src/simdev/CMakeFiles/labstor_simdev.dir/sim_device.cc.o" "gcc" "src/simdev/CMakeFiles/labstor_simdev.dir/sim_device.cc.o.d"
+  "/root/repo/src/simdev/sparse_store.cc" "src/simdev/CMakeFiles/labstor_simdev.dir/sparse_store.cc.o" "gcc" "src/simdev/CMakeFiles/labstor_simdev.dir/sparse_store.cc.o.d"
+  "/root/repo/src/simdev/timing_model.cc" "src/simdev/CMakeFiles/labstor_simdev.dir/timing_model.cc.o" "gcc" "src/simdev/CMakeFiles/labstor_simdev.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/labstor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/labstor_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labstor_simdev.dir/registry.cc.o"
+  "CMakeFiles/labstor_simdev.dir/registry.cc.o.d"
+  "CMakeFiles/labstor_simdev.dir/sim_device.cc.o"
+  "CMakeFiles/labstor_simdev.dir/sim_device.cc.o.d"
+  "CMakeFiles/labstor_simdev.dir/sparse_store.cc.o"
+  "CMakeFiles/labstor_simdev.dir/sparse_store.cc.o.d"
+  "CMakeFiles/labstor_simdev.dir/timing_model.cc.o"
+  "CMakeFiles/labstor_simdev.dir/timing_model.cc.o.d"
+  "liblabstor_simdev.a"
+  "liblabstor_simdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labstor_simdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labstorctl.dir/labstorctl.cc.o"
+  "CMakeFiles/labstorctl.dir/labstorctl.cc.o.d"
+  "labstorctl"
+  "labstorctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labstorctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

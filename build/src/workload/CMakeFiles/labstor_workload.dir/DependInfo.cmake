@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/filebench.cc" "src/workload/CMakeFiles/labstor_workload.dir/filebench.cc.o" "gcc" "src/workload/CMakeFiles/labstor_workload.dir/filebench.cc.o.d"
+  "/root/repo/src/workload/fio.cc" "src/workload/CMakeFiles/labstor_workload.dir/fio.cc.o" "gcc" "src/workload/CMakeFiles/labstor_workload.dir/fio.cc.o.d"
+  "/root/repo/src/workload/fxmark.cc" "src/workload/CMakeFiles/labstor_workload.dir/fxmark.cc.o" "gcc" "src/workload/CMakeFiles/labstor_workload.dir/fxmark.cc.o.d"
+  "/root/repo/src/workload/labios.cc" "src/workload/CMakeFiles/labstor_workload.dir/labios.cc.o" "gcc" "src/workload/CMakeFiles/labstor_workload.dir/labios.cc.o.d"
+  "/root/repo/src/workload/vpic.cc" "src/workload/CMakeFiles/labstor_workload.dir/vpic.cc.o" "gcc" "src/workload/CMakeFiles/labstor_workload.dir/vpic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/labstor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdev/CMakeFiles/labstor_simdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/labstor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labstor_workload.dir/filebench.cc.o"
+  "CMakeFiles/labstor_workload.dir/filebench.cc.o.d"
+  "CMakeFiles/labstor_workload.dir/fio.cc.o"
+  "CMakeFiles/labstor_workload.dir/fio.cc.o.d"
+  "CMakeFiles/labstor_workload.dir/fxmark.cc.o"
+  "CMakeFiles/labstor_workload.dir/fxmark.cc.o.d"
+  "CMakeFiles/labstor_workload.dir/labios.cc.o"
+  "CMakeFiles/labstor_workload.dir/labios.cc.o.d"
+  "CMakeFiles/labstor_workload.dir/vpic.cc.o"
+  "CMakeFiles/labstor_workload.dir/vpic.cc.o.d"
+  "liblabstor_workload.a"
+  "liblabstor_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labstor_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execve.dir/execve_test.cc.o"
+  "CMakeFiles/test_execve.dir/execve_test.cc.o.d"
+  "test_execve"
+  "test_execve.pdb"
+  "test_execve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelsim.dir/kernelsim_test.cc.o"
+  "CMakeFiles/test_kernelsim.dir/kernelsim_test.cc.o.d"
+  "test_kernelsim"
+  "test_kernelsim.pdb"
+  "test_kernelsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labfs.dir/labfs_test.cc.o"
+  "CMakeFiles/test_labfs.dir/labfs_test.cc.o.d"
+  "test_labfs"
+  "test_labfs.pdb"
+  "test_labfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

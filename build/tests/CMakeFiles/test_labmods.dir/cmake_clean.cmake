@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labmods.dir/labmods_test.cc.o"
+  "CMakeFiles/test_labmods.dir/labmods_test.cc.o.d"
+  "test_labmods"
+  "test_labmods.pdb"
+  "test_labmods[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labmods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

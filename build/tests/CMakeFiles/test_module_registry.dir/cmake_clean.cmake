@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_module_registry.dir/module_registry_test.cc.o"
+  "CMakeFiles/test_module_registry.dir/module_registry_test.cc.o.d"
+  "test_module_registry"
+  "test_module_registry.pdb"
+  "test_module_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_module_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

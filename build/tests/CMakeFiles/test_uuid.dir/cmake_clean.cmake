@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uuid.dir/uuid_test.cc.o"
+  "CMakeFiles/test_uuid.dir/uuid_test.cc.o.d"
+  "test_uuid"
+  "test_uuid.pdb"
+  "test_uuid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uuid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

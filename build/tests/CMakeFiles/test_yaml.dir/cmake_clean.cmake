@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yaml.dir/yaml_test.cc.o"
+  "CMakeFiles/test_yaml.dir/yaml_test.cc.o.d"
+  "test_yaml"
+  "test_yaml.pdb"
+  "test_yaml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zns.dir/zns_test.cc.o"
+  "CMakeFiles/test_zns.dir/zns_test.cc.o.d"
+  "test_zns"
+  "test_zns.pdb"
+  "test_zns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

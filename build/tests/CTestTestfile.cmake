@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_status[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_uuid[1]_include.cmake")
+include("/root/repo/build/tests/test_bitmap[1]_include.cmake")
+include("/root/repo/build/tests/test_ring_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_arena[1]_include.cmake")
+include("/root/repo/build/tests/test_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_yaml[1]_include.cmake")
+include("/root/repo/build/tests/test_string_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_simdev[1]_include.cmake")
+include("/root/repo/build/tests/test_ipc[1]_include.cmake")
+include("/root/repo/build/tests/test_orchestrator[1]_include.cmake")
+include("/root/repo/build/tests/test_module_registry[1]_include.cmake")
+include("/root/repo/build/tests/test_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_labmods[1]_include.cmake")
+include("/root/repo/build/tests/test_labfs[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_kernelsim[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_param[1]_include.cmake")
+include("/root/repo/build/tests/test_failure[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_zns[1]_include.cmake")
+include("/root/repo/build/tests/test_execve[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
