@@ -102,12 +102,19 @@ void Report(const char* label, const Breakdown& b) {
                   Fmt("%.1f%%", 100.0 * ns / total)});
   };
   add("device I/O", static_cast<double>(b.device));
-  add("page cache (LRU)", static_cast<double>(b.trace.SoftwareFor("cache")));
   add("IPC (shared memory)", static_cast<double>(b.ipc));
-  add("I/O scheduler (NoOp)", static_cast<double>(b.trace.SoftwareFor("sched")));
-  add("FS metadata (LabFS)", static_cast<double>(b.trace.SoftwareFor("labfs")));
-  add("permissions", static_cast<double>(b.trace.SoftwareFor("permissions")));
-  add("driver", static_cast<double>(b.trace.SoftwareFor("kernel_driver")));
+  // Software rows come straight from the ledger's Summarize() (stack
+  // order), mapped onto the figure's component labels.
+  const auto friendly = [](std::string_view component) -> std::string {
+    if (component == "cache") return "page cache (LRU)";
+    if (component == "sched") return "I/O scheduler (NoOp)";
+    if (component == "labfs") return "FS metadata (LabFS)";
+    if (component == "kernel_driver") return "driver";
+    return std::string(component);
+  };
+  for (const core::ExecTrace::ComponentTotal& t : b.trace.Summarize()) {
+    add(friendly(t.component), static_cast<double>(t.total));
+  }
   table.AddRow({"total", Fmt("%.2f", total / 1000.0), "100.0%"});
   table.Print();
 }

@@ -25,7 +25,8 @@ struct Sample {
   double busy_cores = 0;
 };
 
-Sample RunOnce(uint32_t clients, const std::string& config) {
+Sample RunOnce(uint32_t clients, const std::string& config,
+               telemetry::Telemetry* tel = nullptr) {
   sim::Environment env;
   simdev::DeviceRegistry devices(&env);
   if (!devices.Create(simdev::DeviceParams::NvmeP3700(1ull << 30)).ok()) {
@@ -33,6 +34,7 @@ Sample RunOnce(uint32_t clients, const std::string& config) {
   }
   constexpr size_t kMaxWorkers = 8;
   core::SimRuntime rt(env, devices, kMaxWorkers);
+  if (tel != nullptr) rt.AttachTelemetry(tel);
   auto stack = rt.MountYaml(
       "mount: blk::/cpu\n"
       "dag:\n"
@@ -95,5 +97,10 @@ int main() {
       "\nPaper shape: 1 worker saturates beyond ~2-4 clients (IOPS gap vs 8\n"
       "workers); 8 workers hit max IOPS at higher CPU cost; dynamic matches\n"
       "max IOPS while using roughly half the cores.\n");
+  // Replay one representative configuration with telemetry attached
+  // and dump the metrics scrape + Perfetto trace next to the results.
+  labstor::telemetry::Telemetry tel;
+  (void)RunOnce(4, "dynamic", &tel);
+  DumpTelemetry(tel, "bench_orchestrator_cpu");
   return 0;
 }

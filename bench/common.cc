@@ -2,6 +2,21 @@
 
 namespace labstor::bench {
 
+void DumpTelemetry(const telemetry::Telemetry& tel, const std::string& name) {
+  const std::string metrics_path = name + "_metrics.json";
+  const std::string trace_path = name + "_trace.json";
+  std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+  if (f != nullptr) {
+    const std::string json = tel.MetricsJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  const Status st = tel.trace().WriteFile(trace_path);
+  std::printf("telemetry: %s + %s (%zu events%s)\n", metrics_path.c_str(),
+              trace_path.c_str(), tel.trace().recorded(),
+              st.ok() ? "" : ", trace write FAILED");
+}
+
 std::string LabAllFsStack(const std::string& mount, const std::string& tag,
                           const std::string& device) {
   return "mount: " + mount +

@@ -11,6 +11,7 @@
 #include "core/sim_runtime.h"
 #include "kernelsim/access_api.h"
 #include "kernelsim/kernel_fs.h"
+#include "telemetry/telemetry.h"
 #include "workload/target.h"
 
 namespace labstor::bench {
@@ -60,6 +61,12 @@ inline std::string Fmt(const char* format, double value) {
   std::snprintf(buf, sizeof(buf), format, value);
   return buf;
 }
+
+// Telemetry dump hook: every bench that attaches a Telemetry calls
+// this once to drop `<name>_metrics.json` (merged registry scrape) and
+// `<name>_trace.json` (Perfetto-loadable Chrome trace) next to its
+// printed results.
+void DumpTelemetry(const telemetry::Telemetry& tel, const std::string& name);
 
 // ---------------------------------------------------------------
 // Standard LabStack YAML (the paper's Lab-All / Lab-Min / Lab-D).

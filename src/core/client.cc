@@ -41,6 +41,12 @@ Status Client::Execute(ipc::Request& req, Stack& stack) {
 
 Status Client::SubmitWithBackpressure(ipc::Request& req) {
   if (!connected()) return Status::FailedPrecondition("client not connected");
+  if (telemetry::Telemetry* tel = runtime_.telemetry();
+      tel != nullptr && tel->enabled()) {
+    // Queue-wait accounting: stamped on the runtime's epoch clock and
+    // read back by the worker that dequeues the request.
+    req.submit_ns = tel->NowNs();
+  }
   // Submission fails when the ring is full or the queue is quiesced
   // for an upgrade; both clear on their own.
   for (int spin = 0; spin < 50'000'000; ++spin) {

@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/environment.h"
 #include "simdev/sim_device.h"
+#include "telemetry/telemetry.h"
 
 namespace labstor::core {
 
@@ -33,7 +35,41 @@ class ExecTrace {
     // Async ops (log appends, group-committed journal writes) occupy
     // the device but do not delay request completion.
     bool async = false;
+
+    // Short human/trace label: "read 4096B ch0" (+" async").
+    std::string Summary() const {
+      std::string s(op == simdev::IoOp::kRead ? "read" : "write");
+      s += ' ';
+      s += std::to_string(length);
+      s += "B ch";
+      s += std::to_string(channel);
+      if (async) s += " async";
+      return s;
+    }
   };
+
+  // Per-component software totals in first-appearance order (the
+  // ledger's natural stack order) — the shared aggregation behind the
+  // TraceRecorder wiring and bench_anatomy's table.
+  struct ComponentTotal {
+    std::string_view component;
+    sim::Time total = 0;
+  };
+  std::vector<ComponentTotal> Summarize() const {
+    std::vector<ComponentTotal> totals;
+    for (const SwEntry& e : sw_) {
+      bool found = false;
+      for (ComponentTotal& t : totals) {
+        if (t.component == e.component) {
+          t.total += e.cost;
+          found = true;
+          break;
+        }
+      }
+      if (!found) totals.push_back(ComponentTotal{e.component, e.cost});
+    }
+    return totals;
+  }
 
   void Charge(std::string_view component, sim::Time cost) {
     sw_.push_back(SwEntry{component, cost});
@@ -57,6 +93,37 @@ class ExecTrace {
       if (e.component == component) total += e.cost;
     }
     return total;
+  }
+
+  // Telemetry tap: publish this ledger's per-mod software charges and
+  // device ops as sharded metrics under `mod.<component>.charged_ns` /
+  // `device.<r|w>.{ops,bytes}`. Mods keep calling Charge()/Device()
+  // unchanged; the runtime taps the ledger once per request.
+  void PublishTo(telemetry::Telemetry& tel, uint32_t worker) const {
+    telemetry::MetricsRegistry& metrics = tel.metrics();
+    for (const ComponentTotal& t : Summarize()) {
+      metrics
+          .GetCounter("mod." + std::string(t.component) + ".charged_ns")
+          ->Add(t.total, worker);
+    }
+    uint64_t read_ops = 0, read_bytes = 0, write_ops = 0, write_bytes = 0;
+    for (const DevOp& op : dev_ops_) {
+      if (op.op == simdev::IoOp::kRead) {
+        ++read_ops;
+        read_bytes += op.length;
+      } else {
+        ++write_ops;
+        write_bytes += op.length;
+      }
+    }
+    if (read_ops != 0) {
+      metrics.GetCounter("device.read.ops")->Add(read_ops, worker);
+      metrics.GetCounter("device.read.bytes")->Add(read_bytes, worker);
+    }
+    if (write_ops != 0) {
+      metrics.GetCounter("device.write.ops")->Add(write_ops, worker);
+      metrics.GetCounter("device.write.bytes")->Add(write_bytes, worker);
+    }
   }
 
   void Clear() {

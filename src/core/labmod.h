@@ -50,6 +50,10 @@ struct ModContext {
   simdev::DeviceRegistry* devices = nullptr;
   const sim::SoftwareCosts* costs = &sim::DefaultCosts();
   uint32_t num_workers = 1;
+  // Optional metrics/tracing sink (nullptr = telemetry off, zero
+  // cost). Mods that keep private stats (cache hit/miss) mirror them
+  // here; the per-mod span capture lives in StackExec/SimRuntime.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class LabMod {

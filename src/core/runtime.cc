@@ -17,6 +17,16 @@ Runtime::Runtime(Options options, simdev::DeviceRegistry& devices)
   }
   mod_context_.devices = &devices_;
   mod_context_.num_workers = static_cast<uint32_t>(options_.max_workers);
+  mod_context_.telemetry = options_.telemetry;
+  if (telemetry::Telemetry* tel = options_.telemetry; tel != nullptr) {
+    telemetry::MetricsRegistry& m = tel->metrics();
+    wired_.worker_requests = m.GetCounter("runtime.worker.requests");
+    wired_.exec_ns = m.GetHistogram("runtime.worker.exec_ns");
+    wired_.queue_wait_ns = m.GetHistogram("ipc.queue.wait_ns");
+    wired_.queue_depth = m.GetHistogram("ipc.queue.depth");
+    wired_.rebalances = m.GetCounter("orchestrator.rebalance.count");
+    wired_.active_workers = m.GetGauge("orchestrator.workers.active");
+  }
 }
 
 Runtime::~Runtime() {
@@ -103,6 +113,10 @@ Status Runtime::Execute(ipc::Request& req) {
   const Status st = exec.Dispatch(req);
   req.Complete(st.ok() ? StatusCode::kOk : st.code(), req.result_u64);
   requests_processed_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::Telemetry* tel = options_.telemetry;
+      tel != nullptr && tel->enabled()) {
+    trace.PublishTo(*tel, req.worker);
+  }
   return st;
 }
 
@@ -148,6 +162,7 @@ std::vector<ipc::QueuePair*> Runtime::SnapshotQueues(size_t worker_id) const {
 }
 
 void Runtime::WorkerLoop(size_t worker_id) {
+  telemetry::Telemetry* tel = options_.telemetry;
   while (!stop_.load(std::memory_order_acquire)) {
     const std::vector<ipc::QueuePair*> queues = SnapshotQueues(worker_id);
     bool did_work = false;
@@ -161,6 +176,19 @@ void Runtime::WorkerLoop(size_t worker_id) {
       in_flight_.fetch_add(1, std::memory_order_acq_rel);
       ipc::Request* req = *polled;
       req->worker = static_cast<uint32_t>(worker_id);
+      if (tel != nullptr && tel->enabled()) {
+        // Queue wait = dequeue time minus the client's submit stamp
+        // (same epoch clock), emitted as the request's "queue" span.
+        const uint64_t now = tel->NowNs();
+        if (req->submit_ns != 0 && now >= req->submit_ns) {
+          wired_.queue_wait_ns->Record(now - req->submit_ns, worker_id);
+          tel->trace().Span(static_cast<uint32_t>(worker_id),
+                            telemetry::kCatQueue, "queue.wait",
+                            req->submit_ns, now - req->submit_ns, "qid",
+                            qp->id());
+        }
+        wired_.queue_depth->Record(qp->PendingSubmissions(), worker_id);
+      }
       const auto t0 = std::chrono::steady_clock::now();
       (void)Execute(*req);
       // Feed the measured processing time back to the orchestrator as
@@ -177,6 +205,10 @@ void Runtime::WorkerLoop(size_t worker_id) {
       qp->total_completed.fetch_add(1, std::memory_order_relaxed);
       (void)qp->Complete(req);
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      if (tel != nullptr && tel->enabled()) {
+        wired_.worker_requests->Inc(worker_id);
+        wired_.exec_ns->Record(ns, worker_id);
+      }
       did_work = true;
     }
     if (!did_work) {
@@ -205,6 +237,9 @@ void Runtime::AdminLoop() {
 }
 
 void Runtime::Rebalance() {
+  telemetry::Telemetry* tel = options_.telemetry;
+  const bool instrument = tel != nullptr && tel->enabled();
+  const uint64_t t0 = instrument ? tel->NowNs() : 0;
   std::vector<QueueLoad> loads;
   for (ipc::QueuePair* qp : ipc_.PrimaryQueues()) {
     QueueLoad load;
@@ -216,6 +251,17 @@ void Runtime::Rebalance() {
   }
   const Assignment assignment =
       options_.orchestrator->Rebalance(loads, options_.max_workers);
+  if (instrument) {
+    size_t commissioned = 0;
+    for (const auto& queues : assignment.worker_queues) {
+      if (!queues.empty()) ++commissioned;
+    }
+    wired_.rebalances->Inc();
+    wired_.active_workers->Set(static_cast<int64_t>(commissioned));
+    tel->trace().Span(0, telemetry::kCatOrchestrator,
+                      std::string(options_.orchestrator->name()) + ".rebalance",
+                      t0, tel->NowNs() - t0, "workers", commissioned);
+  }
   std::lock_guard<std::mutex> lock(assign_mu_);
   assignments_.assign(options_.max_workers, {});
   for (size_t w = 0; w < assignment.worker_queues.size() &&

@@ -42,6 +42,9 @@ class Runtime {
     std::chrono::microseconds worker_idle_sleep{100};
     ipc::IpcManager::Options ipc;
     StackNamespace::Options ns;
+    // Optional metrics/tracing sink (not owned; must outlive the
+    // Runtime). nullptr keeps every instrumentation site inert.
+    telemetry::Telemetry* telemetry = nullptr;
   };
 
   Runtime(Options options, simdev::DeviceRegistry& devices);
@@ -91,6 +94,7 @@ class Runtime {
   ModuleManager& module_manager() { return module_manager_; }
   simdev::DeviceRegistry& devices() { return devices_; }
   ModContext& mod_context() { return mod_context_; }
+  telemetry::Telemetry* telemetry() const { return options_.telemetry; }
   bool running() const { return running_.load(std::memory_order_acquire); }
   size_t active_workers() const;
   uint64_t requests_processed() const {
@@ -98,6 +102,17 @@ class Runtime {
   }
 
  private:
+  // Hot-path metric handles, resolved once at construction so worker
+  // loops never hit the registry map (see MetricsRegistry docs).
+  struct WiredMetrics {
+    telemetry::Counter* worker_requests = nullptr;
+    telemetry::LatencyHistogram* exec_ns = nullptr;
+    telemetry::LatencyHistogram* queue_wait_ns = nullptr;
+    telemetry::LatencyHistogram* queue_depth = nullptr;
+    telemetry::Counter* rebalances = nullptr;
+    telemetry::Gauge* active_workers = nullptr;
+  };
+
   void WorkerLoop(size_t worker_id);
   void AdminLoop();
   void Rebalance();
@@ -113,6 +128,7 @@ class Runtime {
   StackNamespace namespace_;
   ModuleManager module_manager_;
   ModContext mod_context_;
+  WiredMetrics wired_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};

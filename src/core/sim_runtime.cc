@@ -28,6 +28,12 @@ Result<Stack*> SimRuntime::MountYaml(const std::string& yaml) {
   return Mount(spec);
 }
 
+void SimRuntime::AttachTelemetry(telemetry::Telemetry* tel) {
+  tel_ = tel;
+  ctx_.telemetry = tel;
+  if (tel != nullptr) tel->set_virtual_time(true);
+}
+
 void SimRuntime::RegisterQueue(uint32_t qid, sim::Time est_processing) {
   QueueState state;
   state.est_processing = est_processing;
@@ -46,6 +52,17 @@ void SimRuntime::ApplyAssignment(const Assignment& assignment) {
         worker_active_[w] = true;
       }
     }
+  }
+  if (Traced()) {
+    const size_t active = ActiveWorkers();
+    tel_->metrics().GetCounter("orchestrator.rebalance.count")->Inc();
+    tel_->metrics()
+        .GetGauge("orchestrator.workers.active")
+        ->Set(static_cast<int64_t>(active));
+    // The decision itself is instantaneous in virtual time (dur 0);
+    // the span marks *when* the load was repartitioned.
+    tel_->trace().Span(0, telemetry::kCatOrchestrator, "rebalance",
+                       env_.now(), 0, "workers", active);
   }
 }
 
@@ -82,6 +99,15 @@ void SimRuntime::StartRebalancer(WorkOrchestrator* policy, sim::Time period) {
   env_.Spawn(RebalanceLoop(policy, period));
 }
 
+sim::Task<void> SimRuntime::TimedDevOp(ExecTrace::DevOp op, uint32_t worker) {
+  const sim::Time t0 = env_.now();
+  co_await op.device->OccupyTimed(op.op, op.channel, op.offset, op.length);
+  if (Traced()) {
+    tel_->trace().Span(worker, telemetry::kCatDevice, op.Summary(), t0,
+                       env_.now() - t0, "channel", op.channel);
+  }
+}
+
 sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
                                       ipc::Request& req) {
   // Functional execution is immediate; the trace carries the time.
@@ -92,20 +118,39 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
                                          : qid % workers_.size());
   const Status st = exec.Dispatch(req);
   req.Complete(st.ok() ? StatusCode::kOk : st.code(), req.result_u64);
+  const sim::Time submitted = env_.now();
+  // Replays the ledger as per-mod "mod" spans in virtual time: spans
+  // are stamped arithmetically across the one Delay covering the
+  // worker visit, so tracing never perturbs the event schedule.
+  const auto emit_mod_spans = [this](const ExecTrace& t, sim::Time at,
+                                     uint32_t wid) {
+    for (const ExecTrace::SwEntry& e : t.software()) {
+      tel_->trace().Span(wid, telemetry::kCatMod, std::string(e.component),
+                         at, e.cost);
+      at += e.cost;
+    }
+  };
 
   if (stack.exec_mode() == ExecMode::kSync) {
     // Decentralized: all software runs in the client; no IPC.
+    const sim::Time sw_start = env_.now();
     co_await env_.Delay(trace.TotalSoftware());
+    if (Traced()) emit_mod_spans(trace, sw_start, req.worker);
     for (const ExecTrace::DevOp& op : trace.device_ops()) {
       if (op.async) {
-        env_.Spawn(
-            op.device->OccupyTimed(op.op, op.channel, op.offset, op.length));
+        env_.Spawn(TimedDevOp(op, req.worker));
       } else {
-        co_await op.device->OccupyTimed(op.op, op.channel, op.offset,
-                                        op.length);
+        co_await TimedDevOp(op, req.worker);
       }
     }
     ++requests_done_;
+    if (Traced()) {
+      trace.PublishTo(*tel_, req.worker);
+      tel_->metrics().GetCounter("runtime.worker.requests")->Inc(req.worker);
+      tel_->metrics()
+          .GetHistogram("runtime.request.latency_ns")
+          ->Record(env_.now() - submitted, req.worker);
+    }
     co_return st;
   }
 
@@ -116,10 +161,24 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
   ++queue.arrivals_in_epoch;
   sim::Resource& worker = *workers_[queue.worker % workers_.size()];
   const size_t wid = queue.worker % workers_.size();
+  const sim::Time enqueued = env_.now();
   co_await worker.Acquire();
   --queue.backlog;
+  if (Traced()) {
+    tel_->trace().Span(static_cast<uint32_t>(wid), telemetry::kCatQueue,
+                       "queue.wait", enqueued, env_.now() - enqueued, "qid",
+                       qid);
+    tel_->metrics()
+        .GetHistogram("ipc.queue.wait_ns")
+        ->Record(env_.now() - enqueued, wid);
+    tel_->metrics().GetHistogram("ipc.queue.depth")->Record(queue.backlog, wid);
+  }
   sim::Time start = env_.now();
   co_await env_.Delay(costs_.worker_poll + trace.TotalSoftware());
+  if (Traced()) {
+    emit_mod_spans(trace, start + costs_.worker_poll,
+                   static_cast<uint32_t>(wid));
+  }
   busy_ns_[wid] += env_.now() - start;
   ++worker_requests_[wid];
   worker.Release();
@@ -129,10 +188,9 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
   bool waited_on_device = false;
   for (const ExecTrace::DevOp& op : trace.device_ops()) {
     if (op.async) {
-      env_.Spawn(
-          op.device->OccupyTimed(op.op, op.channel, op.offset, op.length));
+      env_.Spawn(TimedDevOp(op, static_cast<uint32_t>(wid)));
     } else {
-      co_await op.device->OccupyTimed(op.op, op.channel, op.offset, op.length);
+      co_await TimedDevOp(op, static_cast<uint32_t>(wid));
       waited_on_device = true;
     }
   }
@@ -150,6 +208,13 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
   }
   co_await env_.Delay(costs_.shm_complete);
   ++requests_done_;
+  if (Traced()) {
+    trace.PublishTo(*tel_, static_cast<uint32_t>(wid));
+    tel_->metrics().GetCounter("runtime.worker.requests")->Inc(wid);
+    tel_->metrics()
+        .GetHistogram("runtime.request.latency_ns")
+        ->Record(env_.now() - submitted, wid);
+  }
   co_return st;
 }
 

@@ -55,6 +55,14 @@ class SimRuntime {
   // alive). Runs until the environment drains.
   void StartRebalancer(WorkOrchestrator* policy, sim::Time period);
 
+  // --- telemetry ---
+  // Attach a metrics/trace sink (not owned; must outlive the
+  // SimRuntime). Switches it to virtual time: every span below is
+  // stamped with sim::Environment::now(), so the exported Chrome
+  // trace renders the DES timeline exactly as a real-mode one.
+  void AttachTelemetry(telemetry::Telemetry* tel);
+  telemetry::Telemetry* telemetry() const { return tel_; }
+
   // --- stats ---
   // Average number of busy cores over [0, elapsed].
   double AvgBusyCores(sim::Time elapsed) const;
@@ -76,6 +84,9 @@ class SimRuntime {
 
   sim::Task<void> RebalanceLoop(WorkOrchestrator* policy, sim::Time period);
   std::vector<QueueLoad> SnapshotLoads() const;
+  // Occupy the device for `op`, emitting a "device" span when traced.
+  sim::Task<void> TimedDevOp(ExecTrace::DevOp op, uint32_t worker);
+  bool Traced() const { return tel_ != nullptr && tel_->enabled(); }
 
   sim::Environment& env_;
   const sim::SoftwareCosts& costs_;
@@ -89,6 +100,7 @@ class SimRuntime {
   std::vector<bool> worker_active_;
   std::unordered_map<uint32_t, QueueState> queues_;
   uint64_t requests_done_ = 0;
+  telemetry::Telemetry* tel_ = nullptr;
 };
 
 }  // namespace labstor::core

@@ -54,7 +54,20 @@ class StackExec {
  private:
   Status RunVertex(size_t idx, ipc::Request& req) {
     call_stack_.push_back(idx);
-    const Status st = stack_.vertices[idx].mod->Process(req, *this);
+    Status st;
+    // Real-mode per-mod spans (nested "mod" events, one per vertex).
+    // Sim mode reconstructs these from the ExecTrace ledger in virtual
+    // time instead, so wall-clock capture switches itself off there.
+    telemetry::Telemetry* tel = ctx_.telemetry;
+    if (tel != nullptr && tel->enabled() && !tel->virtual_time()) {
+      const uint64_t t0 = tel->NowNs();
+      st = stack_.vertices[idx].mod->Process(req, *this);
+      tel->trace().Span(req.worker, telemetry::kCatMod,
+                        stack_.vertices[idx].mod->mod_name(), t0,
+                        tel->NowNs() - t0);
+    } else {
+      st = stack_.vertices[idx].mod->Process(req, *this);
+    }
     call_stack_.pop_back();
     return st;
   }

@@ -84,6 +84,10 @@ struct Request {
   // Worker executing this request (feeds LabFS's per-worker block
   // allocator). Set by the runtime worker / sync-mode dispatcher.
   uint32_t worker = 0;
+  // Submission timestamp on the runtime's telemetry epoch clock
+  // (0 = not stamped). The draining worker turns it into queue-wait
+  // metrics and "queue" trace spans.
+  uint64_t submit_ns = 0;
 
   // Payload lives in the same shared segment; the queue moves only the
   // Request pointer (the zero-copy property the paper relies on).

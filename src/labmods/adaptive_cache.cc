@@ -10,7 +10,12 @@ namespace labstor::labmods {
 
 Status AdaptiveCacheMod::Init(const yaml::NodePtr& params,
                               core::ModContext& ctx) {
-  (void)ctx;
+  if (ctx.telemetry != nullptr) {
+    hits_metric_ =
+        ctx.telemetry->metrics().GetCounter("cache.adaptive_cache.hits");
+    misses_metric_ =
+        ctx.telemetry->metrics().GetCounter("cache.adaptive_cache.misses");
+  }
   if (params != nullptr) {
     capacity_pages_ = params->GetUint("capacity_pages", 4096);
     decay_ = params->GetDouble("decay", 0.999);
@@ -117,10 +122,12 @@ Status AdaptiveCacheMod::Process(ipc::Request& req, core::StackExec& exec) {
                                        costs.CopyCost(req.length));
       if (all_hit) {
         ++hits_;
+        if (hits_metric_ != nullptr) hits_metric_->Inc(req.worker);
         req.result_u64 = req.length;
         return Status::Ok();
       }
       ++misses_;
+      if (misses_metric_ != nullptr) misses_metric_->Inc(req.worker);
       LABSTOR_RETURN_IF_ERROR(exec.Forward(req));
       if (req.data != nullptr) {
         std::lock_guard<std::mutex> lock(mu_);

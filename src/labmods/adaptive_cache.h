@@ -55,6 +55,10 @@ class AdaptiveCacheMod final : public core::LabMod {
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  // Telemetry mirrors (cache.adaptive_cache.{hits,misses}); null when
+  // the runtime has no telemetry attached.
+  telemetry::Counter* hits_metric_ = nullptr;
+  telemetry::Counter* misses_metric_ = nullptr;
 };
 
 }  // namespace labstor::labmods

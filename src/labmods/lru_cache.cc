@@ -7,7 +7,11 @@
 namespace labstor::labmods {
 
 Status LruCacheMod::Init(const yaml::NodePtr& params, core::ModContext& ctx) {
-  (void)ctx;
+  if (ctx.telemetry != nullptr) {
+    hits_metric_ = ctx.telemetry->metrics().GetCounter("cache.lru_cache.hits");
+    misses_metric_ =
+        ctx.telemetry->metrics().GetCounter("cache.lru_cache.misses");
+  }
   if (params != nullptr) {
     capacity_pages_ = params->GetUint("capacity_pages", 4096);
   }
@@ -91,12 +95,14 @@ Status LruCacheMod::Process(ipc::Request& req, core::StackExec& exec) {
       }
       if (all_hit) {
         ++hits_;
+        if (hits_metric_ != nullptr) hits_metric_->Inc(req.worker);
         exec.trace().Charge("cache", costs.lru_cache_fixed +
                                          costs.CopyCost(req.length));
         req.result_u64 = req.length;
         return Status::Ok();
       }
       ++misses_;
+      if (misses_metric_ != nullptr) misses_metric_->Inc(req.worker);
       exec.trace().Charge("cache", costs.lru_cache_fixed +
                                        costs.CopyCost(req.length));
       LABSTOR_RETURN_IF_ERROR(exec.Forward(req));

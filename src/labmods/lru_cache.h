@@ -51,6 +51,10 @@ class LruCacheMod final : public core::LabMod {
   std::unordered_map<uint64_t, LruList::iterator> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  // Telemetry mirrors of hits_/misses_ (cache.lru_cache.{hits,misses});
+  // null when the runtime has no telemetry attached.
+  telemetry::Counter* hits_metric_ = nullptr;
+  telemetry::Counter* misses_metric_ = nullptr;
 };
 
 }  // namespace labstor::labmods

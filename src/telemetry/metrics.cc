@@ -1,0 +1,170 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace labstor::telemetry {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Counter::Counter(size_t shards)
+    : slots_(RoundUpPow2(shards)), mask_(slots_.size() - 1) {}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Slot& slot : slots_) slot.value.store(0, std::memory_order_relaxed);
+}
+
+LatencyHistogram::LatencyHistogram(size_t shards) {
+  const size_t n = RoundUpPow2(shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  mask_ = n - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value, size_t shard) {
+  Shard& s = *shards_[shard & mask_];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.histogram.Record(value);
+}
+
+Histogram LatencyHistogram::Merged() const {
+  Histogram merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    merged.Merge(shard->histogram);
+  }
+  return merged;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->histogram.Reset();
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ":{\"count\":%llu,\"mean\":%.1f,\"min\":%llu,\"p50\":%llu,"
+                  "\"p90\":%llu,\"p99\":%llu,\"max\":%llu}",
+                  static_cast<unsigned long long>(h.count()), h.Mean(),
+                  static_cast<unsigned long long>(h.Min()),
+                  static_cast<unsigned long long>(h.Percentile(50)),
+                  static_cast<unsigned long long>(h.Percentile(90)),
+                  static_cast<unsigned long long>(h.Percentile(99)),
+                  static_cast<unsigned long long>(h.Max()));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry(size_t shards)
+    : shards_(RoundUpPow2(shards == 0 ? 1 : shards)) {}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(shards_);
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>(shards_);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Scrape() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Merged();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace labstor::telemetry

@@ -1,0 +1,123 @@
+// MetricsRegistry: lock-light, sharded runtime metrics.
+//
+// Counters/gauges/latency histograms are registered under stable
+// `subsystem.mod.metric` keys (e.g. "cache.lru_cache.hits",
+// "ipc.queue.wait_ns"). Writers pass their worker id as the shard:
+// each shard is a cache-line-padded atomic slot (counters) or an
+// independently-locked histogram, so concurrent workers never contend
+// on the hot path. Shards merge only on Scrape(), the pattern the
+// paper's per-layer cost accounting needs at zero steady-state cost.
+//
+// Handle lookup (GetCounter & co.) takes the registry mutex; callers
+// on hot paths should resolve handles once and cache the pointer.
+// Handles stay valid for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace labstor::telemetry {
+
+class Counter {
+ public:
+  explicit Counter(size_t shards);
+
+  void Inc(size_t shard = 0) { Add(1, shard); }
+  void Add(uint64_t delta, size_t shard = 0) {
+    slots_[shard & mask_].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  // Merge across shards (scrape side).
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};
+  };
+  std::vector<Slot> slots_;
+  size_t mask_;
+};
+
+// A point-in-time signed value (queue depth, active workers). Gauges
+// are written by one owner (admin thread / rebalancer), so a single
+// atomic slot suffices.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Sharded latency histogram: each shard owns a common/histogram under
+// its own mutex (uncontended when writers stick to their worker id).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(size_t shards);
+
+  void Record(uint64_t value, size_t shard = 0);
+  // Merge-on-scrape: collapse every shard into one histogram.
+  Histogram Merged() const;
+  void Reset();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    Histogram histogram;
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t mask_;
+};
+
+// A merged, point-in-time view of every metric in a registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,
+  //  min,p50,p90,p99,max}}}
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  // `shards` is rounded up to a power of two; writers index by worker
+  // id (masked), so size it to at least the worker-pool bound.
+  explicit MetricsRegistry(size_t shards = 16);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Create-or-get. Never returns nullptr; pointers live as long as the
+  // registry.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Scrape() const;
+  std::string ToJson() const { return Scrape().ToJson(); }
+  // Zero every metric (names stay registered; handles stay valid).
+  void Reset();
+
+  size_t shards() const { return shards_; }
+
+ private:
+  size_t shards_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace labstor::telemetry

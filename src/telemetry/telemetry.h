@@ -1,0 +1,86 @@
+// Telemetry: the metrics + tracing bundle threaded through the
+// runtime (ModContext, Runtime::Options, SimRuntime).
+//
+// A Telemetry object owns one MetricsRegistry and one TraceRecorder
+// and defines their shared epoch clock:
+//   * real mode  — NowNs() is wall time since the Telemetry was
+//     created (steady clock), so Runtime worker threads stamp spans
+//     directly;
+//   * virtual mode — set_virtual_time(true); the DES passes
+//     sim::Environment::now() explicitly and real-clock span capture
+//     (e.g. StackExec per-mod spans) switches itself off.
+//
+// Instrumentation sites gate on `tel != nullptr && tel->enabled()`:
+// a null pointer (the default everywhere) costs nothing, which is how
+// the disabled-overhead budget (<= 1% on bench_anatomy) is met.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace_recorder.h"
+
+namespace labstor::telemetry {
+
+class Telemetry {
+ public:
+  struct Options {
+    // Shard count for counters/histograms/trace rings; size to the
+    // worker-pool bound (rounded up to a power of two internally).
+    size_t shards = 16;
+    size_t trace_capacity_per_shard = 32768;
+    bool enabled = true;
+    // Virtual (DES) timestamps instead of the wall epoch clock.
+    bool virtual_time = false;
+  };
+
+  Telemetry() : Telemetry(Options()) {}
+  explicit Telemetry(Options options)
+      : enabled_(options.enabled),
+        virtual_time_(options.virtual_time),
+        origin_(std::chrono::steady_clock::now()),
+        metrics_(options.shards),
+        trace_(options.shards, options.trace_capacity_per_shard) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  bool virtual_time() const {
+    return virtual_time_.load(std::memory_order_relaxed);
+  }
+  void set_virtual_time(bool on) {
+    virtual_time_.store(on, std::memory_order_relaxed);
+  }
+
+  // Nanoseconds since this Telemetry's creation (real-mode epoch).
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+  std::string MetricsJson() const { return metrics_.ToJson(); }
+  std::string TraceJson() const { return trace_.ToChromeJson(); }
+
+ private:
+  std::atomic<bool> enabled_;
+  std::atomic<bool> virtual_time_;
+  std::chrono::steady_clock::time_point origin_;
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+};
+
+}  // namespace labstor::telemetry

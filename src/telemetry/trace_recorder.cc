@@ -1,0 +1,164 @@
+#include "telemetry/trace_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace labstor::telemetry {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t shards, size_t capacity_per_shard)
+    : capacity_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+  const size_t n = RoundUpPow2(shards == 0 ? 1 : shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  mask_ = n - 1;
+}
+
+void TraceRecorder::Span(uint32_t shard, const char* category,
+                         std::string name, uint64_t ts_ns, uint64_t dur_ns,
+                         const char* arg_key, uint64_t arg_value) {
+  Shard& s = *shards_[shard & mask_];
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.tid = shard;
+  event.arg_key = arg_key;
+  event.arg_value = arg_value;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.ring.size() < capacity_) {
+    s.ring.push_back(std::move(event));
+  } else {
+    s.ring[s.next] = std::move(event);
+  }
+  s.next = (s.next + 1) % capacity_;
+  ++s.total;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> events;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    events.insert(events.end(), shard->ring.begin(), shard->ring.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return events;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::set<uint32_t> tids;
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    tids.insert(e.tid);
+    if (!first) out += ',';
+    first = false;
+    char buf[160];
+    // Chrome trace ts/dur are microseconds; keep ns precision in the
+    // fraction.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"cat\":\"%s\",\"name\":\"",
+                  e.tid, static_cast<double>(e.ts_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.category);
+    out += buf;
+    AppendEscaped(out, e.name);
+    out += '"';
+    if (e.arg_key != nullptr) {
+      out += ",\"args\":{\"";
+      out += e.arg_key;
+      out += "\":";
+      out += std::to_string(e.arg_value);
+      out += '}';
+    }
+    out += '}';
+  }
+  for (const uint32_t tid : tids) {
+    if (!first) out += ',';
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":0,\"tid\":%u,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"worker-%u\"}}",
+                  tid, tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file " + path);
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file " + path);
+  }
+  return Status::Ok();
+}
+
+size_t TraceRecorder::recorded() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->ring.size();
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  uint64_t overwritten = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    overwritten += shard->total - shard->ring.size();
+  }
+  return overwritten;
+}
+
+void TraceRecorder::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->ring.clear();
+    shard->next = 0;
+    shard->total = 0;
+  }
+}
+
+}  // namespace labstor::telemetry

@@ -1,0 +1,81 @@
+// TraceRecorder: per-worker ring buffers of request-lifecycle spans,
+// exported as Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing).
+//
+// Each worker writes into its own bounded shard (oldest events are
+// overwritten once the ring fills; the drop count is kept), so
+// recording is lock-light: the per-shard mutex only ever contends when
+// a scrape races a writer. Timestamps are nanoseconds on the owning
+// Telemetry's epoch clock — wall time since telemetry start in real
+// mode, sim::Environment virtual time in sim mode — so both trace
+// flavours render on the same kind of timeline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace labstor::telemetry {
+
+// Span categories used across the runtime wiring; the acceptance
+// contract for traces is that these appear as `cat` values.
+inline constexpr const char* kCatQueue = "queue";
+inline constexpr const char* kCatMod = "mod";
+inline constexpr const char* kCatDevice = "device";
+inline constexpr const char* kCatOrchestrator = "orchestrator";
+inline constexpr const char* kCatRuntime = "runtime";
+
+struct TraceEvent {
+  std::string name;
+  const char* category = kCatRuntime;  // must point at static storage
+  uint64_t ts_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  // worker id
+  // Optional single numeric argument ({"args":{arg_key:arg_value}}).
+  const char* arg_key = nullptr;  // static storage; nullptr = no args
+  uint64_t arg_value = 0;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t shards = 16, size_t capacity_per_shard = 32768);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Record a complete ("ph":"X") span on worker `shard`'s timeline.
+  void Span(uint32_t shard, const char* category, std::string name,
+            uint64_t ts_ns, uint64_t dur_ns, const char* arg_key = nullptr,
+            uint64_t arg_value = 0);
+
+  // All recorded events, merged across shards and sorted by timestamp.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // {"displayTimeUnit":"ms","traceEvents":[...]} with ts/dur in
+  // microseconds (the Chrome trace-event convention) plus thread-name
+  // metadata per worker.
+  std::string ToChromeJson() const;
+  Status WriteFile(const std::string& path) const;
+
+  size_t recorded() const;  // events currently retained
+  uint64_t dropped() const;  // events overwritten by ring wraparound
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;  // capacity-bounded, circular
+    size_t next = 0;               // ring index of the next write
+    uint64_t total = 0;            // events ever written
+  };
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t mask_;
+};
+
+}  // namespace labstor::telemetry

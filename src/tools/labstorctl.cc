@@ -13,6 +13,12 @@
 //   labstorctl demo <runtime.yaml> <stack.yaml>
 //       Boot a Runtime from the config, mount the stack, run a
 //       write/read smoke test through GenericFS, report stats.
+//   labstorctl stats <runtime.yaml> <stack.yaml>
+//       Run the smoke workload with telemetry attached and print the
+//       merged metrics registry as JSON.
+//   labstorctl trace <runtime.yaml> <stack.yaml> [out.json]
+//       Same workload; write a Chrome trace-event file (open it in
+//       https://ui.perfetto.dev or chrome://tracing).
 #include <cstdio>
 #include <cstring>
 #include <numeric>
@@ -25,6 +31,7 @@
 #include "core/stack.h"
 #include "labmods/genericfs.h"
 #include "simdev/registry.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -36,7 +43,9 @@ int Usage() {
                "  mods\n"
                "  validate-stack <stack.yaml>\n"
                "  validate-config <runtime.yaml>\n"
-               "  demo <runtime.yaml> <stack.yaml>\n");
+               "  demo <runtime.yaml> <stack.yaml>\n"
+               "  stats <runtime.yaml> <stack.yaml>\n"
+               "  trace <runtime.yaml> <stack.yaml> [out.json]\n");
   return 2;
 }
 
@@ -148,6 +157,81 @@ int Demo(const char* config_path, const char* stack_path) {
   return back == data ? 0 : 1;
 }
 
+// Boot a runtime with telemetry attached, run a small write/read
+// workload, and either print the metrics JSON (stats) or write the
+// Perfetto-loadable trace (trace).
+int Telemetrize(const char* config_path, const char* stack_path,
+                const char* trace_out) {
+  auto config = core::RuntimeConfig::ParseFile(config_path);
+  if (!config.ok()) {
+    std::fprintf(stderr, "config: %s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  simdev::DeviceRegistry devices(nullptr);
+  if (const Status st = config->ApplyDevices(devices); !st.ok()) {
+    std::fprintf(stderr, "devices: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  telemetry::Telemetry::Options topts;
+  topts.shards = config->options.max_workers;
+  telemetry::Telemetry tel(topts);
+  config->options.telemetry = &tel;
+  core::Runtime runtime(std::move(config->options), devices);
+  if (!runtime.Start().ok()) return 1;
+
+  auto spec = core::StackSpec::ParseFile(stack_path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "stack: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto stack = runtime.MountStack(*spec, ipc::Credentials{1, 0, 0});
+  if (!stack.ok()) {
+    std::fprintf(stderr, "mount: %s\n", stack.status().ToString().c_str());
+    return 1;
+  }
+
+  core::Client client(runtime, ipc::Credentials{100, 1000, 1000});
+  if (!client.Connect().ok()) return 1;
+  labmods::GenericFs fs(client);
+  const std::string path = spec->mount + "/labstorctl_telemetry";
+  auto fd = fs.Create(path);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "create: %s\n", fd.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<uint8_t> data(4096);
+  std::iota(data.begin(), data.end(), 0);
+  constexpr int kOps = 64;
+  for (int i = 0; i < kOps; ++i) {
+    if (!fs.Write(*fd, data, static_cast<uint64_t>(i) * data.size()).ok()) {
+      std::fprintf(stderr, "write %d failed\n", i);
+      return 1;
+    }
+  }
+  for (int i = 0; i < kOps; ++i) {
+    if (!fs.Read(*fd, data, static_cast<uint64_t>(i) * data.size()).ok()) {
+      std::fprintf(stderr, "read %d failed\n", i);
+      return 1;
+    }
+  }
+  (void)fs.Unlink(path);
+  (void)runtime.Stop();
+
+  if (trace_out == nullptr) {
+    std::printf("%s\n", tel.MetricsJson().c_str());
+    return 0;
+  }
+  if (const Status st = tel.trace().WriteFile(trace_out); !st.ok()) {
+    std::fprintf(stderr, "trace: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %zu trace events to %s (open in https://ui.perfetto.dev "
+      "or chrome://tracing)\n",
+      tel.trace().recorded(), trace_out);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +245,13 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "demo") == 0 && argc == 4) {
     return Demo(argv[2], argv[3]);
+  }
+  if (std::strcmp(argv[1], "stats") == 0 && argc == 4) {
+    return Telemetrize(argv[2], argv[3], nullptr);
+  }
+  if (std::strcmp(argv[1], "trace") == 0 && (argc == 4 || argc == 5)) {
+    return Telemetrize(argv[2], argv[3],
+                       argc == 5 ? argv[4] : "labstor_trace.json");
   }
   return Usage();
 }
