@@ -55,8 +55,13 @@ class SpscRing {
   }
 
   size_t SizeApprox() const {
-    return head_.load(std::memory_order_acquire) -
-           tail_.load(std::memory_order_acquire);
+    // Load tail before head: head only grows, so a later head load can
+    // never be behind the earlier tail load. The reverse order let a
+    // concurrent pop land between the loads and underflow the unsigned
+    // subtraction into a near-SIZE_MAX "size". Clamp as a backstop.
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : 0;
   }
   bool EmptyApprox() const { return SizeApprox() == 0; }
   size_t capacity() const { return mask_ + 1; }
@@ -123,8 +128,10 @@ class MpmcRing {
   }
 
   size_t SizeApprox() const {
-    const size_t head = head_.load(std::memory_order_acquire);
+    // Tail first for the same reason as SpscRing::SizeApprox: head
+    // never moves backwards, so this order cannot observe tail > head.
     const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
     return head >= tail ? head - tail : 0;
   }
   bool EmptyApprox() const { return SizeApprox() == 0; }

@@ -31,6 +31,14 @@ enum class StatusCode : int {
 
 std::string_view StatusCodeName(StatusCode code);
 
+// Terminal-status classification for client retry policies: transient
+// transport conditions (runtime offline, wait deadline expired) may
+// clear on their own; everything else is a verdict and retrying would
+// at best repeat it, at worst double-apply the operation.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout;
+}
+
 // A status word plus an optional human-readable message. Cheap to copy
 // in the OK case (no allocation).
 class Status {

@@ -1,5 +1,6 @@
 #include "core/client.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace labstor::core {
@@ -39,6 +40,25 @@ Status Client::Execute(ipc::Request& req, Stack& stack) {
   return WaitWithRecovery(req);
 }
 
+std::chrono::microseconds Client::BackoffDelay(int attempt) {
+  uint64_t us = static_cast<uint64_t>(retry_.initial_backoff.count());
+  us <<= std::min(attempt, 20);
+  us = std::min(us, static_cast<uint64_t>(retry_.max_backoff.count()));
+  // Jitter decorrelates clients that failed in lockstep (thundering
+  // herd on recovery); the stream is seeded, so runs stay reproducible.
+  const double factor = 1.0 + retry_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+  us = static_cast<uint64_t>(static_cast<double>(us) *
+                             std::max(factor, 0.0));
+  return std::chrono::microseconds(us);
+}
+
+void Client::CountRetry(const char* counter) {
+  if (telemetry::Telemetry* tel = runtime_.telemetry();
+      tel != nullptr && tel->enabled()) {
+    tel->metrics().GetCounter(counter)->Inc();
+  }
+}
+
 Status Client::SubmitWithBackpressure(ipc::Request& req) {
   if (!connected()) return Status::FailedPrecondition("client not connected");
   if (telemetry::Telemetry* tel = runtime_.telemetry();
@@ -48,8 +68,13 @@ Status Client::SubmitWithBackpressure(ipc::Request& req) {
     req.submit_ns = tel->NowNs();
   }
   // Submission fails when the ring is full or the queue is quiesced
-  // for an upgrade; both clear on their own.
-  for (int spin = 0; spin < 50'000'000; ++spin) {
+  // for an upgrade; both usually clear quickly, so spin briefly, then
+  // back off exponentially until the submit deadline expires.
+  const auto deadline =
+      std::chrono::steady_clock::now() + retry_.submit_deadline;
+  int spins = 0;
+  int attempt = 0;
+  while (true) {
     if (channel_.qp->Submit(&req)) {
       channel_.qp->total_submitted.fetch_add(1, std::memory_order_relaxed);
       return Status::Ok();
@@ -57,13 +82,23 @@ Status Client::SubmitWithBackpressure(ipc::Request& req) {
     if (!runtime_.ipc().online()) {
       return Status::Unavailable("runtime offline during submission");
     }
-    std::this_thread::yield();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Timeout(
+          "submission queue stayed full for " +
+          std::to_string(retry_.submit_deadline.count()) +
+          "ms (deadline exceeded)");
+    }
+    if (++spins <= 4096) {
+      std::this_thread::yield();
+      continue;
+    }
+    CountRetry("client.submit.retries");
+    std::this_thread::sleep_for(BackoffDelay(attempt));
+    if (attempt < 16) ++attempt;
   }
-  return Status::Timeout("submission queue stayed full");
 }
 
-Status Client::WaitWithRecovery(ipc::Request& req) {
-  const Status st = runtime_.ipc().Wait(&req);
+Status Client::RepairIfNewEpoch() {
   const uint64_t epoch = runtime_.ipc().epoch();
   if (epoch != connect_epoch_ && runtime_.ipc().online()) {
     // The Runtime died and was restarted while we were waiting: walk
@@ -72,7 +107,40 @@ Status Client::WaitWithRecovery(ipc::Request& req) {
     LABSTOR_RETURN_IF_ERROR(runtime_.EnsureRepaired(epoch));
     connect_epoch_ = epoch;
   }
-  return st;
+  return Status::Ok();
+}
+
+Status Client::WaitWithRecovery(ipc::Request& req) {
+  for (int attempt = 0;; ++attempt) {
+    const Status st = runtime_.ipc().Wait(&req);
+    LABSTOR_RETURN_IF_ERROR(RepairIfNewEpoch());
+    // A completed request carries the worker's verdict — final whether
+    // ok or not; retrying a module-level error could double-apply it.
+    if (req.IsDone()) return st;
+    // Not done: transport-level failure. kUnavailable means the
+    // runtime stayed offline past the grace period — reconnection is
+    // an administrative decision, not something to retry blindly.
+    if (!IsRetryable(st.code()) ||
+        st.code() == StatusCode::kUnavailable) {
+      return st;
+    }
+    // kTimeout: the request was likely dequeued by a worker that died.
+    if (attempt + 1 >= retry_.max_attempts) {
+      return Status::Timeout(
+          "deadline exceeded: request not completed after " +
+          std::to_string(retry_.max_attempts) + " attempts (last: " +
+          st.ToString() + ")");
+    }
+    ++retries_;
+    CountRetry("client.retry.count");
+    std::this_thread::sleep_for(BackoffDelay(attempt));
+    if (req.IsDone()) continue;  // completed during backoff
+    // Resubmit the same request object: the previous pointer vanished
+    // with its worker. This is at-least-once recovery — a merely-slow
+    // worker could still complete the first copy, which is acceptable
+    // under the log-replay consistency model (DESIGN.md §6).
+    LABSTOR_RETURN_IF_ERROR(SubmitWithBackpressure(req));
+  }
 }
 
 }  // namespace labstor::core

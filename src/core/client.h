@@ -5,8 +5,10 @@
 // this to offer POSIX-like and KVS calls to applications.
 #pragma once
 
+#include <chrono>
 #include <string>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/runtime.h"
 #include "core/stack_exec.h"
@@ -14,10 +16,28 @@
 
 namespace labstor::core {
 
+// Bounds every client-side wait loop. Transient failures (kUnavailable,
+// kTimeout — see IsRetryable) are retried with exponential backoff and
+// seeded jitter; anything else is surfaced immediately. After
+// max_attempts the client reports kTimeout with DEADLINE_EXCEEDED
+// semantics instead of spinning forever.
+struct RetryPolicy {
+  int max_attempts = 4;
+  std::chrono::microseconds initial_backoff{200};
+  std::chrono::microseconds max_backoff{10'000};
+  double jitter = 0.25;  // backoff multiplied by U[1-jitter, 1+jitter]
+  // Submission-side bound: how long Submit may stay rejected (ring
+  // full / quiesced / injected overflow) before giving up.
+  std::chrono::milliseconds submit_deadline{2000};
+};
+
 class Client {
  public:
-  Client(Runtime& runtime, ipc::Credentials creds)
-      : runtime_(runtime), creds_(creds) {}
+  Client(Runtime& runtime, ipc::Credentials creds, RetryPolicy retry = {})
+      : runtime_(runtime),
+        creds_(creds),
+        retry_(retry),
+        rng_(Rng(creds.pid ^ 0x6661756C74ULL)) {}  // per-client jitter stream
 
   // Handshake over the (simulated) UNIX domain socket.
   Status Connect();
@@ -45,12 +65,26 @@ class Client {
 
   Runtime& runtime() { return runtime_; }
 
+  const RetryPolicy& retry_policy() const { return retry_; }
+  // Transport-level retries performed by this client (wait timeouts
+  // recovered by resubmission; also mirrored to the telemetry counter
+  // "client.retry.count").
+  uint64_t retries() const { return retries_; }
+
  private:
   Status SubmitWithBackpressure(ipc::Request& req);
   Status WaitWithRecovery(ipc::Request& req);
+  // Runs the per-epoch StateRepair handshake if the runtime restarted
+  // while we were waiting.
+  Status RepairIfNewEpoch();
+  std::chrono::microseconds BackoffDelay(int attempt);
+  void CountRetry(const char* counter);
 
   Runtime& runtime_;
   ipc::Credentials creds_;
+  RetryPolicy retry_;
+  Rng rng_;
+  uint64_t retries_ = 0;
   ipc::ClientChannel channel_;
   uint64_t connect_epoch_ = 0;
 };

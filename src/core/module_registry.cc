@@ -1,5 +1,7 @@
 #include "core/module_registry.h"
 
+#include "faultinject/faultinject.h"
+
 namespace labstor::core {
 
 ModFactory& ModFactory::Global() {
@@ -145,6 +147,12 @@ std::vector<std::string> ModuleRegistry::AllInstances() const {
 Status ModuleRegistry::RepairAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [uuid, entry] : instances_) {
+    // Partial-repair injection: a failure here leaves some mods
+    // repaired and some not. That is safe because StateRepair is
+    // clear-and-rebuild (idempotent), and Runtime::EnsureRepaired only
+    // advances the repaired epoch on full success — the client's next
+    // attempt re-runs the whole sweep and converges.
+    LABSTOR_FAULTPOINT("core.repair.partial");
     LABSTOR_RETURN_IF_ERROR(entry.mod->StateRepair());
   }
   return Status::Ok();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "faultinject/faultinject.h"
 
 namespace labstor::core {
 
@@ -26,6 +27,7 @@ Runtime::Runtime(Options options, simdev::DeviceRegistry& devices)
     wired_.queue_depth = m.GetHistogram("ipc.queue.depth");
     wired_.rebalances = m.GetCounter("orchestrator.rebalance.count");
     wired_.active_workers = m.GetGauge("orchestrator.workers.active");
+    wired_.completions_dropped = m.GetCounter("runtime.completion.dropped");
   }
 }
 
@@ -62,6 +64,7 @@ Status Runtime::Restart() {
 
 void Runtime::StartThreads() {
   stop_.store(false, std::memory_order_release);
+  worker_dead_ = std::make_unique<std::atomic<bool>[]>(options_.max_workers);
   {
     std::lock_guard<std::mutex> lock(assign_mu_);
     assignments_.assign(options_.max_workers, {});
@@ -146,6 +149,15 @@ Result<std::string> Runtime::TakeFdState(ipc::ProcessId pid) {
   return blob;
 }
 
+size_t Runtime::dead_workers() const {
+  if (worker_dead_ == nullptr) return 0;
+  size_t dead = 0;
+  for (size_t w = 0; w < options_.max_workers; ++w) {
+    if (worker_dead_[w].load(std::memory_order_acquire)) ++dead;
+  }
+  return dead;
+}
+
 size_t Runtime::active_workers() const {
   std::lock_guard<std::mutex> lock(assign_mu_);
   size_t active = 0;
@@ -173,8 +185,34 @@ void Runtime::WorkerLoop(size_t worker_id) {
       }
       auto polled = qp->PollSubmission();
       if (!polled.has_value()) continue;
-      in_flight_.fetch_add(1, std::memory_order_acq_rel);
       ipc::Request* req = *polled;
+      if (faultinject::FaultInjector* fi = faultinject::Active();
+          fi != nullptr) {
+        // Worker death mid-request: the thread exits with the dequeued
+        // request never completed. Checked before the in_flight_
+        // increment so upgrade quiescing still converges; the client
+        // recovers via its Wait timeout + resubmission path, and the
+        // immediate rebalance hands this worker's queues (including
+        // the one holding the resubmission) to a survivor.
+        if (fi->Evaluate("core.worker.death").has_value()) {
+          worker_dead_[worker_id].store(true, std::memory_order_release);
+          Rebalance();
+          return;
+        }
+        // Poisoned slot: the request arrives unusable (stale pointer,
+        // scribbled header); the worker rejects it without executing.
+        if (auto poison = fi->Evaluate("ipc.slot.poison")) {
+          req->Complete(poison->code == StatusCode::kOk
+                            ? StatusCode::kCorruption
+                            : poison->code);
+          if (!qp->Complete(req) && wired_.completions_dropped != nullptr) {
+            wired_.completions_dropped->Inc(worker_id);
+          }
+          did_work = true;
+          continue;
+        }
+      }
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
       req->worker = static_cast<uint32_t>(worker_id);
       if (tel != nullptr && tel->enabled()) {
         // Queue wait = dequeue time minus the client's submit stamp
@@ -203,7 +241,9 @@ void Runtime::WorkerLoop(size_t worker_id) {
       qp->est_processing_ns.store(prev == 0 ? ns : (prev * 7 + ns) / 8,
                                   std::memory_order_relaxed);
       qp->total_completed.fetch_add(1, std::memory_order_relaxed);
-      (void)qp->Complete(req);
+      if (!qp->Complete(req) && wired_.completions_dropped != nullptr) {
+        wired_.completions_dropped->Inc(worker_id);
+      }
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       if (tel != nullptr && tel->enabled()) {
         wired_.worker_requests->Inc(worker_id);
@@ -249,8 +289,18 @@ void Runtime::Rebalance() {
     load.backlog = qp->PendingSubmissions();
     loads.push_back(load);
   }
+  // Pack across LIVE workers only: a queue left on a dead worker would
+  // never be drained again, wedging every client that submits to it.
+  std::vector<size_t> live;
+  live.reserve(options_.max_workers);
+  for (size_t w = 0; w < options_.max_workers; ++w) {
+    if (worker_dead_ == nullptr ||
+        !worker_dead_[w].load(std::memory_order_acquire)) {
+      live.push_back(w);
+    }
+  }
   const Assignment assignment =
-      options_.orchestrator->Rebalance(loads, options_.max_workers);
+      options_.orchestrator->Rebalance(loads, live.size());
   if (instrument) {
     size_t commissioned = 0;
     for (const auto& queues : assignment.worker_queues) {
@@ -264,12 +314,11 @@ void Runtime::Rebalance() {
   }
   std::lock_guard<std::mutex> lock(assign_mu_);
   assignments_.assign(options_.max_workers, {});
-  for (size_t w = 0; w < assignment.worker_queues.size() &&
-                     w < assignments_.size();
-       ++w) {
-    for (const uint32_t qid : assignment.worker_queues[w]) {
+  for (size_t b = 0; b < assignment.worker_queues.size() && b < live.size();
+       ++b) {
+    for (const uint32_t qid : assignment.worker_queues[b]) {
       if (ipc::QueuePair* qp = ipc_.FindQueue(qid); qp != nullptr) {
-        assignments_[w].push_back(qp);
+        assignments_[live[b]].push_back(qp);
       }
     }
   }

@@ -97,6 +97,10 @@ class Runtime {
   telemetry::Telemetry* telemetry() const { return options_.telemetry; }
   bool running() const { return running_.load(std::memory_order_acquire); }
   size_t active_workers() const;
+  // Workers that exited abnormally (injected death, escaped exception
+  // path) since the last Start/Restart. Their queues are redistributed
+  // to the survivors.
+  size_t dead_workers() const;
   uint64_t requests_processed() const {
     return requests_processed_.load(std::memory_order_relaxed);
   }
@@ -111,6 +115,10 @@ class Runtime {
     telemetry::LatencyHistogram* queue_depth = nullptr;
     telemetry::Counter* rebalances = nullptr;
     telemetry::Gauge* active_workers = nullptr;
+    // Unhandled-fault audit: completions the worker could not publish
+    // (cq full). Non-zero means a fault escaped every surfaced path;
+    // the fault-injection CI job fails on it.
+    telemetry::Counter* completions_dropped = nullptr;
   };
 
   void WorkerLoop(size_t worker_id);
@@ -141,6 +149,10 @@ class Runtime {
 
   std::vector<std::thread> workers_;
   std::thread admin_;
+  // worker_dead_[i] is set when WorkerLoop i returns while the runtime
+  // is still running; Rebalance() skips dead workers so their queues
+  // are not stranded. Reset on Start/Restart.
+  std::unique_ptr<std::atomic<bool>[]> worker_dead_;
 
   mutable std::mutex assign_mu_;
   std::vector<std::vector<ipc::QueuePair*>> assignments_;

@@ -81,6 +81,12 @@ Result<RuntimeConfig> RuntimeConfig::FromYaml(const yaml::NodePtr& root) {
       return Status::InvalidArgument("queue_depth must be a power of two");
     }
     config.options.ipc.queue_depth = static_cast<size_t>(depth);
+    // Per-request wait bound: 0 disables the timeout (a lost request
+    // then wedges its waiter, so only disable for debugging).
+    config.options.ipc.request_timeout = std::chrono::milliseconds(
+        ipc->GetUint("request_timeout_ms",
+                     static_cast<uint64_t>(
+                         config.options.ipc.request_timeout.count())));
   }
   if (const yaml::NodePtr ns = root->Get("namespace"); ns != nullptr) {
     config.options.ns.max_stack_length =

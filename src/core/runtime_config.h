@@ -13,6 +13,7 @@
 //   ipc:
 //     segment_mb: 16
 //     queue_depth: 1024
+//     request_timeout_ms: 30000  # 0 = wait forever (debug only)
 //   namespace:
 //     max_stack_length: 16
 //   repos:                       # searched for installed LabMods

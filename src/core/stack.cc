@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "faultinject/faultinject.h"
 
 namespace labstor::core {
 
@@ -170,6 +171,11 @@ Result<std::unique_ptr<Stack>> StackNamespace::Build(const StackSpec& spec,
   for (size_t i = 0; i < spec.dag.size(); ++i) index[spec.dag[i].uuid] = i;
   // Instantiate (or reuse) each vertex's mod.
   for (const StackVertexSpec& vs : spec.dag) {
+    // Mid-DAG mount failure: the partially-built stack is discarded
+    // and the namespace stays untouched (already-instantiated mod
+    // instances remain in the registry by design — they are shared
+    // with other stacks and a retried mount reuses them).
+    LABSTOR_FAULTPOINT("core.mount.middag");
     LABSTOR_ASSIGN_OR_RETURN(
         mod,
         registry.Instantiate(vs.mod_name, vs.uuid, vs.params, ctx, vs.version));

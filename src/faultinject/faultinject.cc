@@ -1,0 +1,234 @@
+#include "faultinject/faultinject.h"
+
+#include <cstdlib>
+
+#include "common/yaml.h"
+#include "sim/environment.h"
+#include "telemetry/telemetry.h"
+
+namespace labstor::faultinject {
+
+namespace internal {
+std::atomic<FaultInjector*> g_active{nullptr};
+}  // namespace internal
+
+uint64_t FaultInjector::SeedFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("LABSTOR_FAULTS_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<uint64_t>(parsed);
+}
+
+void FaultInjector::Arm(std::string site, FaultPolicy policy) {
+  if (policy.trigger == FaultPolicy::Trigger::kOnce) policy.max_fires = 1;
+  if (policy.every_n == 0) policy.every_n = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState state;
+  state.policy = std::move(policy);
+  sites_[std::move(site)] = std::move(state);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+}
+
+bool FaultInjector::IsArmed(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_.find(site) != sites_.end();
+}
+
+std::optional<FaultPolicy> FaultInjector::Evaluate(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return std::nullopt;
+  SiteState& state = it->second;
+  const FaultPolicy& policy = state.policy;
+  ++state.hits;
+  if (state.fires >= policy.max_fires) return std::nullopt;
+  if (policy.sim_window) {
+    if (env_ == nullptr) return std::nullopt;
+    const uint64_t now = env_->now();
+    if (now < policy.window_start_ns || now >= policy.window_end_ns) {
+      return std::nullopt;
+    }
+  }
+  bool fire = false;
+  switch (policy.trigger) {
+    case FaultPolicy::Trigger::kAlways:
+      fire = true;
+      break;
+    case FaultPolicy::Trigger::kOnce:
+      fire = state.fires == 0;
+      break;
+    case FaultPolicy::Trigger::kEveryN:
+      fire = state.hits % policy.every_n == 0;
+      break;
+    case FaultPolicy::Trigger::kProbability:
+      fire = rng_.Bernoulli(policy.probability);
+      break;
+  }
+  if (!fire) return std::nullopt;
+  ++state.fires;
+  total_fires_.fetch_add(1, std::memory_order_relaxed);
+  if (tel_ != nullptr && tel_->enabled()) {
+    if (fired_total_ == nullptr) {
+      fired_total_ = tel_->metrics().GetCounter("faultinject.fired");
+    }
+    if (state.counter == nullptr) {
+      state.counter = tel_->metrics().GetCounter("faultinject.fired." +
+                                                 std::string(site));
+    }
+    fired_total_->Inc();
+    state.counter->Inc();
+  }
+  return policy;
+}
+
+Status FaultInjector::InjectStatus(std::string_view site) {
+  auto fired = Evaluate(site);
+  if (!fired.has_value()) return Status::Ok();
+  std::string message = fired->message.empty()
+                            ? "injected fault at " + std::string(site)
+                            : fired->message;
+  return Status(fired->code, std::move(message));
+}
+
+uint64_t FaultInjector::fires(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultInjector::FireCounts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, state] : sites_) {
+    out.emplace_back(site, state.fires);
+  }
+  return out;
+}
+
+void FaultInjector::AttachSimEnv(const sim::Environment* env) {
+  std::lock_guard<std::mutex> lock(mu_);
+  env_ = env;
+}
+
+void FaultInjector::AttachTelemetry(telemetry::Telemetry* tel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tel_ = tel;
+  fired_total_ = nullptr;
+  for (auto& [site, state] : sites_) state.counter = nullptr;
+}
+
+void FaultInjector::Install() {
+  internal::g_active.store(this, std::memory_order_release);
+}
+
+void FaultInjector::Uninstall() {
+  FaultInjector* expected = this;
+  internal::g_active.compare_exchange_strong(expected, nullptr,
+                                             std::memory_order_acq_rel);
+}
+
+namespace {
+
+Result<StatusCode> ParseCode(const std::string& name) {
+  if (name == "invalid_argument") return StatusCode::kInvalidArgument;
+  if (name == "not_found") return StatusCode::kNotFound;
+  if (name == "already_exists") return StatusCode::kAlreadyExists;
+  if (name == "permission_denied") return StatusCode::kPermissionDenied;
+  if (name == "resource_exhausted") return StatusCode::kResourceExhausted;
+  if (name == "failed_precondition") return StatusCode::kFailedPrecondition;
+  if (name == "unavailable") return StatusCode::kUnavailable;
+  if (name == "corruption") return StatusCode::kCorruption;
+  if (name == "unimplemented") return StatusCode::kUnimplemented;
+  if (name == "internal") return StatusCode::kInternal;
+  if (name == "timeout") return StatusCode::kTimeout;
+  return Status::InvalidArgument("unknown status code '" + name + "'");
+}
+
+Result<FaultPolicy::Trigger> ParseTrigger(const std::string& name) {
+  if (name == "always") return FaultPolicy::Trigger::kAlways;
+  if (name == "once") return FaultPolicy::Trigger::kOnce;
+  if (name == "every_n") return FaultPolicy::Trigger::kEveryN;
+  if (name == "probability") return FaultPolicy::Trigger::kProbability;
+  return Status::InvalidArgument("unknown trigger '" + name + "'");
+}
+
+Result<FaultPolicy> PolicyFromYaml(const yaml::NodePtr& entry) {
+  FaultPolicy policy;
+  LABSTOR_ASSIGN_OR_RETURN(trigger,
+                           ParseTrigger(entry->GetString("trigger", "always")));
+  policy.trigger = trigger;
+  policy.every_n = entry->GetUint("n", 1);
+  policy.probability = entry->GetDouble("p", 1.0);
+  policy.max_fires = entry->GetUint("max_fires", UINT64_MAX);
+  LABSTOR_ASSIGN_OR_RETURN(code,
+                           ParseCode(entry->GetString("code", "internal")));
+  policy.code = code;
+  policy.message = entry->GetString("message", "");
+  policy.arg = entry->GetUint("arg", 0);
+  if (entry->Get("window_start_us") != nullptr ||
+      entry->Get("window_end_us") != nullptr) {
+    policy.sim_window = true;
+    policy.window_start_ns = entry->GetUint("window_start_us", 0) * 1000;
+    const uint64_t end_us = entry->GetUint("window_end_us", 0);
+    policy.window_end_ns = end_us == 0 ? UINT64_MAX : end_us * 1000;
+  }
+  return policy;
+}
+
+}  // namespace
+
+Status FaultInjector::LoadYamlNode(const yaml::NodePtr& root) {
+  if (root == nullptr || !root->IsMapping()) {
+    return Status::InvalidArgument("faults config must be a mapping");
+  }
+  // CI pins the sequence via LABSTOR_FAULTS_SEED; the file's seed is
+  // the default for interactive runs.
+  const uint64_t seed = SeedFromEnv(root->GetUint("seed", seed_));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seed_ = seed;
+    rng_.Seed(seed);
+  }
+  const yaml::NodePtr faults = root->Get("faults");
+  if (faults == nullptr) return Status::Ok();  // seed-only config
+  if (!faults->IsSequence()) {
+    return Status::InvalidArgument("'faults' must be a sequence");
+  }
+  for (const yaml::NodePtr& entry : faults->items()) {
+    if (entry == nullptr || !entry->IsMapping()) {
+      return Status::InvalidArgument("each fault must be a mapping");
+    }
+    const std::string site = entry->GetString("site", "");
+    if (site.empty()) {
+      return Status::InvalidArgument("fault entry requires a 'site'");
+    }
+    LABSTOR_ASSIGN_OR_RETURN(policy, PolicyFromYaml(entry));
+    Arm(site, std::move(policy));
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::LoadYaml(std::string_view text) {
+  LABSTOR_ASSIGN_OR_RETURN(root, yaml::Parse(text));
+  return LoadYamlNode(root);
+}
+
+Status FaultInjector::LoadYamlFile(const std::string& path) {
+  LABSTOR_ASSIGN_OR_RETURN(root, yaml::ParseFile(path));
+  return LoadYamlNode(root);
+}
+
+}  // namespace labstor::faultinject

@@ -1,0 +1,191 @@
+// Failpoint registry for deterministic fault injection (cf. kernel
+// CONFIG_FAULT_INJECTION and the failpoint harnesses storage runtimes
+// use to exercise their error paths).
+//
+// Call sites name failpoints "subsys.site" (e.g. "simdev.write.eio")
+// and compile down to a branch on a process-wide atomic pointer,
+// mirroring the telemetry gating pattern: with no injector installed
+// the hot path pays exactly one null-pointer check. An installed
+// FaultInjector arms per-site policies — fire-once, fire-every-N,
+// probabilistic (seeded common/rng, reproducible run-to-run), and
+// sim-time-windowed when a sim::Environment is attached — and every
+// fired failpoint increments a telemetry counter so injected-fault
+// runs are auditable.
+//
+// Usage, status-returning sites:
+//   LABSTOR_FAULTPOINT("simdev.read.eio");   // returns injected Status
+//
+// Sites that need the policy's argument (torn-write byte counts,
+// latency-spike durations) evaluate longhand:
+//   if (auto* fi = faultinject::Active(); fi != nullptr) {
+//     if (auto fault = fi->Evaluate("simdev.write.torn")) { ... }
+//   }
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace labstor::yaml {
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+}  // namespace labstor::yaml
+
+namespace labstor::telemetry {
+class Telemetry;
+class Counter;
+}  // namespace labstor::telemetry
+
+namespace labstor::sim {
+class Environment;
+}  // namespace labstor::sim
+
+namespace labstor::faultinject {
+
+struct FaultPolicy {
+  enum class Trigger : uint8_t {
+    kAlways,       // fire on every hit
+    kOnce,         // fire on the first hit only
+    kEveryN,       // fire on every n-th hit
+    kProbability,  // fire with probability p (seeded Rng)
+  };
+
+  Trigger trigger = Trigger::kAlways;
+  uint64_t every_n = 1;      // kEveryN
+  double probability = 1.0;  // kProbability
+  // Hard cap across the policy's lifetime; kOnce forces it to 1.
+  uint64_t max_fires = UINT64_MAX;
+
+  // When set, the site only fires while the attached sim::Environment
+  // clock is inside [window_start_ns, window_end_ns). Without an
+  // attached environment a windowed site never fires.
+  bool sim_window = false;
+  uint64_t window_start_ns = 0;
+  uint64_t window_end_ns = UINT64_MAX;
+
+  // Status surfaced by LABSTOR_FAULTPOINT / InjectStatus sites.
+  StatusCode code = StatusCode::kInternal;
+  std::string message;  // default: "injected fault at <site>"
+
+  // Free-form knob interpreted by the call site: bytes persisted for
+  // torn writes, extra virtual ns for latency spikes, ...
+  uint64_t arg = 0;
+};
+
+class FaultInjector {
+ public:
+  static constexpr uint64_t kDefaultSeed = 0x4C414253;  // "LABS"
+
+  explicit FaultInjector(uint64_t seed = kDefaultSeed)
+      : seed_(seed), rng_(seed) {}
+
+  // LABSTOR_FAULTS_SEED in the environment overrides `fallback` so CI
+  // can pin probabilistic failpoints to a reproducible sequence.
+  static uint64_t SeedFromEnv(uint64_t fallback = kDefaultSeed);
+
+  // --- policy management ---
+  void Arm(std::string site, FaultPolicy policy);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+  bool IsArmed(std::string_view site) const;
+
+  // Parse the faults YAML (see configs/faults.yaml / DESIGN.md §6) and
+  // arm every listed site. A top-level `seed:` reseeds the Rng unless
+  // LABSTOR_FAULTS_SEED is set (the environment wins).
+  Status LoadYaml(std::string_view text);
+  Status LoadYamlFile(const std::string& path);
+  Status LoadYamlNode(const yaml::NodePtr& root);
+
+  // --- call-site API ---
+  // Decides whether `site` fires on this hit; on fire returns a copy
+  // of the policy (for arg/code) and bumps fire counters + telemetry.
+  std::optional<FaultPolicy> Evaluate(std::string_view site);
+  // Ok() when the site does not fire; the policy's Status otherwise.
+  Status InjectStatus(std::string_view site);
+
+  // --- introspection ---
+  uint64_t fires(std::string_view site) const;
+  uint64_t total_fires() const {
+    return total_fires_.load(std::memory_order_relaxed);
+  }
+  std::vector<std::pair<std::string, uint64_t>> FireCounts() const;
+  uint64_t seed() const { return seed_; }
+
+  // --- wiring ---
+  // Virtual clock for sim_window policies (not owned).
+  void AttachSimEnv(const sim::Environment* env);
+  // Fired-failpoint counters: "faultinject.fired" plus a per-site
+  // "faultinject.fired.<site>" (not owned; must outlive the injector).
+  void AttachTelemetry(telemetry::Telemetry* tel);
+
+  // --- process-wide installation ---
+  void Install();
+  void Uninstall();  // no-op unless this injector is the active one
+
+ private:
+  struct SiteState {
+    FaultPolicy policy;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    telemetry::Counter* counter = nullptr;  // per-site, resolved lazily
+  };
+
+  uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+  Rng rng_;
+  std::atomic<uint64_t> total_fires_{0};
+  const sim::Environment* env_ = nullptr;
+  telemetry::Telemetry* tel_ = nullptr;
+  telemetry::Counter* fired_total_ = nullptr;
+};
+
+namespace internal {
+extern std::atomic<FaultInjector*> g_active;
+}  // namespace internal
+
+// The process-wide injector, or nullptr when fault injection is off.
+// This load is the only cost disabled failpoints pay.
+inline FaultInjector* Active() {
+  return internal::g_active.load(std::memory_order_acquire);
+}
+
+// Installs on construction, uninstalls on destruction (test fixtures,
+// labstorctl).
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(FaultInjector& injector) : injector_(injector) {
+    injector_.Install();
+  }
+  ~ScopedInstall() { injector_.Uninstall(); }
+  ScopedInstall(const ScopedInstall&) = delete;
+  ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+ private:
+  FaultInjector& injector_;
+};
+
+}  // namespace labstor::faultinject
+
+// Status-returning failpoint: if the site fires, return the injected
+// Status from the enclosing function (works for Result<T> returns via
+// the implicit Status -> Result conversion).
+#define LABSTOR_FAULTPOINT(site)                                        \
+  do {                                                                  \
+    if (::labstor::faultinject::FaultInjector* _labstor_fi =            \
+            ::labstor::faultinject::Active();                           \
+        _labstor_fi != nullptr) {                                       \
+      ::labstor::Status _labstor_fst = _labstor_fi->InjectStatus(site); \
+      if (!_labstor_fst.ok()) return _labstor_fst;                      \
+    }                                                                   \
+  } while (0)

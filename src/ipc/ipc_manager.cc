@@ -2,12 +2,17 @@
 
 #include <thread>
 
+#include "faultinject/faultinject.h"
+
 namespace labstor::ipc {
 
 Result<ClientChannel> IpcManager::Connect(const Credentials& creds) {
   if (!online()) {
     return Status::Unavailable("runtime is offline");
   }
+  // Models shmget/mmap failure during the handshake: the client gets
+  // a clean error and may simply retry Connect().
+  LABSTOR_FAULTPOINT("ipc.connect.shmem");
   std::lock_guard<std::mutex> lock(mu_);
   if (const auto it = channels_.find(creds.pid); it != channels_.end()) {
     return it->second;
@@ -62,20 +67,31 @@ QueuePair* IpcManager::FindQueue(uint32_t qid) const {
 
 Status IpcManager::Wait(Request* req,
                         std::chrono::milliseconds offline_grace) const {
-  const auto offline_deadline_unset =
-      std::chrono::steady_clock::time_point::max();
-  auto offline_deadline = offline_deadline_unset;
+  const auto unset = std::chrono::steady_clock::time_point::max();
+  auto offline_deadline = unset;
+  // Overall bound while online: a crashed worker can lose a dequeued
+  // request without the runtime ever going offline, so an unbounded
+  // poll would wedge the client forever.
+  const auto request_deadline =
+      options_.request_timeout.count() > 0
+          ? std::chrono::steady_clock::now() + options_.request_timeout
+          : unset;
   while (!req->IsDone()) {
+    const auto now = std::chrono::steady_clock::now();
     if (!online()) {
-      const auto now = std::chrono::steady_clock::now();
-      if (offline_deadline == offline_deadline_unset) {
+      if (offline_deadline == unset) {
         offline_deadline = now + offline_grace;
       } else if (now >= offline_deadline) {
         return Status::Unavailable(
             "runtime offline and not restarted within grace period");
       }
     } else {
-      offline_deadline = offline_deadline_unset;
+      offline_deadline = unset;
+      if (now >= request_deadline) {
+        return Status::Timeout("request not completed within " +
+                               std::to_string(options_.request_timeout.count()) +
+                               "ms (worker lost it?)");
+      }
     }
     std::this_thread::yield();
   }

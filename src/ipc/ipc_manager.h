@@ -46,6 +46,11 @@ class IpcManager {
     size_t segment_bytes = 16 << 20;
     size_t queue_depth = 1024;  // power of two
     bool ordered_queues = true;
+    // Upper bound on how long Wait() polls an undrained request while
+    // the runtime claims to be online. Guards against wedging forever
+    // behind a dead worker: on expiry Wait reports kTimeout and the
+    // client library's retry policy takes over. Zero disables.
+    std::chrono::milliseconds request_timeout{30000};
   };
 
   IpcManager() : IpcManager(Options()) {}
@@ -80,7 +85,10 @@ class IpcManager {
   // Client-side completion wait: polls the request; if the runtime
   // goes offline, waits (up to `offline_grace`) for an administrator
   // restart, then reports kUnavailable so the client library can run
-  // StateRepair. Real-time, for real-mode use only.
+  // StateRepair. Independently, an online-but-undrained request is
+  // bounded by Options::request_timeout and reports kTimeout (the
+  // request may have been lost with a dead worker). Real-time, for
+  // real-mode use only.
   Status Wait(Request* req,
               std::chrono::milliseconds offline_grace =
                   std::chrono::milliseconds(2000)) const;

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "common/ring_buffer.h"
+#include "faultinject/faultinject.h"
 #include "ipc/credentials.h"
 #include "ipc/request.h"
 
@@ -42,6 +43,12 @@ class QueuePair {
   // --- submission side ---
   bool Submit(Request* req) {
     if (update_pending()) return false;  // quiesced for upgrade
+    // Injected overflow presents exactly like a full ring: the caller
+    // must apply its backpressure/backoff path.
+    if (faultinject::FaultInjector* fi = faultinject::Active();
+        fi != nullptr && fi->Evaluate("ipc.qp.overflow").has_value()) {
+      return false;
+    }
     return sq_.TryPush(req);
   }
   std::optional<Request*> PollSubmission() { return sq_.TryPop(); }

@@ -1,6 +1,9 @@
 #include "labmods/fslog.h"
 
 #include <algorithm>
+#include <cstddef>
+
+#include "common/crc32.h"
 
 namespace labstor::labmods {
 
@@ -26,6 +29,7 @@ Result<uint64_t> MetadataLog::Append(uint32_t worker, LogRecord record) {
   }
   record.magic = LogRecord::kMagic;
   record.seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+  record.crc = Crc32(&record, offsetof(LogRecord, crc));
   const uint64_t offset = region_offset_ +
                           (static_cast<uint64_t>(w) * per_worker_ +
                            cursors_[w]) * kSlot;
@@ -49,6 +53,13 @@ Status MetadataLog::Replay(
       LABSTOR_RETURN_IF_ERROR(
           device_->ReadNow(offset, std::span(bytes, sizeof(LogRecord))));
       if (record.magic != LogRecord::kMagic) break;  // end of this region
+      if (record.crc != Crc32(&record, offsetof(LogRecord, crc))) {
+        // Torn write: the slot was only partially persisted before a
+        // crash. Everything after it in this region is younger, so
+        // treat it as the end of the region's durable tail.
+        torn_dropped_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
       records.push_back(record);
     }
   }

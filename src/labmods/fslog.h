@@ -47,6 +47,12 @@ struct LogRecord {
   uint64_t b = 0;
   uint64_t c = 0;
   char path[kPathCapacity] = {};
+  // Checksum of everything above (the first offsetof(LogRecord, crc)
+  // bytes). Must stay the LAST member: Append() fills it in and
+  // Replay() treats a mismatch as a torn write — a record whose slot
+  // was only partially persisted before a crash — and stops scanning
+  // that worker region, exactly like a missing magic.
+  uint64_t crc = 0;
 
   void SetPath(std::string_view p) {
     const size_t n =
@@ -56,7 +62,7 @@ struct LogRecord {
   }
   std::string_view GetPath() const { return {path}; }
 };
-static_assert(sizeof(LogRecord) <= 256, "log records are 256-byte slots");
+static_assert(sizeof(LogRecord) == 256, "log records are 256-byte slots");
 
 class MetadataLog {
  public:
@@ -78,6 +84,11 @@ class MetadataLog {
     return static_cast<uint64_t>(workers_) * per_worker_ * kSlot;
   }
   uint64_t records_appended() const { return next_seq_.load() - 1; }
+  // Records dropped by Replay() because their checksum did not match
+  // (torn tail after a crash). Cumulative across Replay calls.
+  uint64_t torn_records_dropped() const {
+    return torn_dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   static constexpr uint64_t kSlot = 256;
@@ -89,6 +100,7 @@ class MetadataLog {
   std::atomic<uint64_t> next_seq_{1};
   std::vector<uint64_t> cursors_;  // records appended per worker
   std::vector<std::unique_ptr<std::mutex>> worker_mu_;
+  mutable std::atomic<uint64_t> torn_dropped_{0};
 };
 
 }  // namespace labstor::labmods

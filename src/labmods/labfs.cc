@@ -192,7 +192,12 @@ Status LabFsMod::DoOpen(ipc::Request& req, core::StackExec& exec) {
     record.inode_id = inode->id;
     record.a = 0;
     record.SetPath(path);
-    LABSTOR_RETURN_IF_ERROR(AppendLog(record, req.worker, exec));
+    if (const Status st = AppendLog(record, req.worker, exec); !st.ok()) {
+      // Roll back: an inode whose create record never made the log
+      // would exist until the next crash and then silently vanish.
+      (void)EraseByPath(path);
+      return st;
+    }
   }
   if ((req.flags & ipc::kOpenTrunc) != 0 && !created) {
     std::lock_guard<std::mutex> lock(inode->mu);
@@ -226,11 +231,24 @@ Status LabFsMod::EnsureBlocks(Inode& inode, uint64_t offset, uint64_t length,
     uint64_t run = 0;
     while (fb + run < last && inode.blocks[fb + run] == 0) ++run;
     LABSTOR_ASSIGN_OR_RETURN(extents, alloc_->Alloc(worker, run));
+    // Map every allocated extent into the inode BEFORE logging any of
+    // them. If a log append fails partway (region full, injected EIO),
+    // each block is then reachable through the inode and is returned by
+    // unlink/truncate — interleaving assign-and-log used to strand the
+    // not-yet-assigned extents outside both the inode and the
+    // allocator, leaking them until remount. Crash consistency is
+    // unaffected: an unlogged mapping simply doesn't survive replay,
+    // and RebuildAllocatorFromInodes returns its blocks to the free
+    // set.
     uint64_t assigned = fb;
     for (const BlockExtent& extent : extents) {
       for (uint64_t i = 0; i < extent.count; ++i) {
         inode.blocks[assigned + i] = extent.start + i;
       }
+      assigned += extent.count;
+    }
+    assigned = fb;
+    for (const BlockExtent& extent : extents) {
       LogRecord record;
       record.op = LogOp::kMap;
       record.inode_id = inode.id;
@@ -456,7 +474,11 @@ Status LabFsMod::DoMkdir(ipc::Request& req, core::StackExec& exec) {
   record.inode_id = inode->id;
   record.a = 1;
   record.SetPath(path);
-  return AppendLog(record, req.worker, exec);
+  if (const Status st = AppendLog(record, req.worker, exec); !st.ok()) {
+    (void)EraseByPath(path);  // same rollback as DoOpen's create path
+    return st;
+  }
+  return Status::Ok();
 }
 
 Status LabFsMod::DoReaddir(ipc::Request& req, core::StackExec& exec) {

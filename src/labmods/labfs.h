@@ -56,6 +56,7 @@ class LabFsMod : public core::LabMod {
   uint64_t allocator_free_blocks() const { return alloc_->FreeBlocks(); }
   uint64_t allocator_steals() const { return alloc_->steals(); }
   uint64_t log_records() const { return log_->records_appended(); }
+  uint64_t log_torn_dropped() const { return log_->torn_records_dropped(); }
 
  private:
   struct Inode {

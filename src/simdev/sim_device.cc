@@ -1,6 +1,9 @@
 #include "simdev/sim_device.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "faultinject/faultinject.h"
 
 namespace labstor::simdev {
 
@@ -22,6 +25,7 @@ SimDevice::SimDevice(sim::Environment* env, DeviceParams params)
 }
 
 Status SimDevice::ReadNow(uint64_t offset, std::span<uint8_t> out) {
+  LABSTOR_FAULTPOINT("simdev.read.eio");
   const Status st = store_.Read(offset, out);
   if (st.ok()) {
     stats_.reads.fetch_add(1, std::memory_order_relaxed);
@@ -31,6 +35,22 @@ Status SimDevice::ReadNow(uint64_t offset, std::span<uint8_t> out) {
 }
 
 Status SimDevice::WriteNow(uint64_t offset, std::span<const uint8_t> data) {
+  if (faultinject::FaultInjector* fi = faultinject::Active(); fi != nullptr) {
+    LABSTOR_RETURN_IF_ERROR(fi->InjectStatus("simdev.write.eio"));
+    // Device-full: surfaced before any bytes move, as a controller
+    // rejecting the command would.
+    LABSTOR_RETURN_IF_ERROR(fi->InjectStatus("simdev.write.full"));
+    // Torn write: persist only the first `arg` bytes (default: half),
+    // then fail — the on-"disk" prefix survives for replay to find.
+    if (auto torn = fi->Evaluate("simdev.write.torn")) {
+      const uint64_t keep = std::min<uint64_t>(
+          torn->arg != 0 ? torn->arg : data.size() / 2, data.size());
+      (void)store_.Write(offset, data.first(keep));
+      return Status(torn->code, torn->message.empty()
+                                    ? "injected torn write"
+                                    : torn->message);
+    }
+  }
   const Status st = store_.Write(offset, data);
   if (st.ok()) {
     stats_.writes.fetch_add(1, std::memory_order_relaxed);
@@ -45,6 +65,14 @@ sim::Task<void> SimDevice::TimedOp(IoOp op, uint32_t channel, uint64_t offset,
   // Channel order -> device service slot -> latency phase -> shared
   // transfer pipe. Lock order is fixed, so no cycles.
   sim::Resource& ch = *channels_[channel % channels_.size()];
+  // Latency spike: an armed (optionally sim-time-windowed) policy adds
+  // `arg` virtual ns (default 100us) before the op even queues,
+  // modeling GC pauses / thermal throttling.
+  if (faultinject::FaultInjector* fi = faultinject::Active(); fi != nullptr) {
+    if (auto spike = fi->Evaluate("simdev.latency.spike")) {
+      co_await env_->Delay(spike->arg != 0 ? spike->arg : 100 * sim::kUs);
+    }
+  }
   co_await ch.Acquire();
   co_await service_slots_->Acquire();
   co_await env_->Delay(timing_.LatencyPart(op, offset, len, channel));

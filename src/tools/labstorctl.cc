@@ -19,12 +19,17 @@
 //   labstorctl trace <runtime.yaml> <stack.yaml> [out.json]
 //       Same workload; write a Chrome trace-event file (open it in
 //       https://ui.perfetto.dev or chrome://tracing).
+//   labstorctl faults <runtime.yaml> <stack.yaml> <faults.yaml>
+//       Arm the fault-injection plan, run the smoke workload under it
+//       (tolerating injected failures), and report per-site fire
+//       counts, client retries, and the unhandled-fault audit counter.
 #include <cstdio>
 #include <cstring>
 #include <numeric>
 #include <vector>
 
 #include "core/client.h"
+#include "faultinject/faultinject.h"
 #include "core/module_registry.h"
 #include "core/runtime.h"
 #include "core/runtime_config.h"
@@ -45,7 +50,8 @@ int Usage() {
                "  validate-config <runtime.yaml>\n"
                "  demo <runtime.yaml> <stack.yaml>\n"
                "  stats <runtime.yaml> <stack.yaml>\n"
-               "  trace <runtime.yaml> <stack.yaml> [out.json]\n");
+               "  trace <runtime.yaml> <stack.yaml> [out.json]\n"
+               "  faults <runtime.yaml> <stack.yaml> <faults.yaml>\n");
   return 2;
 }
 
@@ -232,6 +238,94 @@ int Telemetrize(const char* config_path, const char* stack_path,
   return 0;
 }
 
+// Arm a fault plan, run the smoke workload under it, and report what
+// fired. Injected failures are expected — the interesting outputs are
+// the per-site fire counts, the client's transport retries, and the
+// "runtime.completion.dropped" audit counter, which must stay zero
+// (a nonzero value means a worker completed a request nobody could
+// observe: an unhandled fault).
+int RunWithFaults(const char* config_path, const char* stack_path,
+                  const char* faults_path) {
+  auto config = core::RuntimeConfig::ParseFile(config_path);
+  if (!config.ok()) {
+    std::fprintf(stderr, "config: %s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  simdev::DeviceRegistry devices(nullptr);
+  if (const Status st = config->ApplyDevices(devices); !st.ok()) {
+    std::fprintf(stderr, "devices: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  telemetry::Telemetry::Options topts;
+  topts.shards = config->options.max_workers;
+  telemetry::Telemetry tel(topts);
+  config->options.telemetry = &tel;
+
+  faultinject::FaultInjector injector;
+  if (const Status st = injector.LoadYamlFile(faults_path); !st.ok()) {
+    std::fprintf(stderr, "faults: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  injector.AttachTelemetry(&tel);
+  faultinject::ScopedInstall armed(injector);
+  std::printf("armed %s (seed %llu)\n", faults_path,
+              static_cast<unsigned long long>(injector.seed()));
+
+  core::Runtime runtime(std::move(config->options), devices);
+  if (!runtime.Start().ok()) return 1;
+  auto spec = core::StackSpec::ParseFile(stack_path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "stack: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto stack = runtime.MountStack(*spec, ipc::Credentials{1, 0, 0});
+  if (!stack.ok()) {
+    std::fprintf(stderr, "mount: %s\n", stack.status().ToString().c_str());
+    return 1;
+  }
+
+  core::Client client(runtime, ipc::Credentials{100, 1000, 1000});
+  if (!client.Connect().ok()) return 1;
+  labmods::GenericFs fs(client);
+  const std::string path = spec->mount + "/labstorctl_faults";
+  int ok_ops = 0;
+  int failed_ops = 0;
+  auto fd = fs.Create(path);
+  if (fd.ok()) {
+    std::vector<uint8_t> data(4096);
+    std::iota(data.begin(), data.end(), 0);
+    constexpr int kOps = 128;
+    for (int i = 0; i < kOps; ++i) {
+      const uint64_t off = static_cast<uint64_t>(i % 32) * data.size();
+      const bool write_ok = fs.Write(*fd, data, off).ok();
+      const bool read_ok = fs.Read(*fd, data, off).ok();
+      ok_ops += static_cast<int>(write_ok) + static_cast<int>(read_ok);
+      failed_ops += static_cast<int>(!write_ok) + static_cast<int>(!read_ok);
+    }
+    (void)fs.Unlink(path);
+  } else {
+    ++failed_ops;
+    std::fprintf(stderr, "create: %s\n", fd.status().ToString().c_str());
+  }
+  (void)runtime.Stop();
+
+  std::printf("workload: %d ops ok, %d ops failed (injected)\n", ok_ops,
+              failed_ops);
+  std::printf("failpoint fires (%llu total):\n",
+              static_cast<unsigned long long>(injector.total_fires()));
+  for (const auto& [site, fires] : injector.FireCounts()) {
+    std::printf("  %-28s %llu\n", site.c_str(),
+                static_cast<unsigned long long>(fires));
+  }
+  std::printf("client retries: %llu\n",
+              static_cast<unsigned long long>(client.retries()));
+  const uint64_t dropped =
+      tel.metrics().GetCounter("runtime.completion.dropped")->Value();
+  std::printf("unhandled-fault audit (runtime.completion.dropped): %llu\n",
+              static_cast<unsigned long long>(dropped));
+  return dropped == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -252,6 +346,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "trace") == 0 && (argc == 4 || argc == 5)) {
     return Telemetrize(argv[2], argv[3],
                        argc == 5 ? argv[4] : "labstor_trace.json");
+  }
+  if (std::strcmp(argv[1], "faults") == 0 && argc == 5) {
+    return RunWithFaults(argv[2], argv[3], argv[4]);
   }
   return Usage();
 }

@@ -5,6 +5,7 @@
 
 #include "core/client.h"
 #include "core/runtime.h"
+#include "faultinject/faultinject.h"
 #include "labmods/consistency.h"
 #include "labmods/genericfs.h"
 #include "labmods/labfs.h"
@@ -301,6 +302,100 @@ TEST_F(FailureTest, KvsGetBufferTooSmall) {
   get.SetPath("kvs::/small/key");
   EXPECT_EQ(client.Execute(get, *stack).code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailureTest, PartialStateRepairConvergesOnSecondEpoch) {
+  ASSERT_TRUE(devices_.Create(simdev::DeviceParams::NvmeP3700(64 << 20)).ok());
+  Mount(
+      "mount: fs::/partial\n"
+      "rules:\n"
+      "  exec_mode: sync\n"
+      "dag:\n"
+      "  - mod: labfs\n"
+      "    uuid: partial_fs\n"
+      "    params:\n"
+      "      log_records_per_worker: 256\n"
+      "    outputs: [partial_drv]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: partial_drv\n");
+  core::Client client(runtime_, ipc::Credentials{100, 1000, 1000});
+  ASSERT_TRUE(client.Connect().ok());
+  labmods::GenericFs fs(client);
+  auto fd = fs.Create("fs::/partial/a");
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> data(8192, 3);
+  ASSERT_TRUE(fs.Write(*fd, data, 0).ok());
+
+  // Fail the SECOND StateRepair call of the sweep: the first instance
+  // repairs, the second doesn't — a genuinely mid-repair failure.
+  faultinject::FaultInjector injector;
+  faultinject::FaultPolicy policy;
+  policy.trigger = faultinject::FaultPolicy::Trigger::kEveryN;
+  policy.every_n = 2;
+  policy.max_fires = 1;
+  policy.code = StatusCode::kInternal;
+  injector.Arm("core.repair.partial", policy);
+  faultinject::ScopedInstall armed(injector);
+
+  EXPECT_FALSE(runtime_.registry().RepairAll().ok());
+  EXPECT_EQ(injector.fires("core.repair.partial"), 1u);
+  // StateRepair is clear-and-rebuild, so the retry sweep converges.
+  ASSERT_TRUE(runtime_.registry().RepairAll().ok());
+
+  auto mod = runtime_.registry().Find("partial_fs");
+  ASSERT_TRUE(mod.ok());
+  auto* labfs = dynamic_cast<labmods::LabFsMod*>(*mod);
+  ASSERT_NE(labfs, nullptr);
+  EXPECT_TRUE(labfs->Exists("fs::/partial/a"));
+  auto size = labfs->FileSize("fs::/partial/a");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, data.size());
+}
+
+TEST_F(FailureTest, FailedWriteReturnsAllBlocksToAllocator) {
+  // Regression: EnsureBlocks used to interleave "assign extent into the
+  // inode" with "append its map record". When the metadata log filled
+  // between extents, the not-yet-assigned extents (typically the stolen
+  // ones) were stranded outside both the inode and the allocator —
+  // leaked until remount. Set up exactly that: a 2-worker log with ONE
+  // record per worker, so the create consumes worker 0's region and the
+  // first map append of the big write fails.
+  ASSERT_TRUE(devices_.Create(simdev::DeviceParams::NvmeP3700(2 << 20)).ok());
+  Mount(
+      "mount: fs::/leak\n"
+      "rules:\n"
+      "  exec_mode: sync\n"
+      "dag:\n"
+      "  - mod: labfs\n"
+      "    uuid: leak_fs\n"
+      "    params:\n"
+      "      log_records_per_worker: 1\n"
+      "    outputs: [leak_drv]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: leak_drv\n");
+  core::Client client(runtime_, ipc::Credentials{100, 1000, 1000});
+  ASSERT_TRUE(client.Connect().ok());
+  labmods::GenericFs fs(client);
+  auto mod = runtime_.registry().Find("leak_fs");
+  ASSERT_TRUE(mod.ok());
+  auto* labfs = dynamic_cast<labmods::LabFsMod*>(*mod);
+  ASSERT_NE(labfs, nullptr);
+
+  auto fd = fs.Create("fs::/leak/a");  // consumes worker 0's only record
+  ASSERT_TRUE(fd.ok());
+  const uint64_t free_before = labfs->allocator_free_blocks();
+
+  // Big enough to need worker 0's whole pool plus stolen extents, so
+  // the allocation spans several extents.
+  std::vector<uint8_t> big(300 * labmods::LabFsMod::kBlockSize, 1);
+  EXPECT_EQ(fs.Write(*fd, big, 0).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_GT(labfs->allocator_steals(), 0u);
+
+  // Unlink frees every block the write had claimed (its own log append
+  // also fails — the region is full — but the frees must still land).
+  (void)fs.Unlink("fs::/leak/a");
+  EXPECT_EQ(labfs->allocator_free_blocks(), free_before);
 }
 
 }  // namespace

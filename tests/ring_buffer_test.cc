@@ -120,5 +120,107 @@ TEST(MpmcRingTest, ConcurrentProducersConsumers) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+// Wraparound stress on the smallest legal ring: a capacity-2 ring
+// cycles its indices every two operations, so >2^16 ops exercise the
+// cached-index and wrap paths continuously. A third thread hammers
+// SizeApprox — the regression here is the head-before-tail load order
+// that let a concurrent pop underflow the unsigned subtraction into a
+// near-SIZE_MAX "size".
+TEST(SpscRingTest, CapacityTwoWraparoundStressWithSizeSampler) {
+  SpscRing<uint64_t> ring(2);
+  constexpr uint64_t kOps = 1u << 17;
+  std::atomic<bool> done{false};
+  std::atomic<bool> size_sane{true};
+
+  // If the sampler is descheduled between SizeApprox's two loads, many
+  // ops can complete, so the size can legitimately exceed capacity —
+  // but never the total op count. Underflow shows up as ~2^64.
+  // Every spin loop yields: with capacity 2 the threads run in
+  // lockstep, and on a single-core host a non-yielding spin burns a
+  // full scheduler quantum per handoff.
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const size_t size = ring.SizeApprox();
+      if (size > kOps) {
+        size_sane.store(false, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&] {
+    uint64_t expected = 0;
+    while (expected < kOps) {
+      auto v = ring.TryPop();
+      if (!v.has_value()) {
+        std::this_thread::yield();
+        continue;
+      }
+      ASSERT_EQ(*v, expected);  // FIFO survives every wrap
+      ++expected;
+    }
+  });
+  for (uint64_t i = 0; i < kOps; ++i) {
+    while (!ring.TryPush(i)) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_TRUE(size_sane.load()) << "SizeApprox underflowed during pops";
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
+TEST(MpmcRingTest, CapacityTwoWraparoundStressWithSizeSampler) {
+  MpmcRing<uint64_t> ring(2);
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr uint64_t kPerProducer = 1u << 16;
+  constexpr uint64_t kTotal = kProducers * kPerProducer;
+  std::atomic<uint64_t> popped{0};
+  std::atomic<uint64_t> sum{0};
+  std::atomic<bool> done{false};
+  std::atomic<bool> size_sane{true};
+
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (ring.SizeApprox() > kTotal) {  // underflow reads as ~2^64
+        size_sane.store(false, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t value = static_cast<uint64_t>(p) * kPerProducer + i;
+        while (!ring.TryPush(value)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (popped.load() < kTotal) {
+        auto v = ring.TryPop();
+        if (!v.has_value()) {
+          std::this_thread::yield();
+          continue;
+        }
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_TRUE(size_sane.load()) << "SizeApprox underflowed during pops";
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
 }  // namespace
 }  // namespace labstor
