@@ -54,6 +54,25 @@ class SpscRing {
     return value;
   }
 
+  // Pop up to `max` values into `out`; returns how many were taken.
+  // One tail publish for the whole batch amortizes the release store
+  // and the head refresh across every value drained.
+  size_t TryPopBatch(T* out, size_t max) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t available = head_cache_ - tail;
+    if (available == 0) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      available = head_cache_ - tail;
+      if (available == 0) return 0;
+    }
+    const size_t n = available < max ? available : max;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   size_t SizeApprox() const {
     // Load tail before head: head only grows, so a later head load can
     // never be behind the earlier tail load. The reverse order let a
@@ -123,6 +142,81 @@ class MpmcRing {
         return std::nullopt;  // empty
       } else {
         pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Pop up to `max` values into `out`; returns how many were taken.
+  // A consumer claims the whole run of ready slots with ONE tail CAS:
+  // slots it claims cannot be touched by producers (a filled slot's
+  // sequence only advances when its consumer releases it), so the
+  // values stay valid between the readiness scan and the copy-out.
+  size_t TryPopBatch(T* out, size_t max) {
+    if (max == 0) return 0;
+    while (true) {
+      size_t pos = tail_.load(std::memory_order_relaxed);
+      size_t n = 0;
+      while (n < max) {
+        const Slot& slot = slots_[(pos + n) & mask_];
+        const size_t seq = slot.sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) -
+                static_cast<intptr_t>(pos + n + 1) != 0) {
+          break;  // not (yet) filled for this position — run ends here
+        }
+        ++n;
+      }
+      if (n == 0) {
+        const Slot& slot = slots_[pos & mask_];
+        const size_t seq = slot.sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+          return 0;  // empty
+        }
+        continue;  // lost the race to another consumer; re-read tail
+      }
+      if (tail_.compare_exchange_weak(pos, pos + n,
+                                      std::memory_order_relaxed)) {
+        for (size_t i = 0; i < n; ++i) {
+          Slot& slot = slots_[(pos + i) & mask_];
+          out[i] = std::move(slot.value);
+          slot.sequence.store(pos + i + mask_ + 1, std::memory_order_release);
+        }
+        return n;
+      }
+    }
+  }
+
+  // Push up to `n` values from `in`; returns how many were accepted
+  // (0 when full). Mirrors TryPopBatch: one head CAS claims the run of
+  // free slots, then each slot is filled and released individually.
+  size_t TryPushBatch(T* in, size_t n) {
+    if (n == 0) return 0;
+    while (true) {
+      size_t pos = head_.load(std::memory_order_relaxed);
+      size_t k = 0;
+      while (k < n) {
+        const Slot& slot = slots_[(pos + k) & mask_];
+        const size_t seq = slot.sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + k) != 0) {
+          break;  // slot still owned by a lagging consumer — run ends
+        }
+        ++k;
+      }
+      if (k == 0) {
+        const Slot& slot = slots_[pos & mask_];
+        const size_t seq = slot.sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos) < 0) {
+          return 0;  // full
+        }
+        continue;  // lost the race to another producer; re-read head
+      }
+      if (head_.compare_exchange_weak(pos, pos + k,
+                                      std::memory_order_relaxed)) {
+        for (size_t i = 0; i < k; ++i) {
+          Slot& slot = slots_[(pos + i) & mask_];
+          slot.value = std::move(in[i]);
+          slot.sequence.store(pos + i + 1, std::memory_order_release);
+        }
+        return k;
       }
     }
   }

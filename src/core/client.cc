@@ -37,7 +37,15 @@ Status Client::Execute(ipc::Request& req, Stack& stack) {
     return runtime_.Execute(req);
   }
   LABSTOR_RETURN_IF_ERROR(SubmitWithBackpressure(req));
-  return WaitWithRecovery(req);
+  const Status st = WaitWithRecovery(req);
+  ReapCompletions();
+  return st;
+}
+
+void Client::ReapCompletions() {
+  if (!connected()) return;
+  while (channel_.qp->PollCompletion().has_value()) {
+  }
 }
 
 std::chrono::microseconds Client::BackoffDelay(int attempt) {
@@ -66,6 +74,10 @@ Status Client::SubmitWithBackpressure(ipc::Request& req) {
     // Queue-wait accounting: stamped on the runtime's epoch clock and
     // read back by the worker that dequeues the request.
     req.submit_ns = tel->NowNs();
+  } else {
+    // Telemetry toggled off mid-run: clear any stamp from an earlier
+    // submission so the worker can't compute wait from a stale epoch.
+    req.submit_ns = 0;
   }
   // Submission fails when the ring is full or the queue is quiesced
   // for an upgrade; both usually clear quickly, so spin briefly, then

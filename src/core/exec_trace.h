@@ -131,6 +131,13 @@ class ExecTrace {
     dev_ops_.clear();
   }
 
+  // Pre-size the ledger so steady-state executions (per-worker reused
+  // traces) never grow the vectors on the hot path.
+  void Reserve(size_t sw_entries, size_t dev_ops) {
+    sw_.reserve(sw_entries);
+    dev_ops_.reserve(dev_ops);
+  }
+
  private:
   std::vector<SwEntry> sw_;
   std::vector<DevOp> dev_ops_;

@@ -39,12 +39,14 @@ Status ModuleManager::ApplyOne(const UpgradeRequest& request,
 
 Status ModuleManager::ProcessUpgrades(
     ModContext& ctx, const std::function<void()>& wait_quiesce) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Early-out before constructing the batch deque: libstdc++'s deque
+  // allocates on default construction, which would make every idle
+  // admin pass heap-churn.
+  if (queue_.empty()) return Status::Ok();
   std::deque<UpgradeRequest> batch;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return Status::Ok();
-    batch.swap(queue_);
-  }
+  batch.swap(queue_);
+  lock.unlock();
 
   // Split by protocol: centralized requests share one global quiesce;
   // decentralized requests roll across clients afterwards.

@@ -7,6 +7,78 @@
 
 namespace labstor::core {
 
+namespace {
+
+// One spin-loop iteration's pause hint (keeps the core from
+// speculating down the poll loop and frees pipeline slots for the
+// sibling hyperthread).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Spin → yield → exponential sleep, reset on work (DESIGN.md §7).
+// Spinning keeps dequeue latency in the sub-µs range for ping-pong
+// traffic; the sleep ceiling bounds idle CPU burn at the old fixed-
+// sleep level. SleepAtCeiling() is the bulk-traffic escape hatch: a
+// worker that just drained a full batch knows producers are streaming,
+// so the kindest idle move is a long sleep that gives them the core to
+// refill (spinning here would preempt the producer on a single-CPU
+// host and serialize the pipeline into one context switch per
+// request).
+class IdleBackoff {
+ public:
+  IdleBackoff(uint32_t spin_polls, uint32_t yield_polls,
+              std::chrono::nanoseconds sleep_min,
+              std::chrono::nanoseconds sleep_max)
+      : spin_polls_(spin_polls),
+        yield_polls_(yield_polls),
+        sleep_min_(sleep_min),
+        sleep_max_(sleep_max < sleep_min ? sleep_min : sleep_max),
+        cur_sleep_(sleep_min) {}
+
+  void Reset() {
+    idle_passes_ = 0;
+    cur_sleep_ = sleep_min_;
+  }
+
+  void Idle() {
+    if (idle_passes_ < spin_polls_) {
+      ++idle_passes_;
+      CpuRelax();
+      return;
+    }
+    if (idle_passes_ < spin_polls_ + yield_polls_) {
+      ++idle_passes_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(cur_sleep_);
+    cur_sleep_ = std::min(cur_sleep_ * 2, sleep_max_);
+  }
+
+  void SleepAtCeiling() {
+    idle_passes_ = spin_polls_ + yield_polls_;
+    cur_sleep_ = sleep_max_;
+    std::this_thread::sleep_for(sleep_max_);
+  }
+
+ private:
+  const uint32_t spin_polls_;
+  const uint32_t yield_polls_;
+  const std::chrono::nanoseconds sleep_min_;
+  const std::chrono::nanoseconds sleep_max_;
+  uint32_t idle_passes_ = 0;
+  std::chrono::nanoseconds cur_sleep_;
+};
+
+}  // namespace
+
 Runtime::Runtime(Options options, simdev::DeviceRegistry& devices)
     : options_(std::move(options)),
       devices_(devices),
@@ -16,9 +88,15 @@ Runtime::Runtime(Options options, simdev::DeviceRegistry& devices)
   if (options_.orchestrator == nullptr) {
     options_.orchestrator = std::make_unique<DynamicOrchestrator>();
   }
+  if (options_.worker_batch == 0) options_.worker_batch = 1;
   mod_context_.devices = &devices_;
   mod_context_.num_workers = static_cast<uint32_t>(options_.max_workers);
   mod_context_.telemetry = options_.telemetry;
+  // Non-null empty table so pre-Start readers (active_workers, tests)
+  // never special-case.
+  auto empty = std::make_shared<AssignmentTable>();
+  empty->per_worker.assign(options_.max_workers, {});
+  assign_table_ = std::move(empty);
   if (telemetry::Telemetry* tel = options_.telemetry; tel != nullptr) {
     telemetry::MetricsRegistry& m = tel->metrics();
     wired_.worker_requests = m.GetCounter("runtime.worker.requests");
@@ -65,10 +143,6 @@ Status Runtime::Restart() {
 void Runtime::StartThreads() {
   stop_.store(false, std::memory_order_release);
   worker_dead_ = std::make_unique<std::atomic<bool>[]>(options_.max_workers);
-  {
-    std::lock_guard<std::mutex> lock(assign_mu_);
-    assignments_.assign(options_.max_workers, {});
-  }
   Rebalance();
   workers_.reserve(options_.max_workers);
   for (size_t i = 0; i < options_.max_workers; ++i) {
@@ -105,22 +179,53 @@ Status Runtime::UnmountStack(const std::string& mount,
   return namespace_.Unmount(mount, actor);
 }
 
-Status Runtime::Execute(ipc::Request& req) {
-  auto stack = namespace_.FindById(req.stack_id);
-  if (!stack.ok()) {
-    req.Complete(stack.status().code());
-    return stack.status();
+Stack* Runtime::LookupStack(uint32_t stack_id, ExecScratch& scratch) {
+  // Per-thread cache keyed on the namespace mutation epoch: any mount
+  // / unmount / modify / rebind invalidates every cached pointer, so
+  // the common case is a handful of pointer compares with no lock.
+  const uint64_t epoch = namespace_.epoch();
+  if (epoch != scratch.ns_epoch) {
+    scratch.stacks.clear();
+    scratch.ns_epoch = epoch;
   }
-  ExecTrace trace;
-  StackExec exec(**stack, mod_context_, trace);
-  const Status st = exec.Dispatch(req);
+  for (const auto& [id, stack] : scratch.stacks) {
+    if (id == stack_id) return stack;
+  }
+  auto found = namespace_.FindById(stack_id);
+  if (!found.ok()) return nullptr;
+  // Don't cache across a concurrent mutation: the pointer we resolved
+  // under the namespace lock may already be about to dangle.
+  if (namespace_.epoch() == scratch.ns_epoch) {
+    scratch.stacks.emplace_back(stack_id, *found);
+  }
+  return *found;
+}
+
+Status Runtime::ExecuteWith(ipc::Request& req, ExecScratch& scratch) {
+  Stack* stack = LookupStack(req.stack_id, scratch);
+  if (stack == nullptr) {
+    req.Complete(StatusCode::kNotFound);
+    return Status::NotFound("no stack with id " +
+                            std::to_string(req.stack_id));
+  }
+  scratch.trace.Clear();
+  scratch.exec.Reset(*stack, mod_context_, scratch.trace);
+  const Status st = scratch.exec.Dispatch(req);
   req.Complete(st.ok() ? StatusCode::kOk : st.code(), req.result_u64);
   requests_processed_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry::Telemetry* tel = options_.telemetry;
       tel != nullptr && tel->enabled()) {
-    trace.PublishTo(*tel, req.worker);
+    scratch.trace.PublishTo(*tel, req.worker);
   }
   return st;
+}
+
+Status Runtime::Execute(ipc::Request& req) {
+  // Per-thread scratch: sync-mode clients and tests reuse the same
+  // trace/exec/cache storage across calls (first call per thread pays
+  // the reservation; steady state allocates nothing).
+  thread_local ExecScratch scratch;
+  return ExecuteWith(req, scratch);
 }
 
 Status Runtime::EnsureRepaired(uint64_t epoch) {
@@ -159,102 +264,158 @@ size_t Runtime::dead_workers() const {
 }
 
 size_t Runtime::active_workers() const {
-  std::lock_guard<std::mutex> lock(assign_mu_);
+  const std::shared_ptr<const AssignmentTable> table = LoadAssignments();
   size_t active = 0;
-  for (const auto& queues : assignments_) {
+  for (const auto& queues : table->per_worker) {
     if (!queues.empty()) ++active;
   }
   return active;
 }
 
-std::vector<ipc::QueuePair*> Runtime::SnapshotQueues(size_t worker_id) const {
-  std::lock_guard<std::mutex> lock(assign_mu_);
-  if (worker_id >= assignments_.size()) return {};
-  return assignments_[worker_id];
+std::vector<ipc::QueuePair*> Runtime::AssignedQueues(size_t worker_id) const {
+  const std::shared_ptr<const AssignmentTable> table = LoadAssignments();
+  if (worker_id >= table->per_worker.size()) return {};
+  return table->per_worker[worker_id];
 }
 
 void Runtime::WorkerLoop(size_t worker_id) {
   telemetry::Telemetry* tel = options_.telemetry;
+  const size_t batch_max = options_.worker_batch;
+  // Per-worker state, sized once: the drained-batch buffer, the
+  // execution scratch, and the idle ladder. Nothing below allocates
+  // once these are warm.
+  std::vector<ipc::Request*> batch(batch_max, nullptr);
+  ExecScratch scratch;
+  IdleBackoff idle(options_.worker_spin_polls, options_.worker_yield_polls,
+                   options_.worker_idle_sleep_min, options_.worker_idle_sleep);
+  // RCU read side: hold the published table; re-load only when the
+  // generation counter moves (one relaxed-ish atomic load per pass in
+  // steady state, no mutex, no vector copy).
+  std::shared_ptr<const AssignmentTable> table = LoadAssignments();
+  uint64_t seen_generation = table->generation;
+  // Bulk-traffic latch: set when a pass drains a full batch from some
+  // queue (producers are streaming faster than one visit clears), so
+  // the next idle moment should cede the core wholesale instead of
+  // spinning. Cleared by any partial-drain working pass.
+  bool bulk_traffic = false;
+
   while (!stop_.load(std::memory_order_acquire)) {
-    const std::vector<ipc::QueuePair*> queues = SnapshotQueues(worker_id);
+    const uint64_t generation =
+        assign_generation_.load(std::memory_order_acquire);
+    if (generation != seen_generation) {
+      table = LoadAssignments();
+      // The freshly-loaded table may be newer than `generation`; adopt
+      // whatever we actually got.
+      seen_generation = table->generation;
+    }
     bool did_work = false;
+    size_t max_drain = 0;
+    static const std::vector<ipc::QueuePair*> kNoQueues;
+    const std::vector<ipc::QueuePair*>& queues =
+        worker_id < table->per_worker.size() ? table->per_worker[worker_id]
+                                             : kNoQueues;
     for (ipc::QueuePair* qp : queues) {
       if (qp->update_pending()) {
         qp->AckUpdate();
         continue;  // paused for upgrade
       }
-      auto polled = qp->PollSubmission();
-      if (!polled.has_value()) continue;
-      ipc::Request* req = *polled;
+      size_t n = qp->PollSubmissionBatch(batch.data(), batch_max);
+      if (n == 0) continue;
+      did_work = true;
+      max_drain = std::max(max_drain, n);
+
       if (faultinject::FaultInjector* fi = faultinject::Active();
           fi != nullptr) {
-        // Worker death mid-request: the thread exits with the dequeued
-        // request never completed. Checked before the in_flight_
-        // increment so upgrade quiescing still converges; the client
-        // recovers via its Wait timeout + resubmission path, and the
-        // immediate rebalance hands this worker's queues (including
-        // the one holding the resubmission) to a survivor.
-        if (fi->Evaluate("core.worker.death").has_value()) {
-          worker_dead_[worker_id].store(true, std::memory_order_release);
-          Rebalance();
-          return;
-        }
-        // Poisoned slot: the request arrives unusable (stale pointer,
-        // scribbled header); the worker rejects it without executing.
-        if (auto poison = fi->Evaluate("ipc.slot.poison")) {
-          req->Complete(poison->code == StatusCode::kOk
-                            ? StatusCode::kCorruption
-                            : poison->code);
-          if (!qp->Complete(req) && wired_.completions_dropped != nullptr) {
-            wired_.completions_dropped->Inc(worker_id);
+        size_t kept = 0;
+        for (size_t i = 0; i < n; ++i) {
+          ipc::Request* req = batch[i];
+          // Worker death mid-batch: the thread exits with the drained
+          // requests never completed. Checked before the in_flight_
+          // increment so upgrade quiescing still converges; clients
+          // recover via their Wait timeout + resubmission path, and
+          // the immediate rebalance hands this worker's queues
+          // (including the one holding the resubmissions) to a
+          // survivor.
+          if (fi->Evaluate("core.worker.death").has_value()) {
+            worker_dead_[worker_id].store(true, std::memory_order_release);
+            Rebalance();
+            return;
           }
-          did_work = true;
-          continue;
+          // Poisoned slot: the request arrives unusable (stale
+          // pointer, scribbled header); the worker rejects it without
+          // executing but still accounts a completion so the
+          // orchestrator's backlog estimate stays truthful.
+          if (auto poison = fi->Evaluate("ipc.slot.poison")) {
+            req->Complete(poison->code == StatusCode::kOk
+                              ? StatusCode::kCorruption
+                              : poison->code);
+            qp->total_completed.fetch_add(1, std::memory_order_relaxed);
+            if (!qp->Complete(req) &&
+                wired_.completions_dropped != nullptr) {
+              wired_.completions_dropped->Inc(worker_id);
+            }
+            continue;
+          }
+          batch[kept++] = req;
         }
+        n = kept;
+        if (n == 0) continue;
       }
-      in_flight_.fetch_add(1, std::memory_order_acq_rel);
-      req->worker = static_cast<uint32_t>(worker_id);
-      if (tel != nullptr && tel->enabled()) {
-        // Queue wait = dequeue time minus the client's submit stamp
-        // (same epoch clock), emitted as the request's "queue" span.
-        const uint64_t now = tel->NowNs();
-        if (req->submit_ns != 0 && now >= req->submit_ns) {
+
+      in_flight_.fetch_add(n, std::memory_order_acq_rel);
+      const bool instrument = tel != nullptr && tel->enabled();
+      uint64_t now = 0;
+      if (instrument) {
+        // One epoch-clock read covers queue-wait accounting for the
+        // whole batch.
+        now = tel->NowNs();
+        wired_.queue_depth->Record(qp->PendingSubmissions(), worker_id);
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < n; ++i) {
+        ipc::Request* req = batch[i];
+        req->worker = static_cast<uint32_t>(worker_id);
+        if (instrument && req->submit_ns != 0 && now >= req->submit_ns) {
           wired_.queue_wait_ns->Record(now - req->submit_ns, worker_id);
           tel->trace().Span(static_cast<uint32_t>(worker_id),
                             telemetry::kCatQueue, "queue.wait",
                             req->submit_ns, now - req->submit_ns, "qid",
                             qp->id());
         }
-        wired_.queue_depth->Record(qp->PendingSubmissions(), worker_id);
+        (void)ExecuteWith(*req, scratch);
       }
-      const auto t0 = std::chrono::steady_clock::now();
-      (void)Execute(*req);
       // Feed the measured processing time back to the orchestrator as
       // an EWMA (the paper: workers "periodically monitor LabMods to
-      // get performance metrics, useful to work orchestration").
-      const auto ns = static_cast<uint64_t>(
+      // get performance metrics, useful to work orchestration"). One
+      // sample per batch — the batch mean — via a lost-update-free
+      // CAS fold.
+      const auto batch_ns = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
               .count());
-      const uint64_t prev =
-          qp->est_processing_ns.load(std::memory_order_relaxed);
-      qp->est_processing_ns.store(prev == 0 ? ns : (prev * 7 + ns) / 8,
-                                  std::memory_order_relaxed);
-      qp->total_completed.fetch_add(1, std::memory_order_relaxed);
-      if (!qp->Complete(req) && wired_.completions_dropped != nullptr) {
-        wired_.completions_dropped->Inc(worker_id);
+      const uint64_t per_request_ns = batch_ns / n;
+      qp->UpdateEstProcessing(per_request_ns);
+      qp->total_completed.fetch_add(n, std::memory_order_relaxed);
+      const size_t accepted = qp->CompleteBatch(batch.data(), n);
+      for (size_t i = accepted; i < n; ++i) {
+        if (!qp->Complete(batch[i]) &&
+            wired_.completions_dropped != nullptr) {
+          wired_.completions_dropped->Inc(worker_id);
+        }
       }
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      if (tel != nullptr && tel->enabled()) {
-        wired_.worker_requests->Inc(worker_id);
-        wired_.exec_ns->Record(ns, worker_id);
+      in_flight_.fetch_sub(n, std::memory_order_acq_rel);
+      if (instrument) {
+        wired_.worker_requests->Add(n, worker_id);
+        wired_.exec_ns->RecordN(per_request_ns, n, worker_id);
       }
-      did_work = true;
     }
-    if (!did_work) {
-      // Paper: idle workers back off instead of busy-waiting a whole
-      // orchestrator epoch.
-      std::this_thread::sleep_for(options_.worker_idle_sleep);
+    if (did_work) {
+      idle.Reset();
+      bulk_traffic = max_drain >= batch_max;
+    } else if (bulk_traffic) {
+      idle.SleepAtCeiling();
+    } else {
+      idle.Idle();
     }
   }
 }
@@ -274,6 +435,20 @@ void Runtime::AdminLoop() {
     }
     std::this_thread::sleep_for(options_.admin_poll);
   }
+}
+
+void Runtime::PublishAssignments(std::shared_ptr<AssignmentTable> table) {
+  // assign_mu_ serializes publishers (so generations stay monotonic
+  // with the tables they describe) and guards the shared_ptr swap
+  // against the rare reader refetch. Order matters: table first, then
+  // generation (release), so a reader woken by the generation bump
+  // always finds a table at least that new.
+  std::lock_guard<std::mutex> lock(assign_mu_);
+  const uint64_t generation =
+      assign_generation_.load(std::memory_order_relaxed) + 1;
+  table->generation = generation;
+  assign_table_ = std::shared_ptr<const AssignmentTable>(std::move(table));
+  assign_generation_.store(generation, std::memory_order_release);
 }
 
 void Runtime::Rebalance() {
@@ -312,28 +487,27 @@ void Runtime::Rebalance() {
                       std::string(options_.orchestrator->name()) + ".rebalance",
                       t0, tel->NowNs() - t0, "workers", commissioned);
   }
-  std::lock_guard<std::mutex> lock(assign_mu_);
-  assignments_.assign(options_.max_workers, {});
+  auto table = std::make_shared<AssignmentTable>();
+  table->per_worker.assign(options_.max_workers, {});
   for (size_t b = 0; b < assignment.worker_queues.size() && b < live.size();
        ++b) {
     for (const uint32_t qid : assignment.worker_queues[b]) {
       if (ipc::QueuePair* qp = ipc_.FindQueue(qid); qp != nullptr) {
-        assignments_[live[b]].push_back(qp);
+        table->per_worker[live[b]].push_back(qp);
       }
     }
   }
+  PublishAssignments(std::move(table));
 }
 
 void Runtime::WaitQuiesce() {
   // 1. Every assigned, marked primary queue must be acknowledged by
   //    its worker; queues no worker drains are acknowledged here.
   while (!stop_.load(std::memory_order_acquire)) {
+    const std::shared_ptr<const AssignmentTable> table = LoadAssignments();
     std::vector<ipc::QueuePair*> assigned;
-    {
-      std::lock_guard<std::mutex> lock(assign_mu_);
-      for (const auto& queues : assignments_) {
-        assigned.insert(assigned.end(), queues.begin(), queues.end());
-      }
+    for (const auto& queues : table->per_worker) {
+      assigned.insert(assigned.end(), queues.begin(), queues.end());
     }
     bool all_acked = true;
     for (ipc::QueuePair* qp : ipc_.PrimaryQueues()) {

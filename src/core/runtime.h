@@ -10,6 +10,20 @@
 //     shared-memory queues (async stacks) or execute DAGs inline
 //     (sync stacks).
 //
+// Hot-path design (DESIGN.md §7):
+//   * queue assignments are published RCU-style — the rebalancer
+//     builds an immutable AssignmentTable and swaps it into an atomic
+//     shared_ptr; workers poll a generation counter and reload only
+//     when it changes (no mutex, no copy per pass);
+//   * workers drain queues in batches (PollSubmissionBatch) and push
+//     completions in batches, amortizing ring CAS traffic, telemetry
+//     clock reads, and EWMA updates;
+//   * execution is allocation-free steady-state: per-thread ExecScratch
+//     reuses the ExecTrace/StackExec and caches stack_id → Stack*
+//     lookups validated against the namespace epoch;
+//   * idle workers follow a spin → yield → exponential-sleep backoff
+//     that resets to spinning the moment work appears.
+//
 // The Runtime can be crash-tested: CrashForTesting() drops it offline
 // with state intact; Restart() brings a fresh epoch online, after
 // which client libraries trigger StateRepair on every LabMod.
@@ -21,6 +35,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/module_manager.h"
@@ -39,7 +54,22 @@ class Runtime {
     size_t max_workers = 4;
     std::unique_ptr<WorkOrchestrator> orchestrator;  // default: dynamic
     std::chrono::milliseconds admin_poll{5};
-    std::chrono::microseconds worker_idle_sleep{100};
+    // Max requests a worker pulls from one queue per visit. Bounds both
+    // the amortization win and the fairness cost: another queue waits
+    // at most worker_batch executions.
+    size_t worker_batch = 16;
+    // Idle policy: spin worker_spin_polls empty passes (cpu-relax),
+    // then yield worker_yield_polls passes, then sleep with exponential
+    // backoff from worker_idle_sleep_min up to worker_idle_sleep.
+    // Finding work resets the ladder to spinning — unless the last
+    // working pass drained a full batch, which signals bulk traffic:
+    // then the worker skips straight to the sleep ceiling so the
+    // producers get uninterrupted time to refill (decisive on
+    // single-CPU hosts, where spinning preempts the producer).
+    uint32_t worker_spin_polls = 64;
+    uint32_t worker_yield_polls = 16;
+    std::chrono::microseconds worker_idle_sleep_min{4};
+    std::chrono::microseconds worker_idle_sleep{100};  // backoff ceiling
     ipc::IpcManager::Options ipc;
     StackNamespace::Options ns;
     // Optional metrics/tracing sink (not owned; must outlive the
@@ -75,7 +105,8 @@ class Runtime {
   }
 
   // Executes one request against its stack (worker path; also used by
-  // sync-mode clients inline).
+  // sync-mode clients inline). Uses a per-thread ExecScratch, so
+  // steady-state calls perform no heap allocation.
   Status Execute(ipc::Request& req);
 
   // Crash recovery: run StateRepair across all mods once per epoch.
@@ -101,11 +132,45 @@ class Runtime {
   // path) since the last Start/Restart. Their queues are redistributed
   // to the survivors.
   size_t dead_workers() const;
+  bool worker_dead(size_t worker_id) const {
+    return worker_dead_ != nullptr && worker_id < options_.max_workers &&
+           worker_dead_[worker_id].load(std::memory_order_acquire);
+  }
   uint64_t requests_processed() const {
     return requests_processed_.load(std::memory_order_relaxed);
   }
+  // Current assignment-table generation (bumped by every Rebalance).
+  uint64_t assignment_generation() const {
+    return assign_generation_.load(std::memory_order_acquire);
+  }
+  // Copy of worker_id's currently-published queue list (test/debug
+  // visibility into the lock-free table).
+  std::vector<ipc::QueuePair*> AssignedQueues(size_t worker_id) const;
 
  private:
+  // Immutable queue→worker map published by Rebalance. Workers hold a
+  // shared_ptr, so a table stays alive while any worker still drains
+  // from it even after a newer one is published (classic RCU shape).
+  struct AssignmentTable {
+    uint64_t generation = 0;
+    std::vector<std::vector<ipc::QueuePair*>> per_worker;
+  };
+
+  // Per-thread execution scratch: reused trace + exec + an epoch-
+  // validated stack cache so the hot path never locks the namespace
+  // or allocates after warm-up.
+  struct ExecScratch {
+    ExecScratch() {
+      trace.Reserve(/*sw_entries=*/32, /*dev_ops=*/16);
+      exec.ReserveCallStack(32);
+      stacks.reserve(16);
+    }
+    ExecTrace trace;
+    StackExec exec;
+    std::vector<std::pair<uint32_t, Stack*>> stacks;
+    uint64_t ns_epoch = 0;
+  };
+
   // Hot-path metric handles, resolved once at construction so worker
   // loops never hit the registry map (see MetricsRegistry docs).
   struct WiredMetrics {
@@ -121,11 +186,17 @@ class Runtime {
     telemetry::Counter* completions_dropped = nullptr;
   };
 
+  Status ExecuteWith(ipc::Request& req, ExecScratch& scratch);
+  Stack* LookupStack(uint32_t stack_id, ExecScratch& scratch);
   void WorkerLoop(size_t worker_id);
   void AdminLoop();
   void Rebalance();
   void WaitQuiesce();
-  std::vector<ipc::QueuePair*> SnapshotQueues(size_t worker_id) const;
+  void PublishAssignments(std::shared_ptr<AssignmentTable> table);
+  std::shared_ptr<const AssignmentTable> LoadAssignments() const {
+    std::lock_guard<std::mutex> lock(assign_mu_);
+    return assign_table_;
+  }
   void StartThreads();
   void StopThreads();
 
@@ -154,8 +225,19 @@ class Runtime {
   // are not stranded. Reset on Start/Restart.
   std::unique_ptr<std::atomic<bool>[]> worker_dead_;
 
+  // Publication protocol: the generation counter is the lock-free
+  // fast-path signal — workers poll it (acquire) once per pass and
+  // only when it changed do they take assign_mu_ to refetch the
+  // shared_ptr (a reader can observe a table newer than the generation
+  // that woke it; it adopts that table's own generation, so nothing is
+  // lost). Publishers set the table and then bump the generation
+  // (release) under the same lock. So the mutex is touched only on
+  // rebalance — never in the steady-state loop. (The shared_ptr itself
+  // is mutex-guarded rather than std::atomic<std::shared_ptr> because
+  // libstdc++-12's _Sp_atomic lock-bit protocol is opaque to TSan.)
   mutable std::mutex assign_mu_;
-  std::vector<std::vector<ipc::QueuePair*>> assignments_;
+  std::shared_ptr<const AssignmentTable> assign_table_;
+  std::atomic<uint64_t> assign_generation_{0};
 };
 
 }  // namespace labstor::core

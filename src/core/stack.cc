@@ -224,6 +224,7 @@ Result<Stack*> StackNamespace::Mount(const StackSpec& spec,
   stack->spec.rules.admins.push_back(std::to_string(actor.uid));
   Stack* raw = stack.get();
   stacks_.emplace(spec.mount, std::move(stack));
+  BumpEpoch();
   return raw;
 }
 
@@ -247,6 +248,7 @@ Status StackNamespace::Unmount(const std::string& mount,
   if (it == stacks_.end()) return Status::NotFound("nothing mounted at '" + mount + "'");
   LABSTOR_RETURN_IF_ERROR(CheckAdmin(*it->second, actor));
   stacks_.erase(it);
+  BumpEpoch();
   return Status::Ok();
 }
 
@@ -264,6 +266,7 @@ Status StackNamespace::Modify(const StackSpec& updated,
   rebuilt->id = it->second->id;
   rebuilt->spec.rules.admins = it->second->spec.rules.admins;
   it->second = std::move(rebuilt);
+  BumpEpoch();
   return Status::Ok();
 }
 
@@ -312,6 +315,7 @@ Status StackNamespace::RefreshBindings(const ModuleRegistry& registry) {
       vertex.mod = mod;
     }
   }
+  BumpEpoch();
   return Status::Ok();
 }
 

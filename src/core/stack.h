@@ -8,6 +8,7 @@
 // swapped (the Module Manager's upgrade path).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -104,14 +105,31 @@ class StackNamespace {
   std::vector<std::string> Mounts() const;
   size_t size() const;
 
+  // Mutation epoch: advanced by every Mount / Unmount / Modify /
+  // RefreshBindings. Lock-free readers (the workers' per-thread
+  // stack_id → Stack* caches) revalidate against this instead of
+  // taking mu_ per request; a changed epoch invalidates every cached
+  // pointer, including ones Modify just dangled. Epoch values are
+  // drawn from a process-global counter, so no two namespace
+  // instances (e.g. sequential Runtimes in one test binary) can ever
+  // present the same epoch to a thread-local cache.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
  private:
   Status CheckAdmin(const Stack& stack, const ipc::Credentials& actor) const;
   Result<std::unique_ptr<Stack>> Build(const StackSpec& spec,
                                        ModuleRegistry& registry,
                                        ModContext& ctx) const;
 
+  static uint64_t NextEpoch() {
+    static std::atomic<uint64_t> global{1};
+    return global.fetch_add(1, std::memory_order_relaxed);
+  }
+  void BumpEpoch() { epoch_.store(NextEpoch(), std::memory_order_release); }
+
   Options options_;
   mutable std::mutex mu_;
+  std::atomic<uint64_t> epoch_{NextEpoch()};
   uint32_t next_id_ = 1;
   std::unordered_map<std::string, std::unique_ptr<Stack>> stacks_;  // by mount
 };

@@ -65,8 +65,16 @@ class IpcManager {
   // Intermediate queues live runtime-side.
   QueuePair* CreateIntermediateQueue(bool ordered);
 
-  const std::vector<QueuePair*>& PrimaryQueues() const { return primary_; }
-  const std::vector<QueuePair*>& IntermediateQueues() const {
+  // Snapshots, not references: Connect/Disconnect mutate these vectors
+  // from client threads while the admin rebalancer (and a dying
+  // worker's rebalance) iterate them. Both callers are cold paths —
+  // the worker loop reads the published AssignmentTable instead.
+  std::vector<QueuePair*> PrimaryQueues() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return primary_;
+  }
+  std::vector<QueuePair*> IntermediateQueues() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return intermediate_;
   }
   QueuePair* FindQueue(uint32_t qid) const;

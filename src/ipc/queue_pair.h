@@ -52,10 +52,20 @@ class QueuePair {
     return sq_.TryPush(req);
   }
   std::optional<Request*> PollSubmission() { return sq_.TryPop(); }
+  // Drain up to `max` pending submissions in one visit (one ring CAS
+  // for the whole run) — the worker-side batch-drain primitive.
+  size_t PollSubmissionBatch(Request** out, size_t max) {
+    return sq_.TryPopBatch(out, max);
+  }
   size_t PendingSubmissions() const { return sq_.SizeApprox(); }
 
   // --- completion side ---
   bool Complete(Request* req) { return cq_.TryPush(req); }
+  // Publish a batch of completions; returns how many the ring
+  // accepted (the caller surfaces the shortfall as dropped).
+  size_t CompleteBatch(Request** reqs, size_t n) {
+    return cq_.TryPushBatch(reqs, n);
+  }
   std::optional<Request*> PollCompletion() { return cq_.TryPop(); }
 
   // --- live upgrade protocol flags ---
@@ -81,6 +91,18 @@ class QueuePair {
   // Max EstProcessingTime (ns) among mods reachable from this queue;
   // maintained by the runtime when stacks are (re)assigned.
   std::atomic<uint64_t> est_processing_ns{0};
+
+  // Fold a measured per-request service time into est_processing_ns
+  // (EWMA, alpha = 1/8). CAS loop: two workers draining the same
+  // unordered queue must not interleave load/store and lose an update.
+  void UpdateEstProcessing(uint64_t sample_ns) {
+    uint64_t prev = est_processing_ns.load(std::memory_order_relaxed);
+    uint64_t next;
+    do {
+      next = prev == 0 ? sample_ns : (prev * 7 + sample_ns) / 8;
+    } while (!est_processing_ns.compare_exchange_weak(
+        prev, next, std::memory_order_relaxed));
+  }
 
  private:
   uint32_t id_;

@@ -120,6 +120,10 @@ struct Request {
     length = 0;
     channel = 0;
     worker = 0;
+    // Stale stamps from the previous occupant would otherwise surface
+    // as wildly inflated queue-wait metrics when the next submission
+    // is unstamped (telemetry off, or the sync path).
+    submit_ns = 0;
     path[0] = '\0';
     result = StatusCode::kOk;
     result_u64 = 0;

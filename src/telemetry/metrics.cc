@@ -64,6 +64,13 @@ void LatencyHistogram::Record(uint64_t value, size_t shard) {
   s.histogram.Record(value);
 }
 
+void LatencyHistogram::RecordN(uint64_t value, uint64_t count, size_t shard) {
+  if (count == 0) return;
+  Shard& s = *shards_[shard & mask_];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.histogram.RecordN(value, count);
+}
+
 Histogram LatencyHistogram::Merged() const {
   Histogram merged;
   for (const auto& shard : shards_) {

@@ -66,6 +66,9 @@ class LatencyHistogram {
   explicit LatencyHistogram(size_t shards);
 
   void Record(uint64_t value, size_t shard = 0);
+  // Batch-aware record: `count` samples of `value` with one lock
+  // acquisition (workers fold a drained batch into one call).
+  void RecordN(uint64_t value, uint64_t count, size_t shard = 0);
   // Merge-on-scrape: collapse every shard into one histogram.
   Histogram Merged() const;
   void Reset();

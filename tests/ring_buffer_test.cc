@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -218,6 +219,148 @@ TEST(MpmcRingTest, CapacityTwoWraparoundStressWithSizeSampler) {
   done.store(true, std::memory_order_release);
   sampler.join();
   EXPECT_TRUE(size_sane.load()) << "SizeApprox underflowed during pops";
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+TEST(SpscRingTest, PopBatchDrainsFifoWithPartialRuns) {
+  SpscRing<uint64_t> ring(8);
+  for (uint64_t i = 0; i < 6; ++i) ASSERT_TRUE(ring.TryPush(i));
+  uint64_t out[8] = {};
+  ASSERT_EQ(ring.TryPopBatch(out, 4), 4u);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  // Oversized ask returns only what is buffered.
+  ASSERT_EQ(ring.TryPopBatch(out, 8), 2u);
+  EXPECT_EQ(out[0], 4u);
+  EXPECT_EQ(out[1], 5u);
+  EXPECT_EQ(ring.TryPopBatch(out, 8), 0u);
+}
+
+TEST(SpscRingTest, PopBatchAcrossWrap) {
+  SpscRing<uint64_t> ring(4);
+  uint64_t out[4] = {};
+  uint64_t next = 0;
+  // Force the indices around the ring several times.
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(ring.TryPush(next));
+    ASSERT_TRUE(ring.TryPush(next + 1));
+    ASSERT_TRUE(ring.TryPush(next + 2));
+    ASSERT_EQ(ring.TryPopBatch(out, 4), 3u);
+    for (uint64_t i = 0; i < 3; ++i) EXPECT_EQ(out[i], next + i);
+    next += 3;
+  }
+}
+
+TEST(SpscRingTest, ConcurrentBatchConsumer) {
+  SpscRing<uint64_t> ring(64);
+  constexpr uint64_t kTotal = 200000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kTotal; ++i) {
+      while (!ring.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  uint64_t expect = 0;
+  uint64_t out[32];
+  while (expect < kTotal) {
+    const size_t n = ring.TryPopBatch(out, 32);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], expect) << "batch pop broke FIFO order";
+      ++expect;
+    }
+  }
+  producer.join();
+}
+
+TEST(MpmcRingTest, PopBatchDrainsFifoWithPartialRuns) {
+  MpmcRing<uint64_t> ring(8);
+  for (uint64_t i = 0; i < 6; ++i) ASSERT_TRUE(ring.TryPush(i));
+  uint64_t out[8] = {};
+  ASSERT_EQ(ring.TryPopBatch(out, 4), 4u);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  ASSERT_EQ(ring.TryPopBatch(out, 8), 2u);
+  EXPECT_EQ(out[0], 4u);
+  EXPECT_EQ(out[1], 5u);
+  EXPECT_EQ(ring.TryPopBatch(out, 8), 0u);
+}
+
+TEST(MpmcRingTest, PushBatchAcceptsPartialWhenNearlyFull) {
+  MpmcRing<uint64_t> ring(8);
+  uint64_t first[6] = {0, 1, 2, 3, 4, 5};
+  ASSERT_EQ(ring.TryPushBatch(first, 6), 6u);
+  uint64_t second[6] = {6, 7, 8, 9, 10, 11};
+  // Only two slots remain: the batch is truncated, not rejected.
+  ASSERT_EQ(ring.TryPushBatch(second, 2), 2u);
+  EXPECT_EQ(ring.TryPushBatch(second + 2, 4), 0u);  // full
+  for (uint64_t i = 0; i < 8; ++i) {
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(MpmcRingTest, BatchRoundTripAcrossWrap) {
+  MpmcRing<uint64_t> ring(4);
+  uint64_t out[4] = {};
+  uint64_t next = 0;
+  for (int round = 0; round < 6; ++round) {
+    uint64_t in[3] = {next, next + 1, next + 2};
+    ASSERT_EQ(ring.TryPushBatch(in, 3), 3u);
+    ASSERT_EQ(ring.TryPopBatch(out, 4), 3u);
+    for (uint64_t i = 0; i < 3; ++i) EXPECT_EQ(out[i], next + i);
+    next += 3;
+  }
+}
+
+TEST(MpmcRingTest, ConcurrentBatchProducersConsumers) {
+  MpmcRing<uint64_t> ring(64);
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr uint64_t kPerProducer = 50000;
+  constexpr uint64_t kTotal = kProducers * kPerProducer;
+  std::atomic<uint64_t> popped{0};
+  std::atomic<uint64_t> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      uint64_t batch[8];
+      uint64_t next = static_cast<uint64_t>(p) * kPerProducer;
+      const uint64_t end = next + kPerProducer;
+      while (next < end) {
+        const size_t want =
+            std::min<uint64_t>(8, end - next);
+        for (size_t i = 0; i < want; ++i) batch[i] = next + i;
+        size_t accepted = 0;
+        while (accepted < want) {
+          const size_t n =
+              ring.TryPushBatch(batch + accepted, want - accepted);
+          if (n == 0) std::this_thread::yield();
+          accepted += n;
+        }
+        next += want;
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      uint64_t out[8];
+      while (popped.load() < kTotal) {
+        const size_t n = ring.TryPopBatch(out, 8);
+        if (n == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        uint64_t local = 0;
+        for (size_t i = 0; i < n; ++i) local += out[i];
+        sum.fetch_add(local);
+        popped.fetch_add(n);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
   EXPECT_EQ(popped.load(), kTotal);
   EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
 }
