@@ -3,6 +3,7 @@
 // into a segment stay valid for the segment's lifetime.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -21,15 +22,14 @@ class Arena {
     // Alignment must be applied to the actual address, not the offset:
     // chunk bases are only max_align_t-aligned.
     if (!chunks_.empty()) AlignOffset(align);
-    if (chunks_.empty() || offset_ + bytes > current_size_) {
+    if (chunks_.empty() || offset_ + bytes > chunks_.back().size) {
       const size_t want = bytes + align;
       const size_t size = want > chunk_bytes_ ? want : chunk_bytes_;
-      chunks_.push_back(std::make_unique<uint8_t[]>(size));
-      current_size_ = size;
+      chunks_.push_back(Chunk{std::make_unique<uint8_t[]>(size), size});
       offset_ = 0;
       AlignOffset(align);
     }
-    void* p = chunks_.back().get() + offset_;
+    void* p = chunks_.back().data.get() + offset_;
     offset_ += bytes;
     allocated_ += bytes;
     return p;
@@ -48,22 +48,65 @@ class Arena {
   void Reset() {
     chunks_.clear();
     offset_ = 0;
-    current_size_ = 0;
     allocated_ = 0;
   }
 
+  // Byte-level checkpoint of the arena (the DST harness snapshots the
+  // simulated shared-memory segments with this). Captures every
+  // chunk's contents plus the allocation cursor.
+  struct Snapshot {
+    std::vector<std::vector<uint8_t>> chunks;
+    size_t offset = 0;
+    size_t allocated = 0;
+  };
+
+  Snapshot TakeSnapshot() const {
+    Snapshot snap;
+    snap.chunks.reserve(chunks_.size());
+    for (const Chunk& chunk : chunks_) {
+      snap.chunks.emplace_back(chunk.data.get(), chunk.data.get() + chunk.size);
+    }
+    snap.offset = offset_;
+    snap.allocated = allocated_;
+    return snap;
+  }
+
+  // Rolls the arena back to `snap`: chunk contents are restored and
+  // chunks grown since the snapshot are discarded, so pointers handed
+  // out after the snapshot become invalid — this is a crash rollback,
+  // not a copy. Fails (returns false, arena untouched) when the
+  // snapshot does not describe a prefix of this arena's chunk layout.
+  bool RestoreSnapshot(const Snapshot& snap) {
+    if (snap.chunks.size() > chunks_.size()) return false;
+    for (size_t i = 0; i < snap.chunks.size(); ++i) {
+      if (snap.chunks[i].size() != chunks_[i].size) return false;
+    }
+    chunks_.resize(snap.chunks.size());
+    for (size_t i = 0; i < snap.chunks.size(); ++i) {
+      std::copy(snap.chunks[i].begin(), snap.chunks[i].end(),
+                chunks_[i].data.get());
+    }
+    offset_ = snap.offset;
+    allocated_ = snap.allocated;
+    return true;
+  }
+
  private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
   void AlignOffset(size_t align) {
-    const auto base = reinterpret_cast<uintptr_t>(chunks_.back().get());
+    const auto base = reinterpret_cast<uintptr_t>(chunks_.back().data.get());
     const uintptr_t aligned =
         (base + offset_ + align - 1) & ~static_cast<uintptr_t>(align - 1);
     offset_ = static_cast<size_t>(aligned - base);
   }
 
   const size_t chunk_bytes_;
-  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  std::vector<Chunk> chunks_;
   size_t offset_ = 0;
-  size_t current_size_ = 0;
   size_t allocated_ = 0;
 };
 

@@ -60,7 +60,11 @@ class SpscRing {
   size_t TryPopBatch(T* out, size_t max) {
     const size_t tail = tail_.load(std::memory_order_relaxed);
     size_t available = head_cache_ - tail;
-    if (available == 0) {
+    if (available < max) {
+      // Refresh whenever the cached head can't fill the whole batch:
+      // same acquire-load count as refreshing only on empty, but a
+      // drain never returns a short batch while values are sitting
+      // published in the ring.
       head_cache_ = head_.load(std::memory_order_acquire);
       available = head_cache_ - tail;
       if (available == 0) return 0;

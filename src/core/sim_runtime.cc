@@ -133,6 +133,7 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
 
   if (stack.exec_mode() == ExecMode::kSync) {
     // Decentralized: all software runs in the client; no IPC.
+    co_await env_.Delay(Perturb("submit"));
     const sim::Time sw_start = env_.now();
     co_await env_.Delay(trace.TotalSoftware());
     if (Traced()) emit_mod_spans(trace, sw_start, req.worker);
@@ -155,7 +156,7 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
   }
 
   // Async: shared-memory submission to the assigned worker.
-  co_await env_.Delay(costs_.shm_submit);
+  co_await env_.Delay(costs_.shm_submit + Perturb("submit"));
   QueueState& queue = queues_[qid];
   ++queue.backlog;
   ++queue.arrivals_in_epoch;
@@ -174,7 +175,8 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
     tel_->metrics().GetHistogram("ipc.queue.depth")->Record(queue.backlog, wid);
   }
   sim::Time start = env_.now();
-  co_await env_.Delay(costs_.worker_poll + trace.TotalSoftware());
+  co_await env_.Delay(costs_.worker_poll + Perturb("worker_poll") +
+                      trace.TotalSoftware());
   if (Traced()) {
     emit_mod_spans(trace, start + costs_.worker_poll,
                    static_cast<uint32_t>(wid));
@@ -201,12 +203,13 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
     // complete within the first worker visit and skip this hop.
     co_await worker.Acquire();
     start = env_.now();
-    co_await env_.Delay(costs_.worker_poll + costs_.completion_post);
+    co_await env_.Delay(costs_.worker_poll + costs_.completion_post +
+                        Perturb("completion"));
     busy_ns_[wid] += env_.now() - start;
     ++worker_requests_[wid];
     worker.Release();
   }
-  co_await env_.Delay(costs_.shm_complete);
+  co_await env_.Delay(costs_.shm_complete + Perturb("shm_complete"));
   ++requests_done_;
   if (Traced()) {
     trace.PublishTo(*tel_, static_cast<uint32_t>(wid));

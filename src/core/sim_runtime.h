@@ -18,6 +18,7 @@
 // head-of-line effect Fig. 5(b) measures.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,17 @@ class SimRuntime {
   // Spawn a periodic rebalance process using `policy` (caller keeps it
   // alive). Runs until the environment drains.
   void StartRebalancer(WorkOrchestrator* policy, sim::Time period);
+
+  // --- deterministic simulation (src/dst) ---
+  // When set, every scheduling decision in Execute() asks the hook for
+  // an extra virtual-time delay keyed by the decision site ("submit",
+  // "worker_poll", "completion", "shm_complete"). A seeded
+  // dst::Schedule supplies the hook, so one 64-bit seed reproducibly
+  // perturbs the order in which submissions, worker visits, and device
+  // completions interleave under the DES — without touching the cost
+  // model when no hook is installed.
+  using ScheduleHook = std::function<sim::Time(const char* site)>;
+  void SetScheduleHook(ScheduleHook hook) { schedule_hook_ = std::move(hook); }
 
   // --- telemetry ---
   // Attach a metrics/trace sink (not owned; must outlive the
@@ -101,6 +113,10 @@ class SimRuntime {
   std::unordered_map<uint32_t, QueueState> queues_;
   uint64_t requests_done_ = 0;
   telemetry::Telemetry* tel_ = nullptr;
+  ScheduleHook schedule_hook_;
+  sim::Time Perturb(const char* site) const {
+    return schedule_hook_ ? schedule_hook_(site) : 0;
+  }
 };
 
 }  // namespace labstor::core

@@ -1,0 +1,102 @@
+#include "dst/crash_enum.h"
+
+#include <algorithm>
+
+namespace labstor::dst {
+
+std::string CrashEnumReport::Summary() const {
+  std::string out = "crash enumeration: " + std::to_string(boundaries) +
+                    " boundaries, " + std::to_string(points_visited) +
+                    " points visited, " + std::to_string(failures.size()) +
+                    " failures";
+  for (const CrashFailure& f : failures) {
+    out += "\n  [" + f.invariant + "] boundary=" +
+           std::to_string(f.point.boundary) +
+           " torn=" + std::to_string(f.point.torn_bytes) + ": " + f.detail;
+  }
+  return out;
+}
+
+namespace {
+
+// Recover one crash state and run the invariants against it.
+Status VisitPoint(const RigFactory& factory, const DeviceJournal& journal,
+                  size_t replay_upto, size_t torn_bytes,
+                  const std::vector<const Invariant*>& invariants,
+                  const WorkloadLedger& ledger, Schedule& schedule,
+                  CrashEnumReport& report) {
+  LABSTOR_ASSIGN_OR_RETURN(rig, factory());
+  LABSTOR_RETURN_IF_ERROR(
+      journal.ReplayInto(rig->device(), replay_upto, torn_bytes));
+
+  CrashPoint point;
+  point.boundary = replay_upto;  // fully-durable journal entries
+  point.torn_bytes = torn_bytes;
+
+  const Status recovered = rig->Recover();
+  if (!recovered.ok()) {
+    report.failures.push_back(
+        CrashFailure{point, "recovery",
+                     recovered.ToString() + "; " + schedule.ReplayHint()});
+    ++report.points_visited;
+    return Status::Ok();
+  }
+
+  InvariantContext ctx{*rig, point, schedule.seed(), &ledger.fs, &ledger.kv};
+  for (const Invariant* invariant : invariants) {
+    const Status st = invariant->Check(ctx);
+    if (!st.ok()) {
+      report.failures.push_back(
+          CrashFailure{point, std::string(invariant->name()),
+                       st.ToString() + "; " + schedule.ReplayHint()});
+    }
+  }
+  ++report.points_visited;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<CrashEnumReport> EnumerateCrashPoints(
+    const RigFactory& factory, const Workload& workload,
+    const std::vector<const Invariant*>& invariants, Schedule& schedule,
+    const CrashEnumOptions& opts) {
+  // Phase 1: one healthy run, journaling every device write.
+  LABSTOR_ASSIGN_OR_RETURN(rig0, factory());
+  DeviceJournal journal;
+  journal.Attach(rig0->device());
+  WorkloadLedger ledger;
+  const Status ran = workload(*rig0, schedule, journal, ledger);
+  DeviceJournal::Detach(rig0->device());
+  LABSTOR_RETURN_IF_ERROR(ran);
+
+  const labmods::MetadataLog* log = rig0->log();
+  if (log == nullptr) {
+    return Status::FailedPrecondition("rig exposes no metadata log");
+  }
+  const std::vector<size_t> boundaries =
+      journal.LogBoundaries(log->region_offset(), log->region_bytes());
+
+  CrashEnumReport report;
+  report.boundaries = boundaries.size();
+
+  // Phase 2: every append boundary x every torn prefix class.
+  const size_t stride = std::max<size_t>(opts.torn_stride, 1);
+  for (const size_t boundary : boundaries) {
+    const size_t record_bytes = journal.entry(boundary).bytes.size();
+    for (size_t torn = 0; torn < record_bytes; torn += stride) {
+      LABSTOR_RETURN_IF_ERROR(VisitPoint(factory, journal, boundary, torn,
+                                         invariants, ledger, schedule,
+                                         report));
+    }
+    // Fully-persisted boundary record (crash just after the append).
+    LABSTOR_RETURN_IF_ERROR(VisitPoint(factory, journal, boundary + 1, 0,
+                                       invariants, ledger, schedule, report));
+  }
+  // End-of-run: the complete journal must recover to the final state.
+  LABSTOR_RETURN_IF_ERROR(VisitPoint(factory, journal, journal.entries(), 0,
+                                     invariants, ledger, schedule, report));
+  return report;
+}
+
+}  // namespace labstor::dst

@@ -1,0 +1,68 @@
+// Crash-point enumerator (tentpole item 2).
+//
+// Runs a workload once against a journaled rig, then systematically
+// visits EVERY fslog append boundary the run produced: for each log
+// write i it reconstructs the device with journal entries [0, i)
+// replayed in full plus entry i torn at every `torn_stride`-spaced
+// byte prefix (0, stride, ..., and the full record), builds a fresh
+// Runtime on that device, runs recovery, and checks every registered
+// invariant. A final point replays the complete journal. This is
+// exhaustive where fault_injection_test samples: no append boundary
+// and no record prefix class goes unvisited.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dst/invariant.h"
+#include "dst/journal.h"
+#include "dst/model.h"
+#include "dst/rigs.h"
+#include "dst/schedule.h"
+
+namespace labstor::dst {
+
+struct CrashEnumOptions {
+  // Byte stride between torn prefixes of the boundary record. 64 over
+  // a 256-byte LogRecord visits prefixes 0/64/128/192 plus the full
+  // record — covering "nothing persisted", three CRC-mismatching
+  // partials, and "fully persisted".
+  size_t torn_stride = 64;
+};
+
+struct CrashFailure {
+  CrashPoint point;
+  std::string invariant;
+  std::string detail;  // includes the replay hint
+};
+
+struct CrashEnumReport {
+  size_t boundaries = 0;      // distinct fslog append boundaries found
+  size_t points_visited = 0;  // boundary x torn-prefix states recovered
+  std::vector<CrashFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+// Both ledgers in one bundle so a single workload signature fits FS
+// and KVS rigs; each workload fills the one that applies.
+struct WorkloadLedger {
+  FsModel fs;
+  KvModel kv;
+};
+
+using RigFactory = std::function<Result<std::unique_ptr<CrashRig>>()>;
+using Workload = std::function<Status(CrashRig&, Schedule&,
+                                      const DeviceJournal&, WorkloadLedger&)>;
+
+Result<CrashEnumReport> EnumerateCrashPoints(
+    const RigFactory& factory, const Workload& workload,
+    const std::vector<const Invariant*>& invariants, Schedule& schedule,
+    const CrashEnumOptions& opts = {});
+
+}  // namespace labstor::dst

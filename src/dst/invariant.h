@@ -1,0 +1,46 @@
+// dst::Invariant: pluggable recovery-invariant checkers.
+//
+// The crash-point enumerator reconstructs the device at a crash
+// point, runs recovery (StateRepair) on a fresh rig, then asks every
+// registered invariant whether the recovered state is acceptable
+// given the ledger of acknowledged operations. An invariant returns
+// Ok() or an error Status whose message becomes the reported failure
+// — the enumerator attaches the crash point and the replay seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "dst/model.h"
+
+namespace labstor::dst {
+
+class CrashRig;
+
+// Where the crash landed: `boundary` journal entries were fully
+// durable. (A torn boundary write adds a partial log record on top,
+// which recovery must treat as absent — the CRC torn-write model.)
+struct CrashPoint {
+  size_t boundary = 0;
+  size_t torn_bytes = 0;  // bytes of the boundary entry that persisted
+};
+
+struct InvariantContext {
+  CrashRig& rig;  // the RECOVERED rig (Recover() already ran)
+  CrashPoint point;
+  uint64_t seed = 0;
+  const FsModel* fs_model = nullptr;  // set for LabFS rigs
+  const KvModel* kv_model = nullptr;  // set for LabKVS rigs
+};
+
+class Invariant {
+ public:
+  virtual ~Invariant() = default;
+  virtual std::string_view name() const = 0;
+  // Ok when the invariant holds on the recovered state.
+  virtual Status Check(const InvariantContext& ctx) const = 0;
+};
+
+}  // namespace labstor::dst

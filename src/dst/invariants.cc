@@ -1,0 +1,147 @@
+#include "dst/invariants.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dst/rigs.h"
+
+namespace labstor::dst {
+namespace {
+
+std::string Hex(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Status LabFsNoLostAckedWrites::Check(const InvariantContext& ctx) const {
+  labmods::LabFsMod* mod = ctx.rig.labfs();
+  labmods::GenericFs* fs = ctx.rig.fs();
+  if (mod == nullptr || fs == nullptr || ctx.fs_model == nullptr) {
+    return Status::FailedPrecondition("not a LabFS rig");
+  }
+  const auto expected = ctx.fs_model->StateAt(ctx.point.boundary);
+  const auto in_flight = ctx.fs_model->InFlightAt(ctx.point.boundary);
+
+  for (const auto& [path, file] : expected) {
+    if (in_flight.count(path) != 0) continue;
+    if (!mod->Exists(path)) {
+      return Status::Internal("acked file lost after recovery: " + path);
+    }
+    LABSTOR_ASSIGN_OR_RETURN(size, mod->FileSize(path));
+    if (size != file.content.size()) {
+      return Status::Internal(
+          "acked size lost for " + path + ": expected " +
+          std::to_string(file.content.size()) + ", recovered " +
+          std::to_string(size));
+    }
+    if (!file.is_dir && !file.content.empty()) {
+      LABSTOR_ASSIGN_OR_RETURN(fd, fs->Open(path, 0));
+      std::vector<uint8_t> got(file.content.size());
+      auto read = fs->Read(fd, got, 0);
+      (void)fs->Close(fd);
+      LABSTOR_RETURN_IF_ERROR(read.status());
+      if (*read != file.content.size() || got != file.content) {
+        return Status::Internal("acked content lost for " + path);
+      }
+    }
+  }
+  for (const std::string& path : mod->ListPaths()) {
+    if (expected.count(path) == 0 && in_flight.count(path) == 0) {
+      return Status::Internal("unexpected path after recovery: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Status LabFsNoOrphanedBlocks::Check(const InvariantContext& ctx) const {
+  labmods::LabFsMod* mod = ctx.rig.labfs();
+  if (mod == nullptr) return Status::FailedPrecondition("not a LabFS rig");
+  const labmods::LabFsMod::BlockAudit audit = mod->AuditBlocks();
+  if (!audit.Consistent()) {
+    return Status::Internal(
+        "block audit inconsistent: data=" + std::to_string(audit.data_blocks) +
+        " free=" + std::to_string(audit.free_blocks) +
+        " mapped=" + std::to_string(audit.mapped_blocks) +
+        " dup=" + std::to_string(audit.duplicate_mappings) +
+        " out_of_region=" + std::to_string(audit.out_of_region));
+  }
+  return Status::Ok();
+}
+
+Status LabFsReplayIdempotence::Check(const InvariantContext& ctx) const {
+  labmods::LabFsMod* mod = ctx.rig.labfs();
+  if (mod == nullptr) return Status::FailedPrecondition("not a LabFS rig");
+
+  const auto capture = [mod]() {
+    std::map<std::string, uint64_t> sizes;
+    for (const std::string& path : mod->ListPaths()) {
+      auto size = mod->FileSize(path);
+      sizes[path] = size.ok() ? *size : ~uint64_t{0};
+    }
+    return sizes;
+  };
+
+  const auto before = capture();
+  const labmods::LabFsMod::BlockAudit audit_before = mod->AuditBlocks();
+  LABSTOR_RETURN_IF_ERROR(mod->StateRepair());
+  const auto after = capture();
+  const labmods::LabFsMod::BlockAudit audit_after = mod->AuditBlocks();
+
+  if (before != after) {
+    return Status::Internal("second replay changed the namespace (" +
+                            std::to_string(before.size()) + " -> " +
+                            std::to_string(after.size()) + " paths)");
+  }
+  if (audit_before.free_blocks != audit_after.free_blocks ||
+      audit_before.mapped_blocks != audit_after.mapped_blocks) {
+    return Status::Internal(
+        "second replay changed block accounting: free " +
+        std::to_string(audit_before.free_blocks) + " -> " +
+        std::to_string(audit_after.free_blocks) + ", mapped " +
+        std::to_string(audit_before.mapped_blocks) + " -> " +
+        std::to_string(audit_after.mapped_blocks));
+  }
+  return Status::Ok();
+}
+
+Status LabKvsAckedPutsVisible::Check(const InvariantContext& ctx) const {
+  labmods::LabKvsMod* mod = ctx.rig.labkvs();
+  labmods::GenericKvs* kvs = ctx.rig.kvs();
+  if (mod == nullptr || kvs == nullptr || ctx.kv_model == nullptr) {
+    return Status::FailedPrecondition("not a LabKVS rig");
+  }
+  const auto expected = ctx.kv_model->StateAt(ctx.point.boundary);
+  const auto in_flight = ctx.kv_model->InFlightAt(ctx.point.boundary);
+
+  for (const auto& [key, value] : expected) {
+    if (in_flight.count(key) != 0) continue;
+    LABSTOR_ASSIGN_OR_RETURN(size, mod->ValueSize(key));
+    if (size != value.size()) {
+      return Status::Internal("acked put size lost for " + key +
+                              ": expected " + std::to_string(value.size()) +
+                              ", recovered " + std::to_string(size));
+    }
+    std::vector<uint8_t> got(value.size());
+    LABSTOR_ASSIGN_OR_RETURN(read, kvs->Get(key, got));
+    if (read != value.size() || got != value) {
+      return Status::Internal("acked put content lost for " + key +
+                              " (value tag " + Hex(value.empty() ? 0 : value[0]) +
+                              ")");
+    }
+  }
+  for (const std::string& key : mod->ListKeys()) {
+    if (expected.count(key) == 0 && in_flight.count(key) == 0) {
+      return Status::Internal("unexpected key after recovery: " + key);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace labstor::dst

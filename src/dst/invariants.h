@@ -1,0 +1,45 @@
+// Concrete recovery invariants for LabFS and LabKVS (tentpole item 3).
+#pragma once
+
+#include "dst/invariant.h"
+
+namespace labstor::dst {
+
+// Every acknowledged, fully-durable FS operation survives recovery:
+// expected files exist with byte-exact sizes and contents, and no
+// unexpected paths appear. Paths touched by the (at most one) op in
+// flight at the crash point are exempt — partial effects are legal
+// there.
+class LabFsNoLostAckedWrites final : public Invariant {
+ public:
+  std::string_view name() const override { return "labfs.no_lost_acked_writes"; }
+  Status Check(const InvariantContext& ctx) const override;
+};
+
+// Block accounting is exact after recovery: every data-region block is
+// either free in the rebuilt allocator or mapped by exactly one
+// (inode, file-block) slot — no leaks, no double-mappings, nothing
+// outside the region.
+class LabFsNoOrphanedBlocks final : public Invariant {
+ public:
+  std::string_view name() const override { return "labfs.no_orphaned_blocks"; }
+  Status Check(const InvariantContext& ctx) const override;
+};
+
+// Replay is idempotent: running StateRepair a second time over the
+// same log reproduces the identical namespace and block accounting.
+class LabFsReplayIdempotence final : public Invariant {
+ public:
+  std::string_view name() const override { return "labfs.replay_idempotence"; }
+  Status Check(const InvariantContext& ctx) const override;
+};
+
+// Every acknowledged, fully-durable put is visible after recovery with
+// byte-exact value; deleted keys stay gone; no unexpected keys.
+class LabKvsAckedPutsVisible final : public Invariant {
+ public:
+  std::string_view name() const override { return "labkvs.acked_puts_visible"; }
+  Status Check(const InvariantContext& ctx) const override;
+};
+
+}  // namespace labstor::dst

@@ -1,0 +1,48 @@
+#include "dst/journal.h"
+
+#include <algorithm>
+#include <span>
+
+namespace labstor::dst {
+
+void DeviceJournal::Attach(simdev::SimDevice& dev) {
+  dev.SetWriteObserver(
+      [this](uint64_t offset, std::span<const uint8_t> data) {
+        entries_.push_back(
+            Entry{offset, std::vector<uint8_t>(data.begin(), data.end())});
+      });
+}
+
+void DeviceJournal::Detach(simdev::SimDevice& dev) {
+  dev.SetWriteObserver(nullptr);
+}
+
+std::vector<size_t> DeviceJournal::LogBoundaries(uint64_t log_offset,
+                                                 uint64_t log_bytes) const {
+  std::vector<size_t> boundaries;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.offset >= log_offset && e.offset < log_offset + log_bytes) {
+      boundaries.push_back(i);
+    }
+  }
+  return boundaries;
+}
+
+Status DeviceJournal::ReplayInto(simdev::SimDevice& dev, size_t upto,
+                                 size_t torn_bytes) const {
+  upto = std::min(upto, entries_.size());
+  for (size_t i = 0; i < upto; ++i) {
+    const Entry& e = entries_[i];
+    LABSTOR_RETURN_IF_ERROR(dev.WriteNow(e.offset, std::span(e.bytes)));
+  }
+  if (torn_bytes > 0 && upto < entries_.size()) {
+    const Entry& e = entries_[upto];
+    const size_t keep = std::min(torn_bytes, e.bytes.size());
+    LABSTOR_RETURN_IF_ERROR(
+        dev.WriteNow(e.offset, std::span(e.bytes).first(keep)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace labstor::dst

@@ -1,0 +1,55 @@
+// DeviceJournal: records every functional write a SimDevice performs,
+// in order, via the device's write observer.
+//
+// This is the crash-point enumerator's persistence model: the device
+// state "as of" any point in the run is reconstructed by replaying a
+// prefix of the journal into a fresh device — optionally tearing the
+// boundary entry at an arbitrary byte prefix, which for a 256-byte
+// fslog record slot leaves a CRC-mismatching tail exactly like a real
+// torn write (fslog's Replay drops it and stops the region scan).
+// Everything journaled after the boundary — later log appends AND the
+// data-block writes interleaved with them — is simply absent, the way
+// it would be after a power cut.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "simdev/sim_device.h"
+
+namespace labstor::dst {
+
+class DeviceJournal {
+ public:
+  struct Entry {
+    uint64_t offset = 0;
+    std::vector<uint8_t> bytes;  // what actually persisted (torn prefix
+                                 // for injected torn writes)
+  };
+
+  // Starts recording `dev` (replaces any previous observer on it).
+  void Attach(simdev::SimDevice& dev);
+  // Stops recording (clears the device's observer).
+  static void Detach(simdev::SimDevice& dev);
+
+  size_t entries() const { return entries_.size(); }
+  const Entry& entry(size_t i) const { return entries_[i]; }
+
+  // Indices of entries that are metadata-log appends: writes landing
+  // inside [log_offset, log_offset + log_bytes). These are the
+  // persistence boundaries the crash enumerator visits.
+  std::vector<size_t> LogBoundaries(uint64_t log_offset,
+                                    uint64_t log_bytes) const;
+
+  // Reconstructs a crash state on `dev`: entries [0, upto) replay in
+  // full; when torn_bytes > 0 and upto < entries(), the first
+  // torn_bytes bytes of entry `upto` follow (a torn boundary write).
+  Status ReplayInto(simdev::SimDevice& dev, size_t upto,
+                    size_t torn_bytes) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace labstor::dst

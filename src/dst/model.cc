@@ -1,0 +1,150 @@
+#include "dst/model.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace labstor::dst {
+
+void FsModel::AckCreate(const std::string& path, bool is_dir,
+                        size_t journal_before, size_t journal_after) {
+  Op op;
+  op.kind = Kind::kCreate;
+  op.path = path;
+  op.is_dir = is_dir;
+  op.journal_before = journal_before;
+  op.journal_after = journal_after;
+  ops_.push_back(std::move(op));
+}
+
+void FsModel::AckWrite(const std::string& path, uint64_t offset,
+                       const std::vector<uint8_t>& data, size_t journal_before,
+                       size_t journal_after) {
+  Op op;
+  op.kind = Kind::kWrite;
+  op.path = path;
+  op.offset = offset;
+  op.data = data;
+  op.journal_before = journal_before;
+  op.journal_after = journal_after;
+  ops_.push_back(std::move(op));
+}
+
+void FsModel::AckTruncate(const std::string& path, uint64_t size,
+                          size_t journal_before, size_t journal_after) {
+  Op op;
+  op.kind = Kind::kTruncate;
+  op.path = path;
+  op.size = size;
+  op.journal_before = journal_before;
+  op.journal_after = journal_after;
+  ops_.push_back(std::move(op));
+}
+
+void FsModel::AckRename(const std::string& from, const std::string& to,
+                        size_t journal_before, size_t journal_after) {
+  Op op;
+  op.kind = Kind::kRename;
+  op.path = from;
+  op.path2 = to;
+  op.journal_before = journal_before;
+  op.journal_after = journal_after;
+  ops_.push_back(std::move(op));
+}
+
+void FsModel::AckUnlink(const std::string& path, size_t journal_before,
+                        size_t journal_after) {
+  Op op;
+  op.kind = Kind::kUnlink;
+  op.path = path;
+  op.journal_before = journal_before;
+  op.journal_after = journal_after;
+  ops_.push_back(std::move(op));
+}
+
+std::map<std::string, FsModel::FileState> FsModel::StateAt(
+    size_t boundary) const {
+  std::map<std::string, FileState> state;
+  for (const Op& op : ops_) {
+    if (op.journal_after > boundary) continue;
+    switch (op.kind) {
+      case Kind::kCreate: {
+        FileState file;
+        file.is_dir = op.is_dir;
+        state[op.path] = std::move(file);
+        break;
+      }
+      case Kind::kWrite: {
+        auto& file = state[op.path];
+        const uint64_t end = op.offset + op.data.size();
+        if (file.content.size() < end) file.content.resize(end, 0);
+        std::copy(op.data.begin(), op.data.end(),
+                  file.content.begin() + static_cast<std::ptrdiff_t>(op.offset));
+        break;
+      }
+      case Kind::kTruncate: {
+        auto& file = state[op.path];
+        file.content.resize(op.size, 0);
+        break;
+      }
+      case Kind::kRename: {
+        const auto it = state.find(op.path);
+        if (it != state.end()) {
+          state[op.path2] = std::move(it->second);
+          state.erase(op.path);
+        }
+        break;
+      }
+      case Kind::kUnlink:
+        state.erase(op.path);
+        break;
+    }
+  }
+  return state;
+}
+
+std::set<std::string> FsModel::InFlightAt(size_t boundary) const {
+  std::set<std::string> paths;
+  for (const Op& op : ops_) {
+    if (op.journal_before <= boundary && boundary < op.journal_after) {
+      paths.insert(op.path);
+      if (!op.path2.empty()) paths.insert(op.path2);
+    }
+  }
+  return paths;
+}
+
+void KvModel::AckPut(const std::string& key, const std::vector<uint8_t>& value,
+                     size_t journal_before, size_t journal_after) {
+  ops_.push_back(Op{true, key, value, journal_before, journal_after});
+}
+
+void KvModel::AckDelete(const std::string& key, size_t journal_before,
+                        size_t journal_after) {
+  ops_.push_back(Op{false, key, {}, journal_before, journal_after});
+}
+
+std::map<std::string, std::vector<uint8_t>> KvModel::StateAt(
+    size_t boundary) const {
+  std::map<std::string, std::vector<uint8_t>> state;
+  for (const Op& op : ops_) {
+    if (op.journal_after > boundary) continue;
+    if (op.is_put) {
+      state[op.key] = op.value;
+    } else {
+      state.erase(op.key);
+    }
+  }
+  return state;
+}
+
+std::set<std::string> KvModel::InFlightAt(size_t boundary) const {
+  std::set<std::string> keys;
+  for (const Op& op : ops_) {
+    if (op.journal_before <= boundary && boundary < op.journal_after) {
+      keys.insert(op.key);
+    }
+  }
+  return keys;
+}
+
+}  // namespace labstor::dst

@@ -1,0 +1,95 @@
+// Acked-operation ledgers: the oracle side of the recovery invariants.
+//
+// A workload records every operation the system ACKNOWLEDGED, stamped
+// with the device-journal length observed before the op started
+// (`journal_before`) and after its ack (`journal_after`). At a crash
+// boundary b (b journal entries durable):
+//   * ops with journal_after  <= b are fully durable — recovery must
+//     reproduce their effects exactly;
+//   * ops with journal_before <= b < journal_after were in flight —
+//     their effects may be absent, partial, or complete, so the
+//     paths/keys they touch are exempt from exact-match checks;
+//   * ops with journal_before  > b never started.
+// Workloads are single-threaded, so at most one op is in flight at
+// any boundary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace labstor::dst {
+
+// In-memory model of a LabFS namespace. Content is tracked byte-exact
+// (files in the DST workloads are small), so no-lost-acked-writes can
+// compare actual read-back bytes, not just sizes.
+class FsModel {
+ public:
+  struct FileState {
+    bool is_dir = false;
+    std::vector<uint8_t> content;  // size == content.size()
+  };
+
+  void AckCreate(const std::string& path, bool is_dir, size_t journal_before,
+                 size_t journal_after);
+  // Write of `data` at `offset` (extends and zero-fills as needed).
+  void AckWrite(const std::string& path, uint64_t offset,
+                const std::vector<uint8_t>& data, size_t journal_before,
+                size_t journal_after);
+  void AckTruncate(const std::string& path, uint64_t size,
+                   size_t journal_before, size_t journal_after);
+  void AckRename(const std::string& from, const std::string& to,
+                 size_t journal_before, size_t journal_after);
+  void AckUnlink(const std::string& path, size_t journal_before,
+                 size_t journal_after);
+
+  // Expected fully-durable namespace at journal boundary b.
+  std::map<std::string, FileState> StateAt(size_t boundary) const;
+  // Paths whose acked op straddles b (exempt from exact-match checks).
+  std::set<std::string> InFlightAt(size_t boundary) const;
+
+  size_t ops() const { return ops_.size(); }
+
+ private:
+  enum class Kind { kCreate, kWrite, kTruncate, kRename, kUnlink };
+  struct Op {
+    Kind kind;
+    std::string path;        // kRename: source
+    std::string path2;       // kRename: destination
+    bool is_dir = false;     // kCreate
+    uint64_t offset = 0;     // kWrite
+    uint64_t size = 0;       // kTruncate
+    std::vector<uint8_t> data;  // kWrite
+    size_t journal_before = 0;
+    size_t journal_after = 0;
+  };
+  std::vector<Op> ops_;
+};
+
+// In-memory model of a LabKVS store (byte-exact values).
+class KvModel {
+ public:
+  void AckPut(const std::string& key, const std::vector<uint8_t>& value,
+              size_t journal_before, size_t journal_after);
+  void AckDelete(const std::string& key, size_t journal_before,
+                 size_t journal_after);
+
+  std::map<std::string, std::vector<uint8_t>> StateAt(size_t boundary) const;
+  std::set<std::string> InFlightAt(size_t boundary) const;
+
+  size_t ops() const { return ops_.size(); }
+
+ private:
+  struct Op {
+    bool is_put = false;
+    std::string key;
+    std::vector<uint8_t> value;
+    size_t journal_before = 0;
+    size_t journal_after = 0;
+  };
+  std::vector<Op> ops_;
+};
+
+}  // namespace labstor::dst

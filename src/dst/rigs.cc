@@ -1,0 +1,119 @@
+#include "dst/rigs.h"
+
+namespace labstor::dst {
+namespace {
+
+// Small device + small log keep per-crash-point rebuild cheap while
+// leaving thousands of data blocks for the workloads.
+constexpr uint64_t kDeviceBytes = 16 << 20;
+
+constexpr const char* kFsStackYaml =
+    "mount: fs::/dst\n"
+    "rules:\n"
+    "  exec_mode: sync\n"
+    "dag:\n"
+    "  - mod: labfs\n"
+    "    uuid: labfs_dst\n"
+    "    params:\n"
+    "      log_records_per_worker: 512\n"
+    "    outputs: [drv_labfs_dst]\n"
+    "  - mod: kernel_driver\n"
+    "    uuid: drv_labfs_dst\n";
+
+constexpr const char* kKvsStackYaml =
+    "mount: kvs::/dst\n"
+    "rules:\n"
+    "  exec_mode: sync\n"
+    "dag:\n"
+    "  - mod: labkvs\n"
+    "    uuid: labkvs_dst\n"
+    "    params:\n"
+    "      log_records_per_worker: 512\n"
+    "    outputs: [drv_labkvs_dst]\n"
+    "  - mod: kernel_driver\n"
+    "    uuid: drv_labkvs_dst\n";
+
+core::Runtime::Options RigOptions() {
+  core::Runtime::Options options;
+  // One worker: every fslog append goes to region 0 in seq order, so a
+  // journal prefix is exactly a log prefix (see file comment).
+  options.max_workers = 1;
+  return options;
+}
+
+template <typename Mod>
+Result<Mod*> FindMod(core::Runtime& runtime, const std::string& uuid) {
+  LABSTOR_ASSIGN_OR_RETURN(mod, runtime.registry().Find(uuid));
+  auto* typed = dynamic_cast<Mod*>(mod);
+  if (typed == nullptr) {
+    return Status::Internal("mod '" + uuid + "' has unexpected type");
+  }
+  return typed;
+}
+
+template <typename Rig>
+Status InitRig(Rig& rig, simdev::DeviceRegistry& devices,
+               core::Runtime& runtime, core::Client& client,
+               const char* stack_yaml, core::Stack** stack_out,
+               simdev::SimDevice** device_out) {
+  LABSTOR_ASSIGN_OR_RETURN(
+      device, devices.Create(simdev::DeviceParams::NvmeP3700(kDeviceBytes)));
+  *device_out = device;
+  LABSTOR_ASSIGN_OR_RETURN(spec, core::StackSpec::Parse(stack_yaml));
+  LABSTOR_ASSIGN_OR_RETURN(stack,
+                           runtime.MountStack(spec, ipc::Credentials{1, 0, 0}));
+  *stack_out = stack;
+  LABSTOR_RETURN_IF_ERROR(client.Connect());
+  (void)rig;
+  return Status::Ok();
+}
+
+}  // namespace
+
+SyncFsRig::SyncFsRig()
+    : devices_(nullptr),
+      runtime_(RigOptions(), devices_),
+      client_(runtime_, ipc::Credentials{100, 1000, 1000}),
+      fs_(client_) {
+  init_status_ = InitRig(*this, devices_, runtime_, client_, kFsStackYaml,
+                         &stack_, &device_);
+  if (init_status_.ok()) {
+    auto mod = FindMod<labmods::LabFsMod>(runtime_, "labfs_dst");
+    if (mod.ok()) {
+      labfs_ = *mod;
+    } else {
+      init_status_ = mod.status();
+    }
+  }
+}
+
+Result<std::unique_ptr<SyncFsRig>> SyncFsRig::Create() {
+  std::unique_ptr<SyncFsRig> rig(new SyncFsRig());
+  LABSTOR_RETURN_IF_ERROR(rig->init_status_);
+  return rig;
+}
+
+SyncKvsRig::SyncKvsRig()
+    : devices_(nullptr),
+      runtime_(RigOptions(), devices_),
+      client_(runtime_, ipc::Credentials{100, 1000, 1000}),
+      kvs_(client_) {
+  init_status_ = InitRig(*this, devices_, runtime_, client_, kKvsStackYaml,
+                         &stack_, &device_);
+  if (init_status_.ok()) {
+    auto mod = FindMod<labmods::LabKvsMod>(runtime_, "labkvs_dst");
+    if (mod.ok()) {
+      labkvs_ = *mod;
+    } else {
+      init_status_ = mod.status();
+    }
+  }
+}
+
+Result<std::unique_ptr<SyncKvsRig>> SyncKvsRig::Create() {
+  std::unique_ptr<SyncKvsRig> rig(new SyncKvsRig());
+  LABSTOR_RETURN_IF_ERROR(rig->init_status_);
+  return rig;
+}
+
+}  // namespace labstor::dst

@@ -1,0 +1,99 @@
+// Crash rigs: disposable sync-mode Runtime + stack + client bundles
+// the crash-point enumerator rebuilds for every crash point.
+//
+// Rigs run decentralized (sync) stacks and never Start() the Runtime,
+// so there are no threads: a LabFS or LabKVS request executes inline
+// in the caller, every fslog append lands in worker region 0 in
+// strict sequence order, and building hundreds of rigs per test is
+// cheap. The journal-replay crash model depends on that ordering — a
+// journal prefix cleanly partitions the log into durable records and
+// never-happened records.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "labmods/genericfs.h"
+#include "labmods/generickvs.h"
+#include "labmods/labfs.h"
+#include "labmods/labkvs.h"
+#include "simdev/registry.h"
+
+namespace labstor::dst {
+
+class CrashRig {
+ public:
+  virtual ~CrashRig() = default;
+
+  virtual simdev::SimDevice& device() = 0;
+  virtual core::Runtime& runtime() = 0;
+  virtual core::Client& client() = 0;
+  virtual core::Stack& stack() = 0;
+  // The metadata log under test (defines the crash-point boundaries).
+  virtual const labmods::MetadataLog* log() const = 0;
+
+  // What a restarted administrator does: StateRepair on every mod.
+  Status Recover() { return runtime().registry().RepairAll(); }
+
+  // Typed access; null on rigs that don't host that mod.
+  virtual labmods::GenericFs* fs() { return nullptr; }
+  virtual labmods::GenericKvs* kvs() { return nullptr; }
+  virtual labmods::LabFsMod* labfs() { return nullptr; }
+  virtual labmods::LabKvsMod* labkvs() { return nullptr; }
+};
+
+// LabFS over kernel_driver, mounted at fs::/dst, sync mode, 1 worker.
+class SyncFsRig final : public CrashRig {
+ public:
+  static Result<std::unique_ptr<SyncFsRig>> Create();
+
+  simdev::SimDevice& device() override { return *device_; }
+  core::Runtime& runtime() override { return runtime_; }
+  core::Client& client() override { return client_; }
+  core::Stack& stack() override { return *stack_; }
+  const labmods::MetadataLog* log() const override { return labfs_->log(); }
+  labmods::GenericFs* fs() override { return &fs_; }
+  labmods::LabFsMod* labfs() override { return labfs_; }
+
+ private:
+  SyncFsRig();
+  Status init_status_;
+
+  simdev::DeviceRegistry devices_;
+  core::Runtime runtime_;
+  core::Client client_;
+  labmods::GenericFs fs_;
+  simdev::SimDevice* device_ = nullptr;
+  core::Stack* stack_ = nullptr;
+  labmods::LabFsMod* labfs_ = nullptr;
+};
+
+// LabKVS over kernel_driver, mounted at kvs::/dst, sync mode, 1 worker.
+class SyncKvsRig final : public CrashRig {
+ public:
+  static Result<std::unique_ptr<SyncKvsRig>> Create();
+
+  simdev::SimDevice& device() override { return *device_; }
+  core::Runtime& runtime() override { return runtime_; }
+  core::Client& client() override { return client_; }
+  core::Stack& stack() override { return *stack_; }
+  const labmods::MetadataLog* log() const override { return labkvs_->log(); }
+  labmods::GenericKvs* kvs() override { return &kvs_; }
+  labmods::LabKvsMod* labkvs() override { return labkvs_; }
+
+ private:
+  SyncKvsRig();
+  Status init_status_;
+
+  simdev::DeviceRegistry devices_;
+  core::Runtime runtime_;
+  core::Client client_;
+  labmods::GenericKvs kvs_;
+  simdev::SimDevice* device_ = nullptr;
+  core::Stack* stack_ = nullptr;
+  labmods::LabKvsMod* labkvs_ = nullptr;
+};
+
+}  // namespace labstor::dst

@@ -1,0 +1,124 @@
+#include "dst/schedule.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+
+namespace labstor::dst {
+namespace {
+
+// FNV-1a: stable across platforms/builds, unlike std::hash.
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x00000100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng& Schedule::StreamFor(std::string_view site) {
+  const auto it = streams_.find(site);
+  if (it != streams_.end()) return it->second;
+  return streams_.emplace(std::string(site), Rng(seed_ ^ HashSite(site)))
+      .first->second;
+}
+
+uint64_t Schedule::NextU64(std::string_view site) {
+  return StreamFor(site).Next();
+}
+
+uint64_t Schedule::Range(std::string_view site, uint64_t lo, uint64_t hi) {
+  return StreamFor(site).Range(lo, hi);
+}
+
+bool Schedule::Chance(std::string_view site, double p) {
+  return StreamFor(site).Bernoulli(p);
+}
+
+sim::Time Schedule::Jitter(std::string_view site, sim::Time max_ns) {
+  if (max_ns == 0) return 0;
+  return StreamFor(site).Range(0, max_ns);
+}
+
+std::function<sim::Time(const char*)> Schedule::MakeSimHook(sim::Time max_ns) {
+  return [this, max_ns](const char* site) -> sim::Time {
+    return Jitter(std::string("sim.") + site, max_ns);
+  };
+}
+
+void Schedule::Note(std::string_view line) {
+  trace_.append(line);
+  trace_.push_back('\n');
+  ++events_;
+}
+
+std::string Schedule::ReplayHint() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "replay with --dst_seed=0x%" PRIx64, seed_);
+  return buf;
+}
+
+namespace {
+
+// Fixed corpus: seeds every push exercises. Deliberately includes 0
+// and ~0 (degenerate expansions) next to arbitrary values.
+std::vector<uint64_t> g_seeds = {0x4C414253, 0, ~uint64_t{0},
+                                 0xDEADBEEFCAFEF00D, 0x1234567890ABCDEF};
+
+uint64_t ParseSeed(const char* text) {
+  return std::strtoull(text, nullptr, 0);  // accepts 0x-prefixed hex
+}
+
+}  // namespace
+
+void InitSeeds(int* argc, char** argv) {
+  bool pinned = false;
+  uint64_t pinned_seed = 0;
+  size_t random_count = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--dst_seed=", 11) == 0) {
+      pinned = true;
+      pinned_seed = ParseSeed(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--dst_random_seeds=", 19) == 0) {
+      random_count = std::strtoul(argv[i] + 19, nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+
+  if (const char* env = std::getenv("LABSTOR_DST_SEED");
+      env != nullptr && !pinned) {
+    pinned = true;
+    pinned_seed = ParseSeed(env);
+  }
+
+  if (pinned) {
+    g_seeds.assign(1, pinned_seed);
+    std::printf("dst: pinned seed 0x%" PRIx64 "\n", pinned_seed);
+    return;
+  }
+  if (random_count > 0) {
+    // The one place true entropy enters the harness: fresh seeds for
+    // the nightly sweep. Each is printed so a failure is replayable.
+    std::random_device rd;
+    for (size_t i = 0; i < random_count; ++i) {
+      const uint64_t seed =
+          (static_cast<uint64_t>(rd()) << 32) | static_cast<uint64_t>(rd());
+      g_seeds.push_back(seed);
+      std::printf("dst: random seed 0x%" PRIx64 "\n", seed);
+    }
+    std::fflush(stdout);
+  }
+}
+
+const std::vector<uint64_t>& SeedList() { return g_seeds; }
+
+}  // namespace labstor::dst

@@ -1,0 +1,82 @@
+// Deterministic-simulation schedule controller (DESIGN.md §8).
+//
+// FoundationDB-style principle: one 64-bit seed determines every
+// decision the harness makes — which operations a randomized workload
+// issues, how much virtual-time jitter each scheduling site receives
+// (and therefore the order in which worker polls, queue drains, and
+// simdev completions interleave under the DES), and which crash
+// points get sampled. A failing run prints the seed; re-running with
+// --dst_seed=<seed> (or LABSTOR_DST_SEED) replays it exactly.
+//
+// Each decision site draws from its own stream, derived from
+// (seed, FNV-1a(site name)). Streams are independent, so adding a new
+// decision site to the harness never shifts the sequences existing
+// sites observe — a seed reported by last month's CI still replays
+// the same schedule on a build with unrelated new sites.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/environment.h"
+
+namespace labstor::dst {
+
+class Schedule {
+ public:
+  explicit Schedule(uint64_t seed) : seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  // --- per-site decision streams ---
+  uint64_t NextU64(std::string_view site);
+  // Uniform in [lo, hi], inclusive.
+  uint64_t Range(std::string_view site, uint64_t lo, uint64_t hi);
+  bool Chance(std::string_view site, double p);
+  // Uniform virtual-time jitter in [0, max_ns].
+  sim::Time Jitter(std::string_view site, sim::Time max_ns);
+
+  // Hook for core::SimRuntime::SetScheduleHook: jitter in [0, max_ns]
+  // drawn from the "sim.<site>" stream at every scheduling decision.
+  std::function<sim::Time(const char*)> MakeSimHook(sim::Time max_ns);
+
+  // --- event trace ---
+  // Note() appends one line to the trace. Two runs with the same seed
+  // must produce byte-identical traces; a divergence is a determinism
+  // bug in the code under test (wall-clock, address-order, or
+  // container-iteration dependence).
+  void Note(std::string_view line);
+  const std::string& trace() const { return trace_; }
+  size_t events() const { return events_; }
+
+  // "replay with --dst_seed=0x..." — attach to every failure message.
+  std::string ReplayHint() const;
+
+ private:
+  Rng& StreamFor(std::string_view site);
+
+  uint64_t seed_;
+  // Ordered map: stream creation order must not depend on hash layout.
+  std::map<std::string, Rng, std::less<>> streams_;
+  std::string trace_;
+  size_t events_ = 0;
+};
+
+// --- seed plumbing for test binaries ---
+// Parses and strips harness flags from argv (call before
+// InitGoogleTest): --dst_seed=0x<hex>|<dec> pins a single seed;
+// --dst_random_seeds=N appends N freshly drawn seeds to the sweep and
+// prints them to stdout so CI can echo them into the job summary. The
+// LABSTOR_DST_SEED environment variable acts like --dst_seed.
+void InitSeeds(int* argc, char** argv);
+
+// The seeds every dst test sweeps: the fixed corpus by default, a
+// single pinned seed under --dst_seed, plus any --dst_random_seeds.
+const std::vector<uint64_t>& SeedList();
+
+}  // namespace labstor::dst

@@ -1,0 +1,37 @@
+// Seeded randomized workloads for the crash-point enumerator.
+//
+// Every operation is drawn from the Schedule's decision streams (so
+// one seed fixes the whole op sequence), issued through the rig's
+// client, and — once acknowledged — recorded in the ledger with the
+// device-journal window it spanned. A workload failing mid-run is an
+// error: these run against a healthy rig; faults come later, from the
+// crash enumerator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dst/journal.h"
+#include "dst/model.h"
+#include "dst/rigs.h"
+#include "dst/schedule.h"
+
+namespace labstor::dst {
+
+// Deterministic payload bytes: position-dependent and tagged, so two
+// different writes never produce the same byte stream.
+std::vector<uint8_t> PatternBytes(uint64_t tag, size_t len);
+
+// Random create/write/truncate/rename/unlink mix over a small file
+// population on a SyncFsRig. Records every ack into `model`.
+Status RunFsWorkload(CrashRig& rig, Schedule& sched,
+                     const DeviceJournal& journal, FsModel& model,
+                     size_t num_ops);
+
+// Random put/delete (with read-back verification) mix on a SyncKvsRig.
+Status RunKvsWorkload(CrashRig& rig, Schedule& sched,
+                      const DeviceJournal& journal, KvModel& model,
+                      size_t num_ops);
+
+}  // namespace labstor::dst

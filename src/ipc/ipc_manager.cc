@@ -67,6 +67,7 @@ QueuePair* IpcManager::FindQueue(uint32_t qid) const {
 
 Status IpcManager::Wait(Request* req,
                         std::chrono::milliseconds offline_grace) const {
+  wait_entries_.fetch_add(1, std::memory_order_acq_rel);
   const auto unset = std::chrono::steady_clock::time_point::max();
   auto offline_deadline = unset;
   // Overall bound while online: a crashed worker can lose a dequeued

@@ -101,6 +101,13 @@ class IpcManager {
               std::chrono::milliseconds offline_grace =
                   std::chrono::milliseconds(2000)) const;
 
+  // Number of Wait() calls that have started polling. Crash/restart
+  // tests use this as a deterministic handshake — "the client is now
+  // inside Wait" — instead of sleeping and hoping.
+  uint64_t wait_entries() const {
+    return wait_entries_.load(std::memory_order_acquire);
+  }
+
  private:
   Options options_;
   ShMemManager shmem_;
@@ -112,6 +119,7 @@ class IpcManager {
   std::unordered_map<ProcessId, ClientChannel> channels_;
   std::atomic<bool> online_{true};
   std::atomic<uint64_t> epoch_{1};
+  mutable std::atomic<uint64_t> wait_entries_{0};
 };
 
 }  // namespace labstor::ipc

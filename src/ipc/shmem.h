@@ -54,6 +54,23 @@ class ShMemSegment {
     return arena_.allocated_bytes();
   }
 
+  // Crash-consistent checkpoint of the segment (DST harness). Restore
+  // rolls every byte — and the allocation cursor — back to the
+  // checkpointed instant; objects allocated in between evaporate,
+  // exactly as they would across a machine crash.
+  Arena::Snapshot Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return arena_.TakeSnapshot();
+  }
+  Status Restore(const Arena::Snapshot& snap) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!arena_.RestoreSnapshot(snap)) {
+      return Status::InvalidArgument(
+          "snapshot does not match segment chunk layout");
+    }
+    return Status::Ok();
+  }
+
  private:
   SegmentId id_;
   size_t size_;

@@ -42,6 +42,7 @@ Result<uint64_t> MetadataLog::Append(uint32_t worker, LogRecord record) {
 
 Status MetadataLog::Replay(
     const std::function<Status(const LogRecord&)>& fn) const {
+  last_replay_torn_.store(0, std::memory_order_relaxed);
   std::vector<LogRecord> records;
   for (uint32_t w = 0; w < workers_; ++w) {
     std::lock_guard<std::mutex> lock(*worker_mu_[w]);
@@ -58,6 +59,7 @@ Status MetadataLog::Replay(
         // crash. Everything after it in this region is younger, so
         // treat it as the end of the region's durable tail.
         torn_dropped_.fetch_add(1, std::memory_order_relaxed);
+        last_replay_torn_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       records.push_back(record);

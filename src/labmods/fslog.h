@@ -83,11 +83,27 @@ class MetadataLog {
   uint64_t region_bytes() const {
     return static_cast<uint64_t>(workers_) * per_worker_ * kSlot;
   }
+  // First byte of the log region on the device (the DST crash-point
+  // enumerator classifies device writes inside
+  // [region_offset, region_offset + region_bytes) as log appends).
+  uint64_t region_offset() const { return region_offset_; }
   uint64_t records_appended() const { return next_seq_.load() - 1; }
-  // Records dropped by Replay() because their checksum did not match
-  // (torn tail after a crash). Cumulative across Replay calls.
+  // Records dropped because their checksum did not match (torn tail
+  // after a crash). Cumulative across Replay calls since construction
+  // or the last ResetStats(); for a single scan's verdict use
+  // last_replay_torn_dropped().
   uint64_t torn_records_dropped() const {
     return torn_dropped_.load(std::memory_order_relaxed);
+  }
+  // Records dropped by the MOST RECENT Replay() only. Zeroed at the
+  // start of every scan, so per-replay assertions cannot pass
+  // spuriously on counts left over from an earlier call.
+  uint64_t last_replay_torn_dropped() const {
+    return last_replay_torn_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() {
+    torn_dropped_.store(0, std::memory_order_relaxed);
+    last_replay_torn_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -101,6 +117,7 @@ class MetadataLog {
   std::vector<uint64_t> cursors_;  // records appended per worker
   std::vector<std::unique_ptr<std::mutex>> worker_mu_;
   mutable std::atomic<uint64_t> torn_dropped_{0};
+  mutable std::atomic<uint64_t> last_replay_torn_{0};
 };
 
 }  // namespace labstor::labmods

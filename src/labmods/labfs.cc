@@ -687,6 +687,45 @@ size_t LabFsMod::file_count() const {
   return count;
 }
 
+std::vector<std::string> LabFsMod::ListPaths() const {
+  std::vector<std::string> paths;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [path, inode] : shard.inodes) paths.push_back(path);
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+LabFsMod::BlockAudit LabFsMod::AuditBlocks() const {
+  BlockAudit audit;
+  audit.data_blocks = data_blocks_;
+  audit.free_blocks = alloc_ != nullptr ? alloc_->FreeBlocks() : 0;
+  std::vector<uint64_t> mapped;
+  {
+    std::lock_guard<std::mutex> lock(by_id_mu_);
+    for (const auto& [id, inode] : by_id_) {
+      std::lock_guard<std::mutex> inode_lock(inode->mu);
+      for (const uint64_t phys : inode->blocks) {
+        if (phys != 0) mapped.push_back(phys);
+      }
+    }
+  }
+  std::sort(mapped.begin(), mapped.end());
+  for (size_t i = 0; i < mapped.size(); ++i) {
+    if (i > 0 && mapped[i] == mapped[i - 1]) {
+      ++audit.duplicate_mappings;
+      continue;
+    }
+    if (mapped[i] < data_first_block_ ||
+        mapped[i] >= data_first_block_ + data_blocks_) {
+      ++audit.out_of_region;
+    }
+    ++audit.mapped_blocks;
+  }
+  return audit;
+}
+
 LABSTOR_REGISTER_LABMOD("labfs", 1, LabFsMod);
 LABSTOR_REGISTER_LABMOD("labfs", 2, LabFsModV2);
 

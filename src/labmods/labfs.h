@@ -58,6 +58,26 @@ class LabFsMod : public core::LabMod {
   uint64_t log_records() const { return log_->records_appended(); }
   uint64_t log_torn_dropped() const { return log_->torn_records_dropped(); }
 
+  // --- DST invariant surface (src/dst) ---
+  const MetadataLog* log() const { return log_.get(); }
+  // Every path currently in the namespace, sorted (deterministic).
+  std::vector<std::string> ListPaths() const;
+  // Block accounting for the no-orphaned-blocks invariant: after
+  // recovery every data-region block must be either free in the
+  // allocator or mapped by exactly one (inode, file-block) slot.
+  struct BlockAudit {
+    uint64_t data_blocks = 0;
+    uint64_t free_blocks = 0;
+    uint64_t mapped_blocks = 0;       // distinct phys blocks mapped
+    uint64_t duplicate_mappings = 0;  // phys blocks mapped more than once
+    uint64_t out_of_region = 0;       // mappings outside the data region
+    bool Consistent() const {
+      return duplicate_mappings == 0 && out_of_region == 0 &&
+             free_blocks + mapped_blocks == data_blocks;
+    }
+  };
+  BlockAudit AuditBlocks() const;
+
  private:
   struct Inode {
     uint64_t id = 0;

@@ -324,6 +324,26 @@ size_t LabKvsMod::key_count() const {
   return count;
 }
 
+Result<uint64_t> LabKvsMod::ValueSize(const std::string& key) const {
+  const Shard& shard = shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.values.find(key);
+  if (it == shard.values.end()) {
+    return Status::NotFound("no value for key '" + key + "'");
+  }
+  return it->second.size;
+}
+
+std::vector<std::string> LabKvsMod::ListKeys() const {
+  std::vector<std::string> keys;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, value] : shard.values) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 LABSTOR_REGISTER_LABMOD("labkvs", 1, LabKvsMod);
 
 }  // namespace labstor::labmods

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/labmod.h"
 #include "core/stack_exec.h"
@@ -36,6 +37,14 @@ class LabKvsMod final : public core::LabMod {
 
   size_t key_count() const;
   uint64_t allocator_free_blocks() const { return alloc_->FreeBlocks(); }
+
+  // --- DST invariant surface (src/dst) ---
+  const MetadataLog* log() const { return log_.get(); }
+  // Size of the stored value, or NotFound. Keys are full request paths
+  // ("kvs::/store/user42"), same as Put/Get see them.
+  Result<uint64_t> ValueSize(const std::string& key) const;
+  // Every key currently in the store, sorted (deterministic).
+  std::vector<std::string> ListKeys() const;
 
  private:
   struct Value {

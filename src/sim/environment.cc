@@ -27,15 +27,20 @@ void Environment::ScheduleAt(Time when, std::coroutine_handle<> h) {
 Time Environment::Run() { return RunUntil(~Time{0}); }
 
 Time Environment::RunUntil(Time deadline) {
-  while (!queue_.empty()) {
-    const ScheduledEvent ev = queue_.top();
-    if (ev.when > deadline) break;
-    queue_.pop();
-    now_ = ev.when;
-    ev.handle.resume();
+  while (StepOne(deadline)) {
   }
   ReapFinishedRoots();
   return now_;
+}
+
+bool Environment::StepOne(Time deadline) {
+  if (queue_.empty()) return false;
+  const ScheduledEvent ev = queue_.top();
+  if (ev.when > deadline) return false;
+  queue_.pop();
+  now_ = ev.when;
+  ev.handle.resume();
+  return true;
 }
 
 void Environment::ReapFinishedRoots() {

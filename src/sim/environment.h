@@ -48,6 +48,16 @@ class Environment {
   // `deadline`; events at exactly `deadline` still execute.
   Time RunUntil(Time deadline);
 
+  // Executes exactly one pending event (the earliest; FIFO on ties)
+  // and returns true, or returns false without side effects when the
+  // queue is empty or the next event lies beyond `deadline`. External
+  // controllers — the DST harness — use this to step the simulation
+  // one scheduling decision at a time; Run/RunUntil are loops over it.
+  // Does not reap finished root coroutines: callers stepping manually
+  // should finish with RunUntil/Run (or destroy the environment) so
+  // root errors still surface.
+  bool StepOne(Time deadline = ~Time{0});
+
   // Resume `h` at absolute virtual time `when` (>= now).
   void ScheduleAt(Time when, std::coroutine_handle<> h);
 

@@ -46,6 +46,7 @@ Status SimDevice::WriteNow(uint64_t offset, std::span<const uint8_t> data) {
       const uint64_t keep = std::min<uint64_t>(
           torn->arg != 0 ? torn->arg : data.size() / 2, data.size());
       (void)store_.Write(offset, data.first(keep));
+      if (write_observer_) write_observer_(offset, data.first(keep));
       return Status(torn->code, torn->message.empty()
                                     ? "injected torn write"
                                     : torn->message);
@@ -55,6 +56,7 @@ Status SimDevice::WriteNow(uint64_t offset, std::span<const uint8_t> data) {
   if (st.ok()) {
     stats_.writes.fetch_add(1, std::memory_order_relaxed);
     stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+    if (write_observer_) write_observer_(offset, data);
   }
   return st;
 }

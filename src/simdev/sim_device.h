@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -68,6 +69,17 @@ class SimDevice {
   // blk-switch).
   size_t ChannelQueueDepth(uint32_t channel) const;
 
+  // Persistence-boundary observer: invoked after every functional
+  // write with the byte range that actually reached the store — an
+  // injected torn write reports only its surviving prefix. The DST
+  // harness journals these calls so it can reconstruct the device
+  // as of any write boundary. Swap only while no I/O is in flight.
+  using WriteObserver =
+      std::function<void(uint64_t offset, std::span<const uint8_t> data)>;
+  void SetWriteObserver(WriteObserver observer) {
+    write_observer_ = std::move(observer);
+  }
+
  private:
   sim::Task<void> TimedOp(IoOp op, uint32_t channel, uint64_t offset,
                           uint64_t len);
@@ -82,6 +94,7 @@ class SimDevice {
   std::unique_ptr<sim::Resource> service_slots_;
   std::unique_ptr<sim::Resource> bandwidth_pipe_;
   DeviceStats stats_;
+  WriteObserver write_observer_;
 };
 
 }  // namespace labstor::simdev

@@ -368,6 +368,38 @@ TEST_F(HotpathTest, RebalanceDuringDrainStress) {
   ASSERT_TRUE(runtime.Stop().ok());
 }
 
+// Client::Execute must reap its completion ring after every wait.
+// Completions are pure notifications (the client learns completion by
+// polling req->state), so left unreaped the cq fills after `depth`
+// round trips and every later completion is counted dropped by the
+// worker. A tiny depth makes the regression bite fast: 200 round
+// trips over a depth-8 ring leave it full unless each Execute drains.
+TEST_F(HotpathTest, ClientExecuteReapsCompletionRing) {
+  Runtime::Options options;
+  options.max_workers = 1;
+  options.admin_poll = 500ms;  // keep the admin quiet during the loop
+  options.ipc.queue_depth = 8;
+  Runtime runtime(std::move(options), devices_);
+  auto stack = runtime.MountStack(DummyStack("ctl::/reap", "dummy_rc"),
+                                  ipc::Credentials{1, 0, 0});
+  ASSERT_TRUE(stack.ok());
+  ASSERT_TRUE(runtime.Start().ok());
+  Client client(runtime, ipc::Credentials{88, 1000, 1000});
+  ASSERT_TRUE(client.Connect().ok());
+  auto req = client.NewRequest();
+  ASSERT_TRUE(req.ok());
+  for (int i = 0; i < 200; ++i) {
+    (*req)->Reuse();
+    (*req)->op = ipc::OpCode::kDummy;
+    ASSERT_TRUE(client.Execute(**req, **stack).ok()) << "round trip " << i;
+  }
+  for (ipc::QueuePair* qp : runtime.ipc().PrimaryQueues()) {
+    EXPECT_FALSE(qp->PollCompletion().has_value())
+        << "completions left unreaped on queue " << qp->id();
+  }
+  ASSERT_TRUE(runtime.Stop().ok());
+}
+
 // Request::Reuse must clear the submit stamp: a recycled slot whose
 // next submission is unstamped (telemetry off / sync path) must not
 // report the previous occupant's queue wait.
@@ -375,9 +407,13 @@ TEST_F(HotpathTest, RequestReuseClearsSubmitStamp) {
   ipc::Request req;
   req.submit_ns = 123456789;
   req.worker = 7;
+  req.result = StatusCode::kInternal;
+  req.result_u64 = 42;
   req.Reuse();
   EXPECT_EQ(req.submit_ns, 0u);
   EXPECT_EQ(req.worker, 0u);
+  EXPECT_EQ(req.result, StatusCode::kOk);
+  EXPECT_EQ(req.result_u64, 0u);
   EXPECT_FALSE(req.IsDone());
 }
 

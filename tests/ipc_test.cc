@@ -281,8 +281,13 @@ TEST(IpcManagerTest, WaitSurvivesRestartDuringGrace) {
   ASSERT_TRUE(channel.ok());
   Request* req = channel->NewRequest();
   ipc.MarkOffline();
+  const uint64_t waits_before = ipc.wait_entries();
   std::thread admin([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Deterministic handshake instead of a wall-clock sleep: restart
+    // only once the client is observably inside Wait, so the test
+    // exercises the mid-wait recovery path on every run regardless of
+    // scheduler timing.
+    while (ipc.wait_entries() == waits_before) std::this_thread::yield();
     ipc.MarkOnline();
     req->Complete(StatusCode::kOk);
   });

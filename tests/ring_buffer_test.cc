@@ -1,8 +1,12 @@
 #include "common/ring_buffer.h"
 
+#include "common/rng.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <deque>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -363,6 +367,129 @@ TEST(MpmcRingTest, ConcurrentBatchProducersConsumers) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(popped.load(), kTotal);
   EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+
+// ---------------------------------------------------------------------------
+// Property-based randomized batch tests (DESIGN.md §8): random
+// interleavings of single/batch push/pop checked step-by-step against
+// a std::deque reference model. Seeded and replayable — a failure's
+// SCOPED_TRACE names the seed; re-run it alone with
+// LABSTOR_RING_SEED=<seed>.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<uint64_t> PropertySeeds() {
+  if (const char* env = std::getenv("LABSTOR_RING_SEED"); env != nullptr) {
+    return {std::strtoull(env, nullptr, 0)};
+  }
+  return {0x4C414253, 1, 0xDEADBEEF, 77};
+}
+
+}  // namespace
+
+TEST(SpscRingPropertyTest, RandomBatchPopsMatchDequeModel) {
+  for (const uint64_t seed : PropertySeeds()) {
+    SCOPED_TRACE("LABSTOR_RING_SEED=" + std::to_string(seed));
+    Rng rng(seed);
+    SpscRing<uint64_t> ring(64);
+    std::deque<uint64_t> model;
+    uint64_t next_value = 0;
+
+    for (int step = 0; step < 20000; ++step) {
+      const uint64_t roll = rng.Range(0, 99);
+      if (roll < 50) {
+        const bool pushed = ring.TryPush(next_value);
+        EXPECT_EQ(pushed, model.size() < ring.capacity());
+        if (pushed) model.push_back(next_value++);
+      } else if (roll < 75) {
+        const auto v = ring.TryPop();
+        EXPECT_EQ(v.has_value(), !model.empty());
+        if (v.has_value()) {
+          ASSERT_FALSE(model.empty());
+          EXPECT_EQ(*v, model.front());
+          model.pop_front();
+        }
+      } else {
+        uint64_t out[16];
+        const size_t max = rng.Range(1, 16);
+        const size_t n = ring.TryPopBatch(out, max);
+        ASSERT_EQ(n, std::min<size_t>(max, model.size()));
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(out[i], model.front());
+          model.pop_front();
+        }
+      }
+    }
+    // Drain: everything the model still holds must come out, in order.
+    uint64_t out[16];
+    while (!model.empty()) {
+      const size_t n = ring.TryPopBatch(out, 16);
+      ASSERT_GT(n, 0u);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], model.front());
+        model.pop_front();
+      }
+    }
+    EXPECT_FALSE(ring.TryPop().has_value());
+  }
+}
+
+TEST(MpmcRingPropertyTest, RandomBatchOpsMatchDequeModel) {
+  for (const uint64_t seed : PropertySeeds()) {
+    SCOPED_TRACE("LABSTOR_RING_SEED=" + std::to_string(seed));
+    Rng rng(seed);
+    MpmcRing<uint64_t> ring(64);
+    std::deque<uint64_t> model;
+    uint64_t next_value = 0;
+
+    for (int step = 0; step < 20000; ++step) {
+      const uint64_t roll = rng.Range(0, 99);
+      if (roll < 30) {
+        const bool pushed = ring.TryPush(next_value);
+        EXPECT_EQ(pushed, model.size() < ring.capacity());
+        if (pushed) model.push_back(next_value++);
+      } else if (roll < 55) {
+        // Batch push: with a single producer the ring must accept
+        // exactly the free space, capped by the batch size.
+        uint64_t in[16];
+        const size_t want = rng.Range(1, 16);
+        for (size_t i = 0; i < want; ++i) in[i] = next_value + i;
+        const size_t accepted = ring.TryPushBatch(in, want);
+        ASSERT_EQ(accepted,
+                  std::min<size_t>(want, ring.capacity() - model.size()));
+        for (size_t i = 0; i < accepted; ++i) model.push_back(next_value++);
+      } else if (roll < 80) {
+        const auto v = ring.TryPop();
+        EXPECT_EQ(v.has_value(), !model.empty());
+        if (v.has_value()) {
+          ASSERT_FALSE(model.empty());
+          EXPECT_EQ(*v, model.front());
+          model.pop_front();
+        }
+      } else {
+        uint64_t out[16];
+        const size_t max = rng.Range(1, 16);
+        const size_t n = ring.TryPopBatch(out, max);
+        ASSERT_EQ(n, std::min<size_t>(max, model.size()));
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(out[i], model.front());
+          model.pop_front();
+        }
+      }
+    }
+    uint64_t out[16];
+    while (!model.empty()) {
+      const size_t n = ring.TryPopBatch(out, 16);
+      ASSERT_GT(n, 0u);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], model.front());
+        model.pop_front();
+      }
+    }
+    EXPECT_FALSE(ring.TryPop().has_value());
+  }
 }
 
 }  // namespace
