@@ -14,26 +14,17 @@ size_t ModuleManager::pending() const {
   return queue_.size();
 }
 
-Status ModuleManager::ApplyOne(const UpgradeRequest& request,
-                               ModContext& ctx) {
+Status ModuleManager::ApplyOne(const UpgradeRequest& request, ModContext& ctx,
+                               size_t* swapped, size_t* noops) {
   if (code_load_) code_load_(request);
-  // Resolve the target version once so every instance lands on the
-  // same code object.
-  uint32_t version = request.new_version;
-  if (version == 0) {
-    auto latest = ModFactory::Global().LatestVersion(request.mod_name);
-    if (!latest.ok()) return latest.status();
-    version = *latest;
-  }
-  const std::vector<std::string> instances =
-      registry_.InstancesOf(request.mod_name);
-  if (instances.empty()) {
-    return Status::NotFound("no running instances of '" + request.mod_name +
-                            "'");
-  }
-  for (const std::string& uuid : instances) {
-    LABSTOR_RETURN_IF_ERROR(registry_.Upgrade(uuid, version, ctx));
-  }
+  // UpgradeAll resolves the target version once (every instance lands
+  // on the same code object) and stages all fresh instances before
+  // swapping any, so a failure on instance N of M leaves all M on
+  // their old version — never a mixed-version registry.
+  auto result = registry_.UpgradeAll(request.mod_name, request.new_version, ctx);
+  if (!result.ok()) return result.status();
+  *swapped += result->swapped;
+  *noops += result->noops;
   return Status::Ok();
 }
 
@@ -58,39 +49,58 @@ Status ModuleManager::ProcessUpgrades(
   }
 
   Status first_error;
-  const auto note = [&](const UpgradeRequest& request, const Status& st) {
+  const auto note = [&](const UpgradeRequest& request, const Status& st,
+                        size_t swapped) {
     if (!st.ok()) {
       LOG_WARN << "upgrade of '" << request.mod_name
                << "' failed: " << st.ToString();
       if (first_error.ok()) first_error = st;
-    } else {
+    } else if (swapped > 0) {
       ++applied_;
+    } else {
+      ++noops_;
     }
   };
 
   if (!centralized.empty()) {
     // Quiesce everything: stop new submissions, wait for workers to
-    // acknowledge and intermediate traffic to complete.
-    for (ipc::QueuePair* qp : ipc_.PrimaryQueues()) qp->MarkUpdatePending();
+    // acknowledge and intermediate traffic to complete. The mark and
+    // clear sweeps live in the IpcManager (Begin/EndQuiesce) under its
+    // connection lock, so a queue registering mid-upgrade is born
+    // paused and is reopened by the same EndQuiesce as everyone else —
+    // it can neither admit traffic through the quiesce nor be left
+    // pending forever.
+    ipc_.BeginQuiesce();
     wait_quiesce();
+    Phase("centralized.quiesced");
     for (const UpgradeRequest& request : centralized) {
-      note(request, ApplyOne(request, ctx));
+      size_t swapped = 0;
+      size_t noops = 0;
+      // Sequenced: note()'s swapped argument is passed by value, so
+      // ApplyOne must run before the call is built.
+      const Status st = ApplyOne(request, ctx, &swapped, &noops);
+      note(request, st, swapped);
     }
     // Stacks must point at the new instances before traffic resumes.
     const Status refresh = ns_.RefreshBindings(registry_);
     if (!refresh.ok() && first_error.ok()) first_error = refresh;
-    for (ipc::QueuePair* qp : ipc_.PrimaryQueues()) qp->ClearUpdate();
+    Phase("centralized.applied");
+    ipc_.EndQuiesce();
   }
 
   for (const UpgradeRequest& request : decentralized) {
     // The instance swap itself still needs a global barrier (the old
     // code object is destroyed; no worker may be inside it)...
-    for (ipc::QueuePair* qp : ipc_.PrimaryQueues()) qp->MarkUpdatePending();
+    ipc_.BeginQuiesce();
     wait_quiesce();
-    note(request, ApplyOne(request, ctx));
+    Phase("decentralized.swap.quiesced");
+    size_t swapped = 0;
+    size_t noops = 0;
+    const Status st = ApplyOne(request, ctx, &swapped, &noops);
+    note(request, st, swapped);
     const Status refresh = ns_.RefreshBindings(registry_);
     if (!refresh.ok() && first_error.ok()) first_error = refresh;
-    for (ipc::QueuePair* qp : ipc_.PrimaryQueues()) qp->ClearUpdate();
+    ipc_.EndQuiesce();
     // ...then the update propagates client by client: each connected
     // client's view is refreshed with only that client's queue briefly
     // paused — the per-client work that makes decentralized upgrades
@@ -98,6 +108,7 @@ Status ModuleManager::ProcessUpgrades(
     for (ipc::QueuePair* qp : ipc_.PrimaryQueues()) {
       qp->MarkUpdatePending();
       wait_quiesce();  // drains just this pause (others stay open)
+      Phase("decentralized.roll.paused");
       qp->ClearUpdate();
     }
   }

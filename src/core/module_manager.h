@@ -14,6 +14,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "core/module_registry.h"
@@ -48,13 +49,30 @@ class ModuleManager {
   // The modify.mods API: enqueue an upgrade.
   void SubmitUpgrade(UpgradeRequest request);
   size_t pending() const;
+  // Requests that performed at least one real instance swap.
   uint64_t upgrades_applied() const { return applied_; }
+  // Requests that completed successfully without swapping anything
+  // (every instance already ran the target version). Counted apart
+  // from upgrades_applied so "how many times did code actually change"
+  // stays answerable.
+  uint64_t noop_upgrades() const { return noops_; }
 
   // Hook invoked once per applied upgrade, before the swap — models
   // loading the updated code object from storage (the dominant cost in
   // the paper's Table I: ~5ms for a 1MB module on NVMe). Default: none.
   using CodeLoadFn = std::function<void(const UpgradeRequest&)>;
   void SetCodeLoadFn(CodeLoadFn fn) { code_load_ = std::move(fn); }
+
+  // Test/DST observability: invoked (from the upgrading thread) at
+  // named points of the upgrade protocols —
+  //   "centralized.quiesced"        every primary paused, traffic drained
+  //   "centralized.applied"         swaps + rebinding done, still paused
+  //   "decentralized.swap.quiesced" global swap barrier reached
+  //   "decentralized.roll.paused"   one client's queue paused (rolling)
+  // The hook runs with no ModuleManager/IpcManager lock held, so it
+  // may connect clients, submit requests, or inspect queues.
+  using PhaseHook = std::function<void(std::string_view)>;
+  void SetPhaseHook(PhaseHook hook) { phase_hook_ = std::move(hook); }
 
   // Invoked by the Runtime Admin every t ms. `wait_quiesce` blocks
   // until all marked primary queues are acknowledged and in-flight
@@ -64,7 +82,14 @@ class ModuleManager {
                          const std::function<void()>& wait_quiesce);
 
  private:
-  Status ApplyOne(const UpgradeRequest& request, ModContext& ctx);
+  // Applies one request to every instance of its mod (all-or-nothing
+  // via ModuleRegistry::UpgradeAll); reports how many instances
+  // actually swapped vs were already on the target version.
+  Status ApplyOne(const UpgradeRequest& request, ModContext& ctx,
+                  size_t* swapped, size_t* noops);
+  void Phase(std::string_view phase) const {
+    if (phase_hook_) phase_hook_(phase);
+  }
 
   ModuleRegistry& registry_;
   StackNamespace& ns_;
@@ -72,7 +97,9 @@ class ModuleManager {
   mutable std::mutex mu_;
   std::deque<UpgradeRequest> queue_;
   CodeLoadFn code_load_;
+  PhaseHook phase_hook_;
   uint64_t applied_ = 0;
+  uint64_t noops_ = 0;
 };
 
 }  // namespace labstor::core

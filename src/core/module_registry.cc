@@ -1,5 +1,8 @@
 #include "core/module_registry.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "faultinject/faultinject.h"
 
 namespace labstor::core {
@@ -85,7 +88,7 @@ Result<LabMod*> ModuleRegistry::Instantiate(const std::string& mod_name,
   mod->Bind(instance_uuid);
   LABSTOR_RETURN_IF_ERROR(mod->Init(params, ctx));
   LabMod* raw = mod.get();
-  instances_.emplace(instance_uuid, Entry{std::move(mod)});
+  instances_.emplace(instance_uuid, Entry{std::move(mod), params});
   return raw;
 }
 
@@ -103,27 +106,106 @@ bool ModuleRegistry::Has(const std::string& instance_uuid) const {
   return instances_.contains(instance_uuid);
 }
 
+Result<std::unique_ptr<LabMod>> ModuleRegistry::StageLocked(
+    const std::string& uuid, const Entry& entry, uint32_t version,
+    ModContext& ctx) {
+  LABSTOR_ASSIGN_OR_RETURN(fresh,
+                           factory_->Create(entry.mod->mod_name(), version));
+  fresh->Bind(uuid);
+  LABSTOR_RETURN_IF_ERROR(fresh->Init(entry.params, ctx));
+  // StateUpdate failure mid-batch is the classic mixed-version hazard
+  // UpgradeAll exists to close; this site lets the regression test
+  // fail instance N of M deterministically.
+  LABSTOR_FAULTPOINT("core.upgrade.stage");
+  LABSTOR_RETURN_IF_ERROR(fresh->StateUpdate(*entry.mod));
+  return std::move(fresh);
+}
+
 Status ModuleRegistry::Upgrade(const std::string& instance_uuid,
-                               uint32_t new_version, ModContext& ctx) {
+                               uint32_t new_version, ModContext& ctx,
+                               bool* was_noop) {
+  if (was_noop != nullptr) *was_noop = false;
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = instances_.find(instance_uuid);
   if (it == instances_.end()) {
     return Status::NotFound("no instance '" + instance_uuid + "'");
   }
-  LabMod& old = *it->second.mod;
-  auto created = factory_->Create(old.mod_name(), new_version);
-  if (!created.ok()) return created.status();
-  std::unique_ptr<LabMod> fresh = std::move(created).value();
-  if (fresh->version() < old.version()) {
-    return Status::FailedPrecondition(
-        "downgrade to v" + std::to_string(fresh->version()) +
-        " from running v" + std::to_string(old.version()) + " refused");
+  const LabMod& old = *it->second.mod;
+  uint32_t version = new_version;
+  if (version == 0) {
+    LABSTOR_ASSIGN_OR_RETURN(latest, factory_->LatestVersion(old.mod_name()));
+    version = latest;
   }
-  fresh->Bind(instance_uuid);
-  LABSTOR_RETURN_IF_ERROR(fresh->Init(nullptr, ctx));
-  LABSTOR_RETURN_IF_ERROR(fresh->StateUpdate(old));
+  if (version < old.version()) {
+    return Status::FailedPrecondition(
+        "downgrade to v" + std::to_string(version) + " from running v" +
+        std::to_string(old.version()) + " refused");
+  }
+  if (version == old.version()) {
+    // Same-version "upgrade": the running instance already executes
+    // this code object. Succeed without the Create/Init/StateUpdate
+    // churn (Table I reloads the same dummy module hundreds of times).
+    if (was_noop != nullptr) *was_noop = true;
+    return Status::Ok();
+  }
+  LABSTOR_ASSIGN_OR_RETURN(fresh,
+                           StageLocked(instance_uuid, it->second, version, ctx));
   it->second.mod = std::move(fresh);
   return Status::Ok();
+}
+
+Result<ModuleRegistry::UpgradeAllResult> ModuleRegistry::UpgradeAll(
+    const std::string& mod_name, uint32_t new_version, ModContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t version = new_version;
+  if (version == 0) {
+    LABSTOR_ASSIGN_OR_RETURN(latest, factory_->LatestVersion(mod_name));
+    version = latest;
+  }
+  // Sorted instance list: staging order (and therefore which instance
+  // a mid-batch failure lands on) must not depend on hash layout —
+  // the DST replays byte-identically across runs.
+  std::vector<std::pair<std::string, Entry*>> targets;
+  for (auto& [uuid, entry] : instances_) {
+    if (entry.mod->mod_name() == mod_name) targets.emplace_back(uuid, &entry);
+  }
+  if (targets.empty()) {
+    return Status::NotFound("no running instances of '" + mod_name + "'");
+  }
+  std::sort(targets.begin(), targets.end());
+
+  UpgradeAllResult result;
+  std::vector<std::pair<Entry*, std::unique_ptr<LabMod>>> staged;
+  for (auto& [uuid, entry] : targets) {
+    const uint32_t running = entry->mod->version();
+    if (version < running) {
+      return Status::FailedPrecondition(
+          "downgrade to v" + std::to_string(version) + " from running v" +
+          std::to_string(running) + " ('" + uuid + "') refused");
+    }
+    if (version == running) {
+      ++result.noops;
+      continue;
+    }
+    auto fresh = StageLocked(uuid, *entry, version, ctx);
+    // Any failure: the staged instances die with this scope and every
+    // entry keeps its old version — all-or-nothing.
+    if (!fresh.ok()) return fresh.status();
+    staged.emplace_back(entry, std::move(fresh).value());
+  }
+  for (auto& [entry, fresh] : staged) entry->mod = std::move(fresh);
+  result.swapped = staged.size();
+  return result;
+}
+
+Result<yaml::NodePtr> ModuleRegistry::ParamsOf(
+    const std::string& instance_uuid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = instances_.find(instance_uuid);
+  if (it == instances_.end()) {
+    return Status::NotFound("no instance '" + instance_uuid + "'");
+  }
+  return it->second.params;
 }
 
 std::vector<std::string> ModuleRegistry::InstancesOf(

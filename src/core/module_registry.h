@@ -79,13 +79,34 @@ class ModuleRegistry {
   bool Has(const std::string& instance_uuid) const;
 
   // Live upgrade step: create version `new_version` (0 = latest) of
-  // the same mod name, run StateUpdate(old), swap the instance.
-  // Re-loading the same version is allowed (code reload); only strict
-  // downgrades are rejected.
-  // Existing LabMod* pointers become invalid; callers must re-resolve
-  // (stacks re-resolve by UUID after upgrades).
+  // the same mod name, Init it with the *stored creation params* (the
+  // ones the old instance was configured with), run StateUpdate(old),
+  // swap the instance. Requesting the version already running is a
+  // no-op success (reported via `was_noop`) — no Create/Init/
+  // StateUpdate churn; strict downgrades are rejected.
+  // Existing LabMod* pointers become invalid after a real swap;
+  // callers must re-resolve (stacks re-resolve by UUID after
+  // upgrades).
   Status Upgrade(const std::string& instance_uuid, uint32_t new_version,
-                 ModContext& ctx);
+                 ModContext& ctx, bool* was_noop = nullptr);
+
+  // All-or-nothing upgrade of every instance of `mod_name` under one
+  // lock hold: every fresh instance is staged (Create + Init with the
+  // stored params + StateUpdate) first; the registry swaps only after
+  // *all* of them succeed. Any failure destroys the staged instances
+  // and leaves every entry on its old version — no mixed-version
+  // states. Instances already on the target version are counted in
+  // `noops` and left untouched.
+  struct UpgradeAllResult {
+    size_t swapped = 0;
+    size_t noops = 0;
+  };
+  Result<UpgradeAllResult> UpgradeAll(const std::string& mod_name,
+                                      uint32_t new_version, ModContext& ctx);
+
+  // The creation params recorded for an instance (null if it was
+  // instantiated without params).
+  Result<yaml::NodePtr> ParamsOf(const std::string& instance_uuid) const;
 
   std::vector<std::string> InstancesOf(const std::string& mod_name) const;
   std::vector<std::string> AllInstances() const;
@@ -96,7 +117,20 @@ class ModuleRegistry {
  private:
   struct Entry {
     std::unique_ptr<LabMod> mod;
+    // Creation params, kept so live upgrades can re-Init the fresh
+    // instance with the configuration the operator actually mounted
+    // (Init(nullptr) would silently reset every param to defaults).
+    yaml::NodePtr params;
   };
+
+  // Stage a replacement for `entry` at `version` (resolved, > old
+  // version): Create + Bind + Init(stored params) + StateUpdate(old).
+  // Pure with respect to the registry: failure just destroys the
+  // staged instance. Caller holds mu_.
+  Result<std::unique_ptr<LabMod>> StageLocked(const std::string& uuid,
+                                              const Entry& entry,
+                                              uint32_t version,
+                                              ModContext& ctx);
 
   const ModFactory* factory_;
   mutable std::mutex mu_;

@@ -228,6 +228,13 @@ Status Runtime::Execute(ipc::Request& req) {
   return ExecuteWith(req, scratch);
 }
 
+Status Runtime::StepAdmin() {
+  const Status st =
+      module_manager_.ProcessUpgrades(mod_context_, [this] { WaitQuiesce(); });
+  Rebalance();
+  return st;
+}
+
 Status Runtime::EnsureRepaired(uint64_t epoch) {
   std::lock_guard<std::mutex> lock(repair_mu_);
   if (repaired_epoch_ >= epoch) return Status::Ok();
@@ -502,8 +509,13 @@ void Runtime::Rebalance() {
 
 void Runtime::WaitQuiesce() {
   // 1. Every assigned, marked primary queue must be acknowledged by
-  //    its worker; queues no worker drains are acknowledged here.
+  //    its worker; queues no worker drains are acknowledged here. A
+  //    queue's assignment-table entry only promises an ack while
+  //    worker threads are actually running — on a never-Started (or
+  //    crashed) runtime the table may still name queues, but nobody
+  //    will ever drain them, so the barrier acks on their behalf.
   while (!stop_.load(std::memory_order_acquire)) {
+    const bool workers_running = running_.load(std::memory_order_acquire);
     const std::shared_ptr<const AssignmentTable> table = LoadAssignments();
     std::vector<ipc::QueuePair*> assigned;
     for (const auto& queues : table->per_worker) {
@@ -513,6 +525,7 @@ void Runtime::WaitQuiesce() {
     for (ipc::QueuePair* qp : ipc_.PrimaryQueues()) {
       if (!qp->update_pending()) continue;
       const bool is_assigned =
+          workers_running &&
           std::find(assigned.begin(), assigned.end(), qp) != assigned.end();
       if (!is_assigned) qp->AckUpdate();
       if (!qp->update_acked()) all_acked = false;

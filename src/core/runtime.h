@@ -109,6 +109,17 @@ class Runtime {
   // steady-state calls perform no heap allocation.
   Status Execute(ipc::Request& req);
 
+  // --- deterministic admin stepping (DST lifecycle scheduler) ---
+  // One admin pass, inline in the caller: process queued upgrades
+  // (with the real quiesce barrier) and rebalance. On a never-Started
+  // runtime this is single-threaded and fully deterministic — the
+  // quiesce converges because no queue is worker-assigned, so
+  // WaitQuiesce acknowledges marked queues itself. The threaded
+  // AdminLoop does exactly this on a timer.
+  Status StepAdmin();
+  // One rebalance pass, inline (the admin timer's other half).
+  void RebalanceNow() { Rebalance(); }
+
   // Crash recovery: run StateRepair across all mods once per epoch.
   Status EnsureRepaired(uint64_t epoch);
 

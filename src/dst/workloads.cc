@@ -16,96 +16,151 @@ std::vector<uint8_t> PatternBytes(uint64_t tag, size_t len) {
   return bytes;
 }
 
+std::string WorkloadFsPath(size_t i) {
+  return "fs::/dst/f" + std::to_string(i);
+}
+std::string WorkloadKvsKey(size_t i) {
+  return "kvs::/dst/k" + std::to_string(i);
+}
+
 namespace {
 
-constexpr size_t kPoolSize = 6;
+constexpr size_t kPoolSize = kWorkloadPoolSize;
 constexpr uint64_t kMaxWriteLen = 12000;  // spans multiple 4KB blocks
 
-std::string FsPath(size_t i) { return "fs::/dst/f" + std::to_string(i); }
-std::string KvsKey(size_t i) { return "kvs::/dst/k" + std::to_string(i); }
+std::string FsPath(size_t i) { return WorkloadFsPath(i); }
+std::string KvsKey(size_t i) { return WorkloadKvsKey(i); }
+
+size_t JournalEntries(const DeviceJournal* journal) {
+  return journal != nullptr ? journal->entries() : 0;
+}
 
 }  // namespace
+
+Status StepFsOp(labmods::GenericFs& fs, core::Client& client,
+                core::Stack& stack, Schedule& sched,
+                const DeviceJournal* journal, FsModel& model,
+                FsWorkloadState& state) {
+  std::map<std::string, uint64_t>& live = state.live;
+  const std::string path = FsPath(sched.Range("fs.pick", 0, kPoolSize - 1));
+  const bool exists = live.count(path) != 0;
+  uint64_t roll = sched.Range("fs.op", 0, 99);
+  if (!exists) roll = 0;  // only a write/create applies
+
+  if (roll < 50) {
+    // Write (creating first when needed). Two separately-acked ops,
+    // each with its own journal window.
+    if (!exists) {
+      const size_t jb = JournalEntries(journal);
+      LABSTOR_ASSIGN_OR_RETURN(fd, fs.Create(path));
+      LABSTOR_RETURN_IF_ERROR(fs.Close(fd));
+      model.AckCreate(path, false, jb, JournalEntries(journal));
+      live[path] = 0;
+      sched.Note("fs op=create path=" + path);
+    }
+    const uint64_t len = sched.Range("fs.len", 1, kMaxWriteLen);
+    const uint64_t offset = sched.Chance("fs.off0", 0.5)
+                                ? 0
+                                : sched.Range("fs.off", 0, live[path]);
+    const std::vector<uint8_t> data =
+        PatternBytes(sched.NextU64("fs.tag"), len);
+    const size_t jb = JournalEntries(journal);
+    LABSTOR_ASSIGN_OR_RETURN(fd, fs.Open(path, 0));
+    LABSTOR_ASSIGN_OR_RETURN(written, fs.Write(fd, data, offset));
+    LABSTOR_RETURN_IF_ERROR(fs.Close(fd));
+    if (written != len) {
+      return Status::Internal("short write in fs workload");
+    }
+    model.AckWrite(path, offset, data, jb, JournalEntries(journal));
+    live[path] = std::max(live[path], offset + len);
+    sched.Note("fs op=write path=" + path + " off=" + std::to_string(offset) +
+               " len=" + std::to_string(len));
+  } else if (roll < 65) {
+    const uint64_t size = sched.Range("fs.trunc", 0, live[path]);
+    ipc::Request req;
+    req.op = ipc::OpCode::kTruncate;
+    req.SetPath(path);
+    req.offset = size;
+    const size_t jb = JournalEntries(journal);
+    LABSTOR_RETURN_IF_ERROR(client.Execute(req, stack));
+    LABSTOR_RETURN_IF_ERROR(req.ToStatus());
+    model.AckTruncate(path, size, jb, JournalEntries(journal));
+    live[path] = size;
+    sched.Note("fs op=truncate path=" + path + " size=" +
+               std::to_string(size));
+  } else if (roll < 80) {
+    // Rename to a currently-unused pool slot (dst must not exist).
+    std::string to;
+    for (size_t j = 0; j < kPoolSize; ++j) {
+      const std::string candidate = FsPath(j);
+      if (candidate != path && live.count(candidate) == 0) {
+        to = candidate;
+        break;
+      }
+    }
+    if (to.empty()) return Status::Ok();  // pool full; deterministic skip
+    const size_t jb = JournalEntries(journal);
+    LABSTOR_RETURN_IF_ERROR(fs.Rename(path, to));
+    model.AckRename(path, to, jb, JournalEntries(journal));
+    live[to] = live[path];
+    live.erase(path);
+    sched.Note("fs op=rename from=" + path + " to=" + to);
+  } else {
+    const size_t jb = JournalEntries(journal);
+    LABSTOR_RETURN_IF_ERROR(fs.Unlink(path));
+    model.AckUnlink(path, jb, JournalEntries(journal));
+    live.erase(path);
+    sched.Note("fs op=unlink path=" + path);
+  }
+  return Status::Ok();
+}
+
+Status StepKvsOp(labmods::GenericKvs& kvs, Schedule& sched,
+                 const DeviceJournal* journal, KvModel& model,
+                 KvsWorkloadState& state) {
+  std::map<std::string, std::vector<uint8_t>>& live = state.live;
+  const std::string key = KvsKey(sched.Range("kvs.pick", 0, kPoolSize - 1));
+  const bool exists = live.count(key) != 0;
+  uint64_t roll = sched.Range("kvs.op", 0, 99);
+  if (!exists) roll = 0;  // only a put applies
+
+  if (roll < 60) {
+    const uint64_t len = sched.Range("kvs.len", 1, kMaxWriteLen);
+    const std::vector<uint8_t> value =
+        PatternBytes(sched.NextU64("kvs.tag"), len);
+    const size_t jb = JournalEntries(journal);
+    LABSTOR_RETURN_IF_ERROR(kvs.Put(key, value));
+    model.AckPut(key, value, jb, JournalEntries(journal));
+    live[key] = value;
+    sched.Note("kvs op=put key=" + key + " len=" + std::to_string(len));
+  } else if (roll < 80) {
+    // Read-back verification against the shadow (sanity on the
+    // healthy rig; the invariants re-verify after every crash).
+    std::vector<uint8_t> got(live[key].size());
+    LABSTOR_ASSIGN_OR_RETURN(read, kvs.Get(key, got));
+    if (read != live[key].size() || got != live[key]) {
+      return Status::Internal("kvs read-back mismatch for " + key);
+    }
+    sched.Note("kvs op=get key=" + key);
+  } else {
+    const size_t jb = JournalEntries(journal);
+    LABSTOR_RETURN_IF_ERROR(kvs.Delete(key));
+    model.AckDelete(key, jb, JournalEntries(journal));
+    live.erase(key);
+    sched.Note("kvs op=delete key=" + key);
+  }
+  return Status::Ok();
+}
 
 Status RunFsWorkload(CrashRig& rig, Schedule& sched,
                      const DeviceJournal& journal, FsModel& model,
                      size_t num_ops) {
   labmods::GenericFs* fs = rig.fs();
   if (fs == nullptr) return Status::FailedPrecondition("rig has no GenericFs");
-
-  // Shadow of current files and sizes, for choosing applicable ops.
-  std::map<std::string, uint64_t> live;
-
+  FsWorkloadState state;
   for (size_t i = 0; i < num_ops; ++i) {
-    const std::string path = FsPath(sched.Range("fs.pick", 0, kPoolSize - 1));
-    const bool exists = live.count(path) != 0;
-    uint64_t roll = sched.Range("fs.op", 0, 99);
-    if (!exists) roll = 0;  // only a write/create applies
-
-    if (roll < 50) {
-      // Write (creating first when needed). Two separately-acked ops,
-      // each with its own journal window.
-      if (!exists) {
-        const size_t jb = journal.entries();
-        LABSTOR_ASSIGN_OR_RETURN(fd, fs->Create(path));
-        LABSTOR_RETURN_IF_ERROR(fs->Close(fd));
-        model.AckCreate(path, false, jb, journal.entries());
-        live[path] = 0;
-        sched.Note("fs op=create path=" + path);
-      }
-      const uint64_t len = sched.Range("fs.len", 1, kMaxWriteLen);
-      const uint64_t offset = sched.Chance("fs.off0", 0.5)
-                                  ? 0
-                                  : sched.Range("fs.off", 0, live[path]);
-      const std::vector<uint8_t> data =
-          PatternBytes(sched.NextU64("fs.tag"), len);
-      const size_t jb = journal.entries();
-      LABSTOR_ASSIGN_OR_RETURN(fd, fs->Open(path, 0));
-      LABSTOR_ASSIGN_OR_RETURN(written, fs->Write(fd, data, offset));
-      LABSTOR_RETURN_IF_ERROR(fs->Close(fd));
-      if (written != len) {
-        return Status::Internal("short write in fs workload");
-      }
-      model.AckWrite(path, offset, data, jb, journal.entries());
-      live[path] = std::max(live[path], offset + len);
-      sched.Note("fs op=write path=" + path + " off=" +
-                 std::to_string(offset) + " len=" + std::to_string(len));
-    } else if (roll < 65) {
-      const uint64_t size = sched.Range("fs.trunc", 0, live[path]);
-      ipc::Request req;
-      req.op = ipc::OpCode::kTruncate;
-      req.SetPath(path);
-      req.offset = size;
-      const size_t jb = journal.entries();
-      LABSTOR_RETURN_IF_ERROR(rig.client().Execute(req, rig.stack()));
-      LABSTOR_RETURN_IF_ERROR(req.ToStatus());
-      model.AckTruncate(path, size, jb, journal.entries());
-      live[path] = size;
-      sched.Note("fs op=truncate path=" + path + " size=" +
-                 std::to_string(size));
-    } else if (roll < 80) {
-      // Rename to a currently-unused pool slot (dst must not exist).
-      std::string to;
-      for (size_t j = 0; j < kPoolSize; ++j) {
-        const std::string candidate = FsPath(j);
-        if (candidate != path && live.count(candidate) == 0) {
-          to = candidate;
-          break;
-        }
-      }
-      if (to.empty()) continue;  // pool full; deterministic skip
-      const size_t jb = journal.entries();
-      LABSTOR_RETURN_IF_ERROR(fs->Rename(path, to));
-      model.AckRename(path, to, jb, journal.entries());
-      live[to] = live[path];
-      live.erase(path);
-      sched.Note("fs op=rename from=" + path + " to=" + to);
-    } else {
-      const size_t jb = journal.entries();
-      LABSTOR_RETURN_IF_ERROR(fs->Unlink(path));
-      model.AckUnlink(path, jb, journal.entries());
-      live.erase(path);
-      sched.Note("fs op=unlink path=" + path);
-    }
+    LABSTOR_RETURN_IF_ERROR(StepFsOp(*fs, rig.client(), rig.stack(), sched,
+                                     &journal, model, state));
   }
   return Status::Ok();
 }
@@ -117,40 +172,9 @@ Status RunKvsWorkload(CrashRig& rig, Schedule& sched,
   if (kvs == nullptr) {
     return Status::FailedPrecondition("rig has no GenericKvs");
   }
-
-  std::map<std::string, std::vector<uint8_t>> live;
-
+  KvsWorkloadState state;
   for (size_t i = 0; i < num_ops; ++i) {
-    const std::string key = KvsKey(sched.Range("kvs.pick", 0, kPoolSize - 1));
-    const bool exists = live.count(key) != 0;
-    uint64_t roll = sched.Range("kvs.op", 0, 99);
-    if (!exists) roll = 0;  // only a put applies
-
-    if (roll < 60) {
-      const uint64_t len = sched.Range("kvs.len", 1, kMaxWriteLen);
-      const std::vector<uint8_t> value =
-          PatternBytes(sched.NextU64("kvs.tag"), len);
-      const size_t jb = journal.entries();
-      LABSTOR_RETURN_IF_ERROR(kvs->Put(key, value));
-      model.AckPut(key, value, jb, journal.entries());
-      live[key] = value;
-      sched.Note("kvs op=put key=" + key + " len=" + std::to_string(len));
-    } else if (roll < 80) {
-      // Read-back verification against the shadow (sanity on the
-      // healthy rig; the invariants re-verify after every crash).
-      std::vector<uint8_t> got(live[key].size());
-      LABSTOR_ASSIGN_OR_RETURN(read, kvs->Get(key, got));
-      if (read != live[key].size() || got != live[key]) {
-        return Status::Internal("kvs read-back mismatch for " + key);
-      }
-      sched.Note("kvs op=get key=" + key);
-    } else {
-      const size_t jb = journal.entries();
-      LABSTOR_RETURN_IF_ERROR(kvs->Delete(key));
-      model.AckDelete(key, jb, journal.entries());
-      live.erase(key);
-      sched.Note("kvs op=delete key=" + key);
-    }
+    LABSTOR_RETURN_IF_ERROR(StepKvsOp(*kvs, sched, &journal, model, state));
   }
   return Status::Ok();
 }

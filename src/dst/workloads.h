@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -22,6 +24,37 @@ namespace labstor::dst {
 // Deterministic payload bytes: position-dependent and tagged, so two
 // different writes never produce the same byte stream.
 std::vector<uint8_t> PatternBytes(uint64_t tag, size_t len);
+
+// The fixed file/key population the steppers draw from. Exposed so
+// end-of-run audits can also verify *absence*: a pool member missing
+// from the model must be missing from the system too.
+inline constexpr size_t kWorkloadPoolSize = 6;
+std::string WorkloadFsPath(size_t i);
+std::string WorkloadKvsKey(size_t i);
+
+// Shadow state the steppers consult when choosing an applicable op
+// (which files/keys currently exist and how big they are). One struct
+// per workload so callers can interleave the two streams.
+struct FsWorkloadState {
+  std::map<std::string, uint64_t> live;  // path -> size
+};
+struct KvsWorkloadState {
+  std::map<std::string, std::vector<uint8_t>> live;  // key -> value
+};
+
+// Single acked operation drawn from the Schedule streams. The crash
+// workloads loop these against a journaled rig; the lifecycle
+// scheduler (dst/lifecycle.h) interleaves them with upgrade/rebalance/
+// restart events. `journal` may be null (no crash-point enumeration on
+// that rig) — windows are then recorded as [0, 0), which StateAt
+// treats as always durable.
+Status StepFsOp(labmods::GenericFs& fs, core::Client& client,
+                core::Stack& stack, Schedule& sched,
+                const DeviceJournal* journal, FsModel& model,
+                FsWorkloadState& state);
+Status StepKvsOp(labmods::GenericKvs& kvs, Schedule& sched,
+                 const DeviceJournal* journal, KvModel& model,
+                 KvsWorkloadState& state);
 
 // Random create/write/truncate/rename/unlink mix over a small file
 // population on a SyncFsRig. Records every ack into `model`.

@@ -26,6 +26,10 @@ Result<ClientChannel> IpcManager::Connect(const Credentials& creds) {
                                         options_.ordered_queues,
                                         options_.queue_depth, creds);
   QueuePair* raw = qp.get();
+  // Born paused while an upgrade quiesce is in progress: the client
+  // may connect, but nothing it submits is admitted until EndQuiesce
+  // reopens every primary (fresh snapshot — this queue included).
+  if (quiesce_depth_ > 0) raw->MarkUpdatePending();
   queues_.push_back(std::move(qp));
   primary_.push_back(raw);
 
@@ -55,6 +59,35 @@ QueuePair* IpcManager::CreateIntermediateQueue(bool ordered) {
   queues_.push_back(std::move(qp));
   intermediate_.push_back(raw);
   return raw;
+}
+
+void IpcManager::BeginQuiesce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++quiesce_depth_;
+  for (QueuePair* qp : primary_) qp->MarkUpdatePending();
+}
+
+void IpcManager::EndQuiesce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (quiesce_depth_ == 0) return;
+  if (--quiesce_depth_ > 0) return;
+  // Fresh snapshot under the same lock Connect() takes: queues that
+  // registered (born paused) after BeginQuiesce reopen here too.
+  for (QueuePair* qp : primary_) qp->ClearUpdate();
+}
+
+bool IpcManager::quiescing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quiesce_depth_ > 0;
+}
+
+size_t IpcManager::PausedPrimaryCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t paused = 0;
+  for (QueuePair* qp : primary_) {
+    if (qp->update_pending()) ++paused;
+  }
+  return paused;
 }
 
 QueuePair* IpcManager::FindQueue(uint32_t qid) const {

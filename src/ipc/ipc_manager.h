@@ -79,6 +79,23 @@ class IpcManager {
   }
   QueuePair* FindQueue(uint32_t qid) const;
 
+  // --- centralized-quiesce barrier (live upgrades) ---
+  // The Module Manager's mark/clear sweeps used to iterate a primary-
+  // queue snapshot taken outside mu_, racing Connect(): a queue
+  // registered between the sweeps was never marked (it admitted
+  // traffic through the quiesce) and, if it appeared only in the clear
+  // snapshot, its flags were consistent by luck alone. Begin/EndQuiesce
+  // run both sweeps under mu_ and latch the manager: while the barrier
+  // is up, Connect() marks new queues at birth, and EndQuiesce clears
+  // from a *fresh* snapshot so queues born mid-quiesce reopen too.
+  // Reentrant (depth-counted) so batched upgrades nest one barrier.
+  void BeginQuiesce();
+  void EndQuiesce();
+  bool quiescing() const;
+  // Primary queues currently UPDATE_PENDING/ACKED (the decentralized
+  // protocol's "at most one paused after the swap barrier" assertion).
+  size_t PausedPrimaryCount() const;
+
   ShMemManager& shmem() { return shmem_; }
 
   // --- runtime liveness (crash recovery) ---
@@ -113,6 +130,7 @@ class IpcManager {
   ShMemManager shmem_;
   mutable std::mutex mu_;
   uint32_t next_qid_ = 1;
+  size_t quiesce_depth_ = 0;  // guarded by mu_
   std::vector<std::unique_ptr<QueuePair>> queues_;
   std::vector<QueuePair*> primary_;
   std::vector<QueuePair*> intermediate_;

@@ -42,7 +42,10 @@ class QueuePair {
 
   // --- submission side ---
   bool Submit(Request* req) {
-    if (update_pending()) return false;  // quiesced for upgrade
+    if (update_pending()) {  // quiesced for upgrade
+      refused_while_paused_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     // Injected overflow presents exactly like a full ring: the caller
     // must apply its backpressure/backoff path.
     if (faultinject::FaultInjector* fi = faultinject::Active();
@@ -69,20 +72,38 @@ class QueuePair {
   std::optional<Request*> PollCompletion() { return cq_.TryPop(); }
 
   // --- live upgrade protocol flags ---
+  // Mark/Clear count state *transitions* (normal -> paused and back),
+  // not calls: re-marking an already-paused queue is idempotent. The
+  // lifecycle invariants lean on that pairing — after any upgrade
+  // completes, pauses() == clears() on every queue, or a quiesce sweep
+  // leaked a pause.
   void MarkUpdatePending() {
-    update_state_.store(1, std::memory_order_release);
+    const uint32_t prev = update_state_.exchange(1, std::memory_order_acq_rel);
+    if (prev == 0) pauses_.fetch_add(1, std::memory_order_relaxed);
   }
   void AckUpdate() {
     uint32_t expected = 1;
     update_state_.compare_exchange_strong(expected, 2,
                                           std::memory_order_acq_rel);
   }
-  void ClearUpdate() { update_state_.store(0, std::memory_order_release); }
+  void ClearUpdate() {
+    const uint32_t prev = update_state_.exchange(0, std::memory_order_acq_rel);
+    if (prev != 0) clears_.fetch_add(1, std::memory_order_relaxed);
+  }
   bool update_pending() const {
     return update_state_.load(std::memory_order_acquire) != 0;
   }
   bool update_acked() const {
     return update_state_.load(std::memory_order_acquire) == 2;
+  }
+
+  // --- pause observability (lifecycle invariants / tests) ---
+  uint64_t pauses() const { return pauses_.load(std::memory_order_relaxed); }
+  uint64_t clears() const { return clears_.load(std::memory_order_relaxed); }
+  // Submissions turned away at the UPDATE_PENDING barrier. Strictly
+  // monotonic evidence that no request was admitted past a quiesce.
+  uint64_t refused_while_paused() const {
+    return refused_while_paused_.load(std::memory_order_relaxed);
   }
 
   // Bookkeeping the Work Orchestrator reads during rebalance.
@@ -112,6 +133,9 @@ class QueuePair {
   MpmcRing<Request*> sq_;
   MpmcRing<Request*> cq_;
   std::atomic<uint32_t> update_state_{0};  // 0=normal 1=pending 2=acked
+  std::atomic<uint64_t> pauses_{0};
+  std::atomic<uint64_t> clears_{0};
+  std::atomic<uint64_t> refused_while_paused_{0};
 };
 
 }  // namespace labstor::ipc

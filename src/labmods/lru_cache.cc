@@ -141,7 +141,9 @@ Status LruCacheMod::StateUpdate(core::LabMod& old) {
   for (auto it = lru_.begin(); it != lru_.end(); ++it) index_[it->key] = it;
   hits_ = prev->hits_;
   misses_ = prev->misses_;
-  capacity_pages_ = prev->capacity_pages_;
+  // Configuration (capacity_pages_) is deliberately NOT copied here:
+  // it flows from Init with the stored creation params, same as on
+  // first instantiation. StateUpdate migrates only mutable state.
   return Status::Ok();
 }
 

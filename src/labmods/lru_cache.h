@@ -19,7 +19,11 @@ namespace labstor::labmods {
 
 class LruCacheMod final : public core::LabMod {
  public:
-  LruCacheMod() : core::LabMod("lru_cache", core::ModType::kCache, 1) {}
+  // `version` lets tests register higher versions of the same code
+  // object (live-upgrade regression coverage); the shipped registration
+  // stays v1.
+  explicit LruCacheMod(uint32_t version = 1)
+      : core::LabMod("lru_cache", core::ModType::kCache, version) {}
 
   Status Init(const yaml::NodePtr& params, core::ModContext& ctx) override;
   Status Process(ipc::Request& req, core::StackExec& exec) override;
@@ -31,6 +35,7 @@ class LruCacheMod final : public core::LabMod {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   size_t resident_pages() const;
+  size_t capacity_pages() const { return capacity_pages_; }
 
  private:
   static constexpr uint64_t kPageSize = 4096;

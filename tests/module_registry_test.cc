@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/yaml.h"
 #include "core/stack_exec.h"
+#include "faultinject/faultinject.h"
 #include "labmods/dummy.h"
+#include "labmods/lru_cache.h"
 
 namespace labstor::core {
 namespace {
@@ -141,6 +144,137 @@ TEST(ModuleRegistryTest, DowngradeRejected) {
   EXPECT_EQ(registry.Upgrade("d1", 1, ctx).code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(registry.Upgrade("ghost", 2, ctx).code(), StatusCode::kNotFound);
+}
+
+TEST(ModuleRegistryTest, UpgradePreservesCreationParams) {
+  // Regression: Upgrade used to Init the fresh instance with nullptr,
+  // silently resetting every operator-configured param to its default.
+  // A param-sensitive mod (lru_cache, whose StateUpdate deliberately
+  // migrates only mutable state) catches it: post-upgrade capacity
+  // must still be the mounted 8 pages, not the 4096 default.
+  ModFactory factory;
+  ASSERT_TRUE(factory
+                  .Register("lru_cache", 1,
+                            [] { return std::make_unique<labmods::LruCacheMod>(1); })
+                  .ok());
+  ASSERT_TRUE(factory
+                  .Register("lru_cache", 2,
+                            [] { return std::make_unique<labmods::LruCacheMod>(2); })
+                  .ok());
+  ModuleRegistry registry(&factory);
+  ModContext ctx;
+  auto params = yaml::Parse("capacity_pages: 8");
+  ASSERT_TRUE(params.ok());
+  auto mod = registry.Instantiate("lru_cache", "c1", *params, ctx, 1);
+  ASSERT_TRUE(mod.ok());
+  EXPECT_EQ(dynamic_cast<labmods::LruCacheMod*>(*mod)->capacity_pages(), 8u);
+
+  ASSERT_TRUE(registry.Upgrade("c1", 2, ctx).ok());
+  auto upgraded = registry.Find("c1");
+  ASSERT_TRUE(upgraded.ok());
+  auto* cache = dynamic_cast<labmods::LruCacheMod*>(*upgraded);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->version(), 2u);
+  EXPECT_EQ(cache->capacity_pages(), 8u)
+      << "upgrade dropped the creation params";
+
+  // The registry keeps the params for the upgrade after this one.
+  auto stored = registry.ParamsOf("c1");
+  ASSERT_TRUE(stored.ok());
+  ASSERT_NE(*stored, nullptr);
+  EXPECT_EQ((*stored)->GetUint("capacity_pages", 0), 8u);
+  EXPECT_EQ(registry.ParamsOf("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModuleRegistryTest, UpgradeAllIsAllOrNothing) {
+  ModFactory factory;
+  PopulateFactory(factory);
+  ModuleRegistry registry(&factory);
+  ModContext ctx;
+  for (const char* uuid : {"f1", "f2", "f3"}) {
+    ASSERT_TRUE(registry.Instantiate("dummy", uuid, nullptr, ctx, 1).ok());
+  }
+  // Pump distinguishable state into each v1 instance.
+  ipc::Request req;
+  Stack stack;
+  ModContext exec_ctx;
+  ExecTrace trace;
+  StackExec exec(stack, exec_ctx, trace);
+  int pumps = 1;
+  for (const char* uuid : {"f1", "f2", "f3"}) {
+    auto mod = registry.Find(uuid);
+    ASSERT_TRUE(mod.ok());
+    for (int i = 0; i < pumps; ++i) {
+      ASSERT_TRUE((*mod)->Process(req, exec).ok());
+    }
+    ++pumps;
+  }
+
+  // Fail staging of the SECOND of three instances (staged in sorted
+  // uuid order). Regression: the old per-instance loop had already
+  // swapped f1 to v2 when f2 failed — a mixed-version registry.
+  faultinject::FaultInjector fi;
+  faultinject::FaultPolicy policy;
+  policy.trigger = faultinject::FaultPolicy::Trigger::kEveryN;
+  policy.every_n = 2;
+  policy.max_fires = 1;
+  policy.message = "injected staging failure";
+  fi.Arm("core.upgrade.stage", policy);
+  {
+    faultinject::ScopedInstall install(fi);
+    auto result = registry.UpgradeAll("dummy", 2, ctx);
+    EXPECT_FALSE(result.ok());
+  }
+  EXPECT_EQ(fi.fires("core.upgrade.stage"), 1u);
+  pumps = 1;
+  for (const char* uuid : {"f1", "f2", "f3"}) {
+    auto mod = registry.Find(uuid);
+    ASSERT_TRUE(mod.ok());
+    EXPECT_EQ((*mod)->version(), 1u) << uuid << " swapped despite the failure";
+    EXPECT_EQ(dynamic_cast<labmods::DummyMod*>(*mod)->messages(),
+              static_cast<uint64_t>(pumps))
+        << uuid << " lost state in the failed upgrade";
+    ++pumps;
+  }
+
+  // Clean retry swaps all three atomically, state intact.
+  auto result = registry.UpgradeAll("dummy", 2, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->swapped, 3u);
+  EXPECT_EQ(result->noops, 0u);
+  pumps = 1;
+  for (const char* uuid : {"f1", "f2", "f3"}) {
+    auto mod = registry.Find(uuid);
+    ASSERT_TRUE(mod.ok());
+    EXPECT_EQ((*mod)->version(), 2u);
+    EXPECT_EQ(dynamic_cast<labmods::DummyMod*>(*mod)->messages(),
+              static_cast<uint64_t>(pumps));
+    ++pumps;
+  }
+  EXPECT_EQ(registry.UpgradeAll("ghost", 2, ctx).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ModuleRegistryTest, SameVersionUpgradeIsNoop) {
+  ModFactory factory;
+  PopulateFactory(factory);
+  ModuleRegistry registry(&factory);
+  ModContext ctx;
+  auto mod = registry.Instantiate("dummy", "d1", nullptr, ctx, 2);
+  ASSERT_TRUE(mod.ok());
+
+  bool was_noop = false;
+  ASSERT_TRUE(registry.Upgrade("d1", 2, ctx, &was_noop).ok());
+  EXPECT_TRUE(was_noop);
+  // No Create/Init/StateUpdate churn: the very same instance survives.
+  auto after = registry.Find("d1");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *mod);
+
+  auto all = registry.UpgradeAll("dummy", 2, ctx);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->swapped, 0u);
+  EXPECT_EQ(all->noops, 1u);
 }
 
 TEST(ModuleRegistryTest, InstancesOfFiltersByName) {
