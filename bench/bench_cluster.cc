@@ -1,0 +1,223 @@
+// Cluster benchmark: 8 simulated LabStor nodes behind the shard map,
+// driven by an open-loop Poisson workload from 4 tenants, with a node
+// join and a rolling upgrade landing mid-run. Reports per-tenant
+// p50/p99/p999 latency (virtual ns) — the SLO numbers a closed loop
+// cannot produce — plus routing counters (forwarded hops, fallback
+// reads, migration volume), and writes them to BENCH_cluster.json
+// (or argv[1]). Exits nonzero if any cluster invariant fails.
+//
+// BENCH_CLUSTER_QUICK=1 shrinks the op count for CI smoke runs.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/histogram.h"
+#include "sim/environment.h"
+#include "telemetry/telemetry.h"
+#include "workload/arrival.h"
+
+namespace labstor {
+namespace {
+
+constexpr uint32_t kNodes = 8;
+constexpr uint32_t kTenants = 4;
+constexpr uint32_t kLabelUniverse = 64;
+
+struct BenchState {
+  cluster::Cluster* cluster = nullptr;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  // Per-tenant: which objects have been acked, so Gets only target
+  // labels that exist.
+  std::vector<std::vector<bool>> written =
+      std::vector<std::vector<bool>>(kTenants,
+                                     std::vector<bool>(kLabelUniverse, false));
+};
+
+std::string LabelFor(uint32_t tenant, uint64_t obj) {
+  return "t" + std::to_string(tenant) + "/obj" + std::to_string(obj);
+}
+
+sim::Task<void> OneOp(BenchState* state, uint32_t tenant, uint64_t index) {
+  const uint64_t obj = (index * 2654435761ull) % kLabelUniverse;
+  const uint32_t gateway = static_cast<uint32_t>((tenant * 2 + index) % kNodes);
+  const std::string label = LabelFor(tenant, obj);
+  Status st;
+  if (index % 3 != 2 || !state->written[tenant][obj]) {
+    const uint64_t size = 1024 + (index % 16) * 1024;
+    st = co_await state->cluster->Put(gateway, tenant, label, size);
+    if (st.ok()) state->written[tenant][obj] = true;
+  } else {
+    st = co_await state->cluster->Get(gateway, tenant, label);
+  }
+  if (st.ok()) {
+    ++state->ok;
+  } else {
+    ++state->failed;
+    if (state->failed <= 5) {
+      std::fprintf(stderr, "op failed (%s via gw%u): %s\n", label.c_str(),
+                   gateway, st.ToString().c_str());
+    }
+  }
+}
+
+// Membership churn that overlaps the open-loop load: a ninth node
+// joins (shards migrate onto it while traffic flows), then a rolling
+// upgrade quiesces each node in turn under the shard map.
+sim::Task<void> MidRunChurn(sim::Environment* env, cluster::Cluster* cluster,
+                            Status* churn_status) {
+  co_await env->Delay(2 * sim::kMs);
+  uint32_t new_id = 0;
+  Status st = co_await cluster->AddNode(&new_id);
+  if (!st.ok()) {
+    *churn_status = st;
+    co_return;
+  }
+  co_await env->Delay(2 * sim::kMs);
+  *churn_status = co_await cluster->RollingUpgrade(2);
+}
+
+sim::Task<void> FinalAudit(cluster::Cluster* cluster, Status* out) {
+  Status st = co_await cluster->Rebalance();
+  if (!st.ok()) {
+    *out = st;
+    co_return;
+  }
+  *out = cluster->CheckInvariants(/*strict=*/true);
+}
+
+struct TenantRow {
+  uint32_t tenant = 0;
+  uint64_t ops = 0;
+  double p50 = 0, p99 = 0, p999 = 0;
+};
+
+void WriteJson(const char* path, const std::vector<TenantRow>& rows,
+               const workload::ArrivalStats& stats, const BenchState& state,
+               const cluster::Topology& topo, bool invariants_ok) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"cluster\",\n");
+  std::fprintf(f, "  \"nodes_final\": %zu,\n", topo.nodes.size());
+  std::fprintf(f, "  \"map_generation\": %llu,\n",
+               static_cast<unsigned long long>(topo.map_generation));
+  std::fprintf(f, "  \"ops_ok\": %llu,\n",
+               static_cast<unsigned long long>(state.ok));
+  std::fprintf(f, "  \"ops_failed\": %llu,\n",
+               static_cast<unsigned long long>(state.failed));
+  std::fprintf(f, "  \"ops_per_sec\": %.1f,\n", stats.OpsPerSec());
+  std::fprintf(f, "  \"forwarded\": %llu,\n",
+               static_cast<unsigned long long>(topo.forwarded));
+  std::fprintf(f, "  \"fallback_reads\": %llu,\n",
+               static_cast<unsigned long long>(topo.fallback_reads));
+  std::fprintf(f, "  \"migrated_labels\": %llu,\n",
+               static_cast<unsigned long long>(topo.migrated));
+  std::fprintf(f, "  \"migration_bytes\": %llu,\n",
+               static_cast<unsigned long long>(topo.migration_bytes));
+  std::fprintf(f, "  \"net_messages\": %llu,\n",
+               static_cast<unsigned long long>(topo.net_messages));
+  std::fprintf(f, "  \"invariants_ok\": %s,\n", invariants_ok ? "true" : "false");
+  std::fprintf(f, "  \"tenants\": {\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const TenantRow& r = rows[i];
+    std::fprintf(f,
+                 "    \"tenant%u\": {\"ops\": %llu, \"p50_ns\": %.0f, "
+                 "\"p99_ns\": %.0f, \"p999_ns\": %.0f}%s\n",
+                 r.tenant, static_cast<unsigned long long>(r.ops), r.p50,
+                 r.p99, r.p999, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int Main(int argc, char** argv) {
+  const bool quick = std::getenv("BENCH_CLUSTER_QUICK") != nullptr;
+  const uint64_t ops_per_tenant = quick ? 150 : 1000;
+
+  sim::Environment env;
+  telemetry::Telemetry::Options topts;
+  topts.virtual_time = true;
+  telemetry::Telemetry tel(topts);
+
+  cluster::ClusterConfig config;
+  config.initial_nodes = kNodes;
+  cluster::Cluster cluster(env, config, &tel);
+  if (!cluster.init_status().ok()) {
+    std::fprintf(stderr, "cluster init failed: %s\n",
+                 cluster.init_status().ToString().c_str());
+    return 1;
+  }
+
+  BenchState state;
+  state.cluster = &cluster;
+  Status churn_status;
+  env.Spawn(MidRunChurn(&env, &cluster, &churn_status));
+
+  workload::ArrivalOptions opts;
+  opts.mode = workload::ArrivalMode::kOpenPoisson;
+  opts.streams = kTenants;
+  opts.ops_per_stream = ops_per_tenant;
+  opts.rate_per_stream = 50000.0;  // 50k ops/s per tenant: queueing visible
+  opts.seed = 42;
+  const workload::ArrivalStats stats = workload::RunArrivals(
+      env, opts, [&state](uint32_t tenant, uint64_t index) {
+        return OneOp(&state, tenant, index);
+      });
+
+  Status audit;
+  env.Spawn(FinalAudit(&cluster, &audit));
+  env.Run();
+
+  const cluster::Topology topo = cluster.GetTopology();
+  std::vector<TenantRow> rows;
+  for (uint32_t t = 0; t < kTenants; ++t) {
+    TenantRow r;
+    r.tenant = t;
+    r.ops = stats.per_stream[t].count();
+    r.p50 = stats.per_stream[t].Percentile(50);
+    r.p99 = stats.per_stream[t].Percentile(99);
+    r.p999 = stats.per_stream[t].Percentile(99.9);
+    rows.push_back(r);
+    std::printf("tenant%u: ops=%llu p50=%.0fns p99=%.0fns p999=%.0fns\n", t,
+                static_cast<unsigned long long>(r.ops), r.p50, r.p99, r.p999);
+  }
+  std::printf(
+      "nodes=%zu gen=%llu ok=%llu failed=%llu forwarded=%llu fallback=%llu "
+      "migrated=%llu\n",
+      topo.nodes.size(), static_cast<unsigned long long>(topo.map_generation),
+      static_cast<unsigned long long>(state.ok),
+      static_cast<unsigned long long>(state.failed),
+      static_cast<unsigned long long>(topo.forwarded),
+      static_cast<unsigned long long>(topo.fallback_reads),
+      static_cast<unsigned long long>(topo.migrated));
+
+  bool ok = true;
+  if (!churn_status.ok()) {
+    std::fprintf(stderr, "mid-run churn failed: %s\n",
+                 churn_status.ToString().c_str());
+    ok = false;
+  }
+  if (!audit.ok()) {
+    std::fprintf(stderr, "invariant failure: %s\n", audit.ToString().c_str());
+    ok = false;
+  }
+  if (state.ok == 0) {
+    std::fprintf(stderr, "no operation completed\n");
+    ok = false;
+  }
+  WriteJson(argc > 1 ? argv[1] : "BENCH_cluster.json", rows, stats, state,
+            topo, ok);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace labstor
+
+int main(int argc, char** argv) { return labstor::Main(argc, argv); }

@@ -10,6 +10,7 @@
 // vs 1 op); relaxing access control adds up to ~16% more.
 #include "bench/common.h"
 #include "common/logging.h"
+#include "workload/arrival.h"
 #include "workload/labios.h"
 
 namespace labstor::bench {
@@ -47,6 +48,44 @@ double LabKvsLabelsPerSec(const simdev::DeviceParams& params,
       .LabelsPerSec();
 }
 
+// Open-loop tail latency of a single LabKVS worker: Poisson label
+// arrivals instead of the closed loop above, so p99 reflects queueing
+// behind the worker rather than collapsing to the service time.
+struct LabiosTail {
+  double p50 = 0, p99 = 0, p999 = 0;
+};
+
+LabiosTail LabKvsTail(const simdev::DeviceParams& params,
+                      bool with_permissions, double rate_per_sec) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  simdev::DeviceParams p = params;
+  p.name = "dev9b";
+  if (!devices.Create(p).ok()) std::abort();
+  core::SimRuntime rt(env, devices, /*workers=*/1);
+  auto stack = rt.MountYaml(LabKvsStack("kvs::/labios", "l9b",
+                                        with_permissions, /*sync=*/false,
+                                        "dev9b"));
+  if (!stack.ok()) std::abort();
+  rt.RegisterQueue(0, 5 * sim::kUs);
+  StackLabelTarget target(rt, **stack, "kvs::/labios");
+  workload::ArrivalOptions opts;
+  opts.mode = workload::ArrivalMode::kOpenPoisson;
+  opts.streams = 1;
+  opts.ops_per_stream = 2000;
+  opts.rate_per_stream = rate_per_sec;
+  opts.seed = 11;
+  const auto stats = workload::RunArrivals(
+      env, opts, [&target](uint32_t stream, uint64_t index) {
+        return target.StoreLabel(stream, index, kLabelSize);
+      });
+  LabiosTail tail;
+  tail.p50 = static_cast<double>(stats.latency.Percentile(50));
+  tail.p99 = static_cast<double>(stats.latency.Percentile(99));
+  tail.p999 = static_cast<double>(stats.latency.Percentile(99.9));
+  return tail;
+}
+
 }  // namespace
 }  // namespace labstor::bench
 
@@ -74,6 +113,19 @@ int main() {
   row("labkvs (minimal/sync)",
       LabKvsLabelsPerSec(nvme, false, true), LabKvsLabelsPerSec(pmem, false, true));
   table.Print();
+
+  PrintHeader("LabKVS open-loop put tail latency (NVMe, 8KB labels, us)");
+  Table tail_table({"backend", "rate (/s)", "p50", "p99", "p999"});
+  for (const double rate : {20000.0, 60000.0}) {
+    for (const bool perms : {true, false}) {
+      const auto tail = LabKvsTail(nvme, perms, rate);
+      tail_table.AddRow({perms ? "labkvs+perms" : "labkvs",
+                         Fmt("%.0f", rate), Fmt("%.1f", tail.p50 / 1e3),
+                         Fmt("%.1f", tail.p99 / 1e3),
+                         Fmt("%.1f", tail.p999 / 1e3)});
+    }
+  }
+  tail_table.Print();
   std::printf(
       "\nPaper shape: filesystem backends are >=12%% slower than LabKVS (the\n"
       "POSIX translation costs 4 syscalls per label vs a single put);\n"

@@ -1,0 +1,209 @@
+#include "cluster/rebalancer.h"
+
+#include <algorithm>
+
+namespace labstor::cluster {
+namespace {
+
+ClusterNode* FindNode(const std::vector<ClusterNode*>& nodes, uint32_t id) {
+  for (ClusterNode* node : nodes) {
+    if (node != nullptr && node->id() == id) return node;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<MigrationStep> Rebalancer::Plan(
+    const std::vector<ClusterNode*>& nodes, const ShardMap& target) {
+  std::vector<ClusterNode*> ordered = nodes;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ClusterNode* a, const ClusterNode* b) {
+              return a->id() < b->id();
+            });
+  std::vector<MigrationStep> plan;
+  for (ClusterNode* node : ordered) {
+    if (node == nullptr || !node->up()) continue;
+    for (const std::string& label : node->Labels()) {
+      const uint32_t owner = target.OwnerOfLabel(label);
+      if (owner == node->id() || owner == ShardMap::kNoOwner) continue;
+      // A down destination cannot receive the copy; leave the label on
+      // its current holder and let a post-rejoin round move it.
+      ClusterNode* dest = FindNode(nodes, owner);
+      if (dest == nullptr || !dest->up()) continue;
+      const auto size = node->ValueSize(label);
+      plan.push_back(MigrationStep{label, node->id(), owner,
+                                   size.ok() ? *size : 0,
+                                   node->RecordVersion(label), false});
+    }
+    // Tombstones migrate like values: an acked delete must reach the
+    // label's owner, or a stale copy rejoining later could resurrect it.
+    for (const auto& [label, version] : node->tombstones()) {
+      const uint32_t owner = target.OwnerOfLabel(label);
+      if (owner == node->id() || owner == ShardMap::kNoOwner) continue;
+      ClusterNode* dest = FindNode(nodes, owner);
+      if (dest == nullptr || !dest->up()) continue;
+      plan.push_back(
+          MigrationStep{label, node->id(), owner, 0, version, true});
+    }
+  }
+  return plan;
+}
+
+sim::Task<Status> Rebalancer::Execute(const std::vector<MigrationStep>& plan,
+                                      const std::vector<ClusterNode*>& nodes) {
+  for (const MigrationStep& step : plan) {
+    ClusterNode* src = FindNode(nodes, step.from);
+    ClusterNode* dst = FindNode(nodes, step.to);
+    if (src == nullptr || dst == nullptr) {
+      co_return Status::InvalidArgument("migration step names unknown node");
+    }
+    if (hook_) hook_(step, MigrationPhase::kBeforeCopy);
+
+    if (!src->up()) {
+      ++skipped_;
+      continue;
+    }
+
+    if (step.tombstone) {
+      // --- tombstone step: propagate an acked delete to the owner ---
+      const uint64_t version = src->TombstoneVersion(step.label);
+      if (version == 0) {  // cleared since planning
+        ++skipped_;
+        continue;
+      }
+      if (dst->MaxVersion(step.label) < version) {
+        const Status sent = co_await net_.Send(step.from, step.to, 0);
+        if (!sent.ok()) {
+          ++failed_;
+          continue;
+        }
+        // Exclusive per-label window: a client put racing the adoption
+        // would otherwise be eaten by the superseding delete.
+        dst->LockLabel(step.label);
+        while (dst->up() && dst->MutationsInFlight(step.label) > 0) {
+          co_await env_.Delay(sim::kUs);
+        }
+        bool adopted = false;
+        if (dst->up() && dst->MaxVersion(step.label) < version) {
+          Status del = Status::Ok();
+          if (dst->Has(step.label)) {
+            del = co_await dst->Delete(kRebalanceQid, step.label);
+          }
+          if (del.ok()) {
+            dst->SetTombstone(step.label, version);
+            adopted = true;
+          }
+        }
+        dst->UnlockLabel(step.label);
+        if (!adopted) {
+          ++failed_;
+          continue;
+        }
+      }
+      if (hook_) hook_(step, MigrationPhase::kAfterCopy);
+      if (!src->up() || !dst->up() ||
+          dst->MaxVersion(step.label) < version) {
+        ++failed_;
+        continue;
+      }
+      src->ClearTombstone(step.label);
+      ++migrated_;
+      if (hook_) hook_(step, MigrationPhase::kAfterCommit);
+      continue;
+    }
+
+    // --- value step ---
+    // Re-validate: the hook (or concurrent client traffic) may have
+    // crashed a node or removed the label since planning.
+    if (!src->Has(step.label)) {
+      ++skipped_;
+      continue;
+    }
+    const uint64_t version = src->RecordVersion(step.label);
+    const auto fresh = src->ValueSize(step.label);
+    const uint64_t size = fresh.ok() ? *fresh : step.size;
+
+    // Copy only when the source's record is strictly newer than any
+    // state — value or tombstone — the destination already holds; an
+    // unversioned legacy pair falls back to "destination wins".
+    const uint64_t dst_version = dst->MaxVersion(step.label);
+    const bool dst_empty = !dst->Has(step.label) && dst_version == 0;
+    if (version > dst_version || (version == 0 && dst_empty)) {
+      // Ship the value over the wire, then write it through the
+      // destination's real stack so its metadata log records the label.
+      const Status sent = co_await net_.Send(step.from, step.to, size);
+      if (!sent.ok()) {
+        ++failed_;
+        continue;  // label intact on source; next round retries
+      }
+      // Exclusive per-label window: a client put landing between the
+      // version gate and this Put must not be overwritten by the
+      // (older) copy, so re-check the gate with mutations drained.
+      dst->LockLabel(step.label);
+      while (dst->up() && dst->MutationsInFlight(step.label) > 0) {
+        co_await env_.Delay(sim::kUs);
+      }
+      bool landed = false;
+      if (dst->up()) {
+        const uint64_t dv = dst->MaxVersion(step.label);
+        const bool still_copyable =
+            version > dv ||
+            (version == 0 && !dst->Has(step.label) && dv == 0);
+        if (still_copyable) {
+          const Status put =
+              co_await dst->Put(kRebalanceQid, step.label, size);
+          if (put.ok()) {
+            dst->SetRecordVersion(step.label, version);
+            bytes_moved_ += size;
+            landed = true;
+          }
+        } else {
+          landed = true;  // superseded by newer client state: commit
+        }
+      }
+      dst->UnlockLabel(step.label);
+      if (!landed) {
+        ++failed_;
+        continue;
+      }
+    }
+    // else: the destination already holds state at least as new (a
+    // client wrote or deleted through the new map, or a prior crashed
+    // round copied it); fall through to commit the source away.
+
+    if (hook_) hook_(step, MigrationPhase::kAfterCopy);
+
+    // Commit: drop the source copy only while the destination provably
+    // holds state at least as new as the source's *current* record — a
+    // client put can land on the source while the copy was in flight,
+    // and deleting it here would destroy an acked write. The lock keeps
+    // further client mutations out for the delete's duration. A crash
+    // before this point leaves both copies; a stale copy is dropped.
+    src->LockLabel(step.label);
+    while (src->up() && src->MutationsInFlight(step.label) > 0) {
+      co_await env_.Delay(sim::kUs);
+    }
+    const uint64_t src_now = src->RecordVersion(step.label);
+    const bool dst_holds_newer =
+        dst->MaxVersion(step.label) >= std::max(version, src_now) &&
+        (dst->Has(step.label) || dst->TombstoneVersion(step.label) > 0);
+    if (!src->up() || !dst->up() || !dst_holds_newer) {
+      src->UnlockLabel(step.label);
+      ++failed_;
+      continue;
+    }
+    const Status del = co_await src->Delete(kRebalanceQid, step.label);
+    src->UnlockLabel(step.label);
+    if (!del.ok()) {
+      ++failed_;
+      continue;
+    }
+    src->ForgetRecord(step.label);
+    ++migrated_;
+    if (hook_) hook_(step, MigrationPhase::kAfterCommit);
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace labstor::cluster

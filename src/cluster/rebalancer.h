@@ -1,0 +1,103 @@
+// Rebalancer: shard-ownership migration on cluster membership change.
+//
+// Plans are computed from the *actual* node stores, not a shadow model:
+// for every live node, any label (value or tombstone) whose owner under
+// the target map is a different node becomes a MigrationStep. Each step
+// executes in two sub-steps — copy (Put to the destination through its
+// real stack, or tombstone adoption), then commit (Delete from the
+// source) — so a crash at any sub-step boundary leaves the record on
+// the source, on both, or on the destination, never nowhere. Acked
+// writes therefore survive migration.
+//
+// Conflicts are resolved by record versions (cluster-issued, monotone
+// per acked mutation): a copy only lands when the source's version is
+// newer than whatever the destination holds — value or tombstone — and
+// a commit only drops the source once the destination provably holds
+// state at least that new. A stale value stranded on a crashed node can
+// therefore neither overwrite a newer write nor resurrect an acked
+// delete when the node rejoins.
+//
+// The MigrationHook fires at every sub-step boundary and is the DST
+// harness's crash-point enumeration surface: the hook may crash or
+// restart nodes mid-migration, and the step machinery tolerates the
+// resulting Unavailable failures by leaving the record where it was.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/shard_map.h"
+#include "cluster/transport.h"
+#include "sim/environment.h"
+#include "sim/task.h"
+
+namespace labstor::cluster {
+
+struct MigrationStep {
+  std::string label;
+  uint32_t from = 0;
+  uint32_t to = 0;
+  uint64_t size = 0;
+  // Version of the record at planning time (re-read at execution).
+  uint64_t version = 0;
+  // True when the record being migrated is an acked-delete tombstone.
+  bool tombstone = false;
+};
+
+enum class MigrationPhase {
+  kBeforeCopy,   // step selected, nothing transferred yet
+  kAfterCopy,    // destination holds the label; source still does too
+  kAfterCommit,  // source copy deleted; step complete
+};
+
+// Fired at every sub-step boundary. May mutate cluster state (crash /
+// restart nodes); the rebalancer re-validates after every call.
+using MigrationHook =
+    std::function<void(const MigrationStep&, MigrationPhase)>;
+
+class Rebalancer {
+ public:
+  // Queue id reserved for migration traffic on every node, far above
+  // any client qid the benches or tests hand out. Ops on this qid are
+  // exempt from the per-label migration lock they themselves hold.
+  static constexpr uint32_t kRebalanceQid = ClusterNode::kInternalQid;
+
+  Rebalancer(sim::Environment& env, NetTransport& net)
+      : env_(env), net_(net) {}
+  Rebalancer(const Rebalancer&) = delete;
+  Rebalancer& operator=(const Rebalancer&) = delete;
+
+  void SetHook(MigrationHook hook) { hook_ = std::move(hook); }
+
+  // Steps needed to make every live node's store agree with `target`.
+  // Labels held by down nodes are unreachable and not planned; they are
+  // re-planned after the node restarts. Deterministic order: by node
+  // id, then by label (Labels() is sorted).
+  static std::vector<MigrationStep> Plan(
+      const std::vector<ClusterNode*>& nodes, const ShardMap& target);
+
+  // Execute one plan. Individual step failures from nodes crashing
+  // mid-migration are tolerated (the label stays where it was and is
+  // picked up by the next round); only malformed plans return non-ok.
+  sim::Task<Status> Execute(const std::vector<MigrationStep>& plan,
+                            const std::vector<ClusterNode*>& nodes);
+
+  uint64_t migrated() const { return migrated_; }
+  uint64_t skipped() const { return skipped_; }
+  uint64_t failed() const { return failed_; }
+  uint64_t bytes_moved() const { return bytes_moved_; }
+
+ private:
+  sim::Environment& env_;
+  NetTransport& net_;
+  MigrationHook hook_;
+  uint64_t migrated_ = 0;
+  uint64_t skipped_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace labstor::cluster

@@ -1,0 +1,74 @@
+#include "cluster/transport.h"
+
+namespace labstor::cluster {
+
+void NetTransport::RegisterNode(uint32_t id) {
+  Link& link = links_[id];
+  if (link.nic == nullptr) {
+    link.nic = std::make_unique<sim::Resource>(env_, 1);
+  }
+  link.up = true;
+}
+
+void NetTransport::SetNodeUp(uint32_t id, bool up) {
+  const auto it = links_.find(id);
+  if (it != links_.end()) it->second.up = up;
+}
+
+bool NetTransport::NodeUp(uint32_t id) const {
+  const auto it = links_.find(id);
+  return it != links_.end() && it->second.up;
+}
+
+size_t NetTransport::QueueDepth(uint32_t id) const {
+  const auto it = links_.find(id);
+  if (it == links_.end() || it->second.nic == nullptr) return 0;
+  return it->second.nic->queue_length() +
+         (it->second.nic->busy() ? 1 : 0);
+}
+
+void NetTransport::AttachTelemetry(telemetry::Telemetry* tel) {
+  tel_ = tel;
+  if (tel_ == nullptr) return;
+  msg_counter_ = tel_->metrics().GetCounter("net.messages");
+  bytes_counter_ = tel_->metrics().GetCounter("net.bytes");
+  dropped_counter_ = tel_->metrics().GetCounter("net.dropped");
+  wire_ns_ = tel_->metrics().GetHistogram("net.wire_ns");
+}
+
+sim::Task<Status> NetTransport::Send(uint32_t from, uint32_t to,
+                                     uint64_t payload_bytes) {
+  const auto it = links_.find(to);
+  if (it == links_.end()) {
+    co_return Status::NotFound("net: unknown node " + std::to_string(to));
+  }
+  if (!it->second.up) {
+    ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->Inc();
+    co_return Status::Unavailable("net: node " + std::to_string(to) +
+                                  " is down");
+  }
+  const sim::Time t0 = env_.now();
+  // Sender-side RPC software (serialize + dispatch).
+  co_await env_.Delay(costs_.rpc_overhead);
+  co_await it->second.nic->Acquire();
+  co_await env_.Delay(costs_.WireCost(payload_bytes));
+  it->second.nic->Release();
+  // Receiver may have crashed while the message was on the wire.
+  if (!it->second.up) {
+    ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->Inc();
+    co_return Status::Unavailable("net: node " + std::to_string(to) +
+                                  " went down in flight");
+  }
+  ++messages_;
+  bytes_ += costs_.header_bytes + payload_bytes;
+  if (tel_ != nullptr && tel_->enabled()) {
+    msg_counter_->Inc(from);
+    bytes_counter_->Add(costs_.header_bytes + payload_bytes, from);
+    wire_ns_->Record(env_.now() - t0, from);
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace labstor::cluster

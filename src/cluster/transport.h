@@ -1,0 +1,72 @@
+// NetTransport: simulated inter-node message queues for the cluster.
+//
+// Each registered node owns one inbound link modeled as a sim::Resource
+// (FIFO admission = NIC serialization): a message pays the sender's RPC
+// software overhead, then queues on the receiver's link and occupies it
+// for propagation latency plus per-byte serialization time
+// (sim::NetworkCosts). Messages to a down node fail with Unavailable —
+// delivery is checked again after the link is acquired, so a node that
+// crashes while a message is in flight still drops it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/status.h"
+#include "sim/cost_model.h"
+#include "sim/environment.h"
+#include "sim/task.h"
+#include "telemetry/telemetry.h"
+
+namespace labstor::cluster {
+
+class NetTransport {
+ public:
+  NetTransport(sim::Environment& env,
+               const sim::NetworkCosts& costs = sim::DefaultNetworkCosts())
+      : env_(env), costs_(costs) {}
+  NetTransport(const NetTransport&) = delete;
+  NetTransport& operator=(const NetTransport&) = delete;
+
+  void RegisterNode(uint32_t id);
+  void SetNodeUp(uint32_t id, bool up);
+  bool NodeUp(uint32_t id) const;
+
+  // One message of `payload_bytes` from -> to. Completes when the
+  // receiver has fully deserialized it.
+  sim::Task<Status> Send(uint32_t from, uint32_t to, uint64_t payload_bytes);
+
+  // Messages queued or in service on the node's inbound link.
+  size_t QueueDepth(uint32_t id) const;
+
+  uint64_t messages() const { return messages_; }
+  uint64_t bytes() const { return bytes_; }
+  uint64_t dropped() const { return dropped_; }
+  const sim::NetworkCosts& costs() const { return costs_; }
+
+  // Optional metrics sink (not owned): net.messages / net.bytes /
+  // net.dropped counters and a net.wire_ns latency histogram.
+  void AttachTelemetry(telemetry::Telemetry* tel);
+
+ private:
+  struct Link {
+    std::unique_ptr<sim::Resource> nic;
+    bool up = true;
+  };
+
+  sim::Environment& env_;
+  const sim::NetworkCosts& costs_;
+  // Ordered map: deterministic iteration for dumps.
+  std::map<uint32_t, Link> links_;
+  uint64_t messages_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t dropped_ = 0;
+  telemetry::Telemetry* tel_ = nullptr;
+  telemetry::Counter* msg_counter_ = nullptr;
+  telemetry::Counter* bytes_counter_ = nullptr;
+  telemetry::Counter* dropped_counter_ = nullptr;
+  telemetry::LatencyHistogram* wire_ns_ = nullptr;
+};
+
+}  // namespace labstor::cluster

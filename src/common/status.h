@@ -170,6 +170,14 @@ class Result {
     if (!_st.ok()) return _st;                       \
   } while (0)
 
+// Coroutine-body variant: a plain `return` is ill-formed inside a
+// coroutine, so Task<Status> code propagates errors with co_return.
+#define LABSTOR_CO_RETURN_IF_ERROR(expr)             \
+  do {                                               \
+    ::labstor::Status _st = (expr);                  \
+    if (!_st.ok()) co_return _st;                    \
+  } while (0)
+
 #define LABSTOR_ASSIGN_OR_RETURN(lhs, expr)          \
   auto lhs##_result = (expr);                        \
   if (!lhs##_result.ok()) return lhs##_result.status(); \

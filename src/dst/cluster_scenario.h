@@ -1,0 +1,71 @@
+// Deterministic cluster scenario (DESIGN.md §10).
+//
+// The cluster-level sibling of the lifecycle scheduler: one seed draws
+// an action stream — tenant put/get/delete traffic, node join, graceful
+// leave, crash, rejoin, and rolling upgrade — against a ClusterRig, and
+// the always-on cluster invariants are checked after every step:
+// single live ownership under the published shard map, no lost acked
+// writes across crash/rejoin/migration, loop-free forwarding, and
+// monotone map generations. Membership steps overlap a put and a get
+// with the migration in flight, so the stale-map forwarding path and
+// the previous-map read fallback are exercised on every seed.
+//
+// Coverage floors force any event class the stream missed, and the
+// end-of-run audit rejoins every down node, rebalances to convergence,
+// asserts the strict placement invariant (exactly one live holder per
+// acked label, and it is the owner), and reads back every acked label
+// byte-for-size. Every decision flows through dst::Schedule, so a
+// failing run replays exactly from --dst_seed, trace included.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dst/rigs.h"
+#include "dst/schedule.h"
+
+namespace labstor::dst {
+
+struct ClusterScenarioOptions {
+  size_t num_steps = 100;
+  // Label universe: "t<tenant>/obj<i>" for i in [0, label_universe).
+  size_t label_universe = 48;
+  uint32_t tenants = 4;
+  uint64_t max_value_bytes = 64 * 1024;
+  // Join is skipped (traffic substituted) once the cluster reaches
+  // this many member nodes.
+  uint32_t max_nodes = 12;
+  // Coverage floors: event classes the random stream missed are forced
+  // after the main loop so every seed exercises every class.
+  size_t min_joins = 1;
+  size_t min_leaves = 1;
+  size_t min_crashes = 1;
+  size_t min_rejoins = 1;
+  size_t min_upgrades = 1;
+};
+
+struct ClusterScenarioStats {
+  size_t steps = 0;
+  size_t puts = 0;
+  size_t gets = 0;
+  size_t deletes = 0;
+  size_t ok_ops = 0;
+  size_t unavailable_ops = 0;
+  size_t joins = 0;
+  size_t leaves = 0;
+  size_t crashes = 0;
+  size_t rejoins = 0;
+  size_t upgrades = 0;
+  size_t invariant_checks = 0;
+  uint64_t forwarded = 0;
+  uint64_t fallback_reads = 0;
+  uint32_t final_version = 0;
+  size_t final_nodes = 0;
+  size_t acked_labels = 0;
+};
+
+Result<ClusterScenarioStats> RunClusterScenario(
+    ClusterRig& rig, Schedule& sched,
+    const ClusterScenarioOptions& opts = {});
+
+}  // namespace labstor::dst

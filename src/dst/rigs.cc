@@ -116,4 +116,21 @@ Result<std::unique_ptr<SyncKvsRig>> SyncKvsRig::Create() {
   return rig;
 }
 
+ClusterRig::ClusterRig(const cluster::ClusterConfig& config)
+    : tel_([] {
+        telemetry::Telemetry::Options opts;
+        opts.virtual_time = true;
+        return opts;
+      }()) {
+  cluster_ = std::make_unique<cluster::Cluster>(env_, config, &tel_);
+  init_status_ = cluster_->init_status();
+}
+
+Result<std::unique_ptr<ClusterRig>> ClusterRig::Create(
+    const cluster::ClusterConfig& config) {
+  std::unique_ptr<ClusterRig> rig(new ClusterRig(config));
+  LABSTOR_RETURN_IF_ERROR(rig->init_status_);
+  return rig;
+}
+
 }  // namespace labstor::dst

@@ -13,13 +13,16 @@
 #include <memory>
 #include <string>
 
+#include "cluster/cluster.h"
 #include "core/client.h"
 #include "core/runtime.h"
 #include "labmods/genericfs.h"
 #include "labmods/generickvs.h"
 #include "labmods/labfs.h"
 #include "labmods/labkvs.h"
+#include "sim/environment.h"
 #include "simdev/registry.h"
+#include "telemetry/telemetry.h"
 
 namespace labstor::dst {
 
@@ -94,6 +97,30 @@ class SyncKvsRig final : public CrashRig {
   simdev::SimDevice* device_ = nullptr;
   core::Stack* stack_ = nullptr;
   labmods::LabKvsMod* labkvs_ = nullptr;
+};
+
+// Multi-node cluster under one DES: its own Environment, a
+// virtual-time Telemetry, and a cluster::Cluster of full per-node
+// LabStor runtimes. Unlike the sync crash rigs there IS concurrency —
+// in virtual time — but it is deterministic: the scenario driver
+// (dst/cluster_scenario.h) steps the environment to quiescence between
+// schedule decisions.
+class ClusterRig {
+ public:
+  static Result<std::unique_ptr<ClusterRig>> Create(
+      const cluster::ClusterConfig& config = {});
+
+  sim::Environment& env() { return env_; }
+  telemetry::Telemetry& telemetry() { return tel_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+
+ private:
+  explicit ClusterRig(const cluster::ClusterConfig& config);
+  Status init_status_;
+
+  sim::Environment env_;
+  telemetry::Telemetry tel_;
+  std::unique_ptr<cluster::Cluster> cluster_;
 };
 
 }  // namespace labstor::dst

@@ -33,6 +33,26 @@ MiniPfs::MiniPfs(sim::Environment& env, PfsConfig config,
     p.name = "pfs_data" + std::to_string(i);
     data_.push_back(make_node(p, 4));
   }
+  std::vector<uint32_t> server_ids(config_.num_data_servers);
+  for (uint32_t i = 0; i < config_.num_data_servers; ++i) server_ids[i] = i;
+  placement_ = cluster::ShardMap::Build(/*generation=*/1, server_ids,
+                                        config_.placement_vnodes);
+}
+
+uint32_t MiniPfs::ServerFor(uint32_t client, uint64_t stripe_index) const {
+  const std::string key =
+      "f" + std::to_string(client) + "/s" + std::to_string(stripe_index);
+  return placement_->OwnerOfLabel(key);
+}
+
+void MiniPfs::RecordTenantLatency(uint32_t client, sim::Time t0) {
+  if (config_.telemetry == nullptr) return;
+  if (tenant_hists_.size() <= client) tenant_hists_.resize(client + 1);
+  if (tenant_hists_[client] == nullptr) {
+    tenant_hists_[client] = config_.telemetry->metrics().GetHistogram(
+        "pfs.tenant" + std::to_string(client) + ".latency_ns");
+  }
+  tenant_hists_[client]->Record(env_.now() - t0, client);
 }
 
 sim::Time MiniPfs::LabMetaCost() const {
@@ -121,14 +141,14 @@ sim::Task<void> MiniPfs::WriteFile(uint32_t client, uint64_t offset,
   // data server, write through its local stack. A client's stripes are
   // issued sequentially (MPI-IO style collective phases provide the
   // cross-client parallelism).
+  const sim::Time t0 = env_.now();
   uint64_t remaining = length;
   uint64_t cursor = offset;
   while (remaining > 0) {
     const uint64_t in_stripe = config_.stripe_size - (cursor % config_.stripe_size);
     const uint64_t chunk = std::min(remaining, in_stripe);
     const uint64_t stripe_index = cursor / config_.stripe_size;
-    Node& server =
-        *data_[(client + stripe_index) % data_.size()];
+    Node& server = *data_[ServerFor(client, stripe_index)];
     co_await MetaOp();
     co_await NetTransfer(server, chunk);
     // Append-allocated placement on the data server.
@@ -140,17 +160,19 @@ sim::Task<void> MiniPfs::WriteFile(uint32_t client, uint64_t offset,
     cursor += chunk;
     remaining -= chunk;
   }
+  RecordTenantLatency(client, t0);
 }
 
 sim::Task<void> MiniPfs::ReadFile(uint32_t client, uint64_t offset,
                                   uint64_t length) {
+  const sim::Time t0 = env_.now();
   uint64_t remaining = length;
   uint64_t cursor = offset;
   while (remaining > 0) {
     const uint64_t in_stripe = config_.stripe_size - (cursor % config_.stripe_size);
     const uint64_t chunk = std::min(remaining, in_stripe);
     const uint64_t stripe_index = cursor / config_.stripe_size;
-    Node& server = *data_[(client + stripe_index) % data_.size()];
+    Node& server = *data_[ServerFor(client, stripe_index)];
     co_await MetaOp();
     const uint64_t local_offset =
         (stripe_index % (server.device->params().capacity_bytes /
@@ -161,6 +183,7 @@ sim::Task<void> MiniPfs::ReadFile(uint32_t client, uint64_t offset,
     cursor += chunk;
     remaining -= chunk;
   }
+  RecordTenantLatency(client, t0);
 }
 
 }  // namespace labstor::pfs

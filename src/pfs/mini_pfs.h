@@ -15,10 +15,12 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/shard_map.h"
 #include "kernelsim/kernel_fs.h"
 #include "sim/cost_model.h"
 #include "sim/environment.h"
 #include "simdev/sim_device.h"
+#include "telemetry/telemetry.h"
 #include "workload/target.h"
 
 namespace labstor::pfs {
@@ -38,6 +40,14 @@ struct PfsConfig {
   simdev::DeviceParams meta_device = simdev::DeviceParams::NvmeP3700();
   simdev::DeviceParams data_device = simdev::DeviceParams::SasHdd();
   LocalStackKind local_stack = LocalStackKind::kExt4;
+  // Stripe placement rides the cluster ShardMap (consistent hashing
+  // over "f<client>/s<stripe>" keys) instead of round-robin modulo, so
+  // a PFS deployment and a LabStor cluster agree on what "placement"
+  // means — and adding a data server moves only ~1/N of the stripes.
+  uint32_t placement_vnodes = cluster::ShardMap::kDefaultVirtualNodes;
+  // Optional: per-tenant (= client rank) whole-op latency histograms
+  // "pfs.tenant<t>.latency_ns" for SLO tracking.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class MiniPfs final : public workload::PfsTarget {
@@ -51,6 +61,9 @@ class MiniPfs final : public workload::PfsTarget {
                            uint64_t length) override;
 
   uint64_t metadata_ops() const { return metadata_ops_; }
+  const cluster::ShardMap& placement() const { return *placement_; }
+  // Data-server index a given client/stripe pair lands on.
+  uint32_t ServerFor(uint32_t client, uint64_t stripe_index) const;
 
  private:
   struct Node {
@@ -70,12 +83,15 @@ class MiniPfs final : public workload::PfsTarget {
                           uint64_t length);
   sim::Time LabMetaCost() const;
   sim::Time LabDataSwCost(uint64_t length) const;
+  void RecordTenantLatency(uint32_t client, sim::Time t0);
 
   sim::Environment& env_;
   PfsConfig config_;
   const sim::SoftwareCosts& costs_;
   Node meta_;
   std::vector<std::unique_ptr<Node>> data_;
+  std::shared_ptr<const cluster::ShardMap> placement_;
+  std::vector<telemetry::LatencyHistogram*> tenant_hists_;
   uint64_t metadata_ops_ = 0;
 };
 

@@ -69,4 +69,29 @@ inline const SoftwareCosts& DefaultCosts() {
   return costs;
 }
 
+// Inter-node network cost model for the multi-node cluster
+// (src/cluster): a message pays a fixed RPC software overhead on the
+// sender, one-way propagation latency, and serialized per-receiver-NIC
+// bandwidth. Magnitudes are 10GbE-class, matching the PfsConfig
+// interconnect the mini-PFS has always used (20 us RTT, ~0.1 ns/B).
+struct NetworkCosts {
+  Time rpc_overhead = 2 * kUs;   // serialize + dispatch on the sender
+  Time link_latency = 10 * kUs;  // one-way propagation + NIC traversal
+  double ns_per_byte = 0.1;      // ~10 GbE serialized per receiver NIC
+  // Fixed on-wire size of a request/forward header (routing metadata:
+  // label key, shard-map generation, hop count).
+  uint64_t header_bytes = 256;
+
+  Time WireCost(uint64_t payload_bytes) const {
+    return link_latency +
+           static_cast<Time>(ns_per_byte *
+                             static_cast<double>(header_bytes + payload_bytes));
+  }
+};
+
+inline const NetworkCosts& DefaultNetworkCosts() {
+  static const NetworkCosts costs;
+  return costs;
+}
+
 }  // namespace labstor::sim

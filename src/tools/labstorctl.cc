@@ -23,11 +23,18 @@
 //       Arm the fault-injection plan, run the smoke workload under it
 //       (tolerating injected failures), and report per-site fire
 //       counts, client retries, and the unhandled-fault audit counter.
+//   labstorctl cluster [nodes] [ops]
+//       Boot a simulated sharded cluster (default 4 nodes), run a
+//       deterministic workload with one node join mid-stream, and
+//       print the topology: shard-map generation, per-node state and
+//       net queue depths, and routing/migration counters.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <numeric>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "core/client.h"
 #include "faultinject/faultinject.h"
 #include "core/module_registry.h"
@@ -51,7 +58,8 @@ int Usage() {
                "  demo <runtime.yaml> <stack.yaml>\n"
                "  stats <runtime.yaml> <stack.yaml>\n"
                "  trace <runtime.yaml> <stack.yaml> [out.json]\n"
-               "  faults <runtime.yaml> <stack.yaml> <faults.yaml>\n");
+               "  faults <runtime.yaml> <stack.yaml> <faults.yaml>\n"
+               "  cluster [nodes] [ops]\n");
   return 2;
 }
 
@@ -326,6 +334,108 @@ int RunWithFaults(const char* config_path, const char* stack_path,
   return dropped == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------
+// cluster: boot N nodes, drive a deterministic workload with a join
+// mid-stream, dump the topology.
+// ---------------------------------------------------------------
+
+sim::Task<void> ClusterWorkload(sim::Environment* env,
+                                cluster::Cluster* cluster, uint32_t nodes,
+                                uint64_t ops, Status* out) {
+  for (uint64_t i = 0; i < ops; ++i) {
+    const uint32_t tenant = static_cast<uint32_t>(i % 4);
+    const uint32_t gateway = static_cast<uint32_t>(i % nodes);
+    const std::string label =
+        "t" + std::to_string(tenant) + "/obj" + std::to_string(i % 32);
+    Status st = co_await cluster->Put(gateway, tenant, label,
+                                      4096 + (i % 8) * 1024);
+    if (!st.ok()) {
+      *out = st;
+      co_return;
+    }
+    if (i == ops / 2) {
+      // Mid-stream join: the map widens and ~1/N of the shards
+      // migrate onto the new node while traffic continues.
+      st = co_await cluster->AddNode(nullptr);
+      if (!st.ok()) {
+        *out = st;
+        co_return;
+      }
+    }
+  }
+  for (uint64_t i = 0; i < ops; ++i) {
+    const uint32_t tenant = static_cast<uint32_t>(i % 4);
+    const std::string label =
+        "t" + std::to_string(tenant) + "/obj" + std::to_string(i % 32);
+    const Status st = co_await cluster->Get(
+        static_cast<uint32_t>((i + 1) % nodes), tenant, label);
+    if (!st.ok()) {
+      *out = st;
+      co_return;
+    }
+  }
+  Status st = co_await cluster->Rebalance();
+  if (!st.ok()) {
+    *out = st;
+    co_return;
+  }
+  *out = cluster->CheckInvariants(/*strict=*/true);
+  (void)env;
+}
+
+int ClusterStatus(uint32_t nodes, uint64_t ops) {
+  sim::Environment env;
+  cluster::ClusterConfig config;
+  config.initial_nodes = nodes;
+  cluster::Cluster cluster(env, config);
+  if (!cluster.init_status().ok()) {
+    std::fprintf(stderr, "cluster init: %s\n",
+                 cluster.init_status().ToString().c_str());
+    return 1;
+  }
+  Status workload_status;
+  env.Spawn(ClusterWorkload(&env, &cluster, nodes, ops, &workload_status));
+  env.Run();
+  if (!workload_status.ok()) {
+    std::fprintf(stderr, "cluster workload: %s\n",
+                 workload_status.ToString().c_str());
+    return 1;
+  }
+
+  const cluster::Topology topo = cluster.GetTopology();
+  std::printf("shard map: generation %llu, %u virtual nodes per node\n",
+              static_cast<unsigned long long>(topo.map_generation),
+              topo.virtual_nodes);
+  std::printf("%-5s %-5s %-9s %-8s %-8s %-7s %-9s %s\n", "node", "up",
+              "draining", "version", "map_gen", "labels", "executed",
+              "net_queue");
+  for (const cluster::NodeInfo& n : topo.nodes) {
+    std::printf("%-5u %-5s %-9s %-8u %-8llu %-7llu %-9llu %zu\n", n.id,
+                n.up ? "yes" : "no", n.draining ? "yes" : "no", n.version,
+                static_cast<unsigned long long>(n.map_generation),
+                static_cast<unsigned long long>(n.labels),
+                static_cast<unsigned long long>(n.executed),
+                n.net_queue_depth);
+  }
+  std::printf("acked labels:    %llu\n",
+              static_cast<unsigned long long>(topo.acked_labels));
+  std::printf("forwarded hops:  %llu\n",
+              static_cast<unsigned long long>(topo.forwarded));
+  std::printf("fallback reads:  %llu\n",
+              static_cast<unsigned long long>(topo.fallback_reads));
+  std::printf("forward loops:   %llu\n",
+              static_cast<unsigned long long>(topo.forward_loops));
+  std::printf("migrated labels: %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(topo.migrated),
+              static_cast<unsigned long long>(topo.migration_bytes));
+  std::printf("net messages:    %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(topo.net_messages),
+              static_cast<unsigned long long>(topo.net_bytes));
+  std::printf("invariants:      ok (single_owner, no_lost_acked_writes, "
+              "loop_free, monotone_generations)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,6 +459,14 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "faults") == 0 && argc == 5) {
     return RunWithFaults(argv[2], argv[3], argv[4]);
+  }
+  if (std::strcmp(argv[1], "cluster") == 0 && argc <= 4) {
+    const uint32_t nodes =
+        argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10))
+                 : 4;
+    const uint64_t ops = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 64;
+    if (nodes == 0 || ops == 0) return Usage();
+    return ClusterStatus(nodes, ops);
   }
   return Usage();
 }

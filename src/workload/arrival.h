@@ -1,0 +1,75 @@
+// Arrival generator: the one load driver every bench shares.
+//
+// Before this existed, each bench hand-rolled a closed-loop coroutine
+// (spawn N threads, each issues ops back-to-back). That shape cannot
+// measure tail latency under load — a closed loop self-throttles, so
+// p99 collapses toward the service time. The generator adds open-loop
+// arrivals (Poisson and fixed-rate), where issue times are independent
+// of completions: queueing delay shows up in the recorded latency,
+// which is what per-tenant p99/p999 SLO tracking needs.
+//
+// The operation is a coroutine factory `op(stream, index)`; streams
+// map to whatever concurrency unit the bench has (worker threads in
+// closed mode, tenants in open mode). All latency is virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/histogram.h"
+#include "sim/environment.h"
+#include "sim/task.h"
+
+namespace labstor::workload {
+
+enum class ArrivalMode {
+  kClosed,         // next op issues when the previous completes
+  kOpenPoisson,    // exponential inter-arrival at rate_per_stream
+  kOpenFixedRate,  // constant inter-arrival at rate_per_stream
+};
+
+struct ArrivalOptions {
+  ArrivalMode mode = ArrivalMode::kClosed;
+  uint32_t streams = 1;
+  // Closed mode: ops each stream issues. Open modes: cap on issued ops
+  // per stream (0 = bounded by duration alone).
+  uint64_t ops_per_stream = 0;
+  // Open modes: mean arrival rate per stream, ops per virtual second.
+  double rate_per_stream = 0.0;
+  // Open modes: stop issuing after this much virtual time (0 = rely on
+  // ops_per_stream).
+  sim::Time duration = 0;
+  // Seeds the per-stream inter-arrival draws (Poisson).
+  uint64_t seed = 1;
+};
+
+using ArrivalOp =
+    std::function<sim::Task<void>(uint32_t stream, uint64_t index)>;
+
+struct ArrivalStats {
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  sim::Time begin = 0;
+  sim::Time last_completion = 0;
+  Histogram latency;                  // all streams merged
+  std::vector<Histogram> per_stream;  // indexed by stream id
+
+  sim::Time Makespan() const {
+    return last_completion > begin ? last_completion - begin : 0;
+  }
+  double OpsPerSec() const {
+    const sim::Time span = Makespan();
+    return span == 0 ? 0.0
+                     : static_cast<double>(completed) /
+                           (static_cast<double>(span) / 1e9);
+  }
+};
+
+// Spawns one generator per stream and drives env.Run() to completion.
+// Open-loop issues do not wait for completions: every op is spawned as
+// its own process and its latency recorded when it finishes.
+ArrivalStats RunArrivals(sim::Environment& env, const ArrivalOptions& opts,
+                         const ArrivalOp& op);
+
+}  // namespace labstor::workload

@@ -1,35 +1,26 @@
 #include "workload/labios.h"
 
-#include <algorithm>
+#include "workload/arrival.h"
 
 namespace labstor::workload {
-
-namespace {
-sim::Task<void> StoreLoop(sim::Environment& env, LabelTarget& target,
-                          uint32_t thread, uint64_t count, uint64_t size,
-                          LabiosResult* result) {
-  for (uint64_t i = 0; i < count; ++i) {
-    const sim::Time t0 = env.now();
-    co_await target.StoreLabel(thread, i, size);
-    result->latency.Record(env.now() - t0);
-    ++result->labels;
-    result->bytes += size;
-    result->last_completion = std::max(result->last_completion, env.now());
-  }
-}
-}  // namespace
 
 LabiosResult RunLabiosWorker(sim::Environment& env, LabelTarget& target,
                              uint32_t threads, uint64_t labels_per_thread,
                              uint64_t label_size) {
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kClosed;
+  opts.streams = threads;
+  opts.ops_per_stream = labels_per_thread;
+  const ArrivalStats stats = RunArrivals(
+      env, opts, [&target, label_size](uint32_t thread, uint64_t index) {
+        return target.StoreLabel(thread, index, label_size);
+      });
   LabiosResult result;
-  for (uint32_t t = 0; t < threads; ++t) {
-    env.Spawn(
-        StoreLoop(env, target, t, labels_per_thread, label_size, &result));
-  }
-  const sim::Time begin = env.now();
-  env.Run();
-  result.makespan = result.labels == 0 ? 0 : result.last_completion - begin;
+  result.labels = stats.completed;
+  result.bytes = stats.completed * label_size;
+  result.last_completion = stats.last_completion;
+  result.makespan = stats.Makespan();
+  result.latency = stats.latency;
   return result;
 }
 
