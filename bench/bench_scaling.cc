@@ -1,0 +1,301 @@
+// Virtual-core scaling benchmark (DESIGN.md §11): how the runtime's
+// software path behaves as the simulated worker pool grows past the
+// physical core count of any host we have. Two parts:
+//
+//   * sweep — the DES drives W ∈ {4, 16, 64, 128, 256} simulated
+//     workers, each owning one client queue issuing 4KB creates
+//     through the async 4-layer FS stack. Per-core hardware queues
+//     (num_hw_queues = max(31, W)) keep the device out of the way, so
+//     mean and p99 virtual ns/request measure the runtime: flat means
+//     no contention cliff, a super-linear climb reproduces the
+//     per-hw-queue serialization this PR fixed. Each point also times
+//     a real (wall-clock) orchestrator Rebalance pass at that scale —
+//     the epoch cost the galloping-search rewrite bounds.
+//   * fusion — real-mode inline sync execution of the same 4-layer
+//     chain with stack fusion on vs off: the ns/request delta is the
+//     per-hop DAG-walk overhead that fusing composes away.
+//
+// Results go to BENCH_scaling.json (or argv[1]).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "common/logging.h"
+#include "core/client.h"
+#include "core/orchestrator.h"
+#include "core/runtime.h"
+#include "core/sim_runtime.h"
+#include "simdev/registry.h"
+
+namespace labstor::bench {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool Quick() { return std::getenv("BENCH_SCALING_QUICK") != nullptr; }
+
+std::string FsStackYaml(const char* mode, const char* tag) {
+  std::string yaml = "mount: fs::/sw";
+  yaml += tag;
+  yaml += "\nrules:\n  exec_mode: ";
+  yaml += mode;
+  yaml +=
+      "\ndag:\n"
+      "  - mod: labfs\n"
+      "    uuid: labfs_sw";
+  yaml += tag;
+  yaml +=
+      "\n    params:\n"
+      "      log_records_per_worker: 8192\n"
+      "    outputs: [lru_sw";
+  yaml += tag;
+  yaml += "]\n  - mod: lru_cache\n    uuid: lru_sw";
+  yaml += tag;
+  yaml += "\n    outputs: [sched_sw";
+  yaml += tag;
+  yaml += "]\n  - mod: noop_sched\n    uuid: sched_sw";
+  yaml += tag;
+  yaml += "\n    outputs: [drv_sw";
+  yaml += tag;
+  yaml += "]\n  - mod: kernel_driver\n    uuid: drv_sw";
+  yaml += tag;
+  yaml += "\n";
+  return yaml;
+}
+
+// ---------------------------------------------------------------
+// Part 1: the DES worker-count sweep.
+// ---------------------------------------------------------------
+
+struct SweepPoint {
+  size_t workers = 0;
+  uint64_t requests = 0;
+  double mean_ns = 0;       // virtual time
+  double p99_ns = 0;        // virtual time
+  double rebalance_us = 0;  // wall time, one dynamic epoch pass
+};
+
+struct Recorder {
+  std::vector<sim::Time> latencies;
+};
+
+sim::Task<void> TimedRequest(sim::Environment& env, core::SimRuntime& rt,
+                             uint32_t qid, core::Stack& stack,
+                             ipc::Request& req, Recorder* rec) {
+  const sim::Time t0 = env.now();
+  const Status st = co_await rt.Execute(qid, stack, req);
+  if (!st.ok()) {
+    std::fprintf(stderr, "request failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  rec->latencies.push_back(env.now() - t0);
+}
+
+SweepPoint RunSweepPoint(size_t workers, size_t per_queue) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  simdev::DeviceParams params = simdev::DeviceParams::NvmeP3700(1u << 30);
+  params.num_hw_queues =
+      static_cast<uint32_t>(std::max<size_t>(workers, 31));
+  params.device_parallelism = params.num_hw_queues;
+  if (!devices.Create(params).ok()) std::abort();
+  core::SimRuntime rt(env, devices, workers);
+  const std::string tag = std::to_string(workers);
+  auto stack = rt.MountYaml(FsStackYaml("async", tag.c_str()));
+  if (!stack.ok()) {
+    std::fprintf(stderr, "mount failed: %s\n",
+                 stack.status().ToString().c_str());
+    std::abort();
+  }
+  for (size_t q = 0; q < workers; ++q) {
+    rt.RegisterQueue(static_cast<uint32_t>(q + 1), 3 * sim::kUs);
+  }
+  core::RoundRobinOrchestrator rr;
+  std::vector<core::QueueLoad> loads;
+  for (size_t q = 0; q < workers; ++q) {
+    loads.push_back(core::QueueLoad{static_cast<uint32_t>(q + 1), 0, 0});
+  }
+  rt.ApplyAssignment(rr.Rebalance(loads, workers));
+
+  const size_t total = workers * per_queue;
+  auto rec = std::make_unique<Recorder>();
+  rec->latencies.reserve(total);
+  std::vector<std::unique_ptr<ipc::Request>> reqs;
+  reqs.reserve(total);
+  for (size_t q = 0; q < workers; ++q) {
+    for (size_t i = 0; i < per_queue; ++i) {
+      auto req = std::make_unique<ipc::Request>();
+      req->op = ipc::OpCode::kCreate;
+      req->SetPath("fs::/sw" + tag + "/q" + std::to_string(q) + "_" +
+                   std::to_string(i));
+      env.Spawn(TimedRequest(env, rt, static_cast<uint32_t>(q + 1), **stack,
+                             *req, rec.get()));
+      reqs.push_back(std::move(req));
+    }
+  }
+  env.Run();
+  if (rec->latencies.size() != total) std::abort();
+
+  SweepPoint point;
+  point.workers = workers;
+  point.requests = total;
+  uint64_t sum = 0;
+  for (const sim::Time lat : rec->latencies) sum += lat;
+  point.mean_ns = static_cast<double>(sum) / static_cast<double>(total);
+  std::sort(rec->latencies.begin(), rec->latencies.end());
+  point.p99_ns = static_cast<double>(
+      rec->latencies[std::min(total - 1, (total * 99) / 100)]);
+
+  // Wall cost of one dynamic epoch pass at this queue/worker scale.
+  core::DynamicOrchestrator dynamic;
+  std::vector<core::QueueLoad> epoch_loads;
+  for (uint32_t i = 1; i <= static_cast<uint32_t>(workers) * 4; ++i) {
+    const bool heavy = (i % 8) == 0;
+    epoch_loads.push_back(core::QueueLoad{
+        i, heavy ? 20 * sim::kMs : 3 * sim::kUs, heavy ? 50u : 1u});
+  }
+  const uint64_t t0 = NowNs();
+  constexpr int kPasses = 10;
+  for (int p = 0; p < kPasses; ++p) {
+    const core::Assignment a = dynamic.Rebalance(epoch_loads, workers);
+    if (a.num_workers() > workers) std::abort();
+  }
+  point.rebalance_us =
+      static_cast<double>(NowNs() - t0) / (1000.0 * kPasses);
+  return point;
+}
+
+// ---------------------------------------------------------------
+// Part 2: fused vs unfused inline sync execution (real wall-clock).
+// ---------------------------------------------------------------
+
+struct FusionResult {
+  uint64_t requests = 0;
+  double fused_ns = 0;
+  double unfused_ns = 0;
+  double reduction_pct = 0;
+};
+
+FusionResult RunFusionPhase() {
+  simdev::DeviceRegistry devices(nullptr);
+  if (!devices.Create(simdev::DeviceParams::NvmeP3700(256 << 20)).ok()) {
+    std::abort();
+  }
+  core::Runtime::Options options;
+  options.max_workers = 1;
+  core::Runtime runtime(std::move(options), devices);
+  auto spec = core::StackSpec::Parse(FsStackYaml("sync", "f"));
+  if (!spec.ok()) std::abort();
+  auto stack = runtime.MountStack(*spec, ipc::Credentials{1, 0, 0});
+  if (!stack.ok()) std::abort();
+  core::Client client(runtime, ipc::Credentials{100, 1000, 1000});
+  if (!client.Connect().ok()) std::abort();
+
+  auto req = client.NewRequest(4096);
+  if (!req.ok()) std::abort();
+  ipc::Request* r = *req;
+  std::memset(r->data, 0x3C, 4096);
+  r->op = ipc::OpCode::kCreate;
+  r->SetPath("fs::/swf/x");
+  if (!client.Execute(*r, **stack).ok()) std::abort();
+
+  const auto one_write = [&] {
+    r->Reuse();
+    r->op = ipc::OpCode::kWrite;
+    r->SetPath("fs::/swf/x");
+    r->offset = 0;
+    r->length = 4096;
+    if (!client.Execute(*r, **stack).ok()) std::abort();
+  };
+  const uint64_t warmup = Quick() ? 500 : 5000;
+  const uint64_t iters = Quick() ? 5000 : 50000;
+  const auto measure = [&]() -> double {
+    for (uint64_t i = 0; i < warmup; ++i) one_write();
+    const uint64_t t0 = NowNs();
+    for (uint64_t i = 0; i < iters; ++i) one_write();
+    return static_cast<double>(NowNs() - t0) / static_cast<double>(iters);
+  };
+
+  FusionResult result;
+  result.requests = iters;
+  if (!(*stack)->is_fused()) std::abort();  // sync linear chain must fuse
+  result.fused_ns = measure();
+  runtime.ns().set_enable_fusion(false);
+  if ((*stack)->is_fused()) std::abort();
+  result.unfused_ns = measure();
+  result.reduction_pct =
+      100.0 * (result.unfused_ns - result.fused_ns) / result.unfused_ns;
+  return result;
+}
+
+void WriteJson(const std::vector<SweepPoint>& sweep, const FusionResult& fusion,
+               const char* path) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scaling\",\n  \"sweep\": {\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    std::fprintf(f,
+                 "    \"%zu\": {\"requests\": %llu, \"mean_ns\": %.1f, "
+                 "\"p99_ns\": %.1f, \"rebalance_us\": %.1f}%s\n",
+                 p.workers, static_cast<unsigned long long>(p.requests),
+                 p.mean_ns, p.p99_ns, p.rebalance_us,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  },\n  \"fusion\": {\"requests\": %llu, \"fused_ns\": %.1f, "
+               "\"unfused_ns\": %.1f, \"reduction_pct\": %.2f}\n}\n",
+               static_cast<unsigned long long>(fusion.requests),
+               fusion.fused_ns, fusion.unfused_ns, fusion.reduction_pct);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main(int argc, char** argv) {
+  labstor::Logger::Get().set_level(labstor::LogLevel::kWarn);
+  using namespace labstor::bench;
+
+  const size_t per_queue = Quick() ? 8 : 32;
+  std::vector<SweepPoint> sweep;
+  for (const size_t workers : {4u, 16u, 64u, 128u, 256u}) {
+    sweep.push_back(RunSweepPoint(workers, per_queue));
+  }
+  const FusionResult fusion = RunFusionPhase();
+
+  PrintHeader("Virtual-core scaling — DES sweep + stack fusion");
+  Table table({"workers", "requests", "mean ns/req", "p99 ns/req",
+               "rebalance us"});
+  for (const SweepPoint& p : sweep) {
+    table.AddRow({std::to_string(p.workers), std::to_string(p.requests),
+                  Fmt("%.0f", p.mean_ns), Fmt("%.0f", p.p99_ns),
+                  Fmt("%.1f", p.rebalance_us)});
+  }
+  table.Print();
+
+  PrintHeader("Stack fusion — inline sync 4-layer chain");
+  Table fused({"variant", "ns/request"});
+  fused.AddRow({"fused", Fmt("%.0f", fusion.fused_ns)});
+  fused.AddRow({"unfused", Fmt("%.0f", fusion.unfused_ns)});
+  fused.AddRow({"reduction %", Fmt("%.2f", fusion.reduction_pct)});
+  fused.Print();
+
+  WriteJson(sweep, fusion, argc > 1 ? argv[1] : "BENCH_scaling.json");
+  return 0;
+}

@@ -68,13 +68,36 @@ std::vector<std::string> ModFactory::Names() const {
   return names;
 }
 
+namespace {
+
+// Ordered whole-registry lock for cross-shard operations. Always
+// ascending shard index, so concurrent all-shard holders cannot
+// deadlock (single-shard paths take exactly one of these locks).
+class AllShardsLock {
+ public:
+  template <typename Shards>
+  explicit AllShardsLock(Shards& shards) {
+    locks_.reserve(shards.size());
+    for (auto& shard : shards) {
+      locks_.emplace_back(shard.mu);
+    }
+  }
+
+ private:
+  std::vector<std::unique_lock<std::mutex>> locks_;
+};
+
+}  // namespace
+
 Result<LabMod*> ModuleRegistry::Instantiate(const std::string& mod_name,
                                             const std::string& instance_uuid,
                                             const yaml::NodePtr& params,
                                             ModContext& ctx,
                                             uint32_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (const auto it = instances_.find(instance_uuid); it != instances_.end()) {
+  Shard& shard = ShardFor(instance_uuid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (const auto it = shard.instances.find(instance_uuid);
+      it != shard.instances.end()) {
     if (it->second.mod->mod_name() != mod_name) {
       return Status::AlreadyExists("instance '" + instance_uuid +
                                    "' already bound to mod '" +
@@ -88,22 +111,24 @@ Result<LabMod*> ModuleRegistry::Instantiate(const std::string& mod_name,
   mod->Bind(instance_uuid);
   LABSTOR_RETURN_IF_ERROR(mod->Init(params, ctx));
   LabMod* raw = mod.get();
-  instances_.emplace(instance_uuid, Entry{std::move(mod), params});
+  shard.instances.emplace(instance_uuid, Entry{std::move(mod), params});
   return raw;
 }
 
 Result<LabMod*> ModuleRegistry::Find(const std::string& instance_uuid) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = instances_.find(instance_uuid);
-  if (it == instances_.end()) {
+  const Shard& shard = ShardFor(instance_uuid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.instances.find(instance_uuid);
+  if (it == shard.instances.end()) {
     return Status::NotFound("no instance '" + instance_uuid + "'");
   }
   return it->second.mod.get();
 }
 
 bool ModuleRegistry::Has(const std::string& instance_uuid) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return instances_.contains(instance_uuid);
+  const Shard& shard = ShardFor(instance_uuid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.instances.contains(instance_uuid);
 }
 
 Result<std::unique_ptr<LabMod>> ModuleRegistry::StageLocked(
@@ -125,9 +150,10 @@ Status ModuleRegistry::Upgrade(const std::string& instance_uuid,
                                uint32_t new_version, ModContext& ctx,
                                bool* was_noop) {
   if (was_noop != nullptr) *was_noop = false;
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = instances_.find(instance_uuid);
-  if (it == instances_.end()) {
+  Shard& shard = ShardFor(instance_uuid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.instances.find(instance_uuid);
+  if (it == shard.instances.end()) {
     return Status::NotFound("no instance '" + instance_uuid + "'");
   }
   const LabMod& old = *it->second.mod;
@@ -156,18 +182,20 @@ Status ModuleRegistry::Upgrade(const std::string& instance_uuid,
 
 Result<ModuleRegistry::UpgradeAllResult> ModuleRegistry::UpgradeAll(
     const std::string& mod_name, uint32_t new_version, ModContext& ctx) {
-  std::lock_guard<std::mutex> lock(mu_);
+  AllShardsLock lock(shards_);
   uint32_t version = new_version;
   if (version == 0) {
     LABSTOR_ASSIGN_OR_RETURN(latest, factory_->LatestVersion(mod_name));
     version = latest;
   }
   // Sorted instance list: staging order (and therefore which instance
-  // a mid-batch failure lands on) must not depend on hash layout —
-  // the DST replays byte-identically across runs.
+  // a mid-batch failure lands on) must not depend on hash/shard layout
+  // — the DST replays byte-identically across runs.
   std::vector<std::pair<std::string, Entry*>> targets;
-  for (auto& [uuid, entry] : instances_) {
-    if (entry.mod->mod_name() == mod_name) targets.emplace_back(uuid, &entry);
+  for (auto& shard : shards_) {
+    for (auto& [uuid, entry] : shard.instances) {
+      if (entry.mod->mod_name() == mod_name) targets.emplace_back(uuid, &entry);
+    }
   }
   if (targets.empty()) {
     return Status::NotFound("no running instances of '" + mod_name + "'");
@@ -200,9 +228,10 @@ Result<ModuleRegistry::UpgradeAllResult> ModuleRegistry::UpgradeAll(
 
 Result<yaml::NodePtr> ModuleRegistry::ParamsOf(
     const std::string& instance_uuid) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = instances_.find(instance_uuid);
-  if (it == instances_.end()) {
+  const Shard& shard = ShardFor(instance_uuid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.instances.find(instance_uuid);
+  if (it == shard.instances.end()) {
     return Status::NotFound("no instance '" + instance_uuid + "'");
   }
   return it->second.params;
@@ -210,32 +239,46 @@ Result<yaml::NodePtr> ModuleRegistry::ParamsOf(
 
 std::vector<std::string> ModuleRegistry::InstancesOf(
     const std::string& mod_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  AllShardsLock lock(shards_);
   std::vector<std::string> out;
-  for (const auto& [uuid, entry] : instances_) {
-    if (entry.mod->mod_name() == mod_name) out.push_back(uuid);
+  for (const auto& shard : shards_) {
+    for (const auto& [uuid, entry] : shard.instances) {
+      if (entry.mod->mod_name() == mod_name) out.push_back(uuid);
+    }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<std::string> ModuleRegistry::AllInstances() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  AllShardsLock lock(shards_);
   std::vector<std::string> out;
-  out.reserve(instances_.size());
-  for (const auto& [uuid, _] : instances_) out.push_back(uuid);
+  for (const auto& shard : shards_) {
+    for (const auto& [uuid, _] : shard.instances) out.push_back(uuid);
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 Status ModuleRegistry::RepairAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [uuid, entry] : instances_) {
+  AllShardsLock lock(shards_);
+  // Deterministic sweep order (see UpgradeAll): which instance a
+  // partial-repair fault lands on must not depend on shard layout.
+  std::vector<std::pair<std::string, Entry*>> targets;
+  for (auto& shard : shards_) {
+    for (auto& [uuid, entry] : shard.instances) {
+      targets.emplace_back(uuid, &entry);
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  for (auto& [uuid, entry] : targets) {
     // Partial-repair injection: a failure here leaves some mods
     // repaired and some not. That is safe because StateRepair is
     // clear-and-rebuild (idempotent), and Runtime::EnsureRepaired only
     // advances the repaired epoch on full success — the client's next
     // attempt re-runs the whole sweep and converges.
     LABSTOR_FAULTPOINT("core.repair.partial");
-    LABSTOR_RETURN_IF_ERROR(entry.mod->StateRepair());
+    LABSTOR_RETURN_IF_ERROR(entry->mod->StateRepair());
   }
   return Status::Ok();
 }

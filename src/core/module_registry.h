@@ -12,6 +12,7 @@
 // instances (e.g. two stacks over one allocator).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
@@ -123,18 +124,36 @@ class ModuleRegistry {
     yaml::NodePtr params;
   };
 
+  // Instances are sharded by UUID hash: per-request-rate paths (Find
+  // during RefreshBindings sweeps, Instantiate during mounts) contend
+  // only on their own shard's mutex instead of one registry-wide lock
+  // — the module-registry half of the 100+-core scaling fixes
+  // (DESIGN.md §11). Cross-shard operations (UpgradeAll's
+  // all-or-nothing staging, RepairAll, the listings) take every shard
+  // lock in index order, so they serialize with each other but never
+  // deadlock against the single-shard paths.
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> instances;
+  };
+
+  Shard& ShardFor(const std::string& uuid) const {
+    return shards_[std::hash<std::string>{}(uuid) % kShards];
+  }
+
   // Stage a replacement for `entry` at `version` (resolved, > old
   // version): Create + Bind + Init(stored params) + StateUpdate(old).
   // Pure with respect to the registry: failure just destroys the
-  // staged instance. Caller holds mu_.
+  // staged instance. Caller holds the entry's shard lock (or all of
+  // them).
   Result<std::unique_ptr<LabMod>> StageLocked(const std::string& uuid,
                                               const Entry& entry,
                                               uint32_t version,
                                               ModContext& ctx);
 
   const ModFactory* factory_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> instances_;
+  mutable std::array<Shard, kShards> shards_;
 };
 
 }  // namespace labstor::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cassert>
+#include <queue>
+#include <utility>
 
 namespace labstor::core {
 
@@ -31,11 +33,20 @@ PackResult PackLpt(const std::vector<QueueLoad>& queues, size_t k) {
                    [](const QueueLoad* a, const QueueLoad* b) {
                      return QueueWeight(*a) > QueueWeight(*b);
                    });
+  // Min-heap over (load, bin): each placement is O(log k) instead of
+  // the O(k) min_element scan — with hundreds of workers the linear
+  // scan made one pack quadratic in the pool size. Ties break toward
+  // the lowest bin index (the order min_element picked), so results
+  // are unchanged.
+  using Slot = std::pair<uint64_t, size_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> heap;
+  for (size_t b = 0; b < k; ++b) heap.emplace(0, b);
   for (const QueueLoad* q : sorted) {
-    const size_t bin = static_cast<size_t>(
-        std::min_element(load.begin(), load.end()) - load.begin());
+    auto [bin_load, bin] = heap.top();
+    heap.pop();
     result.bins[bin].push_back(q->qid);
-    load[bin] += QueueWeight(*q);
+    load[bin] = bin_load + QueueWeight(*q);
+    heap.emplace(load[bin], bin);
   }
   result.makespan = *std::max_element(load.begin(), load.end());
   return result;
@@ -57,6 +68,25 @@ Assignment FixedOrchestrator::Rebalance(const std::vector<QueueLoad>& queues,
                                         size_t max_workers) {
   RoundRobinOrchestrator rr;
   return rr.Rebalance(queues, std::min(workers_, max_workers));
+}
+
+DynamicOrchestrator::Options DynamicOrchestrator::Sanitize(Options options) {
+  const Options defaults;
+  if (options.epoch_budget_ns == 0) {
+    options.epoch_budget_ns = defaults.epoch_budget_ns;
+  }
+  // NaN fails both comparisons' complements, so !(x > 0) catches it.
+  if (!(options.target_utilization > 0.0) ||
+      options.target_utilization > 1.0) {
+    options.target_utilization = defaults.target_utilization;
+  }
+  if (!(options.loss_threshold >= 0.0)) {
+    options.loss_threshold = defaults.loss_threshold;
+  }
+  if (options.lq_threshold_ns == 0) {
+    options.lq_threshold_ns = defaults.lq_threshold_ns;
+  }
+  return options;
 }
 
 Assignment DynamicOrchestrator::Rebalance(const std::vector<QueueLoad>& queues,
@@ -91,21 +121,56 @@ Assignment DynamicOrchestrator::Rebalance(const std::vector<QueueLoad>& queues,
     const double capacity_per_worker =
         static_cast<double>(options_.epoch_budget_ns) *
         options_.target_utilization;
-    const size_t k_floor = std::max<size_t>(
-        1, static_cast<size_t>(std::ceil(static_cast<double>(total_work) /
-                                         capacity_per_worker)));
+    // Clamp the floor into [1, budget] while still a double: a
+    // non-finite or over-budget quotient cast straight to size_t is
+    // undefined and used to either commission every worker or, via
+    // wraparound, demand zero.
+    double floor_d = std::ceil(static_cast<double>(total_work) /
+                               capacity_per_worker);
+    if (!std::isfinite(floor_d) || floor_d < 1.0) floor_d = 1.0;
+    const size_t k_floor = floor_d >= static_cast<double>(budget)
+                               ? budget
+                               : static_cast<size_t>(floor_d);
     // Acceptable makespan: within the loss threshold of the best
     // achievable, or small enough to drain inside one epoch anyway.
     const double acceptable = std::max(
         static_cast<double>(best.makespan) * (1.0 + options_.loss_threshold),
         capacity_per_worker);
-    for (size_t k = std::min(k_floor, budget); k < budget; ++k) {
-      PackResult candidate = PackLpt(group, k);
-      if (static_cast<double>(candidate.makespan) <= acceptable) {
-        return candidate;
+    const auto fits = [&](size_t k) -> bool {
+      return static_cast<double>(PackLpt(group, k).makespan) <= acceptable;
+    };
+    // Find the smallest acceptable k in [k_floor, budget]. LPT
+    // makespans are (near-)monotone in k, so gallop up from the floor
+    // and binary-search the last doubling interval: O(log budget)
+    // packs instead of the old linear scan, which at 256 workers ran
+    // hundreds of packs per class per epoch and serialized the
+    // orchestrator loop. k == budget always fits (acceptable ≥
+    // best.makespan by construction), so the search is well-defined.
+    size_t lo = k_floor;  // candidate; everything below lo - 1 rejected
+    if (!fits(lo)) {
+      size_t step = 1;
+      size_t bad = lo;  // highest k known not to fit
+      while (true) {
+        const size_t probe = bad + step >= budget ? budget : bad + step;
+        if (probe == budget || fits(probe)) {
+          // Binary search in (bad, probe].
+          size_t hi = probe;
+          while (bad + 1 < hi) {
+            const size_t mid = bad + (hi - bad) / 2;
+            if (fits(mid)) {
+              hi = mid;
+            } else {
+              bad = mid;
+            }
+          }
+          lo = hi;
+          break;
+        }
+        bad = probe;
+        step *= 2;
       }
     }
-    return best;
+    return lo >= budget ? best : PackLpt(group, lo);
   };
 
   // With one worker and both classes present no separation is
@@ -145,6 +210,45 @@ Assignment DynamicOrchestrator::Rebalance(const std::vector<QueueLoad>& queues,
     assignment.latency_dedicated.push_back(false);
     for (const QueueLoad& q : queues) {
       assignment.worker_queues[0].push_back(q.qid);
+    }
+  }
+  return assignment;
+}
+
+ShardedOrchestrator::ShardedOrchestrator(size_t shards,
+                                         InnerFactory make_inner) {
+  if (shards == 0) shards = 1;
+  inner_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    inner_.push_back(make_inner ? make_inner()
+                                : std::make_unique<DynamicOrchestrator>());
+  }
+}
+
+Assignment ShardedOrchestrator::Rebalance(const std::vector<QueueLoad>& queues,
+                                          size_t max_workers) {
+  Assignment assignment;
+  if (max_workers == 0 || queues.empty()) return assignment;
+  const size_t shards = std::min(inner_.size(), max_workers);
+  if (shards <= 1) return inner_[0]->Rebalance(queues, max_workers);
+  // Stable partition by qid: a queue's shard never changes across
+  // epochs, so per-shard EWMA/backlog history stays coherent.
+  std::vector<std::vector<QueueLoad>> groups(shards);
+  for (const QueueLoad& q : queues) groups[q.qid % shards].push_back(q);
+  // Even worker slices, remainder to the lowest shards; every shard
+  // with queues keeps at least one worker (slices stay disjoint
+  // because shards ≤ max_workers).
+  const size_t base = max_workers / shards;
+  const size_t extra = max_workers % shards;
+  for (size_t s = 0; s < shards; ++s) {
+    if (groups[s].empty()) continue;
+    const size_t slice = std::max<size_t>(1, base + (s < extra ? 1 : 0));
+    Assignment part = inner_[s]->Rebalance(groups[s], slice);
+    for (size_t b = 0; b < part.worker_queues.size(); ++b) {
+      if (part.worker_queues[b].empty()) continue;
+      assignment.worker_queues.push_back(std::move(part.worker_queues[b]));
+      assignment.latency_dedicated.push_back(
+          b < part.latency_dedicated.size() && part.latency_dedicated[b]);
     }
   }
   return assignment;

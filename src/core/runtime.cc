@@ -220,17 +220,60 @@ Status Runtime::ExecuteWith(ipc::Request& req, ExecScratch& scratch) {
   return st;
 }
 
+namespace {
+// Set on the thread driving RunUpgradePass for its duration. A
+// PhaseHook (or a mod's StateUpdate) that executes requests inline
+// from inside the pass must bypass the quiesce gate — it IS the
+// quiescer, and waiting on itself would deadlock.
+thread_local bool tl_upgrade_pass_owner = false;
+}  // namespace
+
 Status Runtime::Execute(ipc::Request& req) {
   // Per-thread scratch: sync-mode clients and tests reuse the same
   // trace/exec/cache storage across calls (first call per thread pays
   // the reservation; steady state allocates nothing).
   thread_local ExecScratch scratch;
-  return ExecuteWith(req, scratch);
+  if (tl_upgrade_pass_owner) return ExecuteWith(req, scratch);
+  // Inline executions participate in the upgrade quiesce: join the
+  // in-flight count first, then check the gate — seq_cst on both
+  // sides of the handshake (this add + load, the quiescer's gate
+  // store + in-flight load) makes the classic store-buffer outcome
+  // impossible: the quiescer either sees us in flight (and waits us
+  // out) or we see its gate (and wait it out); there is no
+  // interleaving where an inline execution runs concurrently with the
+  // registry swap / fused-chain rebuild. The epoch-validated stack
+  // cache inside ExecuteWith then re-resolves after the gate drops,
+  // so a stale fused chain can never run.
+  while (true) {
+    in_flight_.fetch_add(1, std::memory_order_seq_cst);
+    if (!quiescing_.load(std::memory_order_seq_cst)) break;
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    inline_paused_.fetch_add(1, std::memory_order_relaxed);
+    while (quiescing_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  const Status st = ExecuteWith(req, scratch);
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  return st;
+}
+
+Status Runtime::RunUpgradePass() {
+  tl_upgrade_pass_owner = true;
+  const Status st = module_manager_.ProcessUpgrades(mod_context_, [this] {
+    quiescing_.store(true, std::memory_order_seq_cst);
+    WaitQuiesce();
+  });
+  // The gate stays up from the quiesce barrier through the apply +
+  // RefreshBindings that follow it inside ProcessUpgrades; inline
+  // executions resume only once the pass is fully over.
+  quiescing_.store(false, std::memory_order_release);
+  tl_upgrade_pass_owner = false;
+  return st;
 }
 
 Status Runtime::StepAdmin() {
-  const Status st =
-      module_manager_.ProcessUpgrades(mod_context_, [this] { WaitQuiesce(); });
+  const Status st = RunUpgradePass();
   Rebalance();
   return st;
 }
@@ -430,8 +473,7 @@ void Runtime::WorkerLoop(size_t worker_id) {
 void Runtime::AdminLoop() {
   auto last_rebalance = std::chrono::steady_clock::now();
   while (!stop_.load(std::memory_order_acquire)) {
-    const Status st =
-        module_manager_.ProcessUpgrades(mod_context_, [this] { WaitQuiesce(); });
+    const Status st = RunUpgradePass();
     if (!st.ok()) {
       LOG_WARN << "upgrade processing: " << st.ToString();
     }
@@ -533,9 +575,10 @@ void Runtime::WaitQuiesce() {
     if (all_acked) break;
     std::this_thread::yield();
   }
-  // 2. In-flight requests and intermediate queues must drain.
+  // 2. In-flight requests and intermediate queues must drain (the
+  //    seq_cst load pairs with the inline gate in Execute()).
   while (!stop_.load(std::memory_order_acquire)) {
-    if (in_flight_.load(std::memory_order_acquire) == 0) {
+    if (in_flight_.load(std::memory_order_seq_cst) == 0) {
       bool drained = true;
       for (ipc::QueuePair* qp : ipc_.IntermediateQueues()) {
         if (qp->PendingSubmissions() != 0) {

@@ -150,6 +150,13 @@ class Runtime {
   uint64_t requests_processed() const {
     return requests_processed_.load(std::memory_order_relaxed);
   }
+  // Inline (sync-path) executions that arrived during an upgrade
+  // quiesce and were held at the gate until it lifted. Strictly
+  // monotonic evidence — the mirror of QueuePair::refused_while_paused
+  // for the path that never touches a queue.
+  uint64_t inline_execs_paused() const {
+    return inline_paused_.load(std::memory_order_relaxed);
+  }
   // Current assignment-table generation (bumped by every Rebalance).
   uint64_t assignment_generation() const {
     return assign_generation_.load(std::memory_order_acquire);
@@ -199,6 +206,9 @@ class Runtime {
 
   Status ExecuteWith(ipc::Request& req, ExecScratch& scratch);
   Stack* LookupStack(uint32_t stack_id, ExecScratch& scratch);
+  // One upgrade-processing pass with the quiesce gate raised for its
+  // duration (shared by StepAdmin and AdminLoop).
+  Status RunUpgradePass();
   void WorkerLoop(size_t worker_id);
   void AdminLoop();
   void Rebalance();
@@ -223,6 +233,15 @@ class Runtime {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> in_flight_{0};
+  // Raised while an upgrade pass is quiescing/applying. Worker-path
+  // requests are held back by the UPDATE_PENDING queue marks; inline
+  // sync executions never cross a queue, so without this gate they
+  // could slip between WaitQuiesce observing in_flight_ == 0 and the
+  // registry swap — running a stale Stack binding (or fused chain)
+  // mid-replacement. Execute() joins in_flight_ and re-checks the
+  // gate, closing the namespace-epoch validation-to-execution window.
+  std::atomic<bool> quiescing_{false};
+  std::atomic<uint64_t> inline_paused_{0};
   std::atomic<uint64_t> requests_processed_{0};
   uint64_t repaired_epoch_ = 0;
   std::mutex repair_mu_;

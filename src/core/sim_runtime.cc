@@ -108,15 +108,35 @@ sim::Task<void> SimRuntime::TimedDevOp(ExecTrace::DevOp op, uint32_t worker) {
   }
 }
 
+ExecTrace* SimRuntime::AcquireTrace() {
+  if (!free_traces_.empty()) {
+    ExecTrace* trace = free_traces_.back();
+    free_traces_.pop_back();
+    return trace;
+  }
+  trace_pool_.push_back(std::make_unique<ExecTrace>());
+  trace_pool_.back()->Reserve(/*sw_entries=*/32, /*dev_ops=*/16);
+  return trace_pool_.back().get();
+}
+
+void SimRuntime::ReleaseTrace(ExecTrace* trace) {
+  trace->Clear();
+  free_traces_.push_back(trace);
+}
+
 sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
                                       ipc::Request& req) {
   // Functional execution is immediate; the trace carries the time.
-  ExecTrace trace;
-  StackExec exec(stack, ctx_, trace);
-  req.worker = static_cast<uint32_t>(queues_.count(qid) != 0
-                                         ? queues_[qid].worker
-                                         : qid % workers_.size());
-  const Status st = exec.Dispatch(req);
+  const TraceLease lease(this, AcquireTrace());
+  ExecTrace& trace = *lease.trace;
+  // Pointer, not iterator: QueueState nodes are stable across rehash,
+  // iterators are not, and this value lives across suspensions.
+  const auto qit = queues_.find(qid);
+  QueueState* qstate = qit != queues_.end() ? &qit->second : nullptr;
+  req.worker = static_cast<uint32_t>(qstate != nullptr ? qstate->worker
+                                                       : qid % workers_.size());
+  exec_scratch_.Reset(stack, ctx_, trace);
+  const Status st = exec_scratch_.Dispatch(req);
   req.Complete(st.ok() ? StatusCode::kOk : st.code(), req.result_u64);
   const sim::Time submitted = env_.now();
   // Replays the ledger as per-mod "mod" spans in virtual time: spans
@@ -157,7 +177,8 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
 
   // Async: shared-memory submission to the assigned worker.
   co_await env_.Delay(costs_.shm_submit + Perturb("submit"));
-  QueueState& queue = queues_[qid];
+  if (qstate == nullptr) qstate = &queues_.try_emplace(qid).first->second;
+  QueueState& queue = *qstate;
   ++queue.backlog;
   ++queue.arrivals_in_epoch;
   sim::Resource& worker = *workers_[queue.worker % workers_.size()];

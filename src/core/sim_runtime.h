@@ -96,6 +96,26 @@ class SimRuntime {
 
   sim::Task<void> RebalanceLoop(WorkOrchestrator* policy, sim::Time period);
   std::vector<QueueLoad> SnapshotLoads() const;
+
+  // Trace pool: an Execute coroutine's ExecTrace must outlive its
+  // suspensions (device replay reads it after co_awaits), so it cannot
+  // be a shared scratch like the StackExec — but allocating a fresh
+  // ledger per request made the 100+-core sweep allocation-bound.
+  // Acquire pops a recycled ledger (or mints one); the lease returns
+  // it when the coroutine frame dies.
+  ExecTrace* AcquireTrace();
+  void ReleaseTrace(ExecTrace* trace);
+  struct TraceLease {
+    SimRuntime* rt = nullptr;
+    ExecTrace* trace = nullptr;
+    TraceLease(SimRuntime* r, ExecTrace* t) : rt(r), trace(t) {}
+    TraceLease(const TraceLease&) = delete;
+    TraceLease& operator=(const TraceLease&) = delete;
+    ~TraceLease() {
+      if (trace != nullptr) rt->ReleaseTrace(trace);
+    }
+  };
+
   // Occupy the device for `op`, emitting a "device" span when traced.
   sim::Task<void> TimedDevOp(ExecTrace::DevOp op, uint32_t worker);
   bool Traced() const { return tel_ != nullptr && tel_->enabled(); }
@@ -111,6 +131,13 @@ class SimRuntime {
   std::vector<uint64_t> worker_requests_;
   std::vector<bool> worker_active_;
   std::unordered_map<uint32_t, QueueState> queues_;
+  // Recycled ExecTrace ledgers (see AcquireTrace) and the shared
+  // functional-dispatch scratch. The StackExec is safe to share across
+  // in-flight requests because Dispatch() completes before Execute's
+  // first co_await — no coroutine ever suspends while bound to it.
+  std::vector<std::unique_ptr<ExecTrace>> trace_pool_;
+  std::vector<ExecTrace*> free_traces_;
+  StackExec exec_scratch_;
   uint64_t requests_done_ = 0;
   telemetry::Telemetry* tel_ = nullptr;
   ScheduleHook schedule_hook_;

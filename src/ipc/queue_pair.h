@@ -114,16 +114,39 @@ class QueuePair {
   std::atomic<uint64_t> est_processing_ns{0};
 
   // Fold a measured per-request service time into est_processing_ns
-  // (EWMA, alpha = 1/8). CAS loop: two workers draining the same
-  // unordered queue must not interleave load/store and lose an update.
+  // (EWMA, alpha = 1/8). Two workers draining the same unordered queue
+  // must not interleave load/store and lose an update, hence the CAS —
+  // but bounded: with many concurrent drainers an unbounded loop can
+  // livelock (every attempt loses to a sibling), and the estimate is a
+  // heuristic that tolerates one superseded sample far better than a
+  // stuck worker. After kEwmaCasAttempts failed rounds the fold is
+  // published with a plain relaxed store computed from the freshest
+  // observed value.
   void UpdateEstProcessing(uint64_t sample_ns) {
     uint64_t prev = est_processing_ns.load(std::memory_order_relaxed);
-    uint64_t next;
-    do {
-      next = prev == 0 ? sample_ns : (prev * 7 + sample_ns) / 8;
-    } while (!est_processing_ns.compare_exchange_weak(
-        prev, next, std::memory_order_relaxed));
+    for (int attempt = 0; attempt < kEwmaCasAttempts; ++attempt) {
+      const uint64_t next = FoldEwma(prev, sample_ns);
+      if (est_processing_ns.compare_exchange_weak(prev, next,
+                                                  std::memory_order_relaxed)) {
+        return;
+      }
+      // compare_exchange reloaded `prev`; refold against it.
+    }
+    est_processing_ns.store(FoldEwma(prev, sample_ns),
+                            std::memory_order_relaxed);
   }
+
+  // EWMA step, overflow-safe: the old (prev * 7 + sample) / 8 wrapped
+  // uint64 for estimates past ~2.6e18 ns and silently corrupted the
+  // orchestrator's load signal; prev - prev/8 + sample/8 never exceeds
+  // max(prev, sample). Clamped to ≥ 1 so a decayed estimate cannot
+  // re-enter the prev == 0 bootstrap branch.
+  static uint64_t FoldEwma(uint64_t prev, uint64_t sample) {
+    if (prev == 0) return sample;
+    const uint64_t next = prev - prev / 8 + sample / 8;
+    return next == 0 ? 1 : next;
+  }
+  static constexpr int kEwmaCasAttempts = 8;
 
  private:
   uint32_t id_;

@@ -1,0 +1,369 @@
+// Stack fusion (DESIGN.md §11): eligibility rules, execution
+// equivalence against the general DAG walk, live-upgrade safety
+// (re-fuse under quiesce), and the inline-execution quiesce gate.
+//
+// Suites are named Fusion* so the TSan CI job's name filter picks up
+// both the single-threaded rule tests and the gate interleaving test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/client.h"
+#include "core/module_registry.h"
+#include "core/runtime.h"
+#include "core/stack.h"
+#include "core/stack_exec.h"
+#include "labmods/dummy.h"
+#include "simdev/registry.h"
+
+namespace labstor::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+// A sync-ineligible mod: stands in for io_uring-style engines whose
+// Process hands work to an external completion context.
+class NoSyncMod final : public LabMod {
+ public:
+  NoSyncMod() : LabMod("fuse_nosync", ModType::kDummy, 1) {}
+  Status Process(ipc::Request& req, StackExec& exec) override {
+    if (exec.HasDownstream()) return exec.Forward(req);
+    return Status::Ok();
+  }
+  bool SyncCapable() const override { return false; }
+};
+
+LABSTOR_REGISTER_LABMOD("fuse_nosync", 1, NoSyncMod);
+
+constexpr const char* kSyncChainYaml =
+    "mount: fs::/fuse\n"
+    "rules:\n"
+    "  exec_mode: sync\n"
+    "dag:\n"
+    "  - mod: permissions\n"
+    "    uuid: fz_perm\n"
+    "    outputs: [fz_fs]\n"
+    "  - mod: labfs\n"
+    "    uuid: fz_fs\n"
+    "    outputs: [fz_lru]\n"
+    "  - mod: lru_cache\n"
+    "    uuid: fz_lru\n"
+    "    outputs: [fz_sched]\n"
+    "  - mod: noop_sched\n"
+    "    uuid: fz_sched\n"
+    "    outputs: [fz_drv]\n"
+    "  - mod: kernel_driver\n"
+    "    uuid: fz_drv\n";
+
+class FusionTest : public ::testing::Test {
+ protected:
+  FusionTest() {
+    auto dev = devices_.Create(simdev::DeviceParams::NvmeP3700(256 << 20));
+    EXPECT_TRUE(dev.ok());
+    ctx_.devices = &devices_;
+    ctx_.num_workers = 2;
+  }
+
+  Stack* MountYaml(StackNamespace& ns, const std::string& yaml) {
+    auto spec = StackSpec::Parse(yaml);
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    auto stack = ns.Mount(*spec, registry_, ctx_, alice_);
+    EXPECT_TRUE(stack.ok()) << stack.status().ToString();
+    return *stack;
+  }
+
+  simdev::DeviceRegistry devices_;
+  ModuleRegistry registry_;
+  ModContext ctx_;
+  StackNamespace ns_;
+  ipc::Credentials alice_{100, 1000, 1000};
+};
+
+TEST_F(FusionTest, SyncLinearChainFuses) {
+  Stack* stack = MountYaml(ns_, kSyncChainYaml);
+  ASSERT_TRUE(stack->is_fused());
+  ASSERT_EQ(stack->fused.size(), stack->vertices.size());
+  // The chain visits every vertex in DAG order from the root.
+  for (size_t i = 0; i < stack->fused.size(); ++i) {
+    const Stack::FusedEntry& entry = stack->fused[i];
+    EXPECT_EQ(entry.mod, stack->vertices[entry.vertex].mod);
+  }
+  EXPECT_EQ(stack->fused.front().vertex, stack->root);
+  EXPECT_EQ(stack->fused.back().mod->mod_name(), "kernel_driver");
+}
+
+TEST_F(FusionTest, AsyncStackDoesNotFuse) {
+  Stack* stack = MountYaml(
+      ns_,
+      "mount: ctl::/afuse\n"
+      "rules:\n"
+      "  exec_mode: async\n"
+      "dag:\n"
+      "  - mod: dummy\n"
+      "    uuid: fz_async_a\n"
+      "    outputs: [fz_async_b]\n"
+      "  - mod: dummy\n"
+      "    uuid: fz_async_b\n");
+  EXPECT_FALSE(stack->is_fused());
+}
+
+TEST_F(FusionTest, BranchingDagDoesNotFuse) {
+  Stack* stack = MountYaml(
+      ns_,
+      "mount: ctl::/branch\n"
+      "rules:\n"
+      "  exec_mode: sync\n"
+      "dag:\n"
+      "  - mod: dummy\n"
+      "    uuid: fz_br_root\n"
+      "    outputs: [fz_br_l, fz_br_r]\n"
+      "  - mod: dummy\n"
+      "    uuid: fz_br_l\n"
+      "  - mod: dummy\n"
+      "    uuid: fz_br_r\n");
+  EXPECT_FALSE(stack->is_fused());
+}
+
+TEST_F(FusionTest, NonSyncCapableModBlocksFusion) {
+  Stack* stack = MountYaml(
+      ns_,
+      "mount: ctl::/nosync\n"
+      "rules:\n"
+      "  exec_mode: sync\n"
+      "dag:\n"
+      "  - mod: dummy\n"
+      "    uuid: fz_ns_a\n"
+      "    outputs: [fz_ns_b]\n"
+      "  - mod: fuse_nosync\n"
+      "    uuid: fz_ns_b\n");
+  EXPECT_FALSE(stack->is_fused());
+}
+
+TEST_F(FusionTest, NamespaceOptionDisablesFusion) {
+  StackNamespace off(StackNamespace::Options{.enable_fusion = false});
+  Stack* stack = MountYaml(off, kSyncChainYaml);
+  EXPECT_FALSE(stack->is_fused());
+  EXPECT_FALSE(off.fusion_enabled());
+}
+
+TEST_F(FusionTest, ToggleRefusesAndBumpsEpoch) {
+  Stack* stack = MountYaml(ns_, kSyncChainYaml);
+  ASSERT_TRUE(stack->is_fused());
+  const uint64_t epoch0 = ns_.epoch();
+  ns_.set_enable_fusion(false);
+  EXPECT_FALSE(stack->is_fused());
+  EXPECT_GT(ns_.epoch(), epoch0);
+  const uint64_t epoch1 = ns_.epoch();
+  ns_.set_enable_fusion(true);
+  EXPECT_TRUE(stack->is_fused());
+  EXPECT_GT(ns_.epoch(), epoch1);
+  // Toggling to the current state is a no-op (no epoch churn).
+  const uint64_t epoch2 = ns_.epoch();
+  ns_.set_enable_fusion(true);
+  EXPECT_EQ(ns_.epoch(), epoch2);
+}
+
+TEST_F(FusionTest, FusedExecutionMatchesUnfused) {
+  // Same 4-layer FS chain mounted under fusion-on and fusion-off
+  // namespaces (separate registries so instances don't collide):
+  // create + write + read back must produce identical results and
+  // identical time ledgers.
+  const auto run = [this](bool fused, std::string* ledger) -> uint64_t {
+    StackNamespace ns(StackNamespace::Options{.enable_fusion = fused});
+    ModuleRegistry registry;
+    Stack* stack = nullptr;
+    {
+      auto spec = StackSpec::Parse(kSyncChainYaml);
+      EXPECT_TRUE(spec.ok());
+      auto mounted = ns.Mount(*spec, registry, ctx_, alice_);
+      EXPECT_TRUE(mounted.ok()) << mounted.status().ToString();
+      stack = *mounted;
+    }
+    EXPECT_EQ(stack->is_fused(), fused);
+    std::vector<uint8_t> data(4096);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(i * 13);
+    }
+    uint64_t total = 0;
+    const auto exec_one = [&](ipc::Request& req) {
+      ExecTrace trace;
+      StackExec exec(*stack, ctx_, trace);
+      const Status st = exec.Dispatch(req);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      *ledger += std::to_string(trace.TotalSoftware());
+      *ledger += ':';
+      *ledger += std::to_string(trace.device_ops().size());
+      *ledger += ';';
+      total += req.result_u64;
+    };
+    ipc::Request create;
+    create.op = ipc::OpCode::kCreate;
+    create.SetPath("fs::/fuse/f");
+    exec_one(create);
+    ipc::Request write;
+    write.op = ipc::OpCode::kWrite;
+    write.SetPath("fs::/fuse/f");
+    write.data = data.data();
+    write.length = data.size();
+    exec_one(write);
+    std::vector<uint8_t> out(data.size(), 0);
+    ipc::Request read;
+    read.op = ipc::OpCode::kRead;
+    read.SetPath("fs::/fuse/f");
+    read.data = out.data();
+    read.length = out.size();
+    exec_one(read);
+    EXPECT_EQ(out, data);
+    return total;
+  };
+  std::string fused_ledger, unfused_ledger;
+  const uint64_t fused_total = run(true, &fused_ledger);
+  const uint64_t unfused_total = run(false, &unfused_ledger);
+  EXPECT_EQ(fused_total, unfused_total);
+  EXPECT_EQ(fused_ledger, unfused_ledger);
+}
+
+// ---------------------------------------------------------------------------
+// Live-upgrade safety: re-fuse under quiesce + the inline-exec gate.
+// ---------------------------------------------------------------------------
+
+class FusionUpgradeTest : public ::testing::Test {
+ protected:
+  FusionUpgradeTest() : devices_(nullptr), runtime_(MakeOptions(), devices_) {
+    auto dev = devices_.Create(simdev::DeviceParams::NvmeP3700(64 << 20));
+    EXPECT_TRUE(dev.ok());
+  }
+
+  static Runtime::Options MakeOptions() {
+    Runtime::Options options;
+    options.max_workers = 1;
+    return options;
+  }
+
+  Stack* MountSyncDummyChain() {
+    auto spec = StackSpec::Parse(
+        "mount: ctl::/fup\n"
+        "rules:\n"
+        "  exec_mode: sync\n"
+        "dag:\n"
+        "  - mod: dummy\n"
+        "    uuid: fup_a\n"
+        "    version: 1\n"
+        "    outputs: [fup_b]\n"
+        "  - mod: dummy\n"
+        "    uuid: fup_b\n"
+        "    version: 1\n");
+    EXPECT_TRUE(spec.ok());
+    auto stack = runtime_.MountStack(*spec, ipc::Credentials{1, 0, 0});
+    EXPECT_TRUE(stack.ok()) << stack.status().ToString();
+    return *stack;
+  }
+
+  simdev::DeviceRegistry devices_;
+  Runtime runtime_;
+};
+
+TEST_F(FusionUpgradeTest, UpgradeRefusesChainAgainstNewInstances) {
+  Stack* stack = MountSyncDummyChain();
+  ASSERT_TRUE(stack->is_fused());
+
+  ipc::Request req;
+  req.op = ipc::OpCode::kDummy;
+  req.stack_id = stack->id;
+  ASSERT_TRUE(runtime_.Execute(req).ok());
+
+  UpgradeRequest upgrade;
+  upgrade.mod_name = "dummy";
+  upgrade.new_version = 2;
+  runtime_.SubmitUpgrade(upgrade);
+  ASSERT_TRUE(runtime_.StepAdmin().ok());
+
+  // The fused chain must point at the v2 instances the swap installed,
+  // never at the retired v1 objects.
+  ASSERT_TRUE(stack->is_fused());
+  for (const Stack::FusedEntry& entry : stack->fused) {
+    const Stack::Vertex& vertex = stack->vertices[entry.vertex];
+    EXPECT_EQ(entry.mod, vertex.mod);
+    auto live = runtime_.registry().Find(vertex.uuid);
+    ASSERT_TRUE(live.ok());
+    EXPECT_EQ(entry.mod, *live);
+    EXPECT_EQ(entry.mod->version(), 2u);
+  }
+  // And it still executes: StateUpdate carried the message counters.
+  req.Reuse();
+  req.op = ipc::OpCode::kDummy;
+  req.stack_id = stack->id;
+  ASSERT_TRUE(runtime_.Execute(req).ok());
+  EXPECT_EQ(req.result_u64, 2u);  // second message through fup_b
+}
+
+TEST_F(FusionUpgradeTest, InlineExecIsHeldAtTheQuiesceGate) {
+  // Regression for the validation-to-execution window: a sync client
+  // thread that enters Execute *while* the centralized upgrade has
+  // quiesced the runtime must be held at the gate until the swap and
+  // re-fuse complete — not run a stale fused chain mid-replacement.
+  Stack* stack = MountSyncDummyChain();
+  ASSERT_TRUE(stack->is_fused());
+
+  std::atomic<bool> quiesced{false};
+  std::atomic<bool> gate_seen{false};
+  std::atomic<bool> exec_done{false};
+  const uint64_t paused0 = runtime_.inline_execs_paused();
+
+  runtime_.module_manager().SetPhaseHook([&](std::string_view phase) {
+    if (phase != "centralized.quiesced") return;
+    // Release the client thread, then require it to hit the gate
+    // (inline_execs_paused increments) before the swap proceeds. If
+    // the gate were missing, the client would execute to completion
+    // here instead — the pre-fix interleaving.
+    quiesced.store(true, std::memory_order_release);
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (runtime_.inline_execs_paused() == paused0) {
+      if (exec_done.load(std::memory_order_acquire)) {
+        ADD_FAILURE() << "inline Execute completed during quiesce";
+        return;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        ADD_FAILURE() << "client never reached the quiesce gate";
+        return;
+      }
+      std::this_thread::yield();
+    }
+    gate_seen.store(true, std::memory_order_release);
+  });
+
+  std::thread client([&] {
+    while (!quiesced.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    ipc::Request req;
+    req.op = ipc::OpCode::kDummy;
+    req.stack_id = stack->id;
+    const Status st = runtime_.Execute(req);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    exec_done.store(true, std::memory_order_release);
+  });
+
+  UpgradeRequest upgrade;
+  upgrade.mod_name = "dummy";
+  upgrade.new_version = 2;
+  runtime_.SubmitUpgrade(upgrade);
+  ASSERT_TRUE(runtime_.StepAdmin().ok());
+  client.join();
+  runtime_.module_manager().SetPhaseHook(nullptr);
+
+  EXPECT_TRUE(gate_seen.load());
+  EXPECT_TRUE(exec_done.load());
+  EXPECT_GT(runtime_.inline_execs_paused(), paused0);
+  // The held request ran against the post-upgrade chain.
+  ASSERT_TRUE(stack->is_fused());
+  for (const Stack::FusedEntry& entry : stack->fused) {
+    EXPECT_EQ(entry.mod->version(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace labstor::core

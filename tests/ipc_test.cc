@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
 #include "ipc/credentials.h"
 #include "ipc/ipc_manager.h"
@@ -160,6 +161,61 @@ TEST(QueuePairTest, DepthBounded) {
   for (int i = 0; i < 4; ++i) EXPECT_TRUE(qp.Submit(&reqs[i]));
   EXPECT_FALSE(qp.Submit(&reqs[4]));
   EXPECT_EQ(qp.PendingSubmissions(), 4u);
+}
+
+TEST(QueuePairTest, EwmaFoldDoesNotOverflowLargeSamples) {
+  // Regression: the old fold computed (prev * 7 + sample) / 8, which
+  // wraps uint64 once prev exceeds ~2.6e18 — a poisoned EWMA then
+  // misclassifies the queue until enough small samples wash it out.
+  QueuePair qp(1, QueueKind::kPrimary, true, 16, kAlice);
+  const uint64_t huge = 3'000'000'000'000'000'000ull;  // 3e18 ns
+  qp.UpdateEstProcessing(huge);
+  qp.UpdateEstProcessing(huge);
+  const uint64_t est = qp.est_processing_ns.load();
+  // Two identical samples: the estimate must sit at the sample value,
+  // not at a wrapped remnant.
+  EXPECT_GE(est, huge / 2);
+  EXPECT_LE(est, huge);
+}
+
+TEST(QueuePairTest, EwmaFoldStaysWithinSampleRange) {
+  // Pure-function property of the fold: prev and sample both inside
+  // [lo, hi] keeps the result inside [lo, hi] (no overflow excursions,
+  // no collapse to zero).
+  const uint64_t lo = 1000, hi = 2000;
+  for (uint64_t prev = lo; prev <= hi; prev += 100) {
+    for (uint64_t sample = lo; sample <= hi; sample += 100) {
+      const uint64_t next = QueuePair::FoldEwma(prev, sample);
+      EXPECT_GE(next, lo - lo / 8) << prev << " " << sample;
+      EXPECT_LE(next, hi) << prev << " " << sample;
+    }
+  }
+  EXPECT_EQ(QueuePair::FoldEwma(0, 555u), 555u);  // first sample seeds
+  EXPECT_GE(QueuePair::FoldEwma(1, 1), 1u);       // never decays to 0
+}
+
+TEST(QueuePairTest, EwmaMultiDrainerStressConverges) {
+  // Regression for the unbounded CAS fold: many drainers folding
+  // completion samples into one queue's estimate must all make
+  // progress (bounded retries + relaxed fallback) and leave the
+  // estimate inside the sample envelope.
+  QueuePair qp(1, QueueKind::kPrimary, true, 16, kAlice);
+  qp.UpdateEstProcessing(1500);
+  constexpr int kThreads = 8;
+  constexpr int kSamplesPerThread = 20000;
+  std::vector<std::thread> drainers;
+  drainers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    drainers.emplace_back([&qp, t] {
+      for (int i = 0; i < kSamplesPerThread; ++i) {
+        qp.UpdateEstProcessing(1000 + static_cast<uint64_t>((t * 131 + i) % 1001));
+      }
+    });
+  }
+  for (std::thread& th : drainers) th.join();
+  const uint64_t est = qp.est_processing_ns.load();
+  EXPECT_GE(est, 875u);   // 1000 - 1000/8
+  EXPECT_LE(est, 2000u);
 }
 
 // ---------- IpcManager ----------

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 
 namespace labstor::core {
@@ -128,6 +129,100 @@ TEST(DynamicTest, EmptyInputs) {
   DynamicOrchestrator dynamic;
   EXPECT_EQ(dynamic.Rebalance({}, 4).num_workers(), 0u);
   EXPECT_EQ(dynamic.Rebalance(MakeUniform(3, 10, 1), 0).num_workers(), 0u);
+}
+
+TEST(DynamicTest, DegenerateEpochBudgetFallsBackToDefaults) {
+  // Regression: a zero epoch budget made the capacity floor
+  // total_work / 0 = inf, whose size_t cast is undefined — observed as
+  // either "commission every worker" (the consolidation loop skipped
+  // entirely) or a zero-worker demand. Sanitize must restore the
+  // default budget so light queues still consolidate.
+  DynamicOrchestrator::Options opts;
+  opts.epoch_budget_ns = 0;
+  DynamicOrchestrator dynamic(opts);
+  const auto queues = MakeUniform(8, 1000, 1);
+  const Assignment a = dynamic.Rebalance(queues, 8);
+  EXPECT_EQ(TotalAssigned(a), 8u);
+  // 8us of total work fits one worker's epoch with room to spare.
+  EXPECT_EQ(a.num_workers(), 1u);
+}
+
+TEST(DynamicTest, DegenerateUtilizationFallsBackToDefaults) {
+  for (const double utilization :
+       {0.0, -1.0, 7.5, std::numeric_limits<double>::quiet_NaN()}) {
+    DynamicOrchestrator::Options opts;
+    opts.target_utilization = utilization;
+    DynamicOrchestrator dynamic(opts);
+    const auto queues = MakeUniform(8, 1000, 1);
+    const Assignment a = dynamic.Rebalance(queues, 8);
+    EXPECT_EQ(TotalAssigned(a), 8u) << "utilization=" << utilization;
+    EXPECT_EQ(a.num_workers(), 1u) << "utilization=" << utilization;
+  }
+}
+
+TEST(DynamicTest, CapacityFloorNeverOvershootsBudget) {
+  // Enormous sustained work: the floor wants thousands of workers but
+  // must clamp to the budget, and every queue stays assigned.
+  DynamicOrchestrator dynamic;
+  std::vector<QueueLoad> queues;
+  for (uint32_t i = 1; i <= 64; ++i) {
+    queues.push_back(QueueLoad{i, 50 * sim::kMs, 1000});
+  }
+  const Assignment a = dynamic.Rebalance(queues, 16);
+  EXPECT_EQ(TotalAssigned(a), 64u);
+  EXPECT_LE(a.num_workers(), 16u);
+  EXPECT_GE(a.num_workers(), 15u);  // saturated: nearly all commissioned
+}
+
+TEST(ShardedTest, CoversAllQueuesWithinWorkerBudget) {
+  ShardedOrchestrator sharded(8);
+  EXPECT_EQ(sharded.shards(), 8u);
+  const auto queues = MakeUniform(64, 1000, 1);
+  const Assignment a = sharded.Rebalance(queues, 32);
+  EXPECT_LE(a.num_workers(), 32u);
+  std::vector<int> seen(65, 0);
+  for (const auto& bin : a.worker_queues) {
+    for (const uint32_t qid : bin) ++seen[qid];
+  }
+  for (uint32_t qid = 1; qid <= 64; ++qid) {
+    EXPECT_EQ(seen[qid], 1) << "qid " << qid;
+  }
+}
+
+TEST(ShardedTest, SingleShardMatchesInnerPolicy) {
+  ShardedOrchestrator sharded(1);
+  DynamicOrchestrator dynamic;
+  const auto queues = MakeUniform(12, 5000, 2);
+  const Assignment s = sharded.Rebalance(queues, 8);
+  const Assignment d = dynamic.Rebalance(queues, 8);
+  EXPECT_EQ(s.worker_queues, d.worker_queues);
+  EXPECT_EQ(s.latency_dedicated, d.latency_dedicated);
+}
+
+TEST(ShardedTest, MoreShardsThanWorkersClamps) {
+  ShardedOrchestrator sharded(16);
+  const auto queues = MakeUniform(40, 1000, 1);
+  const Assignment a = sharded.Rebalance(queues, 4);
+  EXPECT_LE(a.num_workers(), 4u);
+  EXPECT_EQ(TotalAssigned(a), 40u);
+}
+
+TEST(ShardedTest, HeavyAndLightMixKeepsDedicationPerShard) {
+  ShardedOrchestrator sharded(4);
+  std::vector<QueueLoad> queues;
+  for (uint32_t i = 1; i <= 16; ++i) {
+    queues.push_back(QueueLoad{i, 3 * sim::kUs, 1});       // LQs
+  }
+  for (uint32_t i = 17; i <= 24; ++i) {
+    queues.push_back(QueueLoad{i, 20 * sim::kMs, 50});     // CQs
+  }
+  const Assignment a = sharded.Rebalance(queues, 16);
+  EXPECT_EQ(TotalAssigned(a), 24u);
+  EXPECT_LE(a.num_workers(), 16u);
+  // At least one latency-dedicated worker survives the concatenation.
+  bool any_dedicated = false;
+  for (const bool d : a.latency_dedicated) any_dedicated |= d;
+  EXPECT_TRUE(any_dedicated);
 }
 
 TEST(DynamicTest, FewerWorkersThanRoundRobinOnLightLoad) {
