@@ -102,6 +102,9 @@ struct PhaseResult {
   double ns_per_request = 0;
   double requests_per_sec = 0;
   double allocs_per_request = 0;
+  // Per-op tail distribution (count == 0 for the pipelined throughput
+  // phase, where a single request has no isolated latency).
+  TailStats tail;
 };
 
 uint64_t NowNs() {
@@ -174,9 +177,15 @@ PhaseResult LatencyPhase() {
   const uint64_t iters = Quick() ? 2000 : 20000;
   for (uint64_t i = 0; i < warmup; ++i) one_write();
 
+  std::vector<double> samples;
+  samples.reserve(iters);
   const uint64_t allocs0 = HeapAllocs();
   const uint64_t t0 = NowNs();
-  for (uint64_t i = 0; i < iters; ++i) one_write();
+  for (uint64_t i = 0; i < iters; ++i) {
+    const uint64_t op0 = NowNs();
+    one_write();
+    samples.push_back(static_cast<double>(NowNs() - op0));
+  }
   const uint64_t elapsed = NowNs() - t0;
   const uint64_t allocs = HeapAllocs() - allocs0;
   (void)runtime.Stop();
@@ -187,6 +196,7 @@ PhaseResult LatencyPhase() {
   result.ns_per_request = static_cast<double>(elapsed) / iters;
   result.requests_per_sec = 1e9 * iters / static_cast<double>(elapsed);
   result.allocs_per_request = static_cast<double>(allocs) / iters;
+  result.tail = Summarize(std::move(samples));
   return result;
 }
 
@@ -306,9 +316,15 @@ PhaseResult InlineSyncPhase() {
   const uint64_t iters = Quick() ? 5000 : 50000;
   for (uint64_t i = 0; i < warmup; ++i) one_write();
 
+  std::vector<double> samples;
+  samples.reserve(iters);
   const uint64_t allocs0 = HeapAllocs();
   const uint64_t t0 = NowNs();
-  for (uint64_t i = 0; i < iters; ++i) one_write();
+  for (uint64_t i = 0; i < iters; ++i) {
+    const uint64_t op0 = NowNs();
+    one_write();
+    samples.push_back(static_cast<double>(NowNs() - op0));
+  }
   const uint64_t elapsed = NowNs() - t0;
   const uint64_t allocs = HeapAllocs() - allocs0;
 
@@ -318,29 +334,25 @@ PhaseResult InlineSyncPhase() {
   result.ns_per_request = static_cast<double>(elapsed) / iters;
   result.requests_per_sec = 1e9 * iters / static_cast<double>(elapsed);
   result.allocs_per_request = static_cast<double>(allocs) / iters;
+  result.tail = Summarize(std::move(samples));
   return result;
 }
 
 void WriteJson(const std::vector<PhaseResult>& phases, const char* path) {
-  FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    return;
+  BenchJson json("hotpath");
+  json.Meta("quick", Quick() ? "true" : "false");
+  for (const PhaseResult& p : phases) {
+    json.Add(p.name, "requests", p.requests);
+    json.Add(p.name, "ns_per_request", p.ns_per_request);
+    json.Add(p.name, "requests_per_sec", p.requests_per_sec, "%.0f");
+    json.Add(p.name, "allocs_per_request", p.allocs_per_request, "%.4f");
+    if (p.tail.count > 0) {
+      json.Add(p.name, "p50_ns", p.tail.p50);
+      json.Add(p.name, "p99_ns", p.tail.p99);
+      json.Add(p.name, "p999_ns", p.tail.p999);
+    }
   }
-  std::fprintf(f, "{\n  \"bench\": \"hotpath\",\n  \"phases\": {\n");
-  for (size_t i = 0; i < phases.size(); ++i) {
-    const PhaseResult& p = phases[i];
-    std::fprintf(f,
-                 "    \"%s\": {\"requests\": %llu, \"ns_per_request\": %.1f, "
-                 "\"requests_per_sec\": %.0f, \"allocs_per_request\": %.4f}%s\n",
-                 p.name.c_str(),
-                 static_cast<unsigned long long>(p.requests), p.ns_per_request,
-                 p.requests_per_sec, p.allocs_per_request,
-                 i + 1 < phases.size() ? "," : "");
-  }
-  std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path);
+  (void)json.Write(path);
 }
 
 }  // namespace
@@ -355,9 +367,11 @@ int main(int argc, char** argv) {
   phases.push_back(InlineSyncPhase());
 
   PrintHeader("Hot path — real-mode async/sync datapath");
-  Table table({"phase", "ns/request", "requests/sec", "allocs/request"});
+  Table table({"phase", "ns/request", "p99_ns", "requests/sec",
+               "allocs/request"});
   for (const PhaseResult& p : phases) {
     table.AddRow({p.name, Fmt("%.0f", p.ns_per_request),
+                  p.tail.count > 0 ? Fmt("%.0f", p.tail.p99) : "-",
                   Fmt("%.0f", p.requests_per_sec),
                   Fmt("%.4f", p.allocs_per_request)});
   }

@@ -1,0 +1,420 @@
+// Computational pushdown vs client-driven dependent I/O (DESIGN.md
+// §12). Two phases, both in virtual time:
+//
+//   * single-node — a pushdown -> labkvs -> sched -> driver stack on
+//     one SimRuntime. For chain depths 4 and 8, a pointer chase is
+//     timed two ways: the client-driven loop (one Get round trip per
+//     hop, next key parsed client-side) and one ExecChain that runs
+//     the whole chase at the device-queue layer.
+//   * cluster — the same comparison across the network: gateway node 0
+//     routes to a remote shard owner, so the client-driven loop pays a
+//     full gateway->owner round trip per hop while the pushdown chain
+//     forwards once and resubmits locally at the owner.
+//
+// Each mode reports ns/chain tails (mean/p50/p99/p999) plus
+// client<->worker crossings per chain: 2*depth for the client loop,
+// 2 for pushdown — the ISSUE acceptance bar is a >= 4x reduction with
+// lower mean ns/chain at depth 8 in BOTH phases. Crossing counts are
+// cross-checked against the PushdownMod's own crossings_saved
+// telemetry (2*(hops-1) per chain). Results go to BENCH_pushdown.json
+// (or argv[1]).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "cluster/cluster.h"
+#include "cluster/node.h"
+#include "core/sim_runtime.h"
+#include "ipc/chain.h"
+#include "ipc/request.h"
+#include "labmods/pushdown.h"
+#include "simdev/registry.h"
+
+namespace labstor::bench {
+namespace {
+
+constexpr uint32_t kChainId = 1;
+constexpr uint32_t kKeyBytes = 32;  // chase links: 32-byte key head
+constexpr size_t kValueLen = 64;
+
+bool Quick() { return std::getenv("BENCH_PUSHDOWN_QUICK") != nullptr; }
+
+// 64-byte value whose first kKeyBytes carry the NUL-terminated next
+// key of the chase; the tail byte pattern marks the hop.
+std::vector<uint8_t> LinkValue(const std::string& next, uint8_t tag) {
+  std::vector<uint8_t> v(kValueLen, tag);
+  std::fill(v.begin(), v.begin() + kKeyBytes, uint8_t{0});
+  std::memcpy(v.data(), next.data(),
+              std::min<size_t>(next.size(), kKeyBytes - 1));
+  return v;
+}
+
+struct ModeStats {
+  TailStats tail;
+  double crossings_per_chain = 0;
+};
+
+struct PhaseResult {
+  ModeStats client;
+  ModeStats pushdown;
+  // Cross-check from the pushdown mod's own counters, per chain.
+  double crossings_saved_per_chain = 0;
+  double saved_ns_per_chain = 0;
+};
+
+// ---------------------------------------------------------------
+// Phase 1: single-node runtime.
+// ---------------------------------------------------------------
+
+std::string PushdownKvsYaml() {
+  return
+      "mount: kvs::/bench\n"
+      "rules:\n"
+      "  exec_mode: async\n"
+      "dag:\n"
+      "  - mod: pushdown\n"
+      "    uuid: pd_bench\n"
+      "    outputs: [kvs_bench]\n"
+      "  - mod: labkvs\n"
+      "    uuid: kvs_bench\n"
+      "    params:\n"
+      "      device: nvme0\n"
+      "      log_records_per_worker: 8192\n"
+      "    outputs: [sched_bench]\n"
+      "  - mod: noop_sched\n"
+      "    uuid: sched_bench\n"
+      "    outputs: [drv_bench]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_bench\n"
+      "    params:\n"
+      "      device: nvme0\n";
+}
+
+std::string ChainKey(uint32_t i) {
+  return "kvs::/bench/k" + std::to_string(i);
+}
+
+sim::Task<void> DriveSingleNode(sim::Environment& env, core::SimRuntime& rt,
+                                core::Stack& stack, uint32_t depth,
+                                size_t iters, std::vector<double>* client_ns,
+                                std::vector<double>* push_ns, Status* status) {
+  // Seed the chase k0 -> k1 -> ... -> k(depth-1).
+  for (uint32_t i = 0; i < depth; ++i) {
+    std::vector<uint8_t> value =
+        i + 1 < depth ? LinkValue(ChainKey(i + 1), static_cast<uint8_t>(i))
+                      : std::vector<uint8_t>(kValueLen, uint8_t{0xAA});
+    ipc::Request req;
+    req.op = ipc::OpCode::kPut;
+    req.client_pid = 1;
+    req.length = value.size();
+    req.data = value.data();
+    req.SetPath(ChainKey(i));
+    const Status st = co_await rt.Execute(1, stack, req);
+    if (!st.ok()) {
+      *status = st;
+      co_return;
+    }
+  }
+
+  std::vector<uint8_t> buf(4096);
+
+  // Client-driven baseline: one round trip per hop, parse the next key
+  // out of the returned value between hops.
+  for (size_t it = 0; it < iters; ++it) {
+    const sim::Time t0 = env.now();
+    std::string key = ChainKey(0);
+    for (uint32_t hop = 0; hop < depth; ++hop) {
+      ipc::Request req;
+      req.op = ipc::OpCode::kGet;
+      req.client_pid = 1;
+      req.length = buf.size();
+      req.data = buf.data();
+      req.SetPath(key);
+      const Status st = co_await rt.Execute(1, stack, req);
+      if (!st.ok()) {
+        *status = st;
+        co_return;
+      }
+      if (hop + 1 < depth) {
+        key.assign(reinterpret_cast<const char*>(buf.data()));
+      }
+    }
+    client_ns->push_back(static_cast<double>(env.now() - t0));
+  }
+
+  // Pushdown: one submission, the mod resubmits every dependent hop.
+  for (size_t it = 0; it < iters; ++it) {
+    const sim::Time t0 = env.now();
+    ipc::Request req;
+    req.op = ipc::OpCode::kChainExec;
+    req.client_pid = 1;
+    req.chain_id = kChainId;
+    req.length = buf.size();
+    req.data = buf.data();
+    req.SetPath(ChainKey(0));
+    const Status st = co_await rt.Execute(1, stack, req);
+    if (!st.ok()) {
+      *status = st;
+      co_return;
+    }
+    push_ns->push_back(static_cast<double>(env.now() - t0));
+  }
+}
+
+Status RunSingleNode(uint32_t depth, size_t iters, PhaseResult* out) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  LABSTOR_RETURN_IF_ERROR(
+      devices.Create(simdev::DeviceParams::NvmeP3700()).status());
+  core::SimRuntime rt(env, devices, /*workers=*/2);
+  auto stack = rt.MountYaml(PushdownKvsYaml());
+  LABSTOR_RETURN_IF_ERROR(stack.status());
+  rt.RegisterQueue(1, 3 * sim::kUs);
+
+  LABSTOR_ASSIGN_OR_RETURN(mod, rt.registry().Find("pd_bench"));
+  auto* pd = dynamic_cast<labmods::PushdownMod*>(mod);
+  if (pd == nullptr) return Status::Internal("pd_bench is not a PushdownMod");
+  LABSTOR_RETURN_IF_ERROR(pd->Register(
+      ipc::BuildPointerChaseChain(kChainId, depth, kKeyBytes),
+      rt.ns().epoch_ref().load(std::memory_order_acquire)));
+
+  std::vector<double> client_ns, push_ns;
+  Status drive = Status::Ok();
+  env.Spawn(DriveSingleNode(env, rt, **stack, depth, iters, &client_ns,
+                            &push_ns, &drive));
+  env.Run();
+  LABSTOR_RETURN_IF_ERROR(drive);
+  if (client_ns.size() != iters || push_ns.size() != iters) {
+    return Status::Internal("single-node phase lost samples");
+  }
+
+  out->client.tail = Summarize(std::move(client_ns));
+  out->client.crossings_per_chain = 2.0 * depth;
+  out->pushdown.tail = Summarize(std::move(push_ns));
+  out->pushdown.crossings_per_chain = 2.0;
+  out->crossings_saved_per_chain =
+      static_cast<double>(pd->crossings_saved()) / static_cast<double>(iters);
+  out->saved_ns_per_chain =
+      static_cast<double>(pd->saved_ns()) / static_cast<double>(iters);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------
+// Phase 2: cluster, gateway -> remote shard owner.
+// ---------------------------------------------------------------
+
+// Finds `depth` labels that all hash to the SAME owner, and one that
+// is not the gateway: the whole chase must live on one node for the
+// chain's dependent Gets to resolve locally at that owner.
+std::vector<std::string> RemoteChaseLabels(const cluster::Cluster& cluster,
+                                           uint32_t gateway, uint32_t depth) {
+  const auto map = cluster.map();
+  for (int trial = 0; trial < 1024; ++trial) {
+    const std::string head = "p" + std::to_string(trial) + "h0";
+    const uint32_t owner = map->OwnerOfLabel(head);
+    if (owner == gateway) continue;
+    std::vector<std::string> labels{head};
+    for (int i = 0; labels.size() < depth && i < 4096; ++i) {
+      const std::string label =
+          "p" + std::to_string(trial) + "h" + std::to_string(labels.size()) +
+          "x" + std::to_string(i);
+      if (map->OwnerOfLabel(label) == owner) labels.push_back(label);
+    }
+    if (labels.size() == depth) return labels;
+  }
+  return {};
+}
+
+sim::Task<void> DriveCluster(sim::Environment& env, cluster::Cluster& cluster,
+                             uint32_t gateway,
+                             const std::vector<std::string>& labels,
+                             size_t iters, std::vector<double>* client_ns,
+                             std::vector<double>* push_ns, Status* status) {
+  const uint32_t depth = static_cast<uint32_t>(labels.size());
+  // Seed the chase with real bytes: label i links to label i+1 by the
+  // owner-local namespace path the chain's kDerefKey step will follow.
+  for (uint32_t i = 0; i < depth; ++i) {
+    std::vector<uint8_t> value =
+        i + 1 < depth
+            ? LinkValue(cluster::ClusterNode::KeyFor(labels[i + 1]),
+                        static_cast<uint8_t>(i))
+            : std::vector<uint8_t>(kValueLen, uint8_t{0xAA});
+    const Status st =
+        co_await cluster.PutBytes(gateway, /*tenant=*/0, labels[i],
+                                  std::move(value));
+    if (!st.ok()) {
+      *status = st;
+      co_return;
+    }
+  }
+
+  // Client-driven baseline: one gateway->owner round trip per hop (the
+  // client knows each next label after parsing the previous value;
+  // parsing is client-side and free, the network hops are not).
+  for (size_t it = 0; it < iters; ++it) {
+    const sim::Time t0 = env.now();
+    for (uint32_t hop = 0; hop < depth; ++hop) {
+      uint64_t size = 0;
+      const Status st =
+          co_await cluster.Get(gateway, /*tenant=*/0, labels[hop], &size);
+      if (!st.ok()) {
+        *status = st;
+        co_return;
+      }
+    }
+    client_ns->push_back(static_cast<double>(env.now() - t0));
+  }
+
+  // Pushdown: the chain is forwarded to the owner once and every
+  // dependent hop resolves inside the owner's stack.
+  for (size_t it = 0; it < iters; ++it) {
+    const sim::Time t0 = env.now();
+    uint64_t size = 0;
+    uint32_t steps = 0;
+    const Status st = co_await cluster.ExecChain(gateway, /*tenant=*/0,
+                                                 kChainId, labels[0], &size,
+                                                 &steps);
+    if (!st.ok()) {
+      *status = st;
+      co_return;
+    }
+    push_ns->push_back(static_cast<double>(env.now() - t0));
+  }
+}
+
+Status RunCluster(uint32_t depth, size_t iters, PhaseResult* out) {
+  sim::Environment env;
+  cluster::ClusterConfig config;
+  config.initial_nodes = 4;
+  cluster::Cluster cluster(env, config);
+  LABSTOR_RETURN_IF_ERROR(cluster.init_status());
+
+  const uint32_t gateway = cluster.LiveNodeIds().front();
+  const std::vector<std::string> labels =
+      RemoteChaseLabels(cluster, gateway, depth);
+  if (labels.size() != depth) {
+    return Status::Internal("no co-owned remote label set for depth " +
+                            std::to_string(depth));
+  }
+  const uint32_t owner = cluster.map()->OwnerOfLabel(labels[0]);
+  LABSTOR_RETURN_IF_ERROR(cluster.RegisterChain(
+      ipc::BuildPointerChaseChain(kChainId, depth, kKeyBytes)));
+  labmods::PushdownMod* pd = cluster.node(owner)->pushdown();
+  const uint64_t saved_before = pd->crossings_saved();
+  const uint64_t saved_ns_before = pd->saved_ns();
+
+  std::vector<double> client_ns, push_ns;
+  Status drive = Status::Ok();
+  env.Spawn(DriveCluster(env, cluster, gateway, labels, iters, &client_ns,
+                         &push_ns, &drive));
+  env.Run();
+  LABSTOR_RETURN_IF_ERROR(drive);
+  if (client_ns.size() != iters || push_ns.size() != iters) {
+    return Status::Internal("cluster phase lost samples");
+  }
+
+  out->client.tail = Summarize(std::move(client_ns));
+  out->client.crossings_per_chain = 2.0 * depth;
+  out->pushdown.tail = Summarize(std::move(push_ns));
+  out->pushdown.crossings_per_chain = 2.0;
+  out->crossings_saved_per_chain =
+      static_cast<double>(pd->crossings_saved() - saved_before) /
+      static_cast<double>(iters);
+  out->saved_ns_per_chain =
+      static_cast<double>(pd->saved_ns() - saved_ns_before) /
+      static_cast<double>(iters);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------
+
+void Report(BenchJson& json, Table& table, const std::string& phase,
+            uint32_t depth, const PhaseResult& r) {
+  const auto series = [&](const char* mode) {
+    return phase + "_depth" + std::to_string(depth) + "_" + mode;
+  };
+  const double ratio =
+      r.client.crossings_per_chain / r.pushdown.crossings_per_chain;
+
+  json.AddTail(series("client"), r.client.tail);
+  json.Add(series("client"), "crossings_per_chain",
+           r.client.crossings_per_chain);
+  json.AddTail(series("pushdown"), r.pushdown.tail);
+  json.Add(series("pushdown"), "crossings_per_chain",
+           r.pushdown.crossings_per_chain);
+  json.Add(series("pushdown"), "crossings_saved_per_chain",
+           r.crossings_saved_per_chain);
+  json.Add(series("pushdown"), "saved_ns_per_chain", r.saved_ns_per_chain);
+  json.Add(series("pushdown"), "crossings_ratio", ratio);
+
+  for (const char* mode : {"client", "pushdown"}) {
+    const ModeStats& m =
+        std::strcmp(mode, "client") == 0 ? r.client : r.pushdown;
+    table.AddRow({phase, std::to_string(depth), mode,
+                  Fmt("%.0f", m.tail.mean), Fmt("%.0f", m.tail.p99),
+                  Fmt("%.1f", m.crossings_per_chain)});
+  }
+}
+
+bool CheckAcceptance(const char* phase, uint32_t depth, const PhaseResult& r) {
+  const double ratio =
+      r.client.crossings_per_chain / r.pushdown.crossings_per_chain;
+  const bool ok = ratio >= 4.0 && r.pushdown.tail.mean < r.client.tail.mean;
+  std::printf("acceptance[%s depth %u]: crossings %.1fx, mean %.0f -> %.0f "
+              "ns/chain: %s\n",
+              phase, depth, ratio, r.client.tail.mean, r.pushdown.tail.mean,
+              ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+int Main(int argc, char** argv) {
+  const size_t iters = Quick() ? 50 : 2000;
+  const std::vector<uint32_t> depths = {4, 8};
+
+  BenchJson json("pushdown");
+  json.Meta("iters_per_mode", static_cast<double>(iters), "%.0f");
+  json.Meta("quick", Quick() ? "true" : "false");
+  Table table({"phase", "depth", "mode", "mean_ns", "p99_ns",
+               "crossings/chain"});
+
+  bool accepted = true;
+  for (const uint32_t depth : depths) {
+    PhaseResult single;
+    Status st = RunSingleNode(depth, iters, &single);
+    if (!st.ok()) {
+      std::fprintf(stderr, "single-node depth %u failed: %s\n", depth,
+                   st.ToString().c_str());
+      return 1;
+    }
+    Report(json, table, "single_node", depth, single);
+    if (depth == 8) accepted &= CheckAcceptance("single_node", depth, single);
+
+    PhaseResult clustered;
+    st = RunCluster(depth, iters, &clustered);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cluster depth %u failed: %s\n", depth,
+                   st.ToString().c_str());
+      return 1;
+    }
+    Report(json, table, "cluster", depth, clustered);
+    if (depth == 8) accepted &= CheckAcceptance("cluster", depth, clustered);
+  }
+
+  PrintHeader("pushdown vs client-driven dependent I/O (virtual ns)");
+  table.Print();
+  json.Meta("accepted", accepted ? "true" : "false");
+  if (!json.Write(argc > 1 ? argv[1] : "BENCH_pushdown.json")) return 1;
+  return accepted ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main(int argc, char** argv) { return labstor::bench::Main(argc, argv); }

@@ -1,6 +1,106 @@
 #include "bench/common.h"
 
+#include <algorithm>
+
 namespace labstor::bench {
+
+TailStats Summarize(std::vector<double> samples) {
+  TailStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0;
+  for (const double v : samples) sum += v;
+  s.count = samples.size();
+  s.mean = sum / static_cast<double>(samples.size());
+  const auto at = [&](size_t permille) {
+    return samples[std::min(samples.size() - 1,
+                            samples.size() * permille / 1000)];
+  };
+  s.p50 = at(500);
+  s.p99 = at(990);
+  s.p999 = at(999);
+  return s;
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void BenchJson::Meta(const std::string& key, const std::string& value) {
+  meta_.emplace_back(key, JsonQuote(value));
+}
+
+void BenchJson::Meta(const std::string& key, double value,
+                     const char* format) {
+  meta_.emplace_back(key, Fmt(format, value));
+}
+
+BenchJson::Series& BenchJson::Find(const std::string& name) {
+  for (Series& s : series_) {
+    if (s.name == name) return s;
+  }
+  series_.push_back(Series{name, {}});
+  return series_.back();
+}
+
+void BenchJson::Add(const std::string& series, const std::string& key,
+                    uint64_t value) {
+  Find(series).fields.emplace_back(key, std::to_string(value));
+}
+
+void BenchJson::Add(const std::string& series, const std::string& key,
+                    double value, const char* format) {
+  Find(series).fields.emplace_back(key, Fmt(format, value));
+}
+
+void BenchJson::AddTail(const std::string& series, const TailStats& stats) {
+  Add(series, "count", stats.count);
+  Add(series, "mean_ns", stats.mean);
+  Add(series, "p50_ns", stats.p50);
+  Add(series, "p99_ns", stats.p99);
+  Add(series, "p999_ns", stats.p999);
+}
+
+bool BenchJson::Write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": %s,\n", JsonQuote(bench_).c_str());
+  std::fprintf(f, "  \"meta\": {");
+  for (size_t i = 0; i < meta_.size(); ++i) {
+    std::fprintf(f, "%s\n    %s: %s", i == 0 ? "" : ",",
+                 JsonQuote(meta_[i].first).c_str(), meta_[i].second.c_str());
+  }
+  std::fprintf(f, "%s},\n", meta_.empty() ? "" : "\n  ");
+  std::fprintf(f, "  \"series\": {");
+  for (size_t i = 0; i < series_.size(); ++i) {
+    const Series& s = series_[i];
+    std::fprintf(f, "%s\n    %s: {", i == 0 ? "" : ",",
+                 JsonQuote(s.name).c_str());
+    for (size_t j = 0; j < s.fields.size(); ++j) {
+      std::fprintf(f, "%s\n      %s: %s", j == 0 ? "" : ",",
+                   JsonQuote(s.fields[j].first).c_str(),
+                   s.fields[j].second.c_str());
+    }
+    std::fprintf(f, "%s}", s.fields.empty() ? "" : "\n    ");
+  }
+  std::fprintf(f, "%s}\n}\n", series_.empty() ? "" : "\n  ");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
 
 void DumpTelemetry(const telemetry::Telemetry& tel, const std::string& name) {
   const std::string metrics_path = name + "_metrics.json";

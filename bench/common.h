@@ -62,6 +62,51 @@ inline std::string Fmt(const char* format, double value) {
   return buf;
 }
 
+// Tail-latency summary over per-op samples. Every bench that reports a
+// latency distribution uses this shape so the BENCH_*.json files stay
+// comparable across benches.
+struct TailStats {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+// Sorts a copy of `samples`; an empty input yields all-zero stats.
+TailStats Summarize(std::vector<double> samples);
+
+// Shared BENCH_<name>.json emitter:
+//   {"bench": <name>, "meta": {...}, "series": {<series>: {k: v, ...}}}
+// Fields keep insertion order. AddTail drops a TailStats under the
+// standard keys (count, mean_ns, p50_ns, p99_ns, p999_ns).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void Meta(const std::string& key, const std::string& value);
+  void Meta(const std::string& key, double value, const char* format = "%.1f");
+  void Add(const std::string& series, const std::string& key, uint64_t value);
+  void Add(const std::string& series, const std::string& key, double value,
+           const char* format = "%.1f");
+  void AddTail(const std::string& series, const TailStats& stats);
+
+  // Writes the file and prints `wrote <path>`; false on I/O failure.
+  bool Write(const std::string& path) const;
+
+ private:
+  struct Series {
+    std::string name;
+    // key -> already-JSON-formatted value (number or quoted string).
+    std::vector<std::pair<std::string, std::string>> fields;
+  };
+  Series& Find(const std::string& name);
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<Series> series_;
+};
+
 // Telemetry dump hook: every bench that attaches a Telemetry calls
 // this once to drop `<name>_metrics.json` (merged registry scrape) and
 // `<name>_trace.json` (Perfetto-loadable Chrome trace) next to its

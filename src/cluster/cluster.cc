@@ -44,6 +44,11 @@ Status Cluster::AddNodeInternal(uint32_t* id_out) {
   opts.log_records_per_worker = config_.log_records_per_worker;
   auto node = std::make_unique<ClusterNode>(env_, id, opts);
   LABSTOR_RETURN_IF_ERROR(node->init_status());
+  // Chains follow the data: a joiner may become owner of a label whose
+  // chains were registered before it existed.
+  for (const auto& [cid, program] : chain_programs_) {
+    LABSTOR_RETURN_IF_ERROR(node->RegisterChain(program));
+  }
   net_.RegisterNode(id);
   nodes_[id] = std::move(node);
   if (id_out != nullptr) *id_out = id;
@@ -109,7 +114,9 @@ telemetry::LatencyHistogram* Cluster::TenantHistogram(uint32_t tenant) {
 
 sim::Task<Status> Cluster::Route(uint32_t gateway, uint32_t tenant,
                                  ipc::OpCode op, const std::string& label,
-                                 uint64_t size, uint64_t* size_out) {
+                                 uint64_t size, uint64_t* size_out,
+                                 const std::vector<uint8_t>* payload,
+                                 uint32_t chain_id, uint32_t* steps_out) {
   const sim::Time t0 = env_.now();
   ClusterNode* current = node(gateway);
   if (current == nullptr) {
@@ -159,7 +166,14 @@ sim::Task<Status> Cluster::Route(uint32_t gateway, uint32_t tenant,
   }
 
   Status st;
-  if (op == ipc::OpCode::kPut) {
+  uint32_t steps = 0;
+  if (op == ipc::OpCode::kChainExec) {
+    // The whole chain executes at the owner: dependent hops resubmit
+    // inside its pushdown mod instead of coming back over the wire.
+    st = co_await current->ExecChain(qid, chain_id, label, size_out, &steps);
+  } else if (op == ipc::OpCode::kPut && payload != nullptr) {
+    st = co_await current->PutBytes(qid, label, *payload);
+  } else if (op == ipc::OpCode::kPut) {
     st = co_await current->Put(qid, label, size);
   } else if (op == ipc::OpCode::kDelete) {
     st = co_await current->Delete(qid, label);
@@ -178,6 +192,18 @@ sim::Task<Status> Cluster::Route(uint32_t gateway, uint32_t tenant,
     } else if (op == ipc::OpCode::kDelete) {
       acked_.erase(label);
       current->SetTombstone(label, ++mutation_clock_);
+    } else if (op == ipc::OpCode::kChainExec) {
+      ++chain_execs_;
+      chain_steps_ += steps;
+      // A mutating chain rewrites its start label at the owner; keep
+      // the omniscient ledger in step with what was applied.
+      const auto it = chain_programs_.find(chain_id);
+      if (it != chain_programs_.end() && it->second.Mutates()) {
+        if (const auto sz = current->ValueSize(label); sz.ok()) {
+          acked_[label] = *sz;
+          current->SetRecordVersion(label, ++mutation_clock_);
+        }
+      }
     }
   }
 
@@ -215,7 +241,10 @@ sim::Task<Status> Cluster::Route(uint32_t gateway, uint32_t tenant,
   // Response back to the gateway the client is connected to.
   if (st.ok() && current->id() != gateway) {
     const uint64_t resp_bytes =
-        (op == ipc::OpCode::kGet && size_out != nullptr) ? *size_out : 0;
+        ((op == ipc::OpCode::kGet || op == ipc::OpCode::kChainExec) &&
+         size_out != nullptr)
+            ? *size_out
+            : 0;
     const Status resp =
         co_await net_.Send(current->id(), gateway, resp_bytes);
     if (!resp.ok()) {
@@ -240,12 +269,38 @@ sim::Task<Status> Cluster::Route(uint32_t gateway, uint32_t tenant,
   if (auto* hist = TenantHistogram(tenant); hist != nullptr) {
     hist->Record(env_.now() - t0, gateway);
   }
+  if (steps_out != nullptr) *steps_out = steps;
   co_return st;
 }
 
 sim::Task<Status> Cluster::Put(uint32_t gateway, uint32_t tenant,
                                const std::string& label, uint64_t size) {
   return Route(gateway, tenant, ipc::OpCode::kPut, label, size, nullptr);
+}
+
+sim::Task<Status> Cluster::PutBytes(uint32_t gateway, uint32_t tenant,
+                                    const std::string& label,
+                                    std::vector<uint8_t> bytes) {
+  // `bytes` lives in this frame until Route completes.
+  co_return co_await Route(gateway, tenant, ipc::OpCode::kPut, label,
+                           bytes.size(), nullptr, &bytes);
+}
+
+Status Cluster::RegisterChain(const ipc::ChainProgram& program) {
+  LABSTOR_RETURN_IF_ERROR(program.Validate());
+  for (const auto& [id, n] : nodes_) {
+    if (n->up()) LABSTOR_RETURN_IF_ERROR(n->RegisterChain(program));
+  }
+  chain_programs_[program.id] = program;
+  return Status::Ok();
+}
+
+sim::Task<Status> Cluster::ExecChain(uint32_t gateway, uint32_t tenant,
+                                     uint32_t chain_id,
+                                     const std::string& start_label,
+                                     uint64_t* size_out, uint32_t* steps_out) {
+  return Route(gateway, tenant, ipc::OpCode::kChainExec, start_label, 0,
+               size_out, nullptr, chain_id, steps_out);
 }
 
 sim::Task<Status> Cluster::Get(uint32_t gateway, uint32_t tenant,
@@ -335,6 +390,10 @@ sim::Task<Status> Cluster::RejoinNode(uint32_t id) {
   LABSTOR_CO_RETURN_IF_ERROR(joining->Restart());
   net_.SetNodeUp(id, true);
   joining->AdoptMap(publisher_.Load());
+  // Re-broadcast registered chains (idempotent for ones it still has).
+  for (const auto& [cid, program] : chain_programs_) {
+    LABSTOR_CO_RETURN_IF_ERROR(joining->RegisterChain(program));
+  }
   // Membership may have changed while the node was dark: shed labels
   // whose ownership moved, and dedupe copies re-created elsewhere.
   co_return co_await Rebalance();
@@ -395,6 +454,9 @@ Topology Cluster::GetTopology() const {
   topo.migration_bytes = rebalancer_.bytes_moved();
   topo.net_messages = net_.messages();
   topo.net_bytes = net_.bytes();
+  topo.chains_registered = chain_programs_.size();
+  topo.chain_execs = chain_execs_;
+  topo.chain_steps = chain_steps_;
   return topo;
 }
 

@@ -77,6 +77,9 @@ struct Topology {
   uint64_t migration_bytes = 0;
   uint64_t net_messages = 0;
   uint64_t net_bytes = 0;
+  uint64_t chains_registered = 0;
+  uint64_t chain_execs = 0;
+  uint64_t chain_steps = 0;
 };
 
 class Cluster {
@@ -93,11 +96,32 @@ class Cluster {
   // --- client operations (submit at any live gateway node) ---
   sim::Task<Status> Put(uint32_t gateway, uint32_t tenant,
                         const std::string& label, uint64_t size);
+  // Put carrying real value bytes (pointer-chase chains dereference
+  // stored content, so it must reach the owner's device store).
+  sim::Task<Status> PutBytes(uint32_t gateway, uint32_t tenant,
+                             const std::string& label,
+                             std::vector<uint8_t> bytes);
   sim::Task<Status> Get(uint32_t gateway, uint32_t tenant,
                         const std::string& label,
                         uint64_t* size_out = nullptr);
   sim::Task<Status> Delete(uint32_t gateway, uint32_t tenant,
                            const std::string& label);
+
+  // --- pushdown chains (DESIGN.md §12) ---
+  // Registers the program on every live member; later joiners and
+  // rejoiners pick it up automatically, so a migrated label's owner
+  // can always execute it. Cluster chains must confine mutation to
+  // the start label (the routing key): that is what the acked ledger
+  // tracks.
+  Status RegisterChain(const ipc::ChainProgram& program);
+  // Route a chain execution to the owner of `start_label` and run the
+  // WHOLE chain there: one forwarded hop (at most) instead of one
+  // round trip per dependent step. `steps_out` reports steps run.
+  sim::Task<Status> ExecChain(uint32_t gateway, uint32_t tenant,
+                              uint32_t chain_id,
+                              const std::string& start_label,
+                              uint64_t* size_out = nullptr,
+                              uint32_t* steps_out = nullptr);
 
   // --- membership / lifecycle ---
   // Adds a fresh node, publishes the widened map, migrates shards onto
@@ -151,7 +175,9 @@ class Cluster {
  private:
   sim::Task<Status> Route(uint32_t gateway, uint32_t tenant, ipc::OpCode op,
                           const std::string& label, uint64_t size,
-                          uint64_t* size_out);
+                          uint64_t* size_out,
+                          const std::vector<uint8_t>* payload = nullptr,
+                          uint32_t chain_id = 0, uint32_t* steps_out = nullptr);
   Status PublishMembers(const std::vector<uint32_t>& members);
   std::vector<ClusterNode*> AllNodes() const;
   Status AddNodeInternal(uint32_t* id_out);
@@ -187,6 +213,11 @@ class Cluster {
   uint64_t forwarded_ = 0;
   uint64_t fallback_reads_ = 0;
   uint64_t forward_loops_ = 0;
+
+  // Registered chain programs, re-broadcast to joiners/rejoiners.
+  std::map<uint32_t, ipc::ChainProgram> chain_programs_;
+  uint64_t chain_execs_ = 0;
+  uint64_t chain_steps_ = 0;
 
   telemetry::Counter* ops_counter_ = nullptr;
   telemetry::Counter* forwarded_counter_ = nullptr;

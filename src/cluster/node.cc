@@ -14,6 +14,11 @@ std::string NodeStackYaml(uint32_t id, uint64_t log_records) {
          "rules:\n"
          "  exec_mode: async\n"
          "dag:\n"
+         "  - mod: pushdown\n"
+         "    uuid: pd_" + tag +
+         "\n"
+         "    outputs: [kvs_" + tag +
+         "]\n"
          "  - mod: labkvs\n"
          "    uuid: kvs_" + tag +
          "\n"
@@ -73,6 +78,16 @@ ClusterNode::ClusterNode(sim::Environment& env, uint32_t id, Options options)
     init_status_ = Status::Internal("cluster node kvs mod has wrong type");
     return;
   }
+  auto pd = rt_->registry().Find("pd_n" + std::to_string(id_));
+  if (!pd.ok()) {
+    init_status_ = pd.status();
+    return;
+  }
+  pushdown_ = dynamic_cast<labmods::PushdownMod*>(*pd);
+  if (pushdown_ == nullptr) {
+    init_status_ = Status::Internal("cluster node pushdown mod has wrong type");
+    return;
+  }
   init_status_ = Status::Ok();
 }
 
@@ -120,9 +135,9 @@ void ClusterNode::EnsureQueue(uint32_t qid) {
   }
 }
 
-sim::Task<Status> ClusterNode::Execute(uint32_t qid, ipc::OpCode op,
-                                       const std::string& label, uint64_t size,
-                                       uint64_t* size_out) {
+sim::Task<Status> ClusterNode::Submit(uint32_t qid, ipc::Request& req,
+                                      const std::string& label,
+                                      bool client_mutation) {
   // Held at the door during a quiesce; released by Resume (or Crash).
   while (draining_) co_await resume_event_.Wait();
   if (!up_) {
@@ -131,9 +146,6 @@ sim::Task<Status> ClusterNode::Execute(uint32_t qid, ipc::OpCode op,
   // Client mutations park while a migration commit holds the label; a
   // concurrent interleave could silently destroy whichever applied
   // first. Rebalancer traffic (kInternalQid) is the lock holder itself.
-  const bool client_mutation =
-      qid != kInternalQid &&
-      (op == ipc::OpCode::kPut || op == ipc::OpCode::kDelete);
   if (client_mutation) {
     while (up_ && locked_labels_.count(label) != 0) {
       co_await env_.Delay(sim::kUs);
@@ -145,11 +157,6 @@ sim::Task<Status> ClusterNode::Execute(uint32_t qid, ipc::OpCode op,
     ++mutating_[label];
   }
   EnsureQueue(qid);
-  ipc::Request req;
-  req.op = op;
-  req.client_pid = qid;
-  req.length = size;
-  req.SetPath(KeyFor(label));
   ++in_flight_;
   const Status st = co_await rt_->Execute(qid, *stack_, req);
   --in_flight_;
@@ -159,7 +166,76 @@ sim::Task<Status> ClusterNode::Execute(uint32_t qid, ipc::OpCode op,
       if (--it->second == 0) mutating_.erase(it);
     }
   }
+  co_return st;
+}
+
+sim::Task<Status> ClusterNode::Execute(uint32_t qid, ipc::OpCode op,
+                                       const std::string& label, uint64_t size,
+                                       uint64_t* size_out) {
+  const bool client_mutation =
+      qid != kInternalQid &&
+      (op == ipc::OpCode::kPut || op == ipc::OpCode::kDelete);
+  ipc::Request req;
+  req.op = op;
+  req.client_pid = qid;
+  req.length = size;
+  req.SetPath(KeyFor(label));
+  const Status st = co_await Submit(qid, req, label, client_mutation);
   if (size_out != nullptr) *size_out = req.result_u64;
+  co_return st;
+}
+
+sim::Task<Status> ClusterNode::PutBytes(uint32_t qid, const std::string& label,
+                                        std::vector<uint8_t> bytes) {
+  // Pointer-chase chains dereference stored content, so the value
+  // bytes must actually reach the device store (plain Put carries only
+  // a size and the driver skips the copy for a null payload).
+  ipc::Request req;
+  req.op = ipc::OpCode::kPut;
+  req.client_pid = qid;
+  req.length = bytes.size();
+  req.data = bytes.data();
+  req.SetPath(KeyFor(label));
+  co_return co_await Submit(qid, req, label, qid != kInternalQid);
+}
+
+Status ClusterNode::RegisterChain(const ipc::ChainProgram& program) {
+  if (pushdown_ == nullptr) return Status::Internal("node not initialized");
+  if (!up_) return Status::Unavailable("node is down");
+  return pushdown_->Register(
+      program, rt_->ns().epoch_ref().load(std::memory_order_acquire));
+}
+
+sim::Task<Status> ClusterNode::ExecChain(uint32_t qid, uint32_t chain_id,
+                                         const std::string& label,
+                                         uint64_t* size_out,
+                                         uint32_t* steps_out) {
+  // A mutating chain rewrites its start label; take the same
+  // migration-lock path as a direct Put on it.
+  bool mutates = false;
+  if (pushdown_ != nullptr) {
+    for (const auto& info : pushdown_->ListChains()) {
+      if (info.id == chain_id) {
+        mutates = info.mutates;
+        break;
+      }
+    }
+  }
+  // Local receive buffer: the chain's final scratch contents land
+  // here, so size_out reports how many bytes the last hop produced
+  // (and the response hop is billed for shipping them back).
+  std::vector<uint8_t> recv(4096);
+  ipc::Request req;
+  req.op = ipc::OpCode::kChainExec;
+  req.client_pid = qid;
+  req.chain_id = chain_id;
+  req.length = recv.size();
+  req.data = recv.data();
+  req.SetPath(KeyFor(label));
+  const Status st =
+      co_await Submit(qid, req, label, mutates && qid != kInternalQid);
+  if (size_out != nullptr) *size_out = req.result_u64;
+  if (steps_out != nullptr) *steps_out = req.chain_step;
   co_return st;
 }
 

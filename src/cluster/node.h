@@ -25,7 +25,9 @@
 
 #include "cluster/shard_map.h"
 #include "core/sim_runtime.h"
+#include "ipc/chain.h"
 #include "labmods/labkvs.h"
+#include "labmods/pushdown.h"
 #include "sim/environment.h"
 #include "simdev/registry.h"
 
@@ -84,6 +86,22 @@ class ClusterNode {
   sim::Task<Status> Get(uint32_t qid, const std::string& label,
                         uint64_t* size_out = nullptr);
   sim::Task<Status> Delete(uint32_t qid, const std::string& label);
+  // Put with real value bytes: pointer-chase chains dereference stored
+  // content, so it must survive the trip through the device store.
+  sim::Task<Status> PutBytes(uint32_t qid, const std::string& label,
+                             std::vector<uint8_t> bytes);
+
+  // --- pushdown chains (DESIGN.md §12) ---
+  // Admin-plane registration, same epoch rules as the IPC path; the
+  // epoch is read from this node's own namespace.
+  Status RegisterChain(const ipc::ChainProgram& program);
+  // Run a registered chain starting at `label`, entirely on this node.
+  // `steps_out` reports how many chain steps executed.
+  sim::Task<Status> ExecChain(uint32_t qid, uint32_t chain_id,
+                              const std::string& label,
+                              uint64_t* size_out = nullptr,
+                              uint32_t* steps_out = nullptr);
+  labmods::PushdownMod* pushdown() { return pushdown_; }
 
   // --- store introspection (invariants / rebalancer planning) ---
   bool Has(const std::string& label) const;
@@ -135,6 +153,10 @@ class ClusterNode {
   sim::Task<Status> Execute(uint32_t qid, ipc::OpCode op,
                             const std::string& label, uint64_t size,
                             uint64_t* size_out);
+  // Shared admission path: quiesce gate, migration lock, in-flight
+  // accounting around one request through the node's stack.
+  sim::Task<Status> Submit(uint32_t qid, ipc::Request& req,
+                           const std::string& label, bool client_mutation);
   void EnsureQueue(uint32_t qid);
 
   sim::Environment& env_;
@@ -146,6 +168,7 @@ class ClusterNode {
   std::unique_ptr<core::SimRuntime> rt_;
   core::Stack* stack_ = nullptr;
   labmods::LabKvsMod* kvs_ = nullptr;
+  labmods::PushdownMod* pushdown_ = nullptr;
   std::set<uint32_t> registered_queues_;
 
   bool up_ = true;

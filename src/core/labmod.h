@@ -13,6 +13,7 @@
 //     computational.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -33,6 +34,8 @@ class StackExec;
 enum class ModType : uint8_t {
   kFilesystem,   // POSIX-ish file ops -> block ops
   kKvs,          // put/get/delete -> block ops
+  kPushdown,     // sandboxed op chains -> any server-side op (passes
+                 // non-chain requests through unchanged)
   kScheduler,    // block ops -> block ops (queue selection)
   kCache,        // block ops -> block ops (may absorb)
   kPermissions,  // any -> same (gate)
@@ -50,6 +53,11 @@ struct ModContext {
   simdev::DeviceRegistry* devices = nullptr;
   const sim::SoftwareCosts* costs = &sim::DefaultCosts();
   uint32_t num_workers = 1;
+  // Namespace mutation epoch of the owning runtime (nullptr = no
+  // namespace, treated as epoch 0). The pushdown mod keys chain
+  // re-registration off this: replacing a registered chain id requires
+  // the namespace to have advanced past the epoch it was installed in.
+  const std::atomic<uint64_t>* ns_epoch = nullptr;
   // Optional metrics/tracing sink (nullptr = telemetry off, zero
   // cost). Mods that keep private stats (cache hit/miss) mirror them
   // here; the per-mod span capture lives in StackExec/SimRuntime.
@@ -126,6 +134,7 @@ inline std::string_view ModTypeName(ModType type) {
   switch (type) {
     case ModType::kFilesystem: return "filesystem";
     case ModType::kKvs: return "kvs";
+    case ModType::kPushdown: return "pushdown";
     case ModType::kScheduler: return "scheduler";
     case ModType::kCache: return "cache";
     case ModType::kPermissions: return "permissions";

@@ -92,6 +92,7 @@ Runtime::Runtime(Options options, simdev::DeviceRegistry& devices)
   mod_context_.devices = &devices_;
   mod_context_.num_workers = static_cast<uint32_t>(options_.max_workers);
   mod_context_.telemetry = options_.telemetry;
+  mod_context_.ns_epoch = &namespace_.epoch_ref();
   // Non-null empty table so pre-Start readers (active_workers, tests)
   // never special-case.
   auto empty = std::make_shared<AssignmentTable>();

@@ -10,6 +10,7 @@ SimRuntime::SimRuntime(sim::Environment& env, simdev::DeviceRegistry& devices,
   ctx_.devices = &devices;
   ctx_.costs = &costs_;
   ctx_.num_workers = static_cast<uint32_t>(num_workers);
+  ctx_.ns_epoch = &namespace_.epoch_ref();
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
     workers_.push_back(std::make_unique<sim::Resource>(env_, 1));

@@ -14,6 +14,14 @@ bool CanForward(ModType from, ModType to) {
     case ModType::kPermissions:
       // A gate may precede anything server-side.
       return to != ModType::kGeneric;
+    case ModType::kPushdown:
+      // The chain interpreter sits at the top of a stack and rewrites
+      // requests into the ops its steps name (KVS gets/puts, raw block
+      // reads/writes), so it may precede any interface or block layer.
+      return to == ModType::kKvs || to == ModType::kFilesystem ||
+             to == ModType::kCache || to == ModType::kScheduler ||
+             to == ModType::kTransform || to == ModType::kConsistency ||
+             to == ModType::kDriver;
     case ModType::kFilesystem:
     case ModType::kKvs:
       return to == ModType::kCache || to == ModType::kScheduler ||

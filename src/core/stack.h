@@ -144,6 +144,11 @@ class StackNamespace {
   // present the same epoch to a thread-local cache.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+  // Stable reference to the epoch cell for ModContext::ns_epoch — mods
+  // that gate state changes on namespace generations (pushdown chain
+  // re-registration) read it without holding the namespace lock.
+  const std::atomic<uint64_t>& epoch_ref() const { return epoch_; }
+
  private:
   Status CheckAdmin(const Stack& stack, const ipc::Credentials& actor) const;
   Result<std::unique_ptr<Stack>> Build(const StackSpec& spec,

@@ -96,6 +96,15 @@ Result<CrashEnumReport> EnumerateCrashPoints(
   // End-of-run: the complete journal must recover to the final state.
   LABSTOR_RETURN_IF_ERROR(VisitPoint(factory, journal, journal.entries(), 0,
                                      invariants, ledger, schedule, report));
+  // Chain-step boundaries (pushdown workloads): reconstruct the exact
+  // durable prefix the step hook observed after every chain step, so
+  // a mid-chain crash is visited even at steps that appended nothing.
+  for (const size_t step_boundary : ledger.chain_step_boundaries) {
+    LABSTOR_RETURN_IF_ERROR(
+        VisitPoint(factory, journal,
+                   std::min(step_boundary, journal.entries()), 0, invariants,
+                   ledger, schedule, report));
+  }
   return report;
 }
 

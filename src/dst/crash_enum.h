@@ -54,6 +54,12 @@ struct CrashEnumReport {
 struct WorkloadLedger {
   FsModel fs;
   KvModel kv;
+  // Durable-journal lengths observed at pushdown chain-step boundaries
+  // (a PushdownMod step hook records journal.entries() after each
+  // step). The enumerator additionally reconstructs each of these
+  // prefixes, so a crash at EVERY chain-step boundary is visited even
+  // when the step itself produced no journal append.
+  std::vector<size_t> chain_step_boundaries;
 };
 
 using RigFactory = std::function<Result<std::unique_ptr<CrashRig>>()>;

@@ -144,4 +144,31 @@ Status LabKvsAckedPutsVisible::Check(const InvariantContext& ctx) const {
   return Status::Ok();
 }
 
+Status PushdownChainAtomicity::Check(const InvariantContext& ctx) const {
+  labmods::LabKvsMod* mod = ctx.rig.labkvs();
+  labmods::GenericKvs* kvs = ctx.rig.kvs();
+  if (mod == nullptr || kvs == nullptr) {
+    return Status::FailedPrecondition("not a LabKVS rig");
+  }
+  if (enforce_from_ != nullptr && ctx.point.boundary < *enforce_from_) {
+    return Status::Ok();  // crash predates the pre-chain value
+  }
+  const auto size = mod->ValueSize(key_);
+  if (!size.ok()) {
+    return Status::Internal("chain target '" + key_ +
+                            "' absent after recovery: a partially executed "
+                            "chain must leave the pre-chain value");
+  }
+  std::vector<uint8_t> got(*size);
+  LABSTOR_ASSIGN_OR_RETURN(read, kvs->Get(key_, got));
+  got.resize(read);
+  if (got != before_ && got != after_) {
+    return Status::Internal(
+        "chain target '" + key_ + "' recovered to an intermediate state (" +
+        std::to_string(got.size()) + " bytes, expected pre- or post-chain "
+        "value) at boundary " + std::to_string(ctx.point.boundary));
+  }
+  return Status::Ok();
+}
+
 }  // namespace labstor::dst

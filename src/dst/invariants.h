@@ -1,6 +1,10 @@
 // Concrete recovery invariants for LabFS and LabKVS (tentpole item 3).
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "dst/invariant.h"
 
 namespace labstor::dst {
@@ -40,6 +44,38 @@ class LabKvsAckedPutsVisible final : public Invariant {
  public:
   std::string_view name() const override { return "labkvs.acked_puts_visible"; }
   Status Check(const InvariantContext& ctx) const override;
+};
+
+// Pushdown RMW chain atomicity (DESIGN.md §12): at EVERY crash point —
+// including mid-chain, between journal-touching steps — the recovered
+// value of the chain's target key is byte-exact either the pre-chain
+// value or the post-chain value, never an intermediate and never
+// absent. The journal txn markers (kTxnBegin/kTxnCommit) are what
+// makes this hold: recovery buffers the chain's records and applies
+// them only at the commit. Constructed per test with the two legal
+// states. `enforce_from` points at the journal boundary where the
+// pre-chain value became durable (the workload fills it in before the
+// enumerator starts visiting); crash points before it predate the
+// chain's world and are vacuously fine — earlier invariants (acked
+// puts visible, with in-flight exemptions) already cover them.
+class PushdownChainAtomicity final : public Invariant {
+ public:
+  PushdownChainAtomicity(std::string key, std::vector<uint8_t> before,
+                         std::vector<uint8_t> after,
+                         const size_t* enforce_from = nullptr)
+      : key_(std::move(key)),
+        before_(std::move(before)),
+        after_(std::move(after)),
+        enforce_from_(enforce_from) {}
+
+  std::string_view name() const override { return "pushdown.chain_atomicity"; }
+  Status Check(const InvariantContext& ctx) const override;
+
+ private:
+  std::string key_;
+  std::vector<uint8_t> before_;
+  std::vector<uint8_t> after_;
+  const size_t* enforce_from_ = nullptr;
 };
 
 }  // namespace labstor::dst

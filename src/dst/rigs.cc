@@ -33,6 +33,22 @@ constexpr const char* kKvsStackYaml =
     "  - mod: kernel_driver\n"
     "    uuid: drv_labkvs_dst\n";
 
+constexpr const char* kPushdownKvsStackYaml =
+    "mount: kvs::/dst\n"
+    "rules:\n"
+    "  exec_mode: sync\n"
+    "dag:\n"
+    "  - mod: pushdown\n"
+    "    uuid: pd_dst\n"
+    "    outputs: [labkvs_dst]\n"
+    "  - mod: labkvs\n"
+    "    uuid: labkvs_dst\n"
+    "    params:\n"
+    "      log_records_per_worker: 512\n"
+    "    outputs: [drv_labkvs_dst]\n"
+    "  - mod: kernel_driver\n"
+    "    uuid: drv_labkvs_dst\n";
+
 core::Runtime::Options RigOptions() {
   core::Runtime::Options options;
   // One worker: every fslog append goes to region 0 in seq order, so a
@@ -112,6 +128,37 @@ SyncKvsRig::SyncKvsRig()
 
 Result<std::unique_ptr<SyncKvsRig>> SyncKvsRig::Create() {
   std::unique_ptr<SyncKvsRig> rig(new SyncKvsRig());
+  LABSTOR_RETURN_IF_ERROR(rig->init_status_);
+  return rig;
+}
+
+PushdownKvsRig::PushdownKvsRig()
+    : devices_(nullptr),
+      runtime_(RigOptions(), devices_),
+      client_(runtime_, ipc::Credentials{100, 1000, 1000}),
+      kvs_(client_) {
+  init_status_ = InitRig(*this, devices_, runtime_, client_,
+                         kPushdownKvsStackYaml, &stack_, &device_);
+  if (init_status_.ok()) {
+    auto mod = FindMod<labmods::LabKvsMod>(runtime_, "labkvs_dst");
+    if (mod.ok()) {
+      labkvs_ = *mod;
+    } else {
+      init_status_ = mod.status();
+    }
+  }
+  if (init_status_.ok()) {
+    auto mod = FindMod<labmods::PushdownMod>(runtime_, "pd_dst");
+    if (mod.ok()) {
+      pushdown_ = *mod;
+    } else {
+      init_status_ = mod.status();
+    }
+  }
+}
+
+Result<std::unique_ptr<PushdownKvsRig>> PushdownKvsRig::Create() {
+  std::unique_ptr<PushdownKvsRig> rig(new PushdownKvsRig());
   LABSTOR_RETURN_IF_ERROR(rig->init_status_);
   return rig;
 }

@@ -20,6 +20,7 @@
 #include "labmods/generickvs.h"
 #include "labmods/labfs.h"
 #include "labmods/labkvs.h"
+#include "labmods/pushdown.h"
 #include "sim/environment.h"
 #include "simdev/registry.h"
 #include "telemetry/telemetry.h"
@@ -45,6 +46,7 @@ class CrashRig {
   virtual labmods::GenericKvs* kvs() { return nullptr; }
   virtual labmods::LabFsMod* labfs() { return nullptr; }
   virtual labmods::LabKvsMod* labkvs() { return nullptr; }
+  virtual labmods::PushdownMod* pushdown() { return nullptr; }
 };
 
 // LabFS over kernel_driver, mounted at fs::/dst, sync mode, 1 worker.
@@ -97,6 +99,38 @@ class SyncKvsRig final : public CrashRig {
   simdev::SimDevice* device_ = nullptr;
   core::Stack* stack_ = nullptr;
   labmods::LabKvsMod* labkvs_ = nullptr;
+};
+
+// Pushdown → LabKVS over kernel_driver, mounted at kvs::/dst, sync
+// mode, 1 worker: the chain interpreter runs inline in the caller, so
+// every journal append a chain step produces lands in strict sequence
+// order and the crash-point enumerator can tear the log at every
+// chain-step boundary.
+class PushdownKvsRig final : public CrashRig {
+ public:
+  static Result<std::unique_ptr<PushdownKvsRig>> Create();
+
+  simdev::SimDevice& device() override { return *device_; }
+  core::Runtime& runtime() override { return runtime_; }
+  core::Client& client() override { return client_; }
+  core::Stack& stack() override { return *stack_; }
+  const labmods::MetadataLog* log() const override { return labkvs_->log(); }
+  labmods::GenericKvs* kvs() override { return &kvs_; }
+  labmods::LabKvsMod* labkvs() override { return labkvs_; }
+  labmods::PushdownMod* pushdown() override { return pushdown_; }
+
+ private:
+  PushdownKvsRig();
+  Status init_status_;
+
+  simdev::DeviceRegistry devices_;
+  core::Runtime runtime_;
+  core::Client client_;
+  labmods::GenericKvs kvs_;
+  simdev::SimDevice* device_ = nullptr;
+  core::Stack* stack_ = nullptr;
+  labmods::LabKvsMod* labkvs_ = nullptr;
+  labmods::PushdownMod* pushdown_ = nullptr;
 };
 
 // Multi-node cluster under one DES: its own Environment, a

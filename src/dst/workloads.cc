@@ -1,9 +1,11 @@
 #include "dst/workloads.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <string>
 
+#include "ipc/chain.h"
 #include "ipc/request.h"
 
 namespace labstor::dst {
@@ -177,6 +179,74 @@ Status RunKvsWorkload(CrashRig& rig, Schedule& sched,
     LABSTOR_RETURN_IF_ERROR(StepKvsOp(*kvs, sched, &journal, model, state));
   }
   return Status::Ok();
+}
+
+Status RunPushdownWorkload(CrashRig& rig, Schedule& sched,
+                           const DeviceJournal& journal,
+                           WorkloadLedger& ledger, size_t num_chains) {
+  labmods::GenericKvs* kvs = rig.kvs();
+  labmods::PushdownMod* pd = rig.pushdown();
+  if (kvs == nullptr || pd == nullptr) {
+    return Status::FailedPrecondition("rig has no pushdown stack");
+  }
+  KvModel& model = ledger.kv;
+  constexpr uint64_t kValueLen = 64;
+  constexpr uint32_t kChainId = 1;
+  const uint64_t delta = sched.Range("pushdown.delta", 1, 1000);
+
+  // Seed the pool: every key holds a kValueLen-byte value whose first
+  // 8 bytes are a little-endian counter the RMW chain increments.
+  std::map<std::string, std::vector<uint8_t>> live;
+  for (size_t i = 0; i < kWorkloadPoolSize; ++i) {
+    const std::string key = KvsKey(i);
+    std::vector<uint8_t> value =
+        PatternBytes(sched.NextU64("pushdown.tag"), kValueLen);
+    const uint64_t counter = sched.Range("pushdown.init", 0, 1 << 20);
+    std::memcpy(value.data(), &counter, sizeof(counter));
+    const size_t jb = journal.entries();
+    LABSTOR_RETURN_IF_ERROR(kvs->Put(key, value));
+    model.AckPut(key, value, jb, journal.entries());
+    live[key] = std::move(value);
+    sched.Note("pushdown op=seed key=" + key);
+  }
+
+  const ipc::ChainProgram chain = ipc::BuildRmwChain(kChainId, 0, delta);
+  LABSTOR_RETURN_IF_ERROR(kvs->RegisterChain("kvs::/dst", chain));
+
+  // Durable-journal length after every chain step: the crash-point
+  // enumerator revisits each of these as a mid-chain crash state.
+  pd->SetStepHook([&ledger, &journal](uint32_t, uint32_t) {
+    ledger.chain_step_boundaries.push_back(journal.entries());
+  });
+
+  Status st;
+  for (size_t i = 0; i < num_chains && st.ok(); ++i) {
+    const std::string key =
+        KvsKey(sched.Range("pushdown.pick", 0, kWorkloadPoolSize - 1));
+    std::vector<uint8_t> expect = live[key];
+    uint64_t counter = 0;
+    std::memcpy(&counter, expect.data(), sizeof(counter));
+    counter += delta;
+    std::memcpy(expect.data(), &counter, sizeof(counter));
+
+    std::vector<uint8_t> out(kValueLen);
+    const size_t jb = journal.entries();
+    const auto copied = kvs->ExecChain(kChainId, key, out);
+    if (!copied.ok()) {
+      st = copied.status();
+      break;
+    }
+    model.AckPut(key, expect, jb, journal.entries());
+    if (*copied != kValueLen || out != expect) {
+      st = Status::Internal("pushdown chain read-back mismatch for " + key);
+      break;
+    }
+    live[key] = std::move(expect);
+    sched.Note("pushdown op=chain key=" + key +
+               " counter=" + std::to_string(counter));
+  }
+  pd->SetStepHook(nullptr);
+  return st;
 }
 
 }  // namespace labstor::dst

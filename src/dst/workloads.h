@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "dst/crash_enum.h"
 #include "dst/journal.h"
 #include "dst/model.h"
 #include "dst/rigs.h"
@@ -66,5 +67,16 @@ Status RunFsWorkload(CrashRig& rig, Schedule& sched,
 Status RunKvsWorkload(CrashRig& rig, Schedule& sched,
                       const DeviceJournal& journal, KvModel& model,
                       size_t num_ops);
+
+// Pushdown RMW-chain mix on a PushdownKvsRig: seeds a counter-bearing
+// value pool, registers a get-modify-put chain, then executes it
+// `num_chains` times through the IPC path with read-back verification.
+// Each acked chain is recorded in the KV model as a put of its final
+// value, and the durable-journal length after every chain step is
+// appended to `ledger.chain_step_boundaries` (via the PushdownMod step
+// hook) so the crash enumerator revisits every mid-chain state.
+Status RunPushdownWorkload(CrashRig& rig, Schedule& sched,
+                           const DeviceJournal& journal,
+                           WorkloadLedger& ledger, size_t num_chains);
 
 }  // namespace labstor::dst

@@ -1,0 +1,245 @@
+// Pushdown op chains: the restricted, data-dependent resubmission DSL
+// (DESIGN.md §12) that clients register with the pushdown LabMod so a
+// dependent I/O sequence (pointer chase / B-tree descent, scan+filter,
+// compound read-modify-write) executes entirely at the device-queue
+// layer — one client↔worker round trip instead of one per hop.
+//
+// The DSL is deliberately tiny and sandboxed:
+//   * straight-line programs only (no branches backward, no loops —
+//     the step array is executed front to back, and the single control
+//     primitive, kFilter, can only STOP the chain early);
+//   * a hard step cap (kMaxChainSteps) and a per-chain scratch byte
+//     budget (byte_budget ≤ kMaxChainScratch) validated at
+//     registration;
+//   * steps address only the chain's private scratch buffer; every
+//     scratch access is bounds-checked against byte_budget.
+//
+// Interpreter registers (held by the pushdown mod per execution):
+//   key     — current KVS key; seeded from the request path.
+//   cursor  — current device byte offset; seeded from request.offset.
+//   scratch — byte buffer of byte_budget bytes; kGet/kReadAt fill it,
+//             deref/filter/modify steps read it, kPut/kWriteAt drain
+//             it. Its live length is tracked as scratch_len.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace labstor::ipc {
+
+enum class ChainStepKind : uint8_t {
+  kInvalid = 0,
+  // KVS get of the key register into scratch (scratch_len = value
+  // size). If the step's inline key is non-empty it replaces the key
+  // register first.
+  kGet,
+  // key register = NUL-terminated string at scratch[a, a+b).
+  kDerefKey,
+  // Block read of b bytes at device offset cursor + a into scratch.
+  kReadAt,
+  // cursor = little-endian u64 at scratch[a].
+  kDerefOffset,
+  // Stop the chain early (success, no further steps) unless the u64 at
+  // scratch[a] >= b. The scan+filter / bounded-descent primitive.
+  kFilter,
+  // u64 at scratch[a] += b (wrapping). The "modify" of RMW.
+  kModify,
+  // KVS put of scratch[0, scratch_len) under the key register (or the
+  // step's inline key). Journaled downstream; the pushdown mod brackets
+  // chains containing puts in a txn so recovery is all-or-nothing.
+  kPut,
+  // Block write of scratch[0, b) at device offset cursor + a.
+  kWriteAt,
+};
+
+std::string_view ChainStepKindName(ChainStepKind kind);
+
+inline constexpr size_t kMaxChainSteps = 16;
+inline constexpr uint64_t kMaxChainScratch = 16 * 1024;
+inline constexpr size_t kChainKeyCapacity = 64;
+
+struct ChainStep {
+  ChainStepKind kind = ChainStepKind::kInvalid;
+  uint8_t reserved[7] = {};
+  uint64_t a = 0;  // scratch offset / cursor delta (kind-dependent)
+  uint64_t b = 0;  // length / immediate operand (kind-dependent)
+  char key[kChainKeyCapacity] = {};  // optional inline key (kGet/kPut)
+
+  void SetKey(std::string_view k) {
+    const size_t n =
+        k.size() < kChainKeyCapacity - 1 ? k.size() : kChainKeyCapacity - 1;
+    std::memcpy(key, k.data(), n);
+    key[n] = '\0';
+  }
+  std::string_view GetKey() const { return {key}; }
+};
+static_assert(sizeof(ChainStep) == 88, "fixed-size wire step");
+
+struct ChainProgram {
+  static constexpr uint32_t kMagic = 0x43484E50;  // "PNHC"
+
+  uint32_t magic = kMagic;
+  uint32_t id = 0;           // client-chosen, non-zero
+  uint32_t num_steps = 0;
+  uint32_t reserved = 0;
+  uint64_t byte_budget = 4096;  // scratch bytes the chain may touch
+  ChainStep steps[kMaxChainSteps] = {};
+
+  // Does any step mutate durable state (and therefore need the txn
+  // bracket for crash atomicity)?
+  bool Mutates() const {
+    for (uint32_t i = 0; i < num_steps && i < kMaxChainSteps; ++i) {
+      if (steps[i].kind == ChainStepKind::kPut ||
+          steps[i].kind == ChainStepKind::kWriteAt) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Sandbox validation: step cap, byte budget, and per-step bounds so
+  // the interpreter never touches scratch out of range. Programs are
+  // straight-line by construction (no jump step exists), which is the
+  // no-unbounded-loops guarantee.
+  Status Validate() const {
+    if (magic != kMagic) return Status::InvalidArgument("bad chain magic");
+    if (id == 0) return Status::InvalidArgument("chain id must be non-zero");
+    if (num_steps == 0 || num_steps > kMaxChainSteps) {
+      return Status::InvalidArgument("chain must have 1.." +
+                                     std::to_string(kMaxChainSteps) +
+                                     " steps");
+    }
+    if (byte_budget == 0 || byte_budget > kMaxChainScratch) {
+      return Status::InvalidArgument("chain byte budget must be 1.." +
+                                     std::to_string(kMaxChainScratch));
+    }
+    for (uint32_t i = 0; i < num_steps; ++i) {
+      const ChainStep& s = steps[i];
+      switch (s.kind) {
+        case ChainStepKind::kGet:
+        case ChainStepKind::kPut:
+          break;
+        case ChainStepKind::kDerefKey:
+          if (s.b == 0 || s.b >= kChainKeyCapacity || s.a + s.b > byte_budget) {
+            return Status::InvalidArgument("deref_key out of bounds at step " +
+                                           std::to_string(i));
+          }
+          break;
+        case ChainStepKind::kReadAt:
+        case ChainStepKind::kWriteAt:
+          if (s.b == 0 || s.b > byte_budget) {
+            return Status::InvalidArgument("block step exceeds byte budget "
+                                           "at step " + std::to_string(i));
+          }
+          break;
+        case ChainStepKind::kDerefOffset:
+        case ChainStepKind::kFilter:
+        case ChainStepKind::kModify:
+          if (s.a + 8 > byte_budget) {
+            return Status::InvalidArgument("u64 access out of bounds at "
+                                           "step " + std::to_string(i));
+          }
+          break;
+        case ChainStepKind::kInvalid:
+          return Status::InvalidArgument("invalid step kind at step " +
+                                         std::to_string(i));
+      }
+    }
+    return Status::Ok();
+  }
+};
+static_assert(sizeof(ChainProgram) ==
+                  24 + kMaxChainSteps * sizeof(ChainStep),
+              "fixed-size registration frame");
+
+// --- submission framing -------------------------------------------------
+//
+// Registration ships the ChainProgram as the payload of a
+// kChainRegister request; execution is a kChainExec request carrying
+// chain_id (+ optional resume cursor chain_step), the start key in
+// `path`, the start cursor in `offset`, and a client buffer that
+// receives the final scratch contents. Completion framing: result_u64
+// = bytes of scratch copied back, chain_step = steps executed.
+
+inline size_t EncodedChainBytes() { return sizeof(ChainProgram); }
+
+inline void EncodeChainProgram(const ChainProgram& program, uint8_t* out) {
+  std::memcpy(out, &program, sizeof(ChainProgram));
+}
+
+inline Result<ChainProgram> DecodeChainProgram(const uint8_t* data,
+                                               size_t length) {
+  if (data == nullptr || length < sizeof(ChainProgram)) {
+    return Status::InvalidArgument("chain registration payload too short");
+  }
+  ChainProgram program;
+  std::memcpy(&program, data, sizeof(ChainProgram));
+  LABSTOR_RETURN_IF_ERROR(program.Validate());
+  return program;
+}
+
+// --- canonical chain builders -------------------------------------------
+//
+// The shapes the connectors (GenericKVS/GenericFS) expose: each hop of
+// a pointer chase reads a value whose first bytes name the next key; a
+// lookup chain ends on a plain get; an RMW chain is get → modify →
+// put. key_bytes is how many leading value bytes hold the next key.
+
+inline ChainProgram BuildPointerChaseChain(uint32_t id, uint32_t depth,
+                                           uint64_t key_bytes,
+                                           uint64_t byte_budget = 4096) {
+  ChainProgram program;
+  program.id = id;
+  program.byte_budget = byte_budget;
+  uint32_t n = 0;
+  for (uint32_t hop = 0; hop < depth && n + 2 <= kMaxChainSteps; ++hop) {
+    program.steps[n].kind = ChainStepKind::kGet;
+    ++n;
+    if (hop + 1 < depth) {
+      program.steps[n].kind = ChainStepKind::kDerefKey;
+      program.steps[n].a = 0;
+      program.steps[n].b = key_bytes;
+      ++n;
+    }
+  }
+  program.num_steps = n;
+  return program;
+}
+
+inline ChainProgram BuildRmwChain(uint32_t id, uint64_t field_offset,
+                                  uint64_t delta,
+                                  uint64_t byte_budget = 4096) {
+  ChainProgram program;
+  program.id = id;
+  program.byte_budget = byte_budget;
+  program.steps[0].kind = ChainStepKind::kGet;
+  program.steps[1].kind = ChainStepKind::kModify;
+  program.steps[1].a = field_offset;
+  program.steps[1].b = delta;
+  program.steps[2].kind = ChainStepKind::kPut;
+  program.num_steps = 3;
+  return program;
+}
+
+inline std::string_view ChainStepKindName(ChainStepKind kind) {
+  switch (kind) {
+    case ChainStepKind::kInvalid: return "invalid";
+    case ChainStepKind::kGet: return "get";
+    case ChainStepKind::kDerefKey: return "deref_key";
+    case ChainStepKind::kReadAt: return "read_at";
+    case ChainStepKind::kDerefOffset: return "deref_offset";
+    case ChainStepKind::kFilter: return "filter";
+    case ChainStepKind::kModify: return "modify";
+    case ChainStepKind::kPut: return "put";
+    case ChainStepKind::kWriteAt: return "write_at";
+  }
+  return "?";
+}
+
+}  // namespace labstor::ipc

@@ -47,6 +47,12 @@ enum class OpCode : uint16_t {
   // --- zoned-namespace interface (ZNS driver LabMods) ---
   kZoneAppend,  // write at the zone's write pointer; offset returned
   kZoneReset,   // rewind a zone's write pointer
+  // --- pushdown op chains (DESIGN.md §12) ---
+  kChainRegister,  // payload carries an encoded ChainProgram
+  kChainExec,      // run the registered chain named by Request::chain_id
+  // --- journal transaction markers (chain crash atomicity) ---
+  kTxnBegin,  // append an open-txn marker to the metadata log
+  kTxnCommit,  // append the matching commit marker
   // --- control ---
   kUpgrade,
   kDummy,
@@ -89,6 +95,13 @@ struct Request {
   // metrics and "queue" trace spans.
   uint64_t submit_ns = 0;
 
+  // Pushdown chain descriptor (DESIGN.md §12): a kChainExec request
+  // names the registered chain to run; the pushdown mod advances
+  // chain_step as it executes, so on completion it reports how many
+  // steps ran (and a mid-chain resume knows where to pick up).
+  uint32_t chain_id = 0;
+  uint16_t chain_step = 0;
+
   // Payload lives in the same shared segment; the queue moves only the
   // Request pointer (the zero-copy property the paper relies on).
   uint8_t* data = nullptr;
@@ -124,6 +137,13 @@ struct Request {
     // as wildly inflated queue-wait metrics when the next submission
     // is unstamped (telemetry off, or the sync path).
     submit_ns = 0;
+    // A completed chain leaves its descriptor on the slot (completion
+    // framing: chain_step = steps executed). A recycled slot must not
+    // carry that cursor into the next submission — a fresh kChainExec
+    // built on a stale slot would otherwise resume mid-chain and skip
+    // the previous chain's prefix.
+    chain_id = 0;
+    chain_step = 0;
     path[0] = '\0';
     result = StatusCode::kOk;
     result_u64 = 0;
@@ -168,6 +188,10 @@ inline std::string_view OpCodeName(OpCode op) {
     case OpCode::kBlkFlush: return "blk_flush";
     case OpCode::kZoneAppend: return "zone_append";
     case OpCode::kZoneReset: return "zone_reset";
+    case OpCode::kChainRegister: return "chain_register";
+    case OpCode::kChainExec: return "chain_exec";
+    case OpCode::kTxnBegin: return "txn_begin";
+    case OpCode::kTxnCommit: return "txn_commit";
     case OpCode::kUpgrade: return "upgrade";
     case OpCode::kDummy: return "dummy";
   }

@@ -86,6 +86,36 @@ inline std::string_view ApiKindName(ApiKind kind) {
   return "?";
 }
 
+// --- pushdown crossing accounting (DESIGN.md §12) ----------------------
+//
+// One client↔worker round trip on the LabStor shared-memory path pays
+// submission-side and completion-side software on both ends. A
+// client-driven N-hop dependent sequence pays it N times; a pushdown
+// chain pays it once and resubmits internally, so N-1 round trips
+// (2·(N-1) crossings, two per round trip) are saved. The pushdown mod
+// prices its "crossings saved" telemetry with these formulas so the
+// counter is directly comparable to the Fig. 4/6 cost anatomy.
+
+// Virtual ns one client↔worker round trip costs in software (the
+// async-stack datapath: enqueue, worker dequeue, CQE reap + post,
+// completion poll).
+inline sim::Time LabRoundTripCost(const sim::SoftwareCosts& c) {
+  return c.shm_submit + c.worker_poll + c.completion_post + c.shm_complete;
+}
+
+// Virtual ns saved by collapsing `hops` dependent submissions into one
+// (hops ≥ 1; the single pushdown submission still pays one round trip).
+inline sim::Time PushdownSavingsNs(const sim::SoftwareCosts& c,
+                                   uint64_t hops) {
+  return hops == 0 ? 0 : (hops - 1) * LabRoundTripCost(c);
+}
+
+// Client↔worker boundary crossings saved by the same collapse (each
+// round trip crosses twice: submit and complete).
+inline uint64_t PushdownCrossingsSaved(uint64_t hops) {
+  return hops == 0 ? 0 : 2 * (hops - 1);
+}
+
 // Scheduler queue-pick policies shared between the kernel baselines
 // and the bench drivers (the LabMods implement the same logic within
 // stacks).

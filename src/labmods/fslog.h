@@ -32,6 +32,13 @@ enum class LogOp : uint16_t {
   kTruncate = 4,  // a = new size
   kMap = 5,       // a = file block index, b = phys block, c = block count
   kSize = 6,      // a = new size
+  // Transaction markers bracketing a pushdown chain's mutating suffix
+  // (inode_id = chain id). Replay applies the records between a begin
+  // and its commit atomically; an unmatched begin at the end of the
+  // scan (crash mid-chain) discards them, so a partially executed
+  // chain leaves no acked effect. Pre-txn readers ignore both ops.
+  kTxnBegin = 7,
+  kTxnCommit = 8,
 };
 
 struct LogRecord {

@@ -1,5 +1,6 @@
 #include "labmods/genericfs.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/string_util.h"
@@ -23,6 +24,37 @@ Result<ipc::Request*> GenericFs::AcquireRequest(uint64_t payload_bytes) {
 Status GenericFs::RoundTrip(ipc::Request& req, core::Stack& stack) {
   LABSTOR_RETURN_IF_ERROR(client_.Execute(req, stack));
   return req.ToStatus();
+}
+
+Status GenericFs::RegisterChain(const std::string& scope,
+                                const ipc::ChainProgram& program) {
+  LABSTOR_RETURN_IF_ERROR(program.Validate());
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(scope));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(ipc::EncodedChainBytes()));
+  req->op = ipc::OpCode::kChainRegister;
+  req->SetPath(scope);
+  req->length = ipc::EncodedChainBytes();
+  ipc::EncodeChainProgram(program, req->data);
+  return RoundTrip(*req, *stack);
+}
+
+Result<uint64_t> GenericFs::ExecChain(uint32_t chain_id,
+                                      const std::string& scope,
+                                      uint64_t start_offset,
+                                      std::span<uint8_t> out) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(scope));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(out.size()));
+  req->op = ipc::OpCode::kChainExec;
+  req->chain_id = chain_id;
+  req->SetPath(scope);
+  req->offset = start_offset;
+  req->length = out.size();
+  LABSTOR_RETURN_IF_ERROR(RoundTrip(*req, *stack));
+  const uint64_t copied = std::min<uint64_t>(req->result_u64, out.size());
+  if (copied > 0) std::memcpy(out.data(), req->data, copied);
+  return copied;
 }
 
 Result<int> GenericFs::Open(const std::string& path, uint16_t flags) {

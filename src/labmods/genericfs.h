@@ -16,6 +16,7 @@
 
 #include "core/client.h"
 #include "core/stack.h"
+#include "ipc/chain.h"
 
 namespace labstor::labmods {
 
@@ -54,6 +55,17 @@ class GenericFs {
   // format is an internal line protocol: "fd<TAB>path".
   Status SaveStateForExecve();
   Status RestoreStateAfterExecve();
+
+  // --- pushdown chains (DESIGN.md §12) ---
+  // Register / run a sandboxed op chain on the stack `scope` resolves
+  // to (the stack root must be the pushdown mod). Block-oriented
+  // chains (kReadAt/kDerefOffset/kWriteAt) run against the raw device
+  // layers beneath it; `start_offset` seeds the chain's cursor and
+  // `out` receives the final scratch contents.
+  Status RegisterChain(const std::string& scope,
+                       const ipc::ChainProgram& program);
+  Result<uint64_t> ExecChain(uint32_t chain_id, const std::string& scope,
+                             uint64_t start_offset, std::span<uint8_t> out);
 
   size_t open_files() const;
 

@@ -1,5 +1,6 @@
 #include "labmods/generickvs.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace labstor::labmods {
@@ -53,6 +54,37 @@ Status GenericKvs::Delete(const std::string& key) {
   req->SetPath(key);
   LABSTOR_RETURN_IF_ERROR(client_.Execute(*req, *stack));
   return req->ToStatus();
+}
+
+Status GenericKvs::RegisterChain(const std::string& scope,
+                                 const ipc::ChainProgram& program) {
+  LABSTOR_RETURN_IF_ERROR(program.Validate());
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(scope));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(ipc::EncodedChainBytes()));
+  req->op = ipc::OpCode::kChainRegister;
+  req->SetPath(scope);
+  req->length = ipc::EncodedChainBytes();
+  ipc::EncodeChainProgram(program, req->data);
+  LABSTOR_RETURN_IF_ERROR(client_.Execute(*req, *stack));
+  return req->ToStatus();
+}
+
+Result<uint64_t> GenericKvs::ExecChain(uint32_t chain_id,
+                                       const std::string& start_key,
+                                       std::span<uint8_t> out) {
+  LABSTOR_ASSIGN_OR_RETURN(stack, client_.ResolvePath(start_key));
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(req, AcquireRequest(out.size()));
+  req->op = ipc::OpCode::kChainExec;
+  req->chain_id = chain_id;
+  req->SetPath(start_key);
+  req->length = out.size();
+  LABSTOR_RETURN_IF_ERROR(client_.Execute(*req, *stack));
+  LABSTOR_RETURN_IF_ERROR(req->ToStatus());
+  const uint64_t copied = std::min<uint64_t>(req->result_u64, out.size());
+  if (copied > 0) std::memcpy(out.data(), req->data, copied);
+  return copied;
 }
 
 Result<bool> GenericKvs::Exists(const std::string& key) {

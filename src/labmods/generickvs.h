@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/client.h"
+#include "ipc/chain.h"
 
 namespace labstor::labmods {
 
@@ -21,6 +22,17 @@ class GenericKvs {
   Result<uint64_t> Get(const std::string& key, std::span<uint8_t> out);
   Status Delete(const std::string& key);
   Result<bool> Exists(const std::string& key);
+
+  // --- pushdown chains (DESIGN.md §12) ---
+  // Register `program` with the pushdown mod on the stack `scope`
+  // resolves to (any path under the stack's mount works).
+  Status RegisterChain(const std::string& scope,
+                       const ipc::ChainProgram& program);
+  // Run registered chain `chain_id` starting from `start_key`: one
+  // submission executes every hop at the device-queue layer. The final
+  // scratch contents are copied into `out`; returns bytes copied.
+  Result<uint64_t> ExecChain(uint32_t chain_id, const std::string& start_key,
+                             std::span<uint8_t> out);
 
  private:
   Result<ipc::Request*> AcquireRequest(uint64_t payload_bytes);

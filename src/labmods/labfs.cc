@@ -615,6 +615,11 @@ Status LabFsMod::StateRepair() {
         it->second->size = record.a;
         return Status::Ok();
       }
+      case LogOp::kTxnBegin:
+      case LogOp::kTxnCommit:
+        // Pushdown chain markers: LabFS has no chain-mutable state, so
+        // its replay treats the bracket as a no-op.
+        return Status::Ok();
       case LogOp::kInvalid:
         return Status::Corruption("invalid record in log");
     }

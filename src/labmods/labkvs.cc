@@ -212,6 +212,18 @@ Status LabKvsMod::Process(ipc::Request& req, core::StackExec& exec) {
       req.result_u64 = shard.values.contains(key) ? 1 : 0;
       return Status::Ok();
     }
+    case ipc::OpCode::kTxnBegin:
+    case ipc::OpCode::kTxnCommit: {
+      // Pushdown chain atomicity markers (DESIGN.md §12): append the
+      // journal record and stop — markers never reach the device path.
+      LogRecord record;
+      record.op = req.op == ipc::OpCode::kTxnBegin ? LogOp::kTxnBegin
+                                                   : LogOp::kTxnCommit;
+      record.inode_id = req.chain_id;
+      LABSTOR_RETURN_IF_ERROR(log_->Append(req.worker, record).status());
+      LogCharge(exec, req.worker);
+      return Status::Ok();
+    }
     default:
       return Status::InvalidArgument(std::string("labkvs cannot handle op ") +
                                      std::string(ipc::OpCodeName(req.op)));
@@ -249,7 +261,7 @@ Status LabKvsMod::StateRepair() {
   };
   std::unordered_map<uint64_t, Rebuild> by_id;
   uint64_t max_id = 0;
-  LABSTOR_RETURN_IF_ERROR(log_->Replay([&](const LogRecord& record) -> Status {
+  const auto apply = [&](const LogRecord& record) -> Status {
     switch (record.op) {
       case LogOp::kCreate: {
         Rebuild entry;
@@ -280,6 +292,34 @@ Status LabKvsMod::StateRepair() {
       default:
         return Status::Ok();
     }
+  };
+  // Transaction gating (pushdown chains): records between a kTxnBegin
+  // and its kTxnCommit are buffered and applied atomically at the
+  // commit; an unmatched begin at the end of the scan — the crash hit
+  // mid-chain — discards the buffered suffix, so a partially executed
+  // RMW chain either fully replays or leaves no acked effect.
+  std::vector<LogRecord> txn_buffer;
+  bool txn_open = false;
+  LABSTOR_RETURN_IF_ERROR(log_->Replay([&](const LogRecord& record) -> Status {
+    if (record.op == LogOp::kTxnBegin) {
+      txn_open = true;
+      txn_buffer.clear();  // an unmatched earlier begin stays discarded
+      return Status::Ok();
+    }
+    if (record.op == LogOp::kTxnCommit) {
+      for (const LogRecord& buffered : txn_buffer) {
+        const Status applied = apply(buffered);
+        if (!applied.ok()) return applied;
+      }
+      txn_buffer.clear();
+      txn_open = false;
+      return Status::Ok();
+    }
+    if (txn_open) {
+      txn_buffer.push_back(record);
+      return Status::Ok();
+    }
+    return apply(record);
   }));
   for (auto& [id, entry] : by_id) {
     Shard& shard = shards_[ShardFor(entry.key)];

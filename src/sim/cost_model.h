@@ -53,6 +53,8 @@ struct SoftwareCosts {
 
   // --- misc ---
   Time kvs_op = 700;              // LabKVS hash-table put/get bookkeeping
+  Time pushdown_step = 250;       // chain interpreter per-step dispatch
+  Time pushdown_register = 900;   // chain decode + validate + install
   Time compress_per_byte_x10 = 6; // 0.6 ns/byte (~1.6 GB/s zlib-class)
 
   Time CopyCost(uint64_t bytes) const {

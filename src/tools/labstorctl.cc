@@ -28,6 +28,11 @@
 //       deterministic workload with one node join mid-stream, and
 //       print the topology: shard-map generation, per-node state and
 //       net queue depths, and routing/migration counters.
+//   labstorctl pushdown [depth] [execs]
+//       Boot a pushdown stack, register the canonical pointer-chase
+//       (given depth) and read-modify-write chains, execute them, and
+//       list each registered chain with its execution count plus the
+//       cumulative crossings-saved counters from telemetry.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,12 +41,15 @@
 
 #include "cluster/cluster.h"
 #include "core/client.h"
+#include "core/sim_runtime.h"
 #include "faultinject/faultinject.h"
 #include "core/module_registry.h"
 #include "core/runtime.h"
 #include "core/runtime_config.h"
 #include "core/stack.h"
+#include "ipc/chain.h"
 #include "labmods/genericfs.h"
+#include "labmods/pushdown.h"
 #include "simdev/registry.h"
 #include "telemetry/telemetry.h"
 
@@ -59,7 +67,8 @@ int Usage() {
                "  stats <runtime.yaml> <stack.yaml>\n"
                "  trace <runtime.yaml> <stack.yaml> [out.json]\n"
                "  faults <runtime.yaml> <stack.yaml> <faults.yaml>\n"
-               "  cluster [nodes] [ops]\n");
+               "  cluster [nodes] [ops]\n"
+               "  pushdown [depth] [execs]\n");
   return 2;
 }
 
@@ -383,6 +392,168 @@ sim::Task<void> ClusterWorkload(sim::Environment* env,
   (void)env;
 }
 
+// ---------------------------------------------------------------
+// pushdown: boot a pushdown stack, register the canonical chains,
+// run them, and dump per-chain execution counts plus the cumulative
+// crossings-saved counters from telemetry.
+// ---------------------------------------------------------------
+
+sim::Task<void> PushdownWorkload(sim::Environment* env, core::SimRuntime* rt,
+                                 core::Stack* stack, uint32_t depth,
+                                 uint64_t execs, Status* out) {
+  const auto key = [](uint32_t i) {
+    return "kvs::/ctl/k" + std::to_string(i);
+  };
+  // Register the canonical chains over the wire (kChainRegister), the
+  // same framing a remote client uses — so the registration counter in
+  // telemetry ticks too.
+  for (const ipc::ChainProgram& program :
+       {ipc::BuildPointerChaseChain(1, depth, 32), ipc::BuildRmwChain(2, 0, 7)}) {
+    std::vector<uint8_t> encoded(sizeof(ipc::ChainProgram));
+    ipc::EncodeChainProgram(program, encoded.data());
+    ipc::Request req;
+    req.op = ipc::OpCode::kChainRegister;
+    req.client_pid = 1;
+    req.length = encoded.size();
+    req.data = encoded.data();
+    req.SetPath("kvs::/ctl/");
+    const Status st = co_await rt->Execute(1, *stack, req);
+    if (!st.ok()) {
+      *out = st;
+      co_return;
+    }
+  }
+  // Seed the pointer chase k0 -> ... -> k(depth-1); the RMW chain
+  // shares k(depth-1) as its counter (first 8 value bytes).
+  for (uint32_t i = 0; i < depth; ++i) {
+    std::vector<uint8_t> value(64, static_cast<uint8_t>(0xC0 + i));
+    if (i + 1 < depth) {
+      std::fill(value.begin(), value.begin() + 32, uint8_t{0});
+      const std::string next = key(i + 1);
+      std::memcpy(value.data(), next.data(), next.size());
+    } else {
+      const uint64_t counter = 1000;
+      std::memcpy(value.data(), &counter, sizeof(counter));
+    }
+    ipc::Request req;
+    req.op = ipc::OpCode::kPut;
+    req.client_pid = 1;
+    req.length = value.size();
+    req.data = value.data();
+    req.SetPath(key(i));
+    const Status st = co_await rt->Execute(1, *stack, req);
+    if (!st.ok()) {
+      *out = st;
+      co_return;
+    }
+  }
+  std::vector<uint8_t> buf(4096);
+  for (uint64_t i = 0; i < execs; ++i) {
+    // Alternate chase (chain 1, starts at k0) and RMW (chain 2,
+    // increments the counter stored at the chase's tail key).
+    ipc::Request req;
+    req.op = ipc::OpCode::kChainExec;
+    req.client_pid = 1;
+    req.chain_id = i % 2 == 0 ? 1 : 2;
+    req.length = buf.size();
+    req.data = buf.data();
+    req.SetPath(req.chain_id == 1 ? key(0) : key(depth - 1));
+    const Status st = co_await rt->Execute(1, *stack, req);
+    if (!st.ok()) {
+      *out = st;
+      co_return;
+    }
+  }
+  (void)env;
+}
+
+int PushdownStatus(uint32_t depth, uint64_t execs) {
+  sim::Environment env;
+  telemetry::Telemetry::Options topts;
+  topts.virtual_time = true;
+  telemetry::Telemetry tel(topts);
+  simdev::DeviceRegistry devices(&env);
+  if (!devices.Create(simdev::DeviceParams::NvmeP3700()).ok()) {
+    std::fprintf(stderr, "device create failed\n");
+    return 1;
+  }
+  core::SimRuntime rt(env, devices, /*workers=*/2);
+  rt.AttachTelemetry(&tel);
+  auto stack = rt.MountYaml(
+      "mount: kvs::/ctl\n"
+      "rules:\n"
+      "  exec_mode: async\n"
+      "dag:\n"
+      "  - mod: pushdown\n"
+      "    uuid: pd_ctl\n"
+      "    outputs: [kvs_ctl]\n"
+      "  - mod: labkvs\n"
+      "    uuid: kvs_ctl\n"
+      "    params:\n"
+      "      device: nvme0\n"
+      "      log_records_per_worker: 8192\n"
+      "    outputs: [sched_ctl]\n"
+      "  - mod: noop_sched\n"
+      "    uuid: sched_ctl\n"
+      "    outputs: [drv_ctl]\n"
+      "  - mod: kernel_driver\n"
+      "    uuid: drv_ctl\n"
+      "    params:\n"
+      "      device: nvme0\n");
+  if (!stack.ok()) {
+    std::fprintf(stderr, "mount: %s\n", stack.status().ToString().c_str());
+    return 1;
+  }
+  rt.RegisterQueue(1, 3 * sim::kUs);
+  auto mod = rt.registry().Find("pd_ctl");
+  auto* pd = mod.ok() ? dynamic_cast<labmods::PushdownMod*>(*mod) : nullptr;
+  if (pd == nullptr) {
+    std::fprintf(stderr, "pushdown mod not found\n");
+    return 1;
+  }
+  Status workload_status;
+  env.Spawn(
+      PushdownWorkload(&env, &rt, *stack, depth, execs, &workload_status));
+  env.Run();
+  if (!workload_status.ok()) {
+    std::fprintf(stderr, "pushdown workload: %s\n",
+                 workload_status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("registered chains:\n");
+  std::printf("%-6s %-6s %-8s %-6s %-11s %-6s %-16s %s\n", "chain", "steps",
+              "mutates", "epoch", "executions", "steps", "crossings_saved",
+              "saved_ns");
+  for (const labmods::PushdownMod::ChainInfo& c : pd->ListChains()) {
+    std::printf("%-6u %-6u %-8s %-6llu %-11llu %-6llu %-16llu %llu\n", c.id,
+                c.num_steps, c.mutates ? "yes" : "no",
+                static_cast<unsigned long long>(c.registered_epoch),
+                static_cast<unsigned long long>(c.executions),
+                static_cast<unsigned long long>(c.steps_executed),
+                static_cast<unsigned long long>(c.crossings_saved),
+                static_cast<unsigned long long>(c.saved_ns));
+  }
+  const auto counter = [&](const char* name) {
+    return static_cast<unsigned long long>(
+        tel.metrics().GetCounter(name)->Value());
+  };
+  std::printf("telemetry (cumulative):\n");
+  std::printf("  pushdown.chains.registered  %llu\n",
+              counter("pushdown.chains.registered"));
+  std::printf("  pushdown.chains.executed    %llu\n",
+              counter("pushdown.chains.executed"));
+  std::printf("  pushdown.steps.executed     %llu\n",
+              counter("pushdown.steps.executed"));
+  std::printf("  pushdown.hops.collapsed     %llu\n",
+              counter("pushdown.hops.collapsed"));
+  std::printf("  pushdown.crossings.saved    %llu\n",
+              counter("pushdown.crossings.saved"));
+  std::printf("  pushdown.crossings.saved_ns %llu\n",
+              counter("pushdown.crossings.saved_ns"));
+  return 0;
+}
+
 int ClusterStatus(uint32_t nodes, uint64_t ops) {
   sim::Environment env;
   cluster::ClusterConfig config;
@@ -467,6 +638,15 @@ int main(int argc, char** argv) {
     const uint64_t ops = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 64;
     if (nodes == 0 || ops == 0) return Usage();
     return ClusterStatus(nodes, ops);
+  }
+  if (std::strcmp(argv[1], "pushdown") == 0 && argc <= 4) {
+    const uint32_t depth =
+        argc >= 3 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10))
+                  : 8;
+    const uint64_t execs =
+        argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 16;
+    if (depth < 2 || depth > 8 || execs == 0) return Usage();
+    return PushdownStatus(depth, execs);
   }
   return Usage();
 }
