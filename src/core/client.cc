@@ -89,6 +89,9 @@ Status Client::SubmitWithBackpressure(ipc::Request& req) {
   while (true) {
     if (channel_.qp->Submit(&req)) {
       channel_.qp->total_submitted.fetch_add(1, std::memory_order_relaxed);
+      // The MMIO doorbell of the shm transport: wakes doorbell-parked
+      // workers under Options::event_wakeup, ticks a counter otherwise.
+      runtime_.RingDoorbell();
       return Status::Ok();
     }
     if (!runtime_.ipc().online()) {

@@ -38,7 +38,13 @@ class ExecTrace {
 
     // Short human/trace label: "read 4096B ch0" (+" async").
     std::string Summary() const {
-      std::string s(op == simdev::IoOp::kRead ? "read" : "write");
+      std::string s;
+      switch (op) {
+        case simdev::IoOp::kRead: s = "read"; break;
+        case simdev::IoOp::kWrite: s = "write"; break;
+        case simdev::IoOp::kZoneReset: s = "zone_reset"; break;
+        case simdev::IoOp::kZoneFinish: s = "zone_finish"; break;
+      }
       s += ' ';
       s += std::to_string(length);
       s += "B ch";
@@ -107,13 +113,23 @@ class ExecTrace {
           ->Add(t.total, worker);
     }
     uint64_t read_ops = 0, read_bytes = 0, write_ops = 0, write_bytes = 0;
+    uint64_t zone_ops = 0;
     for (const DevOp& op : dev_ops_) {
-      if (op.op == simdev::IoOp::kRead) {
-        ++read_ops;
-        read_bytes += op.length;
-      } else {
-        ++write_ops;
-        write_bytes += op.length;
+      switch (op.op) {
+        case simdev::IoOp::kRead:
+          ++read_ops;
+          read_bytes += op.length;
+          break;
+        case simdev::IoOp::kWrite:
+          ++write_ops;
+          write_bytes += op.length;
+          break;
+        case simdev::IoOp::kZoneReset:
+        case simdev::IoOp::kZoneFinish:
+          // Zone-management commands move no data — counting them as
+          // 0-byte writes would skew device.write.ops.
+          ++zone_ops;
+          break;
       }
     }
     if (read_ops != 0) {
@@ -123,6 +139,9 @@ class ExecTrace {
     if (write_ops != 0) {
       metrics.GetCounter("device.write.ops")->Add(write_ops, worker);
       metrics.GetCounter("device.write.bytes")->Add(write_bytes, worker);
+    }
+    if (zone_ops != 0) {
+      metrics.GetCounter("device.zone.ops")->Add(zone_ops, worker);
     }
   }
 

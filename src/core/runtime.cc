@@ -47,25 +47,30 @@ class IdleBackoff {
     cur_sleep_ = sleep_min_;
   }
 
-  void Idle() {
+  // Advance the ladder one idle pass. Spin/yield rungs pause inline
+  // and return zero; sleep rungs return the duration and leave the
+  // actual wait to the caller — a worker on the doorbell parks on the
+  // condvar for that long instead of a blind sleep_for.
+  std::chrono::nanoseconds Idle() {
     if (idle_passes_ < spin_polls_) {
       ++idle_passes_;
       CpuRelax();
-      return;
+      return std::chrono::nanoseconds::zero();
     }
     if (idle_passes_ < spin_polls_ + yield_polls_) {
       ++idle_passes_;
       std::this_thread::yield();
-      return;
+      return std::chrono::nanoseconds::zero();
     }
-    std::this_thread::sleep_for(cur_sleep_);
+    const std::chrono::nanoseconds d = cur_sleep_;
     cur_sleep_ = std::min(cur_sleep_ * 2, sleep_max_);
+    return d;
   }
 
-  void SleepAtCeiling() {
+  std::chrono::nanoseconds SleepAtCeiling() {
     idle_passes_ = spin_polls_ + yield_polls_;
     cur_sleep_ = sleep_max_;
-    std::this_thread::sleep_for(sleep_max_);
+    return sleep_max_;
   }
 
  private:
@@ -155,6 +160,12 @@ void Runtime::StartThreads() {
 
 void Runtime::StopThreads() {
   stop_.store(true, std::memory_order_release);
+  // Wake doorbell-parked workers so shutdown doesn't wait out their
+  // park timeout.
+  {
+    std::lock_guard<std::mutex> lock(doorbell_mu_);
+  }
+  doorbell_cv_.notify_all();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -349,8 +360,33 @@ void Runtime::WorkerLoop(size_t worker_id) {
   // the next idle moment should cede the core wholesale instead of
   // spinning. Cleared by any partial-drain working pass.
   bool bulk_traffic = false;
+  // Sleep-rung wait: fixed sleep, or (event mode) a doorbell park
+  // bounded by the same duration. `db_seen` is captured before the
+  // poll pass, so a ring racing the empty poll flips the predicate
+  // and the park returns immediately — no lost wakeup.
+  const auto sleep_or_park = [this](std::chrono::nanoseconds d,
+                                    uint64_t db_seen) {
+    if (d <= std::chrono::nanoseconds::zero()) return;
+    idle_sleeps_.fetch_add(1, std::memory_order_relaxed);
+    if (!options_.event_wakeup) {
+      std::this_thread::sleep_for(d);
+      return;
+    }
+    std::unique_lock<std::mutex> lock(doorbell_mu_);
+    const bool rung = doorbell_cv_.wait_for(lock, d, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             doorbell_seq_.load(std::memory_order_acquire) != db_seen;
+    });
+    if (rung && !stop_.load(std::memory_order_acquire)) {
+      doorbell_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
 
   while (!stop_.load(std::memory_order_acquire)) {
+    const uint64_t db_seen =
+        options_.event_wakeup
+            ? doorbell_seq_.load(std::memory_order_acquire)
+            : 0;
     const uint64_t generation =
         assign_generation_.load(std::memory_order_acquire);
     if (generation != seen_generation) {
@@ -464,11 +500,22 @@ void Runtime::WorkerLoop(size_t worker_id) {
       idle.Reset();
       bulk_traffic = max_drain >= batch_max;
     } else if (bulk_traffic) {
-      idle.SleepAtCeiling();
+      sleep_or_park(idle.SleepAtCeiling(), db_seen);
     } else {
-      idle.Idle();
+      sleep_or_park(idle.Idle(), db_seen);
     }
   }
+}
+
+void Runtime::RingDoorbell() {
+  doorbell_rings_.fetch_add(1, std::memory_order_relaxed);
+  doorbell_seq_.fetch_add(1, std::memory_order_release);
+  if (!options_.event_wakeup) return;
+  // Empty critical section: orders the sequence bump against a waiter
+  // mid-predicate-check, so the notify below can never fire in the
+  // window between its last predicate evaluation and the park.
+  { std::lock_guard<std::mutex> lock(doorbell_mu_); }
+  doorbell_cv_.notify_all();
 }
 
 void Runtime::AdminLoop() {

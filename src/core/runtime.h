@@ -32,6 +32,7 @@
 #include <atomic>
 #include <unordered_map>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -70,6 +71,14 @@ class Runtime {
     uint32_t worker_yield_polls = 16;
     std::chrono::microseconds worker_idle_sleep_min{4};
     std::chrono::microseconds worker_idle_sleep{100};  // backoff ceiling
+    // Event-driven wakeup (DESIGN.md §13): when set, a worker that
+    // reaches the sleep rungs of the idle ladder parks on the runtime
+    // doorbell instead of a fixed-length sleep — the client's Submit
+    // rings it, so low-load dequeue latency is one condvar wakeup
+    // rather than a sleep-quantum gamble. The spin/yield rungs are
+    // untouched (busy traffic never reaches the doorbell), and false
+    // means the exact pre-doorbell ladder, bit for bit.
+    bool event_wakeup = false;
     ipc::IpcManager::Options ipc;
     StackNamespace::Options ns;
     // Optional metrics/tracing sink (not owned; must outlive the
@@ -160,6 +169,24 @@ class Runtime {
   // Current assignment-table generation (bumped by every Rebalance).
   uint64_t assignment_generation() const {
     return assign_generation_.load(std::memory_order_acquire);
+  }
+  // Submission doorbell: clients ring after every enqueue. With
+  // event_wakeup the ring wakes doorbell-parked workers; without, it
+  // only ticks the counter (so the polled/event comparison can report
+  // rings in both configurations).
+  void RingDoorbell();
+  uint64_t doorbell_rings() const {
+    return doorbell_rings_.load(std::memory_order_relaxed);
+  }
+  // Doorbell waits that ended because a ring arrived (vs timing out at
+  // the backoff ceiling).
+  uint64_t doorbell_wakeups() const {
+    return doorbell_wakeups_.load(std::memory_order_relaxed);
+  }
+  // Idle passes that reached a sleep rung (fixed sleep or doorbell
+  // park) — the idle-poll work the spin/yield rungs did not absorb.
+  uint64_t idle_sleeps() const {
+    return idle_sleeps_.load(std::memory_order_relaxed);
   }
   // Copy of worker_id's currently-published queue list (test/debug
   // visibility into the lock-free table).
@@ -268,6 +295,20 @@ class Runtime {
   mutable std::mutex assign_mu_;
   std::shared_ptr<const AssignmentTable> assign_table_;
   std::atomic<uint64_t> assign_generation_{0};
+
+  // Doorbell protocol: Submit bumps the sequence (release) and
+  // notifies; a worker captures the sequence before its poll pass and
+  // parks only while it is unchanged — a ring landing between the
+  // empty poll and the park flips the predicate, so no wakeup is ever
+  // lost. The mutex guards only the park/notify rendezvous; the hot
+  // submit path touches one atomic and, in event mode, an uncontended
+  // lock/unlock.
+  std::atomic<uint64_t> doorbell_seq_{0};
+  std::mutex doorbell_mu_;
+  std::condition_variable doorbell_cv_;
+  std::atomic<uint64_t> doorbell_rings_{0};
+  std::atomic<uint64_t> doorbell_wakeups_{0};
+  std::atomic<uint64_t> idle_sleeps_{0};
 };
 
 }  // namespace labstor::core

@@ -17,7 +17,22 @@ SimRuntime::SimRuntime(sim::Environment& env, simdev::DeviceRegistry& devices,
   }
   busy_ns_.assign(num_workers, 0);
   worker_requests_.assign(num_workers, 0);
+  worker_irq_waits_.assign(num_workers, 0);
   worker_active_.assign(num_workers, true);
+}
+
+void SimRuntime::SetNumaTopology(const ipc::NumaTopology& topo,
+                                 const sim::NumaCosts& costs,
+                                 bool rehome_on_rebalance) {
+  numa_topo_ = topo;
+  numa_costs_ = costs;
+  rehome_on_rebalance_ = rehome_on_rebalance;
+  numa_enabled_ = topo.nodes > 1 && topo.cores_per_node > 0;
+  // Re-home queues registered before the topology was known.
+  for (auto& [qid, state] : queues_) {
+    state.home_node =
+        numa_topo_.NodeOfCore(static_cast<uint32_t>(state.worker));
+  }
 }
 
 Result<Stack*> SimRuntime::Mount(const StackSpec& spec) {
@@ -39,6 +54,7 @@ void SimRuntime::RegisterQueue(uint32_t qid, sim::Time est_processing) {
   QueueState state;
   state.est_processing = est_processing;
   state.worker = qid % workers_.size();  // provisional round-robin
+  state.home_node = numa_topo_.NodeOfCore(static_cast<uint32_t>(state.worker));
   queues_[qid] = state;
 }
 
@@ -51,6 +67,19 @@ void SimRuntime::ApplyAssignment(const Assignment& assignment) {
       if (it != queues_.end()) {
         it->second.worker = w;
         worker_active_[w] = true;
+        if (numa_enabled_ && rehome_on_rebalance_) {
+          const uint32_t wnode =
+              numa_topo_.NodeOfCore(static_cast<uint32_t>(w));
+          if (wnode != it->second.home_node) {
+            // Migrate the queue's segment to the new worker's socket
+            // so its steady-state access is local again.
+            it->second.home_node = wnode;
+            ++queues_rehomed_;
+            if (Traced()) {
+              tel_->metrics().GetCounter("numa.queue.rehomed")->Inc(w);
+            }
+          }
+        }
       }
     }
   }
@@ -103,9 +132,33 @@ void SimRuntime::StartRebalancer(WorkOrchestrator* policy, sim::Time period) {
 sim::Task<void> SimRuntime::TimedDevOp(ExecTrace::DevOp op, uint32_t worker) {
   const sim::Time t0 = env_.now();
   co_await op.device->OccupyTimed(op.op, op.channel, op.offset, op.length);
+  // Completion delivery (DESIGN.md §13): a polled CQE is observed the
+  // moment it lands (the observation cost is the spin the waiter is
+  // already burning); an interrupt-mode device charges the controller's
+  // delivery latency plus the software IRQ path before the waiter sees
+  // the CQE — in exchange the waiter spun zero cycles meanwhile (see
+  // AvgBusyCores). Functional bytes moved at dispatch time, so the
+  // recovery-visible state is identical across modes.
+  sim::Time delivery = 0;
+  if (op.device->completion_mode() == simdev::CompletionMode::kInterrupt) {
+    delivery = costs_.irq_completion + op.device->params().interrupt_latency;
+    co_await env_.Delay(delivery);
+    ++interrupt_completions_;
+  } else {
+    ++polled_completions_;
+  }
   if (Traced()) {
     tel_->trace().Span(worker, telemetry::kCatDevice, op.Summary(), t0,
                        env_.now() - t0, "channel", op.channel);
+    tel_->metrics()
+        .GetCounter(delivery != 0 ? "device.completion.interrupts"
+                                  : "device.completion.polled")
+        ->Inc(worker);
+    if (delivery != 0) {
+      tel_->metrics()
+          .GetHistogram("device.wakeup.latency_ns")
+          ->Record(delivery, worker);
+    }
   }
 }
 
@@ -184,6 +237,21 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
   ++queue.arrivals_in_epoch;
   sim::Resource& worker = *workers_[queue.worker % workers_.size()];
   const size_t wid = queue.worker % workers_.size();
+  // Cross-socket queue access: a worker draining a queue whose segment
+  // lives on another node pays interconnect hops per visit (the
+  // request lines on the drain, a bare hop on the completion post).
+  sim::Time numa_drain = 0, numa_reap = 0;
+  if (numa_enabled_) {
+    const uint32_t wnode = numa_topo_.NodeOfCore(static_cast<uint32_t>(wid));
+    if (wnode != queue.home_node) {
+      numa_drain = numa_costs_.RemoteAccess(req.length);
+      numa_reap = numa_costs_.remote_hop;
+      ++remote_queue_accesses_;
+      if (Traced()) {
+        tel_->metrics().GetCounter("numa.access.remote")->Inc(wid);
+      }
+    }
+  }
   const sim::Time enqueued = env_.now();
   co_await worker.Acquire();
   --queue.backlog;
@@ -197,10 +265,10 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
     tel_->metrics().GetHistogram("ipc.queue.depth")->Record(queue.backlog, wid);
   }
   sim::Time start = env_.now();
-  co_await env_.Delay(costs_.worker_poll + Perturb("worker_poll") +
-                      trace.TotalSoftware());
+  co_await env_.Delay(costs_.worker_poll + numa_drain +
+                      Perturb("worker_poll") + trace.TotalSoftware());
   if (Traced()) {
-    emit_mod_spans(trace, start + costs_.worker_poll,
+    emit_mod_spans(trace, start + costs_.worker_poll + numa_drain,
                    static_cast<uint32_t>(wid));
   }
   busy_ns_[wid] += env_.now() - start;
@@ -210,10 +278,15 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
   // the client polls the CQ for the data ops, while async (log/group-
   // commit) writes never gate completion.
   bool waited_on_device = false;
+  bool irq_wait = false;
   for (const ExecTrace::DevOp& op : trace.device_ops()) {
     if (op.async) {
       env_.Spawn(TimedDevOp(op, static_cast<uint32_t>(wid)));
     } else {
+      if (op.device->completion_mode() ==
+          simdev::CompletionMode::kInterrupt) {
+        irq_wait = true;
+      }
       co_await TimedDevOp(op, static_cast<uint32_t>(wid));
       waited_on_device = true;
     }
@@ -226,9 +299,12 @@ sim::Task<Status> SimRuntime::Execute(uint32_t qid, Stack& stack,
     co_await worker.Acquire();
     start = env_.now();
     co_await env_.Delay(costs_.worker_poll + costs_.completion_post +
-                        Perturb("completion"));
+                        numa_reap + Perturb("completion"));
     busy_ns_[wid] += env_.now() - start;
     ++worker_requests_[wid];
+    // An interrupt-delivered completion woke the worker — it slept
+    // through the device time instead of burning its spin budget.
+    if (irq_wait) ++worker_irq_waits_[wid];
     worker.Release();
   }
   co_await env_.Delay(costs_.shm_complete + Perturb("shm_complete"));
@@ -251,7 +327,14 @@ double SimRuntime::AvgBusyCores(sim::Time elapsed) const {
   // policy saves by decommissioning workers.
   double total = 0;
   for (size_t w = 0; w < workers_.size(); ++w) {
-    const double spin = static_cast<double>(worker_requests_[w]) *
+    // Interrupt-delivered completions replace a spin gap with a sleep:
+    // the worker visits still happened (worker_requests_), but the
+    // idle-poll budget for those gaps was never burned.
+    const uint64_t spinning_gaps =
+        worker_requests_[w] > worker_irq_waits_[w]
+            ? worker_requests_[w] - worker_irq_waits_[w]
+            : 0;
+    const double spin = static_cast<double>(spinning_gaps) *
                         static_cast<double>(costs_.worker_spin_cap);
     const double core_ns =
         std::min(static_cast<double>(elapsed),

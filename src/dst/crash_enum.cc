@@ -105,6 +105,15 @@ Result<CrashEnumReport> EnumerateCrashPoints(
                    std::min(step_boundary, journal.entries()), 0, invariants,
                    ledger, schedule, report));
   }
+  // Interrupt-delivery boundaries: the durable prefix as of each
+  // simulated IRQ — the op's writes persisted, the waiter never saw
+  // the completion. Recovery must treat these like any other crash.
+  for (const size_t irq_boundary : ledger.interrupt_boundaries) {
+    LABSTOR_RETURN_IF_ERROR(
+        VisitPoint(factory, journal,
+                   std::min(irq_boundary, journal.entries()), 0, invariants,
+                   ledger, schedule, report));
+  }
   return report;
 }
 

@@ -60,6 +60,13 @@ struct WorkloadLedger {
   // prefixes, so a crash at EVERY chain-step boundary is visited even
   // when the step itself produced no journal append.
   std::vector<size_t> chain_step_boundaries;
+  // Durable-journal lengths observed at interrupt-delivery points: for
+  // a device in kInterrupt mode the workload records journal.entries()
+  // where the simulated IRQ would fire (after the device op, before
+  // the waiter resumes). A crash in that window — op durable, host not
+  // yet notified — is the classic lost-completion case; the enumerator
+  // reconstructs each such prefix like the chain-step boundaries.
+  std::vector<size_t> interrupt_boundaries;
 };
 
 using RigFactory = std::function<Result<std::unique_ptr<CrashRig>>()>;

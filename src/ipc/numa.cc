@@ -1,0 +1,75 @@
+#include "ipc/numa.h"
+
+#include <algorithm>
+
+namespace labstor::ipc {
+
+NumaSegmentAllocator::NumaSegmentAllocator(ShMemManager& shm,
+                                           NumaTopology topo,
+                                           size_t per_node_budget)
+    : shm_(shm),
+      topo_(topo),
+      per_node_budget_(per_node_budget),
+      node_used_(std::max<uint32_t>(topo.nodes, 1), 0) {}
+
+Result<ShMemSegment*> NumaSegmentAllocator::CreateForCore(
+    const Credentials& owner, uint32_t core, size_t size) {
+  return CreateOnNode(owner, topo_.NodeOfCore(core), size);
+}
+
+Result<ShMemSegment*> NumaSegmentAllocator::CreateOnNode(
+    const Credentials& owner, uint32_t node, size_t size) {
+  uint32_t chosen = 0;
+  bool remote = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint32_t preferred = node % node_used_.size();
+    if (node_used_[preferred] + size <= per_node_budget_) {
+      chosen = preferred;
+    } else {
+      // Preferred node exhausted: spill to the least-loaded other node
+      // rather than failing — remote traffic beats no traffic, and the
+      // spill count tells the operator the budget is wrong.
+      size_t best = per_node_budget_ + 1;
+      bool found = false;
+      for (uint32_t n = 0; n < node_used_.size(); ++n) {
+        if (n == preferred) continue;
+        if (node_used_[n] + size <= per_node_budget_ &&
+            node_used_[n] < best) {
+          best = node_used_[n];
+          chosen = n;
+          found = true;
+        }
+      }
+      if (!found) {
+        stats_.failed_allocs.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "no NUMA node can fit a " + std::to_string(size) +
+            "-byte segment (per-node budget " +
+            std::to_string(per_node_budget_) + ")");
+      }
+      remote = true;
+    }
+    node_used_[chosen] += size;
+  }
+  auto result = shm_.CreateSegment(owner, size, chosen);
+  if (!result.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    node_used_[chosen] -= size;
+    return result;
+  }
+  if (remote) {
+    stats_.remote_allocs.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.local_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+size_t NumaSegmentAllocator::node_used_bytes(uint32_t node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node >= node_used_.size()) return 0;
+  return node_used_[node];
+}
+
+}  // namespace labstor::ipc

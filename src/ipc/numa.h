@@ -1,0 +1,90 @@
+// Simulated NUMA topology and NUMA-aware shared-memory placement
+// (DESIGN.md §13).
+//
+// The 256-virtual-core runtime spreads workers across sockets; a
+// worker draining a submission queue whose segment lives on another
+// socket pays interconnect hops the local case does not
+// (sim::NumaCosts). This header supplies the two pieces the rest of
+// the stack builds on:
+//
+//   * NumaTopology — core → node mapping for the simulated machine
+//     (uniform nodes of cores_per_node cores, the shape of the
+//     testbed's dual-socket hosts scaled up);
+//   * NumaSegmentAllocator — places queue/scratch segments on the node
+//     of the core that will touch them, within per-node capacity
+//     budgets; when the preferred node is exhausted it falls back to
+//     the least-loaded remote node and counts the spill, so telemetry
+//     shows exactly how much traffic became remote instead of failing
+//     the allocation.
+//
+// Steady-state queries (NodeOfCore, stats, per-node usage) allocate
+// nothing: all bookkeeping is sized at construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ipc/shmem.h"
+
+namespace labstor::ipc {
+
+struct NumaTopology {
+  uint32_t nodes = 1;
+  // Cores per node; 0 means "everything on node 0" (NUMA-oblivious).
+  uint32_t cores_per_node = 0;
+
+  uint32_t NodeOfCore(uint32_t core) const {
+    if (nodes <= 1 || cores_per_node == 0) return 0;
+    return (core / cores_per_node) % nodes;
+  }
+  bool SameNode(uint32_t core_a, uint32_t core_b) const {
+    return NodeOfCore(core_a) == NodeOfCore(core_b);
+  }
+
+  // The dual-socket testbed shape scaled to `total_cores` (e.g. the
+  // 256-virtual-core runtime → 2 nodes x 128 cores).
+  static NumaTopology DualSocket(uint32_t total_cores) {
+    NumaTopology t;
+    t.nodes = 2;
+    t.cores_per_node = total_cores >= 2 ? total_cores / 2 : 1;
+    return t;
+  }
+};
+
+class NumaSegmentAllocator {
+ public:
+  struct Stats {
+    std::atomic<uint64_t> local_allocs{0};
+    std::atomic<uint64_t> remote_allocs{0};   // preferred node full, spilled
+    std::atomic<uint64_t> failed_allocs{0};   // every node full
+  };
+
+  // `per_node_budget` caps the bytes of segment backing each node
+  // donates (the simulated per-socket DRAM reserved for queues).
+  NumaSegmentAllocator(ShMemManager& shm, NumaTopology topo,
+                       size_t per_node_budget);
+
+  // Place a segment for the given core: preferred node first, then the
+  // least-loaded other node (counted as a remote spill), else
+  // ResourceExhausted.
+  Result<ShMemSegment*> CreateForCore(const Credentials& owner, uint32_t core,
+                                      size_t size);
+  Result<ShMemSegment*> CreateOnNode(const Credentials& owner, uint32_t node,
+                                     size_t size);
+
+  const NumaTopology& topology() const { return topo_; }
+  const Stats& stats() const { return stats_; }
+  size_t node_used_bytes(uint32_t node) const;
+  size_t per_node_budget() const { return per_node_budget_; }
+
+ private:
+  ShMemManager& shm_;
+  NumaTopology topo_;
+  size_t per_node_budget_;
+  mutable std::mutex mu_;
+  std::vector<size_t> node_used_;  // sized at construction, never grows
+  Stats stats_;
+};
+
+}  // namespace labstor::ipc

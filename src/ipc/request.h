@@ -47,6 +47,9 @@ enum class OpCode : uint16_t {
   // --- zoned-namespace interface (ZNS driver LabMods) ---
   kZoneAppend,  // write at the zone's write pointer; offset returned
   kZoneReset,   // rewind a zone's write pointer
+  kZoneOpen,    // explicitly open a zone (claims an open-zone slot)
+  kZoneClose,   // open -> closed; releases the open-zone slot
+  kZoneFinish,  // seal a zone: wp jumps to end, state becomes full
   // --- pushdown op chains (DESIGN.md §12) ---
   kChainRegister,  // payload carries an encoded ChainProgram
   kChainExec,      // run the registered chain named by Request::chain_id
@@ -188,6 +191,9 @@ inline std::string_view OpCodeName(OpCode op) {
     case OpCode::kBlkFlush: return "blk_flush";
     case OpCode::kZoneAppend: return "zone_append";
     case OpCode::kZoneReset: return "zone_reset";
+    case OpCode::kZoneOpen: return "zone_open";
+    case OpCode::kZoneClose: return "zone_close";
+    case OpCode::kZoneFinish: return "zone_finish";
     case OpCode::kChainRegister: return "chain_register";
     case OpCode::kChainExec: return "chain_exec";
     case OpCode::kTxnBegin: return "txn_begin";

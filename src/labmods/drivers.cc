@@ -2,6 +2,39 @@
 
 namespace labstor::labmods {
 
+Status ResolveCompletionMode(const yaml::NodePtr& params,
+                             simdev::SimDevice& device) {
+  const std::string mode =
+      params != nullptr ? params->GetString("completion", "device") : "device";
+  if (mode == "device") {
+    // Keep the device default — unless a hand-rolled DeviceParams set
+    // polling on a device that cannot be polled, in which case fall
+    // back to interrupts instead of spinning on queues that never
+    // fill.
+    if (device.completion_mode() == simdev::CompletionMode::kPolling &&
+        !device.params().supports_polling) {
+      device.set_completion_mode(simdev::CompletionMode::kInterrupt);
+    }
+    return Status::Ok();
+  }
+  if (mode == "polling") {
+    if (!device.params().supports_polling) {
+      return Status::FailedPrecondition(
+          "device '" + device.params().name +
+          "' does not support polled completions; attach with "
+          "`completion: interrupt` (or `device`)");
+    }
+    device.set_completion_mode(simdev::CompletionMode::kPolling);
+    return Status::Ok();
+  }
+  if (mode == "interrupt") {
+    device.set_completion_mode(simdev::CompletionMode::kInterrupt);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown completion mode: '" + mode +
+                                 "' (expected device|polling|interrupt)");
+}
+
 Status DriverModBase::Init(const yaml::NodePtr& params,
                            core::ModContext& ctx) {
   if (ctx.devices == nullptr) {
@@ -11,7 +44,7 @@ Status DriverModBase::Init(const yaml::NodePtr& params,
       params != nullptr ? params->GetString("device", "nvme0") : "nvme0";
   LABSTOR_ASSIGN_OR_RETURN(device, ctx.devices->Find(device_name));
   device_ = device;
-  return Status::Ok();
+  return ResolveCompletionMode(params, *device_);
 }
 
 Status DriverModBase::Process(ipc::Request& req, core::StackExec& exec) {

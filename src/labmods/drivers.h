@@ -21,6 +21,18 @@
 
 namespace labstor::labmods {
 
+// Resolve the effective completion-delivery mode for a device attach
+// from the driver's `completion:` param:
+//   * "device" (default) — keep the device's configured mode;
+//   * "interrupt" — switch the device to simulated-interrupt delivery;
+//   * "polling" — switch to busy-polled completions; rejected with
+//     FailedPrecondition when the device's supports_polling is false
+//     (an AHCI-era controller has no polled completion queues to spin
+//     on, so the attach must fail loudly rather than silently poll a
+//     queue that never fills).
+Status ResolveCompletionMode(const yaml::NodePtr& params,
+                             simdev::SimDevice& device);
+
 class DriverModBase : public core::LabMod {
  public:
   DriverModBase(std::string name, uint32_t version)

@@ -49,6 +49,21 @@ Status LabFsMod::Init(const yaml::NodePtr& params, core::ModContext& ctx) {
   data_blocks_ = region_blocks - log_blocks;
   alloc_ = std::make_unique<PerWorkerAllocator>(data_first_block_,
                                                 data_blocks_, workers_);
+  // Log-structured placement for zoned devices: data blocks are
+  // zone-appended instead of allocator-placed, so LabFS can sit on the
+  // zns_driver's sequential zones. The metadata log keeps overwriting
+  // its region in place — deployments put it in conventional zones.
+  if (params != nullptr && params->GetBool("zns_placement", false)) {
+    const uint64_t zone_bytes = params->GetUint("zone_size_mb", 4) << 20;
+    placement_ = std::make_unique<ZnsPlacement>(
+        data_first_block_ * kBlockSize,
+        (data_first_block_ + data_blocks_) * kBlockSize, zone_bytes,
+        kBlockSize);
+    if (placement_->num_zones() == 0) {
+      return Status::InvalidArgument(
+          "zns_placement: data region smaller than one zone");
+    }
+  }
   return Status::Ok();
 }
 
@@ -99,6 +114,16 @@ Status LabFsMod::EraseByPath(const std::string& path) {
   }
   shard.inodes.erase(it);
   return Status::Ok();
+}
+
+void LabFsMod::FreeBlock(uint32_t worker, uint64_t phys) {
+  if (placement_ != nullptr) {
+    // Nothing to hand back: the block just goes dead in its zone, and
+    // the zone becomes reclaimable once its whole contents are dead.
+    placement_->Invalidate(phys * kBlockSize);
+    return;
+  }
+  alloc_->Free(worker, BlockExtent{phys, 1});
 }
 
 void LabFsMod::LogCharge(core::StackExec& exec, uint32_t worker) {
@@ -202,7 +227,7 @@ Status LabFsMod::DoOpen(ipc::Request& req, core::StackExec& exec) {
   if ((req.flags & ipc::kOpenTrunc) != 0 && !created) {
     std::lock_guard<std::mutex> lock(inode->mu);
     for (uint64_t phys : inode->blocks) {
-      if (phys != 0) alloc_->Free(req.worker, BlockExtent{phys, 1});
+      if (phys != 0) FreeBlock(req.worker, phys);
     }
     inode->blocks.clear();
     inode->size = 0;
@@ -301,12 +326,101 @@ Status LabFsMod::ForwardData(Inode& inode, ipc::Request& req,
       ++next_fb;
     }
     run_bytes = std::min(run_bytes, length - consumed);
+    if (placement_ != nullptr) {
+      // The ZNS driver rejects I/O that crosses a zone boundary, and a
+      // physically-contiguous run can end one zone exactly where the
+      // next begins — split the forwarded request there.
+      const uint64_t start = phys * kBlockSize + intra;
+      const uint64_t zone_end =
+          (start / placement_->zone_bytes() + 1) * placement_->zone_bytes();
+      run_bytes = std::min(run_bytes, zone_end - start);
+    }
     req.op = is_write ? ipc::OpCode::kBlkWrite : ipc::OpCode::kBlkRead;
     req.offset = phys * kBlockSize + intra;
     req.length = run_bytes;
     req.data = data == nullptr ? nullptr : data + consumed;
     st = exec.Forward(req);
     consumed += run_bytes;
+  }
+  req.op = orig_op;
+  req.offset = offset;
+  req.length = length;
+  req.data = data;
+  return st;
+}
+
+Status LabFsMod::WriteZns(Inode& inode, ipc::Request& req,
+                          core::StackExec& exec) {
+  const uint64_t offset = req.offset;
+  const uint64_t length = req.length;
+  uint8_t* const data = req.data;
+  const ipc::OpCode orig_op = req.op;
+  const uint32_t worker = req.worker;
+  const uint64_t last = (offset + length + kBlockSize - 1) / kBlockSize;
+  if (inode.blocks.size() < last) inode.blocks.resize(last, 0);
+
+  alignas(8) uint8_t scratch[kBlockSize];
+  Status st;
+  uint64_t consumed = 0;
+  while (consumed < length && st.ok()) {
+    const uint64_t abs = offset + consumed;
+    const uint64_t fb = abs / kBlockSize;
+    const uint64_t intra = abs % kBlockSize;
+    const uint64_t chunk = std::min(kBlockSize - intra, length - consumed);
+    const uint64_t old_phys = inode.blocks[fb];
+    const bool partial = intra != 0 || chunk != kBlockSize;
+
+    // Sequential zones never overwrite in place: partial block writes
+    // are read-modify-write into a scratch block, then appended whole.
+    uint8_t* payload = data == nullptr ? nullptr : data + consumed;
+    if (data != nullptr && partial) {
+      if (old_phys != 0) {
+        req.op = ipc::OpCode::kBlkRead;
+        req.offset = old_phys * kBlockSize;
+        req.length = kBlockSize;
+        req.data = scratch;
+        if (st = exec.Forward(req); !st.ok()) break;
+      } else {
+        std::memset(scratch, 0, kBlockSize);
+      }
+      std::memcpy(scratch + intra, data + consumed, chunk);
+      payload = scratch;
+    }
+
+    // Pick the append target; a freshly-activated zone is reset first
+    // so the device's write pointer agrees with the policy's cursor.
+    std::unique_lock<std::mutex> io_lock(zns_write_mu_);
+    const auto target = placement_->NextAppendTarget();
+    if (!target.ok()) {
+      st = target.status();
+      break;
+    }
+    if (target->needs_reset) {
+      req.op = ipc::OpCode::kZoneReset;
+      req.offset = target->zone_start;
+      req.length = 0;
+      req.data = nullptr;
+      if (st = exec.Forward(req); !st.ok()) break;
+    }
+    req.op = ipc::OpCode::kZoneAppend;
+    req.offset = target->zone_start;
+    req.length = kBlockSize;
+    req.data = payload;
+    if (st = exec.Forward(req); !st.ok()) break;
+    // The device told us where the block landed; remap and log it.
+    const uint64_t new_phys = req.result_u64 / kBlockSize;
+    placement_->CommitAppend(req.result_u64);
+    io_lock.unlock();
+    inode.blocks[fb] = new_phys;
+    LogRecord record;
+    record.op = LogOp::kMap;
+    record.inode_id = inode.id;
+    record.a = fb;
+    record.b = new_phys;
+    record.c = 1;
+    if (st = AppendLog(record, worker, exec); !st.ok()) break;
+    if (old_phys != 0) placement_->Invalidate(old_phys * kBlockSize);
+    consumed += chunk;
   }
   req.op = orig_op;
   req.offset = offset;
@@ -324,9 +438,14 @@ Status LabFsMod::DoWrite(ipc::Request& req, core::StackExec& exec) {
     return Status::Ok();
   }
   std::lock_guard<std::mutex> lock(inode->mu);
-  LABSTOR_RETURN_IF_ERROR(
-      EnsureBlocks(*inode, req.offset, req.length, req.worker, exec));
-  LABSTOR_RETURN_IF_ERROR(ForwardData(*inode, req, exec, /*is_write=*/true));
+  if (placement_ != nullptr) {
+    LABSTOR_RETURN_IF_ERROR(WriteZns(*inode, req, exec));
+  } else {
+    LABSTOR_RETURN_IF_ERROR(
+        EnsureBlocks(*inode, req.offset, req.length, req.worker, exec));
+    LABSTOR_RETURN_IF_ERROR(
+        ForwardData(*inode, req, exec, /*is_write=*/true));
+  }
   const uint64_t end = req.offset + req.length;
   if (end > inode->size) {
     inode->size = end;
@@ -379,7 +498,7 @@ Status LabFsMod::DoUnlink(ipc::Request& req, core::StackExec& exec) {
   {
     std::lock_guard<std::mutex> lock(inode->mu);
     for (const uint64_t phys : inode->blocks) {
-      if (phys != 0) alloc_->Free(req.worker, BlockExtent{phys, 1});
+      if (phys != 0) FreeBlock(req.worker, phys);
     }
     inode->blocks.clear();
   }
@@ -508,9 +627,7 @@ Status LabFsMod::DoTruncate(ipc::Request& req, core::StackExec& exec) {
     std::lock_guard<std::mutex> lock(inode->mu);
     const uint64_t keep_blocks = (new_size + kBlockSize - 1) / kBlockSize;
     for (uint64_t fb = keep_blocks; fb < inode->blocks.size(); ++fb) {
-      if (inode->blocks[fb] != 0) {
-        alloc_->Free(req.worker, BlockExtent{inode->blocks[fb], 1});
-      }
+      if (inode->blocks[fb] != 0) FreeBlock(req.worker, inode->blocks[fb]);
     }
     if (inode->blocks.size() > keep_blocks) inode->blocks.resize(keep_blocks);
     inode->size = new_size;
@@ -540,6 +657,7 @@ Status LabFsMod::StateUpdate(core::LabMod& old) {
   data_blocks_ = prev->data_blocks_;
   alloc_ = std::move(prev->alloc_);
   log_ = std::move(prev->log_);
+  placement_ = std::move(prev->placement_);
   workers_ = prev->workers_;
   for (size_t i = 0; i < kShards; ++i) {
     std::scoped_lock lock(shards_[i].mu, prev->shards_[i].mu);
@@ -636,8 +754,26 @@ Status LabFsMod::StateRepair() {
     by_id_ = std::move(by_id);
   }
   next_inode_id_.store(max_id + 1);
-  RebuildAllocatorFromInodes();
+  if (placement_ != nullptr) {
+    RebuildPlacementFromInodes();
+  } else {
+    RebuildAllocatorFromInodes();
+  }
   return Status::Ok();
+}
+
+void LabFsMod::RebuildPlacementFromInodes() {
+  // Valid counts = one per live (inode, file-block) mapping. The
+  // active zone stays unset: the first post-recovery append activates
+  // and RESETS a fully-dead zone, so the device's residual write
+  // pointers never have to be trusted.
+  placement_->Reset();
+  std::lock_guard<std::mutex> lock(by_id_mu_);
+  for (const auto& [id, inode] : by_id_) {
+    for (const uint64_t phys : inode->blocks) {
+      if (phys != 0) placement_->MarkLive(phys * kBlockSize);
+    }
+  }
 }
 
 void LabFsMod::RebuildAllocatorFromInodes() {

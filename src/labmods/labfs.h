@@ -24,6 +24,7 @@
 #include "core/stack_exec.h"
 #include "labmods/block_allocator.h"
 #include "labmods/fslog.h"
+#include "labmods/zns_placement.h"
 
 namespace labstor::labmods {
 
@@ -57,6 +58,10 @@ class LabFsMod : public core::LabMod {
   uint64_t allocator_steals() const { return alloc_->steals(); }
   uint64_t log_records() const { return log_->records_appended(); }
   uint64_t log_torn_dropped() const { return log_->torn_records_dropped(); }
+  // Log-structured placement over a zoned namespace (zns_placement
+  // param; requires a zns_driver downstream). Null in allocator mode.
+  bool zns_placement_enabled() const { return placement_ != nullptr; }
+  const ZnsPlacement* placement() const { return placement_.get(); }
 
   // --- DST invariant surface (src/dst) ---
   const MetadataLog* log() const { return log_.get(); }
@@ -124,9 +129,17 @@ class LabFsMod : public core::LabMod {
   // along physical runs. Caller holds inode->mu.
   Status ForwardData(Inode& inode, ipc::Request& req, core::StackExec& exec,
                      bool is_write);
+  // ZNS write path: every touched file block is RMW-merged if partial
+  // and appended to the active zone; the inode remaps to wherever the
+  // device says the append landed. Caller holds inode->mu.
+  Status WriteZns(Inode& inode, ipc::Request& req, core::StackExec& exec);
+  // Return a physical block: to the allocator, or (placement mode) by
+  // decrementing its zone's valid count.
+  void FreeBlock(uint32_t worker, uint64_t phys);
   void LogCharge(core::StackExec& exec, uint32_t worker);
   Status AppendLog(LogRecord record, uint32_t worker, core::StackExec& exec);
   void RebuildAllocatorFromInodes();
+  void RebuildPlacementFromInodes();
 
   // --- configuration/state ---
   simdev::SimDevice* device_ = nullptr;
@@ -134,6 +147,11 @@ class LabFsMod : public core::LabMod {
   uint64_t data_blocks_ = 0;
   std::unique_ptr<PerWorkerAllocator> alloc_;
   std::unique_ptr<MetadataLog> log_;
+  std::unique_ptr<ZnsPlacement> placement_;
+  // Serializes pick-target → (reset) → append → commit in WriteZns:
+  // without it a worker could append into a zone between another
+  // worker's activation and its reset, and lose the block.
+  std::mutex zns_write_mu_;
   uint32_t workers_ = 1;
 
   std::array<Shard, kShards> shards_;

@@ -1,8 +1,21 @@
 #include "labmods/zns_driver.h"
 
+#include <algorithm>
+
 #include "core/module_registry.h"
+#include "labmods/drivers.h"
 
 namespace labstor::labmods {
+
+std::string_view ZoneStateName(ZoneState state) {
+  switch (state) {
+    case ZoneState::kEmpty: return "empty";
+    case ZoneState::kOpen: return "open";
+    case ZoneState::kClosed: return "closed";
+    case ZoneState::kFull: return "full";
+  }
+  return "?";
+}
 
 Status ZnsDriverMod::Init(const yaml::NodePtr& params,
                           core::ModContext& ctx) {
@@ -13,19 +26,30 @@ Status ZnsDriverMod::Init(const yaml::NodePtr& params,
       params != nullptr ? params->GetString("device", "nvme0") : "nvme0";
   LABSTOR_ASSIGN_OR_RETURN(device, ctx.devices->Find(device_name));
   device_ = device;
+  LABSTOR_RETURN_IF_ERROR(ResolveCompletionMode(params, *device_));
   if (params != nullptr) {
     zone_size_ = params->GetUint("zone_size_mb", 4) << 20;
+    max_open_zones_ =
+        static_cast<uint32_t>(params->GetUint("max_open_zones", 0));
+    conventional_zones_ =
+        static_cast<uint32_t>(params->GetUint("conventional_zones", 0));
   }
   if (zone_size_ == 0 || device_->params().capacity_bytes < zone_size_) {
     return Status::InvalidArgument("zone size must fit the device");
   }
   const uint64_t count = device_->params().capacity_bytes / zone_size_;
+  if (conventional_zones_ >= count) {
+    return Status::InvalidArgument(
+        "conventional_zones must leave at least one sequential zone");
+  }
   zones_.resize(count);
   for (uint64_t i = 0; i < count; ++i) {
     zones_[i].start = i * zone_size_;
     zones_[i].size = zone_size_;
     zones_[i].write_pointer = zones_[i].start;
+    zones_[i].conventional = i < conventional_zones_;
   }
+  open_count_ = 0;
   return Status::Ok();
 }
 
@@ -37,20 +61,41 @@ Result<size_t> ZnsDriverMod::ZoneIndexFor(uint64_t offset) const {
   return index;
 }
 
+Status ZnsDriverMod::OpenZoneLocked(ZoneInfo& zone) {
+  if (zone.state == ZoneState::kOpen) return Status::Ok();
+  if (max_open_zones_ != 0 && open_count_ >= max_open_zones_) {
+    return Status::ResourceExhausted(
+        "open zone limit (" + std::to_string(max_open_zones_) +
+        ") reached; close, finish, or reset a zone first");
+  }
+  zone.state = ZoneState::kOpen;
+  ++open_count_;
+  return Status::Ok();
+}
+
+void ZnsDriverMod::ReleaseOpenSlotLocked(ZoneInfo& zone) {
+  if (zone.state == ZoneState::kOpen && open_count_ > 0) --open_count_;
+}
+
 Status ZnsDriverMod::DoWrite(ipc::Request& req, core::StackExec& exec) {
   std::lock_guard<std::mutex> lock(mu_);
   LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
   ZoneInfo& zone = zones_[index];
-  if (zone.state == ZoneState::kFull) {
-    return Status::FailedPrecondition("zone is FULL; reset before writing");
-  }
-  if (req.offset != zone.write_pointer) {
-    return Status::InvalidArgument(
-        "ZNS writes must be sequential: offset " + std::to_string(req.offset) +
-        " != write pointer " + std::to_string(zone.write_pointer));
-  }
   if (req.offset + req.length > zone.start + zone.size) {
     return Status::InvalidArgument("write crosses the zone boundary");
+  }
+  if (!zone.conventional) {
+    if (zone.state == ZoneState::kFull) {
+      return Status::FailedPrecondition("zone is FULL; reset before writing");
+    }
+    if (req.offset != zone.write_pointer) {
+      return Status::InvalidArgument(
+          "ZNS writes must be sequential: offset " +
+          std::to_string(req.offset) + " != write pointer " +
+          std::to_string(zone.write_pointer));
+    }
+    // First write into an EMPTY/CLOSED zone implicitly opens it.
+    LABSTOR_RETURN_IF_ERROR(OpenZoneLocked(zone));
   }
   exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
   exec.trace().Device(device_, simdev::IoOp::kWrite, req.channel, req.offset,
@@ -58,9 +103,18 @@ Status ZnsDriverMod::DoWrite(ipc::Request& req, core::StackExec& exec) {
   if (req.data != nullptr) {
     LABSTOR_RETURN_IF_ERROR(device_->WriteNow(req.offset, req.Payload()));
   }
-  zone.write_pointer += req.length;
-  zone.state = zone.write_pointer == zone.start + zone.size ? ZoneState::kFull
-                                                            : ZoneState::kOpen;
+  if (zone.conventional) {
+    // Conventional zones have no state machine; the write pointer
+    // tracks the high-water mark so reads stay meaningful.
+    zone.write_pointer =
+        std::max(zone.write_pointer, req.offset + req.length);
+  } else {
+    zone.write_pointer += req.length;
+    if (zone.write_pointer == zone.start + zone.size) {
+      ReleaseOpenSlotLocked(zone);
+      zone.state = ZoneState::kFull;
+    }
+  }
   req.result_u64 = req.length;
   return Status::Ok();
 }
@@ -69,10 +123,14 @@ Status ZnsDriverMod::DoAppend(ipc::Request& req, core::StackExec& exec) {
   std::lock_guard<std::mutex> lock(mu_);
   LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
   ZoneInfo& zone = zones_[index];
+  if (zone.conventional) {
+    return Status::InvalidArgument("zone append requires a sequential zone");
+  }
   if (zone.state == ZoneState::kFull ||
       zone.write_pointer + req.length > zone.start + zone.size) {
     return Status::ResourceExhausted("zone cannot fit the append");
   }
+  LABSTOR_RETURN_IF_ERROR(OpenZoneLocked(zone));
   const uint64_t assigned = zone.write_pointer;
   exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
   exec.trace().Device(device_, simdev::IoOp::kWrite, req.channel, assigned,
@@ -81,8 +139,10 @@ Status ZnsDriverMod::DoAppend(ipc::Request& req, core::StackExec& exec) {
     LABSTOR_RETURN_IF_ERROR(device_->WriteNow(assigned, req.Payload()));
   }
   zone.write_pointer += req.length;
-  zone.state = zone.write_pointer == zone.start + zone.size ? ZoneState::kFull
-                                                            : ZoneState::kOpen;
+  if (zone.write_pointer == zone.start + zone.size) {
+    ReleaseOpenSlotLocked(zone);
+    zone.state = ZoneState::kFull;
+  }
   // The ZNS contract: the device tells the host where the data landed.
   req.result_u64 = assigned;
   return Status::Ok();
@@ -93,8 +153,67 @@ Status ZnsDriverMod::DoReset(ipc::Request& req, core::StackExec& exec) {
   LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
   ZoneInfo& zone = zones_[index];
   exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
+  // The mapping-table invalidation occupies the device (priced from
+  // zone_reset_latency); no data moves.
+  exec.trace().Device(device_, simdev::IoOp::kZoneReset, req.channel,
+                      zone.start, 0);
+  device_->NoteZoneMgmt();
+  ReleaseOpenSlotLocked(zone);
   zone.write_pointer = zone.start;
-  zone.state = ZoneState::kEmpty;
+  if (!zone.conventional) zone.state = ZoneState::kEmpty;
+  return Status::Ok();
+}
+
+Status ZnsDriverMod::DoOpen(ipc::Request& req, core::StackExec& exec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
+  ZoneInfo& zone = zones_[index];
+  if (zone.conventional) {
+    return Status::InvalidArgument("conventional zones have no state machine");
+  }
+  if (zone.state == ZoneState::kFull) {
+    return Status::FailedPrecondition("cannot open a FULL zone");
+  }
+  exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
+  return OpenZoneLocked(zone);
+}
+
+Status ZnsDriverMod::DoClose(ipc::Request& req, core::StackExec& exec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
+  ZoneInfo& zone = zones_[index];
+  if (zone.conventional) {
+    return Status::InvalidArgument("conventional zones have no state machine");
+  }
+  exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
+  if (zone.state == ZoneState::kClosed) return Status::Ok();
+  if (zone.state != ZoneState::kOpen) {
+    return Status::FailedPrecondition(
+        std::string("cannot close a zone in state ") +
+        std::string(ZoneStateName(zone.state)));
+  }
+  ReleaseOpenSlotLocked(zone);
+  zone.state = ZoneState::kClosed;
+  return Status::Ok();
+}
+
+Status ZnsDriverMod::DoFinish(ipc::Request& req, core::StackExec& exec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
+  ZoneInfo& zone = zones_[index];
+  if (zone.conventional) {
+    return Status::InvalidArgument("conventional zones have no state machine");
+  }
+  exec.trace().Charge("zns_driver", exec.ctx().costs->spdk_submit);
+  if (zone.state == ZoneState::kFull) return Status::Ok();  // idempotent
+  // Sealing pads the remainder; the controller charges the fixed
+  // finish latency, no host data transfer.
+  exec.trace().Device(device_, simdev::IoOp::kZoneFinish, req.channel,
+                      zone.start, 0);
+  device_->NoteZoneMgmt();
+  ReleaseOpenSlotLocked(zone);
+  zone.write_pointer = zone.start + zone.size;
+  zone.state = ZoneState::kFull;
   return Status::Ok();
 }
 
@@ -103,7 +222,11 @@ Status ZnsDriverMod::DoRead(ipc::Request& req, core::StackExec& exec) {
     std::lock_guard<std::mutex> lock(mu_);
     LABSTOR_ASSIGN_OR_RETURN(index, ZoneIndexFor(req.offset));
     const ZoneInfo& zone = zones_[index];
-    if (req.offset + req.length > zone.write_pointer) {
+    if (req.offset + req.length > zone.start + zone.size) {
+      return Status::InvalidArgument("read crosses the zone boundary");
+    }
+    if (!zone.conventional &&
+        req.offset + req.length > zone.write_pointer) {
       return Status::InvalidArgument("read beyond the zone's write pointer");
     }
   }
@@ -125,6 +248,12 @@ Status ZnsDriverMod::Process(ipc::Request& req, core::StackExec& exec) {
       return DoAppend(req, exec);
     case ipc::OpCode::kZoneReset:
       return DoReset(req, exec);
+    case ipc::OpCode::kZoneOpen:
+      return DoOpen(req, exec);
+    case ipc::OpCode::kZoneClose:
+      return DoClose(req, exec);
+    case ipc::OpCode::kZoneFinish:
+      return DoFinish(req, exec);
     case ipc::OpCode::kBlkRead:
       return DoRead(req, exec);
     case ipc::OpCode::kBlkFlush:
@@ -145,13 +274,21 @@ Status ZnsDriverMod::StateUpdate(core::LabMod& old) {
   std::scoped_lock lock(mu_, prev->mu_);
   device_ = prev->device_;
   zone_size_ = prev->zone_size_;
+  max_open_zones_ = prev->max_open_zones_;
+  conventional_zones_ = prev->conventional_zones_;
   zones_ = prev->zones_;
+  open_count_ = prev->open_count_;
   return Status::Ok();
 }
 
 size_t ZnsDriverMod::num_zones() const {
   std::lock_guard<std::mutex> lock(mu_);
   return zones_.size();
+}
+
+size_t ZnsDriverMod::open_zones() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_count_;
 }
 
 Result<ZoneInfo> ZnsDriverMod::Zone(size_t index) const {

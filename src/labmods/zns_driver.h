@@ -3,14 +3,33 @@
 // queues)" made concrete.
 //
 // The device is carved into fixed-size zones, each with a write
-// pointer and a state machine (EMPTY → OPEN → FULL → back to EMPTY on
-// reset). Semantics enforced, as the NVMe ZNS spec requires:
+// pointer and the NVMe ZNS state machine:
+//
+//     EMPTY --write/append/open--> OPEN --close--> CLOSED
+//       ^                            |    <-write--   |
+//       |                          finish           finish
+//       +------------reset----------FULL <------------+
+//
+// Semantics enforced, as the NVMe ZNS spec requires:
 //   * kBlkWrite must land exactly at the target zone's write pointer
 //     (sequential-only) and may not cross the zone boundary;
 //   * kZoneAppend writes at the owning zone's write pointer wherever
 //     that is; the assigned device offset is returned in result_u64;
-//   * kZoneReset rewinds the zone containing req.offset;
+//   * kZoneOpen / kZoneClose explicitly claim / release one of the
+//     device's bounded open-zone resources (`max_open_zones`);
+//     implicit opens (first write into an EMPTY/CLOSED zone) draw from
+//     the same pool, and exhaustion surfaces as ResourceExhausted;
+//   * kZoneFinish seals a zone (wp jumps to the end, state FULL) and
+//     pays the device's zone_finish_latency;
+//   * kZoneReset rewinds the zone containing req.offset to EMPTY and
+//     pays zone_reset_latency;
 //   * kBlkRead may only read below the write pointer.
+//
+// The first `conventional_zones` zones are conventional (non-zoned)
+// regions: random writes and reads anywhere inside them, no state
+// machine, no open-zone accounting — the place a filesystem puts its
+// randomly-rewritten metadata log when the rest of the namespace is
+// append-only.
 #pragma once
 
 #include <mutex>
@@ -21,13 +40,16 @@
 
 namespace labstor::labmods {
 
-enum class ZoneState : uint8_t { kEmpty, kOpen, kFull };
+enum class ZoneState : uint8_t { kEmpty, kOpen, kClosed, kFull };
+
+std::string_view ZoneStateName(ZoneState state);
 
 struct ZoneInfo {
   uint64_t start = 0;
   uint64_t size = 0;
   uint64_t write_pointer = 0;  // absolute device offset
   ZoneState state = ZoneState::kEmpty;
+  bool conventional = false;
 };
 
 class ZnsDriverMod final : public core::LabMod {
@@ -43,18 +65,34 @@ class ZnsDriverMod final : public core::LabMod {
   size_t num_zones() const;
   Result<ZoneInfo> Zone(size_t index) const;
   uint64_t zone_size() const { return zone_size_; }
+  // Zones currently OPEN (0 when nothing is open). max_open_zones() of
+  // 0 means the device imposes no open-resource limit.
+  size_t open_zones() const;
+  uint32_t max_open_zones() const { return max_open_zones_; }
+  uint32_t conventional_zones() const { return conventional_zones_; }
 
  private:
   Status DoWrite(ipc::Request& req, core::StackExec& exec);
   Status DoAppend(ipc::Request& req, core::StackExec& exec);
   Status DoReset(ipc::Request& req, core::StackExec& exec);
+  Status DoOpen(ipc::Request& req, core::StackExec& exec);
+  Status DoClose(ipc::Request& req, core::StackExec& exec);
+  Status DoFinish(ipc::Request& req, core::StackExec& exec);
   Status DoRead(ipc::Request& req, core::StackExec& exec);
   Result<size_t> ZoneIndexFor(uint64_t offset) const;
+  // Move `zone` to OPEN, drawing an open-resource slot. Fails with
+  // ResourceExhausted when the limit is reached. Caller holds mu_.
+  Status OpenZoneLocked(ZoneInfo& zone);
+  // Leave OPEN (close/finish/reset/fill), returning the slot.
+  void ReleaseOpenSlotLocked(ZoneInfo& zone);
 
   simdev::SimDevice* device_ = nullptr;
   uint64_t zone_size_ = 4 << 20;
+  uint32_t max_open_zones_ = 0;      // 0 = unlimited
+  uint32_t conventional_zones_ = 0;  // leading conventional zones
   mutable std::mutex mu_;
   std::vector<ZoneInfo> zones_;
+  size_t open_count_ = 0;
 };
 
 }  // namespace labstor::labmods

@@ -1,0 +1,95 @@
+#include "labmods/zns_placement.h"
+
+#include <algorithm>
+
+namespace labstor::labmods {
+
+ZnsPlacement::ZnsPlacement(uint64_t data_begin, uint64_t data_end,
+                           uint64_t zone_bytes, uint64_t block_size)
+    : zone_bytes_(zone_bytes),
+      block_size_(block_size),
+      blocks_per_zone_(zone_bytes / block_size) {
+  // Zones are device-absolute; only zones that fit whole inside the
+  // data region are usable (a zone straddling the metadata log would
+  // let an append clobber log blocks).
+  first_zone_ = ((data_begin + zone_bytes_ - 1) / zone_bytes_) * zone_bytes_;
+  if (data_end > first_zone_) {
+    zones_ = (data_end - first_zone_) / zone_bytes_;
+  }
+  valid_.assign(zones_, 0);
+  used_.assign(zones_, false);
+}
+
+int64_t ZnsPlacement::ZoneOf(uint64_t phys) const {
+  if (phys < first_zone_) return -1;
+  const uint64_t z = (phys - first_zone_) / zone_bytes_;
+  if (z >= zones_) return -1;
+  return static_cast<int64_t>(z);
+}
+
+Result<ZnsPlacement::Target> ZnsPlacement::NextAppendTarget() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ >= 0 && active_appends_ < blocks_per_zone_) {
+    return Target{first_zone_ + static_cast<uint64_t>(active_) * zone_bytes_,
+                  /*needs_reset=*/false};
+  }
+  // Active zone full (or none yet): activate a fully-dead victim.
+  active_ = -1;
+  for (uint64_t z = 0; z < zones_; ++z) {
+    if (valid_[z] != 0) continue;
+    active_ = static_cast<int64_t>(z);
+    active_appends_ = 0;
+    if (used_[z]) ++zones_reclaimed_;
+    used_[z] = true;
+    return Target{first_zone_ + z * zone_bytes_, /*needs_reset=*/true};
+  }
+  return Status::ResourceExhausted(
+      "zns placement: no fully-dead zone to reclaim (filesystem full)");
+}
+
+void ZnsPlacement::CommitAppend(uint64_t phys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t z = ZoneOf(phys);
+  if (z < 0) return;  // append outside the managed range: ignore
+  ++valid_[z];
+  if (z == active_) ++active_appends_;
+}
+
+void ZnsPlacement::Invalidate(uint64_t phys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t z = ZoneOf(phys);
+  if (z < 0) return;
+  if (valid_[z] > 0) --valid_[z];
+}
+
+void ZnsPlacement::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(valid_.begin(), valid_.end(), 0u);
+  std::fill(used_.begin(), used_.end(), false);
+  active_ = -1;
+  active_appends_ = 0;
+}
+
+void ZnsPlacement::MarkLive(uint64_t phys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t z = ZoneOf(phys);
+  if (z < 0) return;
+  ++valid_[z];
+  used_[z] = true;
+}
+
+uint64_t ZnsPlacement::live_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const uint32_t v : valid_) total += v;
+  return total;
+}
+
+uint64_t ZnsPlacement::dead_zones() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const uint32_t v : valid_) n += (v == 0) ? 1 : 0;
+  return n;
+}
+
+}  // namespace labstor::labmods

@@ -1,0 +1,96 @@
+// Log-structured placement over a zoned namespace (DESIGN.md §13).
+//
+// When LabFS sits on the ZNS driver it cannot overwrite blocks in
+// place — sequential zones only accept writes at the write pointer. So
+// data placement becomes log-structured: every file-block write is a
+// zone APPEND into the currently-active zone; the device returns where
+// the data landed, the inode's mapping is updated, and the previous
+// physical block (if any) becomes dead weight in its zone. A zone
+// whose valid count drops to zero is reclaimable: the next time the
+// policy needs an active zone it resets such a victim and appends from
+// its start.
+//
+// The policy deliberately resets EVERY zone before activating it, even
+// a never-used one. That makes placement recovery-safe without
+// tracking write pointers: after a remount the policy knows only the
+// live mapping (rebuilt from the metadata log), never trusts a zone's
+// residual state, and the reset it issues on activation brings the
+// device's pointer and its own cursor into agreement.
+//
+// Because writes are whole-block (LabFS read-modify-writes partial
+// blocks before appending), a zone is either all-live or has dead
+// blocks that no one references — so "GC" degenerates to reclaiming
+// fully-dead zones. Compaction of partially-live zones is future work;
+// a full filesystem under this policy reports ResourceExhausted once
+// no zone is fully dead.
+//
+// All state is sized at construction; steady-state calls allocate
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace labstor::labmods {
+
+class ZnsPlacement {
+ public:
+  // Zones are device-absolute: the usable range is the zone-aligned
+  // portion of [data_begin, data_end) so every append targets a zone
+  // that lies entirely inside LabFS's data region. `block_size` is the
+  // filesystem block (append granularity).
+  ZnsPlacement(uint64_t data_begin, uint64_t data_end, uint64_t zone_bytes,
+               uint64_t block_size);
+
+  struct Target {
+    uint64_t zone_start = 0;  // absolute device byte offset of the zone
+    bool needs_reset = false;  // caller must forward a kZoneReset first
+  };
+  // The zone the next append should target. Activates (and asks the
+  // caller to reset) a fully-dead victim zone when the active one is
+  // full or absent.
+  Result<Target> NextAppendTarget();
+  // Record that an append landed at absolute byte offset `phys` (the
+  // device-assigned offset from result_u64).
+  void CommitAppend(uint64_t phys);
+  // The block at `phys` is no longer referenced (overwritten, truncated
+  // away, or unlinked).
+  void Invalidate(uint64_t phys);
+
+  // Recovery: forget everything, then re-mark each live block. The
+  // active zone is left unset — the next append activates (and resets)
+  // a fully-dead zone, so stale device state can never be appended to.
+  void Reset();
+  void MarkLive(uint64_t phys);
+
+  // --- introspection ---
+  uint64_t num_zones() const { return zones_; }
+  uint64_t zone_bytes() const { return zone_bytes_; }
+  uint64_t first_zone_offset() const { return first_zone_; }
+  uint64_t live_blocks() const;
+  // Zones with zero live blocks (the reclaim pool).
+  uint64_t dead_zones() const;
+  // Activations that recycled a previously-written zone.
+  uint64_t zones_reclaimed() const { return zones_reclaimed_; }
+
+ private:
+  int64_t ZoneOf(uint64_t phys) const;
+
+  const uint64_t zone_bytes_;
+  const uint64_t block_size_;
+  const uint64_t blocks_per_zone_;
+  uint64_t first_zone_ = 0;  // absolute offset of the first usable zone
+  uint64_t zones_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<uint32_t> valid_;  // live blocks per zone
+  std::vector<bool> used_;       // ever appended to since last reset
+  int64_t active_ = -1;          // index of the open append zone
+  uint64_t active_appends_ = 0;  // blocks appended into active_
+  uint64_t zones_reclaimed_ = 0;
+};
+
+}  // namespace labstor::labmods

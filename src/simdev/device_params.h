@@ -15,6 +15,19 @@ enum class DeviceKind { kHdd, kSataSsd, kNvme, kPmem };
 
 std::string_view DeviceKindName(DeviceKind kind);
 
+// How a completion reaches the host (DESIGN.md §13):
+//   * kPolling — the submitter (or a dedicated worker) busy-polls the
+//     completion queue; zero delivery latency, burns a core while
+//     waiting. Only meaningful on devices with supports_polling.
+//   * kInterrupt — the device raises a simulated interrupt after the
+//     op finishes: the waiter pays interrupt_latency (controller IRQ
+//     coalescing + line/MSI delivery) plus the software IRQ path cost
+//     (SoftwareCosts::irq_completion) before it observes the CQE, but
+//     spins zero cycles in between.
+enum class CompletionMode : uint8_t { kPolling, kInterrupt };
+
+std::string_view CompletionModeName(CompletionMode mode);
+
 struct DeviceParams {
   std::string name;
   DeviceKind kind = DeviceKind::kNvme;
@@ -49,6 +62,21 @@ struct DeviceParams {
   bool byte_addressable = false;   // PMEM: CPU load/store via DAX
   bool supports_polling = false;   // NVMe/PMEM completion polling
 
+  // Default completion delivery for this device. Drivers may override
+  // at attach time (`completion: polling|interrupt`), gated on
+  // supports_polling — see labmods::ResolveCompletionMode.
+  CompletionMode completion_mode = CompletionMode::kInterrupt;
+  // Device-side interrupt delivery latency (coalescing + MSI-X fire)
+  // charged per interrupt-mode completion, on top of the software IRQ
+  // path cost (SoftwareCosts::irq_completion).
+  sim::Time interrupt_latency = 2 * sim::kUs;
+
+  // Zone-management op costs (ZNS driver LabMods). A reset invalidates
+  // the zone's mapping table and erases metadata; a finish pads the
+  // remainder and seals the zone. Both are latency-only (no transfer).
+  sim::Time zone_reset_latency = 2 * sim::kUs;
+  sim::Time zone_finish_latency = 1 * sim::kUs;
+
   // --- testbed presets ---
 
   // Intel P3700-class NVMe (2TB): ~4KB latency in the tens of µs,
@@ -73,6 +101,14 @@ inline std::string_view DeviceKindName(DeviceKind kind) {
   return "?";
 }
 
+inline std::string_view CompletionModeName(CompletionMode mode) {
+  switch (mode) {
+    case CompletionMode::kPolling: return "polling";
+    case CompletionMode::kInterrupt: return "interrupt";
+  }
+  return "?";
+}
+
 inline DeviceParams DeviceParams::NvmeP3700(uint64_t capacity) {
   DeviceParams p;
   p.name = "nvme0";
@@ -86,6 +122,8 @@ inline DeviceParams DeviceParams::NvmeP3700(uint64_t capacity) {
   p.per_queue_parallelism = 1;
   p.device_parallelism = 4;  // internal NAND-channel overlap
   p.supports_polling = true;
+  p.completion_mode = CompletionMode::kPolling;
+  p.interrupt_latency = 2 * sim::kUs;  // MSI-X, minimal coalescing
   return p;
 }
 
@@ -101,6 +139,9 @@ inline DeviceParams DeviceParams::SataSsd(uint64_t capacity) {
   p.num_hw_queues = 1;
   p.per_queue_parallelism = 4;  // NCQ admits several in-flight ops
   p.device_parallelism = 2;
+  // AHCI has no polled completion path: legacy line interrupt with
+  // aggressive coalescing.
+  p.interrupt_latency = 6 * sim::kUs;
   return p;
 }
 
@@ -118,6 +159,7 @@ inline DeviceParams DeviceParams::SasHdd(uint64_t capacity) {
   p.device_parallelism = 1;
   p.avg_seek = 2'500 * sim::kUs;         // 15K RPM class
   p.rotational_delay = 2'000 * sim::kUs; // half revolution at 15K RPM
+  // Interrupt latency is noise next to the mechanics; keep the default.
   return p;
 }
 
@@ -136,6 +178,10 @@ inline DeviceParams DeviceParams::PmemEmulated(uint64_t capacity) {
   p.device_parallelism = 8;
   p.byte_addressable = true;
   p.supports_polling = true;
+  // Load/store completion is inherently synchronous — polling is the
+  // only mode that makes physical sense for DAX access.
+  p.completion_mode = CompletionMode::kPolling;
+  p.interrupt_latency = 1 * sim::kUs;
   return p;
 }
 

@@ -10,6 +10,7 @@ namespace labstor::simdev {
 SimDevice::SimDevice(sim::Environment* env, DeviceParams params)
     : env_(env),
       params_(std::move(params)),
+      completion_mode_(params_.completion_mode),
       store_(params_.capacity_bytes),
       timing_(params_) {
   if (env_ != nullptr) {
@@ -64,6 +65,18 @@ Status SimDevice::WriteNow(uint64_t offset, std::span<const uint8_t> data) {
 sim::Task<void> SimDevice::TimedOp(IoOp op, uint32_t channel, uint64_t offset,
                                    uint64_t len) {
   assert(env_ != nullptr && "device constructed without an environment");
+  // Submission doorbell + completion-delivery accounting. The doorbell
+  // write is part of the driver's charged software cost; the interrupt
+  // (when this device delivers completions that way) is priced by the
+  // waiter (SimRuntime::TimedDevOp) so TimedOp durations stay
+  // identical across modes — the byte-identity property S2 tests.
+  stats_.doorbells.fetch_add(1, std::memory_order_relaxed);
+  if (completion_mode() == CompletionMode::kInterrupt) {
+    stats_.interrupts_raised.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (op == IoOp::kZoneReset || op == IoOp::kZoneFinish) {
+    stats_.zone_mgmt_ops.fetch_add(1, std::memory_order_relaxed);
+  }
   // Channel order -> device service slot -> latency phase -> shared
   // transfer pipe. Lock order is fixed, so no cycles.
   sim::Resource& ch = *channels_[channel % channels_.size()];

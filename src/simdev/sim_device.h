@@ -32,6 +32,12 @@ struct DeviceStats {
   std::atomic<uint64_t> writes{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
+  // Completion-delivery accounting (DESIGN.md §13): every timed op
+  // rings the submission doorbell once; interrupt-mode devices also
+  // raise one completion interrupt per op, polled devices none.
+  std::atomic<uint64_t> doorbells{0};
+  std::atomic<uint64_t> interrupts_raised{0};
+  std::atomic<uint64_t> zone_mgmt_ops{0};
 };
 
 class SimDevice {
@@ -43,9 +49,27 @@ class SimDevice {
   const DeviceStats& stats() const { return stats_; }
   uint32_t num_channels() const { return params_.num_hw_queues; }
 
+  // Completion delivery for this device instance. Drivers reconfigure
+  // it at attach time (no I/O in flight) after the supports_polling
+  // gate — see labmods::ResolveCompletionMode.
+  CompletionMode completion_mode() const {
+    return completion_mode_.load(std::memory_order_acquire);
+  }
+  void set_completion_mode(CompletionMode mode) {
+    completion_mode_.store(mode, std::memory_order_release);
+  }
+
   // --- real mode (immediate) ---
   Status ReadNow(uint64_t offset, std::span<uint8_t> out);
   Status WriteNow(uint64_t offset, std::span<const uint8_t> data);
+  // Zone management (reset/finish) moves no bytes, so real mode has no
+  // Now transfer to hang the stats on; drivers call this instead. In
+  // simulated mode it is a no-op — TimedOp counts the replayed op.
+  void NoteZoneMgmt() {
+    if (env_ == nullptr) {
+      stats_.zone_mgmt_ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   // --- simulated mode (virtual time) ---
   // Functional + timed.
@@ -86,6 +110,7 @@ class SimDevice {
 
   sim::Environment* env_;
   DeviceParams params_;
+  std::atomic<CompletionMode> completion_mode_;
   SparseStore store_;
   TimingModel timing_;
   std::vector<std::unique_ptr<sim::Resource>> channels_;

@@ -12,6 +12,10 @@ bool TimingModel::WouldSeek(uint64_t offset, uint32_t channel) const {
 
 sim::Time TimingModel::LatencyPart(IoOp op, uint64_t offset, uint64_t length,
                                    uint32_t channel) {
+  // Zone-management commands hit the controller's mapping tables, not
+  // the media: fixed latency, no head movement, no transfer.
+  if (op == IoOp::kZoneReset) return params_.zone_reset_latency;
+  if (op == IoOp::kZoneFinish) return params_.zone_finish_latency;
   sim::Time t =
       op == IoOp::kRead ? params_.read_latency : params_.write_latency;
   if (params_.kind == DeviceKind::kHdd) {
@@ -26,6 +30,7 @@ sim::Time TimingModel::LatencyPart(IoOp op, uint64_t offset, uint64_t length,
 }
 
 sim::Time TimingModel::TransferPart(IoOp op, uint64_t length) const {
+  if (op == IoOp::kZoneReset || op == IoOp::kZoneFinish) return 0;
   const double per_byte = op == IoOp::kRead ? params_.read_ns_per_byte
                                             : params_.write_ns_per_byte;
   return static_cast<sim::Time>(per_byte * static_cast<double>(length));

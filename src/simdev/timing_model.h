@@ -10,7 +10,10 @@
 
 namespace labstor::simdev {
 
-enum class IoOp { kRead, kWrite };
+// kZoneReset / kZoneFinish are zone-management commands (ZNS driver
+// LabMods): latency-only, no data transfer, priced from the device's
+// zone_reset_latency / zone_finish_latency.
+enum class IoOp { kRead, kWrite, kZoneReset, kZoneFinish };
 
 class TimingModel {
  public:

@@ -1,0 +1,279 @@
+// NUMA-aware placement suite (DESIGN.md §13): topology math, the
+// segment allocator's local/spill/exhausted ladder, the SimRuntime's
+// remote-access accounting, and a zero-allocation check on the
+// steady-state query paths.
+//
+// This binary installs the same counting global allocator as
+// hotpath_test so placement decisions can be asserted allocation-free.
+#include "ipc/numa.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/orchestrator.h"
+#include "core/sim_runtime.h"
+#include "sim/environment.h"
+#include "simdev/registry.h"
+
+// ---------------------------------------------------------------
+// Counting allocator (see hotpath_test.cc for the full rationale):
+// disabled under sanitizers, where interposed allocators make
+// operator-new overrides report false mismatches.
+// ---------------------------------------------------------------
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define LABSTOR_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define LABSTOR_COUNT_ALLOCS 0
+#else
+#define LABSTOR_COUNT_ALLOCS 1
+#endif
+#else
+#define LABSTOR_COUNT_ALLOCS 1
+#endif
+
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+uint64_t HeapAllocs() { return g_heap_allocs.load(std::memory_order_relaxed); }
+}  // namespace
+
+#if LABSTOR_COUNT_ALLOCS
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) !=
+      0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
+#endif  // LABSTOR_COUNT_ALLOCS
+
+namespace labstor::ipc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Topology math.
+// ---------------------------------------------------------------------------
+
+TEST(NumaTopologyTest, DualSocketSplitsCoresEvenly) {
+  const NumaTopology topo = NumaTopology::DualSocket(256);
+  EXPECT_EQ(topo.nodes, 2u);
+  EXPECT_EQ(topo.cores_per_node, 128u);
+  EXPECT_EQ(topo.NodeOfCore(0), 0u);
+  EXPECT_EQ(topo.NodeOfCore(127), 0u);
+  EXPECT_EQ(topo.NodeOfCore(128), 1u);
+  EXPECT_EQ(topo.NodeOfCore(255), 1u);
+  EXPECT_TRUE(topo.SameNode(0, 127));
+  EXPECT_FALSE(topo.SameNode(127, 128));
+}
+
+TEST(NumaTopologyTest, DegenerateTopologyIsNumaOblivious) {
+  // cores_per_node == 0 means "everything on node 0" — the pre-NUMA
+  // behavior every existing caller gets by default.
+  const NumaTopology flat;
+  EXPECT_EQ(flat.NodeOfCore(0), 0u);
+  EXPECT_EQ(flat.NodeOfCore(9999), 0u);
+  EXPECT_TRUE(flat.SameNode(3, 212));
+
+  const NumaTopology tiny = NumaTopology::DualSocket(1);
+  EXPECT_EQ(tiny.cores_per_node, 1u);  // never zero cores per node
+  EXPECT_EQ(tiny.NodeOfCore(0), 0u);
+  EXPECT_EQ(tiny.NodeOfCore(1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Segment placement: local, spill, exhausted.
+// ---------------------------------------------------------------------------
+
+class NumaAllocTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kSeg = 64 << 10;
+  static constexpr size_t kBudget = 4 * kSeg;  // 4 segments per node
+
+  NumaAllocTest()
+      : alloc_(shm_, NumaTopology::DualSocket(8), kBudget) {}
+
+  ShMemManager shm_;
+  NumaSegmentAllocator alloc_;
+  Credentials runtime_creds_{1, 0, 0};
+};
+
+TEST_F(NumaAllocTest, SegmentsLandOnTheCoreLocalNode) {
+  // Cores 0-3 -> node 0, cores 4-7 -> node 1.
+  auto near = alloc_.CreateForCore(runtime_creds_, 2, kSeg);
+  ASSERT_TRUE(near.ok());
+  EXPECT_EQ((*near)->numa_node(), 0u);
+  auto far = alloc_.CreateForCore(runtime_creds_, 6, kSeg);
+  ASSERT_TRUE(far.ok());
+  EXPECT_EQ((*far)->numa_node(), 1u);
+  EXPECT_EQ(alloc_.stats().local_allocs.load(), 2u);
+  EXPECT_EQ(alloc_.stats().remote_allocs.load(), 0u);
+  EXPECT_EQ(alloc_.node_used_bytes(0), kSeg);
+  EXPECT_EQ(alloc_.node_used_bytes(1), kSeg);
+}
+
+TEST_F(NumaAllocTest, ExhaustedNodeSpillsToTheRemoteNodeAndCounts) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(alloc_.CreateForCore(runtime_creds_, 0, kSeg).ok());
+  }
+  ASSERT_EQ(alloc_.node_used_bytes(0), kBudget) << "node 0 full";
+
+  // The fifth core-0 segment cannot fit locally: it must land on node
+  // 1 and be counted as a spill, not fail.
+  auto spilled = alloc_.CreateForCore(runtime_creds_, 0, kSeg);
+  ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+  EXPECT_EQ((*spilled)->numa_node(), 1u);
+  EXPECT_EQ(alloc_.stats().remote_allocs.load(), 1u);
+  EXPECT_EQ(alloc_.node_used_bytes(1), kSeg);
+}
+
+TEST_F(NumaAllocTest, AllNodesFullFailsAndCounts) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(alloc_.CreateForCore(runtime_creds_, 0, kSeg).ok());
+    ASSERT_TRUE(alloc_.CreateForCore(runtime_creds_, 4, kSeg).ok());
+  }
+  auto refused = alloc_.CreateForCore(runtime_creds_, 0, kSeg);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(alloc_.stats().failed_allocs.load(), 1u);
+  // Failure must not leak budget.
+  EXPECT_EQ(alloc_.node_used_bytes(0), kBudget);
+  EXPECT_EQ(alloc_.node_used_bytes(1), kBudget);
+}
+
+TEST_F(NumaAllocTest, ExplicitNodePlacementIsHonored) {
+  auto seg = alloc_.CreateOnNode(runtime_creds_, 1, kSeg);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ((*seg)->numa_node(), 1u);
+  EXPECT_EQ(alloc_.node_used_bytes(1), kSeg);
+  EXPECT_EQ(alloc_.node_used_bytes(0), 0u);
+}
+
+TEST_F(NumaAllocTest, SteadyStateQueriesAllocateNothing) {
+#if !LABSTOR_COUNT_ALLOCS
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+  // Warm: one placement on each node so every code path has run once.
+  ASSERT_TRUE(alloc_.CreateForCore(runtime_creds_, 0, kSeg).ok());
+  ASSERT_TRUE(alloc_.CreateForCore(runtime_creds_, 4, kSeg).ok());
+
+  const NumaTopology& topo = alloc_.topology();
+  const uint64_t before = HeapAllocs();
+  uint64_t sink = 0;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    sink += topo.NodeOfCore(i);
+    sink += topo.SameNode(i, i + 1) ? 1 : 0;
+    sink += alloc_.node_used_bytes(i % 2);
+    sink += alloc_.stats().local_allocs.load(std::memory_order_relaxed);
+  }
+  EXPECT_EQ(HeapAllocs(), before)
+      << "steady-state NUMA queries must not touch the heap";
+  EXPECT_GT(sink, 0u);
+}
+
+}  // namespace
+}  // namespace labstor::ipc
+
+// ---------------------------------------------------------------------------
+// SimRuntime accounting: a worker draining a queue homed on the other
+// socket pays remote costs; rehoming turns access local again.
+// ---------------------------------------------------------------------------
+
+namespace labstor::core {
+namespace {
+
+sim::Task<void> OneDummy(SimRuntime& rt, uint32_t qid, Stack& stack,
+                         ipc::Request& req, Status* out) {
+  *out = co_await rt.Execute(qid, stack, req);
+}
+
+struct NumaRun {
+  uint64_t remote_accesses = 0;
+  uint64_t rehomed = 0;
+};
+
+NumaRun RunCrossSocketWorkload(bool rehome) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  EXPECT_TRUE(devices.Create(simdev::DeviceParams::NvmeP3700(16 << 20)).ok());
+  SimRuntime rt(env, devices, 4);
+  // Cores 0-1 -> node 0, cores 2-3 -> node 1.
+  rt.SetNumaTopology(ipc::NumaTopology::DualSocket(4),
+                     sim::DefaultNumaCosts(), rehome);
+  auto stack = rt.MountYaml(
+      "mount: ctl::/numa\n"
+      "dag:\n"
+      "  - mod: dummy\n"
+      "    uuid: dummy_numa\n");
+  EXPECT_TRUE(stack.ok()) << stack.status().ToString();
+  // The queue registers homed with worker 0 (node 0); assigning it to
+  // worker 2 (node 1) makes every drain a cross-socket access.
+  rt.RegisterQueue(1, 3 * sim::kUs);
+  Assignment cross;
+  cross.worker_queues = {{}, {}, {1}, {}};
+  cross.latency_dedicated = {false, false, false, false};
+  rt.ApplyAssignment(cross);
+
+  constexpr size_t kReqs = 4;
+  auto reqs = std::make_unique<std::array<ipc::Request, kReqs>>();
+  std::array<Status, kReqs> done;
+  for (size_t i = 0; i < kReqs; ++i) {
+    ipc::Request& req = (*reqs)[i];
+    req.op = ipc::OpCode::kDummy;
+    env.Spawn(OneDummy(rt, 1, **stack, req, &done[i]));
+  }
+  env.Run();
+  for (const Status& st : done) EXPECT_TRUE(st.ok()) << st.ToString();
+
+  NumaRun run;
+  run.remote_accesses = rt.remote_queue_accesses();
+  run.rehomed = rt.queues_rehomed();
+  return run;
+}
+
+TEST(SimNumaTest, CrossSocketDrainsAreCountedRemote) {
+  const NumaRun run = RunCrossSocketWorkload(/*rehome=*/false);
+  EXPECT_GT(run.remote_accesses, 0u)
+      << "worker on node 1 drained a node-0 queue without paying";
+  EXPECT_EQ(run.rehomed, 0u);
+}
+
+TEST(SimNumaTest, RehomingMovesTheQueueToTheWorkerNode) {
+  const NumaRun run = RunCrossSocketWorkload(/*rehome=*/true);
+  EXPECT_GT(run.rehomed, 0u) << "rebalance must migrate the segment";
+  EXPECT_EQ(run.remote_accesses, 0u)
+      << "after rehoming, steady-state drains are local";
+}
+
+}  // namespace
+}  // namespace labstor::core

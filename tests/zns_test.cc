@@ -1,10 +1,20 @@
 // ZNS driver LabMod: zoned-namespace semantics (sequential-only
-// writes, zone append with assigned offsets, resets, state machine).
+// writes, zone append with assigned offsets, resets, the full
+// empty/open/closed/full state machine with open-zone limits,
+// conventional zones, and LabFS's log-structured placement on top.
+//
+// Own main: dst::InitSeeds strips --dst_seed before gtest parses argv,
+// so a failing property-test seed replays exactly.
 #include "labmods/zns_driver.h"
 
 #include <gtest/gtest.h>
 
+#include "core/client.h"
 #include "core/debug_harness.h"
+#include "core/runtime.h"
+#include "dst/schedule.h"
+#include "labmods/genericfs.h"
+#include "labmods/labfs.h"
 #include "simdev/registry.h"
 
 namespace labstor::labmods {
@@ -144,5 +154,503 @@ TEST_F(ZnsTest, StateSurvivesUpgrade) {
   EXPECT_EQ(zone->write_pointer, 4096u);
 }
 
+// ---------------------------------------------------------------------------
+// State machine: explicit open/close/finish, open-zone limits, and
+// conventional zones.
+// ---------------------------------------------------------------------------
+
+class ZnsLimitTest : public ::testing::Test {
+ protected:
+  explicit ZnsLimitTest(const char* extra = "max_open_zones: 2\n") {
+    auto dev = devices_.Create(simdev::DeviceParams::NvmeP3700(16 << 20));
+    EXPECT_TRUE(dev.ok());
+    device_ = *dev;
+    core::ModContext ctx;
+    ctx.devices = &devices_;
+    auto params = yaml::Parse(std::string("zone_size_mb: 1\n") + extra);
+    EXPECT_TRUE(params.ok());
+    auto harness = core::DebugHarness::Create("zns_driver", *params, ctx);
+    EXPECT_TRUE(harness.ok()) << harness.status().ToString();
+    harness_ = std::move(*harness);
+    zns_ = dynamic_cast<ZnsDriverMod*>(&harness_->mod());
+    EXPECT_NE(zns_, nullptr);
+  }
+
+  Status Op(ipc::OpCode op, uint64_t offset, std::span<uint8_t> data) {
+    ipc::Request req;
+    req.op = op;
+    req.offset = offset;
+    req.length = data.size();
+    req.data = data.empty() ? nullptr : data.data();
+    const Status st = harness_->Feed(req);
+    last_result_ = req.result_u64;
+    return st;
+  }
+
+  static constexpr uint64_t kZone = 1 << 20;
+
+  simdev::DeviceRegistry devices_;
+  simdev::SimDevice* device_ = nullptr;
+  std::unique_ptr<core::DebugHarness> harness_;
+  ZnsDriverMod* zns_ = nullptr;
+  uint64_t last_result_ = 0;
+};
+
+TEST_F(ZnsLimitTest, OpenZoneLimitEnforcedAcrossOpenPaths) {
+  EXPECT_EQ(zns_->max_open_zones(), 2u);
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneOpen, 0 * kZone, {}).ok());
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneOpen, 1 * kZone, {}).ok());
+  EXPECT_EQ(zns_->open_zones(), 2u);
+  // Explicit open, implicit open via write, and implicit open via
+  // append all draw from the same exhausted pool.
+  EXPECT_EQ(Op(ipc::OpCode::kZoneOpen, 2 * kZone, {}).code(),
+            StatusCode::kResourceExhausted);
+  std::vector<uint8_t> block(4096, 0x42);
+  EXPECT_EQ(Op(ipc::OpCode::kBlkWrite, 2 * kZone, block).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Op(ipc::OpCode::kZoneAppend, 2 * kZone, block).code(),
+            StatusCode::kResourceExhausted);
+  // Re-opening an already-open zone costs nothing.
+  EXPECT_TRUE(Op(ipc::OpCode::kZoneOpen, 0, {}).ok());
+  EXPECT_EQ(zns_->open_zones(), 2u);
+}
+
+TEST_F(ZnsLimitTest, CloseFinishAndResetReleaseTheSlot) {
+  std::vector<uint8_t> block(4096, 0x43);
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 0 * kZone, block).ok());
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 1 * kZone, block).ok());
+  EXPECT_EQ(zns_->open_zones(), 2u);
+
+  // Close: open -> closed frees the slot; zone 2 can now open.
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneClose, 0, {}).ok());
+  EXPECT_EQ(zns_->open_zones(), 1u);
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneOpen, 2 * kZone, {}).ok());
+
+  // Finish: seals zone 1 (wp jumps to the end) and frees its slot.
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneFinish, 1 * kZone, {}).ok());
+  auto z1 = zns_->Zone(1);
+  ASSERT_TRUE(z1.ok());
+  EXPECT_EQ(z1->state, ZoneState::kFull);
+  EXPECT_EQ(z1->write_pointer, 1 * kZone + kZone);
+  EXPECT_EQ(zns_->open_zones(), 1u);
+  EXPECT_TRUE(Op(ipc::OpCode::kZoneFinish, 1 * kZone, {}).ok())
+      << "finish is idempotent on a FULL zone";
+
+  // Reset: frees the slot of the still-open zone 2 and empties it.
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneReset, 2 * kZone, {}).ok());
+  EXPECT_EQ(zns_->open_zones(), 0u);
+}
+
+TEST_F(ZnsLimitTest, ClosedZoneResumesWritingAtItsPointer) {
+  std::vector<uint8_t> block(4096, 0x44);
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 0, block).ok());
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneClose, 0, {}).ok());
+  auto zone = zns_->Zone(0);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone->state, ZoneState::kClosed);
+  EXPECT_EQ(zone->write_pointer, 4096u) << "close must preserve the pointer";
+  // Writing at the preserved pointer implicitly reopens the zone.
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 4096, block).ok());
+  zone = zns_->Zone(0);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone->state, ZoneState::kOpen);
+  EXPECT_EQ(zone->write_pointer, 8192u);
+}
+
+TEST_F(ZnsLimitTest, IllegalTransitionsRejected) {
+  std::vector<uint8_t> block(4096, 0x45);
+  // close on EMPTY: nothing to close.
+  EXPECT_EQ(Op(ipc::OpCode::kZoneClose, 0, {}).code(),
+            StatusCode::kFailedPrecondition);
+  // open on FULL: must reset first.
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneFinish, 0, {}).ok());
+  EXPECT_EQ(Op(ipc::OpCode::kZoneOpen, 0, {}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Op(ipc::OpCode::kZoneClose, 0, {}).code(),
+            StatusCode::kFailedPrecondition);
+  // Reset legalizes everything again.
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneReset, 0, {}).ok());
+  EXPECT_TRUE(Op(ipc::OpCode::kBlkWrite, 0, block).ok());
+}
+
+TEST_F(ZnsLimitTest, ZoneManagementOpsOccupyTheDevice) {
+  const uint64_t before = device_->stats().zone_mgmt_ops.load();
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneFinish, 0, {}).ok());
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneReset, 0, {}).ok());
+  EXPECT_EQ(device_->stats().zone_mgmt_ops.load(), before + 2);
+}
+
+class ZnsConventionalTest : public ZnsLimitTest {
+ protected:
+  ZnsConventionalTest() : ZnsLimitTest("conventional_zones: 2\n") {}
+};
+
+TEST_F(ZnsConventionalTest, ConventionalZonesAllowRandomWrites) {
+  EXPECT_EQ(zns_->conventional_zones(), 2u);
+  std::vector<uint8_t> block(4096, 0x46);
+  // Out-of-order writes inside a conventional zone are legal and
+  // consume no open-zone slot.
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 8192, block).ok());
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 0, block).ok());
+  ASSERT_TRUE(Op(ipc::OpCode::kBlkWrite, 0, block).ok()) << "overwrite ok";
+  EXPECT_EQ(zns_->open_zones(), 0u);
+  auto zone = zns_->Zone(0);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_TRUE(zone->conventional);
+  EXPECT_EQ(zone->write_pointer, 12288u) << "pointer = high-water mark";
+  // Zone management is meaningless on conventional zones.
+  EXPECT_EQ(Op(ipc::OpCode::kZoneAppend, 0, block).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Op(ipc::OpCode::kZoneOpen, 0, {}).code(),
+            StatusCode::kInvalidArgument);
+  // The first sequential zone behaves normally.
+  ASSERT_TRUE(Op(ipc::OpCode::kZoneAppend, 2 * kZone, block).ok());
+  EXPECT_EQ(last_result_, 2 * kZone);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: randomized op sequences against a reference model of
+// the spec. Seeded and replayable (--dst_seed).
+// ---------------------------------------------------------------------------
+
+// The reference model mirrors the *specification* (NVMe ZNS semantics
+// as DESIGN.md §13 states them), written independently of the driver's
+// control flow: per-zone (state, wp) plus a global open-zone pool.
+class RefModel {
+ public:
+  RefModel(uint64_t zone_size, size_t zones, uint32_t max_open)
+      : zone_size_(zone_size), max_open_(max_open), zones_(zones) {}
+
+  struct Zone {
+    ZoneState state = ZoneState::kEmpty;
+    uint64_t wp = 0;  // relative to the zone start
+  };
+
+  // Each Apply returns whether the op must succeed; on success the
+  // model transitions. `assigned` receives the append offset.
+  bool Write(size_t z) {
+    Zone& zone = zones_[z];
+    if (zone.state == ZoneState::kFull) return false;
+    if (!EnsureOpen(zone)) return false;
+    Advance(zone);
+    return true;
+  }
+  bool Append(size_t z, uint64_t* assigned) {
+    Zone& zone = zones_[z];
+    if (zone.state == ZoneState::kFull) return false;
+    if (!EnsureOpen(zone)) return false;
+    *assigned = z * zone_size_ + zone.wp;
+    Advance(zone);
+    return true;
+  }
+  bool Open(size_t z) {
+    Zone& zone = zones_[z];
+    if (zone.state == ZoneState::kFull) return false;
+    return EnsureOpen(zone);
+  }
+  bool Close(size_t z) {
+    Zone& zone = zones_[z];
+    if (zone.state == ZoneState::kClosed) return true;
+    if (zone.state != ZoneState::kOpen) return false;
+    --open_;
+    zone.state = ZoneState::kClosed;
+    return true;
+  }
+  bool Finish(size_t z) {
+    Zone& zone = zones_[z];
+    if (zone.state == ZoneState::kFull) return true;
+    if (zone.state == ZoneState::kOpen) --open_;
+    zone.state = ZoneState::kFull;
+    zone.wp = zone_size_;
+    return true;
+  }
+  bool ResetZone(size_t z) {
+    Zone& zone = zones_[z];
+    if (zone.state == ZoneState::kOpen) --open_;
+    zone.state = ZoneState::kEmpty;
+    zone.wp = 0;
+    return true;
+  }
+  bool Read(size_t z, uint64_t len) { return zones_[z].wp >= len; }
+
+  const Zone& zone(size_t z) const { return zones_[z]; }
+  uint32_t open_count() const { return open_; }
+
+ private:
+  bool EnsureOpen(Zone& zone) {
+    if (zone.state == ZoneState::kOpen) return true;
+    if (max_open_ != 0 && open_ >= max_open_) return false;
+    zone.state = ZoneState::kOpen;
+    ++open_;
+    return true;
+  }
+  void Advance(Zone& zone) {
+    zone.wp += 4096;
+    if (zone.wp == zone_size_) {
+      zone.state = ZoneState::kFull;
+      --open_;
+    }
+  }
+
+  uint64_t zone_size_;
+  uint32_t max_open_;
+  uint32_t open_ = 0;
+  std::vector<Zone> zones_;
+};
+
+class ZnsPropertyTest : public ZnsLimitTest {
+ protected:
+  ZnsPropertyTest() : ZnsLimitTest("max_open_zones: 3\n") {}
+};
+
+TEST_F(ZnsPropertyTest, RandomOpSequencesMatchTheReferenceModel) {
+  constexpr size_t kZones = 16;
+  constexpr int kOps = 400;
+  for (const uint64_t seed : dst::SeedList()) {
+    SCOPED_TRACE("seed 0x" + std::to_string(seed));
+    // Fresh driver per seed: re-init through a fresh fixture would be
+    // heavier; a reset sweep restores the all-empty state instead.
+    for (size_t z = 0; z < kZones; ++z) {
+      ASSERT_TRUE(Op(ipc::OpCode::kZoneReset, z * kZone, {}).ok());
+    }
+    dst::Schedule sched(seed);
+    RefModel model(kZone, kZones, 3);
+    std::vector<uint8_t> block(4096, static_cast<uint8_t>(seed));
+
+    for (int i = 0; i < kOps; ++i) {
+      const size_t z = sched.Range("zns.zone", 0, kZones - 1);
+      const uint64_t kind = sched.Range("zns.op", 0, 6);
+      Status st;
+      bool expect_ok = false;
+      switch (kind) {
+        case 0: {  // sequential write at the model's pointer
+          const uint64_t wp = model.zone(z).wp;
+          expect_ok = model.Write(z);
+          // A FULL zone's pointer sits at the zone end; aim the write
+          // at the zone start instead so it still targets zone z.
+          const uint64_t offset =
+              z * kZone + std::min(wp, kZone - 4096);
+          st = Op(ipc::OpCode::kBlkWrite, offset, block);
+          break;
+        }
+        case 1: {  // append; device-assigned offset must match
+          uint64_t assigned = 0;
+          expect_ok = model.Append(z, &assigned);
+          st = Op(ipc::OpCode::kZoneAppend, z * kZone, block);
+          if (expect_ok && st.ok()) {
+            EXPECT_EQ(last_result_, assigned)
+                << "append landed off-model in zone " << z << "; "
+                << sched.ReplayHint();
+          }
+          break;
+        }
+        case 2:
+          expect_ok = model.Open(z);
+          st = Op(ipc::OpCode::kZoneOpen, z * kZone, {});
+          break;
+        case 3:
+          expect_ok = model.Close(z);
+          st = Op(ipc::OpCode::kZoneClose, z * kZone, {});
+          break;
+        case 4:
+          expect_ok = model.Finish(z);
+          st = Op(ipc::OpCode::kZoneFinish, z * kZone, {});
+          break;
+        case 5:
+          expect_ok = model.ResetZone(z);
+          st = Op(ipc::OpCode::kZoneReset, z * kZone, {});
+          break;
+        default: {
+          std::vector<uint8_t> out(4096);
+          expect_ok = model.Read(z, 4096);
+          st = Op(ipc::OpCode::kBlkRead, z * kZone, out);
+          break;
+        }
+      }
+      ASSERT_EQ(st.ok(), expect_ok)
+          << "op " << i << " kind " << kind << " zone " << z << ": "
+          << st.ToString() << "; " << sched.ReplayHint();
+
+      // Per-op invariants: the driver agrees with the model zone by
+      // zone, and never exceeds the open-zone limit.
+      ASSERT_EQ(zns_->open_zones(), model.open_count())
+          << sched.ReplayHint();
+      ASSERT_LE(zns_->open_zones(), 3u) << sched.ReplayHint();
+      auto zone = zns_->Zone(z);
+      ASSERT_TRUE(zone.ok());
+      EXPECT_EQ(zone->state, model.zone(z).state)
+          << "zone " << z << " state diverged; " << sched.ReplayHint();
+      EXPECT_EQ(zone->write_pointer - zone->start, model.zone(z).wp)
+          << "zone " << z << " pointer diverged; " << sched.ReplayHint();
+      ASSERT_LE(zone->write_pointer, zone->start + zone->size)
+          << "pointer past the zone end; " << sched.ReplayHint();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LabFS log-structured placement over the ZNS driver (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+class ZnsPlacementTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kStackYaml =
+      "mount: fs::/zfs\n"
+      "rules:\n"
+      "  exec_mode: sync\n"
+      "dag:\n"
+      "  - mod: labfs\n"
+      "    uuid: labfs_zns\n"
+      "    params:\n"
+      "      log_records_per_worker: 2048\n"
+      "      zns_placement: true\n"
+      "      zone_size_mb: 1\n"
+      "    outputs: [zns_drv]\n"
+      "  - mod: zns_driver\n"
+      "    uuid: zns_drv\n"
+      "    params:\n"
+      "      zone_size_mb: 1\n";
+
+  ZnsPlacementTest()
+      : devices_(nullptr),
+        runtime_(
+            [] {
+              core::Runtime::Options options;
+              options.max_workers = 1;
+              return options;
+            }(),
+            devices_),
+        client_(runtime_, ipc::Credentials{100, 1000, 1000}),
+        fs_(client_) {
+    auto dev = devices_.Create(simdev::DeviceParams::NvmeP3700(16 << 20));
+    EXPECT_TRUE(dev.ok());
+    device_ = *dev;
+    auto spec = core::StackSpec::Parse(kStackYaml);
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    auto stack = runtime_.MountStack(*spec, ipc::Credentials{1, 0, 0});
+    EXPECT_TRUE(stack.ok()) << stack.status().ToString();
+    EXPECT_TRUE(client_.Connect().ok());
+    auto mod = runtime_.registry().Find("labfs_zns");
+    EXPECT_TRUE(mod.ok());
+    labfs_ = dynamic_cast<LabFsMod*>(*mod);
+    EXPECT_NE(labfs_, nullptr);
+    EXPECT_TRUE(labfs_->zns_placement_enabled());
+  }
+
+  simdev::DeviceRegistry devices_;
+  core::Runtime runtime_;
+  core::Client client_;
+  GenericFs fs_;
+  simdev::SimDevice* device_ = nullptr;
+  LabFsMod* labfs_ = nullptr;
+};
+
+TEST_F(ZnsPlacementTest, WriteReadRoundtripThroughZoneAppends) {
+  auto fd = fs_.Create("fs::/zfs/a");
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  std::vector<uint8_t> data(8192);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  auto wrote = fs_.Write(*fd, data, 0);
+  ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+  EXPECT_EQ(*wrote, data.size());
+  EXPECT_EQ(labfs_->placement()->live_blocks(), 2u);
+
+  std::vector<uint8_t> out(8192);
+  auto read = fs_.Read(*fd, out, 0);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ZnsPlacementTest, PartialOverwriteMergesViaReadModifyWrite) {
+  auto fd = fs_.Create("fs::/zfs/rmw");
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> base(4096, 0xAB);
+  ASSERT_TRUE(fs_.Write(*fd, base, 0).ok());
+
+  // Overwrite 100 bytes in the middle: the block must be appended
+  // anew with old bytes around the new range.
+  std::vector<uint8_t> patch(100, 0xCD);
+  ASSERT_TRUE(fs_.Write(*fd, patch, 50).ok());
+  EXPECT_EQ(labfs_->placement()->live_blocks(), 1u)
+      << "overwrite relocates, never grows, the mapping";
+
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(fs_.Read(*fd, out, 0).ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const uint8_t want = (i >= 50 && i < 150) ? 0xCD : 0xAB;
+    ASSERT_EQ(out[i], want) << "byte " << i;
+  }
+}
+
+TEST_F(ZnsPlacementTest, OverwritesReclaimFullyDeadZones) {
+  auto fd = fs_.Create("fs::/zfs/hot");
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> block(4096, 0x11);
+  // A 1MB zone holds 256 blocks. Rewriting one hot block ~700 times
+  // fills zones with dead versions; the policy must recycle them
+  // rather than run out of space.
+  for (int i = 0; i < 700; ++i) {
+    block[0] = static_cast<uint8_t>(i);
+    auto wrote = fs_.Write(*fd, block, 0);
+    ASSERT_TRUE(wrote.ok()) << "write " << i << ": "
+                            << wrote.status().ToString();
+  }
+  EXPECT_EQ(labfs_->placement()->live_blocks(), 1u);
+  EXPECT_GT(labfs_->placement()->zones_reclaimed(), 0u);
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(fs_.Read(*fd, out, 0).ok());
+  EXPECT_EQ(out[0], static_cast<uint8_t>(699));
+}
+
+TEST_F(ZnsPlacementTest, UnlinkReturnsZonesToTheReclaimPool) {
+  const uint64_t dead_before = labfs_->placement()->dead_zones();
+  auto fd = fs_.Create("fs::/zfs/big");
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> chunk(64 << 10, 0x77);
+  for (int i = 0; i < 24; ++i) {  // 1.5MB: spans more than one zone
+    ASSERT_TRUE(
+        fs_.Write(*fd, chunk, static_cast<uint64_t>(i) * chunk.size()).ok());
+  }
+  EXPECT_LT(labfs_->placement()->dead_zones(), dead_before);
+  ASSERT_TRUE(fs_.Unlink("fs::/zfs/big").ok());
+  EXPECT_EQ(labfs_->placement()->live_blocks(), 0u);
+  EXPECT_EQ(labfs_->placement()->dead_zones(), dead_before)
+      << "every zone the file occupied must be reclaimable again";
+}
+
+TEST_F(ZnsPlacementTest, RecoveryRebuildsValidCountsAndKeepsWriting) {
+  auto fd = fs_.Create("fs::/zfs/f");
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> data(12288, 0x5C);
+  ASSERT_TRUE(fs_.Write(*fd, data, 0).ok());
+  const uint64_t live_before = labfs_->placement()->live_blocks();
+  ASSERT_EQ(live_before, 3u);
+
+  // Crash-recover the filesystem: inodes rebuild from the metadata
+  // log, placement valid counts rebuild from the inodes.
+  ASSERT_TRUE(runtime_.registry().RepairAll().ok());
+  EXPECT_EQ(labfs_->placement()->live_blocks(), live_before);
+  auto size = fs_.StatSize("fs::/zfs/f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, data.size());
+
+  // Post-recovery writes activate (and reset) a fully-dead zone; the
+  // relocated block must read back, and old content stays reachable.
+  std::vector<uint8_t> patch(4096, 0x9E);
+  ASSERT_TRUE(fs_.Write(*fd, patch, 4096).ok());
+  std::vector<uint8_t> out(12288);
+  ASSERT_TRUE(fs_.Read(*fd, out, 0).ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const uint8_t want = (i >= 4096 && i < 8192) ? 0x9E : 0x5C;
+    ASSERT_EQ(out[i], want) << "byte " << i;
+  }
+}
+
 }  // namespace
 }  // namespace labstor::labmods
+
+int main(int argc, char** argv) {
+  labstor::dst::InitSeeds(&argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
