@@ -1,0 +1,479 @@
+// bench_calibrated: IO500-calibrated open-loop scenarios through the
+// DAOS-style client interfaces (DESIGN.md §14).
+//
+// Four named scenarios (read-heavy, write-burst, metadata-storm,
+// mixed-diurnal) drive two interfaces — the object store (multi-key
+// put/get over LabKVS) and the array (chunked fixed-stride I/O over a
+// LabFS stack) — each both single-node and through the cluster shard
+// map (object ops routed gateway->owner; array extents striped by
+// MiniPfs's ShardMap placement). Reports p50/p99/p999 per
+// scenario x interface and writes BENCH_calibrated.json (or argv[1]).
+//
+// Determinism: every series of one scenario replays the SAME issue
+// sequence — the harness fingerprints it (issue_digest, folded over
+// harness-relative time), and this bench exits nonzero if any series'
+// digest disagrees with a no-op dry run of the scenario, or if any op
+// fails. --dst_seed=<seed> reseeds every draw.
+//
+// BENCH_CALIBRATED_QUICK=1 shrinks the run for CI smoke jobs.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "dst/schedule.h"
+#include "labmods/daos_array.h"
+#include "labmods/daos_obj.h"
+#include "pfs/mini_pfs.h"
+#include "workload/calibrated.h"
+
+namespace labstor::bench {
+namespace {
+
+// Object key universe per stream (gets/stats always hit these).
+constexpr uint32_t kObjUniverse = 32;
+// Array geometry: 4K cells in 64K chunks over 4 targets; each stream
+// owns one 32MB data object, so the largest draw (16MB) always fits.
+constexpr uint64_t kCellSize = 4096;
+constexpr uint64_t kChunkSize = 64 * 1024;
+constexpr uint32_t kArrayTargets = 4;
+constexpr uint64_t kArrayCells = 8192;
+
+struct RunCfg {
+  uint32_t streams = 4;
+  sim::Time duration = 30 * sim::kMs;
+  double rate = 10000.0;  // per-stream base ops/s
+  uint64_t seed = 1;
+};
+
+workload::CalibratedOptions MakeOpts(const RunCfg& cfg,
+                                     telemetry::Telemetry* tel = nullptr) {
+  workload::CalibratedOptions opts;
+  opts.streams = cfg.streams;
+  opts.duration = cfg.duration;
+  opts.rate_per_stream = cfg.rate;
+  opts.seed = cfg.seed;
+  opts.telemetry = tel;
+  return opts;
+}
+
+TailStats Tail(const workload::CalibratedStats& st) {
+  TailStats t;
+  t.count = st.arrivals.completed;
+  t.mean = st.arrivals.latency.Mean();
+  t.p50 = static_cast<double>(st.arrivals.latency.Percentile(50));
+  t.p99 = static_cast<double>(st.arrivals.latency.Percentile(99));
+  t.p999 = static_cast<double>(st.arrivals.latency.Percentile(99.9));
+  return t;
+}
+
+// ---------------------------------------------------------------
+// Object interface: CalibratedRequest -> DaosObjStore ops.
+// Data keys ("d"/"a") and stat keys ("m"/"s") are prepopulated so
+// fetches never miss; remove follows the mdtest idiom (delete a key
+// the same op just created).
+// ---------------------------------------------------------------
+
+labmods::ObjectId OidFor(const workload::CalibratedRequest& req) {
+  return {req.stream, req.index % kObjUniverse};
+}
+
+workload::CalibratedOpFn ObjOp(labmods::DaosObjStore* store) {
+  return [store](const workload::CalibratedRequest& req)
+             -> sim::Task<Status> {
+    const labmods::ObjectId oid = OidFor(req);
+    if (req.cls == workload::OpClass::kDataWrite) {
+      labmods::AkeyUpdate update;
+      update.akey = "a";
+      update.size = req.size_bytes;
+      co_return co_await store->Update(req.stream, oid, "d",
+                                       std::move(update));
+    }
+    if (req.cls == workload::OpClass::kDataRead) {
+      co_return co_await store->Fetch(req.stream, oid, "d", "a");
+    }
+    switch (req.meta) {
+      case workload::MetaOp::kCreate: {
+        labmods::AkeyUpdate update;
+        update.akey = "c" + std::to_string(req.index);
+        co_return co_await store->Update(req.stream, oid, "m",
+                                         std::move(update));
+      }
+      case workload::MetaOp::kStat:
+        co_return co_await store->Fetch(req.stream, oid, "m", "s");
+      case workload::MetaOp::kRemove: {
+        labmods::AkeyUpdate update;
+        update.akey = "r" + std::to_string(req.index);
+        std::vector<std::string> akeys;
+        akeys.push_back(update.akey);
+        const Status st =
+            co_await store->Update(req.stream, oid, "m", std::move(update));
+        if (!st.ok()) co_return st;
+        co_return co_await store->Punch(req.stream, oid, "m",
+                                        std::move(akeys));
+      }
+    }
+    co_return Status::Ok();
+  };
+}
+
+sim::Task<void> PrepopObjects(labmods::DaosObjStore* store, uint32_t streams,
+                              uint64_t* failures) {
+  for (uint32_t s = 0; s < streams; ++s) {
+    for (uint32_t o = 0; o < kObjUniverse; ++o) {
+      const labmods::ObjectId oid{s, o};
+      labmods::AkeyUpdate data;
+      data.akey = "a";
+      data.size = 4096;
+      labmods::AkeyUpdate meta;
+      meta.akey = "s";
+      if (!(co_await store->Update(s, oid, "d", std::move(data))).ok()) {
+        ++*failures;
+      }
+      if (!(co_await store->Update(s, oid, "m", std::move(meta))).ok()) {
+        ++*failures;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------
+// Array interface: CalibratedRequest -> DaosArray ops. Each stream's
+// data object (oid = stream) is created and fully written up front;
+// reads/writes land inside it at an index-derived cell offset.
+// ---------------------------------------------------------------
+
+workload::CalibratedOpFn ArrOp(labmods::DaosArray* array) {
+  return [array](const workload::CalibratedRequest& req)
+             -> sim::Task<Status> {
+    if (req.cls == workload::OpClass::kDataRead ||
+        req.cls == workload::OpClass::kDataWrite) {
+      uint64_t cells = req.size_bytes / kCellSize;
+      if (cells == 0) cells = 1;
+      if (cells > kArrayCells) cells = kArrayCells;
+      const uint64_t start =
+          (req.index * 2654435761ull) % (kArrayCells - cells + 1);
+      if (req.cls == workload::OpClass::kDataRead) {
+        co_return co_await array->Read(req.stream, req.stream, start, cells);
+      }
+      co_return co_await array->Write(req.stream, req.stream, start, cells);
+    }
+    switch (req.meta) {
+      case workload::MetaOp::kCreate:
+        // Rotating scratch object; re-create of an existing object is
+        // an (allowed) truncate in LabFS.
+        co_return co_await array->CreateObject(
+            req.stream, 1000 + req.stream * 8 + req.index % 8);
+      case workload::MetaOp::kStat:
+        co_return co_await array->StatObject(req.stream, req.stream);
+      case workload::MetaOp::kRemove: {
+        // mdtest idiom: create a fresh object, then remove it.
+        const uint64_t oid = 1u << 20;
+        const uint64_t unique = oid + req.stream * (1u << 16) + req.index;
+        const Status st = co_await array->CreateObject(req.stream, unique);
+        if (!st.ok()) co_return st;
+        co_return co_await array->RemoveObject(req.stream, unique);
+      }
+    }
+    co_return Status::Ok();
+  };
+}
+
+sim::Task<void> PrepopArray(labmods::DaosArray* array, uint32_t streams,
+                            uint64_t* failures) {
+  for (uint32_t s = 0; s < streams; ++s) {
+    if (!(co_await array->CreateObject(s, s)).ok()) ++*failures;
+    if (!(co_await array->Write(s, s, 0, kArrayCells)).ok()) ++*failures;
+  }
+}
+
+// ---------------------------------------------------------------
+// Cluster endpoints.
+// ---------------------------------------------------------------
+
+// Object keys as cluster labels: stream -> gateway (round-robin) and
+// tenant; the shard map routes each key to its owner node.
+class ClusterKvEndpoint final : public labmods::KvEndpoint {
+ public:
+  ClusterKvEndpoint(cluster::Cluster& c, uint32_t nodes)
+      : cluster_(c), nodes_(nodes) {}
+
+  sim::Task<Status> Put(uint32_t stream, std::string key,
+                        uint64_t size) override {
+    co_return co_await cluster_.Put(stream % nodes_, stream, key, size);
+  }
+  sim::Task<Status> Get(uint32_t stream, std::string key) override {
+    co_return co_await cluster_.Get(stream % nodes_, stream, key);
+  }
+  sim::Task<Status> Delete(uint32_t stream, std::string key) override {
+    co_return co_await cluster_.Delete(stream % nodes_, stream, key);
+  }
+
+ private:
+  cluster::Cluster& cluster_;
+  uint32_t nodes_;
+};
+
+// Array extents over MiniPfs: stripe placement rides the cluster
+// ShardMap inside the PFS. Each target file maps to a disjoint offset
+// region of the client's PFS file (FNV over the path), so distinct
+// targets never alias.
+class PfsFileEndpoint final : public labmods::FileEndpoint {
+ public:
+  explicit PfsFileEndpoint(pfs::MiniPfs& p) : pfs_(p) {}
+
+  sim::Task<Status> Create(uint32_t stream, std::string path) override {
+    co_await pfs_.WriteFile(stream, Base(path), kCellSize);
+    co_return Status::Ok();
+  }
+  sim::Task<Status> WriteAt(uint32_t stream, std::string path,
+                            uint64_t offset, uint64_t length) override {
+    co_await pfs_.WriteFile(stream, Base(path) + offset, length);
+    co_return Status::Ok();
+  }
+  sim::Task<Status> ReadAt(uint32_t stream, std::string path, uint64_t offset,
+                           uint64_t length) override {
+    co_await pfs_.ReadFile(stream, Base(path) + offset, length);
+    co_return Status::Ok();
+  }
+  sim::Task<Status> Stat(uint32_t stream, std::string path) override {
+    co_await pfs_.ReadFile(stream, Base(path), kCellSize);
+    co_return Status::Ok();
+  }
+  sim::Task<Status> Remove(uint32_t stream, std::string path) override {
+    co_await pfs_.WriteFile(stream, Base(path), kCellSize);
+    co_return Status::Ok();
+  }
+
+ private:
+  // 64MB region per distinct path (plenty for one target's share).
+  static uint64_t Base(const std::string& path) {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : path) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001B3ULL;
+    }
+    return (h % 256) * (64ull << 20);
+  }
+
+  pfs::MiniPfs& pfs_;
+};
+
+// ---------------------------------------------------------------
+// The four deployment phases. Each builds a fresh DES world, preloads
+// the key/cell universe, then drives one calibrated scenario.
+// ---------------------------------------------------------------
+
+workload::CalibratedStats RunObjectSingle(
+    const workload::CalibratedProfile& profile, const RunCfg& cfg) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  auto params = simdev::DeviceParams::NvmeP3700(4ull << 30);
+  params.name = "dcal";
+  if (!devices.Create(params).ok()) std::abort();
+  core::SimRuntime rt(env, devices, /*workers=*/4);
+  auto stack = rt.MountYaml(
+      LabKvsStack("kvs::/cal", "calo", /*with_permissions=*/false,
+                  /*sync=*/false, "dcal"));
+  if (!stack.ok()) std::abort();
+  for (uint32_t s = 0; s < cfg.streams; ++s) {
+    rt.RegisterQueue(1 + s, 5 * sim::kUs);
+  }
+  labmods::StackKvEndpoint ep(rt, **stack, "kvs::/cal", 1);
+  labmods::DaosObjStore store(ep, "obj");
+  uint64_t prep_failures = 0;
+  env.Spawn(PrepopObjects(&store, cfg.streams, &prep_failures));
+  env.Run();
+  if (prep_failures != 0) std::abort();
+  return workload::RunCalibrated(env, MakeOpts(cfg), profile, ObjOp(&store));
+}
+
+workload::CalibratedStats RunObjectCluster(
+    const workload::CalibratedProfile& profile, const RunCfg& cfg,
+    bool* invariants_ok) {
+  sim::Environment env;
+  cluster::ClusterConfig config;
+  config.initial_nodes = 4;
+  // Bulk scenarios keep ~128 live values of up to 16MB each; the 32MB
+  // default store would thrash the allocator at its exhaustion edge.
+  config.node_device_bytes = 2ull << 30;
+  cluster::Cluster cluster(env, config);
+  if (!cluster.init_status().ok()) std::abort();
+  ClusterKvEndpoint ep(cluster, config.initial_nodes);
+  labmods::DaosObjStore store(ep, "obj");
+  uint64_t prep_failures = 0;
+  env.Spawn(PrepopObjects(&store, cfg.streams, &prep_failures));
+  env.Run();
+  if (prep_failures != 0) std::abort();
+  auto stats =
+      workload::RunCalibrated(env, MakeOpts(cfg), profile, ObjOp(&store));
+  *invariants_ok = cluster.CheckInvariants(/*strict=*/true).ok();
+  return stats;
+}
+
+workload::CalibratedStats RunArraySingle(
+    const workload::CalibratedProfile& profile, const RunCfg& cfg) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  auto params = simdev::DeviceParams::NvmeP3700(4ull << 30);
+  params.name = "dcal";
+  if (!devices.Create(params).ok()) std::abort();
+  core::SimRuntime rt(env, devices, /*workers=*/4);
+  auto stack = rt.MountYaml(LabMinFsStack("fs::/cal", "cala", "dcal"));
+  if (!stack.ok()) std::abort();
+  for (uint32_t s = 0; s < cfg.streams; ++s) {
+    rt.RegisterQueue(1 + s, 5 * sim::kUs);
+  }
+  labmods::StackFileEndpoint ep(rt, **stack, "fs::/cal", 1);
+  labmods::DaosArray array(ep, "arr",
+                           {kCellSize, kChunkSize, kArrayTargets});
+  uint64_t prep_failures = 0;
+  env.Spawn(PrepopArray(&array, cfg.streams, &prep_failures));
+  env.Run();
+  if (prep_failures != 0) std::abort();
+  return workload::RunCalibrated(env, MakeOpts(cfg), profile, ArrOp(&array));
+}
+
+workload::CalibratedStats RunArrayPfs(
+    const workload::CalibratedProfile& profile, const RunCfg& cfg) {
+  sim::Environment env;
+  pfs::PfsConfig config;
+  config.num_data_servers = 4;
+  config.data_device = simdev::DeviceParams::NvmeP3700(4ull << 30);
+  config.local_stack = pfs::LocalStackKind::kLabFsMin;
+  pfs::MiniPfs pfs(env, config);
+  PfsFileEndpoint ep(pfs);
+  labmods::DaosArray array(ep, "arr",
+                           {kCellSize, kChunkSize, kArrayTargets});
+  // MiniPfs files need no creation; no prepopulation phase (which also
+  // exercises the digest's setup-time invariance: this series starts
+  // at a different virtual time than the stack-backed ones).
+  return workload::RunCalibrated(env, MakeOpts(cfg), profile, ArrOp(&array));
+}
+
+// No-op dry run: the reference issue digest for a scenario.
+workload::CalibratedStats RunDry(const workload::CalibratedProfile& profile,
+                                 const RunCfg& cfg) {
+  sim::Environment env;
+  const workload::CalibratedOpFn null_op =
+      [](const workload::CalibratedRequest&) -> sim::Task<Status> {
+    co_return Status::Ok();
+  };
+  return workload::RunCalibrated(env, MakeOpts(cfg), profile, null_op);
+}
+
+}  // namespace
+}  // namespace labstor::bench
+
+int main(int argc, char** argv) {
+  labstor::Logger::Get().set_level(labstor::LogLevel::kWarn);
+  labstor::dst::InitSeeds(&argc, argv);  // --dst_seed replays every draw
+  using namespace labstor::bench;
+  using labstor::workload::CalibratedStats;
+
+  const bool quick = std::getenv("BENCH_CALIBRATED_QUICK") != nullptr;
+  RunCfg cfg;
+  cfg.duration = quick ? 8 * labstor::sim::kMs : 30 * labstor::sim::kMs;
+  cfg.seed = labstor::dst::SeedList().front();
+
+  PrintHeader("Calibrated open-loop scenarios x DAOS interfaces (us)");
+  std::printf("seed=0x%llx streams=%u duration=%llums rate=%.0f/s/stream\n",
+              static_cast<unsigned long long>(cfg.seed), cfg.streams,
+              static_cast<unsigned long long>(cfg.duration / labstor::sim::kMs),
+              cfg.rate);
+
+  BenchJson json("calibrated");
+  json.Meta("seed", static_cast<double>(cfg.seed), "%.0f");
+  json.Meta("streams", static_cast<double>(cfg.streams), "%.0f");
+  json.Meta("duration_ms",
+            static_cast<double>(cfg.duration) / labstor::sim::kMs, "%.0f");
+  json.Meta("rate_per_stream", cfg.rate, "%.0f");
+  json.Meta("quick", quick ? "1" : "0");
+
+  Table table({"scenario", "interface", "ops", "fail", "p50", "p99", "p999"});
+  bool ok = true;
+
+  for (const auto scenario : labstor::workload::AllScenarios()) {
+    const auto profile = labstor::workload::ProfileFor(scenario);
+    const std::string sname = profile.name;
+
+    const CalibratedStats dry = RunDry(profile, cfg);
+    bool cluster_invariants_ok = true;
+    struct Series {
+      const char* iface;
+      CalibratedStats stats;
+    };
+    std::vector<Series> series;
+    std::fprintf(stderr, "[%s] object...\n", sname.c_str());
+    series.push_back({"object", RunObjectSingle(profile, cfg)});
+    std::fprintf(stderr, "[%s] object_cluster...\n", sname.c_str());
+    series.push_back(
+        {"object_cluster",
+         RunObjectCluster(profile, cfg, &cluster_invariants_ok)});
+    std::fprintf(stderr, "[%s] array...\n", sname.c_str());
+    series.push_back({"array", RunArraySingle(profile, cfg)});
+    std::fprintf(stderr, "[%s] array_pfs...\n", sname.c_str());
+    series.push_back({"array_pfs", RunArrayPfs(profile, cfg)});
+    if (!cluster_invariants_ok) {
+      std::fprintf(stderr, "FAIL: %s cluster invariants violated\n",
+                   sname.c_str());
+      ok = false;
+    }
+
+    for (const Series& s : series) {
+      const CalibratedStats& st = s.stats;
+      const TailStats tail = Tail(st);
+      table.AddRow({sname, s.iface, std::to_string(st.arrivals.completed),
+                    std::to_string(st.failed_ops), Fmt("%.1f", tail.p50 / 1e3),
+                    Fmt("%.1f", tail.p99 / 1e3),
+                    Fmt("%.1f", tail.p999 / 1e3)});
+      const std::string key = sname + "." + s.iface;
+      json.AddTail(key, tail);
+      json.Add(key, "issued", st.arrivals.issued);
+      json.Add(key, "failed", st.failed_ops);
+      json.Add(key, "data_reads", st.data_reads);
+      json.Add(key, "data_writes", st.data_writes);
+      json.Add(key, "metadata_ops", st.metadata_ops);
+      json.Add(key, "bytes_read", st.bytes_read);
+      json.Add(key, "bytes_written", st.bytes_written);
+      json.Add(key, "bursts_entered", st.bursts_entered);
+      json.Add(key, "issue_digest", st.issue_digest);
+      // The whole point of the calibrated harness: every deployment of
+      // a scenario sees the SAME open-loop issue sequence.
+      if (st.issue_digest != dry.issue_digest ||
+          st.arrivals.issued != dry.arrivals.issued) {
+        std::fprintf(stderr,
+                     "FAIL: %s.%s issue sequence diverged from dry run "
+                     "(digest %016llx vs %016llx, issued %llu vs %llu)\n",
+                     sname.c_str(), s.iface,
+                     static_cast<unsigned long long>(st.issue_digest),
+                     static_cast<unsigned long long>(dry.issue_digest),
+                     static_cast<unsigned long long>(st.arrivals.issued),
+                     static_cast<unsigned long long>(dry.arrivals.issued));
+        ok = false;
+      }
+      if (st.failed_ops != 0) {
+        std::fprintf(stderr, "FAIL: %s.%s had %llu failed ops\n",
+                     sname.c_str(), s.iface,
+                     static_cast<unsigned long long>(st.failed_ops));
+        ok = false;
+      }
+    }
+  }
+
+  table.Print();
+  const std::string out = argc > 1 ? argv[1] : "BENCH_calibrated.json";
+  if (!json.Write(out)) ok = false;
+  std::printf("\nEvery scenario replays one seed-determined issue sequence "
+              "across all four\ndeployments (digest-checked against a no-op "
+              "dry run); tails are virtual-ns\nqueueing behind each "
+              "interface's real stack.\n");
+  if (!ok) {
+    std::fprintf(stderr, "bench_calibrated: FAILED\n");
+    return 1;
+  }
+  return 0;
+}

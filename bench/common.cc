@@ -1,6 +1,7 @@
 #include "bench/common.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace labstor::bench {
 
@@ -12,9 +13,12 @@ TailStats Summarize(std::vector<double> samples) {
   for (const double v : samples) sum += v;
   s.count = samples.size();
   s.mean = sum / static_cast<double>(samples.size());
+  // Nearest-rank percentile: rank = ceil(n * p), 1-based; the old
+  // `samples[n * permille / 1000]` indexed one rank too high (p50 of
+  // {1,2} returned 2).
   const auto at = [&](size_t permille) {
-    return samples[std::min(samples.size() - 1,
-                            samples.size() * permille / 1000)];
+    const size_t rank = (samples.size() * permille + 999) / 1000;
+    return samples[rank == 0 ? 0 : rank - 1];
   };
   s.p50 = at(500);
   s.p99 = at(990);
@@ -22,19 +26,32 @@ TailStats Summarize(std::vector<double> samples) {
   return s;
 }
 
-namespace {
-
 std::string JsonQuote(const std::string& s) {
   std::string out = "\"";
   for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        // RFC 8259: all other control characters must be \u-escaped.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
   out += '"';
   return out;
 }
-
-}  // namespace
 
 void BenchJson::Meta(const std::string& key, const std::string& value) {
   meta_.emplace_back(key, JsonQuote(value));

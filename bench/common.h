@@ -74,7 +74,15 @@ struct TailStats {
 };
 
 // Sorts a copy of `samples`; an empty input yields all-zero stats.
+// Percentiles use the nearest-rank definition: rank = ceil(n * p)
+// (1-based), so p50 of {1, 2} is 1 and p100-ish ranks clamp to max.
 TailStats Summarize(std::vector<double> samples);
+
+// RFC 8259 string quoting: escapes quote, backslash, and every control
+// character (named escapes for \b \f \n \r \t, \u00XX otherwise), so a
+// scenario or device name containing a newline cannot corrupt a
+// BENCH_*.json file.
+std::string JsonQuote(const std::string& s);
 
 // Shared BENCH_<name>.json emitter:
 //   {"bench": <name>, "meta": {...}, "series": {<series>: {k: v, ...}}}

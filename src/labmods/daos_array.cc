@@ -1,0 +1,125 @@
+#include "labmods/daos_array.h"
+
+#include <algorithm>
+
+namespace labstor::labmods {
+
+sim::Task<Status> StackFileEndpoint::Submit(uint32_t stream, ipc::OpCode op,
+                                            std::string path, uint64_t offset,
+                                            uint64_t length, uint16_t flags) {
+  ipc::Request req;
+  req.op = op;
+  req.client_pid = stream;
+  req.flags = flags;
+  req.offset = offset;
+  req.length = length;
+  req.SetPath(mount_ + "/" + path);
+  co_return co_await rt_.Execute(qid_base_ + stream, stack_, req);
+}
+
+sim::Task<Status> StackFileEndpoint::Create(uint32_t stream, std::string path) {
+  return Submit(stream, ipc::OpCode::kCreate, std::move(path), 0, 0,
+                ipc::kOpenCreate);
+}
+
+sim::Task<Status> StackFileEndpoint::WriteAt(uint32_t stream, std::string path,
+                                             uint64_t offset,
+                                             uint64_t length) {
+  return Submit(stream, ipc::OpCode::kWrite, std::move(path), offset, length,
+                0);
+}
+
+sim::Task<Status> StackFileEndpoint::ReadAt(uint32_t stream, std::string path,
+                                            uint64_t offset, uint64_t length) {
+  return Submit(stream, ipc::OpCode::kRead, std::move(path), offset, length,
+                0);
+}
+
+sim::Task<Status> StackFileEndpoint::Stat(uint32_t stream, std::string path) {
+  return Submit(stream, ipc::OpCode::kStat, std::move(path), 0, 0, 0);
+}
+
+sim::Task<Status> StackFileEndpoint::Remove(uint32_t stream, std::string path) {
+  return Submit(stream, ipc::OpCode::kUnlink, std::move(path), 0, 0, 0);
+}
+
+std::string DaosArray::PathFor(uint64_t oid, uint32_t target) const {
+  return root_ + "/oid" + std::to_string(oid) + ".t" + std::to_string(target);
+}
+
+std::vector<ArrayExtent> DaosArray::Extents(uint64_t oid, uint64_t index,
+                                            uint64_t count) const {
+  std::vector<ArrayExtent> out;
+  uint64_t pos = index * spec_.cell_size;        // byte offset in the array
+  uint64_t remaining = count * spec_.cell_size;  // bytes left to map
+  const uint32_t targets = spec_.targets == 0 ? 1 : spec_.targets;
+  while (remaining > 0) {
+    const uint64_t chunk = pos / spec_.chunk_size;
+    const uint64_t intra = pos % spec_.chunk_size;
+    const uint64_t run = std::min(remaining, spec_.chunk_size - intra);
+    ArrayExtent ext;
+    ext.target = static_cast<uint32_t>(chunk % targets);
+    ext.path = PathFor(oid, ext.target);
+    ext.offset = (chunk / targets) * spec_.chunk_size + intra;
+    ext.length = run;
+    out.push_back(std::move(ext));
+    pos += run;
+    remaining -= run;
+  }
+  return out;
+}
+
+sim::Task<Status> DaosArray::Io(uint32_t stream, uint64_t oid, uint64_t index,
+                                uint64_t count, bool write) {
+  const std::vector<ArrayExtent> extents = Extents(oid, index, count);
+  for (const ArrayExtent& ext : extents) {
+    ++extent_ios_;
+    if (write) {
+      bytes_written_ += ext.length;
+      const Status st =
+          co_await endpoint_.WriteAt(stream, ext.path, ext.offset, ext.length);
+      if (!st.ok()) co_return st;
+    } else {
+      bytes_read_ += ext.length;
+      const Status st =
+          co_await endpoint_.ReadAt(stream, ext.path, ext.offset, ext.length);
+      if (!st.ok()) co_return st;
+    }
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> DaosArray::Write(uint32_t stream, uint64_t oid,
+                                   uint64_t index, uint64_t count) {
+  return Io(stream, oid, index, count, /*write=*/true);
+}
+
+sim::Task<Status> DaosArray::Read(uint32_t stream, uint64_t oid,
+                                  uint64_t index, uint64_t count) {
+  return Io(stream, oid, index, count, /*write=*/false);
+}
+
+sim::Task<Status> DaosArray::CreateObject(uint32_t stream, uint64_t oid) {
+  const uint32_t targets = spec_.targets == 0 ? 1 : spec_.targets;
+  for (uint32_t t = 0; t < targets; ++t) {
+    const Status st = co_await endpoint_.Create(stream, PathFor(oid, t));
+    if (!st.ok()) co_return st;
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> DaosArray::StatObject(uint32_t stream, uint64_t oid) {
+  // DAOS gets array size from target 0's metadata; one stat suffices.
+  co_return co_await endpoint_.Stat(stream, PathFor(oid, 0));
+}
+
+sim::Task<Status> DaosArray::RemoveObject(uint32_t stream, uint64_t oid) {
+  const uint32_t targets = spec_.targets == 0 ? 1 : spec_.targets;
+  for (uint32_t t = 0; t < targets; ++t) {
+    const Status st = co_await endpoint_.Remove(stream, PathFor(oid, t));
+    if (!st.ok()) co_return st;
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace labstor::labmods

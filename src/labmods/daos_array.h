@@ -1,0 +1,120 @@
+// DAOS-style array interface (DESIGN.md §14), after "Exploring DAOS
+// Interfaces and Performance" (PAPERS.md): a flat array of fixed-size
+// cells, physically laid out as fixed-stride chunks round-robined
+// across a set of backing targets — the daos_array chunked layout.
+// Like DaosObjStore it is a thin interface mod: the layout math lives
+// here, bytes move through a FileEndpoint (single-node GenericFS-style
+// stack below; a MiniPfs-backed endpoint lives with the benches, which
+// link labstor_pfs, so array extents can also place via the cluster
+// shard map).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/sim_runtime.h"
+#include "core/stack.h"
+#include "ipc/request.h"
+#include "sim/task.h"
+
+namespace labstor::labmods {
+
+// Where array chunks land. `path` names a backing file (one per
+// target per array object); offsets are file-relative.
+class FileEndpoint {
+ public:
+  virtual ~FileEndpoint() = default;
+  virtual sim::Task<Status> Create(uint32_t stream, std::string path) = 0;
+  virtual sim::Task<Status> WriteAt(uint32_t stream, std::string path,
+                                    uint64_t offset, uint64_t length) = 0;
+  virtual sim::Task<Status> ReadAt(uint32_t stream, std::string path,
+                                   uint64_t offset, uint64_t length) = 0;
+  virtual sim::Task<Status> Stat(uint32_t stream, std::string path) = 0;
+  virtual sim::Task<Status> Remove(uint32_t stream, std::string path) = 0;
+};
+
+// Single-node endpoint: GenericFS-style requests through
+// SimRuntime::Execute against a LabFS stack mounted at `mount`.
+class StackFileEndpoint final : public FileEndpoint {
+ public:
+  StackFileEndpoint(core::SimRuntime& rt, core::Stack& stack,
+                    std::string mount, uint32_t qid_base = 1)
+      : rt_(rt), stack_(stack), mount_(std::move(mount)), qid_base_(qid_base) {}
+
+  sim::Task<Status> Create(uint32_t stream, std::string path) override;
+  sim::Task<Status> WriteAt(uint32_t stream, std::string path,
+                            uint64_t offset, uint64_t length) override;
+  sim::Task<Status> ReadAt(uint32_t stream, std::string path, uint64_t offset,
+                           uint64_t length) override;
+  sim::Task<Status> Stat(uint32_t stream, std::string path) override;
+  sim::Task<Status> Remove(uint32_t stream, std::string path) override;
+
+ private:
+  sim::Task<Status> Submit(uint32_t stream, ipc::OpCode op, std::string path,
+                           uint64_t offset, uint64_t length, uint16_t flags);
+
+  core::SimRuntime& rt_;
+  core::Stack& stack_;
+  std::string mount_;
+  uint32_t qid_base_;
+};
+
+// daos_array layout parameters.
+struct ArraySpec {
+  uint64_t cell_size = 1;        // bytes per cell
+  uint64_t chunk_size = 1 << 20; // bytes per contiguous chunk
+  uint32_t targets = 4;          // fixed-stride round-robin width
+};
+
+// One physical access an array op decomposes into.
+struct ArrayExtent {
+  uint32_t target = 0;
+  std::string path;     // backing file for (oid, target)
+  uint64_t offset = 0;  // within that file
+  uint64_t length = 0;
+};
+
+class DaosArray {
+ public:
+  DaosArray(FileEndpoint& endpoint, std::string root, ArraySpec spec)
+      : endpoint_(endpoint), root_(std::move(root)), spec_(spec) {}
+
+  // Layout: the byte range of cells [index, index+count) is split at
+  // chunk boundaries; chunk c of an object lives on target
+  // (c % targets), at file offset (c / targets) * chunk_size plus the
+  // intra-chunk offset — DAOS's fixed-stride striping.
+  std::vector<ArrayExtent> Extents(uint64_t oid, uint64_t index,
+                                   uint64_t count) const;
+  std::string PathFor(uint64_t oid, uint32_t target) const;
+
+  // Array I/O: one endpoint access per extent, issued sequentially
+  // from the caller's stream; first error wins.
+  sim::Task<Status> Write(uint32_t stream, uint64_t oid, uint64_t index,
+                          uint64_t count);
+  sim::Task<Status> Read(uint32_t stream, uint64_t oid, uint64_t index,
+                         uint64_t count);
+  // Metadata surface: create/stat/remove the object's target files.
+  sim::Task<Status> CreateObject(uint32_t stream, uint64_t oid);
+  sim::Task<Status> StatObject(uint32_t stream, uint64_t oid);
+  sim::Task<Status> RemoveObject(uint32_t stream, uint64_t oid);
+
+  const ArraySpec& spec() const { return spec_; }
+  uint64_t extent_ios() const { return extent_ios_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  sim::Task<Status> Io(uint32_t stream, uint64_t oid, uint64_t index,
+                       uint64_t count, bool write);
+
+  FileEndpoint& endpoint_;
+  std::string root_;
+  ArraySpec spec_;
+  uint64_t extent_ios_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace labstor::labmods

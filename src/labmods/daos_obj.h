@@ -1,0 +1,116 @@
+// DAOS-style object interface (DESIGN.md §14), after "Exploring DAOS
+// Interfaces and Performance" (PAPERS.md): an object is addressed by a
+// 128-bit object id and stores values under (dkey, akey) pairs, with
+// multi-akey update/fetch as the unit of I/O. Here it is a thin
+// *interface LabMod*: object addressing maps onto the LabKVS key space
+// ("<root>/o<hi>.<lo>/<dkey>/<akey>") and every operation reuses the
+// existing stack plumbing through a KvEndpoint — one per deployment
+// shape (single-node SimRuntime stack below; the cluster shard-map
+// endpoint lives with the benches, which link labstor_cluster).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/sim_runtime.h"
+#include "core/stack.h"
+#include "ipc/request.h"
+#include "sim/task.h"
+
+namespace labstor::labmods {
+
+// Where object keys land: a LabKVS stack, a cluster, a mock.
+// `stream` identifies the issuing client (queue / tenant / gateway
+// selector, endpoint-defined). Keys are endpoint-relative (no mount).
+class KvEndpoint {
+ public:
+  virtual ~KvEndpoint() = default;
+  virtual sim::Task<Status> Put(uint32_t stream, std::string key,
+                                uint64_t size) = 0;
+  virtual sim::Task<Status> Get(uint32_t stream, std::string key) = 0;
+  virtual sim::Task<Status> Delete(uint32_t stream, std::string key) = 0;
+};
+
+// Single-node endpoint: one request per op through SimRuntime::Execute
+// against a LabKVS stack mounted at `mount` (e.g. "kvs::/bench").
+// Queue ids are stream-indexed off `qid_base`; the bench registers
+// them (SimRuntime::RegisterQueue) before traffic.
+class StackKvEndpoint final : public KvEndpoint {
+ public:
+  StackKvEndpoint(core::SimRuntime& rt, core::Stack& stack, std::string mount,
+                  uint32_t qid_base = 1)
+      : rt_(rt), stack_(stack), mount_(std::move(mount)), qid_base_(qid_base) {}
+
+  sim::Task<Status> Put(uint32_t stream, std::string key,
+                        uint64_t size) override;
+  sim::Task<Status> Get(uint32_t stream, std::string key) override;
+  sim::Task<Status> Delete(uint32_t stream, std::string key) override;
+
+ private:
+  sim::Task<Status> Submit(uint32_t stream, ipc::OpCode op, std::string key,
+                           uint64_t size);
+
+  core::SimRuntime& rt_;
+  core::Stack& stack_;
+  std::string mount_;
+  uint32_t qid_base_;
+};
+
+// DAOS object id: 128 bits, rendered "o<hi>.<lo>".
+struct ObjectId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+};
+
+// One akey extent of a multi-key update.
+struct AkeyUpdate {
+  std::string akey;
+  uint64_t size = 0;
+};
+
+// The object store proper: multi-key put/get over the endpoint.
+class DaosObjStore {
+ public:
+  explicit DaosObjStore(KvEndpoint& endpoint, std::string root = "obj")
+      : endpoint_(endpoint), root_(std::move(root)) {}
+
+  // dkey+akey addressing, DAOS daos_obj_update/fetch/punch shapes.
+  // Multi-key forms issue one KVS op per akey, sequentially from the
+  // caller's stream (a DAOS client serializes one RPC's extents), and
+  // fail on the first error.
+  sim::Task<Status> Update(uint32_t stream, ObjectId oid, std::string dkey,
+                           AkeyUpdate update);
+  sim::Task<Status> UpdateMulti(uint32_t stream, ObjectId oid,
+                                std::string dkey,
+                                std::vector<AkeyUpdate> updates);
+  sim::Task<Status> Fetch(uint32_t stream, ObjectId oid, std::string dkey,
+                          std::string akey);
+  sim::Task<Status> FetchMulti(uint32_t stream, ObjectId oid,
+                               std::string dkey,
+                               std::vector<std::string> akeys);
+  // Punch = delete the named akeys under the dkey.
+  sim::Task<Status> Punch(uint32_t stream, ObjectId oid, std::string dkey,
+                          std::vector<std::string> akeys);
+
+  // Key-space mapping (exposed for tests and for cluster adapters that
+  // need the label an op routes by).
+  std::string KeyFor(const ObjectId& oid, const std::string& dkey,
+                     const std::string& akey) const;
+
+  uint64_t updates() const { return updates_; }
+  uint64_t fetches() const { return fetches_; }
+  uint64_t punches() const { return punches_; }
+  uint64_t keys_touched() const { return keys_touched_; }
+
+ private:
+  KvEndpoint& endpoint_;
+  std::string root_;
+  uint64_t updates_ = 0;
+  uint64_t fetches_ = 0;
+  uint64_t punches_ = 0;
+  uint64_t keys_touched_ = 0;
+};
+
+}  // namespace labstor::labmods

@@ -46,11 +46,16 @@ sim::Task<void> OpenLoop(sim::Environment& env, const ArrivalOp& op,
   Rng rng(opts.seed + 0x9E3779B97F4A7C15ULL * (stream + 1));
   for (uint64_t i = 0; opts.ops_per_stream == 0 || i < opts.ops_per_stream;
        ++i) {
-    const double gap = opts.mode == ArrivalMode::kOpenPoisson
-                           ? rng.Exponential(mean_gap_ns)
-                           : mean_gap_ns;
-    co_await env.Delay(static_cast<sim::Time>(gap));
-    if (env.now() > deadline) break;
+    const double gap =
+        opts.gap_fn ? opts.gap_fn(stream, env.now(), rng)
+        : opts.mode == ArrivalMode::kOpenPoisson ? rng.Exponential(mean_gap_ns)
+                                                 : mean_gap_ns;
+    // A sub-ns exponential draw truncates to 0, which would re-run this
+    // loop at the same virtual instant forever under a duration bound:
+    // the DES never advances past the deadline. Clamp to 1ns.
+    co_await env.Delay(std::max<sim::Time>(1, static_cast<sim::Time>(gap)));
+    // Inclusive deadline: an arrival landing exactly on it is late.
+    if (env.now() >= deadline) break;
     ++stats->issued;
     env.Spawn(TimedOp(env, op, stream, i, stats));
   }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/rng.h"
 #include "sim/environment.h"
 #include "sim/task.h"
 
@@ -29,6 +30,15 @@ enum class ArrivalMode {
   kOpenFixedRate,  // constant inter-arrival at rate_per_stream
 };
 
+// Optional time-varying inter-arrival hook (open modes only): called
+// once per issue with the stream id, current virtual time, and the
+// stream's seeded RNG; returns the gap to the next arrival in ns. Lets
+// calibrated workloads (workload/calibrated.h) modulate the base rate —
+// burst states, diurnal envelopes — without forking the issue loop.
+// The generator still clamps the returned gap to >= 1ns.
+using GapFn =
+    std::function<double(uint32_t stream, sim::Time now, Rng& rng)>;
+
 struct ArrivalOptions {
   ArrivalMode mode = ArrivalMode::kClosed;
   uint32_t streams = 1;
@@ -38,10 +48,14 @@ struct ArrivalOptions {
   // Open modes: mean arrival rate per stream, ops per virtual second.
   double rate_per_stream = 0.0;
   // Open modes: stop issuing after this much virtual time (0 = rely on
-  // ops_per_stream).
+  // ops_per_stream). The deadline is inclusive: an arrival landing
+  // exactly on it is NOT issued.
   sim::Time duration = 0;
-  // Seeds the per-stream inter-arrival draws (Poisson).
+  // Seeds the per-stream inter-arrival draws (Poisson / gap_fn).
   uint64_t seed = 1;
+  // Open modes: overrides the rate_per_stream draw when set (the
+  // rate_per_stream > 0 sanity gate still applies; pass the base rate).
+  GapFn gap_fn;
 };
 
 using ArrivalOp =

@@ -1,0 +1,173 @@
+// Statistically calibrated open-loop workload harness (DESIGN.md §14).
+//
+// The pattern-based generators (fio/fxmark/filebench/labios) replay
+// fixed shapes; this harness instead draws traffic from empirical
+// distributions calibrated against the IO500 submission analysis
+// ("A Treasure Trove of Performance" — PAPERS.md): request sizes are a
+// discrete mixture dominated by 4K-aligned small transfers with a
+// multi-MB bulk tail, operations split into a metadata/data ratio (the
+// mdtest-vs-ior axis), arrivals are burst-modulated by a two-state
+// modulated-Poisson (on/off) process, and the base rate rides a
+// diurnal envelope. Tail latency (p50/p99/p999), not mean ns/request,
+// is the headline output.
+//
+// Layering: everything funnels through workload/arrival's open-loop
+// issue machinery via its GapFn hook — the calibrated harness only
+// decides WHEN the next arrival happens and WHAT it is. All randomness
+// derives from CalibratedOptions::seed through per-stream Rng streams,
+// so a run is seed-deterministic under the DES and byte-identical on
+// replay (--dst_seed); the per-run `issue_digest` fingerprints the full
+// issue sequence to make that checkable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/environment.h"
+#include "sim/task.h"
+#include "telemetry/telemetry.h"
+#include "workload/arrival.h"
+
+namespace labstor::workload {
+
+// What a calibrated arrival is: data transfer or metadata op.
+enum class OpClass : uint8_t { kDataRead, kDataWrite, kMetadata };
+// Metadata ops split further (create/stat/remove — the mdtest trio).
+enum class MetaOp : uint8_t { kCreate, kStat, kRemove };
+
+const char* OpClassName(OpClass cls);
+const char* MetaOpName(MetaOp op);
+
+// One entry of an empirical request-size mixture.
+struct SizeBin {
+  uint64_t bytes = 4096;
+  double weight = 1.0;
+};
+
+// All distribution parameters of one scenario. The four presets in
+// ProfileFor() carry IO500-grounded numbers; custom profiles are fine
+// as long as weights/fractions stay sane (Validate()).
+struct CalibratedProfile {
+  std::string name;
+
+  // Request-size mixture for data ops (weights need not sum to 1).
+  std::vector<SizeBin> sizes;
+
+  // Fraction of ALL ops that are metadata (mdtest-vs-ior axis).
+  double metadata_fraction = 0.2;
+  // Among data ops, fraction that are reads.
+  double read_fraction = 0.5;
+  // Among metadata ops: create / stat fractions (remainder = remove).
+  double meta_create_fraction = 0.3;
+  double meta_stat_fraction = 0.5;
+
+  // Two-state modulated Poisson (on/off) burstiness: in the ON state
+  // the arrival rate is multiplied by burst_multiplier; state holding
+  // times are exponential with the given means. multiplier <= 1 or a
+  // zero mean disables modulation.
+  double burst_multiplier = 1.0;
+  sim::Time mean_burst = 0;
+  sim::Time mean_quiet = 0;
+
+  // Diurnal rate envelope: rate *= 1 + amplitude*sin(2*pi*t/period).
+  // amplitude in [0,1); 0 (or period 0) disables.
+  double diurnal_amplitude = 0.0;
+  sim::Time diurnal_period = 0;
+
+  // Ok() iff weights/fractions are usable.
+  Status Validate() const;
+};
+
+// The four named scenarios bench_calibrated drives.
+enum class Scenario : uint8_t {
+  kReadHeavy,
+  kWriteBurst,
+  kMetadataStorm,
+  kMixedDiurnal,
+};
+
+const char* ScenarioName(Scenario s);
+CalibratedProfile ProfileFor(Scenario s);
+const std::vector<Scenario>& AllScenarios();
+
+// One drawn request, handed to the interface adapter.
+struct CalibratedRequest {
+  uint32_t stream = 0;
+  uint64_t index = 0;
+  OpClass cls = OpClass::kDataRead;
+  MetaOp meta = MetaOp::kStat;  // meaningful when cls == kMetadata
+  uint64_t size_bytes = 0;      // 0 for metadata ops
+};
+
+// Adapters return per-op status; failures are counted (failed_ops) but
+// do not stop the run — an open-loop harness keeps issuing.
+using CalibratedOpFn =
+    std::function<sim::Task<Status>(const CalibratedRequest& req)>;
+
+struct CalibratedOptions {
+  uint32_t streams = 1;
+  // Cap on issued ops per stream (0 = duration-bounded only).
+  uint64_t ops_per_stream = 0;
+  // Stop issuing after this much virtual time (0 = count-bounded only).
+  sim::Time duration = 0;
+  // Base (quiet-state, envelope-midpoint) arrival rate per stream,
+  // ops per virtual second.
+  double rate_per_stream = 0.0;
+  // Single seed for every draw the harness makes.
+  uint64_t seed = 1;
+  // Optional: issue/class counters land under
+  // "workload.calibrated.<profile>.*".
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+struct CalibratedStats {
+  ArrivalStats arrivals;  // merged + per-stream latency, issue counts
+
+  // Per-class accounting (completions).
+  uint64_t data_reads = 0;
+  uint64_t data_writes = 0;
+  uint64_t metadata_ops = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t failed_ops = 0;  // non-ok statuses returned by the adapter
+  Histogram read_latency;
+  Histogram write_latency;
+  Histogram meta_latency;
+
+  // ON-state entries observed across all streams (burstiness proof).
+  uint64_t bursts_entered = 0;
+
+  // FNV-1a fingerprint of the complete issue sequence: per-stream
+  // folds of (index, class, meta, size, issue time relative to harness
+  // start), combined in stream order. Two runs with the same seed must
+  // agree bit-for-bit; the sequence is independent of op service times
+  // (open loop) and of whatever setup ran before RunCalibrated (times
+  // are harness-relative), so a dry run against a null op — or the
+  // same scenario against a different interface/deployment —
+  // reproduces the digest of a loaded run.
+  uint64_t issue_digest = 0;
+};
+
+// Spawns the per-stream calibrated generators and drives env.Run() to
+// completion. `op` is invoked once per arrival with the drawn request.
+CalibratedStats RunCalibrated(sim::Environment& env,
+                              const CalibratedOptions& opts,
+                              const CalibratedProfile& profile,
+                              const CalibratedOpFn& op);
+
+// --- exposed for tests and adapters ---
+
+// Draw one size from the mixture (weight-proportional).
+uint64_t SampleSize(const CalibratedProfile& profile, Rng& rng);
+// Draw one request classification (class + meta kind + size).
+CalibratedRequest DrawRequest(const CalibratedProfile& profile,
+                              uint32_t stream, uint64_t index, Rng& rng);
+// Diurnal rate factor at virtual time `now` (1.0 when disabled).
+double DiurnalFactor(const CalibratedProfile& profile, sim::Time now);
+
+}  // namespace labstor::workload

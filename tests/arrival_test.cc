@@ -1,0 +1,314 @@
+// Direct coverage for workload/arrival (the open/closed-loop driver
+// every bench shares — previously exercised only through benches):
+// issue counts per mode, per-stream stats accounting, duration- vs
+// count-bounded termination, seed determinism, and two regressions
+// that fail on the pre-fix code:
+//   * an arrival landing exactly on the duration deadline was still
+//     issued (`>` vs `>=`);
+//   * an exponential gap truncating to 0ns re-entered the issue loop
+//     at the same virtual instant, spinning the DES without advancing
+//     time (now clamped to >= 1ns).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/environment.h"
+#include "workload/arrival.h"
+
+namespace labstor::workload {
+namespace {
+
+using sim::Environment;
+using sim::Time;
+
+struct OpLog {
+  std::vector<Time> issue_times;
+  std::vector<uint32_t> streams;
+  std::vector<uint64_t> indices;
+};
+
+// Records every issue, then models a fixed service time.
+ArrivalOp LoggingOp(Environment& env, OpLog* log, Time service) {
+  return [&env, log, service](uint32_t stream,
+                              uint64_t index) -> sim::Task<void> {
+    log->issue_times.push_back(env.now());
+    log->streams.push_back(stream);
+    log->indices.push_back(index);
+    co_await env.Delay(service);
+  };
+}
+
+// ---------- mode issue counts ----------
+
+TEST(ArrivalTest, ClosedLoopIssuesExactlyOpsPerStream) {
+  Environment env;
+  OpLog log;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kClosed;
+  opts.streams = 3;
+  opts.ops_per_stream = 20;
+  const ArrivalStats stats =
+      RunArrivals(env, opts, LoggingOp(env, &log, 10 * sim::kUs));
+  EXPECT_EQ(stats.issued, 60u);
+  EXPECT_EQ(stats.completed, 60u);
+  EXPECT_EQ(log.issue_times.size(), 60u);
+  // Closed loop: each stream strictly serial, 20 x 10us makespan.
+  EXPECT_EQ(stats.Makespan(), 200 * sim::kUs);
+}
+
+TEST(ArrivalTest, FixedRateIssuesAtConstantGaps) {
+  Environment env;
+  OpLog log;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenFixedRate;
+  opts.streams = 1;
+  opts.ops_per_stream = 5;
+  opts.rate_per_stream = 1000.0;  // 1ms gap
+  const ArrivalStats stats =
+      RunArrivals(env, opts, LoggingOp(env, &log, 1 * sim::kUs));
+  EXPECT_EQ(stats.issued, 5u);
+  EXPECT_EQ(stats.completed, 5u);
+  ASSERT_EQ(log.issue_times.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(log.issue_times[i], static_cast<Time>((i + 1) * sim::kMs));
+  }
+}
+
+TEST(ArrivalTest, PoissonCountBoundedIssuesExactly) {
+  Environment env;
+  OpLog log;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenPoisson;
+  opts.streams = 2;
+  opts.ops_per_stream = 50;
+  opts.rate_per_stream = 100000.0;
+  opts.seed = 7;
+  const ArrivalStats stats =
+      RunArrivals(env, opts, LoggingOp(env, &log, 1 * sim::kUs));
+  EXPECT_EQ(stats.issued, 100u);
+  EXPECT_EQ(stats.completed, 100u);
+  // Gaps are random, not constant.
+  ASSERT_GE(log.issue_times.size(), 3u);
+  const Time g0 = log.issue_times[1] - log.issue_times[0];
+  const Time g1 = log.issue_times[2] - log.issue_times[1];
+  EXPECT_TRUE(g0 != g1 || log.issue_times[0] != g0);
+}
+
+TEST(ArrivalTest, OpenLoopLatencyIncludesQueueing) {
+  // Arrivals every 1ms against a 5ms service: later arrivals do NOT
+  // wait for earlier completions (open loop), and each op's recorded
+  // latency is its own service time here (ops run as independent
+  // processes against an uncontended fixed delay).
+  Environment env;
+  OpLog log;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenFixedRate;
+  opts.streams = 1;
+  opts.ops_per_stream = 4;
+  opts.rate_per_stream = 1000.0;
+  const ArrivalStats stats =
+      RunArrivals(env, opts, LoggingOp(env, &log, 5 * sim::kMs));
+  EXPECT_EQ(stats.issued, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  // Issues at 1..4ms even though the first op completes at 6ms.
+  EXPECT_EQ(log.issue_times.back(), 4 * sim::kMs);
+  EXPECT_EQ(stats.latency.Max(), 5 * sim::kMs);
+}
+
+// ---------- per-stream stats accounting ----------
+
+TEST(ArrivalTest, PerStreamHistogramsPartitionTheMerged) {
+  Environment env;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenPoisson;
+  opts.streams = 4;
+  opts.ops_per_stream = 25;
+  opts.rate_per_stream = 50000.0;
+  opts.seed = 11;
+  // Per-stream distinct service times so the split is visible.
+  const ArrivalStats stats = RunArrivals(
+      env, opts, [&env](uint32_t stream, uint64_t) -> sim::Task<void> {
+        co_await env.Delay((stream + 1) * sim::kUs);
+      });
+  ASSERT_EQ(stats.per_stream.size(), 4u);
+  uint64_t sum = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(stats.per_stream[s].count(), 25u);
+    // Uncontended fixed delay: every sample in stream s is (s+1)us.
+    EXPECT_EQ(stats.per_stream[s].Max(), (s + 1) * sim::kUs);
+    sum += stats.per_stream[s].count();
+  }
+  EXPECT_EQ(stats.latency.count(), sum);
+  EXPECT_EQ(stats.completed, sum);
+}
+
+// ---------- duration-bounded vs count-bounded termination ----------
+
+TEST(ArrivalTest, DurationBoundStopsIssuing) {
+  Environment env;
+  OpLog log;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenFixedRate;
+  opts.streams = 1;
+  opts.rate_per_stream = 10000.0;  // 100us gap
+  opts.duration = 1 * sim::kMs;    // arrivals at 100..900us qualify
+  const ArrivalStats stats =
+      RunArrivals(env, opts, LoggingOp(env, &log, 1 * sim::kUs));
+  EXPECT_EQ(stats.issued, 9u);
+  for (const Time t : log.issue_times) EXPECT_LT(t, 1 * sim::kMs);
+}
+
+TEST(ArrivalTest, CountBoundWinsWhenTighterThanDuration) {
+  Environment env;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenFixedRate;
+  opts.streams = 1;
+  opts.ops_per_stream = 3;
+  opts.rate_per_stream = 10000.0;
+  opts.duration = 1 * sim::kSec;
+  OpLog log;
+  const ArrivalStats stats =
+      RunArrivals(env, opts, LoggingOp(env, &log, 1 * sim::kUs));
+  EXPECT_EQ(stats.issued, 3u);
+}
+
+TEST(ArrivalTest, UnboundedOpenLoopIssuesNothing) {
+  // No rate, or neither bound: the generator refuses rather than
+  // spinning forever.
+  Environment env;
+  OpLog log;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenPoisson;
+  opts.rate_per_stream = 0.0;
+  opts.ops_per_stream = 10;
+  EXPECT_EQ(RunArrivals(env, opts, LoggingOp(env, &log, 1)).issued, 0u);
+  opts.rate_per_stream = 1000.0;
+  opts.ops_per_stream = 0;
+  opts.duration = 0;
+  EXPECT_EQ(RunArrivals(env, opts, LoggingOp(env, &log, 1)).issued, 0u);
+}
+
+// ---------- regression: inclusive deadline ----------
+
+// Pre-fix failing: with a 1ms gap and a 5ms duration the arrival at
+// exactly t=5ms passed the old `env.now() > deadline` check and a 5th
+// op was issued. Nearest the deadline must mean strictly before it.
+TEST(ArrivalTest, ArrivalExactlyOnDeadlineIsNotIssued) {
+  Environment env;
+  OpLog log;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenFixedRate;
+  opts.streams = 1;
+  opts.rate_per_stream = 1000.0;  // gaps of exactly 1ms
+  opts.duration = 5 * sim::kMs;   // deadline lands ON the 5th arrival
+  const ArrivalStats stats =
+      RunArrivals(env, opts, LoggingOp(env, &log, 1 * sim::kUs));
+  EXPECT_EQ(stats.issued, 4u);
+  ASSERT_EQ(log.issue_times.size(), 4u);
+  EXPECT_EQ(log.issue_times.back(), 4 * sim::kMs);
+}
+
+// ---------- regression: zero-gap clamp ----------
+
+// Pre-fix failing: at 10^10 ops/s the mean gap is 0.1ns, which
+// truncates to a 0ns delay — every issue lands at the same virtual
+// instant (and a duration-bounded run would spin forever, since time
+// never advances toward the deadline). The clamp guarantees >= 1ns
+// between arrivals, so issue times strictly increase.
+TEST(ArrivalTest, SubNanosecondGapsClampToOneNs) {
+  Environment env;
+  OpLog log;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenFixedRate;
+  opts.streams = 1;
+  opts.ops_per_stream = 8;
+  opts.rate_per_stream = 1e10;  // 0.1ns mean gap
+  const ArrivalStats stats =
+      RunArrivals(env, opts, LoggingOp(env, &log, 1 * sim::kUs));
+  EXPECT_EQ(stats.issued, 8u);
+  ASSERT_EQ(log.issue_times.size(), 8u);
+  for (size_t i = 1; i < log.issue_times.size(); ++i) {
+    EXPECT_LT(log.issue_times[i - 1], log.issue_times[i]);
+  }
+  EXPECT_EQ(log.issue_times.front(), 1u);  // 0.1ns draw -> 1ns clamp
+}
+
+TEST(ArrivalTest, ZeroGapPoissonTerminatesUnderDurationBound) {
+  // Poisson at an absurd rate with ONLY a duration bound: pre-fix this
+  // never advanced virtual time, so the loop never hit the deadline.
+  Environment env;
+  OpLog log;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenPoisson;
+  opts.streams = 1;
+  opts.rate_per_stream = 1e12;
+  opts.duration = 1 * sim::kUs;  // 1000ns of 1ns-clamped arrivals
+  opts.seed = 3;
+  const ArrivalStats stats = RunArrivals(env, opts, LoggingOp(env, &log, 1));
+  EXPECT_GT(stats.issued, 0u);
+  EXPECT_LE(stats.issued, 1000u);
+}
+
+// ---------- seed determinism ----------
+
+TEST(ArrivalTest, SameSeedReproducesIssueSequence) {
+  const auto run = [](uint64_t seed) {
+    Environment env;
+    OpLog log;
+    ArrivalOptions opts;
+    opts.mode = ArrivalMode::kOpenPoisson;
+    opts.streams = 3;
+    opts.ops_per_stream = 40;
+    opts.rate_per_stream = 200000.0;
+    opts.seed = seed;
+    RunArrivals(env, opts, LoggingOp(env, &log, 2 * sim::kUs));
+    return log;
+  };
+  const OpLog a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a.issue_times, b.issue_times);
+  EXPECT_EQ(a.streams, b.streams);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_NE(a.issue_times, c.issue_times);
+}
+
+// ---------- gap_fn hook ----------
+
+TEST(ArrivalTest, GapFnOverridesBaseRate) {
+  Environment env;
+  OpLog log;
+  ArrivalOptions opts;
+  opts.mode = ArrivalMode::kOpenPoisson;
+  opts.streams = 1;
+  opts.ops_per_stream = 3;
+  opts.rate_per_stream = 1000.0;  // would be 1ms gaps
+  opts.gap_fn = [](uint32_t, sim::Time, Rng&) { return 2e6; };  // 2ms
+  RunArrivals(env, opts, LoggingOp(env, &log, 1 * sim::kUs));
+  ASSERT_EQ(log.issue_times.size(), 3u);
+  EXPECT_EQ(log.issue_times[0], 2 * sim::kMs);
+  EXPECT_EQ(log.issue_times[2], 6 * sim::kMs);
+}
+
+TEST(ArrivalTest, GapFnSeesStreamSeededRng) {
+  // The RNG handed to gap_fn is the stream's own seeded stream: two
+  // runs with the same seed draw identical gap sequences.
+  const auto run = [](uint64_t seed) {
+    Environment env;
+    OpLog log;
+    ArrivalOptions opts;
+    opts.mode = ArrivalMode::kOpenPoisson;
+    opts.streams = 2;
+    opts.ops_per_stream = 10;
+    opts.rate_per_stream = 1.0;  // ignored by gap_fn
+    opts.seed = seed;
+    opts.gap_fn = [](uint32_t, sim::Time, Rng& rng) {
+      return rng.Exponential(5e4);
+    };
+    RunArrivals(env, opts, LoggingOp(env, &log, 1 * sim::kUs));
+    return log.issue_times;
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+}  // namespace
+}  // namespace labstor::workload

@@ -1,0 +1,173 @@
+// Regression tests for the shared bench helpers (bench/common.{h,cc}):
+// the nearest-rank percentile math in Summarize and the RFC 8259
+// string escaping in JsonQuote. Both had long-standing bugs that every
+// BENCH_*.json inherited (percentiles one rank high; raw control
+// characters emitted into "valid" JSON), so the expected values here
+// are pinned on small hand-checkable vectors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace labstor::bench {
+namespace {
+
+// ---------- Summarize: nearest-rank percentiles ----------
+
+TEST(SummarizeTest, EmptyInputIsAllZero) {
+  const TailStats s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.p999, 0.0);
+}
+
+TEST(SummarizeTest, SingleSampleIsEveryPercentile) {
+  const TailStats s = Summarize({7.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.p50, 7.0);
+  EXPECT_EQ(s.p99, 7.0);
+  EXPECT_EQ(s.p999, 7.0);
+}
+
+// The regression the fix is for: nearest-rank p50 of {1,2} is
+// rank ceil(2*0.5) = 1, i.e. the value 1. The pre-fix index math
+// (samples[n * permille / 1000] = samples[1]) returned 2.
+TEST(SummarizeTest, MedianOfTwoIsLowerSample) {
+  const TailStats s = Summarize({2.0, 1.0});
+  EXPECT_EQ(s.p50, 1.0);
+}
+
+TEST(SummarizeTest, KnownSmallVectors) {
+  // n=4, sorted {10,20,30,40}: p50 -> rank ceil(2.0)=2 -> 20;
+  // p99 -> rank ceil(3.96)=4 -> 40.
+  TailStats s = Summarize({40.0, 10.0, 30.0, 20.0});
+  EXPECT_EQ(s.p50, 20.0);
+  EXPECT_EQ(s.p99, 40.0);
+  EXPECT_EQ(s.p999, 40.0);
+  EXPECT_EQ(s.mean, 25.0);
+
+  // n=5, {1..5}: p50 -> rank ceil(2.5)=3 -> 3.
+  s = Summarize({5.0, 4.0, 3.0, 2.0, 1.0});
+  EXPECT_EQ(s.p50, 3.0);
+  EXPECT_EQ(s.p99, 5.0);
+}
+
+TEST(SummarizeTest, HundredSamplesPinAllThreePercentiles) {
+  // samples = 1..100. Nearest rank: p50 -> rank 50 -> value 50,
+  // p99 -> rank 99 -> value 99 (pre-fix math indexed samples[99] = 100),
+  // p999 -> rank ceil(99.9) = 100 -> value 100.
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const TailStats s = Summarize(std::move(v));
+  EXPECT_EQ(s.p50, 50.0);
+  EXPECT_EQ(s.p99, 99.0);
+  EXPECT_EQ(s.p999, 100.0);
+}
+
+TEST(SummarizeTest, ThousandSamples) {
+  // 1..1000: p999 -> rank 999 -> 999 (pre-fix: samples[999] = 1000).
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(i);
+  const TailStats s = Summarize(std::move(v));
+  EXPECT_EQ(s.p50, 500.0);
+  EXPECT_EQ(s.p99, 990.0);
+  EXPECT_EQ(s.p999, 999.0);
+}
+
+// ---------- JsonQuote: RFC 8259 escaping ----------
+
+// Minimal JSON string unquoter for the round-trip check: accepts
+// exactly the escapes RFC 8259 defines.
+bool JsonUnquote(const std::string& quoted, std::string* out) {
+  if (quoted.size() < 2 || quoted.front() != '"' || quoted.back() != '"') {
+    return false;
+  }
+  out->clear();
+  for (size_t i = 1; i + 1 < quoted.size(); ++i) {
+    const char c = quoted[i];
+    if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (i + 1 >= quoted.size() - 1) return false;  // dangling backslash
+    const char esc = quoted[++i];
+    switch (esc) {
+      case '"':  out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/':  out->push_back('/'); break;
+      case 'b':  out->push_back('\b'); break;
+      case 'f':  out->push_back('\f'); break;
+      case 'n':  out->push_back('\n'); break;
+      case 'r':  out->push_back('\r'); break;
+      case 't':  out->push_back('\t'); break;
+      case 'u': {
+        if (i + 4 >= quoted.size()) return false;
+        unsigned code = 0;
+        if (std::sscanf(quoted.c_str() + i + 1, "%4x", &code) != 1) {
+          return false;
+        }
+        if (code > 0xFF) return false;  // test corpus is byte strings
+        out->push_back(static_cast<char>(code));
+        i += 4;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+TEST(JsonQuoteTest, PlainStringsPassThrough) {
+  EXPECT_EQ(JsonQuote("read-heavy"), "\"read-heavy\"");
+  EXPECT_EQ(JsonQuote(""), "\"\"");
+}
+
+TEST(JsonQuoteTest, QuotesAndBackslashesEscaped) {
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+}
+
+// The regression: a scenario/device name carrying \n or \t used to be
+// emitted raw, producing a literal newline inside a JSON string —
+// invalid per RFC 8259 and unparseable by strict parsers.
+TEST(JsonQuoteTest, ControlCharactersAreEscaped) {
+  EXPECT_EQ(JsonQuote("line1\nline2"), "\"line1\\nline2\"");
+  EXPECT_EQ(JsonQuote("col\tcol"), "\"col\\tcol\"");
+  EXPECT_EQ(JsonQuote(std::string("nul\x01", 4)), "\"nul\\u0001\"");
+  // No bare control character may survive in the quoted form.
+  const std::string quoted = JsonQuote("\x02\x03\x1f");
+  for (const char c : quoted) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(JsonQuoteTest, RoundTripsEveryByteBelow0x80) {
+  std::string all;
+  for (int b = 1; b < 0x80; ++b) all.push_back(static_cast<char>(b));
+  std::string back;
+  ASSERT_TRUE(JsonUnquote(JsonQuote(all), &back));
+  EXPECT_EQ(back, all);
+}
+
+TEST(JsonQuoteTest, RoundTripsTrickyScenarioNames) {
+  const std::vector<std::string> corpus = {
+      "mixed-diurnal", "dev\nnvme0", "a\tb\rc", "quote\"inside",
+      "back\\slash", std::string("embedded\x00nul", 12), "\x1b[31mred\x1b[0m",
+  };
+  for (const std::string& s : corpus) {
+    std::string back;
+    ASSERT_TRUE(JsonUnquote(JsonQuote(s), &back)) << JsonQuote(s);
+    EXPECT_EQ(back, s);
+  }
+}
+
+}  // namespace
+}  // namespace labstor::bench

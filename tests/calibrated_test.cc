@@ -1,0 +1,604 @@
+// Calibrated workload harness + DAOS-style interfaces (DESIGN.md §14):
+// profile validation, distribution shape, burst/diurnal modulation,
+// seed determinism (digest byte-identity across service times, start
+// times, and the dst seed sweep), DAOS object key mapping and
+// multi-key op counts, DAOS array chunk layout, and a single-node
+// stack integration run.
+//
+// Own main: dst::InitSeeds strips --dst_seed / --dst_random_seeds
+// before gtest parses argv, so CI can sweep CalibratedSweepTest.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+#include "common/rng.h"
+#include "dst/schedule.h"
+#include "labmods/daos_array.h"
+#include "labmods/daos_obj.h"
+#include "sim/environment.h"
+#include "workload/calibrated.h"
+
+namespace labstor {
+namespace {
+
+using workload::CalibratedOptions;
+using workload::CalibratedProfile;
+using workload::CalibratedRequest;
+using workload::CalibratedStats;
+using workload::MetaOp;
+using workload::OpClass;
+using workload::Scenario;
+
+CalibratedOptions SmallOpts(uint64_t seed = 7) {
+  CalibratedOptions opts;
+  opts.streams = 2;
+  opts.duration = 5 * sim::kMs;
+  opts.rate_per_stream = 20000.0;
+  opts.seed = seed;
+  return opts;
+}
+
+const workload::CalibratedOpFn kNullOp =
+    [](const CalibratedRequest&) -> sim::Task<Status> {
+  co_return Status::Ok();
+};
+
+// ---------------------------------------------------------------
+// Profiles.
+// ---------------------------------------------------------------
+
+TEST(CalibratedProfileTest, PresetsValidate) {
+  for (const Scenario s : workload::AllScenarios()) {
+    const CalibratedProfile p = workload::ProfileFor(s);
+    EXPECT_TRUE(p.Validate().ok()) << p.name;
+    EXPECT_STREQ(workload::ScenarioName(s), p.name.c_str());
+  }
+}
+
+TEST(CalibratedProfileTest, ValidateRejectsBadParameters) {
+  CalibratedProfile p = workload::ProfileFor(Scenario::kReadHeavy);
+  p.sizes.clear();
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = workload::ProfileFor(Scenario::kReadHeavy);
+  p.sizes[0].weight = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = workload::ProfileFor(Scenario::kReadHeavy);
+  p.metadata_fraction = 1.5;
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = workload::ProfileFor(Scenario::kReadHeavy);
+  p.meta_create_fraction = 0.7;
+  p.meta_stat_fraction = 0.7;  // sums past 1
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = workload::ProfileFor(Scenario::kMixedDiurnal);
+  p.diurnal_amplitude = 1.0;  // rate would hit zero
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+// ---------------------------------------------------------------
+// Distribution shape.
+// ---------------------------------------------------------------
+
+TEST(CalibratedDrawTest, SizeMixtureIs4kHeavyWithLargeTail) {
+  const CalibratedProfile p = workload::ProfileFor(Scenario::kReadHeavy);
+  Rng rng(123);
+  std::map<uint64_t, uint64_t> counts;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) ++counts[workload::SampleSize(p, rng)];
+  // 4K dominates (weight 0.55), and the multi-MB tail exists but is
+  // thin — the IO500 shape the profile encodes.
+  EXPECT_GT(counts[4096], kDraws / 2 - 1000);
+  EXPECT_GT(counts[16 << 20], 0u);
+  EXPECT_LT(counts[16 << 20], kDraws / 10);
+  // Weight-proportional within ~20% relative tolerance.
+  double total_weight = 0;
+  for (const auto& bin : p.sizes) total_weight += bin.weight;
+  for (const auto& bin : p.sizes) {
+    const double expected = kDraws * bin.weight / total_weight;
+    EXPECT_NEAR(static_cast<double>(counts[bin.bytes]), expected,
+                expected * 0.2 + 30)
+        << bin.bytes;
+  }
+}
+
+TEST(CalibratedDrawTest, OpMixMatchesProfileFractions) {
+  const CalibratedProfile p = workload::ProfileFor(Scenario::kMetadataStorm);
+  Rng rng(99);
+  int meta = 0, reads = 0, data = 0, creates = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const CalibratedRequest req = workload::DrawRequest(p, 0, i, rng);
+    if (req.cls == OpClass::kMetadata) {
+      ++meta;
+      EXPECT_EQ(req.size_bytes, 0u);
+      if (req.meta == MetaOp::kCreate) ++creates;
+    } else {
+      ++data;
+      EXPECT_GT(req.size_bytes, 0u);
+      if (req.cls == OpClass::kDataRead) ++reads;
+    }
+  }
+  EXPECT_NEAR(meta / static_cast<double>(kDraws), p.metadata_fraction, 0.02);
+  EXPECT_NEAR(reads / static_cast<double>(data), p.read_fraction, 0.03);
+  EXPECT_NEAR(creates / static_cast<double>(meta), p.meta_create_fraction,
+              0.03);
+}
+
+TEST(CalibratedDrawTest, DiurnalFactorTracksSineEnvelope) {
+  CalibratedProfile p = workload::ProfileFor(Scenario::kMixedDiurnal);
+  p.diurnal_amplitude = 0.5;
+  p.diurnal_period = 1000;
+  EXPECT_DOUBLE_EQ(workload::DiurnalFactor(p, 0), 1.0);
+  EXPECT_NEAR(workload::DiurnalFactor(p, 250), 1.5, 1e-9);   // peak
+  EXPECT_NEAR(workload::DiurnalFactor(p, 750), 0.5, 1e-9);   // trough
+  p.diurnal_amplitude = 0.0;
+  EXPECT_DOUBLE_EQ(workload::DiurnalFactor(p, 250), 1.0);
+}
+
+// ---------------------------------------------------------------
+// Harness runs (null op under the DES).
+// ---------------------------------------------------------------
+
+TEST(CalibratedRunTest, CountBoundAndClassAccounting) {
+  sim::Environment env;
+  CalibratedOptions opts;
+  opts.streams = 3;
+  opts.ops_per_stream = 50;
+  opts.rate_per_stream = 100000.0;
+  opts.seed = 5;
+  const CalibratedStats stats = workload::RunCalibrated(
+      env, opts, workload::ProfileFor(Scenario::kMixedDiurnal), kNullOp);
+  EXPECT_LE(stats.arrivals.issued, 150u);
+  EXPECT_GT(stats.arrivals.issued, 100u);  // duration=0: count-bounded
+  EXPECT_EQ(stats.arrivals.issued, stats.arrivals.completed);
+  EXPECT_EQ(stats.arrivals.issued,
+            stats.data_reads + stats.data_writes + stats.metadata_ops);
+  EXPECT_EQ(stats.failed_ops, 0u);
+  EXPECT_GT(stats.bytes_read + stats.bytes_written, 0u);
+}
+
+TEST(CalibratedRunTest, DurationBoundStopsIssuing) {
+  sim::Environment env;
+  CalibratedOptions opts = SmallOpts();
+  const CalibratedStats stats = workload::RunCalibrated(
+      env, opts, workload::ProfileFor(Scenario::kReadHeavy), kNullOp);
+  EXPECT_GT(stats.arrivals.issued, 0u);
+  // Base expectation: rate * duration * streams, with burst headroom.
+  const double base = opts.rate_per_stream * 5e-3 * opts.streams;
+  EXPECT_LT(stats.arrivals.issued, base * 3);
+}
+
+TEST(CalibratedRunTest, BurstsModulateArrivals) {
+  // Same base rate with and without the on/off modulation: the bursty
+  // profile must enter ON states and issue more than the flat one.
+  CalibratedProfile bursty = workload::ProfileFor(Scenario::kWriteBurst);
+  CalibratedProfile flat = bursty;
+  flat.burst_multiplier = 1.0;
+
+  sim::Environment env1, env2;
+  const CalibratedStats with_bursts =
+      workload::RunCalibrated(env1, SmallOpts(), bursty, kNullOp);
+  const CalibratedStats without =
+      workload::RunCalibrated(env2, SmallOpts(), flat, kNullOp);
+  EXPECT_GT(with_bursts.bursts_entered, 0u);
+  EXPECT_EQ(without.bursts_entered, 0u);
+  EXPECT_GT(with_bursts.arrivals.issued, without.arrivals.issued);
+}
+
+TEST(CalibratedRunTest, DiurnalEnvelopeShiftsArrivalsToThePeak) {
+  // Amplitude 0.9, one full period: the first half-period (sin > 0)
+  // must see far more arrivals than the second (sin < 0).
+  CalibratedProfile p = workload::ProfileFor(Scenario::kReadHeavy);
+  p.burst_multiplier = 1.0;  // isolate the envelope
+  p.diurnal_amplitude = 0.9;
+  p.diurnal_period = 4 * sim::kMs;
+
+  sim::Environment env;
+  CalibratedOptions opts = SmallOpts();
+  opts.streams = 1;
+  opts.duration = 4 * sim::kMs;
+  uint64_t first_half = 0, second_half = 0;
+  const workload::CalibratedOpFn counting_op =
+      [&](const CalibratedRequest&) -> sim::Task<Status> {
+    (env.now() < 2 * sim::kMs ? first_half : second_half) += 1;
+    co_return Status::Ok();
+  };
+  workload::RunCalibrated(env, opts, p, counting_op);
+  EXPECT_GT(first_half, 2 * second_half);
+}
+
+TEST(CalibratedRunTest, TelemetryCountersMatchStats) {
+  sim::Environment env;
+  telemetry::Telemetry tel;
+  CalibratedOptions opts = SmallOpts();
+  opts.telemetry = &tel;
+  const CalibratedProfile p = workload::ProfileFor(Scenario::kMixedDiurnal);
+  const CalibratedStats stats = workload::RunCalibrated(env, opts, p, kNullOp);
+  auto& m = tel.metrics();
+  const std::string prefix = "workload.calibrated." + p.name;
+  EXPECT_EQ(m.GetCounter(prefix + ".issued")->Value(), stats.arrivals.issued);
+  EXPECT_EQ(m.GetCounter(prefix + ".data_read")->Value(), stats.data_reads);
+  EXPECT_EQ(m.GetCounter(prefix + ".data_write")->Value(), stats.data_writes);
+  EXPECT_EQ(m.GetCounter(prefix + ".metadata")->Value(), stats.metadata_ops);
+  EXPECT_EQ(m.GetCounter(prefix + ".failed")->Value(), 0u);
+}
+
+TEST(CalibratedRunTest, FailedOpsAreCountedButDoNotStopTheRun) {
+  sim::Environment env;
+  uint64_t calls = 0;
+  const workload::CalibratedOpFn flaky =
+      [&calls](const CalibratedRequest&) -> sim::Task<Status> {
+    ++calls;
+    if (calls % 3 == 0) co_return Status::Internal("injected");
+    co_return Status::Ok();
+  };
+  const CalibratedStats stats = workload::RunCalibrated(
+      env, SmallOpts(), workload::ProfileFor(Scenario::kReadHeavy), flaky);
+  EXPECT_EQ(stats.failed_ops, calls / 3);
+  EXPECT_EQ(stats.arrivals.completed, calls);
+}
+
+// ---------------------------------------------------------------
+// Determinism: the issue digest.
+// ---------------------------------------------------------------
+
+TEST(CalibratedDigestTest, SameSeedSameDigestDifferentSeedDifferentDigest) {
+  const CalibratedProfile p = workload::ProfileFor(Scenario::kMixedDiurnal);
+  sim::Environment env1, env2, env3;
+  const CalibratedStats a =
+      workload::RunCalibrated(env1, SmallOpts(41), p, kNullOp);
+  const CalibratedStats b =
+      workload::RunCalibrated(env2, SmallOpts(41), p, kNullOp);
+  const CalibratedStats c =
+      workload::RunCalibrated(env3, SmallOpts(42), p, kNullOp);
+  EXPECT_EQ(a.issue_digest, b.issue_digest);
+  EXPECT_EQ(a.arrivals.issued, b.arrivals.issued);
+  EXPECT_NE(a.issue_digest, c.issue_digest);
+}
+
+TEST(CalibratedDigestTest, DigestIndependentOfServiceTime) {
+  // Open loop: a run whose ops take real (virtual) time must issue the
+  // exact same sequence as a dry run against an instant op.
+  const CalibratedProfile p = workload::ProfileFor(Scenario::kWriteBurst);
+  sim::Environment env1;
+  const CalibratedStats dry =
+      workload::RunCalibrated(env1, SmallOpts(), p, kNullOp);
+
+  sim::Environment env2;
+  const workload::CalibratedOpFn slow =
+      [&env2](const CalibratedRequest& req) -> sim::Task<Status> {
+    co_await env2.Delay(10 * sim::kUs + req.size_bytes / 100);
+    co_return Status::Ok();
+  };
+  const CalibratedStats loaded =
+      workload::RunCalibrated(env2, SmallOpts(), p, slow);
+  EXPECT_EQ(dry.issue_digest, loaded.issue_digest);
+  EXPECT_EQ(dry.arrivals.issued, loaded.arrivals.issued);
+}
+
+TEST(CalibratedDigestTest, DigestIndependentOfSetupPhase) {
+  // A prepopulation phase that advances the DES clock before the
+  // harness starts must not shift the issue sequence (times are folded
+  // relative to harness start).
+  const CalibratedProfile p = workload::ProfileFor(Scenario::kMixedDiurnal);
+  sim::Environment env1;
+  const CalibratedStats fresh =
+      workload::RunCalibrated(env1, SmallOpts(), p, kNullOp);
+
+  sim::Environment env2;
+  env2.Spawn([](sim::Environment& env) -> sim::Task<void> {
+    co_await env.Delay(3 * sim::kMs + 137);
+  }(env2));
+  env2.Run();
+  ASSERT_GT(env2.now(), 0u);
+  const CalibratedStats shifted =
+      workload::RunCalibrated(env2, SmallOpts(), p, kNullOp);
+  EXPECT_EQ(fresh.issue_digest, shifted.issue_digest);
+  EXPECT_EQ(fresh.arrivals.issued, shifted.arrivals.issued);
+}
+
+// ---------------------------------------------------------------
+// DAOS object interface.
+// ---------------------------------------------------------------
+
+struct KvCall {
+  char op;  // 'P', 'G', 'D'
+  uint32_t stream;
+  std::string key;
+  uint64_t size;
+};
+
+class RecordingKvEndpoint final : public labmods::KvEndpoint {
+ public:
+  sim::Task<Status> Put(uint32_t stream, std::string key,
+                        uint64_t size) override {
+    calls.push_back({'P', stream, key, size});
+    co_return NextStatus();
+  }
+  sim::Task<Status> Get(uint32_t stream, std::string key) override {
+    calls.push_back({'G', stream, key, 0});
+    co_return NextStatus();
+  }
+  sim::Task<Status> Delete(uint32_t stream, std::string key) override {
+    calls.push_back({'D', stream, key, 0});
+    co_return NextStatus();
+  }
+
+  std::vector<KvCall> calls;
+  int fail_after = -1;  // fail every call once this many have landed
+
+ private:
+  Status NextStatus() {
+    if (fail_after >= 0 && static_cast<int>(calls.size()) > fail_after) {
+      return Status::Internal("injected");
+    }
+    return Status::Ok();
+  }
+};
+
+// Drives a Task<Status> to completion under the DES.
+Status RunTask(sim::Environment& env, sim::Task<Status> task) {
+  Status out;
+  env.Spawn([](sim::Task<Status> t, Status* result) -> sim::Task<void> {
+    *result = co_await std::move(t);
+  }(std::move(task), &out));
+  env.Run();
+  return out;
+}
+
+TEST(DaosObjTest, KeyForEncodesObjectDkeyAkey) {
+  RecordingKvEndpoint ep;
+  labmods::DaosObjStore store(ep, "obj");
+  EXPECT_EQ(store.KeyFor({5, 7}, "dk", "ak"), "obj/o5.7/dk/ak");
+}
+
+TEST(DaosObjTest, UpdateMultiIssuesOnePutPerAkeyInOrder) {
+  sim::Environment env;
+  RecordingKvEndpoint ep;
+  labmods::DaosObjStore store(ep, "obj");
+  std::vector<labmods::AkeyUpdate> updates;
+  updates.push_back({"a0", 100});
+  updates.push_back({"a1", 200});
+  updates.push_back({"a2", 300});
+  const Status st =
+      RunTask(env, store.UpdateMulti(3, {1, 2}, "dk", std::move(updates)));
+  EXPECT_TRUE(st.ok());
+  ASSERT_EQ(ep.calls.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ep.calls[i].op, 'P');
+    EXPECT_EQ(ep.calls[i].stream, 3u);
+    EXPECT_EQ(ep.calls[i].key,
+              "obj/o1.2/dk/a" + std::to_string(i));
+    EXPECT_EQ(ep.calls[i].size, 100 * (i + 1));
+  }
+  EXPECT_EQ(store.updates(), 1u);
+  EXPECT_EQ(store.keys_touched(), 3u);
+}
+
+TEST(DaosObjTest, FetchMultiStopsAtFirstFailure) {
+  sim::Environment env;
+  RecordingKvEndpoint ep;
+  ep.fail_after = 2;
+  labmods::DaosObjStore store(ep, "obj");
+  const Status st =
+      RunTask(env, store.FetchMulti(0, {1, 1}, "dk", {"a", "b", "c", "d"}));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(ep.calls.size(), 3u);  // third get failed; fourth never sent
+  EXPECT_EQ(store.fetches(), 1u);
+}
+
+TEST(DaosObjTest, PunchDeletesEveryAkey) {
+  sim::Environment env;
+  RecordingKvEndpoint ep;
+  labmods::DaosObjStore store(ep, "obj");
+  const Status st = RunTask(env, store.Punch(1, {9, 9}, "dk", {"x", "y"}));
+  EXPECT_TRUE(st.ok());
+  ASSERT_EQ(ep.calls.size(), 2u);
+  EXPECT_EQ(ep.calls[0].op, 'D');
+  EXPECT_EQ(ep.calls[0].key, "obj/o9.9/dk/x");
+  EXPECT_EQ(ep.calls[1].key, "obj/o9.9/dk/y");
+  EXPECT_EQ(store.punches(), 1u);
+}
+
+// ---------------------------------------------------------------
+// DAOS array interface.
+// ---------------------------------------------------------------
+
+struct FileCall {
+  char op;  // 'C', 'W', 'R', 'S', 'U'
+  std::string path;
+  uint64_t offset;
+  uint64_t length;
+};
+
+class RecordingFileEndpoint final : public labmods::FileEndpoint {
+ public:
+  sim::Task<Status> Create(uint32_t, std::string path) override {
+    calls.push_back({'C', path, 0, 0});
+    co_return Status::Ok();
+  }
+  sim::Task<Status> WriteAt(uint32_t, std::string path, uint64_t offset,
+                            uint64_t length) override {
+    calls.push_back({'W', path, offset, length});
+    co_return Status::Ok();
+  }
+  sim::Task<Status> ReadAt(uint32_t, std::string path, uint64_t offset,
+                           uint64_t length) override {
+    calls.push_back({'R', path, offset, length});
+    co_return Status::Ok();
+  }
+  sim::Task<Status> Stat(uint32_t, std::string path) override {
+    calls.push_back({'S', path, 0, 0});
+    co_return Status::Ok();
+  }
+  sim::Task<Status> Remove(uint32_t, std::string path) override {
+    calls.push_back({'U', path, 0, 0});
+    co_return Status::Ok();
+  }
+  std::vector<FileCall> calls;
+};
+
+labmods::ArraySpec TestSpec() {
+  labmods::ArraySpec spec;
+  spec.cell_size = 1024;
+  spec.chunk_size = 4096;  // 4 cells per chunk
+  spec.targets = 3;
+  return spec;
+}
+
+TEST(DaosArrayTest, SingleChunkAccessYieldsOneExtent) {
+  RecordingFileEndpoint ep;
+  labmods::DaosArray array(ep, "arr", TestSpec());
+  const auto extents = array.Extents(7, 1, 2);  // cells 1-2 of chunk 0
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].target, 0u);
+  EXPECT_EQ(extents[0].path, "arr/oid7.t0");
+  EXPECT_EQ(extents[0].offset, 1024u);
+  EXPECT_EQ(extents[0].length, 2048u);
+}
+
+TEST(DaosArrayTest, ChunkBoundarySplitsAndRoundRobinsTargets) {
+  RecordingFileEndpoint ep;
+  labmods::DaosArray array(ep, "arr", TestSpec());
+  // Cells 3..8 span chunks 0,1,2 -> targets 0,1,2.
+  const auto extents = array.Extents(1, 3, 6);
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0].target, 0u);
+  EXPECT_EQ(extents[0].offset, 3 * 1024u);
+  EXPECT_EQ(extents[0].length, 1024u);
+  EXPECT_EQ(extents[1].target, 1u);
+  EXPECT_EQ(extents[1].offset, 0u);  // chunk 1 is target 1's first chunk
+  EXPECT_EQ(extents[1].length, 4096u);
+  EXPECT_EQ(extents[2].target, 2u);
+  EXPECT_EQ(extents[2].offset, 0u);
+  EXPECT_EQ(extents[2].length, 1024u);
+}
+
+TEST(DaosArrayTest, FixedStrideWrapsBackToTargetZero) {
+  RecordingFileEndpoint ep;
+  labmods::DaosArray array(ep, "arr", TestSpec());
+  // Chunk 3 (cells 12..15) wraps to target 0 at file offset chunk_size
+  // (its second chunk on that target: 3 / 3 = 1).
+  const auto extents = array.Extents(1, 12, 4);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].target, 0u);
+  EXPECT_EQ(extents[0].offset, 4096u);
+  EXPECT_EQ(extents[0].length, 4096u);
+}
+
+TEST(DaosArrayTest, WriteIssuesOneIoPerExtentAndCounts) {
+  sim::Environment env;
+  RecordingFileEndpoint ep;
+  labmods::DaosArray array(ep, "arr", TestSpec());
+  const Status st = RunTask(env, array.Write(0, 1, 3, 6));
+  EXPECT_TRUE(st.ok());
+  ASSERT_EQ(ep.calls.size(), 3u);
+  for (const FileCall& call : ep.calls) EXPECT_EQ(call.op, 'W');
+  EXPECT_EQ(array.extent_ios(), 3u);
+  EXPECT_EQ(array.bytes_written(), 6 * 1024u);
+  EXPECT_EQ(array.bytes_read(), 0u);
+}
+
+TEST(DaosArrayTest, ObjectLifecycleTouchesEveryTargetFile) {
+  sim::Environment env;
+  RecordingFileEndpoint ep;
+  labmods::DaosArray array(ep, "arr", TestSpec());
+  EXPECT_TRUE(RunTask(env, array.CreateObject(0, 4)).ok());
+  EXPECT_TRUE(RunTask(env, array.StatObject(0, 4)).ok());
+  EXPECT_TRUE(RunTask(env, array.RemoveObject(0, 4)).ok());
+  ASSERT_EQ(ep.calls.size(), 3u + 1u + 3u);
+  std::set<std::string> created, removed;
+  for (const FileCall& call : ep.calls) {
+    if (call.op == 'C') created.insert(call.path);
+    if (call.op == 'U') removed.insert(call.path);
+  }
+  EXPECT_EQ(created.size(), 3u);
+  EXPECT_EQ(created, removed);
+}
+
+// ---------------------------------------------------------------
+// Single-node stack integration: calibrated traffic through the DAOS
+// object interface over a real LabKVS stack.
+// ---------------------------------------------------------------
+
+TEST(CalibratedStackTest, ObjectStoreOverLabKvsCompletesWithoutFailures) {
+  sim::Environment env;
+  simdev::DeviceRegistry devices(&env);
+  auto params = simdev::DeviceParams::NvmeP3700(1ull << 30);
+  params.name = "dct";
+  ASSERT_TRUE(devices.Create(params).ok());
+  core::SimRuntime rt(env, devices, /*workers=*/2);
+  auto stack = rt.MountYaml(bench::LabKvsStack(
+      "kvs::/t", "ct", /*with_permissions=*/false, /*sync=*/false, "dct"));
+  ASSERT_TRUE(stack.ok());
+  CalibratedOptions opts;
+  opts.streams = 2;
+  opts.ops_per_stream = 60;
+  opts.rate_per_stream = 50000.0;
+  opts.seed = 17;
+  for (uint32_t s = 0; s < opts.streams; ++s) {
+    rt.RegisterQueue(1 + s, 5 * sim::kUs);
+  }
+  labmods::StackKvEndpoint ep(rt, **stack, "kvs::/t", 1);
+  labmods::DaosObjStore store(ep, "obj");
+
+  // Put-only mapping so nothing can miss: every op lands as an update
+  // keyed by its class (failures would mean real stack breakage).
+  const workload::CalibratedOpFn op =
+      [&store](const CalibratedRequest& req) -> sim::Task<Status> {
+    labmods::AkeyUpdate update;
+    update.akey = workload::OpClassName(req.cls);
+    update.size = req.size_bytes;
+    co_return co_await store.Update(
+        req.stream, {req.stream, req.index % 8}, "d", std::move(update));
+  };
+  const CalibratedStats stats = workload::RunCalibrated(
+      env, opts, workload::ProfileFor(Scenario::kMetadataStorm), op);
+  EXPECT_EQ(stats.arrivals.issued, 120u);
+  EXPECT_EQ(stats.arrivals.completed, 120u);
+  EXPECT_EQ(stats.failed_ops, 0u);
+  EXPECT_EQ(store.updates(), 120u);
+  EXPECT_GT(stats.meta_latency.count(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Seed sweep (CI: --dst_seed / --dst_random_seeds).
+// ---------------------------------------------------------------
+
+TEST(CalibratedSweepTest, EverySeedReplaysByteIdentically) {
+  std::set<uint64_t> digests;
+  for (const uint64_t seed : dst::SeedList()) {
+    for (const Scenario s :
+         {Scenario::kWriteBurst, Scenario::kMixedDiurnal}) {
+      const CalibratedProfile p = workload::ProfileFor(s);
+      sim::Environment env1, env2;
+      const CalibratedStats a =
+          workload::RunCalibrated(env1, SmallOpts(seed), p, kNullOp);
+      const CalibratedStats b =
+          workload::RunCalibrated(env2, SmallOpts(seed), p, kNullOp);
+      ASSERT_EQ(a.issue_digest, b.issue_digest)
+          << p.name << " seed=0x" << std::hex << seed;
+      ASSERT_EQ(a.arrivals.issued, b.arrivals.issued);
+      ASSERT_GT(a.arrivals.issued, 0u);
+      digests.insert(a.issue_digest);
+    }
+  }
+  // Distinct seeds (x scenarios) produce distinct sequences.
+  EXPECT_GE(digests.size(), 2 * dst::SeedList().size() - 1);
+}
+
+}  // namespace
+}  // namespace labstor
+
+int main(int argc, char** argv) {
+  labstor::dst::InitSeeds(&argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
